@@ -1,0 +1,365 @@
+//! Sequential block execution.
+
+use crate::state::{AccessSet, Journal, StateKey, WorldState};
+use crate::vm::{CallParams, Interpreter};
+use crate::{AccountBlock, AccountTransaction, ExecutedBlock, Receipt, TxPayload};
+use blockconc_types::{Error, Result};
+
+/// Per-transaction execution context, returned alongside the receipt so that callers
+/// (in particular the parallel execution engines of `blockconc-execution`) can reason
+/// about what the transaction touched and undo it if necessary.
+#[derive(Debug)]
+pub struct TxContext {
+    /// The receipt of the execution.
+    pub receipt: Receipt,
+    /// Keys read and written while executing.
+    pub access: AccessSet,
+    /// Undo journal for all state mutations the transaction committed.
+    pub journal: Journal,
+}
+
+/// The reference sequential executor: executes a block's transactions one at a time,
+/// in block order, exactly like the client software of the chains the paper studies.
+///
+/// # Examples
+///
+/// See the [crate documentation](crate).
+#[derive(Debug, Default)]
+pub struct BlockExecutor {
+    interpreter: Interpreter,
+}
+
+impl BlockExecutor {
+    /// Creates an executor with the default gas schedule.
+    pub fn new() -> Self {
+        BlockExecutor::default()
+    }
+
+    /// Creates an executor that uses the given interpreter (custom gas schedule).
+    pub fn with_interpreter(interpreter: Interpreter) -> Self {
+        BlockExecutor { interpreter }
+    }
+
+    /// Executes a single transaction against `state`, committing its effects.
+    ///
+    /// The returned [`TxContext`] carries the receipt, the access set and the undo
+    /// journal (which allows the caller to revert the committed transaction later —
+    /// used by speculative engines when a conflict is detected).
+    ///
+    /// Failed transactions (revert / out of gas) still consume gas and bump the
+    /// sender's nonce but leave no other state changes behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Validation`] if the transaction's nonce does not match the
+    /// sender's account nonce, or an error from the value transfer if the sender cannot
+    /// cover the transferred value. In both cases the state is unchanged.
+    pub fn execute_transaction(
+        &mut self,
+        state: &mut WorldState,
+        tx: &AccountTransaction,
+    ) -> Result<TxContext> {
+        let mut journal = Journal::new();
+        let mut access = AccessSet::new();
+
+        let expected_nonce = state.nonce(tx.sender());
+        if tx.nonce() != expected_nonce {
+            return Err(Error::validation(format!(
+                "transaction {} has nonce {}, sender {} expects {}",
+                tx.id(),
+                tx.nonce(),
+                tx.sender(),
+                expected_nonce
+            )));
+        }
+
+        // Nonce bump and sender-balance access are part of every transaction.
+        access.record_write(StateKey::Balance(tx.sender()));
+        state.bump_nonce(tx.sender(), Some(&mut journal));
+
+        let schedule = self.interpreter.schedule().clone();
+        let intrinsic = if tx.is_contract_creation() {
+            schedule.creation_cost()
+        } else {
+            schedule.intrinsic_tx_cost()
+        };
+        if tx.gas_limit() < intrinsic {
+            // Gas limit cannot even cover the intrinsic cost: the transaction fails,
+            // consuming its entire gas limit.
+            let receipt = Receipt::failure(tx.id(), tx.gas_limit(), "intrinsic gas too low");
+            return Ok(TxContext {
+                receipt,
+                access,
+                journal,
+            });
+        }
+        let execution_gas = tx.gas_limit() - intrinsic;
+
+        let receipt = match tx.payload() {
+            TxPayload::Transfer | TxPayload::ContractCall { .. } => {
+                let args = match tx.payload() {
+                    TxPayload::ContractCall { args } => args.clone(),
+                    _ => Vec::new(),
+                };
+                access.record_write(StateKey::Balance(tx.receiver()));
+                let outcome = self.interpreter.call_tracked(
+                    state,
+                    CallParams {
+                        caller: tx.sender(),
+                        target: tx.receiver(),
+                        value: tx.value(),
+                        args,
+                        gas_limit: execution_gas,
+                    },
+                    &mut journal,
+                    &mut access,
+                );
+                match outcome {
+                    Ok(outcome) => {
+                        let gas_used = intrinsic + outcome.gas_used;
+                        if outcome.success {
+                            Receipt::success(
+                                tx.id(),
+                                gas_used,
+                                outcome.internal_transactions,
+                                outcome.logs,
+                            )
+                        } else {
+                            Receipt::failure(
+                                tx.id(),
+                                gas_used,
+                                outcome.failure.unwrap_or_else(|| "failed".to_string()),
+                            )
+                        }
+                    }
+                    Err(err) => {
+                        // Fatal errors (sender cannot fund the transfer) invalidate the
+                        // transaction: roll back the nonce bump and report the error.
+                        state.revert_to(&mut journal, 0);
+                        return Err(err);
+                    }
+                }
+            }
+            TxPayload::ContractCreate { code } => {
+                let deploy_addr = code.deployment_address(tx.sender(), tx.nonce());
+                access.record_write(StateKey::Balance(deploy_addr));
+                state.deploy_contract(deploy_addr, code.clone());
+                Receipt::success(tx.id(), intrinsic, Vec::new(), Vec::new())
+            }
+        };
+
+        Ok(TxContext {
+            receipt,
+            access,
+            journal,
+        })
+    }
+
+    /// Executes every transaction of `block` in order against `state`.
+    ///
+    /// Transactions that fail validation (bad nonce, unfunded transfer) are recorded as
+    /// failed receipts consuming zero gas, mirroring how a simulator-produced block may
+    /// contain transactions invalidated by earlier ones; the block as a whole still
+    /// executes.
+    ///
+    /// # Errors
+    ///
+    /// Currently never returns an error (the signature leaves room for stricter
+    /// validation modes).
+    pub fn execute_block(
+        &mut self,
+        state: &mut WorldState,
+        block: &AccountBlock,
+    ) -> Result<ExecutedBlock> {
+        let mut receipts = Vec::with_capacity(block.transaction_count());
+        for tx in block.transactions() {
+            match self.execute_transaction(state, tx) {
+                Ok(ctx) => receipts.push(ctx.receipt),
+                Err(err) => {
+                    receipts.push(Receipt::failure(tx.id(), blockconc_types::Gas::ZERO, err.to_string()))
+                }
+            }
+        }
+        Ok(ExecutedBlock::new(block.clone(), receipts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Contract;
+    use crate::BlockBuilder;
+    use blockconc_types::{Address, Amount, Gas};
+    use std::sync::Arc;
+
+    fn funded_state(users: u64) -> WorldState {
+        let mut state = WorldState::new();
+        for i in 1..=users {
+            state.credit(Address::from_low(i), Amount::from_coins(100));
+        }
+        state
+    }
+
+    #[test]
+    fn simple_transfer_moves_value_and_charges_intrinsic_gas() {
+        let mut state = funded_state(2);
+        let tx = AccountTransaction::transfer(
+            Address::from_low(1),
+            Address::from_low(2),
+            Amount::from_coins(1),
+            0,
+        );
+        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        assert!(ctx.receipt.succeeded());
+        assert_eq!(ctx.receipt.gas_used(), Gas::BASE_TX);
+        assert_eq!(state.balance(Address::from_low(2)), Amount::from_coins(101));
+        assert_eq!(state.nonce(Address::from_low(1)), 1);
+    }
+
+    #[test]
+    fn wrong_nonce_is_rejected_without_state_change() {
+        let mut state = funded_state(2);
+        let tx = AccountTransaction::transfer(
+            Address::from_low(1),
+            Address::from_low(2),
+            Amount::from_coins(1),
+            5,
+        );
+        assert!(BlockExecutor::new().execute_transaction(&mut state, &tx).is_err());
+        assert_eq!(state.nonce(Address::from_low(1)), 0);
+        assert_eq!(state.balance(Address::from_low(2)), Amount::from_coins(100));
+    }
+
+    #[test]
+    fn unfunded_transfer_is_rejected_and_nonce_rolled_back() {
+        let mut state = funded_state(1);
+        let pauper = Address::from_low(50);
+        let tx = AccountTransaction::transfer(
+            pauper,
+            Address::from_low(1),
+            Amount::from_coins(1),
+            0,
+        );
+        assert!(BlockExecutor::new().execute_transaction(&mut state, &tx).is_err());
+        assert_eq!(state.nonce(pauper), 0);
+    }
+
+    #[test]
+    fn contract_call_produces_internal_transactions_in_receipt() {
+        let mut state = funded_state(1);
+        let sink = Address::from_low(400);
+        let fwd = Address::from_low(500);
+        state.deploy_contract(fwd, Arc::new(Contract::forwarder(sink)));
+
+        let tx = AccountTransaction::contract_call(
+            Address::from_low(1),
+            fwd,
+            Amount::from_sats(777),
+            vec![],
+            0,
+        );
+        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        assert!(ctx.receipt.succeeded());
+        assert_eq!(ctx.receipt.internal_transactions().len(), 1);
+        assert_eq!(ctx.receipt.internal_transactions()[0].to(), sink);
+        assert!(ctx.receipt.gas_used() > Gas::BASE_TX);
+        assert_eq!(state.balance(sink), Amount::from_sats(777));
+    }
+
+    #[test]
+    fn contract_creation_deploys_at_derived_address() {
+        let mut state = funded_state(1);
+        let code = Arc::new(Contract::counter());
+        let tx = AccountTransaction::contract_create(Address::from_low(1), code.clone(), 0);
+        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        assert!(ctx.receipt.succeeded());
+        let addr = code.deployment_address(Address::from_low(1), 0);
+        assert!(state.contract(addr).is_some());
+        assert!(ctx.receipt.gas_used() > Gas::BASE_TX);
+    }
+
+    #[test]
+    fn failed_contract_call_keeps_nonce_and_charges_gas() {
+        let mut state = funded_state(1);
+        let bad = Address::from_low(600);
+        state.deploy_contract(bad, Arc::new(Contract::always_revert()));
+        let tx = AccountTransaction::contract_call(
+            Address::from_low(1),
+            bad,
+            Amount::from_sats(10),
+            vec![],
+            0,
+        );
+        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        assert!(!ctx.receipt.succeeded());
+        assert!(ctx.receipt.gas_used() >= Gas::BASE_TX);
+        // Value transfer was reverted, but the nonce advanced.
+        assert_eq!(state.balance(bad), Amount::ZERO);
+        assert_eq!(state.nonce(Address::from_low(1)), 1);
+    }
+
+    #[test]
+    fn executing_a_block_produces_one_receipt_per_transaction() {
+        let mut state = funded_state(3);
+        let block = BlockBuilder::new(1, 0, Address::from_low(99))
+            .transaction(AccountTransaction::transfer(
+                Address::from_low(1),
+                Address::from_low(2),
+                Amount::from_coins(1),
+                0,
+            ))
+            .transaction(AccountTransaction::transfer(
+                Address::from_low(2),
+                Address::from_low(3),
+                Amount::from_coins(1),
+                0,
+            ))
+            // Bad nonce: recorded as failed receipt, not an error.
+            .transaction(AccountTransaction::transfer(
+                Address::from_low(3),
+                Address::from_low(1),
+                Amount::from_coins(1),
+                7,
+            ))
+            .build();
+        let executed = BlockExecutor::new().execute_block(&mut state, &block).unwrap();
+        assert_eq!(executed.receipts().len(), 3);
+        assert!(executed.receipts()[0].succeeded());
+        assert!(executed.receipts()[1].succeeded());
+        assert!(!executed.receipts()[2].succeeded());
+    }
+
+    #[test]
+    fn journal_in_context_can_revert_a_committed_transaction() {
+        let mut state = funded_state(2);
+        let before_balance = state.balance(Address::from_low(2));
+        let tx = AccountTransaction::transfer(
+            Address::from_low(1),
+            Address::from_low(2),
+            Amount::from_coins(5),
+            0,
+        );
+        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        assert_ne!(state.balance(Address::from_low(2)), before_balance);
+        state.revert(ctx.journal);
+        assert_eq!(state.balance(Address::from_low(2)), before_balance);
+        assert_eq!(state.nonce(Address::from_low(1)), 0);
+    }
+
+    #[test]
+    fn intrinsic_gas_too_low_fails_but_advances_nonce() {
+        let mut state = funded_state(2);
+        let tx = AccountTransaction::transfer(
+            Address::from_low(1),
+            Address::from_low(2),
+            Amount::from_coins(1),
+            0,
+        )
+        .with_gas_limit(Gas::new(1_000));
+        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        assert!(!ctx.receipt.succeeded());
+        assert_eq!(ctx.receipt.gas_used(), Gas::new(1_000));
+        assert_eq!(state.nonce(Address::from_low(1)), 1);
+        assert_eq!(state.balance(Address::from_low(2)), Amount::from_coins(100));
+    }
+}

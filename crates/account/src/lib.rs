@@ -1,0 +1,60 @@
+//! Account-based ledger substrate with a gas-metered contract virtual machine
+//! (Ethereum, Ethereum Classic, Zilliqa).
+//!
+//! The paper's account-model analysis needs three things from the substrate:
+//!
+//! 1. **Addresses and transactions** — every transaction has a sender and a receiver
+//!    address, and those addresses become the nodes of the transaction dependency
+//!    graph (TDG).
+//! 2. **Internal transactions** — contract-to-contract calls that do not appear as
+//!    block transactions but still create TDG edges (the paper extracts them from geth
+//!    traces). Here they are produced by actually executing contracts in a small
+//!    stack-based virtual machine ([`vm`]) with gas metering.
+//! 3. **Gas accounting** — Ethereum's conflict metrics are additionally weighted by
+//!    gas, so every execution reports the gas it consumed.
+//!
+//! The crate therefore provides a world state ([`WorldState`]), transactions
+//! ([`AccountTransaction`]), a contract VM, a sequential block executor
+//! ([`BlockExecutor`]) that produces receipts with call traces, and the
+//! per-transaction read/write [`AccessSet`]s that the parallel execution engines in
+//! `blockconc-execution` rely on for conflict detection.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockconc_types::{Address, Amount, Gas};
+//! use blockconc_account::{AccountTransaction, BlockBuilder, BlockExecutor, WorldState};
+//!
+//! let alice = Address::from_low(1);
+//! let bob = Address::from_low(2);
+//! let mut state = WorldState::new();
+//! state.credit(alice, Amount::from_coins(10));
+//!
+//! let tx = AccountTransaction::transfer(alice, bob, Amount::from_coins(1), 0);
+//! let block = BlockBuilder::new(1, 1_500_000_000, Address::from_low(99))
+//!     .transaction(tx)
+//!     .build();
+//!
+//! let executed = BlockExecutor::new().execute_block(&mut state, &block).unwrap();
+//! assert_eq!(executed.receipts().len(), 1);
+//! assert!(executed.receipts()[0].succeeded());
+//! assert_eq!(state.balance(bob), Amount::from_coins(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod account;
+mod block;
+mod executor;
+mod receipt;
+mod state;
+mod transaction;
+pub mod vm;
+
+pub use account::Account;
+pub use block::{AccountBlock, BlockBuilder, ExecutedBlock};
+pub use executor::{BlockExecutor, TxContext};
+pub use receipt::{InternalTransaction, Receipt};
+pub use state::{AccessSet, Journal, StateKey, WorldState};
+pub use transaction::{AccountTransaction, TxPayload};

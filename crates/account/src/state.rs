@@ -1,0 +1,456 @@
+//! World state, rollback journal and per-transaction access sets.
+
+use crate::vm::Contract;
+use crate::Account;
+use blockconc_types::{Address, Amount, Error, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A key identifying one piece of mutable state, used by access tracking and by the
+/// optimistic-concurrency engines in `blockconc-execution`.
+///
+/// Balance and nonce are tracked at account granularity; contract storage is tracked
+/// per slot, matching the storage-level conflict definition of Saraph & Herlihy that
+/// the paper compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StateKey {
+    /// The balance (and nonce) of an account.
+    Balance(Address),
+    /// One storage slot of a contract account.
+    Storage(Address, u64),
+}
+
+/// The read and write sets collected while executing one transaction.
+///
+/// Two transactions conflict at the storage layer iff one writes a key the other reads
+/// or writes.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_types::Address;
+/// use blockconc_account::{AccessSet, StateKey};
+///
+/// let mut a = AccessSet::new();
+/// a.record_write(StateKey::Balance(Address::from_low(1)));
+/// let mut b = AccessSet::new();
+/// b.record_read(StateKey::Balance(Address::from_low(1)));
+/// assert!(a.conflicts_with(&b));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessSet {
+    reads: HashSet<StateKey>,
+    writes: HashSet<StateKey>,
+}
+
+impl AccessSet {
+    /// Creates an empty access set.
+    pub fn new() -> Self {
+        AccessSet::default()
+    }
+
+    /// Records a read of `key`.
+    pub fn record_read(&mut self, key: StateKey) {
+        self.reads.insert(key);
+    }
+
+    /// Records a write of `key`.
+    pub fn record_write(&mut self, key: StateKey) {
+        self.writes.insert(key);
+    }
+
+    /// Keys read by the transaction.
+    pub fn reads(&self) -> &HashSet<StateKey> {
+        &self.reads
+    }
+
+    /// Keys written by the transaction.
+    pub fn writes(&self) -> &HashSet<StateKey> {
+        &self.writes
+    }
+
+    /// Returns `true` if this access set conflicts with `other`: a write in one
+    /// intersects a read or write in the other.
+    pub fn conflicts_with(&self, other: &AccessSet) -> bool {
+        self.writes
+            .iter()
+            .any(|k| other.writes.contains(k) || other.reads.contains(k))
+            || other.writes.iter().any(|k| self.reads.contains(k))
+    }
+
+    /// Merges another access set into this one (used when a transaction triggers
+    /// nested contract calls).
+    pub fn merge(&mut self, other: &AccessSet) {
+        self.reads.extend(other.reads.iter().copied());
+        self.writes.extend(other.writes.iter().copied());
+    }
+
+    /// Returns `true` if neither reads nor writes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+}
+
+/// An undo journal recording the previous values of everything a transaction mutated,
+/// so a failing transaction can be rolled back without cloning the whole state.
+#[derive(Debug, Default)]
+pub struct Journal {
+    ops: Vec<UndoOp>,
+}
+
+#[derive(Debug)]
+enum UndoOp {
+    Balance(Address, Amount),
+    Nonce(Address, u64),
+    Storage(Address, u64, u64),
+    Created(Address),
+}
+
+impl Journal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Number of recorded undo operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if nothing has been journalled.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// A checkpoint that can later be passed to [`WorldState::revert_to`] to undo only
+    /// the operations recorded after this point (nested-call rollback).
+    pub fn checkpoint(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// The global state of an account-based blockchain: a map from addresses to accounts.
+///
+/// All mutating operations can be journalled (pass a [`Journal`]) so that a failed
+/// transaction can be reverted precisely; this mirrors how real execution clients
+/// handle reverts and is also what allows speculative executors to roll back
+/// conflicting transactions.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_types::{Address, Amount};
+/// use blockconc_account::WorldState;
+///
+/// let mut state = WorldState::new();
+/// state.credit(Address::from_low(1), Amount::from_coins(5));
+/// assert_eq!(state.balance(Address::from_low(1)), Amount::from_coins(5));
+/// assert_eq!(state.balance(Address::from_low(2)), Amount::ZERO);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WorldState {
+    accounts: HashMap<Address, Account>,
+}
+
+impl WorldState {
+    /// Creates an empty world state.
+    pub fn new() -> Self {
+        WorldState::default()
+    }
+
+    /// Number of accounts that exist (have been touched at least once).
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Returns a reference to an account if it exists.
+    pub fn account(&self, address: Address) -> Option<&Account> {
+        self.accounts.get(&address)
+    }
+
+    /// Returns `true` if the account exists.
+    pub fn contains(&self, address: Address) -> bool {
+        self.accounts.contains_key(&address)
+    }
+
+    /// The balance of `address` (zero if the account does not exist).
+    pub fn balance(&self, address: Address) -> Amount {
+        self.accounts
+            .get(&address)
+            .map(|a| a.balance())
+            .unwrap_or(Amount::ZERO)
+    }
+
+    /// The nonce of `address` (zero if the account does not exist).
+    pub fn nonce(&self, address: Address) -> u64 {
+        self.accounts.get(&address).map(|a| a.nonce()).unwrap_or(0)
+    }
+
+    /// The contract deployed at `address`, if any.
+    pub fn contract(&self, address: Address) -> Option<Arc<Contract>> {
+        self.accounts
+            .get(&address)
+            .and_then(|a| a.code())
+            .cloned()
+    }
+
+    /// Reads a storage slot of `address` (zero when absent).
+    pub fn storage(&self, address: Address, key: u64) -> u64 {
+        self.accounts
+            .get(&address)
+            .map(|a| a.storage_get(key))
+            .unwrap_or(0)
+    }
+
+    fn entry(&mut self, address: Address, journal: Option<&mut Journal>) -> &mut Account {
+        if !self.accounts.contains_key(&address) {
+            if let Some(j) = journal {
+                j.ops.push(UndoOp::Created(address));
+            }
+            self.accounts.insert(address, Account::new());
+        }
+        self.accounts.get_mut(&address).expect("just inserted")
+    }
+
+    /// Adds `value` to the balance of `address` (creating the account if needed).
+    pub fn credit(&mut self, address: Address, value: Amount) {
+        self.credit_journalled(address, value, None);
+    }
+
+    /// Adds `value` to the balance of `address`, journalling the old balance.
+    pub fn credit_journalled(
+        &mut self,
+        address: Address,
+        value: Amount,
+        mut journal: Option<&mut Journal>,
+    ) {
+        let acct = self.entry(address, journal.as_deref_mut());
+        if let Some(j) = journal {
+            j.ops.push(UndoOp::Balance(address, acct.balance()));
+        }
+        acct.credit(value);
+    }
+
+    /// Removes `value` from the balance of `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InsufficientFunds`] (without modifying state) if the balance is
+    /// too low, or [`Error::MissingState`] if the account does not exist.
+    pub fn debit(&mut self, address: Address, value: Amount) -> Result<()> {
+        self.debit_journalled(address, value, None)
+    }
+
+    /// Removes `value` from the balance of `address`, journalling the old balance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WorldState::debit`].
+    pub fn debit_journalled(
+        &mut self,
+        address: Address,
+        value: Amount,
+        journal: Option<&mut Journal>,
+    ) -> Result<()> {
+        let acct = self
+            .accounts
+            .get_mut(&address)
+            .ok_or_else(|| Error::missing_state(format!("account {address} does not exist")))?;
+        let old = acct.balance();
+        if !acct.debit(value) {
+            return Err(Error::insufficient_funds(format!(
+                "account {address} holds {} but tried to spend {}",
+                old.sats(),
+                value.sats()
+            )));
+        }
+        if let Some(j) = journal {
+            j.ops.push(UndoOp::Balance(address, old));
+        }
+        Ok(())
+    }
+
+    /// Increments the nonce of `address`, journalling the old nonce.
+    pub fn bump_nonce(&mut self, address: Address, mut journal: Option<&mut Journal>) {
+        let acct = self.entry(address, journal.as_deref_mut());
+        if let Some(j) = journal {
+            j.ops.push(UndoOp::Nonce(address, acct.nonce()));
+        }
+        acct.bump_nonce();
+    }
+
+    /// Writes a storage slot, journalling the previous value.
+    pub fn storage_set(
+        &mut self,
+        address: Address,
+        key: u64,
+        value: u64,
+        mut journal: Option<&mut Journal>,
+    ) {
+        let acct = self.entry(address, journal.as_deref_mut());
+        let old = acct.storage_set(key, value);
+        if let Some(j) = journal {
+            j.ops.push(UndoOp::Storage(address, key, old));
+        }
+    }
+
+    /// Deploys a contract at `address` (overwriting any existing code).
+    pub fn deploy_contract(&mut self, address: Address, contract: Arc<Contract>) {
+        self.entry(address, None).set_code(contract);
+    }
+
+    /// Reverts every operation recorded in `journal`, most recent first.
+    pub fn revert(&mut self, mut journal: Journal) {
+        self.revert_to(&mut journal, 0);
+    }
+
+    /// Reverts (and removes) every journal operation recorded after `checkpoint`,
+    /// most recent first, leaving earlier operations in place.
+    ///
+    /// Used for nested-call rollback: a failing inner contract call undoes only its own
+    /// state changes while the enclosing transaction continues.
+    pub fn revert_to(&mut self, journal: &mut Journal, checkpoint: usize) {
+        while journal.ops.len() > checkpoint {
+            let op = journal.ops.pop().expect("length checked");
+            self.apply_undo(op);
+        }
+    }
+
+    fn apply_undo(&mut self, op: UndoOp) {
+        {
+            match op {
+                UndoOp::Balance(addr, old) => {
+                    if let Some(acct) = self.accounts.get_mut(&addr) {
+                        acct.set_balance(old);
+                    }
+                }
+                UndoOp::Nonce(addr, old) => {
+                    if let Some(acct) = self.accounts.get_mut(&addr) {
+                        acct.set_nonce(old);
+                    }
+                }
+                UndoOp::Storage(addr, key, old) => {
+                    if let Some(acct) = self.accounts.get_mut(&addr) {
+                        acct.storage_set(key, old);
+                    }
+                }
+                UndoOp::Created(addr) => {
+                    self.accounts.remove(&addr);
+                }
+            }
+        }
+    }
+
+    /// Iterates over all (address, account) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &Account)> {
+        self.accounts.iter()
+    }
+
+    /// Sum of all account balances (conserved by transfers; useful as an invariant).
+    pub fn total_supply(&self) -> Amount {
+        self.accounts.values().map(|a| a.balance()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::OpCode;
+
+    #[test]
+    fn credit_creates_accounts_and_debit_requires_existence() {
+        let mut state = WorldState::new();
+        assert!(state.debit(Address::from_low(1), Amount::from_sats(1)).is_err());
+        state.credit(Address::from_low(1), Amount::from_sats(10));
+        assert!(state.debit(Address::from_low(1), Amount::from_sats(4)).is_ok());
+        assert_eq!(state.balance(Address::from_low(1)), Amount::from_sats(6));
+        assert!(state
+            .debit(Address::from_low(1), Amount::from_sats(100))
+            .is_err());
+    }
+
+    #[test]
+    fn journal_revert_restores_balances_nonces_storage_and_creations() {
+        let mut state = WorldState::new();
+        let a = Address::from_low(1);
+        let b = Address::from_low(2);
+        state.credit(a, Amount::from_sats(100));
+        state.storage_set(a, 3, 7, None);
+        let snapshot_balance = state.balance(a);
+        let snapshot_accounts = state.account_count();
+
+        let mut journal = Journal::new();
+        state
+            .debit_journalled(a, Amount::from_sats(30), Some(&mut journal))
+            .unwrap();
+        state.credit_journalled(b, Amount::from_sats(30), Some(&mut journal));
+        state.bump_nonce(a, Some(&mut journal));
+        state.storage_set(a, 3, 99, Some(&mut journal));
+        state.storage_set(a, 4, 1, Some(&mut journal));
+        assert!(!journal.is_empty());
+
+        state.revert(journal);
+        assert_eq!(state.balance(a), snapshot_balance);
+        assert_eq!(state.nonce(a), 0);
+        assert_eq!(state.storage(a, 3), 7);
+        assert_eq!(state.storage(a, 4), 0);
+        assert_eq!(state.account_count(), snapshot_accounts);
+        assert!(!state.contains(b));
+    }
+
+    #[test]
+    fn total_supply_is_conserved_by_transfers() {
+        let mut state = WorldState::new();
+        state.credit(Address::from_low(1), Amount::from_coins(3));
+        state.credit(Address::from_low(2), Amount::from_coins(2));
+        let before = state.total_supply();
+        state.debit(Address::from_low(1), Amount::from_coins(1)).unwrap();
+        state.credit(Address::from_low(2), Amount::from_coins(1));
+        assert_eq!(state.total_supply(), before);
+    }
+
+    #[test]
+    fn contract_deployment_is_visible() {
+        let mut state = WorldState::new();
+        let addr = Address::from_low(42);
+        assert!(state.contract(addr).is_none());
+        state.deploy_contract(addr, Arc::new(Contract::new(vec![OpCode::Stop])));
+        assert!(state.contract(addr).is_some());
+        assert!(state.account(addr).unwrap().is_contract());
+    }
+
+    #[test]
+    fn access_set_conflict_rules() {
+        let k1 = StateKey::Balance(Address::from_low(1));
+        let k2 = StateKey::Storage(Address::from_low(1), 0);
+
+        let mut w1 = AccessSet::new();
+        w1.record_write(k1);
+        let mut r1 = AccessSet::new();
+        r1.record_read(k1);
+        let mut rw2 = AccessSet::new();
+        rw2.record_read(k2);
+        rw2.record_write(k2);
+
+        assert!(w1.conflicts_with(&r1));
+        assert!(r1.conflicts_with(&w1));
+        assert!(!r1.conflicts_with(&r1.clone())); // read-read never conflicts
+        assert!(!w1.conflicts_with(&rw2)); // disjoint keys
+        assert!(w1.conflicts_with(&w1.clone())); // write-write conflicts
+    }
+
+    #[test]
+    fn access_set_merge_unions_keys() {
+        let k1 = StateKey::Balance(Address::from_low(1));
+        let k2 = StateKey::Balance(Address::from_low(2));
+        let mut a = AccessSet::new();
+        a.record_read(k1);
+        let mut b = AccessSet::new();
+        b.record_write(k2);
+        a.merge(&b);
+        assert!(a.reads().contains(&k1));
+        assert!(a.writes().contains(&k2));
+        assert!(!a.is_empty());
+    }
+}

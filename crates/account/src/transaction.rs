@@ -1,0 +1,286 @@
+//! Account-model transactions.
+
+use crate::vm::Contract;
+use blockconc_types::{Address, Amount, Gas, TxId};
+ 
+use std::sync::Arc;
+
+/// What an account transaction does when executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxPayload {
+    /// Move `value` from the sender to the receiver (no code execution unless the
+    /// receiver is a contract, in which case the contract runs with empty arguments).
+    Transfer,
+    /// Call the contract at the receiver address with the given arguments.
+    ContractCall {
+        /// Call arguments made available to the contract via `Arg(n)`.
+        args: Vec<u64>,
+    },
+    /// Deploy new contract code; the receiver address is ignored and the deployment
+    /// address is derived from the sender and nonce.
+    ContractCreate {
+        /// The code to deploy.
+        code: Arc<Contract>,
+    },
+}
+
+/// A transaction of an account-based blockchain.
+///
+/// Every transaction has a sender and a receiver address; these two endpoints — plus
+/// the endpoints of any internal transactions its execution produces — are what the
+/// paper's dependency graph is built from.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_types::{Address, Amount};
+/// use blockconc_account::AccountTransaction;
+///
+/// let tx = AccountTransaction::transfer(
+///     Address::from_low(1), Address::from_low(2), Amount::from_sats(100), 0);
+/// assert_eq!(tx.sender(), Address::from_low(1));
+/// assert_eq!(tx.receiver(), Address::from_low(2));
+/// assert!(!tx.is_contract_creation());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccountTransaction {
+    id: TxId,
+    sender: Address,
+    receiver: Address,
+    value: Amount,
+    gas_limit: Gas,
+    nonce: u64,
+    payload: TxPayload,
+}
+
+impl AccountTransaction {
+    /// Default gas limit used by the convenience constructors; generous enough for the
+    /// contract templates shipped with the VM.
+    pub const DEFAULT_GAS_LIMIT: Gas = Gas::new(2_000_000);
+
+    /// Creates a plain value transfer.
+    pub fn transfer(sender: Address, receiver: Address, value: Amount, nonce: u64) -> Self {
+        Self::with_payload(
+            sender,
+            receiver,
+            value,
+            Self::DEFAULT_GAS_LIMIT,
+            nonce,
+            TxPayload::Transfer,
+        )
+    }
+
+    /// Creates a contract call.
+    pub fn contract_call(
+        sender: Address,
+        contract: Address,
+        value: Amount,
+        args: Vec<u64>,
+        nonce: u64,
+    ) -> Self {
+        Self::with_payload(
+            sender,
+            contract,
+            value,
+            Self::DEFAULT_GAS_LIMIT,
+            nonce,
+            TxPayload::ContractCall { args },
+        )
+    }
+
+    /// Creates a contract deployment.
+    pub fn contract_create(sender: Address, code: Arc<Contract>, nonce: u64) -> Self {
+        Self::with_payload(
+            sender,
+            Address::ZERO,
+            Amount::ZERO,
+            Self::DEFAULT_GAS_LIMIT,
+            nonce,
+            TxPayload::ContractCreate { code },
+        )
+    }
+
+    /// Creates a transaction with an explicit payload and gas limit.
+    pub fn with_payload(
+        sender: Address,
+        receiver: Address,
+        value: Amount,
+        gas_limit: Gas,
+        nonce: u64,
+        payload: TxPayload,
+    ) -> Self {
+        let id = Self::compute_id(sender, receiver, value, nonce, &payload);
+        AccountTransaction {
+            id,
+            sender,
+            receiver,
+            value,
+            gas_limit,
+            nonce,
+            payload,
+        }
+    }
+
+    fn compute_id(
+        sender: Address,
+        receiver: Address,
+        value: Amount,
+        nonce: u64,
+        payload: &TxPayload,
+    ) -> TxId {
+        let mut data = Vec::with_capacity(64);
+        data.extend_from_slice(sender.as_bytes());
+        data.extend_from_slice(receiver.as_bytes());
+        data.extend_from_slice(&value.sats().to_le_bytes());
+        data.extend_from_slice(&nonce.to_le_bytes());
+        match payload {
+            TxPayload::Transfer => data.push(0),
+            TxPayload::ContractCall { args } => {
+                data.push(1);
+                for a in args {
+                    data.extend_from_slice(&a.to_le_bytes());
+                }
+            }
+            TxPayload::ContractCreate { code } => {
+                data.push(2);
+                data.extend_from_slice(code.code_hash().as_bytes());
+            }
+        }
+        TxId::of_bytes(&data)
+    }
+
+    /// The transaction id.
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    /// The sending address.
+    pub fn sender(&self) -> Address {
+        self.sender
+    }
+
+    /// The receiving address (the deployment placeholder [`Address::ZERO`] for
+    /// contract creations).
+    pub fn receiver(&self) -> Address {
+        self.receiver
+    }
+
+    /// The value transferred with the transaction.
+    pub fn value(&self) -> Amount {
+        self.value
+    }
+
+    /// The gas limit.
+    pub fn gas_limit(&self) -> Gas {
+        self.gas_limit
+    }
+
+    /// Overrides the gas limit (builder-style).
+    pub fn with_gas_limit(mut self, gas_limit: Gas) -> Self {
+        self.gas_limit = gas_limit;
+        self
+    }
+
+    /// The sender's nonce for this transaction.
+    pub fn nonce(&self) -> u64 {
+        self.nonce
+    }
+
+    /// The payload.
+    pub fn payload(&self) -> &TxPayload {
+        &self.payload
+    }
+
+    /// Returns `true` if this transaction deploys a contract.
+    pub fn is_contract_creation(&self) -> bool {
+        matches!(self.payload, TxPayload::ContractCreate { .. })
+    }
+
+    /// Returns `true` if this transaction calls a contract (explicit call payload).
+    pub fn is_contract_call(&self) -> bool {
+        matches!(self.payload, TxPayload::ContractCall { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_depend_on_content_and_nonce() {
+        let a = AccountTransaction::transfer(
+            Address::from_low(1),
+            Address::from_low(2),
+            Amount::from_sats(5),
+            0,
+        );
+        let same = AccountTransaction::transfer(
+            Address::from_low(1),
+            Address::from_low(2),
+            Amount::from_sats(5),
+            0,
+        );
+        let other_nonce = AccountTransaction::transfer(
+            Address::from_low(1),
+            Address::from_low(2),
+            Amount::from_sats(5),
+            1,
+        );
+        assert_eq!(a.id(), same.id());
+        assert_ne!(a.id(), other_nonce.id());
+    }
+
+    #[test]
+    fn payload_classification() {
+        let transfer = AccountTransaction::transfer(
+            Address::from_low(1),
+            Address::from_low(2),
+            Amount::ZERO,
+            0,
+        );
+        let call = AccountTransaction::contract_call(
+            Address::from_low(1),
+            Address::from_low(9),
+            Amount::ZERO,
+            vec![1, 2],
+            0,
+        );
+        let create =
+            AccountTransaction::contract_create(Address::from_low(1), Arc::new(Contract::noop()), 0);
+        assert!(!transfer.is_contract_call() && !transfer.is_contract_creation());
+        assert!(call.is_contract_call());
+        assert!(create.is_contract_creation());
+        assert_eq!(create.receiver(), Address::ZERO);
+    }
+
+    #[test]
+    fn gas_limit_override() {
+        let tx = AccountTransaction::transfer(
+            Address::from_low(1),
+            Address::from_low(2),
+            Amount::ZERO,
+            0,
+        )
+        .with_gas_limit(Gas::new(50_000));
+        assert_eq!(tx.gas_limit(), Gas::new(50_000));
+    }
+
+    #[test]
+    fn distinct_payloads_distinct_ids() {
+        let call_a = AccountTransaction::contract_call(
+            Address::from_low(1),
+            Address::from_low(9),
+            Amount::ZERO,
+            vec![1],
+            0,
+        );
+        let call_b = AccountTransaction::contract_call(
+            Address::from_low(1),
+            Address::from_low(9),
+            Amount::ZERO,
+            vec![2],
+            0,
+        );
+        assert_ne!(call_a.id(), call_b.id());
+    }
+}

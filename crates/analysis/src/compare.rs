@@ -1,0 +1,155 @@
+//! Multi-chain comparisons (Figures 7, 8 and 9).
+
+use crate::{Dataset, MetricKind, Series};
+use blockconc_chainsim::{ChainId, DataModel};
+use blockconc_graph::BlockWeight;
+
+/// The per-data-model grouping of Figure 7: one set of series for the account-based
+/// chains and one for the UTXO-based chains.
+#[derive(Debug, Clone)]
+pub struct ModelComparison {
+    /// Series for the account-based chains (Ethereum, Ethereum Classic, Zilliqa).
+    pub account_chains: Vec<Series>,
+    /// Series for the UTXO-based chains (Bitcoin, Bitcoin Cash, Litecoin, Dogecoin).
+    pub utxo_chains: Vec<Series>,
+}
+
+/// Computes, for every chain in the dataset, the bucketed weighted series of `metric`,
+/// grouped by data model — the layout of the paper's Figure 7 (and, for
+/// [`MetricKind::GroupConflictRate`], its panels (c) and (d)).
+pub fn by_data_model(
+    dataset: &Dataset,
+    metric: MetricKind,
+    weight: BlockWeight,
+    buckets: usize,
+) -> ModelComparison {
+    let mut account_chains = Vec::new();
+    let mut utxo_chains = Vec::new();
+    for chain in dataset.chains() {
+        if let Some(series) = dataset.series(chain, metric, weight, buckets) {
+            match chain.profile().data_model {
+                DataModel::Account => account_chains.push(series),
+                DataModel::Utxo => utxo_chains.push(series),
+            }
+        }
+    }
+    ModelComparison {
+        account_chains,
+        utxo_chains,
+    }
+}
+
+/// A side-by-side comparison of two chains over several metrics — the layout of the
+/// paper's Figures 8 (Ethereum vs Ethereum Classic) and 9 (Bitcoin vs Bitcoin Cash).
+#[derive(Debug, Clone)]
+pub struct PairComparison {
+    /// The first (parent) chain.
+    pub left: ChainId,
+    /// The second (fork) chain.
+    pub right: ChainId,
+    /// For each requested metric, the pair of series `(left, right)`.
+    pub panels: Vec<(MetricKind, Series, Series)>,
+}
+
+/// Builds a pairwise comparison of `left` and `right` over `metrics`.
+///
+/// Returns `None` if either chain is missing from the dataset.
+pub fn pairwise(
+    dataset: &Dataset,
+    left: ChainId,
+    right: ChainId,
+    metrics: &[MetricKind],
+    weight: BlockWeight,
+    buckets: usize,
+) -> Option<PairComparison> {
+    let mut panels = Vec::with_capacity(metrics.len());
+    for &metric in metrics {
+        let l = dataset.series(left, metric, weight, buckets)?;
+        let r = dataset.series(right, metric, weight, buckets)?;
+        panels.push((metric, l, r));
+    }
+    Some(PairComparison {
+        left,
+        right,
+        panels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_chainsim::HistoryConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(
+            &[ChainId::Litecoin, ChainId::Dogecoin, ChainId::EthereumClassic],
+            HistoryConfig::new(4, 1, 5),
+        )
+    }
+
+    #[test]
+    fn grouping_by_data_model_splits_chains() {
+        let comparison = by_data_model(
+            &dataset(),
+            MetricKind::SingleTxConflictRate,
+            BlockWeight::TxCount,
+            2,
+        );
+        assert_eq!(comparison.utxo_chains.len(), 2);
+        assert_eq!(comparison.account_chains.len(), 1);
+        assert_eq!(comparison.account_chains[0].label(), "Ethereum Classic");
+    }
+
+    #[test]
+    fn account_chains_show_more_conflict_than_utxo_chains() {
+        let comparison = by_data_model(
+            &dataset(),
+            MetricKind::SingleTxConflictRate,
+            BlockWeight::TxCount,
+            2,
+        );
+        let max_utxo = comparison
+            .utxo_chains
+            .iter()
+            .map(|s| s.mean())
+            .fold(0.0f64, f64::max);
+        let min_account = comparison
+            .account_chains
+            .iter()
+            .map(|s| s.mean())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_account > max_utxo,
+            "account {min_account} should exceed utxo {max_utxo}"
+        );
+    }
+
+    #[test]
+    fn pairwise_produces_one_panel_per_metric() {
+        let comparison = pairwise(
+            &dataset(),
+            ChainId::Litecoin,
+            ChainId::Dogecoin,
+            &[MetricKind::TxCount, MetricKind::GroupConflictRate],
+            BlockWeight::TxCount,
+            2,
+        )
+        .unwrap();
+        assert_eq!(comparison.panels.len(), 2);
+        assert_eq!(comparison.panels[0].1.label(), "Litecoin");
+        assert_eq!(comparison.panels[0].2.label(), "Dogecoin");
+    }
+
+    #[test]
+    fn pairwise_with_missing_chain_is_none() {
+        assert!(pairwise(
+            &dataset(),
+            ChainId::Bitcoin,
+            ChainId::Dogecoin,
+            &[MetricKind::TxCount],
+            BlockWeight::Unit,
+            2
+        )
+        .is_none());
+    }
+}

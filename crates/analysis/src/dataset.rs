@@ -1,0 +1,117 @@
+//! Multi-chain dataset management.
+
+use crate::{bucketed_series, MetricKind, Series};
+use blockconc_chainsim::{ChainHistory, ChainId, HistoryConfig};
+use blockconc_graph::BlockWeight;
+use std::collections::BTreeMap;
+
+/// A collection of simulated chain histories — the offline stand-in for the paper's
+/// BigQuery datasets (plus the custom Zilliqa crawl).
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_analysis::{Dataset, MetricKind};
+/// use blockconc_chainsim::{ChainId, HistoryConfig};
+/// use blockconc_graph::BlockWeight;
+///
+/// let dataset = Dataset::generate(&[ChainId::Litecoin, ChainId::Dogecoin],
+///                                 HistoryConfig::new(6, 2, 3));
+/// assert_eq!(dataset.chains().len(), 2);
+/// let series = dataset.series(ChainId::Litecoin, MetricKind::TxCount,
+///                             BlockWeight::Unit, 3).unwrap();
+/// assert_eq!(series.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    histories: BTreeMap<ChainId, ChainHistory>,
+}
+
+impl Dataset {
+    /// Generates histories for the given chains under one configuration.
+    pub fn generate(chains: &[ChainId], config: HistoryConfig) -> Self {
+        let histories = chains
+            .iter()
+            .map(|&chain| (chain, config.generate(chain)))
+            .collect();
+        Dataset { histories }
+    }
+
+    /// Generates histories for all seven chains of the paper.
+    pub fn generate_all(config: HistoryConfig) -> Self {
+        Self::generate(&ChainId::ALL, config)
+    }
+
+    /// Builds a dataset from pre-computed histories.
+    pub fn from_histories(histories: impl IntoIterator<Item = ChainHistory>) -> Self {
+        Dataset {
+            histories: histories.into_iter().map(|h| (h.chain(), h)).collect(),
+        }
+    }
+
+    /// The chains present in the dataset, in [`ChainId`] order.
+    pub fn chains(&self) -> Vec<ChainId> {
+        self.histories.keys().copied().collect()
+    }
+
+    /// The history of one chain, if present.
+    pub fn history(&self, chain: ChainId) -> Option<&ChainHistory> {
+        self.histories.get(&chain)
+    }
+
+    /// Computes a bucketed, weighted series of `metric` for `chain`.
+    ///
+    /// Returns `None` if the chain is not in the dataset.
+    pub fn series(
+        &self,
+        chain: ChainId,
+        metric: MetricKind,
+        weight: BlockWeight,
+        buckets: usize,
+    ) -> Option<Series> {
+        self.history(chain).map(|history| {
+            let series = bucketed_series(history.blocks(), metric, weight, buckets);
+            Series::new(chain.name(), series.points().to_vec())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_graph::BlockMetrics;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::generate(&[ChainId::Dogecoin], HistoryConfig::new(4, 1, 9))
+    }
+
+    #[test]
+    fn generated_dataset_contains_requested_chains() {
+        let dataset = tiny_dataset();
+        assert_eq!(dataset.chains(), vec![ChainId::Dogecoin]);
+        assert!(dataset.history(ChainId::Dogecoin).is_some());
+        assert!(dataset.history(ChainId::Bitcoin).is_none());
+        assert!(dataset.series(ChainId::Bitcoin, MetricKind::TxCount, BlockWeight::Unit, 2).is_none());
+    }
+
+    #[test]
+    fn series_are_labelled_with_the_chain_name() {
+        let dataset = tiny_dataset();
+        let series = dataset
+            .series(ChainId::Dogecoin, MetricKind::GroupConflictRate, BlockWeight::TxCount, 2)
+            .unwrap();
+        assert_eq!(series.label(), "Dogecoin");
+        assert!(!series.is_empty());
+    }
+
+    #[test]
+    fn from_histories_roundtrips() {
+        let history = ChainHistory::from_metrics(
+            ChainId::Zilliqa,
+            vec![BlockMetrics::new(1, 1_560_000_000, 5, 3, 3, 3)],
+        );
+        let dataset = Dataset::from_histories(vec![history]);
+        assert_eq!(dataset.chains(), vec![ChainId::Zilliqa]);
+        assert_eq!(dataset.history(ChainId::Zilliqa).unwrap().len(), 1);
+    }
+}

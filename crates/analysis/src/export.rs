@@ -1,0 +1,120 @@
+//! CSV and JSON export of series.
+
+use crate::Series;
+use blockconc_types::{Error, Result};
+
+/// Renders a set of series sharing a time axis as CSV: one `year` column followed by
+/// one column per series. Points are matched by position; series of different lengths
+/// are padded with empty cells.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_analysis::{export, Series, SeriesPoint};
+///
+/// let a = Series::new("Bitcoin", vec![SeriesPoint { year: 2018.0, value: 0.13 }]);
+/// let b = Series::new("Ethereum", vec![SeriesPoint { year: 2018.0, value: 0.62 }]);
+/// let csv = export::to_csv(&[a, b]);
+/// assert!(csv.starts_with("year,Bitcoin,Ethereum"));
+/// assert!(csv.lines().count() == 2);
+/// ```
+pub fn to_csv(series: &[Series]) -> String {
+    let mut out = String::from("year");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label().replace(',', ";"));
+    }
+    out.push('\n');
+
+    let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for row in 0..rows {
+        // Use the first series that has this row for the year column.
+        let year = series
+            .iter()
+            .find_map(|s| s.points().get(row).map(|p| p.year))
+            .unwrap_or(0.0);
+        out.push_str(&format!("{year:.3}"));
+        for s in series {
+            out.push(',');
+            if let Some(point) = s.points().get(row) {
+                out.push_str(&format!("{:.6}", point.value));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a set of series to pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if serialization fails (practically impossible for these
+/// plain data types, but surfaced rather than panicking).
+pub fn to_json(series: &[Series]) -> Result<String> {
+    serde_json::to_string_pretty(series)
+        .map_err(|e| Error::config(format!("failed to serialize series: {e}")))
+}
+
+/// Parses series back from JSON produced by [`to_json`].
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if the JSON does not describe a list of series.
+pub fn from_json(json: &str) -> Result<Vec<Series>> {
+    serde_json::from_str(json).map_err(|e| Error::config(format!("failed to parse series: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeriesPoint;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series::new(
+                "a",
+                vec![
+                    SeriesPoint { year: 2016.0, value: 1.0 },
+                    SeriesPoint { year: 2017.0, value: 2.0 },
+                ],
+            ),
+            Series::new("b", vec![SeriesPoint { year: 2016.0, value: 3.0 }]),
+        ]
+    }
+
+    #[test]
+    fn csv_has_header_and_padded_rows() {
+        let csv = to_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "year,a,b");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("1.000000") && lines[1].contains("3.000000"));
+        // Second row has an empty cell for the shorter series.
+        assert!(lines[2].ends_with(','));
+    }
+
+    #[test]
+    fn commas_in_labels_are_sanitized() {
+        let s = Series::new("a,b", vec![]);
+        assert!(to_csv(&[s]).starts_with("year,a;b"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let original = sample();
+        let json = to_json(&original).unwrap();
+        let parsed = from_json(&json).unwrap();
+        assert_eq!(original, parsed);
+    }
+
+    #[test]
+    fn invalid_json_is_an_error() {
+        assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_header_only() {
+        assert_eq!(to_csv(&[]), "year\n");
+    }
+}

@@ -1,0 +1,153 @@
+//! Plain-text rendering of tables and figure data (used by the `table1`/`figN`
+//! regeneration binaries).
+
+use crate::Series;
+use blockconc_chainsim::ChainId;
+
+/// Renders the paper's Table I (the seven-chain comparison) as an aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_analysis::report::table1;
+///
+/// let table = table1();
+/// assert!(table.contains("Bitcoin"));
+/// assert!(table.contains("PoW+Sharding"));
+/// assert!(table.lines().count() >= 9); // header + separator + 7 chains
+/// ```
+pub fn table1() -> String {
+    let mut rows: Vec<[String; 5]> = vec![[
+        "Blockchain".to_string(),
+        "Data model".to_string(),
+        "Consensus".to_string(),
+        "Smart contracts".to_string(),
+        "Data source".to_string(),
+    ]];
+    for chain in ChainId::ALL {
+        let p = chain.profile();
+        rows.push([
+            p.name.to_string(),
+            p.data_model.to_string(),
+            p.consensus.to_string(),
+            if p.smart_contracts { "Yes" } else { "No" }.to_string(),
+            p.data_source.to_string(),
+        ]);
+    }
+    render_rows(&rows)
+}
+
+/// Renders a set of series as an aligned text table with one row per time point and
+/// one column per series — the textual equivalent of one figure panel.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_analysis::{report, Series, SeriesPoint};
+///
+/// let s = Series::new("Ethereum", vec![SeriesPoint { year: 2018.5, value: 0.21 }]);
+/// let text = report::series_table("Group conflict rate", &[s]);
+/// assert!(text.contains("Group conflict rate"));
+/// assert!(text.contains("2018.50"));
+/// assert!(text.contains("0.210"));
+/// ```
+pub fn series_table(title: &str, series: &[Series]) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut header = vec!["year".to_string()];
+    header.extend(series.iter().map(|s| s.label().to_string()));
+    rows.push(header);
+
+    let max_len = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for i in 0..max_len {
+        let year = series
+            .iter()
+            .find_map(|s| s.points().get(i).map(|p| p.year))
+            .unwrap_or(0.0);
+        let mut row = vec![format!("{year:.2}")];
+        for s in series {
+            row.push(
+                s.points()
+                    .get(i)
+                    .map(|p| format!("{:.3}", p.value))
+                    .unwrap_or_default(),
+            );
+        }
+        rows.push(row);
+    }
+
+    let generic: Vec<Vec<String>> = rows;
+    format!("{title}\n{}", render_generic(&generic))
+}
+
+fn render_rows<const N: usize>(rows: &[[String; N]]) -> String {
+    let generic: Vec<Vec<String>> = rows.iter().map(|r| r.to_vec()).collect();
+    render_generic(&generic)
+}
+
+fn render_generic(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let columns = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; columns];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (row_idx, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| format!("{cell:<width$}", width = widths[i]))
+            .collect();
+        out.push_str(line.join("  ").trim_end());
+        out.push('\n');
+        if row_idx == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (columns - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeriesPoint;
+
+    #[test]
+    fn table1_lists_all_seven_chains() {
+        let table = table1();
+        for chain in ChainId::ALL {
+            assert!(table.contains(chain.name()), "missing {chain}");
+        }
+        assert!(table.contains("UTXO") && table.contains("Account"));
+        assert!(table.contains("custom client"));
+    }
+
+    #[test]
+    fn series_table_aligns_multiple_series() {
+        let a = Series::new(
+            "left",
+            vec![
+                SeriesPoint { year: 2016.0, value: 1.0 },
+                SeriesPoint { year: 2017.0, value: 2.0 },
+            ],
+        );
+        let b = Series::new("right", vec![SeriesPoint { year: 2016.0, value: 3.5 }]);
+        let text = series_table("panel", &[a, b]);
+        assert!(text.starts_with("panel\n"));
+        assert!(text.contains("left") && text.contains("right"));
+        assert!(text.contains("2017.00"));
+        assert_eq!(text.lines().count(), 5); // title, header, rule, 2 rows
+    }
+
+    #[test]
+    fn empty_series_table_still_has_header() {
+        let text = series_table("empty", &[]);
+        assert!(text.contains("year"));
+    }
+}

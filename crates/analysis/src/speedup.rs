@@ -1,0 +1,164 @@
+//! Speed-up extrapolation (Figure 10): conflict-rate series × analytical model.
+
+use crate::{MetricKind, Series, SeriesPoint};
+use blockconc_chainsim::ChainHistory;
+use blockconc_graph::BlockWeight;
+use blockconc_model::CoreSweep;
+
+/// The two panels of Figure 10 for one chain: speed-up series per core count, derived
+/// from the single-transaction conflict rate (Equation 1) and from the group conflict
+/// rate (Equation 2).
+#[derive(Debug, Clone)]
+pub struct SpeedupFigure {
+    /// Panel (a): speculative speed-ups, one series per core count.
+    pub speculative: Vec<Series>,
+    /// Panel (b): group-concurrency speed-ups, one series per core count.
+    pub group: Vec<Series>,
+}
+
+/// Computes the Figure-10 speed-up series for a chain history.
+///
+/// `buckets` controls the time resolution and `cores` the set of core counts (the
+/// paper uses 4, 8 and 64 — [`CoreSweep::figure10_cores`]). The average number of
+/// transactions per block (needed by Equation 1) is taken from the history itself.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_analysis::speedup::speedup_figure;
+/// use blockconc_chainsim::{ChainId, HistoryConfig};
+/// use blockconc_model::CoreSweep;
+///
+/// let history = HistoryConfig::new(6, 2, 1).generate(ChainId::EthereumClassic);
+/// let figure = speedup_figure(&history, 3, &CoreSweep::figure10_cores());
+/// assert_eq!(figure.speculative.len(), 3);
+/// assert_eq!(figure.group.len(), 3);
+/// ```
+pub fn speedup_figure(history: &ChainHistory, buckets: usize, cores: &CoreSweep) -> SpeedupFigure {
+    let single = crate::bucketed_series(
+        history.blocks(),
+        MetricKind::SingleTxConflictRate,
+        BlockWeight::TxCount,
+        buckets,
+    );
+    let group = crate::bucketed_series(
+        history.blocks(),
+        MetricKind::GroupConflictRate,
+        BlockWeight::TxCount,
+        buckets,
+    );
+    let avg_txs = if history.is_empty() {
+        1
+    } else {
+        (history
+            .blocks()
+            .iter()
+            .map(|m| m.tx_count() as f64)
+            .sum::<f64>()
+            / history.len() as f64)
+            .round()
+            .max(1.0) as u64
+    };
+
+    let speculative = cores
+        .speculative_series(&single.to_tuples(), avg_txs)
+        .into_iter()
+        .map(|(n, points)| {
+            Series::new(
+                format!("{n} cores"),
+                points
+                    .into_iter()
+                    .map(|p| SeriesPoint {
+                        year: p.year,
+                        value: p.speedup,
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let group = cores
+        .group_series(&group.to_tuples(), avg_txs)
+        .into_iter()
+        .map(|(n, points)| {
+            Series::new(
+                format!("{n} cores"),
+                points
+                    .into_iter()
+                    .map(|p| SeriesPoint {
+                        year: p.year,
+                        value: p.speedup,
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    SpeedupFigure { speculative, group }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_chainsim::ChainId;
+    use blockconc_graph::BlockMetrics;
+    use blockconc_types::Timestamp;
+
+    /// A synthetic Ethereum-like history with known conflict rates: single 0.6,
+    /// group 1/6.
+    fn synthetic_history() -> ChainHistory {
+        let blocks: Vec<BlockMetrics> = (0..10)
+            .map(|i| {
+                BlockMetrics::new(
+                    i,
+                    Timestamp::from_year_fraction(2018.0 + i as f64 / 10.0).as_unix(),
+                    120,
+                    72,
+                    20,
+                    60,
+                )
+            })
+            .collect();
+        ChainHistory::from_metrics(ChainId::Ethereum, blocks)
+    }
+
+    #[test]
+    fn group_speedups_reach_paper_magnitudes() {
+        let figure = speedup_figure(&synthetic_history(), 5, &CoreSweep::figure10_cores());
+        // With l = 1/6, Equation 2 gives 4x on 4 cores and 6x on 8 and 64 cores.
+        let by_label: std::collections::HashMap<&str, f64> = figure
+            .group
+            .iter()
+            .map(|s| (s.label(), s.last_value().unwrap()))
+            .collect();
+        assert!((by_label["4 cores"] - 4.0).abs() < 1e-9);
+        assert!((by_label["8 cores"] - 6.0).abs() < 0.01);
+        assert!((by_label["64 cores"] - 6.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn speculative_speedups_stay_modest() {
+        let figure = speedup_figure(&synthetic_history(), 5, &CoreSweep::figure10_cores());
+        for series in &figure.speculative {
+            let max = series.max_value().unwrap();
+            assert!(max < 2.0, "{}: {max}", series.label());
+            assert!(max > 0.5);
+        }
+    }
+
+    #[test]
+    fn group_beats_speculative_everywhere() {
+        let figure = speedup_figure(&synthetic_history(), 5, &CoreSweep::figure10_cores());
+        for (spec, group) in figure.speculative.iter().zip(figure.group.iter()) {
+            for (sp, gp) in spec.points().iter().zip(group.points()) {
+                assert!(gp.value >= sp.value);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_history_produces_empty_series() {
+        let history = ChainHistory::from_metrics(ChainId::Ethereum, vec![]);
+        let figure = speedup_figure(&history, 3, &CoreSweep::figure10_cores());
+        assert!(figure.speculative.iter().all(|s| s.is_empty()));
+        assert!(figure.group.iter().all(|s| s.is_empty()));
+    }
+}

@@ -1,0 +1,68 @@
+//! Benchmarks the three execution engines on the same Ethereum-style block — the
+//! wall-clock companion to the abstract-unit comparison of `model_validation`.
+
+use blockconc::chainsim::chains;
+use blockconc::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds an Ethereum-2018-style block plus the pre-block state needed to execute it.
+fn workload() -> (WorldState, blockconc::account::AccountBlock) {
+    let params = match chains::workload_params(ChainId::Ethereum, 2018.5) {
+        chains::WorkloadParams::Account(p) => p,
+        chains::WorkloadParams::Utxo(_) => unreachable!(),
+    };
+    let mut generator = AccountWorkloadGen::new(params, 3);
+    let executed = generator.generate_block(1, 0);
+    let block = executed.block().clone();
+    let mut state = WorldState::new();
+    for (addr, account) in generator.state().iter() {
+        if let Some(code) = account.code() {
+            state.deploy_contract(*addr, code.clone());
+        }
+    }
+    for tx in block.transactions() {
+        if state.balance(tx.sender()).is_zero() {
+            state.credit(tx.sender(), Amount::from_coins(10_000));
+        }
+    }
+    (state, block)
+}
+
+fn engines(c: &mut Criterion) {
+    let (state, block) = workload();
+    let mut group = c.benchmark_group("execution_engines");
+    group.sample_size(20);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            SequentialEngine::new().execute(&mut s, &block).unwrap()
+        })
+    });
+    for &threads in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("speculative", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut s = state.clone();
+                    SpeculativeEngine::new(threads).execute(&mut s, &block).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scheduled", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut s = state.clone();
+                    ScheduledEngine::new(threads).execute(&mut s, &block).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks the analytical speed-up model and the LPT scheduler — these must be
+//! cheap enough to evaluate per block inside a real client (the paper's preprocessing
+//! cost `K`).
+
+use blockconc::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn closed_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_forms");
+    group.bench_function("speculative_speedup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 1..=64usize {
+                acc += speculative_speedup(std::hint::black_box(2_000), 0.6, n);
+            }
+            acc
+        })
+    });
+    group.bench_function("group_speedup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 1..=64usize {
+                acc += group_speedup(std::hint::black_box(0.2), n);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn lpt_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lpt_makespan");
+    for &components in &[100usize, 2_000] {
+        // A skewed component-size profile: one large group plus a long tail.
+        let mut sizes: Vec<u64> = vec![components as u64 / 5];
+        sizes.extend(std::iter::repeat(1).take(components - 1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(components),
+            &sizes,
+            |b, sizes| b.iter(|| lpt_makespan(std::hint::black_box(sizes), 8)),
+        );
+    }
+    group.finish();
+}
+
+fn core_sweeps(c: &mut Criterion) {
+    let history = HistoryConfig::new(10, 2, 11).generate(ChainId::EthereumClassic);
+    c.bench_function("figure10_sweep", |b| {
+        b.iter(|| {
+            speedup::speedup_figure(
+                std::hint::black_box(&history),
+                10,
+                &CoreSweep::figure10_cores(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, closed_forms, lpt_scheduling, core_sweeps);
+criterion_main!(benches);

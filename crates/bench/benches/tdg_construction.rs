@@ -1,0 +1,44 @@
+//! Benchmarks TDG construction and metric extraction (the per-block cost of the
+//! paper's methodology) for UTXO and account blocks of increasing size.
+
+use blockconc::chainsim::chains;
+use blockconc::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn utxo_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tdg_utxo");
+    for &txs in &[100u64, 500, 2_000] {
+        let params = UtxoWorkloadParams {
+            txs_per_block: txs as f64,
+            extra_inputs_per_tx: 1.0,
+            intra_block_spend_prob: 0.09,
+            chain_continuation_prob: 0.8,
+            user_population: 20_000,
+        };
+        let block = UtxoWorkloadGen::new(params, 1).generate_block(1, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(txs), &block, |b, block| {
+            b.iter(|| build_utxo_tdg(std::hint::black_box(block)))
+        });
+    }
+    group.finish();
+}
+
+fn account_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tdg_account");
+    for &year in &[2016.0, 2018.5] {
+        let params = match chains::workload_params(ChainId::Ethereum, year) {
+            chains::WorkloadParams::Account(p) => p,
+            chains::WorkloadParams::Utxo(_) => unreachable!(),
+        };
+        let executed = AccountWorkloadGen::new(params, 2).generate_block(1, 0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("ethereum_{year}")),
+            &executed,
+            |b, executed| b.iter(|| build_account_tdg(std::hint::black_box(executed))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, utxo_blocks, account_blocks);
+criterion_main!(benches);

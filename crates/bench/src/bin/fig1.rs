@@ -1,0 +1,105 @@
+//! Regenerates Figure 1: the example transaction dependency graphs of Ethereum blocks
+//! 1000007 and 1000124, printed as Graphviz DOT together with their conflict metrics.
+//!
+//! Run with `cargo run -p blockconc-bench --bin fig1`.
+
+use blockconc::account::vm::Contract;
+use blockconc::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    block_1000007();
+    block_1000124();
+}
+
+fn print_block(name: &str, executed: &ExecutedBlock) {
+    let analysis = build_account_tdg(executed);
+    let m = analysis.metrics();
+    println!("=== {name} ===");
+    println!(
+        "transactions {:>3}   conflicted {:>3}   components {:>2}   LCC {:>2}   c = {:>5.3}   l = {:>5.3}",
+        m.tx_count(),
+        m.conflicted_count(),
+        m.component_count(),
+        m.lcc_size(),
+        m.single_tx_conflict_rate(),
+        m.group_conflict_rate()
+    );
+    println!("{}", tdg_to_dot(analysis.tdg(), name));
+}
+
+/// Figure 1a: five transactions, two of which share the DwarfPool sender.
+fn block_1000007() {
+    let mut state = WorldState::new();
+    let dwarfpool = Address::from_low(0x2a6);
+    let pairs = [
+        (Address::from_low(0xeb3), Address::from_low(0x828)),
+        (Address::from_low(0x529), Address::from_low(0x08a)),
+        (Address::from_low(0x125), Address::from_low(0xfbb)),
+        (dwarfpool, Address::from_low(0x24b)),
+        (dwarfpool, Address::from_low(0xc70)),
+    ];
+    let mut nonces = std::collections::HashMap::new();
+    let txs: Vec<_> = pairs
+        .iter()
+        .map(|&(from, to)| {
+            state.credit(from, Amount::from_coins(10));
+            let n = nonces.entry(from).or_insert(0u64);
+            let tx = AccountTransaction::transfer(from, to, Amount::from_coins(1), *n);
+            *n += 1;
+            tx
+        })
+        .collect();
+    let block = AccountBlockBuilder::new(1_000_007, 1_455_000_000, Address::from_low(0xf8b))
+        .transactions(txs)
+        .build();
+    let executed = BlockExecutor::new().execute_block(&mut state, &block).unwrap();
+    print_block("ethereum_block_1000007", &executed);
+}
+
+/// Figure 1b: sixteen transactions — nine Poloniex deposits, three calls through a
+/// proxy chain into the ElcoinDb contract, two DwarfPool sends and two independent
+/// transfers.
+fn block_1000124() {
+    let mut state = WorldState::new();
+    let poloniex = Address::from_low(0x32b);
+    let entry = Address::from_low(0x9af);
+    let middle = Address::from_low(0x115);
+    let elcoin = Address::from_low(0x276);
+    let dwarfpool = Address::from_low(0xd44);
+    state.deploy_contract(elcoin, Arc::new(Contract::counter()));
+    state.deploy_contract(middle, Arc::new(Contract::proxy(elcoin)));
+    state.deploy_contract(entry, Arc::new(Contract::proxy(middle)));
+
+    let mut txs = Vec::new();
+    let fund = |state: &mut WorldState, addr: Address| {
+        if state.balance(addr).is_zero() {
+            state.credit(addr, Amount::from_coins(100));
+        }
+    };
+    let a = Address::from_low(0x900);
+    fund(&mut state, a);
+    txs.push(AccountTransaction::transfer(a, Address::from_low(0x901), Amount::from_coins(1), 0));
+    for i in 0..9u64 {
+        let sender = Address::from_low(0xa00 + i);
+        fund(&mut state, sender);
+        txs.push(AccountTransaction::transfer(sender, poloniex, Amount::from_coins(1), 0));
+    }
+    for i in 0..3u64 {
+        let sender = Address::from_low(0xb00 + i);
+        fund(&mut state, sender);
+        txs.push(AccountTransaction::contract_call(sender, entry, Amount::from_sats(1_000), vec![], 0));
+    }
+    fund(&mut state, dwarfpool);
+    txs.push(AccountTransaction::transfer(dwarfpool, Address::from_low(0xc01), Amount::from_coins(1), 0));
+    txs.push(AccountTransaction::transfer(dwarfpool, Address::from_low(0xc02), Amount::from_coins(1), 1));
+    let b = Address::from_low(0x910);
+    fund(&mut state, b);
+    txs.push(AccountTransaction::transfer(b, Address::from_low(0x911), Amount::from_coins(1), 0));
+
+    let block = AccountBlockBuilder::new(1_000_124, 1_455_100_000, Address::from_low(0xf8b))
+        .transactions(txs)
+        .build();
+    let executed = BlockExecutor::new().execute_block(&mut state, &block).unwrap();
+    print_block("ethereum_block_1000124", &executed);
+}

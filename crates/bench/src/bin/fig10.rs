@@ -1,0 +1,37 @@
+//! Regenerates Figure 10: potential speed-ups for Ethereum under single-transaction
+//! and group concurrency, for 4, 8 and 64 cores.
+//!
+//! Run with `cargo run --release -p blockconc-bench --bin fig10`.
+
+use blockconc::prelude::*;
+use blockconc_bench::{history_for, print_panel, FIGURE_BUCKETS};
+
+fn main() {
+    let history = history_for(ChainId::Ethereum);
+    let figure = speedup::speedup_figure(&history, FIGURE_BUCKETS, &CoreSweep::figure10_cores());
+
+    print_panel(
+        "Figure 10a — single-transaction concurrency speed-ups (Eq. 1)",
+        &figure.speculative,
+    );
+    print_panel(
+        "Figure 10b — group concurrency speed-ups (Eq. 2)",
+        &figure.group,
+    );
+
+    let eight = figure
+        .group
+        .iter()
+        .find(|s| s.label() == "8 cores")
+        .and_then(|s| s.last_value())
+        .unwrap_or(0.0);
+    let sixty_four = figure
+        .group
+        .iter()
+        .find(|s| s.label() == "64 cores")
+        .and_then(|s| s.max_value())
+        .unwrap_or(0.0);
+    println!(
+        "headline numbers: latest 8-core group speed-up {eight:.1}x (paper: ~6x), peak 64-core {sixty_four:.1}x (paper: ~8x)"
+    );
+}

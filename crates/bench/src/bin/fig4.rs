@@ -1,0 +1,51 @@
+//! Regenerates Figure 4: Ethereum's transaction load and conflict rates over time.
+//!
+//! Run with `cargo run --release -p blockconc-bench --bin fig4`.
+
+use blockconc::prelude::*;
+use blockconc_bench::{chain_series, history_for, print_panel};
+
+fn main() {
+    let history = history_for(ChainId::Ethereum);
+    print_panel(
+        "Figure 4a — number of regular/total transactions per block",
+        &[
+            chain_series(&history, MetricKind::TxCount, BlockWeight::Unit, "regular TXs"),
+            chain_series(&history, MetricKind::TotalTxCount, BlockWeight::Unit, "all TXs"),
+        ],
+    );
+    print_panel(
+        "Figure 4b — single-transaction conflict rate (weighted)",
+        &[
+            chain_series(
+                &history,
+                MetricKind::SingleTxConflictRate,
+                BlockWeight::TxCount,
+                "#TX-weighted",
+            ),
+            chain_series(
+                &history,
+                MetricKind::GasConflictShare,
+                BlockWeight::Gas,
+                "gas-weighted",
+            ),
+        ],
+    );
+    print_panel(
+        "Figure 4c — group conflict rate (weighted)",
+        &[
+            chain_series(
+                &history,
+                MetricKind::GroupConflictRate,
+                BlockWeight::TxCount,
+                "#TX-weighted",
+            ),
+            chain_series(
+                &history,
+                MetricKind::GroupConflictRate,
+                BlockWeight::Gas,
+                "gas-weighted",
+            ),
+        ],
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figure 5: Bitcoin's transaction load and conflict rates over time.
+//!
+//! Run with `cargo run --release -p blockconc-bench --bin fig5`.
+
+use blockconc::prelude::*;
+use blockconc_bench::{chain_series, history_for, print_panel};
+
+fn main() {
+    let history = history_for(ChainId::Bitcoin);
+    print_panel(
+        "Figure 5a — number of transactions / input TXOs per block",
+        &[
+            chain_series(&history, MetricKind::TxCount, BlockWeight::Unit, "transactions"),
+            chain_series(&history, MetricKind::InputCount, BlockWeight::Unit, "input TXOs"),
+        ],
+    );
+    print_panel(
+        "Figure 5b — single-transaction conflict rate (weighted)",
+        &[chain_series(
+            &history,
+            MetricKind::SingleTxConflictRate,
+            BlockWeight::TxCount,
+            "Bitcoin",
+        )],
+    );
+    print_panel(
+        "Figure 5c — group conflict rate (weighted)",
+        &[chain_series(
+            &history,
+            MetricKind::GroupConflictRate,
+            BlockWeight::TxCount,
+            "Bitcoin",
+        )],
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 7: conflict rates of all seven blockchains, grouped by data
+//! model.
+//!
+//! Run with `cargo run --release -p blockconc-bench --bin fig7`.
+
+use blockconc::prelude::*;
+use blockconc_bench::{figure_config, print_panel, FIGURE_BUCKETS};
+
+fn main() {
+    eprintln!("[blockconc-bench] simulating all seven chains...");
+    let dataset = Dataset::generate_all(figure_config());
+
+    for (title, metric) in [
+        ("single-transaction conflict rate (weighted)", MetricKind::SingleTxConflictRate),
+        ("group conflict rate (weighted)", MetricKind::GroupConflictRate),
+    ] {
+        let comparison =
+            compare::by_data_model(&dataset, metric, BlockWeight::TxCount, FIGURE_BUCKETS);
+        print_panel(
+            &format!("Figure 7 — {title} — account-based chains"),
+            &comparison.account_chains,
+        );
+        print_panel(
+            &format!("Figure 7 — {title} — UTXO-based chains"),
+            &comparison.utxo_chains,
+        );
+    }
+}

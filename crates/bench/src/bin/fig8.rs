@@ -1,0 +1,30 @@
+//! Regenerates Figure 8: the detailed comparison of Ethereum and Ethereum Classic.
+//!
+//! Run with `cargo run --release -p blockconc-bench --bin fig8`.
+
+use blockconc::prelude::*;
+use blockconc_bench::{figure_config, print_panel, FIGURE_BUCKETS};
+
+fn main() {
+    let dataset = Dataset::generate(&[ChainId::Ethereum, ChainId::EthereumClassic], figure_config());
+    let pair = compare::pairwise(
+        &dataset,
+        ChainId::Ethereum,
+        ChainId::EthereumClassic,
+        &[
+            MetricKind::TxCount,
+            MetricKind::SingleTxConflictRate,
+            MetricKind::GroupConflictRate,
+        ],
+        BlockWeight::TxCount,
+        FIGURE_BUCKETS,
+    )
+    .expect("both chains generated");
+
+    for (panel, (metric, left, right)) in ["8a", "8b", "8c"].iter().zip(&pair.panels) {
+        print_panel(
+            &format!("Figure {panel} — {}", metric.label()),
+            &[left.clone(), right.clone()],
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates Figure 9: the detailed comparison of Bitcoin and Bitcoin Cash.
+//!
+//! Run with `cargo run --release -p blockconc-bench --bin fig9`.
+
+use blockconc::prelude::*;
+use blockconc_bench::{figure_config, print_panel, FIGURE_BUCKETS};
+
+fn main() {
+    let dataset = Dataset::generate(&[ChainId::Bitcoin, ChainId::BitcoinCash], figure_config());
+    let pair = compare::pairwise(
+        &dataset,
+        ChainId::Bitcoin,
+        ChainId::BitcoinCash,
+        &[
+            MetricKind::TxCount,
+            MetricKind::SingleTxConflictRate,
+            MetricKind::AbsoluteLccSize,
+        ],
+        BlockWeight::TxCount,
+        FIGURE_BUCKETS,
+    )
+    .expect("both chains generated");
+
+    let titles = [
+        "Figure 9a — number of transactions per block",
+        "Figure 9b — conflict ratio per block",
+        "Figure 9c — absolute LCC size per block",
+    ];
+    for (title, (_, left, right)) in titles.iter().zip(&pair.panels) {
+        print_panel(title, &[left.clone(), right.clone()]);
+    }
+}

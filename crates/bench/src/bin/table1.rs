@@ -1,0 +1,10 @@
+//! Regenerates Table I: the comparison of the seven public blockchains.
+//!
+//! Run with `cargo run -p blockconc-bench --bin table1`.
+
+use blockconc::prelude::*;
+
+fn main() {
+    println!("Table I — comparison of seven public blockchains\n");
+    println!("{}", report::table1());
+}

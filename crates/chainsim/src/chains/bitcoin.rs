@@ -1,0 +1,57 @@
+//! Bitcoin calibration.
+//!
+//! Targets (paper Fig. 5): transactions per block growing from a handful in 2009 to
+//! over 2000 by 2017–2019, roughly twice as many input TXOs as transactions,
+//! single-transaction conflict around 13–15% and group conflict around 1%.
+
+use crate::{PiecewiseSeries, UtxoWorkloadParams};
+
+/// Bitcoin workload parameters at fractional calendar year `year`.
+pub fn params_at(year: f64) -> UtxoWorkloadParams {
+    let txs = PiecewiseSeries::new(vec![
+        (2009.0, 2.0),
+        (2010.0, 8.0),
+        (2011.0, 120.0),
+        (2013.0, 450.0),
+        (2015.0, 1_200.0),
+        (2017.0, 2_200.0),
+        (2018.0, 1_700.0),
+        (2019.75, 2_300.0),
+    ]);
+    let spend_prob = PiecewiseSeries::new(vec![
+        (2009.0, 0.02),
+        (2012.0, 0.05),
+        (2015.0, 0.08),
+        (2019.75, 0.09),
+    ]);
+    let population = PiecewiseSeries::new(vec![
+        (2009.0, 200.0),
+        (2012.0, 5_000.0),
+        (2015.0, 30_000.0),
+        (2019.75, 80_000.0),
+    ]);
+    UtxoWorkloadParams {
+        txs_per_block: txs.value_at(year),
+        extra_inputs_per_tx: 1.0,
+        intra_block_spend_prob: spend_prob.value_at(year),
+        chain_continuation_prob: 0.8,
+        user_population: population.value_at(year) as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn late_era_matches_paper_magnitudes() {
+        let p = params_at(2019.0);
+        assert!(p.txs_per_block > 1_800.0 && p.txs_per_block < 2_500.0);
+        assert!(p.intra_block_spend_prob < 0.12);
+    }
+
+    #[test]
+    fn early_era_is_tiny() {
+        assert!(params_at(2009.2).txs_per_block < 10.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Bitcoin Cash calibration.
+//!
+//! Targets (paper Fig. 9): an order of magnitude fewer transactions per block than
+//! Bitcoin for most of its history, with *higher* conflict rates — the paper
+//! attributes this to a smaller user base dominated by large exchanges.
+
+use crate::{PiecewiseSeries, UtxoWorkloadParams};
+
+/// Bitcoin Cash workload parameters at fractional calendar year `year`.
+pub fn params_at(year: f64) -> UtxoWorkloadParams {
+    let txs = PiecewiseSeries::new(vec![
+        (2017.55, 150.0),
+        (2018.0, 90.0),
+        (2018.8, 250.0),
+        (2019.75, 300.0),
+    ]);
+    let spend_prob = PiecewiseSeries::new(vec![(2017.55, 0.16), (2019.75, 0.20)]);
+    UtxoWorkloadParams {
+        txs_per_block: txs.value_at(year),
+        extra_inputs_per_tx: 1.2,
+        intra_block_spend_prob: spend_prob.value_at(year),
+        chain_continuation_prob: 0.85,
+        user_population: 3_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chains::bitcoin;
+
+    #[test]
+    fn fewer_transactions_but_more_conflict_than_bitcoin() {
+        for year in [2018.0, 2019.0] {
+            let bch = params_at(year);
+            let btc = bitcoin::params_at(year);
+            assert!(bch.txs_per_block < btc.txs_per_block / 4.0);
+            assert!(bch.intra_block_spend_prob > btc.intra_block_spend_prob);
+            assert!(bch.user_population < btc.user_population);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Dogecoin calibration.
+//!
+//! Dogecoin produces a block every minute, so per-block transaction counts stay low;
+//! its traffic is bursty and exchange-dominated, giving it the highest conflict rates
+//! among the UTXO chains in the paper's Fig. 7.
+
+use crate::{PiecewiseSeries, UtxoWorkloadParams};
+
+/// Dogecoin workload parameters at fractional calendar year `year`.
+pub fn params_at(year: f64) -> UtxoWorkloadParams {
+    let txs = PiecewiseSeries::new(vec![
+        (2013.95, 60.0),
+        (2015.0, 25.0),
+        (2017.0, 35.0),
+        (2018.2, 70.0),
+        (2019.75, 45.0),
+    ]);
+    let spend_prob = PiecewiseSeries::new(vec![(2013.95, 0.14), (2018.0, 0.18), (2019.75, 0.18)]);
+    UtxoWorkloadParams {
+        txs_per_block: txs.value_at(year),
+        extra_inputs_per_tx: 0.8,
+        intra_block_spend_prob: spend_prob.value_at(year),
+        chain_continuation_prob: 0.75,
+        user_population: 4_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_blocks_high_spend_probability() {
+        let p = params_at(2018.0);
+        assert!(p.txs_per_block < 100.0);
+        assert!(p.intra_block_spend_prob > 0.1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Ethereum calibration.
+//!
+//! Targets (paper Fig. 4): ~100 regular transactions per block (≈300 including
+//! internal transactions) by 2017–2019, a transaction-weighted single-transaction
+//! conflict rate starting near 80% and declining to ~60%, a gas-weighted rate near
+//! 60% throughout, a group conflict rate declining to ~20% after early 2018, and a
+//! spike of internal transactions in the second half of 2017 (the under-priced-opcode
+//! DoS attacks).
+
+use crate::{AccountWorkloadParams, HotspotSpec, PiecewiseSeries};
+
+/// Ethereum workload parameters at fractional calendar year `year`.
+pub fn params_at(year: f64) -> AccountWorkloadParams {
+    let txs = PiecewiseSeries::new(vec![
+        (2015.55, 6.0),
+        (2016.0, 20.0),
+        (2017.0, 60.0),
+        (2017.8, 140.0),
+        (2018.5, 130.0),
+        (2019.75, 120.0),
+    ]);
+    // Share of traffic going to the single largest exchange: shrinks as the ecosystem
+    // diversifies, which is what pulls the group conflict rate down to ~20%.
+    let top_exchange = PiecewiseSeries::new(vec![
+        (2015.55, 0.40),
+        (2016.5, 0.34),
+        (2017.5, 0.24),
+        (2018.2, 0.16),
+        (2019.75, 0.13),
+    ]);
+    let second_exchange = PiecewiseSeries::new(vec![
+        (2015.55, 0.18),
+        (2017.0, 0.15),
+        (2018.2, 0.12),
+        (2019.75, 0.11),
+    ]);
+    let pool_share = PiecewiseSeries::new(vec![(2015.55, 0.16), (2018.0, 0.10), (2019.75, 0.09)]);
+    let token_share = PiecewiseSeries::new(vec![
+        (2015.55, 0.08),
+        (2017.0, 0.12),
+        (2017.8, 0.16),
+        (2019.75, 0.14),
+    ]);
+    let defi_share = PiecewiseSeries::new(vec![(2015.55, 0.04), (2018.0, 0.08), (2019.75, 0.10)]);
+    // Internal-call depth of the popular-contract traffic; the 2017 H2 spike models the
+    // DoS attacks that multiplied internal transactions.
+    let call_depth = PiecewiseSeries::new(vec![
+        (2015.55, 2.0),
+        (2017.4, 3.0),
+        (2017.6, 6.0),
+        (2017.9, 6.0),
+        (2018.1, 3.0),
+        (2019.75, 3.0),
+    ]);
+    let population = PiecewiseSeries::new(vec![
+        (2015.55, 2_000.0),
+        (2016.5, 6_000.0),
+        (2017.5, 20_000.0),
+        (2019.75, 50_000.0),
+    ]);
+
+    AccountWorkloadParams {
+        txs_per_block: txs.value_at(year),
+        user_population: population.value_at(year) as usize,
+        fresh_receiver_share: 0.55,
+        zipf_exponent: 0.35,
+        hotspots: vec![
+            HotspotSpec::exchange(top_exchange.value_at(year)),
+            HotspotSpec::exchange(second_exchange.value_at(year)),
+            HotspotSpec::pool(pool_share.value_at(year)),
+            HotspotSpec::contract(token_share.value_at(year), call_depth.value_at(year) as usize),
+            HotspotSpec::contract(defi_share.value_at(year), 2),
+        ],
+        contract_create_share: 0.02,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspot_shares_shrink_over_time() {
+        let early = params_at(2016.0);
+        let late = params_at(2019.0);
+        let max = |p: &AccountWorkloadParams| {
+            p.hotspots.iter().map(|h| h.share).fold(0.0f64, f64::max)
+        };
+        assert!(max(&early) > max(&late));
+        let total = |p: &AccountWorkloadParams| p.hotspots.iter().map(|h| h.share).sum::<f64>();
+        assert!(total(&early) > 0.6, "early total {}", total(&early));
+        assert!(total(&late) > 0.45 && total(&late) < 0.7);
+    }
+
+    #[test]
+    fn dos_era_has_deeper_calls() {
+        let dos = params_at(2017.7);
+        let calm = params_at(2019.0);
+        let depth = |p: &AccountWorkloadParams| {
+            p.hotspots.iter().map(|h| h.call_depth).max().unwrap_or(0)
+        };
+        assert!(depth(&dos) > depth(&calm));
+    }
+
+    #[test]
+    fn transaction_volume_reaches_paper_scale() {
+        assert!(params_at(2018.0).txs_per_block > 100.0);
+        assert!(params_at(2015.7).txs_per_block < 20.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Ethereum Classic calibration.
+//!
+//! Targets (paper Fig. 8): an order of magnitude fewer transactions per block than
+//! Ethereum since early 2018, with *higher* conflict rates — single-transaction
+//! conflict comparable to or above Ethereum's and a group conflict rate around 70%,
+//! which the paper attributes to a small user base dominated by a few exchanges.
+
+use crate::{AccountWorkloadParams, HotspotSpec, PiecewiseSeries};
+
+/// Ethereum Classic workload parameters at fractional calendar year `year`.
+pub fn params_at(year: f64) -> AccountWorkloadParams {
+    let txs = PiecewiseSeries::new(vec![
+        (2016.55, 12.0),
+        (2017.5, 25.0),
+        (2018.0, 10.0),
+        (2019.75, 7.0),
+    ]);
+    let top_exchange = PiecewiseSeries::new(vec![(2016.55, 0.45), (2018.0, 0.60), (2019.75, 0.65)]);
+    AccountWorkloadParams {
+        txs_per_block: txs.value_at(year),
+        user_population: 600,
+        fresh_receiver_share: 0.25,
+        zipf_exponent: 1.0,
+        hotspots: vec![
+            HotspotSpec::exchange(top_exchange.value_at(year)),
+            HotspotSpec::pool(0.10),
+            HotspotSpec::contract(0.06, 2),
+        ],
+        contract_create_share: 0.01,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chains::ethereum;
+
+    #[test]
+    fn an_order_of_magnitude_below_ethereum_after_2018() {
+        for year in [2018.5, 2019.5] {
+            let etc = params_at(year);
+            let eth = ethereum::params_at(year);
+            assert!(etc.txs_per_block * 8.0 < eth.txs_per_block);
+        }
+    }
+
+    #[test]
+    fn exchange_concentration_is_high() {
+        let p = params_at(2019.0);
+        let max = p.hotspots.iter().map(|h| h.share).fold(0.0f64, f64::max);
+        assert!(max > 0.55);
+    }
+}

@@ -1,0 +1,37 @@
+//! Litecoin calibration.
+//!
+//! Litecoin tracks Bitcoin's design with a 2.5-minute block interval; its per-block
+//! transaction counts are well below Bitcoin's and its conflict rates sit between
+//! Bitcoin's and Bitcoin Cash's in the paper's Fig. 7.
+
+use crate::{PiecewiseSeries, UtxoWorkloadParams};
+
+/// Litecoin workload parameters at fractional calendar year `year`.
+pub fn params_at(year: f64) -> UtxoWorkloadParams {
+    let txs = PiecewiseSeries::new(vec![
+        (2011.8, 3.0),
+        (2014.0, 25.0),
+        (2017.0, 90.0),
+        (2018.0, 150.0),
+        (2019.75, 120.0),
+    ]);
+    let spend_prob = PiecewiseSeries::new(vec![(2011.8, 0.06), (2017.0, 0.11), (2019.75, 0.12)]);
+    UtxoWorkloadParams {
+        txs_per_block: txs.value_at(year),
+        extra_inputs_per_tx: 0.9,
+        intra_block_spend_prob: spend_prob.value_at(year),
+        chain_continuation_prob: 0.8,
+        user_population: 8_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_below_bitcoin_scale() {
+        assert!(params_at(2019.0).txs_per_block < 300.0);
+        assert!(params_at(2012.0).txs_per_block < 10.0);
+    }
+}

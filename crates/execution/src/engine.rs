@@ -1,0 +1,30 @@
+//! The execution-engine trait.
+
+use crate::ExecutionReport;
+use blockconc_account::{AccountBlock, ExecutedBlock, WorldState};
+use blockconc_types::Result;
+
+/// A block-execution strategy.
+///
+/// Every engine must produce exactly the same state transition and receipts as the
+/// sequential baseline — parallelism may only change *how long* execution takes, never
+/// *what* it computes. The integration tests enforce this serializability property for
+/// all engines on randomized workloads.
+pub trait ExecutionEngine {
+    /// A short, stable name for reports and benchmark labels.
+    fn name(&self) -> &'static str;
+
+    /// Executes `block` against `state`, committing its effects, and reports what was
+    /// measured.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for engine-level failures (e.g. a worker thread
+    /// panicking); per-transaction failures are recorded in the receipts exactly as
+    /// the sequential executor records them.
+    fn execute(
+        &mut self,
+        state: &mut WorldState,
+        block: &AccountBlock,
+    ) -> Result<(ExecutedBlock, ExecutionReport)>;
+}

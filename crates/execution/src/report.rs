@@ -1,0 +1,121 @@
+//! Execution reports.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// What an execution engine measured while executing one block.
+///
+/// The abstract unit quantities use the paper's cost model — every transaction costs
+/// one time unit — so they can be compared directly against Equations (1) and (2):
+/// `sequential_units = x`, `parallel_units = T'`, and `unit_speedup` corresponds to
+/// the modelled `R`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Engine name ("sequential", "speculative", "scheduled").
+    pub engine: String,
+    /// Worker threads used (1 for the sequential engine).
+    pub threads: usize,
+    /// Number of transactions in the block.
+    pub tx_count: usize,
+    /// Number of transactions that were found to conflict (speculative engine) or that
+    /// belong to a multi-transaction component (scheduled engine); 0 for sequential.
+    pub conflicted_transactions: usize,
+    /// Size of the largest connected component / sequential bin, in transactions.
+    pub largest_group: usize,
+    /// Abstract execution time of the sequential baseline (= number of transactions).
+    pub sequential_units: u64,
+    /// Abstract execution time of this engine under the paper's unit-cost model.
+    pub parallel_units: u64,
+    /// Wall-clock time of the parallelizable portion as actually measured.
+    #[serde(skip)]
+    pub wall_time: Duration,
+    /// Wall-clock time a sequential execution of the same block took (for reference;
+    /// filled by callers that measure both).
+    #[serde(skip)]
+    pub sequential_wall_time: Duration,
+}
+
+impl ExecutionReport {
+    /// The speed-up in abstract time units, `sequential_units / parallel_units`
+    /// (0 when the parallel time is 0).
+    pub fn unit_speedup(&self) -> f64 {
+        if self.parallel_units == 0 {
+            0.0
+        } else {
+            self.sequential_units as f64 / self.parallel_units as f64
+        }
+    }
+
+    /// The measured wall-clock speed-up relative to the recorded sequential wall time
+    /// (0 when either measurement is missing).
+    pub fn wall_speedup(&self) -> f64 {
+        let par = self.wall_time.as_secs_f64();
+        let seq = self.sequential_wall_time.as_secs_f64();
+        if par == 0.0 || seq == 0.0 {
+            0.0
+        } else {
+            seq / par
+        }
+    }
+
+    /// The single-transaction conflict rate observed by the engine.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.tx_count == 0 {
+            0.0
+        } else {
+            self.conflicted_transactions as f64 / self.tx_count as f64
+        }
+    }
+
+    /// The group conflict rate (relative size of the largest group) observed.
+    pub fn group_conflict_rate(&self) -> f64 {
+        if self.tx_count == 0 {
+            0.0
+        } else {
+            self.largest_group as f64 / self.tx_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExecutionReport {
+        ExecutionReport {
+            engine: "test".to_string(),
+            threads: 4,
+            tx_count: 100,
+            conflicted_transactions: 40,
+            largest_group: 20,
+            sequential_units: 100,
+            parallel_units: 66,
+            wall_time: Duration::from_millis(10),
+            sequential_wall_time: Duration::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn speedups_and_rates() {
+        let r = report();
+        assert!((r.unit_speedup() - 100.0 / 66.0).abs() < 1e-12);
+        assert!((r.wall_speedup() - 3.0).abs() < 1e-9);
+        assert!((r.conflict_rate() - 0.4).abs() < 1e-12);
+        assert!((r.group_conflict_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let r = ExecutionReport {
+            parallel_units: 0,
+            tx_count: 0,
+            wall_time: Duration::ZERO,
+            sequential_wall_time: Duration::ZERO,
+            ..report()
+        };
+        assert_eq!(r.unit_speedup(), 0.0);
+        assert_eq!(r.wall_speedup(), 0.0);
+        assert_eq!(r.conflict_rate(), 0.0);
+        assert_eq!(r.group_conflict_rate(), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Minimal scoped fork-join helper.
+
+use crossbeam::thread;
+
+/// Applies `f` to every item of `items`, splitting the work across `threads` scoped
+/// worker threads, and returns the results in input order.
+///
+/// This is the only concurrency primitive the engines need: a deterministic fork-join
+/// over an indexed work list. Results are collected per worker and stitched back
+/// together by index, so no locking is involved beyond the join.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_execution::parallel_map;
+///
+/// let squares = parallel_map(&[1u64, 2, 3, 4, 5], 3, |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(threads > 0, "thread count must be positive");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.min(items.len());
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunk_results: Vec<Vec<R>> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (chunk_index, chunk) in items.chunks(chunk_size).enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, item)| f(chunk_index * chunk_size + offset, item))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in chunk_results.iter_mut() {
+        out.append(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..101).collect();
+        let doubled = parallel_map(&items, 7, |_, &x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a"; 50];
+        let indices = parallel_map(&items, 4, |i, _| i);
+        assert_eq!(indices, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty_input() {
+        assert_eq!(parallel_map(&[1, 2, 3], 1, |_, &x| x + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map::<u32, u32, _>(&[], 4, |_, &x| x), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(parallel_map(&[5], 16, |_, &x| x), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_panics() {
+        let _ = parallel_map(&[1], 0, |_, &x| x);
+    }
+}

@@ -1,0 +1,264 @@
+//! TDG construction for UTXO-model blocks.
+
+use crate::{BlockMetrics, Tdg};
+use blockconc_types::TxId;
+use blockconc_utxo::UtxoBlock;
+use std::collections::HashMap;
+
+/// The result of analyzing one UTXO block: its TDG (over transaction ids), the derived
+/// [`BlockMetrics`], and the grouping of transactions into connected components that
+/// group-concurrency schedulers execute in parallel.
+#[derive(Debug, Clone)]
+pub struct UtxoTdgAnalysis {
+    tdg: Tdg<TxId>,
+    metrics: BlockMetrics,
+    groups: Vec<Vec<usize>>,
+    conflicted: Vec<bool>,
+}
+
+impl UtxoTdgAnalysis {
+    /// The dependency graph (nodes are non-coinbase transaction ids).
+    pub fn tdg(&self) -> &Tdg<TxId> {
+        &self.tdg
+    }
+
+    /// The per-block metrics.
+    pub fn metrics(&self) -> &BlockMetrics {
+        &self.metrics
+    }
+
+    /// Connected components as lists of indices into the block's *regular*
+    /// transactions (i.e. index 0 is the first non-coinbase transaction).
+    pub fn transaction_groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// For each regular transaction, whether it conflicts with at least one other.
+    pub fn conflicted_flags(&self) -> &[bool] {
+        &self.conflicted
+    }
+}
+
+/// Builds the transaction dependency graph of a UTXO block and computes its metrics.
+///
+/// Per the paper's Section III-A: each non-coinbase transaction is a node, and an edge
+/// `(a, b)` exists when a TXO created by `a` is spent by `b` within the same block.
+/// Coinbase transactions are ignored.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_types::{Address, Amount};
+/// use blockconc_utxo::{BlockBuilder, TransactionBuilder};
+/// use blockconc_graph::build_utxo_tdg;
+///
+/// // A funding transaction outside the block and a chain of two spends inside it.
+/// let funding = TransactionBuilder::coinbase(Address::from_low(1), Amount::from_coins(1), 0);
+/// let t1 = TransactionBuilder::new()
+///     .input(funding.outpoint(0))
+///     .output(Address::from_low(2), Amount::from_coins(1))
+///     .build();
+/// let t2 = TransactionBuilder::new()
+///     .input(t1.outpoint(0))
+///     .output(Address::from_low(3), Amount::from_coins(1))
+///     .build();
+/// let block = BlockBuilder::new(1, 0)
+///     .coinbase(Address::from_low(9), Amount::from_coins(12))
+///     .transaction(t1)
+///     .transaction(t2)
+///     .build();
+///
+/// let analysis = build_utxo_tdg(&block);
+/// assert_eq!(analysis.metrics().tx_count(), 2);
+/// assert_eq!(analysis.metrics().conflicted_count(), 2);
+/// assert_eq!(analysis.metrics().lcc_size(), 2);
+/// ```
+pub fn build_utxo_tdg(block: &UtxoBlock) -> UtxoTdgAnalysis {
+    let regular: Vec<_> = block.regular_transactions().collect();
+
+    let mut tdg: Tdg<TxId> = Tdg::new();
+    // Index from creator txid -> regular index, for resolving intra-block spends.
+    let mut creators: HashMap<TxId, usize> = HashMap::with_capacity(regular.len());
+    for (idx, tx) in regular.iter().enumerate() {
+        tdg.add_node(tx.id());
+        creators.insert(tx.id(), idx);
+    }
+
+    for tx in &regular {
+        for input in tx.inputs() {
+            if creators.contains_key(&input.txid()) && input.txid() != tx.id() {
+                tdg.add_edge(input.txid(), tx.id());
+            }
+        }
+    }
+
+    let components = tdg.connected_components();
+    let mut conflicted = vec![false; regular.len()];
+    let mut groups = Vec::with_capacity(components.len());
+    let mut lcc = 0usize;
+    let mut conflicted_count = 0usize;
+    for component in &components {
+        // Node indices equal regular-transaction indices because nodes were inserted
+        // in block order before any edges.
+        let group: Vec<usize> = component.clone();
+        lcc = lcc.max(group.len());
+        if group.len() > 1 {
+            conflicted_count += group.len();
+            for &idx in &group {
+                conflicted[idx] = true;
+            }
+        }
+        groups.push(group);
+    }
+
+    let metrics = BlockMetrics::new(
+        block.height().value(),
+        block.timestamp().as_unix(),
+        regular.len(),
+        conflicted_count,
+        lcc,
+        components.len(),
+    )
+    .with_input_count(block.input_count());
+
+    UtxoTdgAnalysis {
+        tdg,
+        metrics,
+        groups,
+        conflicted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_types::{Address, Amount};
+    use blockconc_utxo::{BlockBuilder, TransactionBuilder, UtxoTransaction};
+
+    /// Builds `n` coinbase-funded transactions that do not touch each other.
+    fn independent_txs(n: u64) -> Vec<UtxoTransaction> {
+        (0..n)
+            .map(|i| {
+                let funding =
+                    TransactionBuilder::coinbase(Address::from_low(i + 1), Amount::from_coins(1), 1000 + i);
+                TransactionBuilder::new()
+                    .input(funding.outpoint(0))
+                    .output(Address::from_low(100 + i), Amount::from_coins(1))
+                    .build()
+            })
+            .collect()
+    }
+
+    /// Builds a chain of `n` transactions each spending the previous one's output.
+    fn spend_chain(n: u64) -> Vec<UtxoTransaction> {
+        let funding =
+            TransactionBuilder::coinbase(Address::from_low(1), Amount::from_coins(100), 999);
+        let mut prev = funding.outpoint(0);
+        let mut txs = Vec::new();
+        for i in 0..n {
+            let tx = TransactionBuilder::new()
+                .input(prev)
+                .output(Address::from_low(200 + i), Amount::from_coins(100))
+                .build();
+            prev = tx.outpoint(0);
+            txs.push(tx);
+        }
+        txs
+    }
+
+    #[test]
+    fn fully_independent_block_has_zero_conflict() {
+        let block = BlockBuilder::new(1, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transactions(independent_txs(10))
+            .build();
+        let analysis = build_utxo_tdg(&block);
+        let m = analysis.metrics();
+        assert_eq!(m.tx_count(), 10);
+        assert_eq!(m.conflicted_count(), 0);
+        assert_eq!(m.lcc_size(), 1);
+        assert_eq!(m.component_count(), 10);
+        assert_eq!(m.single_tx_conflict_rate(), 0.0);
+        assert!((m.group_conflict_rate() - 0.1).abs() < 1e-12);
+        assert!(analysis.conflicted_flags().iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn spend_chain_is_fully_conflicted() {
+        // Mirrors the paper's Bitcoin block 500,000 example: an 18-transaction chain
+        // spending each other's outputs must be executed sequentially.
+        let block = BlockBuilder::new(500_000, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transactions(spend_chain(18))
+            .build();
+        let analysis = build_utxo_tdg(&block);
+        let m = analysis.metrics();
+        assert_eq!(m.tx_count(), 18);
+        assert_eq!(m.conflicted_count(), 18);
+        assert_eq!(m.lcc_size(), 18);
+        assert_eq!(m.component_count(), 1);
+        assert_eq!(m.single_tx_conflict_rate(), 1.0);
+        assert_eq!(m.group_conflict_rate(), 1.0);
+    }
+
+    #[test]
+    fn mixed_block_counts_only_chain_members_as_conflicted() {
+        let mut txs = spend_chain(3);
+        txs.extend(independent_txs(7));
+        let block = BlockBuilder::new(2, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transactions(txs)
+            .build();
+        let analysis = build_utxo_tdg(&block);
+        let m = analysis.metrics();
+        assert_eq!(m.tx_count(), 10);
+        assert_eq!(m.conflicted_count(), 3);
+        assert_eq!(m.lcc_size(), 3);
+        assert_eq!(m.component_count(), 8);
+        assert!((m.single_tx_conflict_rate() - 0.3).abs() < 1e-12);
+        assert!((m.group_conflict_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coinbase_spend_does_not_create_edges() {
+        // A transaction spending the block's own coinbase output would depend on the
+        // coinbase, but coinbases are ignored, so no edge is created.
+        let block = BlockBuilder::new(3, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transactions(independent_txs(2))
+            .build();
+        let analysis = build_utxo_tdg(&block);
+        assert_eq!(analysis.tdg().edge_count(), 0);
+    }
+
+    #[test]
+    fn groups_partition_transactions() {
+        let mut txs = spend_chain(4);
+        txs.extend(independent_txs(3));
+        let block = BlockBuilder::new(4, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transactions(txs)
+            .build();
+        let analysis = build_utxo_tdg(&block);
+        let total: usize = analysis.transaction_groups().iter().map(|g| g.len()).sum();
+        assert_eq!(total, 7);
+        let mut all: Vec<usize> = analysis
+            .transaction_groups()
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn input_count_is_recorded() {
+        let block = BlockBuilder::new(5, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transactions(independent_txs(4))
+            .build();
+        let analysis = build_utxo_tdg(&block);
+        assert_eq!(analysis.metrics().input_count(), 4);
+    }
+}

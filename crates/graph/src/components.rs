@@ -1,0 +1,161 @@
+//! Connected-component computation.
+
+use crate::Tdg;
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Computes the connected components of `graph` by breadth-first search.
+///
+/// This mirrors the JavaScript UDF of the paper's Figure 3: every unvisited node seeds
+/// a BFS that collects its whole component. Each returned component is sorted by dense
+/// node index and components appear in order of their smallest member.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_graph::{connected_components, Tdg};
+///
+/// let mut g: Tdg<u32> = Tdg::new();
+/// g.add_edge(1, 2);
+/// g.add_edge(3, 4);
+/// g.add_node(5);
+/// let comps = connected_components(&g);
+/// assert_eq!(comps.len(), 3);
+/// assert_eq!(comps[0], vec![0, 1]);
+/// ```
+pub fn connected_components<K: Eq + Hash + Clone + Debug>(graph: &Tdg<K>) -> Vec<Vec<usize>> {
+    let n = graph.node_count();
+    let mut visited = vec![false; n];
+    let mut components = Vec::new();
+
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut queue = VecDeque::new();
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(node) = queue.pop_front() {
+            component.push(node);
+            for &next in graph.neighbors(node) {
+                if !visited[next] {
+                    visited[next] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// Returns the size of the largest connected component (zero for an empty graph).
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_graph::{largest_component_size, Tdg};
+///
+/// let mut g: Tdg<u32> = Tdg::new();
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 3);
+/// g.add_node(9);
+/// assert_eq!(largest_component_size(&g), 3);
+/// ```
+pub fn largest_component_size<K: Eq + Hash + Clone + Debug>(graph: &Tdg<K>) -> usize {
+    connected_components(graph)
+        .iter()
+        .map(|c| c.len())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnionFind;
+    use blockconc_types::DeterministicRng;
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g: Tdg<u32> = Tdg::new();
+        assert!(connected_components(&g).is_empty());
+        assert_eq!(largest_component_size(&g), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singleton_components() {
+        let mut g: Tdg<u32> = Tdg::new();
+        for i in 0..5 {
+            g.add_node(i);
+        }
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 5);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let mut g: Tdg<u32> = Tdg::new();
+        for i in 0..17 {
+            g.add_edge(i, i + 1);
+        }
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 18);
+    }
+
+    #[test]
+    fn components_partition_the_node_set() {
+        let mut g: Tdg<u32> = Tdg::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(10, 11);
+        g.add_node(20);
+        let comps = connected_components(&g);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.node_count());
+        // No node appears twice.
+        let mut all: Vec<usize> = comps.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), g.node_count());
+    }
+
+    #[test]
+    fn bfs_agrees_with_union_find_on_random_graphs() {
+        let mut rng = DeterministicRng::seed(1234);
+        for trial in 0..20 {
+            let n = 30 + trial * 5;
+            let mut g: Tdg<u64> = Tdg::new();
+            for i in 0..n {
+                g.add_node(i as u64);
+            }
+            let edges = rng.below(3 * n as u64);
+            let mut uf = UnionFind::new(n);
+            for _ in 0..edges {
+                let a = rng.below(n as u64);
+                let b = rng.below(n as u64);
+                g.add_edge(a, b);
+                uf.union(
+                    g.node_index(&a).unwrap(),
+                    g.node_index(&b).unwrap(),
+                );
+            }
+            let bfs_sizes = {
+                let mut v: Vec<usize> = connected_components(&g).iter().map(|c| c.len()).collect();
+                v.sort_unstable();
+                v
+            };
+            let uf_sizes = {
+                let mut v = uf.component_sizes();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(bfs_sizes, uf_sizes, "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Graphviz DOT export for dependency graphs.
+
+use crate::Tdg;
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+
+/// Renders a TDG in Graphviz DOT format (directed edges, as drawn in the paper's
+/// Figure 1), suitable for `dot -Tpdf` or online viewers.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_graph::{tdg_to_dot, Tdg};
+///
+/// let mut g: Tdg<&str> = Tdg::new();
+/// g.add_edge("0xeb3", "0x828");
+/// let dot = tdg_to_dot(&g, "block_1000007");
+/// assert!(dot.contains("digraph block_1000007"));
+/// assert!(dot.contains("\"0xeb3\" -> \"0x828\""));
+/// ```
+pub fn tdg_to_dot<K: Eq + Hash + Clone + Debug + Display>(graph: &Tdg<K>, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph {name} {{\n"));
+    out.push_str("  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n");
+    for node in graph.nodes() {
+        out.push_str(&format!("  \"{node}\";\n"));
+    }
+    for &(from, to) in graph.edges() {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\";\n",
+            graph.node(from),
+            graph.node(to)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut g: Tdg<u32> = Tdg::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_node(9);
+        let dot = tdg_to_dot(&g, "test");
+        assert!(dot.starts_with("digraph test {"));
+        for node in ["\"1\"", "\"2\"", "\"3\"", "\"9\""] {
+            assert!(dot.contains(node), "missing {node}");
+        }
+        assert!(dot.contains("\"1\" -> \"2\""));
+        assert!(dot.contains("\"2\" -> \"3\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_graph_is_valid_dot() {
+        let g: Tdg<u32> = Tdg::new();
+        let dot = tdg_to_dot(&g, "empty");
+        assert!(dot.contains("digraph empty"));
+    }
+}

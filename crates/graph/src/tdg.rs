@@ -1,0 +1,178 @@
+//! The transaction dependency graph data structure.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An undirected-for-connectivity dependency graph over nodes of type `K`.
+///
+/// Edges are stored with their original direction (the paper draws them from creator to
+/// spender / sender to receiver, and the DOT export preserves that), but connectivity —
+/// the only thing the conflict metrics need — treats them as undirected, exactly as the
+/// paper's breadth-first search does.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_graph::Tdg;
+///
+/// let mut g: Tdg<&str> = Tdg::new();
+/// g.add_edge("a", "b");
+/// g.add_node("c");
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 1);
+/// let comps = g.connected_components();
+/// assert_eq!(comps.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tdg<K> {
+    nodes: Vec<K>,
+    index: HashMap<K, usize>,
+    adjacency: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl<K> Default for Tdg<K> {
+    fn default() -> Self {
+        Tdg {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            adjacency: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone + Debug> Tdg<K> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Tdg::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (parallel edges are counted individually).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node (no-op if it already exists) and returns its dense index.
+    pub fn add_node(&mut self, key: K) -> usize {
+        if let Some(&idx) = self.index.get(&key) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(key.clone());
+        self.index.insert(key, idx);
+        self.adjacency.push(Vec::new());
+        idx
+    }
+
+    /// Adds an edge from `from` to `to`, creating the nodes if necessary.
+    pub fn add_edge(&mut self, from: K, to: K) {
+        let f = self.add_node(from);
+        let t = self.add_node(to);
+        self.adjacency[f].push(t);
+        if f != t {
+            self.adjacency[t].push(f);
+        }
+        self.edges.push((f, t));
+    }
+
+    /// The dense index of `key`, if present.
+    pub fn node_index(&self, key: &K) -> Option<usize> {
+        self.index.get(key).copied()
+    }
+
+    /// The node key at dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn node(&self, idx: usize) -> &K {
+        &self.nodes[idx]
+    }
+
+    /// All node keys in insertion order.
+    pub fn nodes(&self) -> &[K] {
+        &self.nodes
+    }
+
+    /// Directed edges as `(from, to)` dense index pairs, in insertion order.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbors (by dense index) of the node at `idx`, including duplicates for
+    /// parallel edges.
+    pub fn neighbors(&self, idx: usize) -> &[usize] {
+        &self.adjacency[idx]
+    }
+
+    /// Computes the connected components of the graph, each as a sorted list of dense
+    /// node indices. Components are returned in order of their smallest node index.
+    ///
+    /// This is the breadth-first search of the paper's Figure 3, reimplemented in Rust.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        crate::components::connected_components(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_nodes_are_deduplicated() {
+        let mut g: Tdg<u32> = Tdg::new();
+        assert_eq!(g.add_node(7), 0);
+        assert_eq!(g.add_node(7), 0);
+        assert_eq!(g.add_node(8), 1);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn add_edge_creates_missing_nodes() {
+        let mut g: Tdg<u32> = Tdg::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(g.node_index(&2).unwrap()).len(), 2);
+    }
+
+    #[test]
+    fn self_loops_do_not_double_adjacency() {
+        let mut g: Tdg<u32> = Tdg::new();
+        g.add_edge(1, 1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.neighbors(0), &[0]);
+    }
+
+    #[test]
+    fn parallel_edges_are_counted() {
+        let mut g: Tdg<u32> = Tdg::new();
+        g.add_edge(1, 2);
+        g.add_edge(1, 2);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.connected_components().len(), 1);
+    }
+
+    #[test]
+    fn node_accessors_roundtrip() {
+        let mut g: Tdg<&str> = Tdg::new();
+        g.add_edge("x", "y");
+        let idx = g.node_index(&"y").unwrap();
+        assert_eq!(*g.node(idx), "y");
+        assert_eq!(g.nodes().len(), 2);
+        assert_eq!(g.edges(), &[(0, 1)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! A disjoint-set (union–find) structure.
+
+/// A union–find structure over `n` dense indices, used as an alternative to the BFS of
+/// the paper for computing connected components (and as a cross-check in tests — both
+/// must always agree).
+///
+/// Uses path compression and union by size, so all operations are effectively
+/// amortized constant time.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// assert_eq!(uf.component_count(), 2);
+/// assert_eq!(uf.largest_component_size(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates a structure with `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the representative of `x` (with path compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they were separate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The current number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// The size of the set containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root]
+    }
+
+    /// Sizes of all disjoint sets (order unspecified).
+    pub fn component_sizes(&mut self) -> Vec<usize> {
+        let n = self.len();
+        let mut sizes = Vec::new();
+        for i in 0..n {
+            if self.find(i) == i {
+                sizes.push(self.size[i]);
+            }
+        }
+        sizes
+    }
+
+    /// Size of the largest set (zero when empty).
+    pub fn largest_component_size(&mut self) -> usize {
+        self.component_sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_structure_is_all_singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert_eq!(uf.largest_component_size(), 1);
+        assert!(!uf.connected(0, 4));
+    }
+
+    #[test]
+    fn unions_merge_and_report_novelty() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.component_count(), 2);
+        assert_eq!(uf.component_size(2), 3);
+    }
+
+    #[test]
+    fn component_sizes_sum_to_len() {
+        let mut uf = UnionFind::new(10);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(3, 4);
+        let sizes = uf.component_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert_eq!(uf.largest_component_size(), 3);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+        assert_eq!(uf.largest_component_size(), 0);
+    }
+}

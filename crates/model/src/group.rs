@@ -1,0 +1,125 @@
+//! Group concurrency model — Equation (2).
+
+/// The upper bound on the speed-up achievable by exploiting group concurrency — the
+/// paper's Equation (2):
+///
+/// `R = min(n, 1/l)`
+///
+/// where `l` is the group conflict rate (relative LCC size) and `n` the number of
+/// cores. A group conflict rate of zero (empty block) yields `n`, since nothing
+/// constrains parallelism.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_model::group_speedup;
+///
+/// // Ethereum's ~20% group conflict rate caps the speed-up at 5x...
+/// assert!((group_speedup(0.2, 64) - 5.0).abs() < 1e-12);
+/// // ...unless fewer cores are available.
+/// assert!((group_speedup(0.2, 4) - 4.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `l` is outside `[0, 1]`.
+pub fn group_speedup(l: f64, n: usize) -> f64 {
+    assert!(n > 0, "core count must be positive");
+    assert!((0.0..=1.0).contains(&l), "group conflict rate must be in [0, 1]");
+    if l == 0.0 {
+        return n as f64;
+    }
+    (n as f64).min(1.0 / l)
+}
+
+/// The group-concurrency speed-up including the cost `K` (in transaction time units)
+/// of the preprocessing step that builds the TDG and schedules the components:
+///
+/// `R = min( x / (x/n + K), x / (x·l + K) )`
+///
+/// As the paper notes, the correction is negligible when `K` is small relative to the
+/// block's total execution time `x`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `l` is outside `[0, 1]`, or `k` is negative.
+pub fn group_speedup_with_preprocessing(x: u64, l: f64, n: usize, k: f64) -> f64 {
+    assert!(n > 0, "core count must be positive");
+    assert!((0.0..=1.0).contains(&l), "group conflict rate must be in [0, 1]");
+    assert!(k >= 0.0, "preprocessing cost must be non-negative");
+    if x == 0 {
+        return 0.0;
+    }
+    let x = x as f64;
+    let by_cores = x / (x / n as f64 + k);
+    let by_lcc = x / (x * l + k);
+    by_cores.min(by_lcc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_two_examples_from_the_paper() {
+        // Figure 10b: roughly 6x with 8 cores and 8x with 64 cores when l ~= 0.17-0.2.
+        assert!((group_speedup(1.0 / 6.0, 8) - 6.0).abs() < 1e-9);
+        assert!((group_speedup(0.125, 64) - 8.0).abs() < 1e-9);
+        // With 8 cores and l = 0.125 the core count is the binding constraint.
+        assert!((group_speedup(0.125, 8) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bitcoin_like_group_rates_allow_large_speedups() {
+        // Bitcoin's ~1% group conflict rate: up to 64x on 64 cores.
+        assert!((group_speedup(0.01, 64) - 64.0).abs() < 1e-9);
+        assert!((group_speedup(0.01, 128) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_conflicted_block_has_no_speedup() {
+        assert!((group_speedup(1.0, 64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_conflict_rate_is_core_bound() {
+        assert_eq!(group_speedup(0.0, 16), 16.0);
+    }
+
+    #[test]
+    fn preprocessing_correction_is_negligible_for_small_k() {
+        let ideal = group_speedup(0.2, 8);
+        let corrected = group_speedup_with_preprocessing(10_000, 0.2, 8, 1.0);
+        assert!((ideal - corrected).abs() < 0.01);
+    }
+
+    #[test]
+    fn preprocessing_correction_bites_for_large_k() {
+        let corrected = group_speedup_with_preprocessing(100, 0.2, 8, 100.0);
+        assert!(corrected < 1.0);
+    }
+
+    #[test]
+    fn preprocessing_speedup_bounded_by_ideal() {
+        for &l in &[0.05, 0.2, 0.5, 1.0] {
+            for &n in &[2usize, 8, 64] {
+                for &k in &[0.0, 1.0, 10.0] {
+                    let ideal = group_speedup(l, n);
+                    let corrected = group_speedup_with_preprocessing(1_000, l, n, k);
+                    assert!(corrected <= ideal + 1e-9, "l={l} n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_block_yields_zero_with_preprocessing() {
+        assert_eq!(group_speedup_with_preprocessing(0, 0.2, 8, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "group conflict rate")]
+    fn invalid_rate_panics() {
+        let _ = group_speedup(-0.1, 8);
+    }
+}

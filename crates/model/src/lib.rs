@@ -1,0 +1,50 @@
+//! Analytical execution speed-up models (Section V of the paper).
+//!
+//! The paper derives closed-form estimates of how much faster a block's transactions
+//! could execute if the concurrency measured by the dependency-graph metrics were
+//! exploited. All models assume each transaction takes one abstract time unit, so the
+//! sequential execution time of a block with `x` transactions is `T = x`.
+//!
+//! * [`speculative`] — the two-phase speculative technique of Saraph & Herlihy: run
+//!   everything concurrently, then re-execute the conflicted transactions sequentially.
+//!   Equation (1): `R = 1 / ((⌊x/n⌋ + 1)/x + c)`, plus the perfect-knowledge variant
+//!   and the exact phase-count formulation used in the paper's worked examples.
+//! * [`group`] — group concurrency: connected components can run on different cores,
+//!   so the speed-up is bounded by `R = min(n, 1/l)` (Equation 2), with the
+//!   preprocessing-cost refinement.
+//! * [`schedule`] — the finite-core lower bound: scheduling components onto `n` cores
+//!   is multiprocessor scheduling, approximated here with the LPT (longest processing
+//!   time first) heuristic.
+//! * [`sweep`] — convenience sweeps over core counts and conflict-rate series, used to
+//!   regenerate Figure 10.
+//!
+//! # Examples
+//!
+//! The two worked examples of Section V-A:
+//!
+//! ```
+//! use blockconc_model::speculative;
+//!
+//! // Ethereum block 1000007: 5 transactions, conflict rate 40%, plenty of cores.
+//! let r = speculative::exact_speedup(5, 0.4, 8);
+//! assert!((r - 5.0 / 3.0).abs() < 1e-9);
+//!
+//! // Ethereum block 1000124: 16 transactions, conflict rate 87.5%, 16 cores.
+//! let r = speculative::exact_speedup(16, 0.875, 16);
+//! assert!((r - 16.0 / 15.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod group;
+pub mod schedule;
+pub mod speculative;
+pub mod sweep;
+
+pub use group::{group_speedup, group_speedup_with_preprocessing};
+pub use schedule::{lpt_makespan, scheduled_speedup};
+pub use speculative::{
+    exact_speedup, oracle_speedup, speculative_speedup, speculative_time,
+};
+pub use sweep::{CoreSweep, SpeedupPoint};

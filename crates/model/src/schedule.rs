@@ -1,0 +1,139 @@
+//! Finite-core component scheduling (the multiprocessor-scheduling lower bound).
+
+/// Computes the makespan of scheduling jobs with the given `sizes` (execution times in
+/// transaction time units) onto `n` cores using the LPT (longest processing time
+/// first) heuristic.
+///
+/// Scheduling connected components onto a finite number of cores optimally is the
+/// NP-hard multiprocessor scheduling problem the paper cites; LPT is the classic
+/// 4/3-approximation and gives a realistic *achievable* execution time, which lower
+/// bounds the speed-up (whereas Equation (2) upper bounds it).
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_model::lpt_makespan;
+///
+/// // Components of size 5, 3, 3, 2, 2 on 2 cores: LPT gives 5+2 vs 3+3+2 -> makespan 8.
+/// assert_eq!(lpt_makespan(&[5, 3, 3, 2, 2], 2), 8);
+/// // One core: everything is sequential.
+/// assert_eq!(lpt_makespan(&[5, 3, 3, 2, 2], 1), 15);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn lpt_makespan(sizes: &[u64], n: usize) -> u64 {
+    assert!(n > 0, "core count must be positive");
+    if sizes.is_empty() {
+        return 0;
+    }
+    let mut sorted: Vec<u64> = sizes.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![0u64; n.min(sorted.len()).max(1)];
+    for job in sorted {
+        // Assign to the least-loaded core.
+        let (idx, _) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &load)| load)
+            .expect("at least one core");
+        loads[idx] += job;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+/// The speed-up achieved by executing connected components on `n` cores under an LPT
+/// schedule: sequential time (sum of sizes) divided by the LPT makespan.
+///
+/// This is always at most `min(n, 1/l)` (Equation 2) and at least half of it in the
+/// worst case, by the LPT approximation guarantee.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_model::scheduled_speedup;
+///
+/// let r = scheduled_speedup(&[5, 3, 3, 2, 2], 2);
+/// assert!((r - 15.0 / 8.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn scheduled_speedup(sizes: &[u64], n: usize) -> f64 {
+    let total: u64 = sizes.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    total as f64 / lpt_makespan(sizes, n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group_speedup;
+
+    #[test]
+    fn single_core_is_sequential() {
+        assert_eq!(lpt_makespan(&[4, 4, 4], 1), 12);
+        assert!((scheduled_speedup(&[4, 4, 4], 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_cores_bound_is_the_largest_component() {
+        let sizes = [9u64, 3, 2, 1, 1];
+        assert_eq!(lpt_makespan(&sizes, 100), 9);
+        assert!((scheduled_speedup(&sizes, 100) - 16.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        assert_eq!(lpt_makespan(&[], 4), 0);
+        assert_eq!(scheduled_speedup(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn lpt_respects_equation_two_upper_bound() {
+        // Random-ish component size profiles.
+        let profiles: Vec<Vec<u64>> = vec![
+            vec![1; 100],
+            vec![20, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1],
+            vec![7, 6, 5, 4, 3, 2, 1],
+            vec![50, 50],
+        ];
+        for sizes in profiles {
+            let total: u64 = sizes.iter().sum();
+            let lcc = *sizes.iter().max().unwrap();
+            let l = lcc as f64 / total as f64;
+            for &n in &[1usize, 2, 4, 8, 64] {
+                let lower = scheduled_speedup(&sizes, n);
+                let upper = group_speedup(l, n);
+                assert!(
+                    lower <= upper + 1e-9,
+                    "sizes={sizes:?} n={n} lower={lower} upper={upper}"
+                );
+                // LPT guarantee: within 4/3 + small slack of the optimum, and the optimum
+                // is itself bounded by the Eq. 2 upper bound; at minimum LPT achieves
+                // half of the upper bound.
+                assert!(
+                    lower >= upper / 2.0 - 1e-9 || upper <= 1.0 + 1e-9,
+                    "sizes={sizes:?} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_jobs_scale_linearly_with_cores() {
+        let sizes = vec![1u64; 64];
+        assert!((scheduled_speedup(&sizes, 8) - 8.0).abs() < 1e-12);
+        assert!((scheduled_speedup(&sizes, 64) - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn zero_cores_panics() {
+        let _ = lpt_makespan(&[1], 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Single-transaction (speculative) concurrency model — Equation (1).
+
+/// The execution time of the two-phase speculative scheme, in transaction time units,
+/// exactly as printed in the paper:
+///
+/// `T' = ⌊x/n⌋ + 1 + c·x`
+///
+/// `x` is the number of transactions, `c` the single-transaction conflict rate, and
+/// `n` the number of cores.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `c` is outside `[0, 1]`.
+pub fn speculative_time(x: u64, c: f64, n: usize) -> f64 {
+    assert!(n > 0, "core count must be positive");
+    assert!((0.0..=1.0).contains(&c), "conflict rate must be in [0, 1]");
+    (x / n as u64) as f64 + 1.0 + c * x as f64
+}
+
+/// The speed-up of the two-phase speculative scheme — the paper's Equation (1):
+///
+/// `R = x / T' = 1 / ((⌊x/n⌋ + 1)/x + c)`
+///
+/// Returns 0 for empty blocks.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_model::speculative_speedup;
+///
+/// // High conflict rates cap the speed-up near 1/c regardless of cores.
+/// let r = speculative_speedup(1_000, 0.6, 64);
+/// assert!(r < 1.7);
+/// // Low conflict rates let the core count dominate.
+/// assert!(speculative_speedup(1_000, 0.05, 8) > 5.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `c` is outside `[0, 1]`.
+pub fn speculative_speedup(x: u64, c: f64, n: usize) -> f64 {
+    if x == 0 {
+        return 0.0;
+    }
+    x as f64 / speculative_time(x, c, n)
+}
+
+/// The *exact* two-phase speed-up used in the paper's worked examples: the concurrent
+/// phase takes `⌈x/n⌉` time units and the sequential phase `round(c·x)` units.
+///
+/// The closed form of Equation (1) adds one extra time unit even when `x` is a
+/// multiple of `n`; the worked examples (blocks 1000007 and 1000124) instead use the
+/// exact phase count, which is what this function computes.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `c` is outside `[0, 1]`.
+pub fn exact_speedup(x: u64, c: f64, n: usize) -> f64 {
+    assert!(n > 0, "core count must be positive");
+    assert!((0.0..=1.0).contains(&c), "conflict rate must be in [0, 1]");
+    if x == 0 {
+        return 0.0;
+    }
+    let concurrent_phase = x.div_ceil(n as u64) as f64;
+    let sequential_phase = (c * x as f64).round();
+    x as f64 / (concurrent_phase + sequential_phase)
+}
+
+/// The execution time with perfect prior knowledge of which transactions conflict:
+///
+/// `T' = K + ⌊(1-c)·x/n⌋ + 1 + c·x`
+///
+/// where `K` is the cost (in time units) of the preprocessing step that identifies
+/// conflicting transactions.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `c` is outside `[0, 1]`.
+pub fn oracle_time(x: u64, c: f64, n: usize, k: f64) -> f64 {
+    assert!(n > 0, "core count must be positive");
+    assert!((0.0..=1.0).contains(&c), "conflict rate must be in [0, 1]");
+    let non_conflicted = ((1.0 - c) * x as f64).floor() as u64;
+    k + (non_conflicted / n as u64) as f64 + 1.0 + c * x as f64
+}
+
+/// The speed-up with perfect prior knowledge of the conflicting transactions:
+///
+/// `R = 1 / ((K + ⌊(1-c)x/n⌋ + 1)/x + c)`
+///
+/// Returns 0 for empty blocks.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `c` is outside `[0, 1]`.
+pub fn oracle_speedup(x: u64, c: f64, n: usize, k: f64) -> f64 {
+    if x == 0 {
+        return 0.0;
+    }
+    x as f64 / oracle_time(x, c, n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_equation_one() {
+        // x = 100, c = 0.5, n = 4: T' = 25 + 1 + 50 = 76.
+        assert!((speculative_time(100, 0.5, 4) - 76.0).abs() < 1e-12);
+        assert!((speculative_speedup(100, 0.5, 4) - 100.0 / 76.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worked_example_block_1000007() {
+        // 5 transactions, c = 0.4: concurrent phase 1 unit (n >= 5), sequential 2 units.
+        let r = exact_speedup(5, 0.4, 5);
+        assert!((r - 5.0 / 3.0).abs() < 1e-9);
+        // With fewer cores the concurrent phase takes longer.
+        let r = exact_speedup(5, 0.4, 2);
+        assert!((r - 1.0).abs() < 1e-9); // 5 / (3 + 2)
+    }
+
+    #[test]
+    fn worked_example_block_1000124() {
+        // 16 transactions, c = 0.875.
+        assert!((exact_speedup(16, 0.875, 16) - 16.0 / 15.0).abs() < 1e-9);
+        assert!((exact_speedup(16, 0.875, 64) - 16.0 / 15.0).abs() < 1e-9);
+        // Between 8 and 15 cores the first phase takes 2 units: no speed-up at all.
+        assert!((exact_speedup(16, 0.875, 8) - 1.0).abs() < 1e-9);
+        // Below 8 cores performance is worse than sequential.
+        assert!(exact_speedup(16, 0.875, 4) < 1.0);
+    }
+
+    #[test]
+    fn speedup_monotone_in_cores_and_antitone_in_conflict() {
+        for &x in &[10u64, 100, 1000] {
+            let mut prev = 0.0;
+            for n in [1usize, 2, 4, 8, 16, 64] {
+                let r = speculative_speedup(x, 0.3, n);
+                assert!(r >= prev - 1e-12, "x={x} n={n}");
+                prev = r;
+            }
+            let mut prev = f64::INFINITY;
+            for c in [0.0, 0.1, 0.3, 0.6, 0.9, 1.0] {
+                let r = speculative_speedup(x, c, 8);
+                assert!(r <= prev + 1e-12, "x={x} c={c}");
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn fully_conflicted_blocks_are_slower_than_sequential() {
+        // c = 1: everything is executed twice (once speculatively, once sequentially).
+        assert!(speculative_speedup(1_000, 1.0, 8) < 1.0);
+        assert!(exact_speedup(1_000, 1.0, 8) < 1.0);
+    }
+
+    #[test]
+    fn oracle_beats_blind_speculation_when_conflicts_are_high() {
+        let blind = speculative_speedup(1_000, 0.8, 8);
+        let oracle = oracle_speedup(1_000, 0.8, 8, 0.0);
+        assert!(oracle >= blind);
+    }
+
+    #[test]
+    fn oracle_preprocessing_cost_reduces_speedup() {
+        let cheap = oracle_speedup(1_000, 0.5, 8, 0.0);
+        let pricey = oracle_speedup(1_000, 0.5, 8, 200.0);
+        assert!(pricey < cheap);
+    }
+
+    #[test]
+    fn empty_blocks_yield_zero() {
+        assert_eq!(speculative_speedup(0, 0.5, 8), 0.0);
+        assert_eq!(exact_speedup(0, 0.5, 8), 0.0);
+        assert_eq!(oracle_speedup(0, 0.5, 8, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn zero_cores_panics() {
+        let _ = speculative_speedup(10, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflict rate")]
+    fn invalid_conflict_rate_panics() {
+        let _ = speculative_speedup(10, 1.5, 4);
+    }
+}

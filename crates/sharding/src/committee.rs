@@ -1,0 +1,186 @@
+//! Committees (shards) and node-to-committee assignment.
+
+use crate::PowSolution;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node id.
+    pub const fn new(value: u64) -> Self {
+        NodeId(value)
+    }
+
+    /// The raw value.
+    pub const fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifier of a shard (committee).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ShardId(u32);
+
+impl ShardId {
+    /// Creates a shard id.
+    pub const fn new(value: u32) -> Self {
+        ShardId(value)
+    }
+
+    /// The raw value.
+    pub const fn value(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// One committee: a shard id plus its member nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Committee {
+    id: ShardId,
+    members: Vec<NodeId>,
+}
+
+impl Committee {
+    /// Creates a committee.
+    pub fn new(id: ShardId, members: Vec<NodeId>) -> Self {
+        Committee { id, members }
+    }
+
+    /// The shard id.
+    pub fn id(&self) -> ShardId {
+        self.id
+    }
+
+    /// The member nodes.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the committee has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The assignment of nodes to committees for one DS epoch, derived from PoW solutions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitteeAssignment {
+    committees: Vec<Committee>,
+}
+
+impl CommitteeAssignment {
+    /// Assigns each solution's node to a committee by its solution hash modulo the
+    /// number of shards (Zilliqa uses the trailing bits of the PoW result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn from_solutions(solutions: &[PowSolution], num_shards: u32) -> Self {
+        assert!(num_shards > 0, "at least one shard required");
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num_shards as usize];
+        for sol in solutions {
+            let shard = (sol.hash().low_u64() % num_shards as u64) as usize;
+            members[shard].push(sol.node());
+        }
+        let committees = members
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| Committee::new(ShardId::new(i as u32), m))
+            .collect();
+        CommitteeAssignment { committees }
+    }
+
+    /// All committees, indexed by shard id.
+    pub fn committees(&self) -> &[Committee] {
+        &self.committees
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.committees.len()
+    }
+
+    /// The committee a node belongs to, if any.
+    pub fn shard_of(&self, node: NodeId) -> Option<ShardId> {
+        self.committees
+            .iter()
+            .find(|c| c.members().contains(&node))
+            .map(|c| c.id())
+    }
+
+    /// Total number of assigned nodes.
+    pub fn node_count(&self) -> usize {
+        self.committees.iter().map(|c| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_pow;
+
+    fn solutions(n: u64, epoch: u64) -> Vec<PowSolution> {
+        (0..n).map(|i| solve_pow(NodeId::new(i), epoch)).collect()
+    }
+
+    #[test]
+    fn every_node_lands_in_exactly_one_committee() {
+        let assignment = CommitteeAssignment::from_solutions(&solutions(100, 1), 4);
+        assert_eq!(assignment.shard_count(), 4);
+        assert_eq!(assignment.node_count(), 100);
+        for i in 0..100 {
+            assert!(assignment.shard_of(NodeId::new(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn assignment_is_roughly_balanced() {
+        let assignment = CommitteeAssignment::from_solutions(&solutions(400, 7), 4);
+        for committee in assignment.committees() {
+            // With 400 nodes over 4 shards each shard should get 100 +- a wide margin.
+            assert!(committee.len() > 50 && committee.len() < 150, "{}", committee.len());
+        }
+    }
+
+    #[test]
+    fn different_epochs_reshuffle_nodes() {
+        let a = CommitteeAssignment::from_solutions(&solutions(64, 1), 4);
+        let b = CommitteeAssignment::from_solutions(&solutions(64, 2), 4);
+        let moved = (0..64)
+            .filter(|&i| a.shard_of(NodeId::new(i)) != b.shard_of(NodeId::new(i)))
+            .count();
+        assert!(moved > 10, "only {moved} nodes changed shard");
+    }
+
+    #[test]
+    fn unknown_node_has_no_shard() {
+        let assignment = CommitteeAssignment::from_solutions(&solutions(10, 1), 2);
+        assert_eq!(assignment.shard_of(NodeId::new(999)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = CommitteeAssignment::from_solutions(&[], 0);
+    }
+}

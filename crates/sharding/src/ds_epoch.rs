@@ -1,0 +1,71 @@
+//! Directory-service epochs.
+
+use crate::{solve_pow, CommitteeAssignment, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A directory-service (DS) epoch: the period between two committee reshuffles.
+///
+/// At the start of each DS epoch every node submits a PoW solution, the solutions
+/// determine the committee assignment, and a number of transaction blocks are then
+/// produced under that assignment before the next reshuffle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DsEpoch {
+    number: u64,
+    assignment: CommitteeAssignment,
+    tx_blocks: u64,
+}
+
+impl DsEpoch {
+    /// Starts DS epoch `number` with the given participating nodes, `num_shards`
+    /// committees and `tx_blocks` transaction blocks before the next reshuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero (propagated from the assignment).
+    pub fn start(number: u64, nodes: &[NodeId], num_shards: u32, tx_blocks: u64) -> Self {
+        let solutions: Vec<_> = nodes.iter().map(|&n| solve_pow(n, number)).collect();
+        DsEpoch {
+            number,
+            assignment: CommitteeAssignment::from_solutions(&solutions, num_shards),
+            tx_blocks,
+        }
+    }
+
+    /// The epoch number.
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// The committee assignment in force during this epoch.
+    pub fn assignment(&self) -> &CommitteeAssignment {
+        &self.assignment
+    }
+
+    /// The number of transaction blocks produced per DS epoch.
+    pub fn tx_blocks(&self) -> u64 {
+        self.tx_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_assigns_all_nodes() {
+        let nodes: Vec<_> = (0..30).map(NodeId::new).collect();
+        let epoch = DsEpoch::start(3, &nodes, 3, 50);
+        assert_eq!(epoch.number(), 3);
+        assert_eq!(epoch.tx_blocks(), 50);
+        assert_eq!(epoch.assignment().node_count(), 30);
+        assert_eq!(epoch.assignment().shard_count(), 3);
+    }
+
+    #[test]
+    fn consecutive_epochs_reshuffle() {
+        let nodes: Vec<_> = (0..64).map(NodeId::new).collect();
+        let e1 = DsEpoch::start(1, &nodes, 4, 10);
+        let e2 = DsEpoch::start(2, &nodes, 4, 10);
+        assert_ne!(e1.assignment(), e2.assignment());
+    }
+}

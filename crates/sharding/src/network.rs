@@ -1,0 +1,221 @@
+//! The sharded network: node assignment, transaction routing and block production.
+
+use crate::{DsEpoch, FinalBlock, MicroBlock, NodeId, ShardId};
+use blockconc_account::AccountTransaction;
+use blockconc_types::{Address, BlockHeight};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a sharded network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardingConfig {
+    /// Number of transaction-processing committees.
+    pub num_shards: u32,
+    /// Number of nodes participating in PoW each DS epoch.
+    pub num_nodes: u64,
+    /// Transaction blocks produced per DS epoch before reshuffling.
+    pub tx_blocks_per_ds_epoch: u64,
+}
+
+impl ShardingConfig {
+    /// A small configuration convenient for tests and examples (4 shards, 400 nodes).
+    pub fn small() -> Self {
+        ShardingConfig {
+            num_shards: 4,
+            num_nodes: 400,
+            tx_blocks_per_ds_epoch: 50,
+        }
+    }
+
+    /// A configuration with Zilliqa-mainnet-like proportions (shards of ~600 nodes).
+    pub fn zilliqa_mainnet() -> Self {
+        ShardingConfig {
+            num_shards: 4,
+            num_nodes: 2_400,
+            tx_blocks_per_ds_epoch: 100,
+        }
+    }
+}
+
+/// The result of routing a batch of transactions to shards for one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedTransactions {
+    per_shard: Vec<Vec<AccountTransaction>>,
+    cross_shard: usize,
+}
+
+impl RoutedTransactions {
+    /// Transactions routed to each shard, indexed by shard id.
+    pub fn per_shard(&self) -> &[Vec<AccountTransaction>] {
+        &self.per_shard
+    }
+
+    /// Number of transactions whose receiver lives on a different shard than the
+    /// sender (Zilliqa cannot process these atomically; they are still routed by
+    /// sender, but the count quantifies the limitation the paper mentions).
+    pub fn cross_shard_count(&self) -> usize {
+        self.cross_shard
+    }
+
+    /// Total number of routed transactions.
+    pub fn total_transactions(&self) -> usize {
+        self.per_shard.iter().map(|v| v.len()).sum()
+    }
+}
+
+/// A simulated sharded network.
+///
+/// # Examples
+///
+/// See the [crate documentation](crate).
+#[derive(Debug)]
+pub struct ShardedNetwork {
+    config: ShardingConfig,
+    epoch: DsEpoch,
+    next_height: BlockHeight,
+    blocks_in_epoch: u64,
+}
+
+impl ShardedNetwork {
+    /// Creates a network and runs the first DS epoch's PoW assignment.
+    ///
+    /// The `seed` offsets epoch numbers so different seeds give different assignments.
+    pub fn new(config: ShardingConfig, seed: u64) -> Self {
+        let nodes: Vec<_> = (0..config.num_nodes).map(NodeId::new).collect();
+        let epoch = DsEpoch::start(seed, &nodes, config.num_shards, config.tx_blocks_per_ds_epoch);
+        ShardedNetwork {
+            config,
+            epoch,
+            next_height: BlockHeight::GENESIS,
+            blocks_in_epoch: 0,
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &ShardingConfig {
+        &self.config
+    }
+
+    /// The current DS epoch.
+    pub fn epoch(&self) -> &DsEpoch {
+        &self.epoch
+    }
+
+    /// The shard responsible for transactions sent from `address` (Zilliqa routes by
+    /// the sender's address bits).
+    pub fn shard_for_sender(&self, address: Address) -> ShardId {
+        ShardId::new((address.low_u64() % self.config.num_shards as u64) as u32)
+    }
+
+    /// Routes a batch of transactions to shards by sender address.
+    pub fn route_transactions(&self, txs: Vec<AccountTransaction>) -> RoutedTransactions {
+        let mut per_shard: Vec<Vec<AccountTransaction>> =
+            vec![Vec::new(); self.config.num_shards as usize];
+        let mut cross_shard = 0usize;
+        for tx in txs {
+            let sender_shard = self.shard_for_sender(tx.sender());
+            let receiver_shard = self.shard_for_sender(tx.receiver());
+            if sender_shard != receiver_shard {
+                cross_shard += 1;
+            }
+            per_shard[sender_shard.value() as usize].push(tx);
+        }
+        RoutedTransactions {
+            per_shard,
+            cross_shard,
+        }
+    }
+
+    /// Produces the next final block from a batch of transactions: routes them, forms
+    /// one microblock per shard, merges the microblocks, and advances the DS epoch if
+    /// its block budget is exhausted.
+    pub fn produce_final_block(&mut self, txs: Vec<AccountTransaction>) -> FinalBlock {
+        let height = self.next_height;
+        let routed = self.route_transactions(txs);
+        let microblocks: Vec<MicroBlock> = routed
+            .per_shard
+            .iter()
+            .enumerate()
+            .map(|(shard, txs)| MicroBlock::new(ShardId::new(shard as u32), height, txs.clone()))
+            .collect();
+        let block = FinalBlock::merge(height, microblocks);
+
+        self.next_height = height.next();
+        self.blocks_in_epoch += 1;
+        if self.blocks_in_epoch >= self.config.tx_blocks_per_ds_epoch {
+            let nodes: Vec<_> = (0..self.config.num_nodes).map(NodeId::new).collect();
+            self.epoch = DsEpoch::start(
+                self.epoch.number() + 1,
+                &nodes,
+                self.config.num_shards,
+                self.config.tx_blocks_per_ds_epoch,
+            );
+            self.blocks_in_epoch = 0;
+        }
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_types::Amount;
+
+    fn tx(sender: u64, receiver: u64) -> AccountTransaction {
+        AccountTransaction::transfer(
+            Address::from_low(sender),
+            Address::from_low(receiver),
+            Amount::from_sats(1),
+            0,
+        )
+    }
+
+    #[test]
+    fn routing_is_by_sender_address() {
+        let network = ShardedNetwork::new(ShardingConfig::small(), 1);
+        let routed = network.route_transactions(vec![tx(0, 100), tx(1, 101), tx(4, 102), tx(5, 103)]);
+        // Senders 0 and 4 share shard 0; senders 1 and 5 share shard 1 (modulo 4).
+        assert_eq!(routed.per_shard()[0].len(), 2);
+        assert_eq!(routed.per_shard()[1].len(), 2);
+        assert_eq!(routed.total_transactions(), 4);
+    }
+
+    #[test]
+    fn cross_shard_transactions_are_counted() {
+        let network = ShardedNetwork::new(ShardingConfig::small(), 1);
+        // Sender 0 -> receiver 1: shards 0 and 1 differ.
+        let routed = network.route_transactions(vec![tx(0, 1), tx(0, 4)]);
+        assert_eq!(routed.cross_shard_count(), 1);
+    }
+
+    #[test]
+    fn final_block_contains_all_transactions() {
+        let mut network = ShardedNetwork::new(ShardingConfig::small(), 1);
+        let block = network.produce_final_block((0..20).map(|i| tx(i, i + 500)).collect());
+        assert_eq!(block.transaction_count(), 20);
+        assert_eq!(block.height(), BlockHeight::GENESIS);
+        let block2 = network.produce_final_block(vec![]);
+        assert_eq!(block2.height().value(), 1);
+    }
+
+    #[test]
+    fn ds_epoch_advances_after_block_budget() {
+        let config = ShardingConfig {
+            num_shards: 2,
+            num_nodes: 20,
+            tx_blocks_per_ds_epoch: 3,
+        };
+        let mut network = ShardedNetwork::new(config, 0);
+        let first_epoch = network.epoch().number();
+        for _ in 0..3 {
+            network.produce_final_block(vec![]);
+        }
+        assert_eq!(network.epoch().number(), first_epoch + 1);
+    }
+
+    #[test]
+    fn seeds_change_assignment() {
+        let a = ShardedNetwork::new(ShardingConfig::small(), 1);
+        let b = ShardedNetwork::new(ShardingConfig::small(), 2);
+        assert_ne!(a.epoch().assignment(), b.epoch().assignment());
+    }
+}

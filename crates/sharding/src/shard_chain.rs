@@ -1,0 +1,201 @@
+//! Per-shard microblocks and the merged final transaction block.
+
+use crate::ShardId;
+use blockconc_account::AccountTransaction;
+use blockconc_types::BlockHeight;
+
+/// The transactions processed by one shard in one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroBlock {
+    shard: ShardId,
+    height: BlockHeight,
+    transactions: Vec<AccountTransaction>,
+}
+
+impl MicroBlock {
+    /// Creates a microblock.
+    pub fn new(shard: ShardId, height: BlockHeight, transactions: Vec<AccountTransaction>) -> Self {
+        MicroBlock {
+            shard,
+            height,
+            transactions,
+        }
+    }
+
+    /// The shard that produced the microblock.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// The final-block height this microblock belongs to.
+    pub fn height(&self) -> BlockHeight {
+        self.height
+    }
+
+    /// The transactions, in shard-local order.
+    pub fn transactions(&self) -> &[AccountTransaction] {
+        &self.transactions
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Returns `true` if the microblock is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+}
+
+/// The final transaction block: the DS committee's merge of all shards' microblocks
+/// for one round. This is the unit the paper's Zilliqa analysis operates on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinalBlock {
+    height: BlockHeight,
+    microblocks: Vec<MicroBlock>,
+}
+
+impl FinalBlock {
+    /// Merges microblocks (all of the same height) into a final block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the microblocks disagree on the height.
+    pub fn merge(height: BlockHeight, microblocks: Vec<MicroBlock>) -> Self {
+        assert!(
+            microblocks.iter().all(|mb| mb.height() == height),
+            "all microblocks must share the final block height"
+        );
+        FinalBlock {
+            height,
+            microblocks,
+        }
+    }
+
+    /// The final block height.
+    pub fn height(&self) -> BlockHeight {
+        self.height
+    }
+
+    /// The microblocks, ordered by shard id.
+    pub fn microblocks(&self) -> &[MicroBlock] {
+        &self.microblocks
+    }
+
+    /// All transactions, microblock by microblock (the canonical final-block order).
+    pub fn transactions(&self) -> impl Iterator<Item = &AccountTransaction> {
+        self.microblocks.iter().flat_map(|mb| mb.transactions().iter())
+    }
+
+    /// Total number of transactions in the final block.
+    pub fn transaction_count(&self) -> usize {
+        self.microblocks.iter().map(|mb| mb.len()).sum()
+    }
+}
+
+/// A shard's local chain of microblocks (one per round it has participated in).
+#[derive(Debug, Clone, Default)]
+pub struct ShardChain {
+    shard: Option<ShardId>,
+    microblocks: Vec<MicroBlock>,
+}
+
+impl ShardChain {
+    /// Creates an empty chain for `shard`.
+    pub fn new(shard: ShardId) -> Self {
+        ShardChain {
+            shard: Some(shard),
+            microblocks: Vec::new(),
+        }
+    }
+
+    /// The shard this chain belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain was default-constructed without a shard.
+    pub fn shard(&self) -> ShardId {
+        self.shard.expect("shard chain without shard id")
+    }
+
+    /// Appends a microblock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the microblock belongs to a different shard.
+    pub fn push(&mut self, microblock: MicroBlock) {
+        assert_eq!(
+            microblock.shard(),
+            self.shard(),
+            "microblock belongs to a different shard"
+        );
+        self.microblocks.push(microblock);
+    }
+
+    /// The microblocks, in append order.
+    pub fn microblocks(&self) -> &[MicroBlock] {
+        &self.microblocks
+    }
+
+    /// Number of microblocks.
+    pub fn len(&self) -> usize {
+        self.microblocks.len()
+    }
+
+    /// Returns `true` if no microblocks have been produced.
+    pub fn is_empty(&self) -> bool {
+        self.microblocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_types::{Address, Amount};
+
+    fn tx(sender: u64) -> AccountTransaction {
+        AccountTransaction::transfer(
+            Address::from_low(sender),
+            Address::from_low(sender + 1000),
+            Amount::from_sats(1),
+            0,
+        )
+    }
+
+    #[test]
+    fn final_block_merges_and_counts() {
+        let height = BlockHeight::new(5);
+        let mb0 = MicroBlock::new(ShardId::new(0), height, vec![tx(1), tx(2)]);
+        let mb1 = MicroBlock::new(ShardId::new(1), height, vec![tx(3)]);
+        let final_block = FinalBlock::merge(height, vec![mb0, mb1]);
+        assert_eq!(final_block.transaction_count(), 3);
+        assert_eq!(final_block.transactions().count(), 3);
+        assert_eq!(final_block.microblocks().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the final block height")]
+    fn mismatched_heights_panic() {
+        let mb0 = MicroBlock::new(ShardId::new(0), BlockHeight::new(5), vec![]);
+        let mb1 = MicroBlock::new(ShardId::new(1), BlockHeight::new(6), vec![]);
+        let _ = FinalBlock::merge(BlockHeight::new(5), vec![mb0, mb1]);
+    }
+
+    #[test]
+    fn shard_chain_accumulates_own_microblocks() {
+        let mut chain = ShardChain::new(ShardId::new(2));
+        assert!(chain.is_empty());
+        chain.push(MicroBlock::new(ShardId::new(2), BlockHeight::new(1), vec![tx(1)]));
+        chain.push(MicroBlock::new(ShardId::new(2), BlockHeight::new(2), vec![]));
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.shard(), ShardId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different shard")]
+    fn foreign_microblock_is_rejected() {
+        let mut chain = ShardChain::new(ShardId::new(0));
+        chain.push(MicroBlock::new(ShardId::new(1), BlockHeight::new(1), vec![]));
+    }
+}

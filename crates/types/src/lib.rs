@@ -1,0 +1,40 @@
+//! Shared primitive types for the `blockconc` workspace.
+//!
+//! This crate defines the small, dependency-light vocabulary used by every other
+//! crate in the reproduction of *On Exploiting Transaction Concurrency To Speed Up
+//! Blockchains* (ICDCS 2020): hashes, addresses, monetary amounts, gas quantities,
+//! block heights, timestamps, deterministic random-number helpers and the common
+//! error type.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockconc_types::{Address, Amount, Hash, TxId};
+//!
+//! let coinbase = TxId::from_low(0);
+//! let alice = Address::from_low(1);
+//! let fee = Amount::from_sats(1_000);
+//! assert_eq!(fee.sats(), 1_000);
+//! assert_ne!(Hash::of_bytes(b"a"), Hash::of_bytes(b"b"));
+//! assert_ne!(coinbase.hash(), TxId::from_low(1).hash());
+//! let _ = alice;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address;
+mod amount;
+mod error;
+mod gas;
+mod hash;
+mod rng;
+mod time;
+
+pub use address::Address;
+pub use amount::Amount;
+pub use error::{Error, Result};
+pub use gas::Gas;
+pub use hash::{Hash, TxId};
+pub use rng::DeterministicRng;
+pub use time::{BlockHeight, Timestamp};

@@ -1,0 +1,274 @@
+//! Deterministic random number generation.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// A deterministic, seedable random-number generator used by every simulator in the
+/// workspace so that experiments, tests and benchmarks are exactly reproducible across
+/// runs and platforms.
+///
+/// Wraps [`ChaCha12Rng`]; the wrapper exists so that downstream crates depend on a
+/// single, stable RNG choice and so that convenience sampling helpers (geometric,
+/// Zipf-like, Poisson-ish) live in one place.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_types::DeterministicRng;
+///
+/// let mut a = DeterministicRng::seed(42);
+/// let mut b = DeterministicRng::seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let p = a.probability();
+/// assert!((0.0..1.0).contains(&p));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    inner: ChaCha12Rng,
+}
+
+impl DeterministicRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        DeterministicRng {
+            inner: ChaCha12Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives a child generator for an independent sub-stream (e.g. one per block).
+    ///
+    /// Children with different `stream` values produce statistically independent
+    /// sequences while remaining fully determined by the parent seed.
+    pub fn child(&self, stream: u64) -> Self {
+        let mut inner = self.inner.clone();
+        inner.set_stream(stream);
+        DeterministicRng { inner }
+    }
+
+    /// Returns the next random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Samples a uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Samples a uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Samples a uniform probability in `[0, 1)`.
+    pub fn probability(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn happens(&mut self, p: f64) -> bool {
+        self.probability() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples a geometric number of trials until first success with success
+    /// probability `p` (support `{1, 2, ...}`, capped at `cap`).
+    pub fn geometric(&mut self, p: f64, cap: u64) -> u64 {
+        let p = p.clamp(1e-9, 1.0);
+        let mut n = 1;
+        while n < cap && !self.happens(p) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Samples an approximately Poisson-distributed count with mean `lambda`
+    /// (Knuth's method for small lambda, normal approximation for large lambda).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            // Normal approximation with continuity correction.
+            let z = self.standard_normal();
+            let v = lambda + lambda.sqrt() * z;
+            return v.max(0.0).round() as u64;
+        }
+        let threshold = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.probability();
+            if p <= threshold {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Samples from a standard normal distribution (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.probability().max(1e-12);
+        let u2: f64 = self.probability();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Samples an index in `[0, n)` from a Zipf-like distribution with exponent `s`.
+    ///
+    /// Index 0 is the most popular. Uses inverse-CDF sampling over the truncated
+    /// harmonic weights; `n` is expected to be modest (≤ ~1e6) as in our user models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf over empty support");
+        // Approximate inverse CDF via rejection-free bisection over the continuous
+        // approximation, then clamp. Accurate enough for workload skew modelling.
+        let u = self.probability();
+        if (s - 1.0).abs() < 1e-9 {
+            let h_n = (n as f64).ln() + 0.5772;
+            let target = u * h_n;
+            let idx = (target.exp() - 1.0).round() as usize;
+            return idx.min(n - 1);
+        }
+        let one_minus_s = 1.0 - s;
+        let norm = ((n as f64).powf(one_minus_s) - 1.0) / one_minus_s;
+        let x = (u * norm * one_minus_s + 1.0).powf(1.0 / one_minus_s);
+        (x.floor() as usize).saturating_sub(1).min(n - 1)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        if slice.len() < 2 {
+            return;
+        }
+        for i in (1..slice.len()).rev() {
+            let j = self.below((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "pick from empty slice");
+        &slice[self.below(slice.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DeterministicRng::seed(7);
+        let mut b = DeterministicRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DeterministicRng::seed(1);
+        let mut b = DeterministicRng::seed(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn child_streams_are_independent_but_deterministic() {
+        let parent = DeterministicRng::seed(9);
+        let mut c1 = parent.child(1);
+        let mut c2 = parent.child(2);
+        let mut c1_again = parent.child(1);
+        assert_eq!(c1.next_u64(), c1_again.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn below_and_range_respect_bounds() {
+        let mut rng = DeterministicRng::seed(3);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+            let v = rng.range(5, 8);
+            assert!((5..=8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn happens_extremes() {
+        let mut rng = DeterministicRng::seed(4);
+        assert!(!rng.happens(0.0));
+        assert!(rng.happens(1.0));
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut rng = DeterministicRng::seed(5);
+        for lambda in [0.5, 3.0, 50.0] {
+            let n = 4000;
+            let total: u64 = (0..n).map(|_| rng.poisson(lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda * 0.15 + 0.2,
+                "lambda={lambda} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_towards_low_indices() {
+        let mut rng = DeterministicRng::seed(6);
+        let mut low = 0;
+        let n = 5000;
+        for _ in 0..n {
+            if rng.zipf(1000, 1.1) < 10 {
+                low += 1;
+            }
+        }
+        // With heavy skew a large share of samples land in the top-10 indices.
+        assert!(low as f64 / n as f64 > 0.2, "low share {}", low as f64 / n as f64);
+    }
+
+    #[test]
+    fn geometric_respects_cap() {
+        let mut rng = DeterministicRng::seed(8);
+        for _ in 0..100 {
+            assert!(rng.geometric(0.01, 5) <= 5);
+            assert!(rng.geometric(1.0, 5) == 1);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = DeterministicRng::seed(10);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut rng = DeterministicRng::seed(11);
+        let v = [1, 2, 3];
+        for _ in 0..20 {
+            assert!(v.contains(rng.pick(&v)));
+        }
+    }
+}

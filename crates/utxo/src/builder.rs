@@ -1,0 +1,202 @@
+//! Fluent builders for transactions and blocks.
+
+use crate::{OutPoint, TxOut, UtxoBlock, UtxoTransaction};
+use blockconc_types::{Address, Amount, BlockHeight, Timestamp};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global nonce counter so that builders produce distinct transaction ids without the
+/// caller having to thread nonces manually. Tests that need full determinism supply
+/// explicit nonces via [`TransactionBuilder::nonce`].
+static NEXT_NONCE: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_nonce() -> u64 {
+    NEXT_NONCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Builder for [`UtxoTransaction`] values ([C-BUILDER]).
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_types::{Address, Amount, TxId};
+/// use blockconc_utxo::{OutPoint, TransactionBuilder};
+///
+/// let tx = TransactionBuilder::new()
+///     .input(OutPoint::new(TxId::from_low(1), 0))
+///     .output(Address::from_low(2), Amount::from_sats(900))
+///     .output(Address::from_low(1), Amount::from_sats(90)) // change
+///     .build();
+/// assert_eq!(tx.outputs().len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TransactionBuilder {
+    inputs: Vec<OutPoint>,
+    outputs: Vec<TxOut>,
+    nonce: Option<u64>,
+}
+
+impl TransactionBuilder {
+    /// Creates an empty builder for a regular transaction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a coinbase transaction directly (coinbases have a fixed shape, so no
+    /// builder chain is needed).
+    pub fn coinbase(miner: Address, reward: Amount, nonce: u64) -> UtxoTransaction {
+        UtxoTransaction::coinbase(miner, reward, nonce)
+    }
+
+    /// Adds an input spending `outpoint`.
+    pub fn input(mut self, outpoint: OutPoint) -> Self {
+        self.inputs.push(outpoint);
+        self
+    }
+
+    /// Adds an output paying `value` to `owner`.
+    pub fn output(mut self, owner: Address, value: Amount) -> Self {
+        self.outputs.push(TxOut::new(owner, value));
+        self
+    }
+
+    /// Fixes the id nonce (otherwise a fresh process-unique nonce is used).
+    pub fn nonce(mut self, nonce: u64) -> Self {
+        self.nonce = Some(nonce);
+        self
+    }
+
+    /// Builds the transaction.
+    pub fn build(self) -> UtxoTransaction {
+        let nonce = self.nonce.unwrap_or_else(fresh_nonce);
+        UtxoTransaction::new(self.inputs, self.outputs, nonce)
+    }
+}
+
+/// Builder for [`UtxoBlock`] values.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_types::{Address, Amount};
+/// use blockconc_utxo::BlockBuilder;
+///
+/// let block = BlockBuilder::new(100, 1_500_000_000)
+///     .coinbase(Address::from_low(1), Amount::from_coins(25))
+///     .build();
+/// assert_eq!(block.height().value(), 100);
+/// ```
+#[derive(Debug)]
+pub struct BlockBuilder {
+    height: BlockHeight,
+    timestamp: Timestamp,
+    transactions: Vec<UtxoTransaction>,
+}
+
+impl BlockBuilder {
+    /// Starts a block at `height` with a Unix-seconds `timestamp`.
+    pub fn new(height: u64, timestamp: u64) -> Self {
+        BlockBuilder {
+            height: BlockHeight::new(height),
+            timestamp: Timestamp::from_unix(timestamp),
+            transactions: Vec::new(),
+        }
+    }
+
+    /// Prepends a coinbase transaction paying `reward` to `miner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coinbase was already added.
+    pub fn coinbase(mut self, miner: Address, reward: Amount) -> Self {
+        assert!(
+            !self.transactions.iter().any(|tx| tx.is_coinbase()),
+            "block already has a coinbase"
+        );
+        self.transactions
+            .insert(0, UtxoTransaction::coinbase(miner, reward, fresh_nonce()));
+        self
+    }
+
+    /// Appends a regular transaction.
+    pub fn transaction(mut self, tx: UtxoTransaction) -> Self {
+        self.transactions.push(tx);
+        self
+    }
+
+    /// Appends several transactions in order.
+    pub fn transactions(mut self, txs: impl IntoIterator<Item = UtxoTransaction>) -> Self {
+        self.transactions.extend(txs);
+        self
+    }
+
+    /// Builds the block.
+    pub fn build(self) -> UtxoBlock {
+        UtxoBlock::new(self.height, self.timestamp, self.transactions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_types::TxId;
+
+    #[test]
+    fn builder_collects_inputs_and_outputs_in_order() {
+        let tx = TransactionBuilder::new()
+            .input(OutPoint::new(TxId::from_low(1), 0))
+            .input(OutPoint::new(TxId::from_low(2), 1))
+            .output(Address::from_low(3), Amount::from_sats(7))
+            .build();
+        assert_eq!(tx.inputs().len(), 2);
+        assert_eq!(tx.inputs()[1].vout(), 1);
+        assert_eq!(tx.outputs()[0].value().sats(), 7);
+    }
+
+    #[test]
+    fn fresh_nonces_give_distinct_ids() {
+        let a = TransactionBuilder::new()
+            .output(Address::from_low(1), Amount::from_sats(1))
+            .input(OutPoint::new(TxId::from_low(9), 0))
+            .build();
+        let b = TransactionBuilder::new()
+            .output(Address::from_low(1), Amount::from_sats(1))
+            .input(OutPoint::new(TxId::from_low(9), 0))
+            .build();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn explicit_nonce_gives_reproducible_ids() {
+        let mk = || {
+            TransactionBuilder::new()
+                .nonce(42)
+                .input(OutPoint::new(TxId::from_low(9), 0))
+                .output(Address::from_low(1), Amount::from_sats(1))
+                .build()
+        };
+        assert_eq!(mk().id(), mk().id());
+    }
+
+    #[test]
+    fn block_builder_places_coinbase_first() {
+        let tx = TransactionBuilder::new()
+            .input(OutPoint::new(TxId::from_low(9), 0))
+            .output(Address::from_low(1), Amount::from_sats(1))
+            .build();
+        let block = BlockBuilder::new(5, 100)
+            .transaction(tx)
+            .coinbase(Address::from_low(7), Amount::from_coins(50))
+            .build();
+        assert!(block.transactions()[0].is_coinbase());
+        assert_eq!(block.height().value(), 5);
+        assert_eq!(block.timestamp().as_unix(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a coinbase")]
+    fn two_coinbases_panic() {
+        let _ = BlockBuilder::new(5, 100)
+            .coinbase(Address::from_low(7), Amount::from_coins(50))
+            .coinbase(Address::from_low(8), Amount::from_coins(50));
+    }
+}

@@ -1,0 +1,57 @@
+//! UTXO-based ledger substrate (Bitcoin, Bitcoin Cash, Litecoin, Dogecoin).
+//!
+//! This crate models the data layer of UTXO blockchains at the level of detail the
+//! paper's analysis needs: transactions consume previously created transaction outputs
+//! (TXOs) and create new ones, nodes track the set of unspent TXOs (the UTXO set), and
+//! a block is valid if every non-coinbase input refers to a TXO that is either in the
+//! current UTXO set or created earlier in the same block and not yet spent.
+//!
+//! Intra-block spends — a TXO created *and* spent inside one block — are exactly the
+//! edges of the paper's transaction dependency graph for UTXO chains, so the block and
+//! validation logic here preserves ordering information needed by `blockconc-graph`.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockconc_types::{Address, Amount};
+//! use blockconc_utxo::{BlockBuilder, TransactionBuilder, UtxoSet};
+//!
+//! // Genesis coinbase pays a miner, who then pays Alice within a later block.
+//! let miner = Address::from_low(1);
+//! let alice = Address::from_low(2);
+//!
+//! let coinbase = TransactionBuilder::coinbase(miner, Amount::from_coins(50), 0);
+//! let mut set = UtxoSet::new();
+//! set.apply_transaction(&coinbase).unwrap();
+//!
+//! let spend = TransactionBuilder::new()
+//!     .input(coinbase.outpoint(0))
+//!     .output(alice, Amount::from_coins(49))
+//!     .output(miner, Amount::from_coins(1))
+//!     .build();
+//!
+//! let block = BlockBuilder::new(1, 1_300_000_000)
+//!     .coinbase(miner, Amount::from_coins(50))
+//!     .transaction(spend)
+//!     .build();
+//! block.validate(&set).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod builder;
+mod outpoint;
+mod transaction;
+mod txo;
+mod utxo_set;
+mod validation;
+
+pub use block::UtxoBlock;
+pub use builder::{BlockBuilder, TransactionBuilder};
+pub use outpoint::OutPoint;
+pub use transaction::{TxKind, UtxoTransaction};
+pub use txo::TxOut;
+pub use utxo_set::UtxoSet;
+pub use validation::{validate_block, validate_transaction};

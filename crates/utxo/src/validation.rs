@@ -1,0 +1,257 @@
+//! Block and transaction validation rules.
+
+use crate::{OutPoint, TxOut, UtxoBlock, UtxoSet, UtxoTransaction};
+use blockconc_types::{Amount, Error, Result};
+use std::collections::HashMap;
+
+/// Validates a single regular transaction against a view of available outputs.
+///
+/// `available` must resolve every input outpoint; the value of the outputs must not
+/// exceed the value of the inputs (the difference is the implicit fee).
+///
+/// # Errors
+///
+/// * [`Error::Validation`] for structural problems (coinbase passed in, no inputs,
+///   no outputs, duplicate inputs, output value exceeding input value).
+/// * [`Error::MissingState`] if an input cannot be resolved.
+pub fn validate_transaction(
+    tx: &UtxoTransaction,
+    available: &dyn Fn(&OutPoint) -> Option<TxOut>,
+) -> Result<()> {
+    if tx.is_coinbase() {
+        return Err(Error::validation("coinbase passed to validate_transaction"));
+    }
+    if tx.inputs().is_empty() {
+        return Err(Error::validation(format!("transaction {} has no inputs", tx.id())));
+    }
+    if tx.outputs().is_empty() {
+        return Err(Error::validation(format!("transaction {} has no outputs", tx.id())));
+    }
+    let mut seen = std::collections::HashSet::with_capacity(tx.inputs().len());
+    let mut input_value = Amount::ZERO;
+    for input in tx.inputs() {
+        if !seen.insert(*input) {
+            return Err(Error::validation(format!(
+                "transaction {} spends input {input} twice",
+                tx.id()
+            )));
+        }
+        let resolved = available(input).ok_or_else(|| {
+            Error::missing_state(format!("transaction {} spends unknown TXO {input}", tx.id()))
+        })?;
+        input_value = input_value
+            .checked_add(resolved.value())
+            .ok_or_else(|| Error::validation("input value overflow"))?;
+    }
+    let output_value = tx.output_value();
+    if output_value > input_value {
+        return Err(Error::insufficient_funds(format!(
+            "transaction {} creates {} from only {}",
+            tx.id(),
+            output_value.sats(),
+            input_value.sats()
+        )));
+    }
+    Ok(())
+}
+
+/// Validates a whole block against the pre-block UTXO set.
+///
+/// Rules enforced (mirroring what matters for the paper's dependency analysis):
+///
+/// 1. at most one coinbase, and if present it must be the first transaction;
+/// 2. every regular input resolves either to the pre-block UTXO set or to an output
+///    created by an **earlier** transaction in the same block and not already spent
+///    within the block;
+/// 3. no outpoint is spent twice anywhere in the block;
+/// 4. every transaction's output value is bounded by its input value.
+///
+/// # Errors
+///
+/// Returns the first rule violation found, as a [`Error::Validation`],
+/// [`Error::MissingState`] or [`Error::InsufficientFunds`].
+pub fn validate_block(block: &UtxoBlock, utxo_set: &UtxoSet) -> Result<()> {
+    let mut created: HashMap<OutPoint, TxOut> = HashMap::new();
+    let mut spent_in_block: std::collections::HashSet<OutPoint> = std::collections::HashSet::new();
+
+    for (index, tx) in block.transactions().iter().enumerate() {
+        if tx.is_coinbase() {
+            if index != 0 {
+                return Err(Error::validation(format!(
+                    "coinbase transaction at position {index}, expected position 0"
+                )));
+            }
+        } else {
+            let available = |outpoint: &OutPoint| -> Option<TxOut> {
+                if spent_in_block.contains(outpoint) {
+                    return None;
+                }
+                created
+                    .get(outpoint)
+                    .copied()
+                    .or_else(|| utxo_set.get(outpoint).copied())
+            };
+            validate_transaction(tx, &available)?;
+            for input in tx.inputs() {
+                spent_in_block.insert(*input);
+            }
+        }
+        for (vout, output) in tx.outputs().iter().enumerate() {
+            created.insert(tx.outpoint(vout as u32), *output);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockBuilder, TransactionBuilder};
+    use blockconc_types::{Address, Amount, TxId};
+
+    fn funded_set() -> (UtxoSet, UtxoTransaction) {
+        let mut set = UtxoSet::new();
+        let funding = TransactionBuilder::coinbase(Address::from_low(1), Amount::from_coins(50), 0);
+        set.apply_transaction(&funding).unwrap();
+        (set, funding)
+    }
+
+    #[test]
+    fn valid_block_with_intra_block_chain_passes() {
+        let (set, funding) = funded_set();
+        let tx1 = TransactionBuilder::new()
+            .input(funding.outpoint(0))
+            .output(Address::from_low(2), Amount::from_coins(50))
+            .build();
+        let tx2 = TransactionBuilder::new()
+            .input(tx1.outpoint(0))
+            .output(Address::from_low(3), Amount::from_coins(49))
+            .build();
+        let block = BlockBuilder::new(1, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transaction(tx1)
+            .transaction(tx2)
+            .build();
+        assert!(validate_block(&block, &set).is_ok());
+    }
+
+    #[test]
+    fn spending_later_output_fails() {
+        let (set, funding) = funded_set();
+        let tx1 = TransactionBuilder::new()
+            .input(funding.outpoint(0))
+            .output(Address::from_low(2), Amount::from_coins(50))
+            .build();
+        // tx0 spends tx1's output but appears *before* tx1: forward reference.
+        let tx0 = TransactionBuilder::new()
+            .input(tx1.outpoint(0))
+            .output(Address::from_low(3), Amount::from_coins(50))
+            .build();
+        let block = BlockBuilder::new(1, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transaction(tx0)
+            .transaction(tx1)
+            .build();
+        assert!(matches!(
+            validate_block(&block, &set),
+            Err(Error::MissingState(_))
+        ));
+    }
+
+    #[test]
+    fn double_spend_within_block_fails() {
+        let (set, funding) = funded_set();
+        let tx1 = TransactionBuilder::new()
+            .input(funding.outpoint(0))
+            .output(Address::from_low(2), Amount::from_coins(50))
+            .build();
+        let tx2 = TransactionBuilder::new()
+            .input(funding.outpoint(0))
+            .output(Address::from_low(3), Amount::from_coins(50))
+            .build();
+        let block = BlockBuilder::new(1, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transaction(tx1)
+            .transaction(tx2)
+            .build();
+        assert!(validate_block(&block, &set).is_err());
+    }
+
+    #[test]
+    fn output_exceeding_input_fails() {
+        let (set, funding) = funded_set();
+        let tx = TransactionBuilder::new()
+            .input(funding.outpoint(0))
+            .output(Address::from_low(2), Amount::from_coins(51))
+            .build();
+        let block = BlockBuilder::new(1, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transaction(tx)
+            .build();
+        assert!(matches!(
+            validate_block(&block, &set),
+            Err(Error::InsufficientFunds(_))
+        ));
+    }
+
+    #[test]
+    fn misplaced_coinbase_fails() {
+        let (set, funding) = funded_set();
+        let tx = TransactionBuilder::new()
+            .input(funding.outpoint(0))
+            .output(Address::from_low(2), Amount::from_coins(50))
+            .build();
+        let block = UtxoBlock::new(
+            1.into(),
+            0.into(),
+            vec![
+                tx,
+                TransactionBuilder::coinbase(Address::from_low(9), Amount::from_coins(12), 3),
+            ],
+        );
+        assert!(validate_block(&block, &set).is_err());
+    }
+
+    #[test]
+    fn unknown_input_fails_with_missing_state() {
+        let (set, _) = funded_set();
+        let tx = TransactionBuilder::new()
+            .input(OutPoint::new(TxId::from_low(777), 0))
+            .output(Address::from_low(2), Amount::from_coins(1))
+            .build();
+        let block = BlockBuilder::new(1, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transaction(tx)
+            .build();
+        assert!(matches!(
+            validate_block(&block, &set),
+            Err(Error::MissingState(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_input_within_transaction_fails() {
+        let (set, funding) = funded_set();
+        let tx = TransactionBuilder::new()
+            .input(funding.outpoint(0))
+            .input(funding.outpoint(0))
+            .output(Address::from_low(2), Amount::from_coins(100))
+            .build();
+        let block = BlockBuilder::new(1, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transaction(tx)
+            .build();
+        assert!(validate_block(&block, &set).is_err());
+    }
+
+    #[test]
+    fn transaction_with_no_outputs_fails() {
+        let (set, funding) = funded_set();
+        let tx = UtxoTransaction::new(vec![funding.outpoint(0)], Vec::new(), 1);
+        let block = BlockBuilder::new(1, 0)
+            .coinbase(Address::from_low(9), Amount::from_coins(12))
+            .transaction(tx)
+            .build();
+        assert!(validate_block(&block, &set).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Compares all seven blockchains of the paper on a simulated dataset: the Table I
+//! inventory, the Figure 7 conflict-rate comparison grouped by data model, and the
+//! Figure 8/9 pairwise fork comparisons.
+//!
+//! Run with `cargo run --release --example chain_comparison`.
+
+use blockconc::prelude::*;
+
+fn main() {
+    println!("{}", report::table1());
+
+    println!("generating histories for all seven chains (this takes a little while)...\n");
+    let buckets = 10;
+    let dataset = Dataset::generate_all(HistoryConfig::new(buckets, 2, 7));
+
+    // Figure 7: conflict rates grouped by data model.
+    for (title, metric) in [
+        ("Figure 7a/b — single-transaction conflict rate (weighted)", MetricKind::SingleTxConflictRate),
+        ("Figure 7c/d — group conflict rate (weighted)", MetricKind::GroupConflictRate),
+    ] {
+        let comparison = compare::by_data_model(&dataset, metric, BlockWeight::TxCount, buckets);
+        println!(
+            "{}",
+            report::series_table(&format!("{title} — account-based chains"), &comparison.account_chains)
+        );
+        println!(
+            "{}",
+            report::series_table(&format!("{title} — UTXO-based chains"), &comparison.utxo_chains)
+        );
+    }
+
+    // Figure 8: Ethereum vs Ethereum Classic.
+    if let Some(pair) = compare::pairwise(
+        &dataset,
+        ChainId::Ethereum,
+        ChainId::EthereumClassic,
+        &[
+            MetricKind::TxCount,
+            MetricKind::SingleTxConflictRate,
+            MetricKind::GroupConflictRate,
+        ],
+        BlockWeight::TxCount,
+        buckets,
+    ) {
+        for (metric, left, right) in &pair.panels {
+            println!(
+                "{}",
+                report::series_table(
+                    &format!("Figure 8 — {} ({} vs {})", metric.label(), pair.left, pair.right),
+                    &[left.clone(), right.clone()],
+                )
+            );
+        }
+    }
+
+    // Figure 9: Bitcoin vs Bitcoin Cash.
+    if let Some(pair) = compare::pairwise(
+        &dataset,
+        ChainId::Bitcoin,
+        ChainId::BitcoinCash,
+        &[
+            MetricKind::TxCount,
+            MetricKind::SingleTxConflictRate,
+            MetricKind::AbsoluteLccSize,
+        ],
+        BlockWeight::TxCount,
+        buckets,
+    ) {
+        for (metric, left, right) in &pair.panels {
+            println!(
+                "{}",
+                report::series_table(
+                    &format!("Figure 9 — {} ({} vs {})", metric.label(), pair.left, pair.right),
+                    &[left.clone(), right.clone()],
+                )
+            );
+        }
+    }
+
+    // Headline summary, mirroring the paper's key findings.
+    println!("key findings on the simulated dataset:");
+    for chain in dataset.chains() {
+        let single = dataset
+            .series(chain, MetricKind::SingleTxConflictRate, BlockWeight::TxCount, 1)
+            .and_then(|s| s.last_value())
+            .unwrap_or(0.0);
+        let group = dataset
+            .series(chain, MetricKind::GroupConflictRate, BlockWeight::TxCount, 1)
+            .and_then(|s| s.last_value())
+            .unwrap_or(0.0);
+        println!(
+            "  {:<18} single-tx conflict {:>5.2}  group conflict {:>5.2}  8-core bound {:>4.1}x",
+            chain.name(),
+            single,
+            group,
+            group_speedup(group.min(1.0), 8),
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Reproduces the Ethereum longitudinal analysis of the paper's Figure 4 on a
+//! simulated history: transaction load, single-transaction conflict rate (transaction-
+//! and gas-weighted) and group conflict rate over time, plus the Figure 10 speed-up
+//! extrapolation.
+//!
+//! Run with `cargo run --release --example ethereum_analysis`.
+
+use blockconc::prelude::*;
+
+fn main() {
+    let buckets = 20;
+    let config = HistoryConfig::new(buckets, 3, 2020);
+    println!(
+        "simulating {} Ethereum blocks across {} buckets...",
+        config.total_blocks(),
+        buckets
+    );
+    let history = config.generate(ChainId::Ethereum);
+
+    let tx_load = bucketed_series(history.blocks(), MetricKind::TxCount, BlockWeight::Unit, buckets);
+    let all_tx_load = bucketed_series(
+        history.blocks(),
+        MetricKind::TotalTxCount,
+        BlockWeight::Unit,
+        buckets,
+    );
+    let single_tx_weighted = bucketed_series(
+        history.blocks(),
+        MetricKind::SingleTxConflictRate,
+        BlockWeight::TxCount,
+        buckets,
+    );
+    let single_gas_weighted = bucketed_series(
+        history.blocks(),
+        MetricKind::GasConflictShare,
+        BlockWeight::Gas,
+        buckets,
+    );
+    let group = bucketed_series(
+        history.blocks(),
+        MetricKind::GroupConflictRate,
+        BlockWeight::TxCount,
+        buckets,
+    );
+
+    println!(
+        "{}",
+        report::series_table(
+            "Figure 4a — transactions per block (regular / including internal)",
+            &[
+                Series::new("regular TXs", tx_load.points().to_vec()),
+                Series::new("all TXs", all_tx_load.points().to_vec()),
+            ],
+        )
+    );
+    println!(
+        "{}",
+        report::series_table(
+            "Figure 4b — single-transaction conflict rate (weighted)",
+            &[
+                Series::new("#TX-weighted", single_tx_weighted.points().to_vec()),
+                Series::new("gas-weighted", single_gas_weighted.points().to_vec()),
+            ],
+        )
+    );
+    println!(
+        "{}",
+        report::series_table(
+            "Figure 4c — group conflict rate (weighted)",
+            &[Series::new("#TX-weighted", group.points().to_vec())],
+        )
+    );
+
+    // Figure 10: feed the measured conflict series into the analytical model.
+    let figure = speedup::speedup_figure(&history, buckets, &CoreSweep::figure10_cores());
+    println!(
+        "{}",
+        report::series_table(
+            "Figure 10a — potential speed-up from single-transaction concurrency",
+            &figure.speculative,
+        )
+    );
+    println!(
+        "{}",
+        report::series_table(
+            "Figure 10b — potential speed-up from group concurrency",
+            &figure.group,
+        )
+    );
+
+    println!(
+        "summary: latest single-tx conflict {:.2}, group conflict {:.2}, 8-core group speed-up {:.1}x",
+        single_tx_weighted.last_value().unwrap_or(0.0),
+        group.last_value().unwrap_or(0.0),
+        group_speedup(group.last_value().unwrap_or(1.0), 8),
+    );
+}

@@ -1,0 +1,95 @@
+//! Quickstart: measure the concurrency of one hand-built block and ask the analytical
+//! model how much faster it could execute.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use blockconc::prelude::*;
+
+fn main() {
+    // 1. Build a small account-model block: nine deposits to one exchange, a mining
+    //    pool paying two miners, and four independent transfers (a miniature version
+    //    of the paper's Ethereum block 1000124).
+    let exchange = Address::from_low(500);
+    let pool = Address::from_low(600);
+
+    let mut state = WorldState::new();
+    for i in 1..=20u64 {
+        state.credit(Address::from_low(i), Amount::from_coins(10));
+    }
+    state.credit(pool, Amount::from_coins(1_000));
+
+    let mut txs = Vec::new();
+    for i in 1..=9u64 {
+        txs.push(AccountTransaction::transfer(
+            Address::from_low(i),
+            exchange,
+            Amount::from_coins(1),
+            0,
+        ));
+    }
+    txs.push(AccountTransaction::transfer(pool, Address::from_low(31), Amount::from_coins(1), 0));
+    txs.push(AccountTransaction::transfer(pool, Address::from_low(32), Amount::from_coins(1), 1));
+    for i in 10..=13u64 {
+        txs.push(AccountTransaction::transfer(
+            Address::from_low(i),
+            Address::from_low(100 + i),
+            Amount::from_coins(1),
+            0,
+        ));
+    }
+    let block = AccountBlockBuilder::new(1, 1_560_000_000, Address::from_low(999))
+        .transactions(txs)
+        .build();
+
+    // 2. Execute it and build the transaction dependency graph.
+    let executed = BlockExecutor::new()
+        .execute_block(&mut state, &block)
+        .expect("block execution");
+    let analysis = build_account_tdg(&executed);
+    let metrics = analysis.metrics();
+
+    println!("transactions              : {}", metrics.tx_count());
+    println!("conflicted transactions   : {}", metrics.conflicted_count());
+    println!("connected components      : {}", metrics.component_count());
+    println!("largest component (LCC)   : {}", metrics.lcc_size());
+    println!(
+        "single-tx conflict rate c : {:.3}",
+        metrics.single_tx_conflict_rate()
+    );
+    println!(
+        "group conflict rate l     : {:.3}",
+        metrics.group_conflict_rate()
+    );
+
+    // 3. Ask the paper's model what those rates are worth on 4, 8 and 64 cores.
+    println!("\npredicted speed-ups (speculative / group):");
+    for cores in [4usize, 8, 64] {
+        let spec = speculative_speedup(
+            metrics.tx_count() as u64,
+            metrics.single_tx_conflict_rate(),
+            cores,
+        );
+        let group = group_speedup(metrics.group_conflict_rate(), cores);
+        println!("  {cores:>2} cores: {spec:.2}x / {group:.2}x");
+    }
+
+    // 4. And check against a real parallel execution on 8 threads.
+    let mut fresh_state = WorldState::new();
+    for i in 1..=20u64 {
+        fresh_state.credit(Address::from_low(i), Amount::from_coins(10));
+    }
+    fresh_state.credit(pool, Amount::from_coins(1_000));
+    let (_, report) = ScheduledEngine::new(8)
+        .execute(&mut fresh_state, &block)
+        .expect("scheduled execution");
+    println!(
+        "\nscheduled engine on 8 threads: {:.2}x in abstract time units ({} -> {})",
+        report.unit_speedup(),
+        report.sequential_units,
+        report.parallel_units
+    );
+
+    // 5. Export the TDG for inspection with Graphviz.
+    println!("\nDOT graph of the block's dependency structure:\n");
+    println!("{}", tdg_to_dot(analysis.tdg(), "quickstart_block"));
+}

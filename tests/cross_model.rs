@@ -1,0 +1,163 @@
+//! Property-based tests of the metric definitions across both data models: whatever
+//! workload is thrown at the TDG builders, the structural invariants the paper relies
+//! on must hold.
+
+use blockconc::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a UTXO block from a compact description: for each transaction, `Some(k)`
+/// spends the first output of earlier in-block transaction `k` (modulo the number of
+/// earlier transactions), `None` spends a fresh external output.
+fn utxo_block_from_spec(spec: &[Option<usize>]) -> UtxoBlock {
+    let mut txs: Vec<blockconc::utxo::UtxoTransaction> = Vec::new();
+    for (i, parent) in spec.iter().enumerate() {
+        let input = match parent {
+            Some(k) if !txs.is_empty() => {
+                let target: &blockconc::utxo::UtxoTransaction = &txs[*k % txs.len()];
+                target.outpoint(0)
+            }
+            _ => {
+                let funding = TransactionBuilder::coinbase(
+                    Address::from_low(10_000 + i as u64),
+                    Amount::from_coins(10),
+                    50_000 + i as u64,
+                );
+                funding.outpoint(0)
+            }
+        };
+        let tx = TransactionBuilder::new()
+            .nonce(i as u64)
+            .input(input)
+            .output(Address::from_low(20_000 + i as u64), Amount::from_coins(1))
+            .output(Address::from_low(30_000 + i as u64), Amount::from_coins(1))
+            .build();
+        txs.push(tx);
+    }
+    UtxoBlockBuilder::new(1, 0, )
+        .coinbase(Address::from_low(1), Amount::from_coins(12))
+        .transactions(txs)
+        .build()
+}
+
+/// Builds and executes an account block from a compact description: each transaction
+/// is `(sender_id, receiver_id)` drawn from a small id space so collisions (and hence
+/// conflicts) occur naturally.
+fn account_block_from_spec(spec: &[(u8, u8)]) -> ExecutedBlock {
+    let mut state = WorldState::new();
+    let mut nonces = std::collections::HashMap::new();
+    let mut txs = Vec::new();
+    for &(sender_id, receiver_id) in spec {
+        let sender = Address::from_low(1_000 + sender_id as u64);
+        let receiver = Address::from_low(2_000 + receiver_id as u64);
+        if state.balance(sender).is_zero() {
+            state.credit(sender, Amount::from_coins(1_000));
+        }
+        let nonce = nonces.entry(sender).or_insert(0u64);
+        txs.push(AccountTransaction::transfer(sender, receiver, Amount::from_sats(10), *nonce));
+        *nonce += 1;
+    }
+    let block = AccountBlockBuilder::new(1, 0, Address::from_low(9))
+        .transactions(txs)
+        .build();
+    BlockExecutor::new().execute_block(&mut state, &block).unwrap()
+}
+
+/// Checks the invariants shared by both data models.
+fn check_metric_invariants(m: &BlockMetrics) {
+    // Counts are bounded by the block size.
+    assert!(m.conflicted_count() <= m.tx_count());
+    assert!(m.lcc_size() <= m.tx_count());
+    // Every transaction belongs to some component.
+    if m.tx_count() > 0 {
+        assert!(m.component_count() >= 1);
+        assert!(m.component_count() <= m.tx_count());
+        assert!(m.lcc_size() >= 1);
+    }
+    // Rates live in [0, 1].
+    assert!((0.0..=1.0).contains(&m.single_tx_conflict_rate()));
+    assert!((0.0..=1.0).contains(&m.group_conflict_rate()));
+    // If any component has two or more members, all of its members are conflicted, so
+    // the conflicted count is at least the LCC size (the paper's "group rate <= single
+    // rate" observation).
+    if m.lcc_size() >= 2 {
+        assert!(m.conflicted_count() >= m.lcc_size());
+        assert!(m.single_tx_conflict_rate() >= m.group_conflict_rate() - 1e-12);
+    } else {
+        assert_eq!(m.conflicted_count(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn utxo_metric_invariants_hold(spec in proptest::collection::vec(
+        proptest::option::of(0usize..20), 1..60)) {
+        let block = utxo_block_from_spec(&spec);
+        let analysis = build_utxo_tdg(&block);
+        check_metric_invariants(analysis.metrics());
+        prop_assert_eq!(analysis.metrics().tx_count(), spec.len());
+        // Transaction groups partition the regular transactions.
+        let total: usize = analysis.transaction_groups().iter().map(|g| g.len()).sum();
+        prop_assert_eq!(total, spec.len());
+    }
+
+    #[test]
+    fn account_metric_invariants_hold(spec in proptest::collection::vec(
+        (0u8..12, 0u8..12), 1..50)) {
+        let executed = account_block_from_spec(&spec);
+        let analysis = build_account_tdg(&executed);
+        check_metric_invariants(analysis.metrics());
+        prop_assert_eq!(analysis.metrics().tx_count(), spec.len());
+        let total: usize = analysis.transaction_groups().iter().map(|g| g.len()).sum();
+        prop_assert_eq!(total, spec.len());
+    }
+
+    #[test]
+    fn speedup_models_are_consistent(
+        x in 1u64..3_000,
+        c in 0.0f64..1.0,
+        l_frac in 0.0f64..1.0,
+        n in 1usize..128,
+    ) {
+        // Group conflict rate is at most the single-transaction rate in the paper's
+        // setting; sample it as a fraction of c.
+        let l = c * l_frac;
+        let spec = speculative_speedup(x, c, n);
+        let exact = exact_speedup(x, c, n);
+        let group = group_speedup(l, n);
+        // All speed-ups are positive and bounded by the core count (group) or by the
+        // core count plus rounding slack (speculative).
+        prop_assert!(spec > 0.0);
+        prop_assert!(exact > 0.0);
+        prop_assert!(group >= 1.0 - 1e-12);
+        prop_assert!(group <= n as f64 + 1e-12);
+        prop_assert!(spec <= n as f64 + 1e-9);
+        // The closed form and the exact phase count only differ by rounding: their
+        // implied execution times are within two transaction time units of each other.
+        let closed_time = x as f64 / spec;
+        let exact_time = x as f64 / exact;
+        prop_assert!((closed_time - exact_time).abs() <= 2.0 + 1e-9);
+        // Group concurrency dominates blind speculation whenever l <= c.
+        prop_assert!(group + 1e-9 >= spec.min(1.0));
+    }
+
+    #[test]
+    fn lpt_schedule_is_between_bounds(
+        sizes in proptest::collection::vec(1u64..40, 1..40),
+        n in 1usize..32,
+    ) {
+        let total: u64 = sizes.iter().sum();
+        let lcc = *sizes.iter().max().unwrap();
+        let makespan = lpt_makespan(&sizes, n);
+        // The makespan is at least the critical path and the average load, and at most
+        // the total work.
+        prop_assert!(makespan >= lcc);
+        prop_assert!(makespan as f64 >= total as f64 / n as f64 - 1e-9);
+        prop_assert!(makespan <= total);
+        // The resulting speed-up respects Equation (2).
+        let speedup = scheduled_speedup(&sizes, n);
+        let bound = group_speedup(lcc as f64 / total as f64, n);
+        prop_assert!(speedup <= bound + 1e-9);
+    }
+}

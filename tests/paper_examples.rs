@@ -1,0 +1,243 @@
+//! Integration tests reproducing the worked examples the paper spells out in full:
+//! the two Ethereum blocks of Figure 1 (Section III-A.4) and the speed-up numbers
+//! derived from them in Section V-A, plus the Bitcoin block 500,000 spend chain of
+//! Figure 6.
+
+use blockconc::prelude::*;
+
+/// Builds the paper's Ethereum block 1000007 (Figure 1a): five transactions, of which
+/// transactions 3 and 4 share the DwarfPool sender address 0x2a6....
+fn block_1000007(state: &mut WorldState) -> ExecutedBlock {
+    let dwarfpool = Address::from_low(0x2a6);
+    let senders = [
+        Address::from_low(0xeb3),
+        Address::from_low(0x529),
+        Address::from_low(0x125),
+        dwarfpool,
+        dwarfpool,
+    ];
+    let receivers = [
+        Address::from_low(0x828),
+        Address::from_low(0x08a),
+        Address::from_low(0xfbb),
+        Address::from_low(0x24b),
+        Address::from_low(0xc70),
+    ];
+    for sender in senders.iter() {
+        if state.balance(*sender).is_zero() {
+            state.credit(*sender, Amount::from_coins(100));
+        }
+    }
+    let mut nonce_used = std::collections::HashMap::new();
+    let txs: Vec<_> = senders
+        .iter()
+        .zip(receivers.iter())
+        .map(|(&from, &to)| {
+            let nonce = nonce_used.entry(from).or_insert(0u64);
+            let tx = AccountTransaction::transfer(from, to, Amount::from_coins(1), *nonce);
+            *nonce += 1;
+            tx
+        })
+        .collect();
+    let block = AccountBlockBuilder::new(1_000_007, 1_455_000_000, Address::from_low(0xf8b))
+        .transactions(txs)
+        .build();
+    BlockExecutor::new().execute_block(state, &block).unwrap()
+}
+
+#[test]
+fn figure_1a_block_1000007_conflict_rates() {
+    let mut state = WorldState::new();
+    let executed = block_1000007(&mut state);
+    let analysis = build_account_tdg(&executed);
+    let metrics = analysis.metrics();
+
+    // The paper: 5 transactions, 4 connected components (3 of size 1, 1 of size 2),
+    // 2 conflicted transactions, single-transaction and group conflict rates both 40%.
+    assert_eq!(metrics.tx_count(), 5);
+    assert_eq!(metrics.component_count(), 4);
+    assert_eq!(metrics.conflicted_count(), 2);
+    assert_eq!(metrics.lcc_size(), 2);
+    assert!((metrics.single_tx_conflict_rate() - 0.40).abs() < 1e-12);
+    assert!((metrics.group_conflict_rate() - 0.40).abs() < 1e-12);
+}
+
+/// Builds the paper's Ethereum block 1000124 (Figure 1b): sixteen transactions.
+/// Transactions 1–9 pay the Poloniex deposit address, 10–12 call a contract that
+/// forwards through a second contract into the ElcoinDb contract (producing internal
+/// transactions), 13–14 are sent by the same DwarfPool address, and 0 and 15 are
+/// independent.
+fn block_1000124(state: &mut WorldState) -> ExecutedBlock {
+    let poloniex = Address::from_low(0x32b);
+    let entry_contract = Address::from_low(0x9af);
+    let middle_contract = Address::from_low(0x115);
+    let elcoin_db = Address::from_low(0x276);
+    let dwarfpool = Address::from_low(0xd44);
+
+    // Contract chain: entry -> middle -> ElcoinDb (each call forwards the value).
+    state.deploy_contract(elcoin_db, std::sync::Arc::new(blockconc::account::vm::Contract::counter()));
+    state.deploy_contract(
+        middle_contract,
+        std::sync::Arc::new(blockconc::account::vm::Contract::proxy(elcoin_db)),
+    );
+    state.deploy_contract(
+        entry_contract,
+        std::sync::Arc::new(blockconc::account::vm::Contract::proxy(middle_contract)),
+    );
+
+    let mut txs = Vec::new();
+    // Transaction 0: independent transfer.
+    let sender0 = Address::from_low(0x900);
+    txs.push((sender0, Address::from_low(0x901), 0u64, false));
+    // Transactions 1-9: deposits to Poloniex.
+    for i in 0..9u64 {
+        txs.push((Address::from_low(0xa00 + i), poloniex, 0, false));
+    }
+    // Transactions 10-12: calls into the contract chain.
+    for i in 0..3u64 {
+        txs.push((Address::from_low(0xb00 + i), entry_contract, 0, true));
+    }
+    // Transactions 13-14: two sends from DwarfPool.
+    txs.push((dwarfpool, Address::from_low(0xc01), 0, false));
+    txs.push((dwarfpool, Address::from_low(0xc02), 1, false));
+    // Transaction 15: independent transfer.
+    txs.push((Address::from_low(0x910), Address::from_low(0x911), 0, false));
+
+    let transactions: Vec<AccountTransaction> = txs
+        .into_iter()
+        .map(|(from, to, nonce, is_call)| {
+            if state.balance(from).is_zero() {
+                state.credit(from, Amount::from_coins(100));
+            }
+            if is_call {
+                AccountTransaction::contract_call(from, to, Amount::from_sats(1_000), vec![], nonce)
+            } else {
+                AccountTransaction::transfer(from, to, Amount::from_coins(1), nonce)
+            }
+        })
+        .collect();
+    let block = AccountBlockBuilder::new(1_000_124, 1_455_100_000, Address::from_low(0xf8b))
+        .transactions(transactions)
+        .build();
+    BlockExecutor::new().execute_block(state, &block).unwrap()
+}
+
+#[test]
+fn figure_1b_block_1000124_conflict_rates() {
+    let mut state = WorldState::new();
+    let executed = block_1000124(&mut state);
+    assert!(executed.receipts().iter().all(|r| r.succeeded()));
+    // The contract chain produces internal transactions (entry -> middle -> ElcoinDb).
+    assert!(executed.internal_transaction_count() >= 6);
+
+    let analysis = build_account_tdg(&executed);
+    let metrics = analysis.metrics();
+
+    // The paper: 16 transactions, 5 connected components, 14 conflicted transactions,
+    // single-transaction conflict rate 87.5%, group conflict rate 56.25%.
+    assert_eq!(metrics.tx_count(), 16);
+    assert_eq!(metrics.component_count(), 5);
+    assert_eq!(metrics.conflicted_count(), 14);
+    assert_eq!(metrics.lcc_size(), 9);
+    assert!((metrics.single_tx_conflict_rate() - 0.875).abs() < 1e-12);
+    assert!((metrics.group_conflict_rate() - 0.5625).abs() < 1e-12);
+}
+
+#[test]
+fn section_v_speedup_worked_examples() {
+    // Block 1000007: speculative execution with n >= 5 cores gives 5/3 ~= 1.67.
+    assert!((exact_speedup(5, 0.4, 8) - 5.0 / 3.0).abs() < 1e-9);
+    // Block 1000124: with 16+ cores 16/15 ~= 1.07, with 8-15 cores exactly 1, below 8
+    // cores worse than sequential.
+    assert!((exact_speedup(16, 0.875, 16) - 16.0 / 15.0).abs() < 1e-9);
+    assert!((exact_speedup(16, 0.875, 12) - 1.0).abs() < 1e-9);
+    assert!(exact_speedup(16, 0.875, 4) < 1.0);
+}
+
+#[test]
+fn speculative_engine_reproduces_block_1000124_bin() {
+    // Executing the Figure 1b block with the speculative engine puts exactly the 14
+    // conflicted transactions into the sequential bin.
+    let mut state = WorldState::new();
+    let executed = block_1000124(&mut state);
+
+    let mut engine_state = WorldState::new();
+    // Rebuild the pre-block state (contracts + funded senders).
+    let _ = block_1000124(&mut engine_state); // deploys contracts, funds senders
+    // Reset the nonces/balances by building a fresh state instead.
+    let mut fresh = WorldState::new();
+    for (addr, account) in engine_state.iter() {
+        if let Some(code) = account.code() {
+            fresh.deploy_contract(*addr, code.clone());
+        }
+    }
+    for tx in executed.block().transactions() {
+        if fresh.balance(tx.sender()).is_zero() {
+            fresh.credit(tx.sender(), Amount::from_coins(100));
+        }
+    }
+
+    let (_, report) = SpeculativeEngine::new(16)
+        .execute(&mut fresh, executed.block())
+        .unwrap();
+    assert_eq!(report.tx_count, 16);
+    assert_eq!(report.conflicted_transactions, 14);
+    assert_eq!(report.parallel_units, 15); // ceil(16/16) + 14
+    assert!((report.unit_speedup() - 16.0 / 15.0).abs() < 1e-9);
+}
+
+#[test]
+fn figure_6_bitcoin_spend_chain_is_fully_sequential() {
+    // The paper's Figure 6: a funding transaction in block 499975 whose output is
+    // spent by a chain of 18 transactions inside block 500,000 — they all belong to
+    // one connected component and must execute sequentially.
+    let funding = TransactionBuilder::coinbase(Address::from_low(0x1836), Amount::from_coins(2), 0);
+    let mut utxo_set = UtxoSet::new();
+    utxo_set.apply_transaction(&funding).unwrap();
+
+    let mut prev = funding.outpoint(0);
+    let mut value = Amount::from_coins(2);
+    let mut chain = Vec::new();
+    for i in 0..18u64 {
+        let fee = Amount::from_sats(10_000);
+        let change = Amount::from_sats(50_000);
+        value = value - fee - change;
+        let tx = TransactionBuilder::new()
+            .input(prev)
+            .output(Address::from_low(0x2000 + i), value)
+            .output(Address::from_low(0x3000 + i), change)
+            .build();
+        prev = tx.outpoint(0);
+        chain.push(tx);
+    }
+    // Pad the block with independent transactions so the chain is a minority share.
+    let mut independent = Vec::new();
+    for i in 0..50u64 {
+        let cb = TransactionBuilder::coinbase(Address::from_low(0x4000 + i), Amount::from_coins(1), i + 1);
+        utxo_set.apply_transaction(&cb).unwrap();
+        independent.push(
+            TransactionBuilder::new()
+                .input(cb.outpoint(0))
+                .output(Address::from_low(0x5000 + i), Amount::from_coins(1))
+                .build(),
+        );
+    }
+
+    let block = UtxoBlockBuilder::new(500_000, 1_513_600_000)
+        .coinbase(Address::from_low(0x6000), Amount::from_coins(13))
+        .transactions(chain)
+        .transactions(independent)
+        .build();
+    block.validate(&utxo_set).unwrap();
+
+    let analysis = build_utxo_tdg(&block);
+    let metrics = analysis.metrics();
+    assert_eq!(metrics.tx_count(), 68);
+    assert_eq!(metrics.lcc_size(), 18);
+    assert_eq!(metrics.conflicted_count(), 18);
+    // The chain forms a relatively small part of the block, as the paper observes.
+    assert!(metrics.group_conflict_rate() < 0.3);
+    // Executing the block under group concurrency cannot beat x / LCC.
+    let bound = group_speedup(metrics.group_conflict_rate(), 64);
+    assert!(bound <= 68.0 / 18.0 + 1e-9);
+}
