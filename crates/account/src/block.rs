@@ -221,8 +221,12 @@ mod tests {
 
     #[test]
     fn block_hash_reflects_content() {
-        let a = BlockBuilder::new(10, 0, Address::from_low(1)).transaction(tx(1)).build();
-        let b = BlockBuilder::new(10, 0, Address::from_low(1)).transaction(tx(2)).build();
+        let a = BlockBuilder::new(10, 0, Address::from_low(1))
+            .transaction(tx(1))
+            .build();
+        let b = BlockBuilder::new(10, 0, Address::from_low(1))
+            .transaction(tx(2))
+            .build();
         assert_ne!(a.block_hash(), b.block_hash());
     }
 
@@ -245,7 +249,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "one receipt per transaction")]
     fn executed_block_requires_matching_receipts() {
-        let block = BlockBuilder::new(10, 0, Address::from_low(1)).transaction(tx(1)).build();
+        let block = BlockBuilder::new(10, 0, Address::from_low(1))
+            .transaction(tx(1))
+            .build();
         let _ = ExecutedBlock::new(block, vec![]);
     }
 }

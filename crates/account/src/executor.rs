@@ -175,9 +175,11 @@ impl BlockExecutor {
         for tx in block.transactions() {
             match self.execute_transaction(state, tx) {
                 Ok(ctx) => receipts.push(ctx.receipt),
-                Err(err) => {
-                    receipts.push(Receipt::failure(tx.id(), blockconc_types::Gas::ZERO, err.to_string()))
-                }
+                Err(err) => receipts.push(Receipt::failure(
+                    tx.id(),
+                    blockconc_types::Gas::ZERO,
+                    err.to_string(),
+                )),
             }
         }
         Ok(ExecutedBlock::new(block.clone(), receipts))
@@ -209,7 +211,9 @@ mod tests {
             Amount::from_coins(1),
             0,
         );
-        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        let ctx = BlockExecutor::new()
+            .execute_transaction(&mut state, &tx)
+            .unwrap();
         assert!(ctx.receipt.succeeded());
         assert_eq!(ctx.receipt.gas_used(), Gas::BASE_TX);
         assert_eq!(state.balance(Address::from_low(2)), Amount::from_coins(101));
@@ -225,7 +229,9 @@ mod tests {
             Amount::from_coins(1),
             5,
         );
-        assert!(BlockExecutor::new().execute_transaction(&mut state, &tx).is_err());
+        assert!(BlockExecutor::new()
+            .execute_transaction(&mut state, &tx)
+            .is_err());
         assert_eq!(state.nonce(Address::from_low(1)), 0);
         assert_eq!(state.balance(Address::from_low(2)), Amount::from_coins(100));
     }
@@ -234,13 +240,11 @@ mod tests {
     fn unfunded_transfer_is_rejected_and_nonce_rolled_back() {
         let mut state = funded_state(1);
         let pauper = Address::from_low(50);
-        let tx = AccountTransaction::transfer(
-            pauper,
-            Address::from_low(1),
-            Amount::from_coins(1),
-            0,
-        );
-        assert!(BlockExecutor::new().execute_transaction(&mut state, &tx).is_err());
+        let tx =
+            AccountTransaction::transfer(pauper, Address::from_low(1), Amount::from_coins(1), 0);
+        assert!(BlockExecutor::new()
+            .execute_transaction(&mut state, &tx)
+            .is_err());
         assert_eq!(state.nonce(pauper), 0);
     }
 
@@ -258,7 +262,9 @@ mod tests {
             vec![],
             0,
         );
-        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        let ctx = BlockExecutor::new()
+            .execute_transaction(&mut state, &tx)
+            .unwrap();
         assert!(ctx.receipt.succeeded());
         assert_eq!(ctx.receipt.internal_transactions().len(), 1);
         assert_eq!(ctx.receipt.internal_transactions()[0].to(), sink);
@@ -271,7 +277,9 @@ mod tests {
         let mut state = funded_state(1);
         let code = Arc::new(Contract::counter());
         let tx = AccountTransaction::contract_create(Address::from_low(1), code.clone(), 0);
-        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        let ctx = BlockExecutor::new()
+            .execute_transaction(&mut state, &tx)
+            .unwrap();
         assert!(ctx.receipt.succeeded());
         let addr = code.deployment_address(Address::from_low(1), 0);
         assert!(state.contract(addr).is_some());
@@ -290,7 +298,9 @@ mod tests {
             vec![],
             0,
         );
-        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        let ctx = BlockExecutor::new()
+            .execute_transaction(&mut state, &tx)
+            .unwrap();
         assert!(!ctx.receipt.succeeded());
         assert!(ctx.receipt.gas_used() >= Gas::BASE_TX);
         // Value transfer was reverted, but the nonce advanced.
@@ -322,7 +332,9 @@ mod tests {
                 7,
             ))
             .build();
-        let executed = BlockExecutor::new().execute_block(&mut state, &block).unwrap();
+        let executed = BlockExecutor::new()
+            .execute_block(&mut state, &block)
+            .unwrap();
         assert_eq!(executed.receipts().len(), 3);
         assert!(executed.receipts()[0].succeeded());
         assert!(executed.receipts()[1].succeeded());
@@ -339,7 +351,9 @@ mod tests {
             Amount::from_coins(5),
             0,
         );
-        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        let ctx = BlockExecutor::new()
+            .execute_transaction(&mut state, &tx)
+            .unwrap();
         assert_ne!(state.balance(Address::from_low(2)), before_balance);
         state.revert(ctx.journal);
         assert_eq!(state.balance(Address::from_low(2)), before_balance);
@@ -356,7 +370,9 @@ mod tests {
             0,
         )
         .with_gas_limit(Gas::new(1_000));
-        let ctx = BlockExecutor::new().execute_transaction(&mut state, &tx).unwrap();
+        let ctx = BlockExecutor::new()
+            .execute_transaction(&mut state, &tx)
+            .unwrap();
         assert!(!ctx.receipt.succeeded());
         assert_eq!(ctx.receipt.gas_used(), Gas::new(1_000));
         assert_eq!(state.nonce(Address::from_low(1)), 1);

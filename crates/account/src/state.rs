@@ -189,10 +189,7 @@ impl WorldState {
 
     /// The contract deployed at `address`, if any.
     pub fn contract(&self, address: Address) -> Option<Arc<Contract>> {
-        self.accounts
-            .get(&address)
-            .and_then(|a| a.code())
-            .cloned()
+        self.accounts.get(&address).and_then(|a| a.code()).cloned()
     }
 
     /// Reads a storage slot of `address` (zero when absent).
@@ -204,13 +201,12 @@ impl WorldState {
     }
 
     fn entry(&mut self, address: Address, journal: Option<&mut Journal>) -> &mut Account {
-        if !self.accounts.contains_key(&address) {
+        self.accounts.entry(address).or_insert_with(|| {
             if let Some(j) = journal {
                 j.ops.push(UndoOp::Created(address));
             }
-            self.accounts.insert(address, Account::new());
-        }
-        self.accounts.get_mut(&address).expect("just inserted")
+            Account::new()
+        })
     }
 
     /// Adds `value` to the balance of `address` (creating the account if needed).
@@ -361,9 +357,13 @@ mod tests {
     #[test]
     fn credit_creates_accounts_and_debit_requires_existence() {
         let mut state = WorldState::new();
-        assert!(state.debit(Address::from_low(1), Amount::from_sats(1)).is_err());
+        assert!(state
+            .debit(Address::from_low(1), Amount::from_sats(1))
+            .is_err());
         state.credit(Address::from_low(1), Amount::from_sats(10));
-        assert!(state.debit(Address::from_low(1), Amount::from_sats(4)).is_ok());
+        assert!(state
+            .debit(Address::from_low(1), Amount::from_sats(4))
+            .is_ok());
         assert_eq!(state.balance(Address::from_low(1)), Amount::from_sats(6));
         assert!(state
             .debit(Address::from_low(1), Amount::from_sats(100))
@@ -405,7 +405,9 @@ mod tests {
         state.credit(Address::from_low(1), Amount::from_coins(3));
         state.credit(Address::from_low(2), Amount::from_coins(2));
         let before = state.total_supply();
-        state.debit(Address::from_low(1), Amount::from_coins(1)).unwrap();
+        state
+            .debit(Address::from_low(1), Amount::from_coins(1))
+            .unwrap();
         state.credit(Address::from_low(2), Amount::from_coins(1));
         assert_eq!(state.total_supply(), before);
     }

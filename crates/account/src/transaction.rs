@@ -2,7 +2,7 @@
 
 use crate::vm::Contract;
 use blockconc_types::{Address, Amount, Gas, TxId};
- 
+
 use std::sync::Arc;
 
 /// What an account transaction does when executed.
@@ -245,8 +245,11 @@ mod tests {
             vec![1, 2],
             0,
         );
-        let create =
-            AccountTransaction::contract_create(Address::from_low(1), Arc::new(Contract::noop()), 0);
+        let create = AccountTransaction::contract_create(
+            Address::from_low(1),
+            Arc::new(Contract::noop()),
+            0,
+        );
         assert!(!transfer.is_contract_call() && !transfer.is_contract_creation());
         assert!(call.is_contract_call());
         assert!(create.is_contract_creation());

@@ -101,11 +101,7 @@ impl Contract {
     /// A proxy that forwards the received value into a call of `target` (producing a
     /// deeper internal-transaction chain, as in the ElcoinDb example of the paper).
     pub fn proxy(target: Address) -> Self {
-        Contract::new(vec![
-            OpCode::CallValue,
-            OpCode::Call(target),
-            OpCode::Stop,
-        ])
+        Contract::new(vec![OpCode::CallValue, OpCode::Call(target), OpCode::Stop])
     }
 
     /// A simple token ledger: transfers `amount` (argument 1) of a token balance from
@@ -158,8 +154,14 @@ mod tests {
 
     #[test]
     fn code_hash_is_content_addressed() {
-        assert_eq!(Contract::counter().code_hash(), Contract::counter().code_hash());
-        assert_ne!(Contract::counter().code_hash(), Contract::noop().code_hash());
+        assert_eq!(
+            Contract::counter().code_hash(),
+            Contract::counter().code_hash()
+        );
+        assert_ne!(
+            Contract::counter().code_hash(),
+            Contract::noop().code_hash()
+        );
     }
 
     #[test]

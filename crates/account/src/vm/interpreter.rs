@@ -125,13 +125,7 @@ impl Interpreter {
                 logs: &mut logs,
                 gas_left: gas_limit,
             };
-            frame.run_call(
-                params.caller,
-                params.target,
-                params.value,
-                &params.args,
-                1,
-            )
+            frame.run_call(params.caller, params.target, params.value, &params.args, 1)
         };
 
         match result {
@@ -210,7 +204,8 @@ impl Frame<'_> {
                         VmFailure::Reverted(e.to_string(), self.gas_left)
                     }
                 })?;
-            self.state.credit_journalled(target, value, Some(&mut *self.journal));
+            self.state
+                .credit_journalled(target, value, Some(&mut *self.journal));
         }
 
         let Some(contract) = self.state.contract(target) else {
@@ -261,7 +256,8 @@ impl Frame<'_> {
                     let key = self.pop(&mut stack)?;
                     let value = self.pop(&mut stack)?;
                     self.access.record_write(StateKey::Storage(target, key));
-                    self.state.storage_set(target, key, value, Some(&mut *self.journal));
+                    self.state
+                        .storage_set(target, key, value, Some(&mut *self.journal));
                 }
                 OpCode::Caller => stack.push(caller.low_u64()),
                 OpCode::CallValue => stack.push(value.sats()),
@@ -325,7 +321,8 @@ impl Frame<'_> {
         self.state
             .debit_journalled(from, amount, Some(&mut *self.journal))
             .map_err(|e| VmFailure::Reverted(e.to_string(), self.gas_left))?;
-        self.state.credit_journalled(to, amount, Some(&mut *self.journal));
+        self.state
+            .credit_journalled(to, amount, Some(&mut *self.journal));
         self.internal
             .push(InternalTransaction::new(from, to, amount, depth));
         Ok(())

@@ -82,7 +82,11 @@ mod tests {
 
     fn dataset() -> Dataset {
         Dataset::generate(
-            &[ChainId::Litecoin, ChainId::Dogecoin, ChainId::EthereumClassic],
+            &[
+                ChainId::Litecoin,
+                ChainId::Dogecoin,
+                ChainId::EthereumClassic,
+            ],
             HistoryConfig::new(4, 1, 5),
         )
     }

@@ -91,14 +91,21 @@ mod tests {
         assert_eq!(dataset.chains(), vec![ChainId::Dogecoin]);
         assert!(dataset.history(ChainId::Dogecoin).is_some());
         assert!(dataset.history(ChainId::Bitcoin).is_none());
-        assert!(dataset.series(ChainId::Bitcoin, MetricKind::TxCount, BlockWeight::Unit, 2).is_none());
+        assert!(dataset
+            .series(ChainId::Bitcoin, MetricKind::TxCount, BlockWeight::Unit, 2)
+            .is_none());
     }
 
     #[test]
     fn series_are_labelled_with_the_chain_name() {
         let dataset = tiny_dataset();
         let series = dataset
-            .series(ChainId::Dogecoin, MetricKind::GroupConflictRate, BlockWeight::TxCount, 2)
+            .series(
+                ChainId::Dogecoin,
+                MetricKind::GroupConflictRate,
+                BlockWeight::TxCount,
+                2,
+            )
             .unwrap();
         assert_eq!(series.label(), "Dogecoin");
         assert!(!series.is_empty());

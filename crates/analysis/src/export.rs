@@ -75,11 +75,23 @@ mod tests {
             Series::new(
                 "a",
                 vec![
-                    SeriesPoint { year: 2016.0, value: 1.0 },
-                    SeriesPoint { year: 2017.0, value: 2.0 },
+                    SeriesPoint {
+                        year: 2016.0,
+                        value: 1.0,
+                    },
+                    SeriesPoint {
+                        year: 2017.0,
+                        value: 2.0,
+                    },
                 ],
             ),
-            Series::new("b", vec![SeriesPoint { year: 2016.0, value: 3.0 }]),
+            Series::new(
+                "b",
+                vec![SeriesPoint {
+                    year: 2016.0,
+                    value: 3.0,
+                }],
+            ),
         ]
     }
 

@@ -133,11 +133,23 @@ mod tests {
         let a = Series::new(
             "left",
             vec![
-                SeriesPoint { year: 2016.0, value: 1.0 },
-                SeriesPoint { year: 2017.0, value: 2.0 },
+                SeriesPoint {
+                    year: 2016.0,
+                    value: 1.0,
+                },
+                SeriesPoint {
+                    year: 2017.0,
+                    value: 2.0,
+                },
             ],
         );
-        let b = Series::new("right", vec![SeriesPoint { year: 2016.0, value: 3.5 }]);
+        let b = Series::new(
+            "right",
+            vec![SeriesPoint {
+                year: 2016.0,
+                value: 3.5,
+            }],
+        );
         let text = series_table("panel", &[a, b]);
         assert!(text.starts_with("panel\n"));
         assert!(text.contains("left") && text.contains("right"));

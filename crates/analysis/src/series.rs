@@ -95,9 +95,18 @@ mod tests {
         Series::new(
             "test",
             vec![
-                SeriesPoint { year: 2016.0, value: 0.8 },
-                SeriesPoint { year: 2017.0, value: 0.6 },
-                SeriesPoint { year: 2018.0, value: 0.4 },
+                SeriesPoint {
+                    year: 2016.0,
+                    value: 0.8,
+                },
+                SeriesPoint {
+                    year: 2017.0,
+                    value: 0.6,
+                },
+                SeriesPoint {
+                    year: 2018.0,
+                    value: 0.4,
+                },
             ],
         )
     }

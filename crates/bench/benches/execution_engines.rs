@@ -46,7 +46,9 @@ fn engines(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let mut s = state.clone();
-                    SpeculativeEngine::new(threads).execute(&mut s, &block).unwrap()
+                    SpeculativeEngine::new(threads)
+                        .execute(&mut s, &block)
+                        .unwrap()
                 })
             },
         );
@@ -56,7 +58,9 @@ fn engines(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let mut s = state.clone();
-                    ScheduledEngine::new(threads).execute(&mut s, &block).unwrap()
+                    ScheduledEngine::new(threads)
+                        .execute(&mut s, &block)
+                        .unwrap()
                 })
             },
         );

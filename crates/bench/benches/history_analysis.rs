@@ -7,10 +7,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn history_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("history_generation");
     group.sample_size(10);
-    for chain in [ChainId::Dogecoin, ChainId::EthereumClassic, ChainId::Zilliqa] {
-        group.bench_with_input(BenchmarkId::from_parameter(chain.name()), &chain, |b, &chain| {
-            b.iter(|| HistoryConfig::new(5, 2, 7).generate(std::hint::black_box(chain)))
-        });
+    for chain in [
+        ChainId::Dogecoin,
+        ChainId::EthereumClassic,
+        ChainId::Zilliqa,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(chain.name()),
+            &chain,
+            |b, &chain| {
+                b.iter(|| HistoryConfig::new(5, 2, 7).generate(std::hint::black_box(chain)))
+            },
+        );
     }
     group.finish();
 }
@@ -19,16 +27,20 @@ fn bucketed_aggregation(c: &mut Criterion) {
     let history = HistoryConfig::new(20, 3, 9).generate(ChainId::Litecoin);
     let mut group = c.benchmark_group("bucketed_aggregation");
     for &buckets in &[20usize, 200] {
-        group.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, &buckets| {
-            b.iter(|| {
-                bucketed_series(
-                    std::hint::black_box(history.blocks()),
-                    MetricKind::GroupConflictRate,
-                    BlockWeight::TxCount,
-                    buckets,
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buckets),
+            &buckets,
+            |b, &buckets| {
+                b.iter(|| {
+                    bucketed_series(
+                        std::hint::black_box(history.blocks()),
+                        MetricKind::GroupConflictRate,
+                        BlockWeight::TxCount,
+                        buckets,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

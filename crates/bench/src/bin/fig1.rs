@@ -53,7 +53,9 @@ fn block_1000007() {
     let block = AccountBlockBuilder::new(1_000_007, 1_455_000_000, Address::from_low(0xf8b))
         .transactions(txs)
         .build();
-    let executed = BlockExecutor::new().execute_block(&mut state, &block).unwrap();
+    let executed = BlockExecutor::new()
+        .execute_block(&mut state, &block)
+        .unwrap();
     print_block("ethereum_block_1000007", &executed);
 }
 
@@ -79,27 +81,60 @@ fn block_1000124() {
     };
     let a = Address::from_low(0x900);
     fund(&mut state, a);
-    txs.push(AccountTransaction::transfer(a, Address::from_low(0x901), Amount::from_coins(1), 0));
+    txs.push(AccountTransaction::transfer(
+        a,
+        Address::from_low(0x901),
+        Amount::from_coins(1),
+        0,
+    ));
     for i in 0..9u64 {
         let sender = Address::from_low(0xa00 + i);
         fund(&mut state, sender);
-        txs.push(AccountTransaction::transfer(sender, poloniex, Amount::from_coins(1), 0));
+        txs.push(AccountTransaction::transfer(
+            sender,
+            poloniex,
+            Amount::from_coins(1),
+            0,
+        ));
     }
     for i in 0..3u64 {
         let sender = Address::from_low(0xb00 + i);
         fund(&mut state, sender);
-        txs.push(AccountTransaction::contract_call(sender, entry, Amount::from_sats(1_000), vec![], 0));
+        txs.push(AccountTransaction::contract_call(
+            sender,
+            entry,
+            Amount::from_sats(1_000),
+            vec![],
+            0,
+        ));
     }
     fund(&mut state, dwarfpool);
-    txs.push(AccountTransaction::transfer(dwarfpool, Address::from_low(0xc01), Amount::from_coins(1), 0));
-    txs.push(AccountTransaction::transfer(dwarfpool, Address::from_low(0xc02), Amount::from_coins(1), 1));
+    txs.push(AccountTransaction::transfer(
+        dwarfpool,
+        Address::from_low(0xc01),
+        Amount::from_coins(1),
+        0,
+    ));
+    txs.push(AccountTransaction::transfer(
+        dwarfpool,
+        Address::from_low(0xc02),
+        Amount::from_coins(1),
+        1,
+    ));
     let b = Address::from_low(0x910);
     fund(&mut state, b);
-    txs.push(AccountTransaction::transfer(b, Address::from_low(0x911), Amount::from_coins(1), 0));
+    txs.push(AccountTransaction::transfer(
+        b,
+        Address::from_low(0x911),
+        Amount::from_coins(1),
+        0,
+    ));
 
     let block = AccountBlockBuilder::new(1_000_124, 1_455_100_000, Address::from_low(0xf8b))
         .transactions(txs)
         .build();
-    let executed = BlockExecutor::new().execute_block(&mut state, &block).unwrap();
+    let executed = BlockExecutor::new()
+        .execute_block(&mut state, &block)
+        .unwrap();
     print_block("ethereum_block_1000124", &executed);
 }

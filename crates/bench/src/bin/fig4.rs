@@ -10,8 +10,18 @@ fn main() {
     print_panel(
         "Figure 4a — number of regular/total transactions per block",
         &[
-            chain_series(&history, MetricKind::TxCount, BlockWeight::Unit, "regular TXs"),
-            chain_series(&history, MetricKind::TotalTxCount, BlockWeight::Unit, "all TXs"),
+            chain_series(
+                &history,
+                MetricKind::TxCount,
+                BlockWeight::Unit,
+                "regular TXs",
+            ),
+            chain_series(
+                &history,
+                MetricKind::TotalTxCount,
+                BlockWeight::Unit,
+                "all TXs",
+            ),
         ],
     );
     print_panel(

@@ -10,8 +10,18 @@ fn main() {
     print_panel(
         "Figure 5a — number of transactions / input TXOs per block",
         &[
-            chain_series(&history, MetricKind::TxCount, BlockWeight::Unit, "transactions"),
-            chain_series(&history, MetricKind::InputCount, BlockWeight::Unit, "input TXOs"),
+            chain_series(
+                &history,
+                MetricKind::TxCount,
+                BlockWeight::Unit,
+                "transactions",
+            ),
+            chain_series(
+                &history,
+                MetricKind::InputCount,
+                BlockWeight::Unit,
+                "input TXOs",
+            ),
         ],
     );
     print_panel(

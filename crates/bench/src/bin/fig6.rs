@@ -23,8 +23,14 @@ fn main() {
         let forward = value - change - 3_000.0;
         let tx = TransactionBuilder::new()
             .input(prev)
-            .output(Address::from_low(0x7000 + i), Amount::from_sats(forward as u64))
-            .output(Address::from_low(0x8000 + i), Amount::from_sats(change as u64))
+            .output(
+                Address::from_low(0x7000 + i),
+                Amount::from_sats(forward as u64),
+            )
+            .output(
+                Address::from_low(0x8000 + i),
+                Amount::from_sats(change as u64),
+            )
             .build();
         prev = tx.outpoint(0);
         value = forward;
@@ -35,7 +41,11 @@ fn main() {
     // the real block 500,000.
     let mut independent = Vec::new();
     for i in 0..82u64 {
-        let cb = TransactionBuilder::coinbase(Address::from_low(0x9000 + i), Amount::from_coins(1), i + 1);
+        let cb = TransactionBuilder::coinbase(
+            Address::from_low(0x9000 + i),
+            Amount::from_coins(1),
+            i + 1,
+        );
         utxo_set.apply_transaction(&cb).unwrap();
         independent.push(
             TransactionBuilder::new()

@@ -11,8 +11,14 @@ fn main() {
     let dataset = Dataset::generate_all(figure_config());
 
     for (title, metric) in [
-        ("single-transaction conflict rate (weighted)", MetricKind::SingleTxConflictRate),
-        ("group conflict rate (weighted)", MetricKind::GroupConflictRate),
+        (
+            "single-transaction conflict rate (weighted)",
+            MetricKind::SingleTxConflictRate,
+        ),
+        (
+            "group conflict rate (weighted)",
+            MetricKind::GroupConflictRate,
+        ),
     ] {
         let comparison =
             compare::by_data_model(&dataset, metric, BlockWeight::TxCount, FIGURE_BUCKETS);

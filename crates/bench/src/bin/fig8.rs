@@ -6,7 +6,10 @@ use blockconc::prelude::*;
 use blockconc_bench::{figure_config, print_panel, FIGURE_BUCKETS};
 
 fn main() {
-    let dataset = Dataset::generate(&[ChainId::Ethereum, ChainId::EthereumClassic], figure_config());
+    let dataset = Dataset::generate(
+        &[ChainId::Ethereum, ChainId::EthereumClassic],
+        figure_config(),
+    );
     let pair = compare::pairwise(
         &dataset,
         ChainId::Ethereum,

@@ -1,0 +1,216 @@
+//! The pipeline experiment: how much of the paper's predicted concurrency does a
+//! block *producer* recover when it packs dependency-aware instead of fee-greedy?
+//!
+//! Streams one hot-spot-heavy Ethereum-style workload through the
+//! `blockconc-pipeline` driver for every packer × engine × thread-count combination,
+//! prints the comparison, and records the grid in `BENCH_pipeline.json` at the
+//! repository root so future changes have a perf trajectory to regress against.
+//!
+//! Run with `cargo run --release -p blockconc-bench --bin fig_pipeline`.
+
+use blockconc::pipeline::{ConcurrencyAwarePacker, FeeGreedyPacker};
+use blockconc::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Shared dataset seed (same convention as the figure binaries).
+const STREAM_SEED: u64 = 2020;
+/// Transactions emitted by the arrival stream per cell.
+const TOTAL_TXS: usize = 3_600;
+/// Mean arrival rate, transactions per second.
+const TX_RATE: f64 = 16.0;
+/// Blocks produced per run.
+const BLOCKS: usize = 16;
+/// Thread grid for the parallel engines.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// The headline comparison runs at this thread count.
+const HEADLINE_THREADS: usize = 8;
+
+/// A hot-spot-heavy workload: one dominant exchange, a popular contract and a small
+/// payout pool — the regime where fee-greedy packing leaves the most speed-up behind.
+fn hotspot_params() -> AccountWorkloadParams {
+    AccountWorkloadParams {
+        txs_per_block: 200.0, // unused by the stream; block size is arrival-driven
+        user_population: 20_000,
+        fresh_receiver_share: 0.5,
+        zipf_exponent: 0.4,
+        hotspots: vec![
+            HotspotSpec::exchange(0.40),
+            HotspotSpec::contract(0.12, 3),
+            HotspotSpec::pool(0.03),
+        ],
+        contract_create_share: 0.01,
+    }
+}
+
+fn stream() -> ArrivalStream {
+    ArrivalStream::new(hotspot_params(), TX_RATE, TOTAL_TXS, STREAM_SEED)
+}
+
+fn config(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        threads,
+        max_blocks: BLOCKS,
+        ..PipelineConfig::default()
+    }
+}
+
+fn run_cell(packer: &str, engine: &str, threads: usize) -> PipelineRunReport {
+    let config = config(threads);
+    match (packer, engine) {
+        ("fee-greedy", "sequential") => {
+            PipelineDriver::new(FeeGreedyPacker::new(), SequentialEngine::new(), config)
+                .run(stream())
+        }
+        ("fee-greedy", "speculative") => PipelineDriver::new(
+            FeeGreedyPacker::new(),
+            SpeculativeEngine::new(threads),
+            config,
+        )
+        .run(stream()),
+        ("fee-greedy", "scheduled") => PipelineDriver::new(
+            FeeGreedyPacker::new(),
+            ScheduledEngine::new(threads),
+            config,
+        )
+        .run(stream()),
+        ("concurrency-aware", "sequential") => PipelineDriver::new(
+            ConcurrencyAwarePacker::new(threads),
+            SequentialEngine::new(),
+            config,
+        )
+        .run(stream()),
+        ("concurrency-aware", "speculative") => PipelineDriver::new(
+            ConcurrencyAwarePacker::new(threads),
+            SpeculativeEngine::new(threads),
+            config,
+        )
+        .run(stream()),
+        ("concurrency-aware", "scheduled") => PipelineDriver::new(
+            ConcurrencyAwarePacker::new(threads),
+            ScheduledEngine::new(threads),
+            config,
+        )
+        .run(stream()),
+        other => unreachable!("unknown cell {other:?}"),
+    }
+    .expect("pipeline run failed")
+}
+
+/// One grid cell's summary, as persisted to `BENCH_pipeline.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CellSummary {
+    packer: String,
+    engine: String,
+    threads: usize,
+    total_txs: usize,
+    total_failed: usize,
+    leftover_mempool: usize,
+    mean_measured_speedup: f64,
+    mean_predicted_speedup: f64,
+    throughput_tps: f64,
+    mean_mempool_len: f64,
+}
+
+impl CellSummary {
+    fn from_report(report: &PipelineRunReport) -> Self {
+        CellSummary {
+            packer: report.packer.clone(),
+            engine: report.engine.clone(),
+            threads: report.threads,
+            total_txs: report.total_txs,
+            total_failed: report.total_failed,
+            leftover_mempool: report.leftover_mempool,
+            mean_measured_speedup: report.mean_measured_speedup(),
+            mean_predicted_speedup: report.mean_predicted_speedup(),
+            throughput_tps: report.throughput_tps(),
+            mean_mempool_len: report.mean_mempool_len(),
+        }
+    }
+}
+
+/// The persisted benchmark artifact.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchArtifact {
+    seed: u64,
+    total_txs: usize,
+    tx_rate: f64,
+    blocks: usize,
+    cells: Vec<CellSummary>,
+    /// measured speed-up of concurrency-aware ÷ fee-greedy packing, both on the
+    /// TDG-scheduled engine at the headline thread count.
+    headline_speedup_ratio: f64,
+    /// Per-block detail for the two headline runs.
+    headline_runs: Vec<PipelineRunReport>,
+}
+
+fn main() {
+    let mut cells = Vec::new();
+    let mut headline_runs = Vec::new();
+    let mut headline = [0.0f64; 2];
+
+    println!(
+        "{:<18} {:<12} {:>7} {:>8} {:>9} {:>9} {:>10} {:>9}",
+        "packer", "engine", "threads", "txs", "measured", "predicted", "tx/s", "pool"
+    );
+    for packer in ["fee-greedy", "concurrency-aware"] {
+        for engine in ["sequential", "speculative", "scheduled"] {
+            let thread_grid: &[usize] = if engine == "sequential" {
+                &[1]
+            } else {
+                &THREADS
+            };
+            for &threads in thread_grid {
+                eprintln!("[fig_pipeline] {packer} × {engine} × {threads} threads...");
+                let report = run_cell(packer, engine, threads);
+                assert_eq!(
+                    report.total_failed, 0,
+                    "{packer}/{engine}/{threads}: failing receipts"
+                );
+                let summary = CellSummary::from_report(&report);
+                println!(
+                    "{:<18} {:<12} {:>7} {:>8} {:>9.2} {:>9.2} {:>10.0} {:>9.1}",
+                    summary.packer,
+                    summary.engine,
+                    summary.threads,
+                    summary.total_txs,
+                    summary.mean_measured_speedup,
+                    summary.mean_predicted_speedup,
+                    summary.throughput_tps,
+                    summary.mean_mempool_len,
+                );
+                if engine == "scheduled" && threads == HEADLINE_THREADS {
+                    headline[usize::from(packer == "concurrency-aware")] =
+                        summary.mean_measured_speedup;
+                    headline_runs.push(report.clone());
+                }
+                cells.push(summary);
+            }
+        }
+    }
+
+    let ratio = headline[1] / headline[0];
+    println!(
+        "\nheadline: at {HEADLINE_THREADS} threads on the scheduled engine, \
+         concurrency-aware packing executes {:.2}x faster than fee-greedy packing \
+         ({:.2}x vs {:.2}x measured block-execution speedup; acceptance floor 1.5x)",
+        ratio, headline[1], headline[0]
+    );
+    assert!(
+        ratio >= 1.5,
+        "concurrency-aware packing must beat fee-greedy by >= 1.5x (got {ratio:.2}x)"
+    );
+
+    let artifact = BenchArtifact {
+        seed: STREAM_SEED,
+        total_txs: TOTAL_TXS,
+        tx_rate: TX_RATE,
+        blocks: BLOCKS,
+        cells,
+        headline_speedup_ratio: ratio,
+        headline_runs,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
+    std::fs::write(path, json).expect("write BENCH_pipeline.json");
+    println!("wrote {path}");
+}

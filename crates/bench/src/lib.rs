@@ -66,7 +66,12 @@ mod tests {
     #[test]
     fn chain_series_uses_requested_label() {
         let history = HistoryConfig::new(3, 1, 1).generate(ChainId::Dogecoin);
-        let series = chain_series(&history, MetricKind::TxCount, BlockWeight::Unit, "Dogecoin txs");
+        let series = chain_series(
+            &history,
+            MetricKind::TxCount,
+            BlockWeight::Unit,
+            "Dogecoin txs",
+        );
         assert_eq!(series.label(), "Dogecoin txs");
         assert!(!series.is_empty());
     }

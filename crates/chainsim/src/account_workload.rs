@@ -120,7 +120,12 @@ impl AccountWorkloadGen {
     /// Panics if the parameters are invalid.
     pub fn new(params: AccountWorkloadParams, seed: u64) -> Self {
         params.validate();
-        let population = UserPopulation::new(1_000, params.user_population, params.zipf_exponent, params.fresh_receiver_share);
+        let population = UserPopulation::new(
+            1_000,
+            params.user_population,
+            params.zipf_exponent,
+            params.fresh_receiver_share,
+        );
         let mut state = WorldState::new();
         let mut hotspots = Vec::with_capacity(params.hotspots.len());
 
@@ -133,11 +138,12 @@ impl AccountWorkloadGen {
                     // Deploy a chain of proxies ending in a forwarder to a sink, so
                     // each call produces `call_depth` internal transactions.
                     let sink = Address::from_low(SINK_BASE + i as u64);
-                    let depth = spec.call_depth.max(1).min(6);
+                    let depth = spec.call_depth.clamp(1, 6);
                     let mut target = Address::from_low(CONTRACT_BASE + (i as u64) * 16);
                     state.deploy_contract(target, Arc::new(Contract::forwarder(sink)));
                     for level in 1..depth {
-                        let addr = Address::from_low(CONTRACT_BASE + (i as u64) * 16 + level as u64);
+                        let addr =
+                            Address::from_low(CONTRACT_BASE + (i as u64) * 16 + level as u64);
                         state.deploy_contract(addr, Arc::new(Contract::proxy(target)));
                         target = addr;
                     }
@@ -318,7 +324,11 @@ mod tests {
         let mut gen = AccountWorkloadGen::new(ethereum_like(), 1);
         for h in 0..3 {
             let executed = gen.generate_block(h, h * 14);
-            let failures = executed.receipts().iter().filter(|r| !r.succeeded()).count();
+            let failures = executed
+                .receipts()
+                .iter()
+                .filter(|r| !r.succeeded())
+                .count();
             assert_eq!(failures, 0, "block {h} had {failures} failed transactions");
         }
     }
@@ -399,9 +409,16 @@ mod tests {
         };
         let mut gen = AccountWorkloadGen::new(params, 7);
         let executed = gen.generate_block(1, 0);
-        let gases: Vec<u64> = executed.receipts().iter().map(|r| r.gas_used().value()).collect();
-        assert!(gases.iter().any(|&g| g > 50_000), "no creation-weight gas seen");
-        assert!(gases.iter().any(|&g| g == 21_000), "no plain transfers seen");
+        let gases: Vec<u64> = executed
+            .receipts()
+            .iter()
+            .map(|r| r.gas_used().value())
+            .collect();
+        assert!(
+            gases.iter().any(|&g| g > 50_000),
+            "no creation-weight gas seen"
+        );
+        assert!(gases.contains(&21_000), "no plain transfers seen");
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Arrival-time streaming of workload transactions.
+//!
+//! The history simulators of this crate produce whole blocks; the block-building
+//! pipeline of `blockconc-pipeline` instead needs a *stream* of individual
+//! transactions arriving over time, the way a node's mempool sees them. An
+//! [`ArrivalStream`] wraps an [`AccountWorkloadGen`] and emits its transactions one at
+//! a time as a Poisson process (exponential inter-arrival times at a configured mean
+//! rate), each carrying a fee bid drawn independently of the transaction's position in
+//! the dependency structure — miners see fees, not conflicts, which is exactly the
+//! blindness the concurrency-aware packer removes.
+
+use crate::{AccountWorkloadGen, AccountWorkloadParams};
+use blockconc_account::{AccountTransaction, WorldState};
+use blockconc_types::DeterministicRng;
+
+/// One transaction arriving at the node, with its arrival time and fee bid.
+#[derive(Debug, Clone)]
+pub struct TxArrival {
+    /// The transaction itself.
+    pub tx: AccountTransaction,
+    /// Seconds since the stream started.
+    pub arrival_secs: f64,
+    /// The sender's fee bid in abstract price units per gas. Fees are sampled
+    /// log-uniformly in `[1, 1000)` and are independent of the dependency structure.
+    pub fee_per_gas: u64,
+}
+
+/// A Poisson-process stream of workload transactions.
+///
+/// The stream owns the workload generator (and therefore the generator's world state,
+/// in which hot-spot contracts are deployed and pool wallets funded). A driver that
+/// wants to *execute* the streamed transactions should start from a clone of
+/// [`base_state`](ArrivalStream::base_state) and fund senders on first sight exactly
+/// as the generator does (1 000 coins — see
+/// [`ArrivalStream::SENDER_FUNDING_COINS`]), which keeps every streamed nonce
+/// executable.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_chainsim::{ArrivalStream, AccountWorkloadParams, HotspotSpec};
+///
+/// let params = AccountWorkloadParams {
+///     txs_per_block: 50.0,
+///     user_population: 2_000,
+///     fresh_receiver_share: 0.4,
+///     zipf_exponent: 0.9,
+///     hotspots: vec![HotspotSpec::exchange(0.25)],
+///     contract_create_share: 0.02,
+/// };
+/// let stream = ArrivalStream::new(params, 10.0, 100, 7);
+/// let arrivals: Vec<_> = stream.collect();
+/// assert_eq!(arrivals.len(), 100);
+/// // Arrival times are strictly increasing with mean spacing ~1/rate.
+/// assert!(arrivals.windows(2).all(|w| w[0].arrival_secs < w[1].arrival_secs));
+/// assert!(arrivals.iter().all(|a| (1..1_000).contains(&a.fee_per_gas)));
+/// ```
+#[derive(Debug)]
+pub struct ArrivalStream {
+    generator: AccountWorkloadGen,
+    rng: DeterministicRng,
+    base_state: WorldState,
+    tx_rate: f64,
+    clock_secs: f64,
+    remaining: usize,
+}
+
+impl ArrivalStream {
+    /// Coins credited by the workload generator to each sender on first use; an
+    /// executing driver must mirror this to keep streamed transactions funded.
+    pub const SENDER_FUNDING_COINS: u64 = 1_000;
+
+    /// Creates a stream emitting `total_txs` transactions of the given workload at a
+    /// mean rate of `tx_rate` transactions per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx_rate` is not positive or the workload parameters are invalid.
+    pub fn new(params: AccountWorkloadParams, tx_rate: f64, total_txs: usize, seed: u64) -> Self {
+        assert!(tx_rate > 0.0, "arrival rate must be positive");
+        let generator = AccountWorkloadGen::new(params, seed);
+        let base_state = generator.state().clone();
+        ArrivalStream {
+            generator,
+            rng: DeterministicRng::seed(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)),
+            base_state,
+            tx_rate,
+            clock_secs: 0.0,
+            remaining: total_txs,
+        }
+    }
+
+    /// The generator's world state as it was before any transaction was generated:
+    /// hot-spot contracts deployed, pool wallets funded, no user activity.
+    pub fn base_state(&self) -> &WorldState {
+        &self.base_state
+    }
+
+    /// Mean arrival rate in transactions per second.
+    pub fn tx_rate(&self) -> f64 {
+        self.tx_rate
+    }
+
+    /// Number of transactions the stream will still emit.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The arrival clock: the timestamp of the most recently emitted transaction,
+    /// in seconds since the stream started.
+    pub fn clock_secs(&self) -> f64 {
+        self.clock_secs
+    }
+
+    fn next_transaction(&mut self) -> AccountTransaction {
+        self.generator
+            .generate_transactions(1)
+            .pop()
+            .expect("generator emits exactly one transaction")
+    }
+}
+
+impl Iterator for ArrivalStream {
+    type Item = TxArrival;
+
+    fn next(&mut self) -> Option<TxArrival> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+
+        // Exponential inter-arrival time for a Poisson process at `tx_rate`.
+        let u = self.rng.probability().min(1.0 - 1e-12);
+        self.clock_secs += -(1.0 - u).ln() / self.tx_rate;
+
+        // Log-uniform fee bid in [1, 1000).
+        let fee_per_gas = (10f64.powf(self.rng.probability() * 3.0) as u64).clamp(1, 999);
+
+        Some(TxArrival {
+            tx: self.next_transaction(),
+            arrival_secs: self.clock_secs,
+            fee_per_gas,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for ArrivalStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HotspotSpec;
+    use std::collections::HashMap;
+
+    fn params() -> AccountWorkloadParams {
+        AccountWorkloadParams {
+            txs_per_block: 50.0,
+            user_population: 1_000,
+            fresh_receiver_share: 0.4,
+            zipf_exponent: 0.8,
+            hotspots: vec![HotspotSpec::exchange(0.3), HotspotSpec::contract(0.1, 2)],
+            contract_create_share: 0.01,
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let a: Vec<_> = ArrivalStream::new(params(), 5.0, 50, 9).collect();
+        let b: Vec<_> = ArrivalStream::new(params(), 5.0, 50, 9).collect();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tx.id(), y.tx.id());
+            assert_eq!(x.fee_per_gas, y.fee_per_gas);
+            assert!((x.arrival_secs - y.arrival_secs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_inter_arrival_tracks_rate() {
+        let rate = 20.0;
+        let n = 2_000;
+        let stream = ArrivalStream::new(params(), rate, n, 3);
+        let last = stream.last().expect("non-empty stream");
+        let mean_dt = last.arrival_secs / n as f64;
+        assert!(
+            (mean_dt - 1.0 / rate).abs() < 0.2 / rate,
+            "mean inter-arrival {mean_dt} vs expected {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn nonces_are_contiguous_per_sender_from_base_state() {
+        let stream = ArrivalStream::new(params(), 5.0, 300, 4);
+        let base = stream.base_state().clone();
+        let mut expected: HashMap<_, u64> = HashMap::new();
+        for arrival in stream {
+            let sender = arrival.tx.sender();
+            let next = expected.entry(sender).or_insert_with(|| base.nonce(sender));
+            assert_eq!(arrival.tx.nonce(), *next, "sender {sender} nonce gap");
+            *next += 1;
+        }
+    }
+
+    #[test]
+    fn base_state_contains_hotspot_contracts() {
+        let stream = ArrivalStream::new(params(), 5.0, 10, 5);
+        let contracts = stream
+            .base_state()
+            .iter()
+            .filter(|(_, account)| account.code().is_some())
+            .count();
+        assert!(contracts >= 2, "expected deployed hot-spot contracts");
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn zero_rate_panics() {
+        let _ = ArrivalStream::new(params(), 0.0, 1, 1);
+    }
+}

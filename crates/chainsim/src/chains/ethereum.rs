@@ -68,7 +68,10 @@ pub fn params_at(year: f64) -> AccountWorkloadParams {
             HotspotSpec::exchange(top_exchange.value_at(year)),
             HotspotSpec::exchange(second_exchange.value_at(year)),
             HotspotSpec::pool(pool_share.value_at(year)),
-            HotspotSpec::contract(token_share.value_at(year), call_depth.value_at(year) as usize),
+            HotspotSpec::contract(
+                token_share.value_at(year),
+                call_depth.value_at(year) as usize,
+            ),
             HotspotSpec::contract(defi_share.value_at(year), 2),
         ],
         contract_create_share: 0.02,
@@ -83,9 +86,8 @@ mod tests {
     fn hotspot_shares_shrink_over_time() {
         let early = params_at(2016.0);
         let late = params_at(2019.0);
-        let max = |p: &AccountWorkloadParams| {
-            p.hotspots.iter().map(|h| h.share).fold(0.0f64, f64::max)
-        };
+        let max =
+            |p: &AccountWorkloadParams| p.hotspots.iter().map(|h| h.share).fold(0.0f64, f64::max);
         assert!(max(&early) > max(&late));
         let total = |p: &AccountWorkloadParams| p.hotspots.iter().map(|h| h.share).sum::<f64>();
         assert!(total(&early) > 0.6, "early total {}", total(&early));
@@ -96,9 +98,8 @@ mod tests {
     fn dos_era_has_deeper_calls() {
         let dos = params_at(2017.7);
         let calm = params_at(2019.0);
-        let depth = |p: &AccountWorkloadParams| {
-            p.hotspots.iter().map(|h| h.call_depth).max().unwrap_or(0)
-        };
+        let depth =
+            |p: &AccountWorkloadParams| p.hotspots.iter().map(|h| h.call_depth).max().unwrap_or(0);
         assert!(depth(&dos) > depth(&calm));
     }
 

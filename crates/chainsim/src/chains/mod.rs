@@ -53,11 +53,11 @@ pub fn workload_params(chain: ChainId, year: f64) -> WorkloadParams {
 /// Checks that a chain's parameters use the data model its profile declares (defence
 /// against calibration typos; exercised by tests).
 pub fn params_match_profile(chain: ChainId, params: &WorkloadParams) -> bool {
-    match (chain.profile().data_model, params) {
-        (DataModel::Utxo, WorkloadParams::Utxo(_)) => true,
-        (DataModel::Account, WorkloadParams::Account(_)) => true,
-        _ => false,
-    }
+    matches!(
+        (chain.profile().data_model, params),
+        (DataModel::Utxo, WorkloadParams::Utxo(_))
+            | (DataModel::Account, WorkloadParams::Account(_))
+    )
 }
 
 #[cfg(test)]
@@ -121,11 +121,7 @@ mod tests {
         // Ethereum Classic's largest hot-spot share must exceed Ethereum's: that is
         // what drives its much higher group conflict rate in Fig. 8.
         let max_share = |chain: ChainId| match workload_params(chain, 2019.0) {
-            WorkloadParams::Account(p) => p
-                .hotspots
-                .iter()
-                .map(|h| h.share)
-                .fold(0.0f64, f64::max),
+            WorkloadParams::Account(p) => p.hotspots.iter().map(|h| h.share).fold(0.0f64, f64::max),
             _ => unreachable!(),
         };
         assert!(max_share(ChainId::EthereumClassic) > max_share(ChainId::Ethereum) + 0.2);

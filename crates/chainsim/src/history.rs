@@ -63,7 +63,10 @@ impl HistoryConfig {
     /// Panics if `buckets` or `blocks_per_bucket` is zero.
     pub fn new(buckets: usize, blocks_per_bucket: usize, seed: u64) -> Self {
         assert!(buckets > 0, "at least one bucket required");
-        assert!(blocks_per_bucket > 0, "at least one block per bucket required");
+        assert!(
+            blocks_per_bucket > 0,
+            "at least one block per bucket required"
+        );
         HistoryConfig {
             buckets,
             blocks_per_bucket,
@@ -155,8 +158,7 @@ impl HistoryConfig {
                                 let n = gen.params().txs_per_block.max(1.0) as usize;
                                 let txs = gen.generate_transactions(n);
                                 let final_block = network.produce_final_block(txs);
-                                let ordered: Vec<_> =
-                                    final_block.transactions().cloned().collect();
+                                let ordered: Vec<_> = final_block.transactions().cloned().collect();
                                 gen.execute(height, ts, ordered)
                             }
                             None => gen.generate_block(height, ts),
@@ -231,7 +233,11 @@ mod tests {
         assert_eq!(history.len(), 10);
         assert_eq!(history.chain(), ChainId::Litecoin);
         // Timestamps are non-decreasing across buckets.
-        let times: Vec<u64> = history.blocks().iter().map(|m| m.timestamp().as_unix()).collect();
+        let times: Vec<u64> = history
+            .blocks()
+            .iter()
+            .map(|m| m.timestamp().as_unix())
+            .collect();
         let mut sorted = times.clone();
         sorted.sort_unstable();
         assert_eq!(times, sorted);

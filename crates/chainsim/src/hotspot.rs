@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn constructors_set_kind() {
-        assert_eq!(HotspotSpec::exchange(0.2).kind, HotspotKind::ExchangeDeposit);
+        assert_eq!(
+            HotspotSpec::exchange(0.2).kind,
+            HotspotKind::ExchangeDeposit
+        );
         assert_eq!(HotspotSpec::pool(0.1).kind, HotspotKind::PoolPayout);
         let c = HotspotSpec::contract(0.15, 2);
         assert_eq!(c.kind, HotspotKind::PopularContract);

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod account_workload;
+mod arrival;
 pub mod chains;
 mod era;
 mod history;
@@ -48,6 +49,7 @@ mod profile;
 mod utxo_workload;
 
 pub use account_workload::{AccountWorkloadGen, AccountWorkloadParams};
+pub use arrival::{ArrivalStream, TxArrival};
 pub use era::PiecewiseSeries;
 pub use history::{ChainHistory, HistoryConfig, SimulatedBlock};
 pub use hotspot::HotspotSpec;

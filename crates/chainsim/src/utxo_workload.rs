@@ -37,7 +37,10 @@ impl UtxoWorkloadParams {
     /// empty user population.
     pub fn validate(&self) {
         assert!(self.txs_per_block > 0.0, "txs_per_block must be positive");
-        assert!(self.extra_inputs_per_tx >= 0.0, "extra inputs must be non-negative");
+        assert!(
+            self.extra_inputs_per_tx >= 0.0,
+            "extra inputs must be non-negative"
+        );
         assert!(
             (0.0..=1.0).contains(&self.intra_block_spend_prob),
             "intra-block spend probability out of range"

@@ -1,0 +1,374 @@
+//! Vendored API-compatibility subset of `serde` for the offline build environment.
+//!
+//! Exposes the [`Serialize`] / [`Deserialize`] traits and their derive macros over a
+//! JSON-like [`Value`] data model. Only the surface the `blockconc` workspace uses is
+//! implemented; see `crates/compat/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A self-describing data value, the intermediate representation between typed data
+/// and concrete formats (`serde_json` renders it as JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / missing.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence of values.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// An error produced while converting a [`Value`] back into typed data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match *value {
+                    Value::UInt(v) => v,
+                    Value::Int(v) if v >= 0 => v as u64,
+                    Value::Float(v) if v >= 0.0 && v.fract() == 0.0 => v as u64,
+                    ref other => return Err(DeError::msg(format!(
+                        "expected unsigned integer, found {other:?}"))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::msg(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match *value {
+                    Value::Int(v) => v,
+                    Value::UInt(v) if v <= i64::MAX as u64 => v as i64,
+                    Value::Float(v) if v.fract() == 0.0 => v as i64,
+                    ref other => return Err(DeError::msg(format!(
+                        "expected integer, found {other:?}"))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::msg(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match *value {
+                    Value::Float(v) => Ok(v as $t),
+                    Value::Int(v) => Ok(v as $t),
+                    Value::UInt(v) => Ok(v as $t),
+                    ref other => Err(DeError::msg(format!("expected number, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// `&'static str` deserialization leaks the parsed string; acceptable for the
+/// configuration/test paths where it is used, never on a hot path.
+impl Deserialize for &'static str {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::msg(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::msg(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::msg(format!("expected pair, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+/// Maps and sets serialize as sequences (of pairs / of elements) so that non-string
+/// keys round-trip through JSON without a custom key codec.
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<(K, V)>::from_value(value).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<(K, V)>::from_value(value).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(value).map(|items| items.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let arr = [9u8; 4];
+        assert_eq!(<[u8; 4]>::from_value(&arr.to_value()).unwrap(), arr);
+        let none: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&none.to_value()).unwrap(), None);
+        let mut map = HashMap::new();
+        map.insert(1u64, "a".to_string());
+        assert_eq!(
+            HashMap::<u64, String>::from_value(&map.to_value()).unwrap(),
+            map
+        );
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(<[u8; 2]>::from_value(&vec![1u8].to_value()).is_err());
+    }
+}

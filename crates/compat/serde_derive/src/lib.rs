@@ -1,0 +1,429 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the offline
+//! build environment.
+//!
+//! Hand-parses the derive input token stream (no `syn`/`quote`) and generates impls of
+//! the `serde` compat crate's `Serialize`/`Deserialize` traits over its JSON-like
+//! `Value` model. Supports the shapes used across the workspace: structs with named
+//! fields (including `#[serde(skip)]`), newtype and tuple structs, and enums with
+//! unit, tuple and struct variants. Generics are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading attributes, returning `true` if one of them was `#[serde(skip)]`.
+fn eat_attrs(tokens: &mut Tokens) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        if let Some(TokenTree::Group(group)) = tokens.next() {
+            let mut inner = group.stream().into_iter();
+            let is_serde = matches!(inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+            if is_serde {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    let has_skip = args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"));
+                    if has_skip {
+                        skip = true;
+                    } else {
+                        panic!("serde compat derive supports only #[serde(skip)], found #[serde({})]", args.stream());
+                    }
+                }
+            }
+        } else {
+            panic!("malformed attribute");
+        }
+    }
+    skip
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn eat_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens, what: &str) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+/// Consumes tokens up to (and including) the next comma at angle-bracket depth zero.
+/// Parentheses/brackets/braces arrive as single groups, so only `<`/`>` need counting.
+fn skip_until_comma(tokens: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses the named fields of a brace-delimited group.
+fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
+    let mut tokens: Tokens = group.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    while tokens.peek().is_some() {
+        let skip = eat_attrs(&mut tokens);
+        eat_visibility(&mut tokens);
+        let name = expect_ident(&mut tokens, "field name");
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_until_comma(&mut tokens);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts the fields of a parenthesized tuple group, rejecting `#[serde(skip)]`.
+fn parse_tuple_fields(group: proc_macro::Group) -> usize {
+    let mut tokens: Tokens = group.stream().into_iter().peekable();
+    let mut arity = 0;
+    while tokens.peek().is_some() {
+        if eat_attrs(&mut tokens) {
+            panic!("#[serde(skip)] on tuple fields is not supported by the compat derive");
+        }
+        eat_visibility(&mut tokens);
+        skip_until_comma(&mut tokens);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(group: proc_macro::Group) -> Vec<Variant> {
+    let mut tokens: Tokens = group.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    while tokens.peek().is_some() {
+        eat_attrs(&mut tokens);
+        let name = expect_ident(&mut tokens, "variant name");
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Shape::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Shape::Named(parse_named_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        // Optional discriminant and trailing comma.
+        skip_until_comma(&mut tokens);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    eat_attrs(&mut tokens);
+    eat_visibility(&mut tokens);
+    let keyword = expect_ident(&mut tokens, "`struct` or `enum`");
+    let name = expect_ident(&mut tokens, "type name");
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde compat derive does not support generic types ({name})");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                shape: Shape::Named(parse_named_fields(g)),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                shape: Shape::Tuple(parse_tuple_fields(g)),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                shape: Shape::Unit,
+            },
+            other => panic!("unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde compat derive supports structs and enums, found `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(clippy::all, unused_mut, unreachable_patterns, unreachable_code)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, shape } => {
+            out.push_str(IMPL_ATTRS);
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            match shape {
+                Shape::Unit => out.push_str("        ::serde::Value::Null\n"),
+                Shape::Tuple(1) => {
+                    out.push_str("        ::serde::Serialize::to_value(&self.0)\n");
+                }
+                Shape::Tuple(arity) => {
+                    out.push_str("        ::serde::Value::Seq(vec![\n");
+                    for i in 0..*arity {
+                        out.push_str(&format!("            ::serde::Serialize::to_value(&self.{i}),\n"));
+                    }
+                    out.push_str("        ])\n");
+                }
+                Shape::Named(fields) => {
+                    out.push_str(
+                        "        let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                    );
+                    for field in fields.iter().filter(|f| !f.skip) {
+                        let fname = &field.name;
+                        out.push_str(&format!(
+                            "        entries.push((\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname})));\n"
+                        ));
+                    }
+                    out.push_str("        ::serde::Value::Map(entries)\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(IMPL_ATTRS);
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    Shape::Unit => out.push_str(&format!(
+                        "            {name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{vname}(f0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Shape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            values.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            binders.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+/// Generates the expression deserializing one named field out of `value`.
+fn named_field_expr(owner: &str, field: &Field) -> String {
+    if field.skip {
+        return format!("{}: ::core::default::Default::default()", field.name);
+    }
+    let fname = &field.name;
+    format!(
+        "{fname}: match value.get(\"{fname}\") {{\n                Some(v) => ::serde::Deserialize::from_value(v)?,\n                None => ::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| ::serde::DeError::msg(\"missing field `{fname}` in {owner}\"))?,\n            }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, shape } => {
+            out.push_str(IMPL_ATTRS);
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            match shape {
+                Shape::Unit => out.push_str(&format!("        Ok({name})\n")),
+                Shape::Tuple(1) => out.push_str(&format!(
+                    "        Ok({name}(::serde::Deserialize::from_value(value)?))\n"
+                )),
+                Shape::Tuple(arity) => {
+                    out.push_str(&format!(
+                        "        match value {{\n            ::serde::Value::Seq(items) if items.len() == {arity} => Ok({name}(\n"
+                    ));
+                    for i in 0..*arity {
+                        out.push_str(&format!(
+                            "                ::serde::Deserialize::from_value(&items[{i}])?,\n"
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "            )),\n            other => Err(::serde::DeError::msg(format!(\"expected {arity}-element sequence for {name}, found {{other:?}}\"))),\n        }}\n"
+                    ));
+                }
+                Shape::Named(fields) => {
+                    out.push_str(&format!("        Ok({name} {{\n"));
+                    for field in fields {
+                        out.push_str(&format!("            {},\n", named_field_expr(name, field)));
+                    }
+                    out.push_str("        })\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(IMPL_ATTRS);
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n        match value {{\n"
+            ));
+            // Unit variants arrive as plain strings.
+            out.push_str("            ::serde::Value::Str(s) => match s.as_str() {\n");
+            for variant in variants {
+                if matches!(variant.shape, Shape::Unit) {
+                    let vname = &variant.name;
+                    out.push_str(&format!("                \"{vname}\" => Ok({name}::{vname}),\n"));
+                }
+            }
+            out.push_str(&format!(
+                "                other => Err(::serde::DeError::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n            }},\n"
+            ));
+            // Data variants arrive as single-entry maps.
+            out.push_str("            ::serde::Value::Map(entries) if entries.len() == 1 => {\n");
+            out.push_str("                let (key, inner) = &entries[0];\n");
+            out.push_str("                let value = inner;\n");
+            out.push_str("                match key.as_str() {\n");
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => out.push_str(&format!(
+                        "                    \"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(value)?)),\n"
+                    )),
+                    Shape::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "                    \"{vname}\" => match value {{\n                        ::serde::Value::Seq(items) if items.len() == {arity} => Ok({name}::{vname}({})),\n                        other => Err(::serde::DeError::msg(format!(\"expected {arity}-element sequence for {name}::{vname}, found {{other:?}}\"))),\n                    }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| named_field_expr(&format!("{name}::{vname}"), f))
+                            .collect();
+                        out.push_str(&format!(
+                            "                    \"{vname}\" => Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "                    other => Err(::serde::DeError::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n                }}\n            }}\n"
+            ));
+            out.push_str(&format!(
+                "            other => Err(::serde::DeError::msg(format!(\"cannot deserialize {name} from {{other:?}}\"))),\n        }}\n    }}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the compat `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl failed to parse")
+}
+
+/// Derives the compat `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl failed to parse")
+}

@@ -20,6 +20,7 @@
 //! | [`sharding`] | Zilliqa-style network sharding |
 //! | [`chainsim`] | calibrated workload/history simulators for the seven chains |
 //! | [`execution`] | sequential, speculative and TDG-scheduled execution engines |
+//! | [`pipeline`] | concurrency-aware mempool and block-building pipeline |
 //! | [`analysis`] | bucketed weighted aggregation, chain comparisons, figure data, export |
 //!
 //! # Quickstart
@@ -46,6 +47,7 @@ pub use blockconc_chainsim as chainsim;
 pub use blockconc_execution as execution;
 pub use blockconc_graph as graph;
 pub use blockconc_model as model;
+pub use blockconc_pipeline as pipeline;
 pub use blockconc_sharding as sharding;
 pub use blockconc_types as types;
 pub use blockconc_utxo as utxo;
@@ -57,12 +59,11 @@ pub mod prelude {
         WorldState,
     };
     pub use blockconc_analysis::{
-        bucketed_series, compare, export, report, speedup, Dataset, MetricKind, Series,
-        SeriesPoint,
+        bucketed_series, compare, export, report, speedup, Dataset, MetricKind, Series, SeriesPoint,
     };
     pub use blockconc_chainsim::{
-        AccountWorkloadGen, AccountWorkloadParams, ChainHistory, ChainId, HistoryConfig,
-        HotspotSpec, SimulatedBlock, UtxoWorkloadGen, UtxoWorkloadParams,
+        AccountWorkloadGen, AccountWorkloadParams, ArrivalStream, ChainHistory, ChainId,
+        HistoryConfig, HotspotSpec, SimulatedBlock, TxArrival, UtxoWorkloadGen, UtxoWorkloadParams,
     };
     pub use blockconc_execution::{
         ExecutionEngine, ExecutionReport, ScheduledEngine, SequentialEngine, SpeculativeEngine,
@@ -73,6 +74,10 @@ pub mod prelude {
     pub use blockconc_model::{
         exact_speedup, group_speedup, lpt_makespan, oracle_speedup, scheduled_speedup,
         speculative_speedup, CoreSweep,
+    };
+    pub use blockconc_pipeline::{
+        BlockPacker, ConcurrencyAwarePacker, FeeGreedyPacker, IncrementalTdg, Mempool,
+        PipelineConfig, PipelineDriver, PipelineRunReport,
     };
     pub use blockconc_sharding::{ShardedNetwork, ShardingConfig};
     pub use blockconc_types::{Address, Amount, BlockHeight, Gas, Hash, Timestamp, TxId};

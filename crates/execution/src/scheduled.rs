@@ -1,9 +1,7 @@
 //! The TDG-scheduled group-concurrency engine (Equation 2).
 
 use crate::{detect_conflicts, parallel_map, ExecutionEngine, ExecutionReport};
-use blockconc_account::{
-    AccountBlock, BlockExecutor, ExecutedBlock, Receipt, WorldState,
-};
+use blockconc_account::{AccountBlock, BlockExecutor, ExecutedBlock, Receipt, WorldState};
 use blockconc_graph::UnionFind;
 use blockconc_model::lpt_makespan;
 use blockconc_types::{Gas, Result};
@@ -123,17 +121,14 @@ impl ExecutionEngine for ScheduledEngine {
         let groups = self.build_groups(state, block);
         let group_sizes: Vec<u64> = groups.iter().map(|g| g.len() as u64).collect();
         let largest_group = group_sizes.iter().copied().max().unwrap_or(0) as usize;
-        let conflicted: usize = groups
-            .iter()
-            .filter(|g| g.len() > 1)
-            .map(|g| g.len())
-            .sum();
+        let conflicted: usize = groups.iter().filter(|g| g.len() > 1).map(|g| g.len()).sum();
 
         // LPT schedule: assign groups (largest first) to the currently least-loaded
         // worker, then execute each worker's groups in parallel against a snapshot.
         let mut order: Vec<usize> = (0..groups.len()).collect();
         order.sort_by_key(|&g| std::cmp::Reverse(groups[g].len()));
-        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); self.threads.min(groups.len()).max(1)];
+        let mut assignments: Vec<Vec<usize>> =
+            vec![Vec::new(); self.threads.min(groups.len()).max(1)];
         let mut loads: Vec<u64> = vec![0; assignments.len()];
         for g in order {
             let (idx, _) = loads
@@ -247,7 +242,9 @@ mod tests {
             Amount::from_sats(1),
             0,
         ));
-        BlockBuilder::new(1_000_124, 0, Address::from_low(1)).transactions(txs).build()
+        BlockBuilder::new(1_000_124, 0, Address::from_low(1))
+            .transactions(txs)
+            .build()
     }
 
     #[test]
@@ -267,7 +264,9 @@ mod tests {
         let block = figure1b_like_block();
         for threads in [1usize, 2, 4, 8] {
             let mut state = funded(100..600);
-            let (_, report) = ScheduledEngine::new(threads).execute(&mut state, &block).unwrap();
+            let (_, report) = ScheduledEngine::new(threads)
+                .execute(&mut state, &block)
+                .unwrap();
             let bound = group_speedup(report.group_conflict_rate(), threads);
             assert!(
                 report.unit_speedup() <= bound + 1e-9,
@@ -282,12 +281,20 @@ mod tests {
         let block = figure1b_like_block();
         let mut seq_state = funded(100..600);
         let mut sched_state = funded(100..600);
-        let (seq_block, _) = SequentialEngine::new().execute(&mut seq_state, &block).unwrap();
-        let (sched_block, _) = ScheduledEngine::new(4).execute(&mut sched_state, &block).unwrap();
+        let (seq_block, _) = SequentialEngine::new()
+            .execute(&mut seq_state, &block)
+            .unwrap();
+        let (sched_block, _) = ScheduledEngine::new(4)
+            .execute(&mut sched_state, &block)
+            .unwrap();
         assert_eq!(seq_block.receipts(), sched_block.receipts());
         for i in 100..800u64 {
             let addr = Address::from_low(i);
-            assert_eq!(seq_state.balance(addr), sched_state.balance(addr), "address {i}");
+            assert_eq!(
+                seq_state.balance(addr),
+                sched_state.balance(addr),
+                "address {i}"
+            );
         }
     }
 
@@ -301,7 +308,9 @@ mod tests {
                 0,
             )
         });
-        let block = BlockBuilder::new(1, 0, Address::from_low(1)).transactions(txs).build();
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
         let mut state = funded(100..140);
         let (_, report) = ScheduledEngine::new(8).execute(&mut state, &block).unwrap();
         assert_eq!(report.largest_group, 1);

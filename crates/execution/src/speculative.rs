@@ -181,14 +181,18 @@ mod tests {
                 0,
             )
         });
-        BlockBuilder::new(1, 0, Address::from_low(1)).transactions(txs).build()
+        BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build()
     }
 
     #[test]
     fn independent_transactions_have_empty_bin() {
         let block = independent_block(32);
         let mut state = funded(100..140);
-        let (executed, report) = SpeculativeEngine::new(8).execute(&mut state, &block).unwrap();
+        let (executed, report) = SpeculativeEngine::new(8)
+            .execute(&mut state, &block)
+            .unwrap();
         assert_eq!(report.conflicted_transactions, 0);
         assert_eq!(report.parallel_units, 4); // ceil(32/8)
         assert!(report.unit_speedup() > 7.9);
@@ -214,9 +218,13 @@ mod tests {
             Amount::from_sats(5),
             0,
         ));
-        let block = BlockBuilder::new(1, 0, Address::from_low(1)).transactions(txs).build();
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
         let mut state = funded(100..250);
-        let (_, report) = SpeculativeEngine::new(4).execute(&mut state, &block).unwrap();
+        let (_, report) = SpeculativeEngine::new(4)
+            .execute(&mut state, &block)
+            .unwrap();
         assert_eq!(report.conflicted_transactions, 10);
         assert!((report.conflict_rate() - 10.0 / 11.0).abs() < 1e-9);
     }
@@ -247,17 +255,27 @@ mod tests {
                 0,
             ));
         }
-        let block = BlockBuilder::new(1, 0, Address::from_low(1)).transactions(txs).build();
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
 
         let mut seq_state = funded(100..200);
         let mut spec_state = funded(100..200);
-        let (seq_block, _) = SequentialEngine::new().execute(&mut seq_state, &block).unwrap();
-        let (spec_block, _) = SpeculativeEngine::new(4).execute(&mut spec_state, &block).unwrap();
+        let (seq_block, _) = SequentialEngine::new()
+            .execute(&mut seq_state, &block)
+            .unwrap();
+        let (spec_block, _) = SpeculativeEngine::new(4)
+            .execute(&mut spec_state, &block)
+            .unwrap();
 
         assert_eq!(seq_block.receipts(), spec_block.receipts());
         for i in 100..600u64 {
             let addr = Address::from_low(i);
-            assert_eq!(seq_state.balance(addr), spec_state.balance(addr), "address {i}");
+            assert_eq!(
+                seq_state.balance(addr),
+                spec_state.balance(addr),
+                "address {i}"
+            );
             assert_eq!(seq_state.nonce(addr), spec_state.nonce(addr));
         }
     }
@@ -268,9 +286,13 @@ mod tests {
         let txs = (0..12u64).map(|i| {
             AccountTransaction::transfer(Address::from_low(100 + i), hot, Amount::from_sats(1), 0)
         });
-        let block = BlockBuilder::new(1, 0, Address::from_low(1)).transactions(txs).build();
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
         let mut state = funded(100..120);
-        let (_, report) = SpeculativeEngine::new(4).execute(&mut state, &block).unwrap();
+        let (_, report) = SpeculativeEngine::new(4)
+            .execute(&mut state, &block)
+            .unwrap();
         assert_eq!(report.conflicted_transactions, 12);
         // ceil(12/4) + 12 = 15 > 12: slower than sequential, as the paper's model predicts.
         assert_eq!(report.parallel_units, 15);
@@ -281,7 +303,9 @@ mod tests {
     fn empty_block_is_handled() {
         let block = BlockBuilder::new(1, 0, Address::from_low(1)).build();
         let mut state = WorldState::new();
-        let (executed, report) = SpeculativeEngine::new(4).execute(&mut state, &block).unwrap();
+        let (executed, report) = SpeculativeEngine::new(4)
+            .execute(&mut state, &block)
+            .unwrap();
         assert_eq!(executed.receipts().len(), 0);
         assert_eq!(report.conflicted_transactions, 0);
     }

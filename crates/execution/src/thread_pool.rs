@@ -1,6 +1,6 @@
 //! Minimal scoped fork-join helper.
 
-use crossbeam::thread;
+use std::thread;
 
 /// Applies `f` to every item of `items`, splitting the work across `threads` scoped
 /// worker threads, and returns the results in input order.
@@ -33,7 +33,11 @@ where
     }
     let threads = threads.min(items.len());
     if threads == 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
     }
 
     let chunk_size = items.len().div_ceil(threads);
@@ -41,7 +45,7 @@ where
         let mut handles = Vec::with_capacity(threads);
         for (chunk_index, chunk) in items.chunks(chunk_size).enumerate() {
             let f = &f;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 chunk
                     .iter()
                     .enumerate()
@@ -53,8 +57,7 @@ where
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
-    })
-    .expect("thread scope failed");
+    });
 
     let mut out = Vec::with_capacity(items.len());
     for chunk in chunk_results.iter_mut() {
@@ -84,7 +87,10 @@ mod tests {
     #[test]
     fn single_thread_and_empty_input() {
         assert_eq!(parallel_map(&[1, 2, 3], 1, |_, &x| x + 1), vec![2, 3, 4]);
-        assert_eq!(parallel_map::<u32, u32, _>(&[], 4, |_, &x| x), Vec::<u32>::new());
+        assert_eq!(
+            parallel_map::<u32, u32, _>(&[], 4, |_, &x| x),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]

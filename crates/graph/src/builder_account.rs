@@ -43,7 +43,10 @@ impl AccountTdgAnalysis {
 /// transfers and calls, or the derived deployment address for contract creations (a
 /// freshly deployed contract shares no address with other transactions, which is why
 /// the paper observes that expensive creation transactions are rarely conflicted).
-fn effective_receiver(tx: &blockconc_account::AccountTransaction) -> Address {
+///
+/// Exported so that pre-execution consumers (the mempool's incremental TDG in
+/// `blockconc-pipeline`) use the exact same edge convention as this builder.
+pub fn effective_receiver(tx: &blockconc_account::AccountTransaction) -> Address {
     match tx.payload() {
         TxPayload::ContractCreate { code } => code.deployment_address(tx.sender(), tx.nonce()),
         _ => tx.receiver(),
@@ -87,9 +90,7 @@ pub fn build_account_tdg(executed: &ExecutedBlock) -> AccountTdgAnalysis {
     // share a component thanks to the transaction's own edge).
     let mut groups_by_component: Vec<Vec<usize>> = vec![Vec::new(); address_components.len()];
     for (idx, tx) in txs.iter().enumerate() {
-        let node = tdg
-            .node_index(&tx.sender())
-            .expect("sender inserted above");
+        let node = tdg.node_index(&tx.sender()).expect("sender inserted above");
         groups_by_component[component_of[node]].push(idx);
     }
     let groups: Vec<Vec<usize>> = groups_by_component
@@ -142,9 +143,7 @@ pub fn build_account_tdg(executed: &ExecutedBlock) -> AccountTdgAnalysis {
 mod tests {
     use super::*;
     use blockconc_account::vm::Contract;
-    use blockconc_account::{
-        AccountTransaction, BlockBuilder, BlockExecutor, WorldState,
-    };
+    use blockconc_account::{AccountTransaction, BlockBuilder, BlockExecutor, WorldState};
     use blockconc_types::Amount;
     use std::sync::Arc;
 
@@ -161,7 +160,9 @@ mod tests {
     }
 
     fn execute(state: &mut WorldState, txs: Vec<AccountTransaction>) -> ExecutedBlock {
-        let block = BlockBuilder::new(1, 0, user(9999)).transactions(txs).build();
+        let block = BlockBuilder::new(1, 0, user(9999))
+            .transactions(txs)
+            .build();
         BlockExecutor::new().execute_block(state, &block).unwrap()
     }
 
@@ -234,8 +235,20 @@ mod tests {
         let executed = execute(
             &mut state,
             vec![
-                AccountTransaction::contract_call(user(1), proxy_a, Amount::from_sats(100), vec![], 0),
-                AccountTransaction::contract_call(user(2), proxy_b, Amount::from_sats(100), vec![], 0),
+                AccountTransaction::contract_call(
+                    user(1),
+                    proxy_a,
+                    Amount::from_sats(100),
+                    vec![],
+                    0,
+                ),
+                AccountTransaction::contract_call(
+                    user(2),
+                    proxy_b,
+                    Amount::from_sats(100),
+                    vec![],
+                    0,
+                ),
             ],
         );
         let m = build_account_tdg(&executed);
@@ -307,7 +320,12 @@ mod tests {
         let mut state = funded_state(1..=1);
         let executed = execute(
             &mut state,
-            vec![AccountTransaction::transfer(user(1), user(1), Amount::from_sats(1), 0)],
+            vec![AccountTransaction::transfer(
+                user(1),
+                user(1),
+                Amount::from_sats(1),
+                0,
+            )],
         );
         let m = build_account_tdg(&executed);
         assert_eq!(m.metrics().tx_count(), 1);

@@ -139,8 +139,11 @@ mod tests {
     fn independent_txs(n: u64) -> Vec<UtxoTransaction> {
         (0..n)
             .map(|i| {
-                let funding =
-                    TransactionBuilder::coinbase(Address::from_low(i + 1), Amount::from_coins(1), 1000 + i);
+                let funding = TransactionBuilder::coinbase(
+                    Address::from_low(i + 1),
+                    Amount::from_coins(1),
+                    1000 + i,
+                );
                 TransactionBuilder::new()
                     .input(funding.outpoint(0))
                     .output(Address::from_low(100 + i), Amount::from_coins(1))

@@ -140,10 +140,7 @@ mod tests {
                 let a = rng.below(n as u64);
                 let b = rng.below(n as u64);
                 g.add_edge(a, b);
-                uf.union(
-                    g.node_index(&a).unwrap(),
-                    g.node_index(&b).unwrap(),
-                );
+                uf.union(g.node_index(&a).unwrap(), g.node_index(&b).unwrap());
             }
             let bfs_sizes = {
                 let mut v: Vec<usize> = connected_components(&g).iter().map(|c| c.len()).collect();

@@ -42,6 +42,27 @@ impl UnionFind {
         self.parent.len()
     }
 
+    /// Appends one new element as a singleton set, returning its index.
+    ///
+    /// This is the streaming growth primitive used by the incremental TDG of
+    /// `blockconc-pipeline`: nodes can be added as transactions arrive, without
+    /// rebuilding the structure per block.
+    pub fn grow(&mut self) -> usize {
+        let index = self.parent.len();
+        self.parent.push(index);
+        self.size.push(1);
+        self.components += 1;
+        index
+    }
+
+    /// Grows the structure with singleton sets until it tracks at least `n` elements
+    /// (no-op if it already does).
+    pub fn grow_to(&mut self, n: usize) {
+        while self.len() < n {
+            self.grow();
+        }
+    }
+
     /// Returns `true` if the structure tracks no elements.
     pub fn is_empty(&self) -> bool {
         self.parent.is_empty()
@@ -154,6 +175,55 @@ mod tests {
         let sizes = uf.component_sizes();
         assert_eq!(sizes.iter().sum::<usize>(), 10);
         assert_eq!(uf.largest_component_size(), 3);
+    }
+
+    #[test]
+    fn grow_appends_singletons_preserving_existing_sets() {
+        let mut uf = UnionFind::new(2);
+        uf.union(0, 1);
+        let c = uf.grow();
+        assert_eq!(c, 2);
+        assert_eq!(uf.len(), 3);
+        assert_eq!(uf.component_count(), 2);
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 2));
+        assert_eq!(uf.component_size(2), 3);
+    }
+
+    #[test]
+    fn grow_to_is_idempotent() {
+        let mut uf = UnionFind::new(0);
+        uf.grow_to(4);
+        assert_eq!(uf.len(), 4);
+        assert_eq!(uf.component_count(), 4);
+        uf.grow_to(2);
+        assert_eq!(uf.len(), 4);
+    }
+
+    #[test]
+    fn streaming_growth_matches_batch_construction() {
+        // Interleave grow() and union() and compare against a from-scratch build.
+        let mut streaming = UnionFind::new(0);
+        let edges = [(0usize, 1usize), (2, 3), (1, 3), (4, 5)];
+        let mut next = 0;
+        for &(a, b) in &edges {
+            while next <= a.max(b) {
+                streaming.grow();
+                next += 1;
+            }
+            streaming.union(a, b);
+        }
+        let mut batch = UnionFind::new(next);
+        for &(a, b) in &edges {
+            batch.union(a, b);
+        }
+        assert_eq!(streaming.len(), batch.len());
+        assert_eq!(streaming.component_count(), batch.component_count());
+        let mut s_sizes = streaming.component_sizes();
+        let mut b_sizes = batch.component_sizes();
+        s_sizes.sort_unstable();
+        b_sizes.sort_unstable();
+        assert_eq!(s_sizes, b_sizes);
     }
 
     #[test]

@@ -59,8 +59,10 @@ mod tests {
 
     #[test]
     fn weights_of_metrics() {
-        let m = BlockMetrics::new(1, 0, 10, 4, 3, 7)
-            .with_gas(blockconc_types::Gas::new(500), blockconc_types::Gas::new(100));
+        let m = BlockMetrics::new(1, 0, 10, 4, 3, 7).with_gas(
+            blockconc_types::Gas::new(500),
+            blockconc_types::Gas::new(100),
+        );
         assert_eq!(BlockWeight::Unit.weight_of(&m), 1.0);
         assert_eq!(BlockWeight::TxCount.weight_of(&m), 10.0);
         assert_eq!(BlockWeight::Gas.weight_of(&m), 500.0);

@@ -25,7 +25,10 @@
 /// Panics if `n == 0` or `l` is outside `[0, 1]`.
 pub fn group_speedup(l: f64, n: usize) -> f64 {
     assert!(n > 0, "core count must be positive");
-    assert!((0.0..=1.0).contains(&l), "group conflict rate must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&l),
+        "group conflict rate must be in [0, 1]"
+    );
     if l == 0.0 {
         return n as f64;
     }
@@ -45,7 +48,10 @@ pub fn group_speedup(l: f64, n: usize) -> f64 {
 /// Panics if `n == 0`, `l` is outside `[0, 1]`, or `k` is negative.
 pub fn group_speedup_with_preprocessing(x: u64, l: f64, n: usize, k: f64) -> f64 {
     assert!(n > 0, "core count must be positive");
-    assert!((0.0..=1.0).contains(&l), "group conflict rate must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&l),
+        "group conflict rate must be in [0, 1]"
+    );
     assert!(k >= 0.0, "preprocessing cost must be non-negative");
     if x == 0 {
         return 0.0;

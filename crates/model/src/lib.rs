@@ -44,7 +44,5 @@ pub mod sweep;
 
 pub use group::{group_speedup, group_speedup_with_preprocessing};
 pub use schedule::{lpt_makespan, scheduled_speedup};
-pub use speculative::{
-    exact_speedup, oracle_speedup, speculative_speedup, speculative_time,
-};
+pub use speculative::{exact_speedup, oracle_speedup, speculative_speedup, speculative_time};
 pub use sweep::{CoreSweep, SpeedupPoint};

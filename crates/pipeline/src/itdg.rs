@@ -1,0 +1,250 @@
+//! The incremental transaction dependency graph maintained over the mempool.
+
+use blockconc_account::AccountTransaction;
+use blockconc_graph::UnionFind;
+use blockconc_types::Address;
+use std::collections::HashMap;
+
+// The exact edge convention of `blockconc_graph::build_account_tdg` (declared
+// receiver, or deployment address for creations) — re-exported rather than
+// re-implemented so the packer's pre-execution prediction can never drift from the
+// engine-side TDG builder. Note the prediction still misses the internal-transaction
+// edges that only exist after execution.
+pub use blockconc_graph::effective_receiver;
+
+/// An address-level dependency graph maintained *online* as transactions arrive.
+///
+/// The block-at-a-time analyzer of `blockconc-graph` rebuilds its TDG per block; a
+/// mempool ingesting a stream cannot afford that, so this structure tracks connected
+/// components incrementally on top of [`UnionFind::grow`]: inserting a transaction
+/// interns its two endpoint addresses (growing the union–find as needed), unions
+/// them, and maintains a per-component *transaction* count alongside the structure's
+/// address-level sets. Insertion is amortized near-constant time.
+///
+/// Union–find cannot split components, so when transactions leave the pool (because a
+/// block packed them) the graph is rebuilt from the survivors with
+/// [`IncrementalTdg::rebuild_from`] — once per block over the *remaining* pool, not
+/// once per arrival. The randomized cross-check in this crate's tests asserts that
+/// streaming insertion and a from-scratch rebuild always agree.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_pipeline::IncrementalTdg;
+/// use blockconc_account::AccountTransaction;
+/// use blockconc_types::{Address, Amount};
+///
+/// let mut tdg = IncrementalTdg::new();
+/// let pay = |s: u64, r: u64, n: u64| AccountTransaction::transfer(
+///     Address::from_low(s), Address::from_low(r), Amount::from_sats(1), n);
+/// tdg.insert(&pay(1, 100, 0)); // component {1, 100}
+/// tdg.insert(&pay(2, 100, 0)); // merges into {1, 2, 100}
+/// tdg.insert(&pay(3, 300, 0)); // independent
+/// assert_eq!(tdg.tx_count(), 3);
+/// assert_eq!(tdg.largest_component_tx_count(), 2);
+/// assert_eq!(tdg.component_of(Address::from_low(1)), tdg.component_of(Address::from_low(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalTdg {
+    uf: UnionFind,
+    node_of: HashMap<Address, usize>,
+    /// Transactions per component, keyed by the component's union–find root.
+    tx_counts: HashMap<usize, usize>,
+    txs: usize,
+}
+
+impl Default for IncrementalTdg {
+    fn default() -> Self {
+        IncrementalTdg::new()
+    }
+}
+
+impl IncrementalTdg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        IncrementalTdg {
+            uf: UnionFind::new(0),
+            node_of: HashMap::new(),
+            tx_counts: HashMap::new(),
+            txs: 0,
+        }
+    }
+
+    /// Builds a graph from scratch over the given transactions (used after a block
+    /// removes transactions from the pool, which union–find cannot express).
+    pub fn rebuild_from<'a>(txs: impl IntoIterator<Item = &'a AccountTransaction>) -> Self {
+        let mut tdg = IncrementalTdg::new();
+        for tx in txs {
+            tdg.insert(tx);
+        }
+        tdg
+    }
+
+    /// Interns an address, growing the union–find if it is new.
+    fn node(&mut self, address: Address) -> usize {
+        match self.node_of.get(&address) {
+            Some(&index) => index,
+            None => {
+                let index = self.uf.grow();
+                self.node_of.insert(address, index);
+                index
+            }
+        }
+    }
+
+    /// Streams one transaction into the graph.
+    pub fn insert(&mut self, tx: &AccountTransaction) {
+        let a = self.node(tx.sender());
+        let b = self.node(effective_receiver(tx));
+        let root_a = self.uf.find(a);
+        let root_b = self.uf.find(b);
+        if root_a == root_b {
+            *self.tx_counts.entry(root_a).or_insert(0) += 1;
+        } else {
+            let count_a = self.tx_counts.remove(&root_a).unwrap_or(0);
+            let count_b = self.tx_counts.remove(&root_b).unwrap_or(0);
+            self.uf.union(a, b);
+            let merged_root = self.uf.find(a);
+            self.tx_counts.insert(merged_root, count_a + count_b + 1);
+        }
+        self.txs += 1;
+    }
+
+    /// Number of transactions inserted.
+    pub fn tx_count(&self) -> usize {
+        self.txs
+    }
+
+    /// Number of distinct addresses seen.
+    pub fn address_count(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// The component id (union–find root) of an address, if it has been seen.
+    pub fn component_of(&mut self, address: Address) -> Option<usize> {
+        let index = *self.node_of.get(&address)?;
+        Some(self.uf.find(index))
+    }
+
+    /// Number of transactions in the component containing `address` (0 if unseen).
+    pub fn component_tx_count(&mut self, address: Address) -> usize {
+        match self.component_of(address) {
+            Some(root) => self.tx_counts.get(&root).copied().unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Transaction counts of all components holding at least one transaction
+    /// (unspecified order).
+    pub fn component_tx_counts(&self) -> Vec<usize> {
+        self.tx_counts
+            .values()
+            .copied()
+            .filter(|&c| c > 0)
+            .collect()
+    }
+
+    /// The largest per-component transaction count (0 when empty).
+    pub fn largest_component_tx_count(&self) -> usize {
+        self.tx_counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_types::{Amount, DeterministicRng};
+
+    fn pay(sender: u64, receiver: u64, nonce: u64) -> AccountTransaction {
+        AccountTransaction::transfer(
+            Address::from_low(sender),
+            Address::from_low(receiver),
+            Amount::from_sats(1),
+            nonce,
+        )
+    }
+
+    #[test]
+    fn merging_components_accumulates_tx_counts() {
+        let mut tdg = IncrementalTdg::new();
+        tdg.insert(&pay(1, 10, 0));
+        tdg.insert(&pay(2, 20, 0));
+        assert_eq!(tdg.largest_component_tx_count(), 1);
+        // Bridge the two components: counts merge and include the bridge itself.
+        tdg.insert(&pay(10, 20, 0));
+        assert_eq!(tdg.largest_component_tx_count(), 3);
+        assert_eq!(tdg.component_tx_count(Address::from_low(1)), 3);
+        assert_eq!(tdg.tx_count(), 3);
+        assert_eq!(tdg.address_count(), 4);
+    }
+
+    #[test]
+    fn self_transfers_stay_singletons() {
+        let mut tdg = IncrementalTdg::new();
+        tdg.insert(&pay(5, 5, 0));
+        assert_eq!(tdg.address_count(), 1);
+        assert_eq!(tdg.component_tx_count(Address::from_low(5)), 1);
+    }
+
+    #[test]
+    fn contract_creations_use_deployment_address() {
+        use blockconc_account::vm::Contract;
+        use std::sync::Arc;
+        let code = Arc::new(Contract::counter());
+        let tx = AccountTransaction::contract_create(Address::from_low(1), code.clone(), 0);
+        let mut tdg = IncrementalTdg::new();
+        tdg.insert(&tx);
+        let deploy = code.deployment_address(Address::from_low(1), 0);
+        assert!(tdg.component_of(deploy).is_some());
+        assert_eq!(
+            tdg.component_of(deploy),
+            tdg.component_of(Address::from_low(1))
+        );
+    }
+
+    /// The satellite invariant: streaming insertion agrees with a from-scratch rebuild
+    /// after every batch, on randomized workloads.
+    #[test]
+    fn streaming_matches_rebuild_after_every_batch() {
+        for seed in 0..5u64 {
+            let mut rng = DeterministicRng::seed(seed);
+            let mut streaming = IncrementalTdg::new();
+            let mut all: Vec<AccountTransaction> = Vec::new();
+            for _batch in 0..10 {
+                for _ in 0..rng.range(1, 20) {
+                    // A small address space forces frequent component merges.
+                    let tx = pay(rng.range(1, 25), rng.range(1, 25), rng.next_u64());
+                    streaming.insert(&tx);
+                    all.push(tx);
+                }
+                let rebuilt = IncrementalTdg::rebuild_from(all.iter());
+                assert_eq!(streaming.tx_count(), rebuilt.tx_count());
+                assert_eq!(streaming.address_count(), rebuilt.address_count());
+                let mut streaming_sizes = streaming.component_tx_counts();
+                let mut rebuilt_sizes = rebuilt.component_tx_counts();
+                streaming_sizes.sort_unstable();
+                rebuilt_sizes.sort_unstable();
+                assert_eq!(streaming_sizes, rebuilt_sizes, "seed {seed}");
+                // Component membership agrees address-by-address: same partition.
+                let mut streaming_map: HashMap<usize, Vec<u64>> = HashMap::new();
+                let mut rebuilt_map: HashMap<usize, Vec<u64>> = HashMap::new();
+                let mut s = streaming.clone();
+                let mut r = rebuilt.clone();
+                for addr in 1..25u64 {
+                    let address = Address::from_low(addr);
+                    if let Some(root) = s.component_of(address) {
+                        streaming_map.entry(root).or_default().push(addr);
+                    }
+                    if let Some(root) = r.component_of(address) {
+                        rebuilt_map.entry(root).or_default().push(addr);
+                    }
+                }
+                let mut streaming_groups: Vec<Vec<u64>> = streaming_map.into_values().collect();
+                let mut rebuilt_groups: Vec<Vec<u64>> = rebuilt_map.into_values().collect();
+                streaming_groups.sort();
+                rebuilt_groups.sort();
+                assert_eq!(streaming_groups, rebuilt_groups, "seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! The fee-prioritized, nonce-ordered, sender-indexed mempool.
+
+use blockconc_account::{AccountTransaction, TxPayload};
+use blockconc_types::{Address, Gas};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Estimated gas consumption of a transaction before execution, used as the packing
+/// weight. Real builders use the declared gas *limit*; the convenience constructors in
+/// this workspace all declare the same generous limit, so the pipeline instead
+/// estimates by payload kind (transfers cost exactly the intrinsic 21 000; calls and
+/// creations are charged a calibrated flat surcharge).
+pub fn gas_estimate(tx: &AccountTransaction) -> Gas {
+    match tx.payload() {
+        TxPayload::Transfer => Gas::BASE_TX,
+        TxPayload::ContractCall { .. } => Gas::new(60_000),
+        TxPayload::ContractCreate { .. } => Gas::new(80_000),
+    }
+}
+
+/// A transaction resident in the mempool, with its fee bid and arrival metadata.
+#[derive(Debug, Clone)]
+pub struct PooledTx {
+    /// The transaction.
+    pub tx: AccountTransaction,
+    /// The sender's fee bid per gas unit (the packers' priority signal).
+    pub fee_per_gas: u64,
+    /// Arrival time in seconds since the stream started.
+    pub arrival_secs: f64,
+    /// Admission sequence number; the deterministic FIFO tie-breaker.
+    pub seq: u64,
+}
+
+/// What happened to a transaction offered to [`Mempool::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// Accepted as a new entry.
+    Admitted,
+    /// Replaced an existing same-sender/same-nonce entry (fee bump rule satisfied).
+    Replaced,
+    /// Rejected: an entry with the same sender and nonce holds a fee less than
+    /// [`Mempool::REPLACEMENT_BUMP_PERCENT`] percent below the offer.
+    RejectedUnderpriced,
+    /// Rejected: the pool is full and the offer does not outbid the cheapest
+    /// evictable entry.
+    RejectedFull,
+    /// Rejected: the nonce is below the sender's account nonce (already executed).
+    RejectedStale,
+    /// Rejected: the nonce is above the sender's next unpooled nonce, so admitting it
+    /// would open a gap that could never be packed (the stream will not re-emit the
+    /// missing nonce — e.g. after its entry was evicted).
+    RejectedGap,
+}
+
+/// Counters describing a mempool's admission history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MempoolStats {
+    /// Transactions admitted as new entries.
+    pub admitted: u64,
+    /// Admissions that replaced an existing entry.
+    pub replaced: u64,
+    /// Rejections under the replacement fee-bump rule.
+    pub rejected_underpriced: u64,
+    /// Rejections because the pool was full.
+    pub rejected_full: u64,
+    /// Rejections of stale or gap-opening nonces.
+    pub rejected_nonce: u64,
+    /// Entries dropped by [`Mempool::resync_sender`] after a validation failure left
+    /// them unpackable.
+    pub dropped_unpackable: u64,
+    /// Entries evicted to make room for better-paying arrivals.
+    pub evicted: u64,
+    /// Entries removed because a packed block included them.
+    pub packed: u64,
+}
+
+/// A contiguous run of one sender's pending transactions, starting at the sender's
+/// current account nonce — the unit from which packers may take any prefix.
+#[derive(Debug)]
+pub struct ReadyChain<'a> {
+    /// The sending address.
+    pub sender: Address,
+    /// The sender's transactions in nonce order, gap-free from the account nonce.
+    pub txs: Vec<&'a PooledTx>,
+}
+
+/// A fee-prioritized, sender-indexed transaction pool.
+///
+/// Entries are indexed by `(sender, nonce)`. Per sender, nonces form an ordered queue;
+/// packers may only include a gap-free prefix starting at the sender's current account
+/// nonce, which preserves nonce validity by construction. Admission follows the rules
+/// of production pools:
+///
+/// * **Nonce discipline**: a sender's queue is kept gap-free from the account nonce
+///   supplied at admission — stale nonces and nonces past the next unpooled slot are
+///   rejected, so an evicted tail can never strand later arrivals behind an
+///   unfillable gap.
+/// * **Replacement**: a new transaction with an occupied `(sender, nonce)` slot must
+///   bid at least [`Self::REPLACEMENT_BUMP_PERCENT`]% more than the incumbent.
+/// * **Eviction**: when the pool is at capacity, the cheapest *chain tail* (the
+///   highest pending nonce of the sender holding the lowest fee bid) is evicted if
+///   the newcomer outbids it — never a mid-chain entry, so eviction cannot create
+///   nonce gaps.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_pipeline::{AdmitOutcome, Mempool};
+/// use blockconc_account::AccountTransaction;
+/// use blockconc_types::{Address, Amount};
+///
+/// let mut pool = Mempool::new(100);
+/// let tx = AccountTransaction::transfer(
+///     Address::from_low(1), Address::from_low(2), Amount::from_sats(5), 0);
+/// assert_eq!(pool.insert(tx.clone(), 10, 0.0, 0), AdmitOutcome::Admitted);
+/// // Same sender and nonce at the same fee (no bump): under the 10% bump rule.
+/// let bump = AccountTransaction::transfer(
+///     Address::from_low(1), Address::from_low(3), Amount::from_sats(5), 0);
+/// assert_eq!(pool.insert(bump.clone(), 10, 1.0, 0), AdmitOutcome::RejectedUnderpriced);
+/// assert_eq!(pool.insert(bump, 11, 1.0, 0), AdmitOutcome::Replaced);
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Mempool {
+    by_sender: BTreeMap<Address, BTreeMap<u64, PooledTx>>,
+    len: usize,
+    capacity: usize,
+    next_seq: u64,
+    stats: MempoolStats,
+}
+
+impl Mempool {
+    /// Minimum relative fee improvement (percent) required to replace an entry
+    /// occupying the same `(sender, nonce)` slot.
+    pub const REPLACEMENT_BUMP_PERCENT: u64 = 10;
+
+    /// Creates a pool holding at most `capacity` transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mempool capacity must be positive");
+        Mempool {
+            capacity,
+            ..Mempool::default()
+        }
+    }
+
+    /// Number of resident transactions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the pool holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fill level in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.len as f64 / self.capacity as f64
+    }
+
+    /// The admission counters.
+    pub fn stats(&self) -> MempoolStats {
+        self.stats
+    }
+
+    /// Iterates over all resident transactions (sender order, then nonce order).
+    pub fn iter(&self) -> impl Iterator<Item = &PooledTx> {
+        self.by_sender.values().flat_map(|queue| queue.values())
+    }
+
+    /// Offers a transaction to the pool; see the type-level documentation for the
+    /// admission rules. `account_nonce` is the sender's current account nonce, which
+    /// anchors the nonce-discipline check.
+    pub fn insert(
+        &mut self,
+        tx: AccountTransaction,
+        fee_per_gas: u64,
+        arrival_secs: f64,
+        account_nonce: u64,
+    ) -> AdmitOutcome {
+        let sender = tx.sender();
+        let nonce = tx.nonce();
+
+        // Nonce discipline: only the occupied range (replacement) or the next
+        // unpooled slot (extension) are admissible; anything else could never be
+        // packed and would strand capacity.
+        if nonce < account_nonce {
+            self.stats.rejected_nonce += 1;
+            return AdmitOutcome::RejectedStale;
+        }
+        let mut next_unpooled = account_nonce;
+        if let Some(queue) = self.by_sender.get(&sender) {
+            for &pooled_nonce in queue.range(account_nonce..).map(|(n, _)| n) {
+                if pooled_nonce == next_unpooled {
+                    next_unpooled += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        if nonce > next_unpooled {
+            self.stats.rejected_nonce += 1;
+            return AdmitOutcome::RejectedGap;
+        }
+
+        // Replacement of an occupied (sender, nonce) slot.
+        if let Some(existing) = self.by_sender.get(&sender).and_then(|q| q.get(&nonce)) {
+            // Ceiling division keeps the required bump strictly positive at low fees.
+            let bump = (existing.fee_per_gas * Self::REPLACEMENT_BUMP_PERCENT).div_ceil(100);
+            let required = existing.fee_per_gas + bump.max(1);
+            if fee_per_gas < required {
+                self.stats.rejected_underpriced += 1;
+                return AdmitOutcome::RejectedUnderpriced;
+            }
+            let seq = self.bump_seq();
+            let queue = self.by_sender.get_mut(&sender).expect("sender present");
+            queue.insert(
+                nonce,
+                PooledTx {
+                    tx,
+                    fee_per_gas,
+                    arrival_secs,
+                    seq,
+                },
+            );
+            self.stats.replaced += 1;
+            return AdmitOutcome::Replaced;
+        }
+
+        // Capacity: evict the cheapest chain tail if the newcomer outbids it.
+        if self.len >= self.capacity {
+            match self.cheapest_tail() {
+                Some((victim_sender, victim_nonce, victim_fee))
+                    if victim_fee < fee_per_gas && victim_sender != sender =>
+                {
+                    self.remove(victim_sender, victim_nonce);
+                    self.stats.evicted += 1;
+                }
+                _ => {
+                    self.stats.rejected_full += 1;
+                    return AdmitOutcome::RejectedFull;
+                }
+            }
+        }
+
+        let seq = self.bump_seq();
+        self.by_sender.entry(sender).or_default().insert(
+            nonce,
+            PooledTx {
+                tx,
+                fee_per_gas,
+                arrival_secs,
+                seq,
+            },
+        );
+        self.len += 1;
+        self.stats.admitted += 1;
+        AdmitOutcome::Admitted
+    }
+
+    /// Removes and returns the entry at `(sender, nonce)`, if present.
+    pub fn remove(&mut self, sender: Address, nonce: u64) -> Option<PooledTx> {
+        let queue = self.by_sender.get_mut(&sender)?;
+        let removed = queue.remove(&nonce)?;
+        if queue.is_empty() {
+            self.by_sender.remove(&sender);
+        }
+        self.len -= 1;
+        Some(removed)
+    }
+
+    /// Removes every transaction of a packed block from the pool, updating the
+    /// `packed` counter.
+    pub fn remove_packed(&mut self, txs: &[AccountTransaction]) {
+        for tx in txs {
+            if self.remove(tx.sender(), tx.nonce()).is_some() {
+                self.stats.packed += 1;
+            }
+        }
+    }
+
+    /// Drops every entry of `sender` that can no longer be packed given its current
+    /// account nonce: stale nonces below it, and everything above the first missing
+    /// nonce at or after it. Returns the number of entries dropped.
+    ///
+    /// Needed when a packed transaction *fails validation* at execution (the account
+    /// nonce does not advance past it): the block's transactions have already been
+    /// removed from the pool, so the sender's later nonces sit behind a gap that no
+    /// future arrival will fill — without this sweep they would occupy capacity
+    /// forever.
+    pub fn resync_sender(&mut self, sender: Address, account_nonce: u64) -> usize {
+        let Some(queue) = self.by_sender.get_mut(&sender) else {
+            return 0;
+        };
+        let before = queue.len();
+        // BTreeMap::retain visits keys in ascending order, so a running expected
+        // nonce identifies the contiguous packable run.
+        let mut expected = account_nonce;
+        queue.retain(|&nonce, _| {
+            if nonce == expected {
+                expected += 1;
+                true
+            } else {
+                false
+            }
+        });
+        let dropped = before - queue.len();
+        if queue.is_empty() {
+            self.by_sender.remove(&sender);
+        }
+        self.len -= dropped;
+        self.stats.dropped_unpackable += dropped as u64;
+        dropped
+    }
+
+    /// The per-sender gap-free transaction chains that are ready for inclusion given
+    /// the account nonces in `state_nonce` (a function from sender to current nonce).
+    /// Chains are returned in sender-address order, so the result is deterministic.
+    pub fn ready_chains(&self, state_nonce: impl Fn(Address) -> u64) -> Vec<ReadyChain<'_>> {
+        let mut chains = Vec::new();
+        for (&sender, queue) in &self.by_sender {
+            let start = state_nonce(sender);
+            let mut txs = Vec::new();
+            for (offset, (&nonce, pooled)) in queue.range(start..).enumerate() {
+                if nonce != start + offset as u64 {
+                    break; // nonce gap: the rest of the queue is not yet includable
+                }
+                txs.push(pooled);
+            }
+            if !txs.is_empty() {
+                chains.push(ReadyChain { sender, txs });
+            }
+        }
+        chains
+    }
+
+    /// The cheapest evictable entry: `(sender, nonce, fee)` of the chain tail with the
+    /// lowest fee bid (newest admission breaks ties).
+    fn cheapest_tail(&self) -> Option<(Address, u64, u64)> {
+        self.by_sender
+            .iter()
+            .filter_map(|(&sender, queue)| {
+                queue
+                    .iter()
+                    .next_back()
+                    .map(|(&nonce, pooled)| (sender, nonce, pooled.fee_per_gas, pooled.seq))
+            })
+            .min_by_key(|&(_, _, fee, seq)| (fee, std::cmp::Reverse(seq)))
+            .map(|(sender, nonce, fee, _)| (sender, nonce, fee))
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_types::Amount;
+
+    fn transfer(sender: u64, receiver: u64, nonce: u64) -> AccountTransaction {
+        AccountTransaction::transfer(
+            Address::from_low(sender),
+            Address::from_low(receiver),
+            Amount::from_sats(1),
+            nonce,
+        )
+    }
+
+    #[test]
+    fn admission_and_iteration_order_are_deterministic() {
+        let mut pool = Mempool::new(10);
+        pool.insert(transfer(2, 9, 0), 5, 0.0, 0);
+        pool.insert(transfer(1, 9, 0), 3, 0.1, 0);
+        pool.insert(transfer(1, 9, 1), 7, 0.2, 0);
+        let order: Vec<(u64, u64)> = pool
+            .iter()
+            .map(|p| (p.tx.sender().low_u64(), p.tx.nonce()))
+            .collect();
+        assert_eq!(order, vec![(1, 0), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn replacement_requires_fee_bump() {
+        let mut pool = Mempool::new(10);
+        assert_eq!(
+            pool.insert(transfer(1, 2, 0), 100, 0.0, 0),
+            AdmitOutcome::Admitted
+        );
+        assert_eq!(
+            pool.insert(transfer(1, 3, 0), 109, 0.1, 0),
+            AdmitOutcome::RejectedUnderpriced
+        );
+        assert_eq!(
+            pool.insert(transfer(1, 3, 0), 110, 0.2, 0),
+            AdmitOutcome::Replaced
+        );
+        assert_eq!(pool.len(), 1);
+        assert_eq!(
+            pool.iter().next().unwrap().tx.receiver(),
+            Address::from_low(3)
+        );
+        assert_eq!(pool.stats().replaced, 1);
+        assert_eq!(pool.stats().rejected_underpriced, 1);
+    }
+
+    #[test]
+    fn eviction_prefers_cheapest_tail_and_never_splits_chains() {
+        let mut pool = Mempool::new(3);
+        pool.insert(transfer(1, 9, 0), 50, 0.0, 0);
+        pool.insert(transfer(1, 9, 1), 2, 0.1, 0); // cheapest tail
+        pool.insert(transfer(2, 9, 0), 20, 0.2, 0);
+        // Outbids the cheapest tail: sender 1's nonce-1 tail goes, chain head stays.
+        assert_eq!(
+            pool.insert(transfer(3, 9, 0), 30, 0.3, 0),
+            AdmitOutcome::Admitted
+        );
+        assert_eq!(pool.len(), 3);
+        assert!(pool
+            .iter()
+            .any(|p| p.tx.sender() == Address::from_low(1) && p.tx.nonce() == 0));
+        assert!(!pool.iter().any(|p| p.tx.nonce() == 1));
+        // Underbids everything: rejected.
+        assert_eq!(
+            pool.insert(transfer(4, 9, 0), 1, 0.4, 0),
+            AdmitOutcome::RejectedFull
+        );
+        assert_eq!(pool.stats().evicted, 1);
+        assert_eq!(pool.stats().rejected_full, 1);
+    }
+
+    #[test]
+    fn eviction_never_victimizes_the_incoming_sender() {
+        let mut pool = Mempool::new(2);
+        pool.insert(transfer(1, 9, 0), 5, 0.0, 0);
+        pool.insert(transfer(1, 9, 1), 1, 0.1, 0);
+        // Sender 1 offers nonce 2 with a high fee; evicting its own nonce-1 tail would
+        // open a gap below the newcomer, so the offer is rejected instead.
+        assert_eq!(
+            pool.insert(transfer(1, 9, 2), 99, 0.2, 0),
+            AdmitOutcome::RejectedFull
+        );
+    }
+
+    #[test]
+    fn nonce_discipline_rejects_gaps_and_stale_nonces() {
+        let mut pool = Mempool::new(10);
+        assert_eq!(
+            pool.insert(transfer(1, 9, 0), 5, 0.0, 0),
+            AdmitOutcome::Admitted
+        );
+        assert_eq!(
+            pool.insert(transfer(1, 9, 1), 5, 0.1, 0),
+            AdmitOutcome::Admitted
+        );
+        // Gap at nonce 2: nonce 3 could never be packed, so it is rejected.
+        assert_eq!(
+            pool.insert(transfer(1, 9, 3), 5, 0.2, 0),
+            AdmitOutcome::RejectedGap
+        );
+        // Below the account nonce: already executed.
+        assert_eq!(
+            pool.insert(transfer(2, 9, 4), 5, 0.3, 5),
+            AdmitOutcome::RejectedStale
+        );
+        assert_eq!(pool.stats().rejected_nonce, 2);
+        let chains = pool.ready_chains(|_| 0);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].sender, Address::from_low(1));
+        let nonces: Vec<u64> = chains[0].txs.iter().map(|p| p.tx.nonce()).collect();
+        assert_eq!(nonces, vec![0, 1]);
+    }
+
+    #[test]
+    fn eviction_cannot_strand_later_arrivals() {
+        // Sender 1's tail (nonce 1) is evicted; its later nonce-2 arrival is then
+        // rejected as a gap instead of sitting unpackable in the pool forever.
+        let mut pool = Mempool::new(2);
+        pool.insert(transfer(1, 9, 0), 10, 0.0, 0);
+        pool.insert(transfer(1, 9, 1), 1, 0.1, 0);
+        assert_eq!(
+            pool.insert(transfer(2, 9, 0), 50, 0.2, 0),
+            AdmitOutcome::Admitted
+        );
+        assert!(!pool.iter().any(|p| p.tx.nonce() == 1), "tail not evicted");
+        assert_eq!(
+            pool.insert(transfer(1, 9, 2), 99, 0.3, 0),
+            AdmitOutcome::RejectedGap
+        );
+        // Re-offering the evicted nonce itself is fine and heals the chain.
+        assert_eq!(
+            pool.insert(transfer(1, 9, 1), 40, 0.4, 0),
+            AdmitOutcome::RejectedFull
+        );
+        pool.remove(Address::from_low(2), 0);
+        assert_eq!(
+            pool.insert(transfer(1, 9, 1), 40, 0.5, 0),
+            AdmitOutcome::Admitted
+        );
+    }
+
+    #[test]
+    fn resync_drops_stale_and_gapped_entries() {
+        let mut pool = Mempool::new(10);
+        pool.insert(transfer(1, 9, 0), 5, 0.0, 0);
+        pool.insert(transfer(1, 9, 1), 5, 0.1, 0);
+        pool.insert(transfer(1, 9, 2), 5, 0.2, 0);
+        // Nonce 1 was packed but failed validation: the account nonce is stuck at 1
+        // while the pool lost the entry, so nonce 2 is stranded. Nonce 0 is stale.
+        pool.remove(Address::from_low(1), 1);
+        assert_eq!(pool.resync_sender(Address::from_low(1), 1), 2);
+        assert!(pool.is_empty());
+        assert_eq!(pool.stats().dropped_unpackable, 2);
+        // Resyncing an unknown sender is a no-op.
+        assert_eq!(pool.resync_sender(Address::from_low(42), 0), 0);
+        // A healthy queue survives a resync untouched.
+        pool.insert(transfer(2, 9, 0), 5, 0.3, 0);
+        pool.insert(transfer(2, 9, 1), 5, 0.4, 0);
+        assert_eq!(pool.resync_sender(Address::from_low(2), 0), 0);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn remove_packed_updates_counters_and_len() {
+        let mut pool = Mempool::new(10);
+        let a = transfer(1, 9, 0);
+        let b = transfer(2, 9, 0);
+        pool.insert(a.clone(), 5, 0.0, 0);
+        pool.insert(b.clone(), 5, 0.1, 0);
+        pool.remove_packed(&[a, b.clone()]);
+        assert!(pool.is_empty());
+        assert_eq!(pool.stats().packed, 2);
+        // Removing an unknown transaction is a no-op.
+        pool.remove_packed(&[b]);
+        assert_eq!(pool.stats().packed, 2);
+    }
+
+    #[test]
+    fn gas_estimates_rank_payloads() {
+        use blockconc_account::vm::Contract;
+        use std::sync::Arc;
+        let transfer_gas = gas_estimate(&transfer(1, 2, 0));
+        let call = AccountTransaction::contract_call(
+            Address::from_low(1),
+            Address::from_low(9),
+            Amount::ZERO,
+            vec![],
+            0,
+        );
+        let create = AccountTransaction::contract_create(
+            Address::from_low(1),
+            Arc::new(Contract::noop()),
+            0,
+        );
+        assert_eq!(transfer_gas, Gas::BASE_TX);
+        assert!(gas_estimate(&call) > transfer_gas);
+        assert!(gas_estimate(&create) > gas_estimate(&call));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Mempool::new(0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-block and per-run pipeline reports.
+
+use crate::MempoolStats;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// What the pipeline measured for one produced block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockRecord {
+    /// Block height.
+    pub height: u64,
+    /// Number of packed transactions.
+    pub tx_count: usize,
+    /// Receipts that failed (always 0 when the pipeline invariants hold).
+    pub failed_receipts: usize,
+    /// The packer's estimated gas for the block.
+    pub estimated_gas: u64,
+    /// Gas actually consumed by execution.
+    pub gas_used: u64,
+    /// Sum of the included transactions' fee bids.
+    pub total_fee_per_gas: u64,
+    /// Predicted LPT makespan of the packed block (transaction time units).
+    pub predicted_makespan: u64,
+    /// Predicted group-concurrency speed-up at the run's thread count.
+    pub predicted_speedup: f64,
+    /// The engine's abstract parallel execution time (`T'` of the paper's model).
+    pub measured_parallel_units: u64,
+    /// The engine's measured abstract speed-up (`R`).
+    pub measured_speedup: f64,
+    /// Single-transaction conflict rate the engine observed.
+    pub conflict_rate: f64,
+    /// Group conflict rate the engine observed.
+    pub group_conflict_rate: f64,
+    /// Transactions left in the mempool after packing this block.
+    pub mempool_len_after: usize,
+    /// Wall-clock nanoseconds of the engine's parallel phase.
+    pub execute_wall_nanos: u64,
+}
+
+/// Aggregate results of one pipeline run (one packer × engine × thread combination
+/// over one arrival stream).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineRunReport {
+    /// Packer name.
+    pub packer: String,
+    /// Engine name.
+    pub engine: String,
+    /// Worker threads used by the engine (and targeted by the packer).
+    pub threads: usize,
+    /// Per-block measurements, in height order.
+    pub blocks: Vec<BlockRecord>,
+    /// Total transactions packed and executed.
+    pub total_txs: usize,
+    /// Total failed receipts (expected 0).
+    pub total_failed: usize,
+    /// Transactions still pooled when the run ended.
+    pub leftover_mempool: usize,
+    /// The mempool's admission counters for the run.
+    pub mempool_stats: MempoolStats,
+}
+
+impl PipelineRunReport {
+    /// Mean measured abstract speed-up, weighted by block size: total sequential time
+    /// units over total parallel time units across all non-empty blocks.
+    pub fn mean_measured_speedup(&self) -> f64 {
+        let sequential: u64 = self.blocks.iter().map(|b| b.tx_count as u64).sum();
+        let parallel: u64 = self.blocks.iter().map(|b| b.measured_parallel_units).sum();
+        if parallel == 0 {
+            0.0
+        } else {
+            sequential as f64 / parallel as f64
+        }
+    }
+
+    /// Mean predicted speed-up, weighted by block size.
+    pub fn mean_predicted_speedup(&self) -> f64 {
+        let sequential: u64 = self.blocks.iter().map(|b| b.tx_count as u64).sum();
+        let makespan: u64 = self.blocks.iter().map(|b| b.predicted_makespan).sum();
+        if makespan == 0 {
+            0.0
+        } else {
+            sequential as f64 / makespan as f64
+        }
+    }
+
+    /// Total wall-clock time spent in the engines' parallel phases.
+    pub fn total_execute_wall(&self) -> Duration {
+        Duration::from_nanos(self.blocks.iter().map(|b| b.execute_wall_nanos).sum())
+    }
+
+    /// Executed-transaction throughput over the engines' wall time, in tx/s.
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = self.total_execute_wall().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total_txs as f64 / secs
+        }
+    }
+
+    /// Mean mempool occupancy (transactions) across block boundaries.
+    pub fn mean_mempool_len(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks
+            .iter()
+            .map(|b| b.mempool_len_after as f64)
+            .sum::<f64>()
+            / self.blocks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tx_count: usize, parallel: u64, makespan: u64) -> BlockRecord {
+        BlockRecord {
+            height: 1,
+            tx_count,
+            failed_receipts: 0,
+            estimated_gas: 0,
+            gas_used: 0,
+            total_fee_per_gas: 0,
+            predicted_makespan: makespan,
+            predicted_speedup: 0.0,
+            measured_parallel_units: parallel,
+            measured_speedup: 0.0,
+            conflict_rate: 0.0,
+            group_conflict_rate: 0.0,
+            mempool_len_after: 10,
+            execute_wall_nanos: 1_000_000,
+        }
+    }
+
+    fn report(blocks: Vec<BlockRecord>) -> PipelineRunReport {
+        PipelineRunReport {
+            packer: "p".into(),
+            engine: "e".into(),
+            threads: 8,
+            total_txs: blocks.iter().map(|b| b.tx_count).sum(),
+            total_failed: 0,
+            leftover_mempool: 0,
+            mempool_stats: MempoolStats::default(),
+            blocks,
+        }
+    }
+
+    #[test]
+    fn aggregates_weight_by_block_size() {
+        let r = report(vec![record(100, 25, 20), record(50, 50, 40)]);
+        assert!((r.mean_measured_speedup() - 150.0 / 75.0).abs() < 1e-12);
+        assert!((r.mean_predicted_speedup() - 150.0 / 60.0).abs() < 1e-12);
+        assert_eq!(r.total_txs, 150);
+        assert!((r.mean_mempool_len() - 10.0).abs() < 1e-12);
+        assert!(r.throughput_tps() > 0.0);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeroes() {
+        let r = report(vec![]);
+        assert_eq!(r.mean_measured_speedup(), 0.0);
+        assert_eq!(r.mean_predicted_speedup(), 0.0);
+        assert_eq!(r.throughput_tps(), 0.0);
+        assert_eq!(r.mean_mempool_len(), 0.0);
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let r = report(vec![record(10, 5, 5)]);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        assert!(json.contains("\"packer\""));
+        let parsed: PipelineRunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, r);
+    }
+}

@@ -1,0 +1,95 @@
+//! Randomized cross-check of the streaming incremental TDG against from-scratch
+//! rebuilds, driven by real chainsim arrival streams: after every insertion batch,
+//! the online structure and a full rebuild must describe the same partition.
+
+use blockconc_account::AccountTransaction;
+use blockconc_chainsim::{AccountWorkloadParams, ArrivalStream, HotspotSpec};
+use blockconc_pipeline::{effective_receiver, IncrementalTdg};
+use blockconc_types::DeterministicRng;
+use std::collections::HashMap;
+
+fn workload(seed: u64) -> ArrivalStream {
+    let params = AccountWorkloadParams {
+        txs_per_block: 50.0,
+        user_population: 500, // small population => frequent component merges
+        fresh_receiver_share: 0.3,
+        zipf_exponent: 0.8,
+        hotspots: vec![
+            HotspotSpec::exchange(0.25),
+            HotspotSpec::pool(0.05),
+            HotspotSpec::contract(0.1, 3),
+        ],
+        contract_create_share: 0.02,
+    };
+    ArrivalStream::new(params, 10.0, 400, seed)
+}
+
+/// Canonical partition fingerprint: sorted list of sorted address groups, restricted
+/// to addresses the transactions reference.
+fn partition(tdg: &mut IncrementalTdg, txs: &[AccountTransaction]) -> Vec<Vec<u64>> {
+    let mut groups: HashMap<usize, Vec<u64>> = HashMap::new();
+    let mut seen = std::collections::HashSet::new();
+    for tx in txs {
+        for address in [tx.sender(), effective_receiver(tx)] {
+            if seen.insert(address) {
+                let root = tdg.component_of(address).expect("address was inserted");
+                groups.entry(root).or_default().push(address.low_u64());
+            }
+        }
+    }
+    let mut result: Vec<Vec<u64>> = groups
+        .into_values()
+        .map(|mut group| {
+            group.sort_unstable();
+            group
+        })
+        .collect();
+    result.sort();
+    result
+}
+
+#[test]
+fn streaming_union_agrees_with_rebuild_after_every_batch() {
+    for seed in 0..3u64 {
+        let mut rng = DeterministicRng::seed(seed ^ 0xbeef);
+        let mut streaming = IncrementalTdg::new();
+        let mut inserted: Vec<AccountTransaction> = Vec::new();
+
+        let mut stream = workload(seed);
+        loop {
+            // Random batch sizes model irregular ingestion bursts.
+            let batch: Vec<_> = (&mut stream).take(rng.range(1, 40) as usize).collect();
+            if batch.is_empty() {
+                break;
+            }
+            for arrival in &batch {
+                streaming.insert(&arrival.tx);
+                inserted.push(arrival.tx.clone());
+            }
+
+            let mut rebuilt = IncrementalTdg::rebuild_from(inserted.iter());
+            assert_eq!(streaming.tx_count(), rebuilt.tx_count());
+            assert_eq!(streaming.address_count(), rebuilt.address_count());
+            assert_eq!(
+                streaming.largest_component_tx_count(),
+                rebuilt.largest_component_tx_count(),
+                "seed {seed} after {} txs",
+                inserted.len()
+            );
+
+            let mut streaming_sizes = streaming.component_tx_counts();
+            let mut rebuilt_sizes = rebuilt.component_tx_counts();
+            streaming_sizes.sort_unstable();
+            rebuilt_sizes.sort_unstable();
+            assert_eq!(streaming_sizes, rebuilt_sizes, "seed {seed}");
+
+            assert_eq!(
+                partition(&mut streaming, &inserted),
+                partition(&mut rebuilt, &inserted),
+                "seed {seed}: partitions diverged after {} transactions",
+                inserted.len()
+            );
+        }
+        assert_eq!(streaming.tx_count(), 400);
+    }
+}

@@ -158,7 +158,11 @@ mod tests {
         let assignment = CommitteeAssignment::from_solutions(&solutions(400, 7), 4);
         for committee in assignment.committees() {
             // With 400 nodes over 4 shards each shard should get 100 +- a wide margin.
-            assert!(committee.len() > 50 && committee.len() < 150, "{}", committee.len());
+            assert!(
+                committee.len() > 50 && committee.len() < 150,
+                "{}",
+                committee.len()
+            );
         }
     }
 

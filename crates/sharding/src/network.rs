@@ -81,7 +81,12 @@ impl ShardedNetwork {
     /// The `seed` offsets epoch numbers so different seeds give different assignments.
     pub fn new(config: ShardingConfig, seed: u64) -> Self {
         let nodes: Vec<_> = (0..config.num_nodes).map(NodeId::new).collect();
-        let epoch = DsEpoch::start(seed, &nodes, config.num_shards, config.tx_blocks_per_ds_epoch);
+        let epoch = DsEpoch::start(
+            seed,
+            &nodes,
+            config.num_shards,
+            config.tx_blocks_per_ds_epoch,
+        );
         ShardedNetwork {
             config,
             epoch,
@@ -172,7 +177,8 @@ mod tests {
     #[test]
     fn routing_is_by_sender_address() {
         let network = ShardedNetwork::new(ShardingConfig::small(), 1);
-        let routed = network.route_transactions(vec![tx(0, 100), tx(1, 101), tx(4, 102), tx(5, 103)]);
+        let routed =
+            network.route_transactions(vec![tx(0, 100), tx(1, 101), tx(4, 102), tx(5, 103)]);
         // Senders 0 and 4 share shard 0; senders 1 and 5 share shard 1 (modulo 4).
         assert_eq!(routed.per_shard()[0].len(), 2);
         assert_eq!(routed.per_shard()[1].len(), 2);

@@ -85,8 +85,14 @@ mod tests {
 
     #[test]
     fn different_nodes_and_epochs_differ() {
-        assert_ne!(solve_pow(NodeId::new(1), 5).hash(), solve_pow(NodeId::new(2), 5).hash());
-        assert_ne!(solve_pow(NodeId::new(1), 5).hash(), solve_pow(NodeId::new(1), 6).hash());
+        assert_ne!(
+            solve_pow(NodeId::new(1), 5).hash(),
+            solve_pow(NodeId::new(2), 5).hash()
+        );
+        assert_ne!(
+            solve_pow(NodeId::new(1), 5).hash(),
+            solve_pow(NodeId::new(1), 6).hash()
+        );
     }
 
     #[test]

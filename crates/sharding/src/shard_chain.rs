@@ -85,7 +85,9 @@ impl FinalBlock {
 
     /// All transactions, microblock by microblock (the canonical final-block order).
     pub fn transactions(&self) -> impl Iterator<Item = &AccountTransaction> {
-        self.microblocks.iter().flat_map(|mb| mb.transactions().iter())
+        self.microblocks
+            .iter()
+            .flat_map(|mb| mb.transactions().iter())
     }
 
     /// Total number of transactions in the final block.
@@ -186,8 +188,16 @@ mod tests {
     fn shard_chain_accumulates_own_microblocks() {
         let mut chain = ShardChain::new(ShardId::new(2));
         assert!(chain.is_empty());
-        chain.push(MicroBlock::new(ShardId::new(2), BlockHeight::new(1), vec![tx(1)]));
-        chain.push(MicroBlock::new(ShardId::new(2), BlockHeight::new(2), vec![]));
+        chain.push(MicroBlock::new(
+            ShardId::new(2),
+            BlockHeight::new(1),
+            vec![tx(1)],
+        ));
+        chain.push(MicroBlock::new(
+            ShardId::new(2),
+            BlockHeight::new(2),
+            vec![],
+        ));
         assert_eq!(chain.len(), 2);
         assert_eq!(chain.shard(), ShardId::new(2));
     }
@@ -196,6 +206,10 @@ mod tests {
     #[should_panic(expected = "different shard")]
     fn foreign_microblock_is_rejected() {
         let mut chain = ShardChain::new(ShardId::new(0));
-        chain.push(MicroBlock::new(ShardId::new(1), BlockHeight::new(1), vec![]));
+        chain.push(MicroBlock::new(
+            ShardId::new(1),
+            BlockHeight::new(1),
+            vec![],
+        ));
     }
 }

@@ -23,9 +23,7 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// assert_eq!(a.checked_sub(b), Some(Amount::from_sats(500)));
 /// assert_eq!(b.checked_sub(a), None);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Amount(u64);
 
 impl Amount {
@@ -148,9 +146,15 @@ mod tests {
 
     #[test]
     fn checked_ops_detect_overflow() {
-        assert_eq!(Amount::from_sats(u64::MAX).checked_add(Amount::from_sats(1)), None);
+        assert_eq!(
+            Amount::from_sats(u64::MAX).checked_add(Amount::from_sats(1)),
+            None
+        );
         assert_eq!(Amount::ZERO.checked_sub(Amount::from_sats(1)), None);
-        assert_eq!(Amount::ZERO.saturating_sub(Amount::from_sats(1)), Amount::ZERO);
+        assert_eq!(
+            Amount::ZERO.saturating_sub(Amount::from_sats(1)),
+            Amount::ZERO
+        );
     }
 
     #[test]

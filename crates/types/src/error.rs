@@ -101,8 +101,14 @@ mod tests {
             Error::missing_state("txo abc").to_string(),
             "missing state: txo abc"
         );
-        assert_eq!(Error::out_of_gas("limit 100").to_string(), "out of gas: limit 100");
-        assert_eq!(Error::config("bad buckets").to_string(), "configuration error: bad buckets");
+        assert_eq!(
+            Error::out_of_gas("limit 100").to_string(),
+            "out of gas: limit 100"
+        );
+        assert_eq!(
+            Error::config("bad buckets").to_string(),
+            "configuration error: bad buckets"
+        );
     }
 
     #[test]

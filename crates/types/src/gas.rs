@@ -20,9 +20,7 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// assert_eq!((base + extra).value(), 30_000);
 /// assert!(base < base + extra);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Gas(u64);
 
 impl Gas {

@@ -241,7 +241,11 @@ mod tests {
             }
         }
         // With heavy skew a large share of samples land in the top-10 indices.
-        assert!(low as f64 / n as f64 > 0.2, "low share {}", low as f64 / n as f64);
+        assert!(
+            low as f64 / n as f64 > 0.2,
+            "low share {}",
+            low as f64 / n as f64
+        );
     }
 
     #[test]

@@ -73,7 +73,9 @@ impl UtxoBlock {
     /// Total number of inputs across regular transactions (the paper's "input TXOs per
     /// block" series in Fig. 5a).
     pub fn input_count(&self) -> usize {
-        self.regular_transactions().map(|tx| tx.inputs().len()).sum()
+        self.regular_transactions()
+            .map(|tx| tx.inputs().len())
+            .sum()
     }
 
     /// A content-derived identifier for the block.

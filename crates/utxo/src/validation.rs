@@ -22,10 +22,16 @@ pub fn validate_transaction(
         return Err(Error::validation("coinbase passed to validate_transaction"));
     }
     if tx.inputs().is_empty() {
-        return Err(Error::validation(format!("transaction {} has no inputs", tx.id())));
+        return Err(Error::validation(format!(
+            "transaction {} has no inputs",
+            tx.id()
+        )));
     }
     if tx.outputs().is_empty() {
-        return Err(Error::validation(format!("transaction {} has no outputs", tx.id())));
+        return Err(Error::validation(format!(
+            "transaction {} has no outputs",
+            tx.id()
+        )));
     }
     let mut seen = std::collections::HashSet::with_capacity(tx.inputs().len());
     let mut input_value = Amount::ZERO;
@@ -37,7 +43,10 @@ pub fn validate_transaction(
             )));
         }
         let resolved = available(input).ok_or_else(|| {
-            Error::missing_state(format!("transaction {} spends unknown TXO {input}", tx.id()))
+            Error::missing_state(format!(
+                "transaction {} spends unknown TXO {input}",
+                tx.id()
+            ))
         })?;
         input_value = input_value
             .checked_add(resolved.value())

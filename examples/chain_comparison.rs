@@ -15,17 +15,29 @@ fn main() {
 
     // Figure 7: conflict rates grouped by data model.
     for (title, metric) in [
-        ("Figure 7a/b — single-transaction conflict rate (weighted)", MetricKind::SingleTxConflictRate),
-        ("Figure 7c/d — group conflict rate (weighted)", MetricKind::GroupConflictRate),
+        (
+            "Figure 7a/b — single-transaction conflict rate (weighted)",
+            MetricKind::SingleTxConflictRate,
+        ),
+        (
+            "Figure 7c/d — group conflict rate (weighted)",
+            MetricKind::GroupConflictRate,
+        ),
     ] {
         let comparison = compare::by_data_model(&dataset, metric, BlockWeight::TxCount, buckets);
         println!(
             "{}",
-            report::series_table(&format!("{title} — account-based chains"), &comparison.account_chains)
+            report::series_table(
+                &format!("{title} — account-based chains"),
+                &comparison.account_chains
+            )
         );
         println!(
             "{}",
-            report::series_table(&format!("{title} — UTXO-based chains"), &comparison.utxo_chains)
+            report::series_table(
+                &format!("{title} — UTXO-based chains"),
+                &comparison.utxo_chains
+            )
         );
     }
 
@@ -46,7 +58,12 @@ fn main() {
             println!(
                 "{}",
                 report::series_table(
-                    &format!("Figure 8 — {} ({} vs {})", metric.label(), pair.left, pair.right),
+                    &format!(
+                        "Figure 8 — {} ({} vs {})",
+                        metric.label(),
+                        pair.left,
+                        pair.right
+                    ),
                     &[left.clone(), right.clone()],
                 )
             );
@@ -70,7 +87,12 @@ fn main() {
             println!(
                 "{}",
                 report::series_table(
-                    &format!("Figure 9 — {} ({} vs {})", metric.label(), pair.left, pair.right),
+                    &format!(
+                        "Figure 9 — {} ({} vs {})",
+                        metric.label(),
+                        pair.left,
+                        pair.right
+                    ),
                     &[left.clone(), right.clone()],
                 )
             );
@@ -81,11 +103,21 @@ fn main() {
     println!("key findings on the simulated dataset:");
     for chain in dataset.chains() {
         let single = dataset
-            .series(chain, MetricKind::SingleTxConflictRate, BlockWeight::TxCount, 1)
+            .series(
+                chain,
+                MetricKind::SingleTxConflictRate,
+                BlockWeight::TxCount,
+                1,
+            )
             .and_then(|s| s.last_value())
             .unwrap_or(0.0);
         let group = dataset
-            .series(chain, MetricKind::GroupConflictRate, BlockWeight::TxCount, 1)
+            .series(
+                chain,
+                MetricKind::GroupConflictRate,
+                BlockWeight::TxCount,
+                1,
+            )
             .and_then(|s| s.last_value())
             .unwrap_or(0.0);
         println!(

@@ -17,7 +17,12 @@ fn main() {
     );
     let history = config.generate(ChainId::Ethereum);
 
-    let tx_load = bucketed_series(history.blocks(), MetricKind::TxCount, BlockWeight::Unit, buckets);
+    let tx_load = bucketed_series(
+        history.blocks(),
+        MetricKind::TxCount,
+        BlockWeight::Unit,
+        buckets,
+    );
     let all_tx_load = bucketed_series(
         history.blocks(),
         MetricKind::TotalTxCount,

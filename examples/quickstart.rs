@@ -27,8 +27,18 @@ fn main() {
             0,
         ));
     }
-    txs.push(AccountTransaction::transfer(pool, Address::from_low(31), Amount::from_coins(1), 0));
-    txs.push(AccountTransaction::transfer(pool, Address::from_low(32), Amount::from_coins(1), 1));
+    txs.push(AccountTransaction::transfer(
+        pool,
+        Address::from_low(31),
+        Amount::from_coins(1),
+        0,
+    ));
+    txs.push(AccountTransaction::transfer(
+        pool,
+        Address::from_low(32),
+        Amount::from_coins(1),
+        1,
+    ));
     for i in 10..=13u64 {
         txs.push(AccountTransaction::transfer(
             Address::from_low(i),

@@ -33,7 +33,7 @@ fn utxo_block_from_spec(spec: &[Option<usize>]) -> UtxoBlock {
             .build();
         txs.push(tx);
     }
-    UtxoBlockBuilder::new(1, 0, )
+    UtxoBlockBuilder::new(1, 0)
         .coinbase(Address::from_low(1), Amount::from_coins(12))
         .transactions(txs)
         .build()
@@ -53,13 +53,20 @@ fn account_block_from_spec(spec: &[(u8, u8)]) -> ExecutedBlock {
             state.credit(sender, Amount::from_coins(1_000));
         }
         let nonce = nonces.entry(sender).or_insert(0u64);
-        txs.push(AccountTransaction::transfer(sender, receiver, Amount::from_sats(10), *nonce));
+        txs.push(AccountTransaction::transfer(
+            sender,
+            receiver,
+            Amount::from_sats(10),
+            *nonce,
+        ));
         *nonce += 1;
     }
     let block = AccountBlockBuilder::new(1, 0, Address::from_low(9))
         .transactions(txs)
         .build();
-    BlockExecutor::new().execute_block(&mut state, &block).unwrap()
+    BlockExecutor::new()
+        .execute_block(&mut state, &block)
+        .unwrap()
 }
 
 /// Checks the invariants shared by both data models.

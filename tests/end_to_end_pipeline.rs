@@ -52,12 +52,19 @@ fn paper_findings_hold_on_the_simulated_dataset() {
     // group conflict rate is tiny (paper: ~1%); Ethereum's are far higher.
     let btc_single = mean_rate(&dataset, ChainId::Bitcoin, MetricKind::SingleTxConflictRate);
     let btc_group = mean_rate(&dataset, ChainId::Bitcoin, MetricKind::GroupConflictRate);
-    let eth_single = mean_rate(&dataset, ChainId::Ethereum, MetricKind::SingleTxConflictRate);
+    let eth_single = mean_rate(
+        &dataset,
+        ChainId::Ethereum,
+        MetricKind::SingleTxConflictRate,
+    );
     let eth_group = mean_rate(&dataset, ChainId::Ethereum, MetricKind::GroupConflictRate);
     assert!(btc_single < 0.3, "bitcoin single {btc_single}");
     assert!(btc_group < 0.05, "bitcoin group {btc_group}");
     assert!(eth_single > 0.5, "ethereum single {eth_single}");
-    assert!(eth_group > 0.1 && eth_group < 0.5, "ethereum group {eth_group}");
+    assert!(
+        eth_group > 0.1 && eth_group < 0.5,
+        "ethereum group {eth_group}"
+    );
 
     // Finding 2: the group conflict rate is (much) lower than the single-transaction
     // conflict rate, on every chain.
@@ -78,15 +85,29 @@ fn paper_findings_hold_on_the_simulated_dataset() {
     // rates (Ethereum vs Ethereum Classic, Bitcoin vs Bitcoin Cash).
     let eth_txs = mean_rate(&dataset, ChainId::Ethereum, MetricKind::TxCount);
     let etc_txs = mean_rate(&dataset, ChainId::EthereumClassic, MetricKind::TxCount);
-    let etc_group = mean_rate(&dataset, ChainId::EthereumClassic, MetricKind::GroupConflictRate);
+    let etc_group = mean_rate(
+        &dataset,
+        ChainId::EthereumClassic,
+        MetricKind::GroupConflictRate,
+    );
     assert!(eth_txs > etc_txs * 3.0, "ETH {eth_txs} vs ETC {etc_txs}");
-    assert!(etc_group > eth_group + 0.15, "ETC group {etc_group} vs ETH {eth_group}");
+    assert!(
+        etc_group > eth_group + 0.15,
+        "ETC group {etc_group} vs ETH {eth_group}"
+    );
 
     let btc_txs = mean_rate(&dataset, ChainId::Bitcoin, MetricKind::TxCount);
     let bch_txs = mean_rate(&dataset, ChainId::BitcoinCash, MetricKind::TxCount);
-    let bch_single = mean_rate(&dataset, ChainId::BitcoinCash, MetricKind::SingleTxConflictRate);
+    let bch_single = mean_rate(
+        &dataset,
+        ChainId::BitcoinCash,
+        MetricKind::SingleTxConflictRate,
+    );
     assert!(btc_txs > bch_txs * 2.0, "BTC {btc_txs} vs BCH {bch_txs}");
-    assert!(bch_single > btc_single, "BCH {bch_single} vs BTC {btc_single}");
+    assert!(
+        bch_single > btc_single,
+        "BCH {bch_single} vs BTC {btc_single}"
+    );
 
     // Zilliqa conflicts heavily despite sharding.
     let zil_single = mean_rate(&dataset, ChainId::Zilliqa, MetricKind::SingleTxConflictRate);
@@ -114,7 +135,11 @@ fn figure10_speedups_reach_paper_magnitudes() {
     let last = eight.last_value().unwrap();
     assert!(last > 2.5 && last <= 8.0, "8-core group speed-up {last}");
 
-    let four: &Series = figure.group.iter().find(|s| s.label() == "4 cores").unwrap();
+    let four: &Series = figure
+        .group
+        .iter()
+        .find(|s| s.label() == "4 cores")
+        .unwrap();
     assert!(four.max_value().unwrap() <= 4.0 + 1e-9);
 
     // Group speed-ups dominate speculative speed-ups point for point.

@@ -38,7 +38,9 @@ fn all_engines_commit_identical_state_transitions() {
     let (base_state, block) = ethereum_block(2018.5, 11);
 
     let mut seq_state = base_state.clone();
-    let (seq_block, _) = SequentialEngine::new().execute(&mut seq_state, &block).unwrap();
+    let (seq_block, _) = SequentialEngine::new()
+        .execute(&mut seq_state, &block)
+        .unwrap();
 
     for threads in [2usize, 8] {
         let mut spec_state = base_state.clone();
@@ -50,11 +52,27 @@ fn all_engines_commit_identical_state_transitions() {
             .execute(&mut sched_state, &block)
             .unwrap();
 
-        assert_eq!(seq_block.receipts(), spec_block.receipts(), "speculative, {threads} threads");
-        assert_eq!(seq_block.receipts(), sched_block.receipts(), "scheduled, {threads} threads");
+        assert_eq!(
+            seq_block.receipts(),
+            spec_block.receipts(),
+            "speculative, {threads} threads"
+        );
+        assert_eq!(
+            seq_block.receipts(),
+            sched_block.receipts(),
+            "scheduled, {threads} threads"
+        );
         for (addr, account) in seq_state.iter() {
-            assert_eq!(account.balance(), spec_state.balance(*addr), "{addr} speculative");
-            assert_eq!(account.balance(), sched_state.balance(*addr), "{addr} scheduled");
+            assert_eq!(
+                account.balance(),
+                spec_state.balance(*addr),
+                "{addr} speculative"
+            );
+            assert_eq!(
+                account.balance(),
+                sched_state.balance(*addr),
+                "{addr} scheduled"
+            );
             assert_eq!(account.nonce(), spec_state.nonce(*addr));
             assert_eq!(account.nonce(), sched_state.nonce(*addr));
         }
@@ -175,17 +193,30 @@ fn failure_injection_failed_transactions_do_not_break_parallel_engines() {
     ));
     // Out-of-gas: gas limit below the intrinsic cost.
     txs.push(
-        AccountTransaction::transfer(Address::from_low(7), Address::from_low(8), Amount::from_sats(1), 0)
-            .with_gas_limit(Gas::new(100)),
+        AccountTransaction::transfer(
+            Address::from_low(7),
+            Address::from_low(8),
+            Amount::from_sats(1),
+            0,
+        )
+        .with_gas_limit(Gas::new(100)),
     );
-    let block = AccountBlockBuilder::new(5, 0, Address::from_low(9)).transactions(txs).build();
+    let block = AccountBlockBuilder::new(5, 0, Address::from_low(9))
+        .transactions(txs)
+        .build();
 
     let mut seq_state = state.clone();
-    let (seq_block, _) = SequentialEngine::new().execute(&mut seq_state, &block).unwrap();
+    let (seq_block, _) = SequentialEngine::new()
+        .execute(&mut seq_state, &block)
+        .unwrap();
     let mut spec_state = state.clone();
-    let (spec_block, _) = SpeculativeEngine::new(4).execute(&mut spec_state, &block).unwrap();
+    let (spec_block, _) = SpeculativeEngine::new(4)
+        .execute(&mut spec_state, &block)
+        .unwrap();
     let mut sched_state = state.clone();
-    let (sched_block, _) = ScheduledEngine::new(4).execute(&mut sched_state, &block).unwrap();
+    let (sched_block, _) = ScheduledEngine::new(4)
+        .execute(&mut sched_state, &block)
+        .unwrap();
 
     let failures = |b: &ExecutedBlock| b.receipts().iter().filter(|r| !r.succeeded()).count();
     assert_eq!(failures(&seq_block), 3);

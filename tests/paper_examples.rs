@@ -75,7 +75,10 @@ fn block_1000124(state: &mut WorldState) -> ExecutedBlock {
     let dwarfpool = Address::from_low(0xd44);
 
     // Contract chain: entry -> middle -> ElcoinDb (each call forwards the value).
-    state.deploy_contract(elcoin_db, std::sync::Arc::new(blockconc::account::vm::Contract::counter()));
+    state.deploy_contract(
+        elcoin_db,
+        std::sync::Arc::new(blockconc::account::vm::Contract::counter()),
+    );
     state.deploy_contract(
         middle_contract,
         std::sync::Arc::new(blockconc::account::vm::Contract::proxy(elcoin_db)),
@@ -164,7 +167,7 @@ fn speculative_engine_reproduces_block_1000124_bin() {
     let mut engine_state = WorldState::new();
     // Rebuild the pre-block state (contracts + funded senders).
     let _ = block_1000124(&mut engine_state); // deploys contracts, funds senders
-    // Reset the nonces/balances by building a fresh state instead.
+                                              // Reset the nonces/balances by building a fresh state instead.
     let mut fresh = WorldState::new();
     for (addr, account) in engine_state.iter() {
         if let Some(code) = account.code() {
@@ -213,7 +216,11 @@ fn figure_6_bitcoin_spend_chain_is_fully_sequential() {
     // Pad the block with independent transactions so the chain is a minority share.
     let mut independent = Vec::new();
     for i in 0..50u64 {
-        let cb = TransactionBuilder::coinbase(Address::from_low(0x4000 + i), Amount::from_coins(1), i + 1);
+        let cb = TransactionBuilder::coinbase(
+            Address::from_low(0x4000 + i),
+            Amount::from_coins(1),
+            i + 1,
+        );
         utxo_set.apply_transaction(&cb).unwrap();
         independent.push(
             TransactionBuilder::new()
