@@ -1,0 +1,349 @@
+//! The shardpool experiment: how much of the admission → pack critical path does
+//! the component-sharded mempool recover, and how does it scale with shards and
+//! producer threads?
+//!
+//! Streams one backlogged hot-spot workload through the sharded pipeline for a
+//! grid of shard × producer-thread layouts plus the single-pool
+//! `ConcurrencyAwarePacker` baseline, prints the comparison, and records the grid
+//! in `BENCH_shardpool.json` at the repository root.
+//!
+//! Costs are reported in the workspace's abstract work units (one unit ≈ one
+//! per-transaction touch of a phase's critical path — the execution engines'
+//! `parallel_units` convention), so the scaling shown is the *structural*
+//! parallelism of the pipeline, independent of this machine's core count. Wall
+//! clocks are recorded alongside for reference.
+//!
+//! Run with `cargo run --release -p blockconc-bench --bin fig_shardpool`; pass
+//! `--smoke` for the fast CI path (small workload, no artifact, no assertions
+//! beyond basic health).
+
+use blockconc::prelude::*;
+use blockconc::shardpool::baseline_pipeline_units;
+use serde::{Deserialize, Serialize};
+
+/// Shared dataset seed (same convention as the figure binaries).
+const STREAM_SEED: u64 = 2020;
+/// The headline comparison runs at this thread count.
+const THREADS: usize = 8;
+
+/// Workload / run shape, scaled down by `--smoke`.
+#[derive(Debug, Clone, Copy)]
+struct Scale {
+    total_txs: usize,
+    tx_rate: f64,
+    blocks: usize,
+}
+
+const FULL: Scale = Scale {
+    total_txs: 9_000,
+    tx_rate: 42.0,
+    blocks: 14,
+};
+const SMOKE: Scale = Scale {
+    total_txs: 900,
+    tx_rate: 18.0,
+    blocks: 5,
+};
+
+/// A hot-spot-heavy workload with *many simultaneous* moderate hot spots — three
+/// exchanges, three popular contracts and a payout pool all active at once, the
+/// way real chains see several hot services in the same block window. More than a
+/// quarter of all traffic hits a hot spot, so packing stays conflict-bound; but
+/// because the hot components are distinct, the deferred backlog they create can
+/// spread over shards. (One dominant exchange instead would fuse the whole backlog
+/// into a single component, which *no* mempool sharding can split — that regime is
+/// bounded by the component structure itself, not by the pool implementation.)
+/// The arrival rate outpaces block capacity, so a standing backlog builds — the
+/// regime where admission and pool scans dominate the loop and a single-threaded
+/// pool is the bottleneck.
+fn hotspot_params() -> AccountWorkloadParams {
+    AccountWorkloadParams {
+        txs_per_block: 200.0, // unused by the stream; block size is arrival-driven
+        user_population: 30_000,
+        fresh_receiver_share: 0.7,
+        zipf_exponent: 0.15,
+        hotspots: vec![
+            HotspotSpec::exchange(0.05),
+            HotspotSpec::exchange(0.04),
+            HotspotSpec::exchange(0.03),
+            HotspotSpec::contract(0.04, 3),
+            HotspotSpec::contract(0.04, 2),
+            HotspotSpec::contract(0.03, 2),
+            HotspotSpec::exchange(0.03),
+        ],
+        contract_create_share: 0.01,
+    }
+}
+
+fn stream(scale: Scale) -> ArrivalStream {
+    ArrivalStream::new(
+        hotspot_params(),
+        scale.tx_rate,
+        scale.total_txs,
+        STREAM_SEED,
+    )
+}
+
+fn config(scale: Scale, shards: usize, producers: usize) -> PipelineConfig {
+    PipelineConfig {
+        threads: THREADS,
+        max_blocks: scale.blocks,
+        shards,
+        producer_threads: producers,
+        max_deferral_blocks: 2,
+        ..PipelineConfig::default()
+    }
+}
+
+/// One sharded grid cell's summary, as persisted to `BENCH_shardpool.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CellSummary {
+    shards: usize,
+    producers: usize,
+    total_txs: usize,
+    total_failed: usize,
+    leftover_mempool: usize,
+    /// Ingest critical path, abstract work units.
+    ingest_units: u64,
+    /// Pack critical path, abstract work units.
+    pack_units: u64,
+    /// Ingest + pack critical path, abstract work units.
+    ingest_pack_units: u64,
+    /// Full pipeline critical path (ingest + pack + execute), abstract work units.
+    total_units: u64,
+    /// Transactions per abstract work unit, end to end.
+    unit_throughput: f64,
+    /// Ingest+pack throughput in transactions per work unit (the producer-scaling
+    /// signal).
+    ingest_pack_throughput: f64,
+    migrated_chains: u64,
+    rebalances: u64,
+    /// Wall-clock seconds summed over ingest + pack + execute phases (reference
+    /// only — this host's core count bounds it, unlike the unit accounting).
+    wall_secs: f64,
+}
+
+impl CellSummary {
+    fn from_report(report: &blockconc::shardpool::ShardedRunReport) -> Self {
+        let ingest_pack = report.ingest_pack_units();
+        let total_units = report.total_units();
+        let wall_nanos: u64 = report
+            .phases
+            .iter()
+            .map(|p| p.ingest_wall_nanos)
+            .sum::<u64>()
+            + report
+                .run
+                .blocks
+                .iter()
+                .map(|b| b.pack_wall_nanos + b.execute_wall_nanos)
+                .sum::<u64>();
+        CellSummary {
+            shards: report.shards,
+            producers: report.producers,
+            total_txs: report.run.total_txs,
+            total_failed: report.run.total_failed,
+            leftover_mempool: report.run.leftover_mempool,
+            ingest_units: report.phases.iter().map(|p| p.ingest_units).sum(),
+            pack_units: report.phases.iter().map(|p| p.pack_units).sum(),
+            ingest_pack_units: ingest_pack,
+            total_units,
+            unit_throughput: report.unit_throughput(),
+            ingest_pack_throughput: if ingest_pack == 0 {
+                0.0
+            } else {
+                report.run.total_txs as f64 / ingest_pack as f64
+            },
+            migrated_chains: report.migrated_chains,
+            rebalances: report.rebalances,
+            wall_secs: wall_nanos as f64 / 1e9,
+        }
+    }
+}
+
+/// The single-pool baseline's summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BaselineSummary {
+    packer: String,
+    total_txs: usize,
+    total_failed: usize,
+    leftover_mempool: usize,
+    /// Serial ingest + pool-scan units (see `baseline_pipeline_units`).
+    ingest_pack_units: u64,
+    total_units: u64,
+    unit_throughput: f64,
+}
+
+/// The persisted benchmark artifact.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchArtifact {
+    seed: u64,
+    total_txs: usize,
+    tx_rate: f64,
+    blocks: usize,
+    threads: usize,
+    baseline: BaselineSummary,
+    cells: Vec<CellSummary>,
+    /// End-to-end unit-throughput of the widest sharded layout ÷ the single-pool
+    /// baseline (acceptance floor 1.5 at 8 shards × 8 producers).
+    headline_e2e_ratio: f64,
+    /// Ingest+pack unit-throughput at 8 shards for each producer count — the
+    /// producer-scaling curve.
+    producer_scaling: Vec<(usize, f64)>,
+}
+
+fn run_cell(scale: Scale, shards: usize, producers: usize) -> CellSummary {
+    eprintln!("[fig_shardpool] {shards} shards x {producers} producers...");
+    let report = ShardedPipelineDriver::new(
+        ScheduledEngine::new(THREADS),
+        config(scale, shards, producers),
+    )
+    // Rebalance often: the zipf tail keeps bridging hot components, and un-fusing
+    // them promptly is what keeps the backlog spreadable.
+    .with_rebalance_every(1)
+    .run(stream(scale))
+    .expect("sharded pipeline run");
+    assert_eq!(
+        report.run.total_failed, 0,
+        "{shards}x{producers}: failing receipts"
+    );
+    CellSummary::from_report(&report)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let scale = if smoke { SMOKE } else { FULL };
+
+    // Baseline: one pool, one packer, serial admission.
+    eprintln!("[fig_shardpool] single-pool baseline...");
+    let baseline_report = PipelineDriver::new(
+        ConcurrencyAwarePacker::new(THREADS),
+        ScheduledEngine::new(THREADS),
+        config(scale, 1, 1),
+    )
+    .run(stream(scale))
+    .expect("baseline run");
+    assert_eq!(
+        baseline_report.total_failed, 0,
+        "baseline: failing receipts"
+    );
+    let baseline_ingest_pack: u64 = baseline_report
+        .blocks
+        .iter()
+        .map(|b| b.ingested as u64 + (b.mempool_len_after + b.tx_count) as u64)
+        .sum();
+    let baseline_units = baseline_pipeline_units(&baseline_report);
+    let baseline = BaselineSummary {
+        packer: baseline_report.packer.clone(),
+        total_txs: baseline_report.total_txs,
+        total_failed: baseline_report.total_failed,
+        leftover_mempool: baseline_report.leftover_mempool,
+        ingest_pack_units: baseline_ingest_pack,
+        total_units: baseline_units,
+        unit_throughput: baseline_report.total_txs as f64 / baseline_units.max(1) as f64,
+    };
+
+    // The grid: square layouts plus a producer sweep at the widest shard count.
+    let layouts: &[(usize, usize)] = if smoke {
+        &[(1, 1), (4, 4)]
+    } else {
+        &[(1, 1), (2, 2), (4, 4), (8, 1), (8, 2), (8, 4), (8, 8)]
+    };
+    let cells: Vec<CellSummary> = layouts
+        .iter()
+        .map(|&(shards, producers)| run_cell(scale, shards, producers))
+        .collect();
+
+    println!(
+        "{:<8} {:<10} {:>8} {:>10} {:>10} {:>10} {:>12} {:>10} {:>9}",
+        "shards",
+        "producers",
+        "txs",
+        "leftover",
+        "ingest u",
+        "pack u",
+        "total u",
+        "tx/unit",
+        "migrated"
+    );
+    println!(
+        "{:<8} {:<10} {:>8} {:>10} {:>10} {:>10} {:>12} {:>10.4} {:>9}",
+        "pool=1",
+        baseline.packer,
+        baseline.total_txs,
+        baseline.leftover_mempool,
+        "-",
+        "-",
+        baseline.total_units,
+        baseline.unit_throughput,
+        "-"
+    );
+    for cell in &cells {
+        println!(
+            "{:<8} {:<10} {:>8} {:>10} {:>10} {:>10} {:>12} {:>10.4} {:>9}",
+            cell.shards,
+            cell.producers,
+            cell.total_txs,
+            cell.leftover_mempool,
+            cell.ingest_units,
+            cell.pack_units,
+            cell.total_units,
+            cell.unit_throughput,
+            cell.migrated_chains,
+        );
+    }
+
+    let widest = cells
+        .iter()
+        .filter(|c| c.shards == layouts.last().expect("non-empty grid").0)
+        .max_by_key(|c| c.producers)
+        .expect("widest cell present");
+    let ratio = widest.unit_throughput / baseline.unit_throughput;
+    let producer_scaling: Vec<(usize, f64)> = cells
+        .iter()
+        .filter(|c| c.shards == widest.shards)
+        .map(|c| (c.producers, c.ingest_pack_throughput))
+        .collect();
+
+    println!(
+        "\nheadline: {} shards x {} producers moves {:.4} tx/unit end-to-end vs {:.4} \
+         single-pool — {ratio:.2}x the pipeline throughput (acceptance floor 1.5x)",
+        widest.shards, widest.producers, widest.unit_throughput, baseline.unit_throughput
+    );
+    println!(
+        "producer scaling at {} shards (tx per ingest+pack unit): {:?}",
+        widest.shards, producer_scaling
+    );
+
+    if smoke {
+        println!("smoke mode: skipping artifact write and acceptance assertions");
+        return;
+    }
+
+    assert!(
+        ratio >= 1.5,
+        "sharded pipeline must beat the single pool by >= 1.5x (got {ratio:.2}x)"
+    );
+    let first_scaling = producer_scaling.first().expect("scaling curve").1;
+    let last_scaling = producer_scaling.last().expect("scaling curve").1;
+    assert!(
+        last_scaling > first_scaling,
+        "ingest+pack throughput must scale with producers ({first_scaling:.4} -> {last_scaling:.4})"
+    );
+
+    let artifact = BenchArtifact {
+        seed: STREAM_SEED,
+        total_txs: scale.total_txs,
+        tx_rate: scale.tx_rate,
+        blocks: scale.blocks,
+        threads: THREADS,
+        baseline,
+        cells,
+        headline_e2e_ratio: ratio,
+        producer_scaling,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shardpool.json");
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
+    std::fs::write(path, json).expect("write BENCH_shardpool.json");
+    println!("wrote {path}");
+}

@@ -23,6 +23,74 @@ pub struct TxArrival {
     /// The sender's fee bid in abstract price units per gas. Fees are sampled
     /// log-uniformly in `[1, 1000)` and are independent of the dependency structure.
     pub fee_per_gas: u64,
+    /// `true` if this arrival re-bids an earlier emission of the same
+    /// `(sender, nonce)` with an escalated fee (see [`FeeEscalationSpec`]).
+    pub is_rebid: bool,
+}
+
+/// Configuration of the fee-escalation (replacement) behaviour of an
+/// [`ArrivalStream`].
+///
+/// Real senders whose transactions linger unconfirmed re-submit them with a higher
+/// fee; production mempools only accept the replacement if it bids a minimum bump
+/// over the incumbent (10% in this workspace's pool). This mode models that
+/// behaviour: each emitted transaction is, with probability
+/// [`share`](FeeEscalationSpec::share), re-emitted `wait_blocks` block intervals
+/// later with its fee raised by [`bump_percent`](FeeEscalationSpec::bump_percent)
+/// percent (at least +1). A rebid can itself be re-bid, compounding the escalation,
+/// up to [`max_rounds`](FeeEscalationSpec::max_rounds) rounds per original
+/// transaction.
+///
+/// Rebids consume the stream's emission budget (`total_txs` counts emissions, not
+/// distinct transactions), so enabling escalation keeps the stream's length — and
+/// every downstream determinism property — intact. Depending on what happened to the
+/// original, a rebid exercises a different mempool rule: *replacement* if the
+/// original is still pooled (accepted only when the bump clears the pool's 10%
+/// rule), *stale rejection* if it was already packed, or *re-admission* if it was
+/// evicted.
+#[derive(Debug, Clone, Copy)]
+pub struct FeeEscalationSpec {
+    /// Probability that an emission schedules a future rebid of itself.
+    pub share: f64,
+    /// How long a sender waits before re-bidding, in units of the chain's block
+    /// interval (converted to seconds through
+    /// [`block_interval_secs`](FeeEscalationSpec::block_interval_secs)).
+    pub wait_blocks: f64,
+    /// Seconds per block interval used to convert `wait_blocks` into a delay.
+    pub block_interval_secs: f64,
+    /// Relative fee increase per rebid, in percent (the pool requires ≥ 10 to
+    /// replace; smaller bumps model impatient-but-stingy senders whose rebids the
+    /// pool rejects as underpriced).
+    pub bump_percent: u64,
+    /// Maximum rebid rounds per original transaction.
+    pub max_rounds: u32,
+}
+
+impl FeeEscalationSpec {
+    /// A realistic default: a third of senders re-bid after two block intervals with
+    /// exactly the pool's minimum 10% bump, escalating at most three times.
+    pub fn standard(block_interval_secs: f64) -> Self {
+        FeeEscalationSpec {
+            share: 0.33,
+            wait_blocks: 2.0,
+            block_interval_secs,
+            bump_percent: 10,
+            max_rounds: 3,
+        }
+    }
+
+    fn wait_secs(&self) -> f64 {
+        self.wait_blocks * self.block_interval_secs
+    }
+}
+
+/// A rebid scheduled for emission once the arrival clock reaches `due_secs`.
+#[derive(Debug, Clone)]
+struct PendingRebid {
+    due_secs: f64,
+    tx: AccountTransaction,
+    fee_per_gas: u64,
+    rounds_left: u32,
 }
 
 /// A Poisson-process stream of workload transactions.
@@ -61,8 +129,18 @@ pub struct ArrivalStream {
     rng: DeterministicRng,
     base_state: WorldState,
     tx_rate: f64,
+    /// Timestamp of the most recently *emitted* arrival (fresh or rebid).
     clock_secs: f64,
+    /// Timestamp of the most recently *generated* fresh arrival (rebids interleave
+    /// into the fresh Poisson sequence without perturbing it).
+    fresh_clock_secs: f64,
     remaining: usize,
+    escalation: Option<FeeEscalationSpec>,
+    /// Scheduled rebids in due order (the constant wait keeps pushes monotone).
+    rebids: std::collections::VecDeque<PendingRebid>,
+    /// A generated-but-not-yet-emitted fresh arrival (held back while earlier-due
+    /// rebids are emitted).
+    staged_fresh: Option<(f64, AccountTransaction, u64)>,
 }
 
 impl ArrivalStream {
@@ -86,8 +164,33 @@ impl ArrivalStream {
             base_state,
             tx_rate,
             clock_secs: 0.0,
+            fresh_clock_secs: 0.0,
             remaining: total_txs,
+            escalation: None,
+            rebids: std::collections::VecDeque::new(),
+            staged_fresh: None,
         }
+    }
+
+    /// Enables fee-escalation/replacement behaviour (builder-style); see
+    /// [`FeeEscalationSpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.share` is outside `[0, 1]`, `spec.wait_blocks` is negative,
+    /// or `spec.block_interval_secs` is not positive.
+    pub fn with_fee_escalation(mut self, spec: FeeEscalationSpec) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&spec.share),
+            "rebid share must be a probability"
+        );
+        assert!(spec.wait_blocks >= 0.0, "rebid wait must be non-negative");
+        assert!(
+            spec.block_interval_secs > 0.0,
+            "block interval must be positive"
+        );
+        self.escalation = Some(spec);
+        self
     }
 
     /// The generator's world state as it was before any transaction was generated:
@@ -118,6 +221,43 @@ impl ArrivalStream {
             .pop()
             .expect("generator emits exactly one transaction")
     }
+
+    /// Generates (and stages) the next fresh Poisson arrival if none is staged.
+    fn stage_fresh(&mut self) {
+        if self.staged_fresh.is_some() {
+            return;
+        }
+        // Exponential inter-arrival time for a Poisson process at `tx_rate`.
+        let u = self.rng.probability().min(1.0 - 1e-12);
+        self.fresh_clock_secs += -(1.0 - u).ln() / self.tx_rate;
+        // Log-uniform fee bid in [1, 1000).
+        let fee_per_gas = (10f64.powf(self.rng.probability() * 3.0) as u64).clamp(1, 999);
+        let tx = self.next_transaction();
+        self.staged_fresh = Some((self.fresh_clock_secs, tx, fee_per_gas));
+    }
+
+    /// With probability `share`, schedules a future rebid of an emission.
+    fn maybe_schedule_rebid(
+        &mut self,
+        tx: &AccountTransaction,
+        fee_per_gas: u64,
+        emitted_secs: f64,
+        rounds_left: u32,
+    ) {
+        let Some(spec) = self.escalation else {
+            return;
+        };
+        if rounds_left == 0 || !self.rng.happens(spec.share) {
+            return;
+        }
+        let bump = (fee_per_gas * spec.bump_percent / 100).max(1);
+        self.rebids.push_back(PendingRebid {
+            due_secs: emitted_secs + spec.wait_secs(),
+            tx: tx.clone(),
+            fee_per_gas: fee_per_gas + bump,
+            rounds_left: rounds_left - 1,
+        });
+    }
 }
 
 impl Iterator for ArrivalStream {
@@ -128,18 +268,47 @@ impl Iterator for ArrivalStream {
             return None;
         }
         self.remaining -= 1;
+        self.stage_fresh();
 
-        // Exponential inter-arrival time for a Poisson process at `tx_rate`.
-        let u = self.rng.probability().min(1.0 - 1e-12);
-        self.clock_secs += -(1.0 - u).ln() / self.tx_rate;
+        // Emit whichever event is due first: the staged fresh arrival or the oldest
+        // scheduled rebid.
+        let rebid_due = self
+            .rebids
+            .front()
+            .map(|rebid| rebid.due_secs)
+            .unwrap_or(f64::INFINITY);
+        let fresh_due = self
+            .staged_fresh
+            .as_ref()
+            .map(|&(secs, _, _)| secs)
+            .expect("fresh arrival staged above");
 
-        // Log-uniform fee bid in [1, 1000).
-        let fee_per_gas = (10f64.powf(self.rng.probability() * 3.0) as u64).clamp(1, 999);
+        if rebid_due <= fresh_due {
+            let rebid = self.rebids.pop_front().expect("rebid peeked above");
+            self.clock_secs = rebid.due_secs;
+            self.maybe_schedule_rebid(
+                &rebid.tx,
+                rebid.fee_per_gas,
+                rebid.due_secs,
+                rebid.rounds_left,
+            );
+            return Some(TxArrival {
+                tx: rebid.tx,
+                arrival_secs: rebid.due_secs,
+                fee_per_gas: rebid.fee_per_gas,
+                is_rebid: true,
+            });
+        }
 
+        let (arrival_secs, tx, fee_per_gas) = self.staged_fresh.take().expect("staged above");
+        self.clock_secs = arrival_secs;
+        let max_rounds = self.escalation.map_or(0, |spec| spec.max_rounds);
+        self.maybe_schedule_rebid(&tx, fee_per_gas, arrival_secs, max_rounds);
         Some(TxArrival {
-            tx: self.next_transaction(),
-            arrival_secs: self.clock_secs,
+            tx,
+            arrival_secs,
             fee_per_gas,
+            is_rebid: false,
         })
     }
 
@@ -221,5 +390,106 @@ mod tests {
     #[should_panic(expected = "arrival rate")]
     fn zero_rate_panics() {
         let _ = ArrivalStream::new(params(), 0.0, 1, 1);
+    }
+
+    fn escalating(seed: u64, spec: FeeEscalationSpec, n: usize) -> Vec<TxArrival> {
+        ArrivalStream::new(params(), 10.0, n, seed)
+            .with_fee_escalation(spec)
+            .collect()
+    }
+
+    #[test]
+    fn escalation_emits_bumped_rebids_of_earlier_transactions() {
+        let spec = FeeEscalationSpec {
+            share: 0.5,
+            wait_blocks: 1.0,
+            block_interval_secs: 5.0,
+            bump_percent: 10,
+            max_rounds: 2,
+        };
+        let arrivals = escalating(11, spec, 600);
+        assert_eq!(
+            arrivals.len(),
+            600,
+            "rebids must consume the emission budget"
+        );
+        let rebids: Vec<&TxArrival> = arrivals.iter().filter(|a| a.is_rebid).collect();
+        assert!(
+            rebids.len() > 50,
+            "expected a substantial rebid share, got {}",
+            rebids.len()
+        );
+        // Every rebid re-bids an earlier emission of the same (sender, nonce) with a
+        // fee raised by at least the configured bump over the latest earlier bid.
+        let mut last_bid: HashMap<(blockconc_types::Address, u64), u64> = HashMap::new();
+        for arrival in &arrivals {
+            let key = (arrival.tx.sender(), arrival.tx.nonce());
+            if arrival.is_rebid {
+                let previous = *last_bid.get(&key).expect("rebid of an unseen transaction");
+                let required = previous + (previous * spec.bump_percent / 100).max(1);
+                assert!(
+                    arrival.fee_per_gas >= required,
+                    "rebid fee {} under the required {} (previous {})",
+                    arrival.fee_per_gas,
+                    required,
+                    previous
+                );
+            }
+            last_bid.insert(key, arrival.fee_per_gas);
+        }
+        // Arrival times stay monotone when rebids interleave.
+        assert!(arrivals
+            .windows(2)
+            .all(|w| w[0].arrival_secs <= w[1].arrival_secs));
+    }
+
+    #[test]
+    fn escalation_respects_the_rebid_round_bound() {
+        let spec = FeeEscalationSpec {
+            share: 1.0, // every emission re-bids until the round bound stops it
+            wait_blocks: 0.5,
+            block_interval_secs: 2.0,
+            bump_percent: 20,
+            max_rounds: 1,
+        };
+        let arrivals = escalating(3, spec, 400);
+        let mut rebids_of: HashMap<(blockconc_types::Address, u64), u32> = HashMap::new();
+        for arrival in arrivals.iter().filter(|a| a.is_rebid) {
+            *rebids_of
+                .entry((arrival.tx.sender(), arrival.tx.nonce()))
+                .or_insert(0) += 1;
+        }
+        assert!(!rebids_of.is_empty());
+        assert!(
+            rebids_of.values().all(|&rounds| rounds <= spec.max_rounds),
+            "a transaction re-bid more than max_rounds times"
+        );
+    }
+
+    #[test]
+    fn escalation_is_deterministic_and_off_by_default() {
+        let spec = FeeEscalationSpec::standard(5.0);
+        let a = escalating(9, spec, 200);
+        let b = escalating(9, spec, 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tx.id(), y.tx.id());
+            assert_eq!(x.fee_per_gas, y.fee_per_gas);
+            assert_eq!(x.is_rebid, y.is_rebid);
+        }
+        // Without the builder call the stream never re-bids.
+        let plain: Vec<TxArrival> = ArrivalStream::new(params(), 10.0, 200, 9).collect();
+        assert!(plain.iter().all(|a| !a.is_rebid));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn escalation_rejects_invalid_share() {
+        let _ = ArrivalStream::new(params(), 1.0, 1, 1).with_fee_escalation(FeeEscalationSpec {
+            share: 1.5,
+            wait_blocks: 1.0,
+            block_interval_secs: 5.0,
+            bump_percent: 10,
+            max_rounds: 1,
+        });
     }
 }

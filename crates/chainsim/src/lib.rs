@@ -49,7 +49,7 @@ mod profile;
 mod utxo_workload;
 
 pub use account_workload::{AccountWorkloadGen, AccountWorkloadParams};
-pub use arrival::{ArrivalStream, TxArrival};
+pub use arrival::{ArrivalStream, FeeEscalationSpec, TxArrival};
 pub use era::PiecewiseSeries;
 pub use history::{ChainHistory, HistoryConfig, SimulatedBlock};
 pub use hotspot::HotspotSpec;

@@ -21,6 +21,7 @@
 //! | [`chainsim`] | calibrated workload/history simulators for the seven chains |
 //! | [`execution`] | sequential, speculative and TDG-scheduled execution engines |
 //! | [`pipeline`] | concurrency-aware mempool and block-building pipeline |
+//! | [`shardpool`] | concurrent TDG-component-sharded mempool with parallel per-shard packers |
 //! | [`analysis`] | bucketed weighted aggregation, chain comparisons, figure data, export |
 //!
 //! # Quickstart
@@ -49,6 +50,7 @@ pub use blockconc_graph as graph;
 pub use blockconc_model as model;
 pub use blockconc_pipeline as pipeline;
 pub use blockconc_sharding as sharding;
+pub use blockconc_shardpool as shardpool;
 pub use blockconc_types as types;
 pub use blockconc_utxo as utxo;
 
@@ -63,7 +65,8 @@ pub mod prelude {
     };
     pub use blockconc_chainsim::{
         AccountWorkloadGen, AccountWorkloadParams, ArrivalStream, ChainHistory, ChainId,
-        HistoryConfig, HotspotSpec, SimulatedBlock, TxArrival, UtxoWorkloadGen, UtxoWorkloadParams,
+        FeeEscalationSpec, HistoryConfig, HotspotSpec, SimulatedBlock, TxArrival, UtxoWorkloadGen,
+        UtxoWorkloadParams,
     };
     pub use blockconc_execution::{
         ExecutionEngine, ExecutionReport, ScheduledEngine, SequentialEngine, SpeculativeEngine,
@@ -80,6 +83,10 @@ pub mod prelude {
         PipelineConfig, PipelineDriver, PipelineRunReport,
     };
     pub use blockconc_sharding::{ShardedNetwork, ShardingConfig};
+    pub use blockconc_shardpool::{
+        IngestItem, IngestRouter, ShardedMempool, ShardedPacker, ShardedPipelineDriver,
+        ShardedRunReport,
+    };
     pub use blockconc_types::{Address, Amount, BlockHeight, Gas, Hash, Timestamp, TxId};
     pub use blockconc_utxo::{
         BlockBuilder as UtxoBlockBuilder, TransactionBuilder, UtxoBlock, UtxoSet,

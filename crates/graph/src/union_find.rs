@@ -110,6 +110,31 @@ impl UnionFind {
         true
     }
 
+    /// Merges the sets containing `a` and `b` and reports how the roots changed:
+    /// returns `(surviving_root, absorbed_root)`, where `absorbed_root` is `None` if
+    /// `a` and `b` were already in the same set.
+    ///
+    /// This is the sharding hook: a component-sharded structure (like the sharded
+    /// mempool's router) keys per-component state — shard assignment, member lists,
+    /// live counts — by union–find root, and needs to know exactly which root
+    /// disappeared in a merge so it can fold that state into the survivor (and
+    /// migrate entries when the two components lived on different shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn merge_roots(&mut self, a: usize, b: usize) -> (usize, Option<usize>) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return (ra, None);
+        }
+        self.union(ra, rb);
+        let survivor = self.find(ra);
+        let absorbed = if survivor == ra { rb } else { ra };
+        (survivor, Some(absorbed))
+    }
+
     /// Returns `true` if `a` and `b` are in the same set.
     pub fn connected(&mut self, a: usize, b: usize) -> bool {
         self.find(a) == self.find(b)
@@ -175,6 +200,28 @@ mod tests {
         let sizes = uf.component_sizes();
         assert_eq!(sizes.iter().sum::<usize>(), 10);
         assert_eq!(uf.largest_component_size(), 3);
+    }
+
+    #[test]
+    fn merge_roots_reports_survivor_and_absorbed() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        let big = uf.find(0);
+        let small = uf.find(4);
+        // Size-weighted union: the two-element set absorbs the singleton.
+        let (survivor, absorbed) = uf.merge_roots(0, 4);
+        assert_eq!(survivor, big);
+        assert_eq!(absorbed, Some(small));
+        assert_eq!(uf.component_size(4), 3);
+        // Merging already-joined elements reports no absorbed root.
+        let (survivor, absorbed) = uf.merge_roots(1, 4);
+        assert_eq!(survivor, uf.find(0));
+        assert_eq!(absorbed, None);
+        // The survivor is always the live root of both inputs.
+        let (survivor, _) = uf.merge_roots(3, 5);
+        assert_eq!(survivor, uf.find(2));
+        assert_eq!(survivor, uf.find(5));
     }
 
     #[test]

@@ -22,6 +22,20 @@ pub struct PipelineConfig {
     pub max_blocks: usize,
     /// Mempool capacity in transactions.
     pub mempool_capacity: usize,
+    /// Bounded-deferral blocks for the concurrency-aware packer's aging rule: a
+    /// sender capped out of this many consecutive blocks bypasses the component cap
+    /// once. `0` disables aging (components may be deferred indefinitely). Adopted by
+    /// packers through [`BlockPacker::configure`](crate::BlockPacker::configure).
+    pub max_deferral_blocks: usize,
+    /// Mempool shards, keyed by TDG component (the sharded-pipeline switch; `1`
+    /// reproduces the single-pool pipeline). Only honoured by drivers that understand
+    /// sharding — `blockconc-shardpool`'s `ShardedPipelineDriver` — and ignored by
+    /// [`PipelineDriver`], which always runs one pool.
+    pub shards: usize,
+    /// Concurrent producer threads feeding the sharded pool's ingest router (`1` =
+    /// serial ingest). Ignored by [`PipelineDriver`], like
+    /// [`shards`](PipelineConfig::shards).
+    pub producer_threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -32,6 +46,9 @@ impl Default for PipelineConfig {
             block_interval_secs: 14.0,
             max_blocks: 20,
             mempool_capacity: 100_000,
+            max_deferral_blocks: 0,
+            shards: 1,
+            producer_threads: 1,
         }
     }
 }
@@ -87,9 +104,11 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
         let mut lookahead: Option<TxArrival> = None;
         let mut blocks: Vec<BlockRecord> = Vec::with_capacity(self.config.max_blocks);
         let mut total_failed = 0usize;
+        self.packer.configure(&self.config);
 
         for height in 1..=self.config.max_blocks as u64 {
             let deadline = height as f64 * self.config.block_interval_secs;
+            let mut ingested = 0usize;
 
             // Ingest every arrival due before this block's deadline.
             while let Some(arrival) = lookahead.take().or_else(|| stream.next()) {
@@ -104,6 +123,7 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                         Amount::from_coins(ArrivalStream::SENDER_FUNDING_COINS),
                     );
                 }
+                ingested += 1;
                 let outcome = pool.insert(
                     arrival.tx.clone(),
                     arrival.fee_per_gas,
@@ -131,7 +151,9 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                 beneficiary: self.beneficiary,
                 gas_limit: self.config.block_gas_limit,
             };
+            let pack_started = Instant::now();
             let packed = self.packer.pack(&pool, &mut tdg, &state, &template);
+            let pack_wall = pack_started.elapsed();
             let predicted_makespan = packed.predicted_makespan(self.config.threads);
             let predicted_speedup = packed.predicted_speedup(self.config.threads);
 
@@ -164,7 +186,10 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
             total_failed += failed;
             blocks.push(BlockRecord {
                 height,
+                ingested,
                 tx_count: packed.block.transaction_count(),
+                deferred_by_cap: packed.deferred_by_cap,
+                aged_included: packed.aged_included,
                 failed_receipts: failed,
                 estimated_gas: packed.estimated_gas.value(),
                 gas_used: executed.gas_used().value(),
@@ -176,6 +201,7 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                 conflict_rate: exec_report.conflict_rate(),
                 group_conflict_rate: exec_report.group_conflict_rate(),
                 mempool_len_after: pool.len(),
+                pack_wall_nanos: pack_wall.as_nanos() as u64,
                 execute_wall_nanos: execute_wall.as_nanos() as u64,
             });
         }
@@ -291,6 +317,43 @@ mod tests {
                 block.measured_parallel_units
             );
         }
+    }
+
+    #[test]
+    fn aging_fires_under_sustained_hotspot_overload() {
+        // One dominant exchange at a rate far above block capacity: the giant
+        // component's serial work exceeds threads × capacity, so without aging the
+        // cap defers most of it every block.
+        let params = AccountWorkloadParams {
+            txs_per_block: 60.0,
+            user_population: 2_000,
+            fresh_receiver_share: 0.2,
+            zipf_exponent: 0.4,
+            hotspots: vec![HotspotSpec::exchange(0.85)],
+            contract_create_share: 0.0,
+        };
+        let config = PipelineConfig {
+            threads: 4,
+            max_blocks: 8,
+            block_gas_limit: blockconc_types::Gas::new(21_000 * 40),
+            max_deferral_blocks: 2,
+            ..PipelineConfig::default()
+        };
+        let report = PipelineDriver::new(
+            ConcurrencyAwarePacker::new(4),
+            SequentialEngine::new(),
+            config,
+        )
+        .run(ArrivalStream::new(params, 12.0, 900, 6))
+        .unwrap();
+        let deferred: u64 = report.blocks.iter().map(|b| b.deferred_by_cap).sum();
+        let aged: u64 = report.blocks.iter().map(|b| b.aged_included).sum();
+        assert!(deferred > 0, "workload must exercise the component cap");
+        assert!(
+            aged > 0,
+            "bounded deferral must include aged senders (deferred {deferred})"
+        );
+        assert_eq!(report.total_failed, 0);
     }
 
     #[test]

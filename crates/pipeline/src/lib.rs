@@ -87,7 +87,8 @@ mod report;
 pub use driver::{PipelineConfig, PipelineDriver};
 pub use itdg::{effective_receiver, IncrementalTdg};
 pub use packer::{
-    BlockPacker, BlockTemplate, ConcurrencyAwarePacker, FeeGreedyPacker, PackedBlock,
+    advance_deferral_counters, aged_senders, choose_component_cap, pack_capped, slacked_cap,
+    BlockPacker, BlockTemplate, CapDeferrals, ConcurrencyAwarePacker, FeeGreedyPacker, PackedBlock,
 };
 pub use pool::{gas_estimate, AdmitOutcome, Mempool, MempoolStats, PooledTx, ReadyChain};
 pub use report::{BlockRecord, PipelineRunReport};

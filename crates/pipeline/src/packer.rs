@@ -1,12 +1,12 @@
 //! Block packers: fee-greedy (what miners do today) and concurrency-aware (what the
 //! paper's speed-up model says they should do).
 
-use crate::{gas_estimate, IncrementalTdg, Mempool, PooledTx, ReadyChain};
+use crate::{gas_estimate, IncrementalTdg, Mempool, PipelineConfig, PooledTx, ReadyChain};
 use blockconc_account::{AccountBlock, BlockBuilder, WorldState};
 use blockconc_model::lpt_makespan;
 use blockconc_types::{Address, Gas};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// The fixed header fields of a block under construction, handed to a packer.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +34,13 @@ pub struct PackedBlock {
     /// Sum of the included transactions' fee bids (the quantity fee-greedy packing
     /// maximizes).
     pub total_fee_per_gas: u64,
+    /// Ready transactions the packer deferred to a later block because of its
+    /// component cap (0 for cap-free strategies). Deferred transactions stay pooled.
+    pub deferred_by_cap: u64,
+    /// Transactions included *despite* exceeding the component cap because their
+    /// sender's chain had been deferred for `max_deferral_blocks` consecutive blocks
+    /// (the anti-starvation aging rule; 0 when aging is disabled or never fired).
+    pub aged_included: u64,
 }
 
 impl PackedBlock {
@@ -65,6 +72,12 @@ impl PackedBlock {
 pub trait BlockPacker {
     /// A short, stable name for reports and benchmark labels.
     fn name(&self) -> &'static str;
+
+    /// Adopts run-level settings from the pipeline configuration before the first
+    /// block is packed (called once by the drivers). The default implementation
+    /// ignores the configuration; the concurrency-aware packer reads
+    /// [`PipelineConfig::max_deferral_blocks`] here.
+    fn configure(&mut self, _config: &PipelineConfig) {}
 
     /// Packs a block with the given `template` from the pool's ready transactions.
     ///
@@ -111,6 +124,17 @@ impl Ord for Head {
     }
 }
 
+/// What the shared fee-ordered packing loop produced.
+struct PackOutcome {
+    included: Vec<PooledTx>,
+    gas_used: Gas,
+    total_fee: u64,
+    /// `(chain index, position)` of every candidate the `admit` policy rejected
+    /// (gas-limit skips are *not* recorded — only policy decisions, so callers can
+    /// attribute deferral to the component cap).
+    policy_rejected: Vec<(usize, usize)>,
+}
+
 /// Shared packing loop: pops candidates in fee order and appends every transaction
 /// `admit` accepts, maintaining nonce order by only advancing within a sender's chain
 /// after its head was included. When a sender's head is rejected, the whole chain is
@@ -119,7 +143,7 @@ fn pack_by_fee(
     chains: &[ReadyChain<'_>],
     gas_limit: Gas,
     mut admit: impl FnMut(&PooledTx, Gas) -> bool,
-) -> (Vec<PooledTx>, Gas, u64) {
+) -> PackOutcome {
     let mut heap: BinaryHeap<Head> = chains
         .iter()
         .enumerate()
@@ -134,12 +158,22 @@ fn pack_by_fee(
     let mut included: Vec<PooledTx> = Vec::new();
     let mut gas_used = Gas::ZERO;
     let mut total_fee = 0u64;
+    let mut policy_rejected: Vec<(usize, usize)> = Vec::new();
 
     while let Some(head) = heap.pop() {
+        // No estimate is below the intrinsic transfer cost, so once that cannot
+        // fit, nothing can: stop scanning candidates.
+        if gas_used.saturating_add(Gas::BASE_TX) > gas_limit {
+            break;
+        }
         let pooled = chains[head.chain].txs[head.position];
         let gas = gas_estimate(&pooled.tx);
-        if gas_used.saturating_add(gas) > gas_limit || !admit(pooled, gas) {
+        if gas_used.saturating_add(gas) > gas_limit {
             // Defer this sender's remaining chain to a later block.
+            continue;
+        }
+        if !admit(pooled, gas) {
+            policy_rejected.push((head.chain, head.position));
             continue;
         }
         gas_used += gas;
@@ -156,7 +190,12 @@ fn pack_by_fee(
             });
         }
     }
-    (included, gas_used, total_fee)
+    PackOutcome {
+        included,
+        gas_used,
+        total_fee,
+        policy_rejected,
+    }
 }
 
 /// Computes the in-block predicted component sizes of a packed transaction list.
@@ -174,6 +213,8 @@ fn build_packed(
     gas_used: Gas,
     total_fee: u64,
     template: &BlockTemplate,
+    deferred_by_cap: u64,
+    aged_included: u64,
 ) -> PackedBlock {
     let predicted_group_sizes = predicted_groups(&included);
     let block = BlockBuilder::new(template.height, template.timestamp, template.beneficiary)
@@ -185,6 +226,8 @@ fn build_packed(
         predicted_group_sizes,
         estimated_gas: gas_used,
         total_fee_per_gas: total_fee,
+        deferred_by_cap,
+        aged_included,
     }
 }
 
@@ -214,8 +257,15 @@ impl BlockPacker for FeeGreedyPacker {
         template: &BlockTemplate,
     ) -> PackedBlock {
         let chains = pool.ready_chains(|sender| state.nonce(sender));
-        let (included, gas_used, total_fee) = pack_by_fee(&chains, template.gas_limit, |_, _| true);
-        build_packed(included, gas_used, total_fee, template)
+        let outcome = pack_by_fee(&chains, template.gas_limit, |_, _| true);
+        build_packed(
+            outcome.included,
+            outcome.gas_used,
+            outcome.total_fee,
+            template,
+            0,
+            0,
+        )
     }
 }
 
@@ -234,10 +284,81 @@ impl BlockPacker for FeeGreedyPacker {
 /// critical path "for free" — and scaled by the optional `slack ≥ 1` factor, which
 /// trades residual skew for block fullness. Transactions of a capped component stay
 /// in the pool for later blocks — deferred, never dropped.
+///
+/// Unbounded deferral would let a giant component starve under sustained hot-spot
+/// overload (its serial work exceeds `threads × block capacity`, so the cap search
+/// keeps deferring it). The optional **aging rule**
+/// ([`with_max_deferral`](ConcurrencyAwarePacker::with_max_deferral), surfaced as
+/// [`PipelineConfig::max_deferral_blocks`]) bounds this: a sender whose ready chain
+/// was cap-rejected for that many consecutive packs bypasses the cap in the next
+/// block. The per-block report records how often the rule fired.
 #[derive(Debug)]
 pub struct ConcurrencyAwarePacker {
     threads: usize,
     slack: f64,
+    max_deferral: usize,
+    /// `true` once [`with_max_deferral`](ConcurrencyAwarePacker::with_max_deferral)
+    /// was called explicitly — [`BlockPacker::configure`] must not clobber an
+    /// explicit builder choice with the config default.
+    max_deferral_overridden: bool,
+    deferrals: HashMap<Address, u64>,
+}
+
+/// Chooses the per-component transaction cap that maximizes the predicted speed-up of
+/// a block packed from components of the given ready sizes onto `threads` cores.
+///
+/// For each candidate cap `m`, the block would include `B(m) = min(capacity,
+/// Σ min(sᵢ, m))` transactions with a predicted makespan of about
+/// `max(m, ⌈B(m)/threads⌉)` time units; the cap maximizing `B(m) / makespan` wins
+/// (largest block on ties). This is the shared search of the single-pool
+/// [`ConcurrencyAwarePacker`] and the sharded pool's block-merge policy.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn choose_component_cap(component_sizes: &[usize], capacity: usize, threads: usize) -> usize {
+    assert!(threads > 0, "thread count must be positive");
+    if component_sizes.is_empty() {
+        return 1;
+    }
+    let mut sorted = component_sizes.to_vec();
+    sorted.sort_unstable();
+    // Prefix sums let B(m) = Σ min(sᵢ, m) be evaluated in O(log C) per candidate.
+    let mut prefix = Vec::with_capacity(sorted.len() + 1);
+    prefix.push(0usize);
+    for &size in &sorted {
+        prefix.push(prefix.last().expect("non-empty") + size);
+    }
+    let block_txs = |m: usize| -> usize {
+        let below = sorted.partition_point(|&s| s <= m);
+        let sum = prefix[below] + m * (sorted.len() - below);
+        sum.min(capacity)
+    };
+
+    // B(m) grows piecewise-linearly between distinct component sizes (slope =
+    // number of components larger than m), so interior caps can beat the
+    // breakpoints; candidates beyond the block capacity or the largest component
+    // cannot change B(m), which bounds the search to at most `capacity`
+    // evaluations of an O(log C) scoring function.
+    let largest = *sorted.last().expect("non-empty");
+    let max_candidate = largest.min(capacity).max(1);
+
+    let mut best = (0.0f64, 0usize, 1usize); // (speedup, block size, cap)
+    for m in 1..=max_candidate {
+        let b = block_txs(m);
+        if b == 0 {
+            continue;
+        }
+        let makespan = m.max(b.div_ceil(threads));
+        let speedup = b as f64 / makespan as f64;
+        // Prefer the larger block on (near-)ties: same predicted speed-up at
+        // higher throughput.
+        if speedup > best.0 + 1e-9 || ((speedup - best.0).abs() <= 1e-9 && b > best.1) {
+            best = (speedup, b, m);
+        }
+    }
+    let (_, _, cap) = best;
+    cap
 }
 
 impl ConcurrencyAwarePacker {
@@ -251,6 +372,9 @@ impl ConcurrencyAwarePacker {
         ConcurrencyAwarePacker {
             threads,
             slack: 1.0,
+            max_deferral: 0,
+            max_deferral_overridden: false,
+            deferrals: HashMap::new(),
         }
     }
 
@@ -265,61 +389,46 @@ impl ConcurrencyAwarePacker {
         self
     }
 
+    /// Bounds deferral (builder-style): a sender whose chain was deferred by the
+    /// component cap for `blocks` consecutive packs bypasses the cap in the next
+    /// block, so giant components cannot be starved forever. `0` disables the bound
+    /// (the pre-aging behaviour).
+    pub fn with_max_deferral(mut self, blocks: usize) -> Self {
+        self.max_deferral = blocks;
+        self.max_deferral_overridden = true;
+        self
+    }
+
     /// The core count the packer optimizes for.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
+    /// The configured deferral bound (0 = unbounded).
+    pub fn max_deferral(&self) -> usize {
+        self.max_deferral
+    }
+
     /// Chooses the per-component transaction cap for the given ready component sizes
-    /// and block capacity (see the type-level documentation for the model).
+    /// and block capacity (see [`choose_component_cap`] for the model; this method
+    /// additionally applies the packer's slack factor).
     pub fn choose_cap(&self, component_sizes: &[usize], capacity: usize) -> usize {
-        if component_sizes.is_empty() {
-            return 1;
-        }
-        let mut sorted = component_sizes.to_vec();
-        sorted.sort_unstable();
-        // Prefix sums let B(m) = Σ min(sᵢ, m) be evaluated in O(log C) per candidate.
-        let mut prefix = Vec::with_capacity(sorted.len() + 1);
-        prefix.push(0usize);
-        for &size in &sorted {
-            prefix.push(prefix.last().expect("non-empty") + size);
-        }
-        let block_txs = |m: usize| -> usize {
-            let below = sorted.partition_point(|&s| s <= m);
-            let sum = prefix[below] + m * (sorted.len() - below);
-            sum.min(capacity)
-        };
-
-        // B(m) grows piecewise-linearly between distinct component sizes (slope =
-        // number of components larger than m), so interior caps can beat the
-        // breakpoints; candidates beyond the block capacity or the largest component
-        // cannot change B(m), which bounds the search to at most `capacity`
-        // evaluations of an O(log C) scoring function.
-        let largest = *sorted.last().expect("non-empty");
-        let max_candidate = largest.min(capacity).max(1);
-
-        let mut best = (0.0f64, 0usize, 1usize); // (speedup, block size, cap)
-        for m in 1..=max_candidate {
-            let b = block_txs(m);
-            if b == 0 {
-                continue;
-            }
-            let makespan = m.max(b.div_ceil(self.threads));
-            let speedup = b as f64 / makespan as f64;
-            // Prefer the larger block on (near-)ties: same predicted speed-up at
-            // higher throughput.
-            if speedup > best.0 + 1e-9 || ((speedup - best.0).abs() <= 1e-9 && b > best.1) {
-                best = (speedup, b, m);
-            }
-        }
-        let (_, _, cap) = best;
-        ((cap as f64 * self.slack) as usize).max(1)
+        slacked_cap(
+            choose_component_cap(component_sizes, capacity, self.threads),
+            self.slack,
+        )
     }
 }
 
 impl BlockPacker for ConcurrencyAwarePacker {
     fn name(&self) -> &'static str {
         "concurrency-aware"
+    }
+
+    fn configure(&mut self, config: &PipelineConfig) {
+        if !self.max_deferral_overridden {
+            self.max_deferral = config.max_deferral_blocks;
+        }
     }
 
     fn pack(
@@ -356,23 +465,149 @@ impl BlockPacker for ConcurrencyAwarePacker {
         };
         let capacity = (template.gas_limit.value() / mean_gas).max(1) as usize;
         let cap = self.choose_cap(&sizes, capacity);
+        self.pack_with_cap(pool, tdg, state, template, cap)
+    }
+}
 
-        let mut component_load: HashMap<usize, usize> = HashMap::new();
-        let (included, gas_used, total_fee) =
-            pack_by_fee(&chains, template.gas_limit, |pooled, _| {
-                // The sender is always part of the transaction's component, so its root
-                // identifies the component in the pool-level graph.
-                let root = tdg
-                    .component_of(pooled.tx.sender())
-                    .expect("pooled transaction was inserted into the TDG");
-                let load = component_load.entry(root).or_insert(0);
-                if *load >= cap {
-                    return false;
-                }
-                *load += 1;
-                true
-            });
-        build_packed(included, gas_used, total_fee, template)
+/// The senders whose deferral count in `deferrals` has reached `max_deferral`
+/// (empty when `max_deferral` is 0 — aging disabled). Shared between the
+/// single-pool packer and the sharded packer so the aging rule cannot drift
+/// between them.
+pub fn aged_senders(deferrals: &HashMap<Address, u64>, max_deferral: usize) -> HashSet<Address> {
+    if max_deferral == 0 {
+        return HashSet::new();
+    }
+    deferrals
+        .iter()
+        .filter(|&(_, &count)| count >= max_deferral as u64)
+        .map(|(&sender, _)| sender)
+        .collect()
+}
+
+/// Advances aging counters after a pack: senders that placed a transaction reset;
+/// starved senders age by one block. Counters of senders no longer ready are
+/// dropped, so the map cannot grow beyond the pool. The counterpart of
+/// [`aged_senders`], shared for the same no-drift reason.
+pub fn advance_deferral_counters(deferrals: &mut HashMap<Address, u64>, outcome: &CapDeferrals) {
+    deferrals.retain(|sender, _| outcome.starved_senders.contains(sender));
+    for &sender in &outcome.starved_senders {
+        *deferrals.entry(sender).or_insert(0) += 1;
+    }
+}
+
+/// Applies a slack factor (≥ 1) to a component cap, keeping it positive.
+pub fn slacked_cap(cap: usize, slack: f64) -> usize {
+    ((cap as f64 * slack) as usize).max(1)
+}
+
+/// Sender-level outcome of one [`pack_capped`] call, for callers that maintain the
+/// aging counters externally — the sharded packer keeps *one* counter map shared
+/// across all shards, so a sender's starvation count survives chain migrations and
+/// rebalances.
+#[derive(Debug, Default)]
+pub struct CapDeferrals {
+    /// Senders that placed at least one transaction in the block.
+    pub included_senders: HashSet<Address>,
+    /// Senders whose ready chain was cap-rejected without any inclusion (the ones
+    /// the aging rule should advance).
+    pub starved_senders: HashSet<Address>,
+}
+
+/// Packs a block from `pool` enforcing an externally chosen per-component cap,
+/// with `aged` senders bypassing the cap (the bounded-deferral rule).
+///
+/// This is the stateless core of [`ConcurrencyAwarePacker`]'s packing, exposed for
+/// the sharded pool: with the pool partitioned by component, each shard sees only
+/// a slice of the distribution, so a locally optimal cap would be globally too
+/// strict (a shard pairing one giant component with a few singletons caps the
+/// giant near 1, even when the global distribution would award it dozens of
+/// slots). The sharded packer computes the cap once over the concatenated
+/// per-shard distributions — exact, because components never span shards — and
+/// calls this per shard, merging the returned [`CapDeferrals`] into its shared
+/// aging state.
+pub fn pack_capped(
+    pool: &Mempool,
+    tdg: &mut IncrementalTdg,
+    state: &WorldState,
+    template: &BlockTemplate,
+    cap: usize,
+    aged: &HashSet<Address>,
+) -> (PackedBlock, CapDeferrals) {
+    let chains = pool.ready_chains(|sender| state.nonce(sender));
+
+    let mut component_load: HashMap<usize, usize> = HashMap::new();
+    let mut aged_included = 0u64;
+    let outcome = pack_by_fee(&chains, template.gas_limit, |pooled, _| {
+        // The sender is always part of the transaction's component, so its root
+        // identifies the component in the pool-level graph.
+        let root = tdg
+            .component_of(pooled.tx.sender())
+            .expect("pooled transaction was inserted into the TDG");
+        let load = component_load.entry(root).or_insert(0);
+        if *load >= cap && !aged.contains(&pooled.tx.sender()) {
+            return false;
+        }
+        if *load >= cap {
+            aged_included += 1;
+        }
+        *load += 1;
+        true
+    });
+
+    // Every ready transaction below a policy rejection is deferred with it (the
+    // chain cannot jump its own rejected head).
+    let deferred_by_cap: u64 = outcome
+        .policy_rejected
+        .iter()
+        .map(|&(chain, position)| (chains[chain].txs.len() - position) as u64)
+        .sum();
+
+    let included_senders: HashSet<Address> =
+        outcome.included.iter().map(|p| p.tx.sender()).collect();
+    let rejected_senders: HashSet<Address> = outcome
+        .policy_rejected
+        .iter()
+        .map(|&(chain, _)| chains[chain].sender)
+        .collect();
+    let starved_senders: HashSet<Address> = rejected_senders
+        .difference(&included_senders)
+        .copied()
+        .collect();
+
+    let packed = build_packed(
+        outcome.included,
+        outcome.gas_used,
+        outcome.total_fee,
+        template,
+        deferred_by_cap,
+        aged_included,
+    );
+    (
+        packed,
+        CapDeferrals {
+            included_senders,
+            starved_senders,
+        },
+    )
+}
+
+impl ConcurrencyAwarePacker {
+    /// Packs a block enforcing an externally chosen per-component cap instead of
+    /// running the cap search over this pool's own component distribution; the
+    /// packer's own aging state applies (see [`pack_capped`] for the stateless
+    /// variant).
+    pub fn pack_with_cap(
+        &mut self,
+        pool: &Mempool,
+        tdg: &mut IncrementalTdg,
+        state: &WorldState,
+        template: &BlockTemplate,
+        cap: usize,
+    ) -> PackedBlock {
+        let aged = aged_senders(&self.deferrals, self.max_deferral);
+        let (packed, deferrals) = pack_capped(pool, tdg, state, template, cap, &aged);
+        advance_deferral_counters(&mut self.deferrals, &deferrals);
+        packed
     }
 }
 
@@ -495,6 +730,69 @@ mod tests {
             let expected: Vec<u64> = (0..nonces.len() as u64).collect();
             assert_eq!(nonces, expected, "{name} violated nonce order");
         }
+    }
+
+    #[test]
+    fn deferral_is_counted_per_block() {
+        let (pool, mut tdg) = hotspot_pool();
+        let state = funded_state(10..30);
+        let mut packer = ConcurrencyAwarePacker::new(4);
+        let packed = packer.pack(&pool, &mut tdg, &state, &template(Gas::new(21_000 * 5)));
+        // One exchange deposit in, five capped out; no aging configured.
+        assert_eq!(packed.deferred_by_cap, 5);
+        assert_eq!(packed.aged_included, 0);
+        let greedy =
+            FeeGreedyPacker::new().pack(&pool, &mut tdg, &state, &template(Gas::new(21_000 * 5)));
+        assert_eq!(greedy.deferred_by_cap, 0);
+    }
+
+    #[test]
+    fn aging_bounds_deferral_of_capped_components() {
+        let (pool, mut tdg) = hotspot_pool();
+        let state = funded_state(10..30);
+        let mut packer = ConcurrencyAwarePacker::new(4).with_max_deferral(2);
+        assert_eq!(packer.max_deferral(), 2);
+        let exchange_txs = |packed: &PackedBlock| {
+            packed
+                .block
+                .transactions()
+                .iter()
+                .filter(|t| t.receiver() == Address::from_low(500))
+                .count()
+        };
+        // Blocks 1 and 2 (the pool is not drained, so the same chains stay ready):
+        // the cap admits one exchange deposit; the other five age.
+        let first = packer.pack(&pool, &mut tdg, &state, &template(Gas::new(21_000 * 5)));
+        assert_eq!(exchange_txs(&first), 1);
+        assert_eq!(first.aged_included, 0);
+        let second = packer.pack(&pool, &mut tdg, &state, &template(Gas::new(21_000 * 5)));
+        assert_eq!(second.aged_included, 0);
+        // Block 3: the five deferred senders hit the bound and bypass the cap.
+        let third = packer.pack(&pool, &mut tdg, &state, &template(Gas::new(21_000 * 5)));
+        assert!(
+            third.aged_included > 0,
+            "aged senders must bypass the cap after max_deferral blocks"
+        );
+        assert!(
+            exchange_txs(&third) > 1,
+            "aging must admit deferred deposits"
+        );
+    }
+
+    #[test]
+    fn configure_adopts_the_deferral_bound_from_config() {
+        use crate::PipelineConfig;
+        let mut packer = ConcurrencyAwarePacker::new(4);
+        packer.configure(&PipelineConfig {
+            max_deferral_blocks: 7,
+            ..PipelineConfig::default()
+        });
+        assert_eq!(packer.max_deferral(), 7);
+        // An explicit builder choice survives configure (the drivers call it
+        // unconditionally; it must not clobber what the caller asked for).
+        let mut packer = ConcurrencyAwarePacker::new(4).with_max_deferral(3);
+        packer.configure(&PipelineConfig::default());
+        assert_eq!(packer.max_deferral(), 3);
     }
 
     #[test]

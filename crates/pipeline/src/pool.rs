@@ -74,6 +74,21 @@ pub struct MempoolStats {
     pub packed: u64,
 }
 
+impl MempoolStats {
+    /// Accumulates another stats record into this one (used by sharded pools to
+    /// aggregate per-shard counters).
+    pub fn merge(&mut self, other: &MempoolStats) {
+        self.admitted += other.admitted;
+        self.replaced += other.replaced;
+        self.rejected_underpriced += other.rejected_underpriced;
+        self.rejected_full += other.rejected_full;
+        self.rejected_nonce += other.rejected_nonce;
+        self.dropped_unpackable += other.dropped_unpackable;
+        self.evicted += other.evicted;
+        self.packed += other.packed;
+    }
+}
+
 /// A contiguous run of one sender's pending transactions, starting at the sender's
 /// current account nonce — the unit from which packers may take any prefix.
 #[derive(Debug)]
@@ -187,6 +202,25 @@ impl Mempool {
         arrival_secs: f64,
         account_nonce: u64,
     ) -> AdmitOutcome {
+        self.insert_stamped(tx, fee_per_gas, arrival_secs, account_nonce, None)
+    }
+
+    /// [`Mempool::insert`] with a caller-chosen admission sequence number.
+    ///
+    /// A sharded pool admits transactions from concurrent producer threads, so the
+    /// pool-internal admission counter would depend on thread interleaving; passing a
+    /// deterministic stamp (e.g. the transaction's position in the arrival stream)
+    /// keeps every fee tie-breaker — packing order and eviction choice — reproducible
+    /// regardless of scheduling. The internal counter is advanced past any stamp, so
+    /// mixing stamped and unstamped inserts cannot reuse a sequence number.
+    pub fn insert_stamped(
+        &mut self,
+        tx: AccountTransaction,
+        fee_per_gas: u64,
+        arrival_secs: f64,
+        account_nonce: u64,
+        stamp: Option<u64>,
+    ) -> AdmitOutcome {
         let sender = tx.sender();
         let nonce = tx.nonce();
 
@@ -221,7 +255,7 @@ impl Mempool {
                 self.stats.rejected_underpriced += 1;
                 return AdmitOutcome::RejectedUnderpriced;
             }
-            let seq = self.bump_seq();
+            let seq = self.bump_seq(stamp);
             let queue = self.by_sender.get_mut(&sender).expect("sender present");
             queue.insert(
                 nonce,
@@ -239,7 +273,7 @@ impl Mempool {
         // Capacity: evict the cheapest chain tail if the newcomer outbids it.
         if self.len >= self.capacity {
             match self.cheapest_tail() {
-                Some((victim_sender, victim_nonce, victim_fee))
+                Some((victim_sender, victim_nonce, victim_fee, _))
                     if victim_fee < fee_per_gas && victim_sender != sender =>
                 {
                     self.remove(victim_sender, victim_nonce);
@@ -252,7 +286,7 @@ impl Mempool {
             }
         }
 
-        let seq = self.bump_seq();
+        let seq = self.bump_seq(stamp);
         self.by_sender.entry(sender).or_default().insert(
             nonce,
             PooledTx {
@@ -343,24 +377,106 @@ impl Mempool {
         chains
     }
 
-    /// The cheapest evictable entry: `(sender, nonce, fee)` of the chain tail with the
-    /// lowest fee bid (newest admission breaks ties).
-    fn cheapest_tail(&self) -> Option<(Address, u64, u64)> {
+    /// Returns `true` if the pool holds at least one transaction of `sender`.
+    pub fn contains_sender(&self, sender: Address) -> bool {
+        self.by_sender.contains_key(&sender)
+    }
+
+    /// The pooled entry at `(sender, nonce)`, if any.
+    pub fn get(&self, sender: Address, nonce: u64) -> Option<&PooledTx> {
+        self.by_sender.get(&sender)?.get(&nonce)
+    }
+
+    /// Number of pooled transactions of `sender`.
+    pub fn sender_tx_count(&self, sender: Address) -> usize {
+        self.by_sender.get(&sender).map_or(0, |queue| queue.len())
+    }
+
+    /// Removes and returns every transaction of `sender`, in nonce order.
+    ///
+    /// This is the migration primitive of the sharded pool: when two dependency
+    /// components on different shards fuse, whole sender chains move between shards
+    /// via `take_sender` + [`Mempool::restore`], which preserves their fee bids,
+    /// arrival times and admission stamps (and therefore every deterministic
+    /// tie-breaker). No admission counters are touched — the transactions never left
+    /// the logical pool.
+    pub fn take_sender(&mut self, sender: Address) -> Vec<PooledTx> {
+        let Some(queue) = self.by_sender.remove(&sender) else {
+            return Vec::new();
+        };
+        self.len -= queue.len();
+        queue.into_values().collect()
+    }
+
+    /// Re-inserts an entry previously removed with [`Mempool::take_sender`],
+    /// preserving its admission metadata and bypassing the admission rules (the entry
+    /// was already admitted once; the caller moves whole gap-free chains, so the
+    /// nonce-discipline invariant is preserved by construction). No admission
+    /// counters are touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(sender, nonce)` slot is already occupied, which would mean the
+    /// caller split or duplicated a chain.
+    pub fn restore(&mut self, pooled: PooledTx) {
+        let sender = pooled.tx.sender();
+        let nonce = pooled.tx.nonce();
+        self.next_seq = self.next_seq.max(pooled.seq + 1);
+        let previous = self
+            .by_sender
+            .entry(sender)
+            .or_default()
+            .insert(nonce, pooled);
+        assert!(
+            previous.is_none(),
+            "restore would overwrite pooled entry {sender}:{nonce}"
+        );
+        self.len += 1;
+    }
+
+    /// The cheapest evictable entry: `(sender, nonce, fee, seq)` of the chain tail
+    /// with the lowest fee bid (newest admission — highest `seq` — breaks ties). A
+    /// sharded pool uses this to enforce a *global* capacity across per-shard pools,
+    /// which is why the admission sequence number is exposed: stamped admissions (see
+    /// [`Mempool::insert_stamped`]) make `seq` comparable across shards.
+    pub fn cheapest_tail(&self) -> Option<(Address, u64, u64, u64)> {
+        self.cheapest_tail_excluding(None)
+    }
+
+    /// [`Mempool::cheapest_tail`] as it would have read *before* the entry
+    /// `exclude = (sender, nonce)` was admitted: that entry is ignored and its
+    /// sender's tail falls back to the predecessor nonce (if any).
+    ///
+    /// This lets a sharded pool admit optimistically and then apply the single
+    /// pool's capacity rule exactly — the rule compares the newcomer against the
+    /// *pre-insert* tails, and in particular never evicts the newcomer's own chain
+    /// to make room for it.
+    pub fn cheapest_tail_excluding(
+        &self,
+        exclude: Option<(Address, u64)>,
+    ) -> Option<(Address, u64, u64, u64)> {
         self.by_sender
             .iter()
             .filter_map(|(&sender, queue)| {
-                queue
-                    .iter()
-                    .next_back()
-                    .map(|(&nonce, pooled)| (sender, nonce, pooled.fee_per_gas, pooled.seq))
+                let mut tails = queue.iter().rev();
+                let (&nonce, pooled) = tails.next()?;
+                let (nonce, pooled) = if exclude == Some((sender, nonce)) {
+                    let (&predecessor, pooled) = tails.next()?;
+                    (predecessor, pooled)
+                } else {
+                    (nonce, pooled)
+                };
+                Some((sender, nonce, pooled.fee_per_gas, pooled.seq))
             })
             .min_by_key(|&(_, _, fee, seq)| (fee, std::cmp::Reverse(seq)))
-            .map(|(sender, nonce, fee, _)| (sender, nonce, fee))
     }
 
-    fn bump_seq(&mut self) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+    fn bump_seq(&mut self, stamp: Option<u64>) -> u64 {
+        let seq = match stamp {
+            Some(stamp) => stamp,
+            None => self.next_seq,
+        };
+        self.next_seq = self.next_seq.max(seq + 1);
         seq
     }
 }
@@ -573,5 +689,90 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = Mempool::new(0);
+    }
+
+    #[test]
+    fn take_and_restore_preserve_chains_and_metadata() {
+        let mut pool = Mempool::new(10);
+        pool.insert(transfer(1, 9, 0), 5, 0.0, 0);
+        pool.insert(transfer(1, 9, 1), 7, 0.1, 0);
+        pool.insert(transfer(2, 9, 0), 3, 0.2, 0);
+        let chain = pool.take_sender(Address::from_low(1));
+        assert_eq!(chain.len(), 2);
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.contains_sender(Address::from_low(1)));
+        let mut other = Mempool::new(10);
+        for pooled in chain {
+            other.restore(pooled);
+        }
+        assert_eq!(other.len(), 2);
+        assert_eq!(other.sender_tx_count(Address::from_low(1)), 2);
+        let fees: Vec<u64> = other.iter().map(|p| p.fee_per_gas).collect();
+        assert_eq!(fees, vec![5, 7]);
+        // Restored metadata keeps admission stamps ahead of the internal counter.
+        assert_eq!(
+            other.insert(transfer(3, 9, 0), 4, 0.3, 0),
+            AdmitOutcome::Admitted
+        );
+        let seqs: Vec<u64> = other.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs.len(), 3);
+        assert_eq!(
+            seqs.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+        // Taking an absent sender is a no-op.
+        assert!(pool.take_sender(Address::from_low(42)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overwrite")]
+    fn restore_refuses_to_overwrite() {
+        let mut pool = Mempool::new(10);
+        pool.insert(transfer(1, 9, 0), 5, 0.0, 0);
+        let entry = pool.take_sender(Address::from_low(1)).remove(0);
+        pool.restore(entry.clone());
+        pool.restore(entry);
+    }
+
+    #[test]
+    fn stamped_inserts_control_tie_breaking() {
+        // Two same-fee tails: the higher stamp is treated as newer and preferred as
+        // the eviction victim, regardless of insertion order.
+        let mut pool = Mempool::new(10);
+        pool.insert_stamped(transfer(1, 9, 0), 5, 0.0, 0, Some(7));
+        pool.insert_stamped(transfer(2, 9, 0), 5, 0.1, 0, Some(3));
+        let (victim, _, fee, seq) = pool.cheapest_tail().unwrap();
+        assert_eq!(victim, Address::from_low(1));
+        assert_eq!((fee, seq), (5, 7));
+        // The internal counter advanced past the largest stamp.
+        pool.insert(transfer(3, 9, 0), 5, 0.2, 0);
+        let seqs: Vec<u64> = pool.iter().map(|p| p.seq).collect();
+        assert!(
+            seqs.contains(&8),
+            "unstamped insert reused a stamp: {seqs:?}"
+        );
+    }
+
+    #[test]
+    fn stats_merge_accumulates_every_counter() {
+        let mut a = MempoolStats {
+            admitted: 1,
+            replaced: 2,
+            rejected_underpriced: 3,
+            rejected_full: 4,
+            rejected_nonce: 5,
+            dropped_unpackable: 6,
+            evicted: 7,
+            packed: 8,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.admitted, 2);
+        assert_eq!(a.replaced, 4);
+        assert_eq!(a.rejected_underpriced, 6);
+        assert_eq!(a.rejected_full, 8);
+        assert_eq!(a.rejected_nonce, 10);
+        assert_eq!(a.dropped_unpackable, 12);
+        assert_eq!(a.evicted, 14);
+        assert_eq!(a.packed, 16);
     }
 }

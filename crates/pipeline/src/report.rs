@@ -9,8 +9,15 @@ use std::time::Duration;
 pub struct BlockRecord {
     /// Block height.
     pub height: u64,
+    /// Arrivals offered to the mempool while waiting for this block's deadline.
+    pub ingested: usize,
     /// Number of packed transactions.
     pub tx_count: usize,
+    /// Ready transactions deferred to later blocks by the packer's component cap.
+    pub deferred_by_cap: u64,
+    /// Transactions included through the aging rule despite exceeding the cap (see
+    /// [`PipelineConfig::max_deferral_blocks`](crate::PipelineConfig::max_deferral_blocks)).
+    pub aged_included: u64,
     /// Receipts that failed (always 0 when the pipeline invariants hold).
     pub failed_receipts: usize,
     /// The packer's estimated gas for the block.
@@ -33,6 +40,9 @@ pub struct BlockRecord {
     pub group_conflict_rate: f64,
     /// Transactions left in the mempool after packing this block.
     pub mempool_len_after: usize,
+    /// Wall-clock nanoseconds spent packing (and, for sharded pools, merging) the
+    /// block.
+    pub pack_wall_nanos: u64,
     /// Wall-clock nanoseconds of the engine's parallel phase.
     pub execute_wall_nanos: u64,
 }
@@ -118,7 +128,10 @@ mod tests {
     fn record(tx_count: usize, parallel: u64, makespan: u64) -> BlockRecord {
         BlockRecord {
             height: 1,
+            ingested: tx_count,
             tx_count,
+            deferred_by_cap: 0,
+            aged_included: 0,
             failed_receipts: 0,
             estimated_gas: 0,
             gas_used: 0,
@@ -130,6 +143,7 @@ mod tests {
             conflict_rate: 0.0,
             group_conflict_rate: 0.0,
             mempool_len_after: 10,
+            pack_wall_nanos: 100_000,
             execute_wall_nanos: 1_000_000,
         }
     }

@@ -1,0 +1,396 @@
+//! The sharded pipeline driver: arrival stream → ingest router → sharded pool →
+//! parallel packers → merge → engine.
+
+use crate::{
+    BlockPhaseRecord, IngestItem, IngestRouter, ShardedMempool, ShardedPacker, ShardedRunReport,
+};
+use blockconc_chainsim::{ArrivalStream, TxArrival};
+use blockconc_execution::ExecutionEngine;
+use blockconc_pipeline::{BlockRecord, BlockTemplate, PipelineConfig, PipelineRunReport};
+use blockconc_types::{Address, Amount, Result};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Drives the sharded mempool and per-shard packers over an arrival stream — the
+/// sharded counterpart of `blockconc_pipeline::PipelineDriver`, selected by the
+/// [`PipelineConfig::shards`] / [`PipelineConfig::producer_threads`] switch (both
+/// `1` reproduces the single-pool pipeline's behaviour on the sharded machinery).
+///
+/// Per block interval the driver:
+///
+/// 1. collects the arrivals due before the block deadline, funds first-seen senders
+///    exactly like the workload generator, and stamps each arrival with its stream
+///    position (the deterministic admission sequence);
+/// 2. feeds the batch through the [`IngestRouter`] — `producer_threads` scoped
+///    producers routing into bounded per-shard admission queues, one admitting
+///    consumer per shard;
+/// 3. packs a block with the [`ShardedPacker`] (parallel per-shard sub-blocks, one
+///    makespan-aware merge);
+/// 4. executes on the configured engine, removes packed transactions, resyncs
+///    senders whose transactions failed validation, and periodically
+///    [rebalances](ShardedMempool::rebalance) components across shards.
+///
+/// The report carries both the familiar per-block pipeline records and per-phase
+/// abstract work units (see [`ShardedRunReport`]), so benchmarks can compare the
+/// sharded pipeline's critical path against the single pool's serial one
+/// independently of this machine's core count.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_chainsim::{AccountWorkloadParams, ArrivalStream, HotspotSpec};
+/// use blockconc_execution::ScheduledEngine;
+/// use blockconc_pipeline::PipelineConfig;
+/// use blockconc_shardpool::ShardedPipelineDriver;
+///
+/// let params = AccountWorkloadParams {
+///     txs_per_block: 40.0,
+///     user_population: 2_000,
+///     fresh_receiver_share: 0.5,
+///     zipf_exponent: 0.5,
+///     hotspots: vec![HotspotSpec::exchange(0.3)],
+///     contract_create_share: 0.01,
+/// };
+/// let config = PipelineConfig {
+///     threads: 4, max_blocks: 4, shards: 4, producer_threads: 2,
+///     ..PipelineConfig::default()
+/// };
+/// let stream = ArrivalStream::new(params, 3.0, 150, 11);
+/// let report = ShardedPipelineDriver::new(ScheduledEngine::new(4), config)
+///     .run(stream)
+///     .unwrap();
+/// assert_eq!(report.run.total_failed, 0);
+/// assert_eq!(report.shards, 4);
+/// ```
+#[derive(Debug)]
+pub struct ShardedPipelineDriver<E> {
+    engine: E,
+    config: PipelineConfig,
+    packer: ShardedPacker,
+    ingest: IngestRouter,
+    rebalance_every: usize,
+    beneficiary: Address,
+}
+
+impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
+    /// Default bound of each per-shard admission queue.
+    pub const DEFAULT_QUEUE_DEPTH: usize = 1_024;
+    /// Default rebalance cadence in blocks (0 disables rebalancing).
+    pub const DEFAULT_REBALANCE_EVERY: usize = 4;
+
+    /// Creates a driver from an engine and a pipeline configuration
+    /// ([`PipelineConfig::shards`] and [`PipelineConfig::producer_threads`] select
+    /// the parallel layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards`, `config.producer_threads` or `config.threads` is
+    /// zero.
+    pub fn new(engine: E, config: PipelineConfig) -> Self {
+        let mut packer = ShardedPacker::new(config.shards, config.threads);
+        packer.configure(&config);
+        ShardedPipelineDriver {
+            ingest: IngestRouter::new(config.producer_threads, Self::DEFAULT_QUEUE_DEPTH),
+            packer,
+            engine,
+            config,
+            rebalance_every: Self::DEFAULT_REBALANCE_EVERY,
+            beneficiary: Address::from_low(999_999_998),
+        }
+    }
+
+    /// Overrides the per-shard admission queue depth (builder-style).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.ingest = IngestRouter::new(self.config.producer_threads, depth);
+        self
+    }
+
+    /// Overrides the rebalance cadence in blocks; 0 disables rebalancing
+    /// (builder-style).
+    pub fn with_rebalance_every(mut self, blocks: usize) -> Self {
+        self.rebalance_every = blocks;
+        self
+    }
+
+    /// Overrides the merge cap slack (builder-style); see
+    /// [`ShardedPacker::with_merge_slack`].
+    pub fn with_merge_slack(mut self, slack: f64) -> Self {
+        self.packer = self.packer.with_merge_slack(slack);
+        self
+    }
+
+    /// The driver's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline over `stream` until `max_blocks` blocks have been produced
+    /// or the stream and the pool are both exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-level execution failures (worker panics); per-transaction
+    /// failures are recorded in the block records instead.
+    pub fn run(mut self, mut stream: ArrivalStream) -> Result<ShardedRunReport> {
+        let mut state = stream.base_state().clone();
+        let mut funded: HashSet<Address> = HashSet::new();
+        let pool = ShardedMempool::new(self.config.shards, self.config.mempool_capacity);
+        let mut lookahead: Option<TxArrival> = None;
+        let mut blocks: Vec<BlockRecord> = Vec::with_capacity(self.config.max_blocks);
+        let mut phases: Vec<BlockPhaseRecord> = Vec::with_capacity(self.config.max_blocks);
+        let mut total_failed = 0usize;
+        let mut stamp = 0u64;
+
+        for height in 1..=self.config.max_blocks as u64 {
+            let deadline = height as f64 * self.config.block_interval_secs;
+
+            // Phase 1: collect the due arrivals, mirroring the generator's lazy
+            // funding and snapshotting each sender's account nonce (state does not
+            // change during ingest).
+            let mut batch: Vec<IngestItem> = Vec::new();
+            while let Some(arrival) = lookahead.take().or_else(|| stream.next()) {
+                if arrival.arrival_secs > deadline {
+                    lookahead = Some(arrival);
+                    break;
+                }
+                if funded.insert(arrival.tx.sender()) {
+                    state.credit(
+                        arrival.tx.sender(),
+                        Amount::from_coins(ArrivalStream::SENDER_FUNDING_COINS),
+                    );
+                }
+                batch.push(IngestItem {
+                    account_nonce: state.nonce(arrival.tx.sender()),
+                    fee_per_gas: arrival.fee_per_gas,
+                    arrival_secs: arrival.arrival_secs,
+                    tx: arrival.tx,
+                    stamp,
+                });
+                stamp += 1;
+            }
+            let ingested = batch.len();
+
+            // Phase 2: concurrent admission through the ingest router.
+            let ingest_report = self.ingest.ingest(&pool, batch);
+
+            if pool.is_empty() && lookahead.is_none() && stream.remaining() == 0 {
+                break;
+            }
+
+            // Phase 3: parallel pack + merge.
+            let template = BlockTemplate {
+                height,
+                timestamp: 1_600_000_000 + deadline as u64,
+                beneficiary: self.beneficiary,
+                gas_limit: self.config.block_gas_limit,
+            };
+            let pack_started = Instant::now();
+            let (packed, pack_report) = self.packer.pack(&pool, &state, &template);
+            let pack_wall = pack_started.elapsed();
+            let predicted_makespan = packed.predicted_makespan(self.config.threads);
+            let predicted_speedup = packed.predicted_speedup(self.config.threads);
+
+            // Phase 4: execute, settle the pool, rebalance on cadence.
+            let started = Instant::now();
+            let (executed, exec_report) = self.engine.execute(&mut state, &packed.block)?;
+            let execute_wall = started.elapsed();
+
+            pool.remove_packed(packed.block.transactions());
+            for (tx, receipt) in executed.iter() {
+                if !receipt.succeeded() {
+                    pool.resync_sender(tx.sender(), state.nonce(tx.sender()));
+                }
+            }
+            if self.rebalance_every > 0 && height % self.rebalance_every as u64 == 0 {
+                pool.rebalance();
+            }
+
+            let failed = executed
+                .receipts()
+                .iter()
+                .filter(|r| !r.succeeded())
+                .count();
+            total_failed += failed;
+            blocks.push(BlockRecord {
+                height,
+                ingested,
+                tx_count: packed.block.transaction_count(),
+                deferred_by_cap: packed.deferred_by_cap,
+                aged_included: packed.aged_included,
+                failed_receipts: failed,
+                estimated_gas: packed.estimated_gas.value(),
+                gas_used: executed.gas_used().value(),
+                total_fee_per_gas: packed.total_fee_per_gas,
+                predicted_makespan,
+                predicted_speedup,
+                measured_parallel_units: exec_report.parallel_units,
+                measured_speedup: exec_report.unit_speedup(),
+                conflict_rate: exec_report.conflict_rate(),
+                group_conflict_rate: exec_report.group_conflict_rate(),
+                mempool_len_after: pool.len(),
+                pack_wall_nanos: pack_wall.as_nanos() as u64,
+                execute_wall_nanos: execute_wall.as_nanos() as u64,
+            });
+            phases.push(BlockPhaseRecord {
+                height,
+                ingest_units: ingest_report.parallel_units(),
+                pack_units: pack_report.parallel_units,
+                execute_units: exec_report.parallel_units,
+                ingest_wall_nanos: ingest_report.wall_nanos,
+                shard_lens: pool.shard_lens(),
+            });
+        }
+
+        let total_txs = blocks.iter().map(|b| b.tx_count).sum();
+        Ok(ShardedRunReport {
+            run: PipelineRunReport {
+                packer: self.packer.name().to_string(),
+                engine: self.engine.name().to_string(),
+                threads: self.config.threads,
+                blocks,
+                total_txs,
+                total_failed,
+                leftover_mempool: pool.len(),
+                mempool_stats: pool.stats(),
+            },
+            shards: self.config.shards,
+            producers: self.config.producer_threads,
+            phases,
+            migrated_chains: pool.migrated_chains(),
+            rebalances: pool.rebalances(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_chainsim::{AccountWorkloadParams, FeeEscalationSpec, HotspotSpec};
+    use blockconc_execution::{ScheduledEngine, SequentialEngine};
+    use blockconc_pipeline::{ConcurrencyAwarePacker, PipelineDriver};
+
+    fn hotspot_params() -> AccountWorkloadParams {
+        AccountWorkloadParams {
+            txs_per_block: 60.0,
+            user_population: 3_000,
+            fresh_receiver_share: 0.5,
+            zipf_exponent: 0.5,
+            hotspots: vec![HotspotSpec::exchange(0.45), HotspotSpec::contract(0.1, 2)],
+            contract_create_share: 0.01,
+        }
+    }
+
+    fn stream(seed: u64) -> ArrivalStream {
+        ArrivalStream::new(hotspot_params(), 4.0, 700, seed)
+    }
+
+    fn config(shards: usize, producers: usize) -> PipelineConfig {
+        PipelineConfig {
+            threads: 4,
+            max_blocks: 10,
+            shards,
+            producer_threads: producers,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_pipeline_executes_every_packed_transaction_successfully() {
+        let report = ShardedPipelineDriver::new(SequentialEngine::new(), config(4, 3))
+            .run(stream(1))
+            .unwrap();
+        assert!(!report.run.blocks.is_empty());
+        assert!(report.run.total_txs > 100, "only {}", report.run.total_txs);
+        assert_eq!(report.run.total_failed, 0);
+        assert_eq!(report.run.packer, "sharded-concurrency-aware");
+        assert_eq!(report.shards, 4);
+        // Conservation: every admitted transaction was packed or is leftover.
+        let stats = report.run.mempool_stats;
+        assert_eq!(
+            stats.admitted - stats.evicted - stats.dropped_unpackable,
+            stats.packed + report.run.leftover_mempool as u64
+        );
+    }
+
+    #[test]
+    fn sharded_run_matches_single_pool_totals_at_one_shard() {
+        let sharded = ShardedPipelineDriver::new(SequentialEngine::new(), config(1, 1))
+            .run(stream(2))
+            .unwrap();
+        let single = PipelineDriver::new(
+            ConcurrencyAwarePacker::new(4),
+            SequentialEngine::new(),
+            config(1, 1),
+        )
+        .run(stream(2))
+        .unwrap();
+        assert_eq!(sharded.run.total_txs, single.total_txs);
+        assert_eq!(sharded.run.leftover_mempool, single.leftover_mempool);
+        let sharded_sizes: Vec<usize> = sharded.run.blocks.iter().map(|b| b.tx_count).collect();
+        let single_sizes: Vec<usize> = single.blocks.iter().map(|b| b.tx_count).collect();
+        assert_eq!(sharded_sizes, single_sizes);
+    }
+
+    #[test]
+    fn sharding_shrinks_the_pipeline_critical_path() {
+        // Several moderate hot spots and a high fresh-receiver share: components
+        // stay medium-sized, so shards can actually spread them. (One dominant
+        // exchange would fuse most of the pool into a single unsplittable
+        // component, which no sharding can parallelize.)
+        let params = AccountWorkloadParams {
+            txs_per_block: 60.0,
+            user_population: 6_000,
+            fresh_receiver_share: 0.75,
+            zipf_exponent: 0.3,
+            hotspots: vec![
+                HotspotSpec::exchange(0.10),
+                HotspotSpec::contract(0.08, 2),
+                HotspotSpec::pool(0.04),
+            ],
+            contract_create_share: 0.01,
+        };
+        let stream = |seed| ArrivalStream::new(params.clone(), 6.0, 900, seed);
+        let narrow = ShardedPipelineDriver::new(ScheduledEngine::new(4), config(1, 1))
+            .run(stream(3))
+            .unwrap();
+        let wide = ShardedPipelineDriver::new(ScheduledEngine::new(4), config(4, 4))
+            .run(stream(3))
+            .unwrap();
+        assert_eq!(wide.run.total_failed + narrow.run.total_failed, 0);
+        assert!(
+            wide.ingest_pack_units() < narrow.ingest_pack_units(),
+            "wide {} vs narrow {}",
+            wide.ingest_pack_units(),
+            narrow.ingest_pack_units()
+        );
+        assert!(wide.migrated_chains > 0 || wide.rebalances > 0);
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic_in_structure() {
+        let a = ShardedPipelineDriver::new(SequentialEngine::new(), config(4, 4))
+            .run(stream(4))
+            .unwrap();
+        let b = ShardedPipelineDriver::new(SequentialEngine::new(), config(4, 4))
+            .run(stream(4))
+            .unwrap();
+        assert_eq!(a.run.total_txs, b.run.total_txs);
+        let sizes_a: Vec<usize> = a.run.blocks.iter().map(|r| r.tx_count).collect();
+        let sizes_b: Vec<usize> = b.run.blocks.iter().map(|r| r.tx_count).collect();
+        assert_eq!(sizes_a, sizes_b);
+    }
+
+    #[test]
+    fn sharded_pipeline_survives_fee_escalation_replacement_pressure() {
+        let escalating = stream(5).with_fee_escalation(FeeEscalationSpec::standard(14.0));
+        let report = ShardedPipelineDriver::new(SequentialEngine::new(), config(4, 3))
+            .run(escalating)
+            .unwrap();
+        assert_eq!(report.run.total_failed, 0);
+        let stats = report.run.mempool_stats;
+        assert!(
+            stats.replaced + stats.rejected_underpriced + stats.rejected_nonce > 0,
+            "escalation must exercise replacement/stale paths: {stats:?}"
+        );
+    }
+}

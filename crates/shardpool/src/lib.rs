@@ -1,0 +1,80 @@
+//! Concurrent sharded mempool with parallel per-shard block production.
+//!
+//! `blockconc-pipeline` proved that a dependency-aware block *producer* recovers
+//! most of the concurrency the paper finds; but that pipeline still funnels every
+//! arriving transaction through one single-threaded pool and one packer. This crate
+//! parallelizes the admission → pack path itself, in the spirit of Conflux-style
+//! concurrent-structure scaling and conflict-aware partitioning:
+//!
+//! * [`ShardedMempool`] — the pool partitioned across N shards **by TDG
+//!   component**, routed through the incremental union–find (see
+//!   `blockconc_graph::UnionFind::merge_roots`) with absolute sender affinity, so
+//!   nonce chains never split. Admission semantics — nonce discipline, the 10%
+//!   replacement rule, and a *global* cheapest-tail eviction — are identical to the
+//!   single `Mempool`; the equivalence property tests hold the two bit-compatible.
+//!   When an arriving edge fuses components on different shards, the losing chains
+//!   migrate, preserving the invariant that different shards never conflict.
+//! * [`IngestRouter`] — the multi-producer front: `producers` scoped threads route
+//!   arrivals into bounded per-shard admission queues, one consumer per shard
+//!   admits them, with physical back-pressure and per-sender ordering end to end.
+//! * [`ShardedPacker`] — one `ConcurrencyAwarePacker` per shard builds
+//!   non-conflicting sub-blocks in parallel (components are shard-disjoint, so no
+//!   cross-checking); a **predicted-makespan-aware merge** then re-caps the
+//!   candidate union with the same speed-up-optimal component-cap search the
+//!   single-pool packer uses and k-way merges by fee, deferring capped chains.
+//! * [`ShardedPipelineDriver`] — wires an `ArrivalStream` through ingest, pack,
+//!   merge and any `ExecutionEngine`, with periodic component
+//!   [rebalancing](ShardedMempool::rebalance); selected via the
+//!   [`PipelineConfig::shards`](blockconc_pipeline::PipelineConfig) /
+//!   `producer_threads` switch (1/1 reproduces the single-pool pipeline exactly).
+//!
+//! Reports account each phase's critical path in hardware-independent work units
+//! (the execution engines' `parallel_units` convention), so the `fig_shardpool`
+//! benchmark can show ingest+pack scaling with producers and shards on any host.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockconc_chainsim::{AccountWorkloadParams, ArrivalStream, HotspotSpec};
+//! use blockconc_execution::ScheduledEngine;
+//! use blockconc_pipeline::PipelineConfig;
+//! use blockconc_shardpool::ShardedPipelineDriver;
+//!
+//! let params = AccountWorkloadParams {
+//!     txs_per_block: 40.0,
+//!     user_population: 2_000,
+//!     fresh_receiver_share: 0.5,
+//!     zipf_exponent: 0.5,
+//!     hotspots: vec![HotspotSpec::exchange(0.3)],
+//!     contract_create_share: 0.01,
+//! };
+//! let config = PipelineConfig {
+//!     threads: 4, max_blocks: 4, shards: 4, producer_threads: 2,
+//!     ..PipelineConfig::default()
+//! };
+//! let report = ShardedPipelineDriver::new(ScheduledEngine::new(4), config)
+//!     .run(ArrivalStream::new(params, 3.0, 150, 7))
+//!     .unwrap();
+//! assert_eq!(report.run.total_failed, 0);
+//! // The sharded layout shortens the ingest+pack critical path below the serial
+//! // cost of the same work.
+//! let serial: u64 = report.run.blocks.iter().map(|b| b.ingested as u64).sum();
+//! let parallel: u64 = report.phases.iter().map(|p| p.ingest_units).sum();
+//! assert!(parallel <= serial);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod ingest;
+mod packer;
+mod pool;
+mod report;
+mod router;
+
+pub use driver::ShardedPipelineDriver;
+pub use ingest::{IngestItem, IngestOutcomes, IngestReport, IngestRouter};
+pub use packer::{ShardPackReport, ShardedPacker};
+pub use pool::ShardedMempool;
+pub use report::{baseline_pipeline_units, BlockPhaseRecord, ShardedRunReport};

@@ -1,0 +1,594 @@
+//! Parallel per-shard block production and the makespan-aware merge.
+
+use crate::ShardedMempool;
+use blockconc_account::{AccountTransaction, BlockBuilder, WorldState};
+use blockconc_pipeline::{
+    advance_deferral_counters, aged_senders, choose_component_cap, gas_estimate, pack_capped,
+    slacked_cap, BlockTemplate, CapDeferrals, IncrementalTdg, PackedBlock, PipelineConfig,
+};
+use blockconc_types::{Address, Gas};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// One transaction selected by a shard packer, carried into the merge with its fee
+/// metadata (the sub-block's `AccountBlock` alone would lose the bids).
+#[derive(Debug, Clone)]
+struct MergeTx {
+    tx: AccountTransaction,
+    fee_per_gas: u64,
+    seq: u64,
+}
+
+/// What one shard contributed before merging.
+#[derive(Debug)]
+struct SubBlock {
+    txs: Vec<MergeTx>,
+    deferred_by_cap: u64,
+    aged_included: u64,
+    deferrals: CapDeferrals,
+}
+
+/// Measurements of one sharded pack (used by the driver's phase accounting).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardPackReport {
+    /// Sub-block sizes per shard, pre-merge.
+    pub sub_sizes: Vec<usize>,
+    /// Shard pool lengths at pack time.
+    pub shard_lens: Vec<usize>,
+    /// The per-component cap the merge policy chose from the global ready
+    /// distribution (what every shard packer enforced).
+    pub component_cap: usize,
+    /// Sub-block candidates the merge could not fit under the block gas limit
+    /// (deferred back to the pool, like every other deferral).
+    pub merge_deferred: u64,
+    /// Abstract parallel cost of the pack phase in per-transaction work units: the
+    /// largest single-shard scan (shards pack concurrently) plus the serial
+    /// merge's heap pops.
+    pub parallel_units: u64,
+}
+
+/// Packs blocks from a [`ShardedMempool`] by running the concurrency-aware
+/// packing loop ([`pack_capped`]) on every shard in parallel, then merging the
+/// per-shard sub-blocks into a single proposal under a predicted-makespan-aware
+/// policy.
+///
+/// Because the pool keeps dependency components shard-disjoint, the per-shard
+/// sub-blocks cannot conflict with each other; the merge only has to pick *which*
+/// candidates make the block, never re-check independence. It proceeds in three
+/// steps:
+///
+/// 1. **Parallel ready scan** — every shard reports its ready per-component
+///    transaction counts and gas profile (one scoped thread per shard).
+/// 2. **Global cap choice** — components never span shards, so concatenating the
+///    per-shard distributions *is* the global ready distribution; the same
+///    speed-up-optimal [`choose_component_cap`] search the single-pool packer runs
+///    picks one cap for the whole block. (A per-shard-local cap would be globally
+///    too strict: a shard pairing one giant component with a few singletons caps
+///    the giant near 1 even when the global distribution awards it dozens of
+///    slots.)
+/// 3. **Parallel sub-packing + fee merge** — each shard packs with the fixed
+///    global cap through [`pack_capped`] (the aging rule applies via this
+///    packer's pool-wide counter map), and the sub-blocks are k-way merged by
+///    `(fee, stamp)` under the real block gas limit, deferring a gas-skipped
+///    sender's remaining chain exactly like the single packing loop. With one
+///    shard this pipeline reduces to the single-pool packer bit for bit.
+#[derive(Debug)]
+pub struct ShardedPacker {
+    shards: usize,
+    threads: usize,
+    merge_slack: f64,
+    max_deferral: usize,
+    /// One aging map for the whole pool, keyed by sender — deliberately *not*
+    /// per shard, so a sender's starvation count survives chain migrations and
+    /// rebalances (per-shard counters would silently reset on every move and the
+    /// aging rule would never fire).
+    deferrals: HashMap<Address, u64>,
+}
+
+impl ShardedPacker {
+    /// Creates a packer for `shards` shards, optimizing for `threads` execution
+    /// cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `threads` is zero.
+    pub fn new(shards: usize, threads: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(threads > 0, "thread count must be positive");
+        ShardedPacker {
+            shards,
+            threads,
+            merge_slack: 1.0,
+            max_deferral: 0,
+            deferrals: HashMap::new(),
+        }
+    }
+
+    /// Overrides the merge cap's slack factor (builder-style): values above 1 let
+    /// merged components exceed the optimal cap proportionally, trading predicted
+    /// makespan for block fullness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slack < 1`.
+    pub fn with_merge_slack(mut self, slack: f64) -> Self {
+        assert!(slack >= 1.0, "slack must be at least 1");
+        self.merge_slack = slack;
+        self
+    }
+
+    /// A short, stable name for reports.
+    pub fn name(&self) -> &'static str {
+        "sharded-concurrency-aware"
+    }
+
+    /// Number of shards this packer packs.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Adopts run-level settings (the aging bound) from the configuration.
+    pub fn configure(&mut self, config: &PipelineConfig) {
+        self.max_deferral = config.max_deferral_blocks;
+    }
+
+    /// Packs one block proposal from the sharded pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool.shard_count()` differs from this packer's shard count.
+    pub fn pack(
+        &mut self,
+        pool: &ShardedMempool,
+        state: &WorldState,
+        template: &BlockTemplate,
+    ) -> (PackedBlock, ShardPackReport) {
+        let shards = self.shards;
+        assert_eq!(
+            pool.shard_count(),
+            shards,
+            "packer/pool shard count mismatch"
+        );
+        let shard_lens = pool.shard_lens();
+
+        // Step 1: parallel per-shard ready scan (component sizes + gas profile).
+        let scans: Vec<(Vec<usize>, u64, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|index| {
+                    scope.spawn(move || {
+                        pool.with_shard(index, |shard_pool, shard_tdg| {
+                            let chains = shard_pool.ready_chains(|sender| state.nonce(sender));
+                            let mut by_component: HashMap<usize, usize> = HashMap::new();
+                            for chain in &chains {
+                                let root = shard_tdg
+                                    .component_of(chain.sender)
+                                    .expect("pooled transaction is in the shard TDG");
+                                *by_component.entry(root).or_insert(0) += chain.txs.len();
+                            }
+                            let gas: u64 = chains
+                                .iter()
+                                .flat_map(|c| c.txs.iter())
+                                .map(|p| gas_estimate(&p.tx).value())
+                                .sum();
+                            let txs: usize = chains.iter().map(|c| c.txs.len()).sum();
+                            (by_component.into_values().collect(), gas, txs)
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("shard scan panicked"))
+                .collect()
+        });
+
+        // Step 2: one cap for the whole block, from the concatenated (= global,
+        // since components are shard-disjoint) ready distribution. This mirrors
+        // the single packer's search, including the actual-gas-profile capacity.
+        let sizes: Vec<usize> = scans
+            .iter()
+            .flat_map(|(sizes, _, _)| sizes.clone())
+            .collect();
+        let ready_txs: usize = scans.iter().map(|&(_, _, txs)| txs).sum();
+        let ready_gas: u64 = scans.iter().map(|&(_, gas, _)| gas).sum();
+        let mean_gas = if ready_txs == 0 {
+            blockconc_types::Gas::BASE_TX.value()
+        } else {
+            (ready_gas / ready_txs as u64).max(1)
+        };
+        let capacity = (template.gas_limit.value() / mean_gas).max(1) as usize;
+        let cap = slacked_cap(
+            choose_component_cap(&sizes, capacity, self.threads),
+            self.merge_slack,
+        );
+
+        // Step 3a: parallel sub-packing with the fixed global cap. The aged set is
+        // computed once from the shared (pool-wide) aging map.
+        let aged = aged_senders(&self.deferrals, self.max_deferral);
+        let aged = &aged;
+        let sub_blocks: Vec<SubBlock> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|index| {
+                    scope.spawn(move || {
+                        pool.with_shard(index, |shard_pool, shard_tdg| {
+                            if shard_pool.is_empty() {
+                                return SubBlock {
+                                    txs: Vec::new(),
+                                    deferred_by_cap: 0,
+                                    aged_included: 0,
+                                    deferrals: CapDeferrals::default(),
+                                };
+                            }
+                            let (packed, deferrals) =
+                                pack_capped(shard_pool, shard_tdg, state, template, cap, aged);
+                            // Recover each included transaction's fee metadata from
+                            // the pool (the packed block keeps only totals) — a
+                            // per-entry lookup, not a full pool scan.
+                            let txs = packed
+                                .block
+                                .transactions()
+                                .iter()
+                                .map(|tx| {
+                                    let pooled = shard_pool
+                                        .get(tx.sender(), tx.nonce())
+                                        .expect("packed transaction is pooled");
+                                    MergeTx {
+                                        tx: tx.clone(),
+                                        fee_per_gas: pooled.fee_per_gas,
+                                        seq: pooled.seq,
+                                    }
+                                })
+                                .collect();
+                            SubBlock {
+                                txs,
+                                deferred_by_cap: packed.deferred_by_cap,
+                                aged_included: packed.aged_included,
+                                deferrals,
+                            }
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("shard packer panicked"))
+                .collect()
+        });
+
+        // Advance the shared aging state through the same helper the single-pool
+        // packer uses. Senders are shard-disjoint, so the per-shard outcome sets
+        // union cleanly.
+        let mut combined = CapDeferrals::default();
+        for sub in &sub_blocks {
+            combined
+                .starved_senders
+                .extend(sub.deferrals.starved_senders.iter().copied());
+            combined
+                .included_senders
+                .extend(sub.deferrals.included_senders.iter().copied());
+        }
+        advance_deferral_counters(&mut self.deferrals, &combined);
+
+        let sub_sizes: Vec<usize> = sub_blocks.iter().map(|sub| sub.txs.len()).collect();
+        let deferred_in_shards: u64 = sub_blocks.iter().map(|sub| sub.deferred_by_cap).sum();
+        let aged_included: u64 = sub_blocks.iter().map(|sub| sub.aged_included).sum();
+
+        // Step 3b: fee-ordered merge of the (already cap-compliant) candidates
+        // under the real block gas limit.
+        let lists: Vec<Vec<MergeTx>> = sub_blocks.into_iter().map(|sub| sub.txs).collect();
+        let (kept, merge_deferred, merge_pops) = merge_by_fee(lists, template.gas_limit);
+
+        let estimated_gas = kept
+            .iter()
+            .fold(Gas::ZERO, |acc, m| acc + gas_estimate(&m.tx));
+        let total_fee_per_gas: u64 = kept.iter().map(|m| m.fee_per_gas).sum();
+        let block_tdg = IncrementalTdg::rebuild_from(kept.iter().map(|m| &m.tx));
+        let predicted_group_sizes: Vec<u64> = block_tdg
+            .component_tx_counts()
+            .into_iter()
+            .map(|c| c as u64)
+            .collect();
+        let block = BlockBuilder::new(template.height, template.timestamp, template.beneficiary)
+            .gas_limit(template.gas_limit)
+            .transactions(kept.into_iter().map(|m| m.tx))
+            .build();
+
+        let max_shard_len = shard_lens.iter().copied().max().unwrap_or(0);
+        let report = ShardPackReport {
+            sub_sizes,
+            shard_lens,
+            component_cap: cap,
+            merge_deferred,
+            parallel_units: max_shard_len as u64 + merge_pops,
+        };
+        (
+            PackedBlock {
+                block,
+                predicted_group_sizes,
+                estimated_gas,
+                total_fee_per_gas,
+                // Cap-attributed deferrals only, matching the field's documented
+                // semantics; gas-arbitration skips are reported separately as
+                // `ShardPackReport::merge_deferred`.
+                deferred_by_cap: deferred_in_shards,
+                aged_included,
+            },
+            report,
+        )
+    }
+}
+
+/// K-way merges per-shard sub-block lists by `(fee desc, stamp asc)` under the
+/// block gas limit. Each sub-block already respects the global component cap, so
+/// the merge only arbitrates gas: a gas-skipped sender's remaining chain is
+/// deferred (skipped, in order), exactly like the single packing loop — never
+/// reordered, never dropped. Returns the merged selection, the number of
+/// candidates that did not fit, and the number of heap pops performed (the
+/// merge's serial cost; the loop stops as soon as nothing can fit the remaining
+/// gas, so this tracks the block size, not the candidate count).
+fn merge_by_fee(lists: Vec<Vec<MergeTx>>, gas_limit: Gas) -> (Vec<MergeTx>, u64, u64) {
+    // Max-heap entries: (fee, Reverse(stamp), Reverse(list index), position).
+    let mut heap: BinaryHeap<(u64, Reverse<u64>, Reverse<usize>, usize)> = lists
+        .iter()
+        .enumerate()
+        .filter(|(_, list)| !list.is_empty())
+        .map(|(index, list)| (list[0].fee_per_gas, Reverse(list[0].seq), Reverse(index), 0))
+        .collect();
+
+    let mut merged: Vec<MergeTx> = Vec::new();
+    let mut gas_used = Gas::ZERO;
+    let mut deferred_senders: HashSet<Address> = HashSet::new();
+    let mut deferred = 0u64;
+    let mut pops = 0u64;
+    while let Some((_, _, Reverse(list), position)) = heap.pop() {
+        // No estimate is below the intrinsic transfer cost, so once that cannot
+        // fit, nothing can: stop scanning candidates (same early exit as the
+        // single packing loop).
+        if gas_used.saturating_add(Gas::BASE_TX) > gas_limit {
+            break;
+        }
+        pops += 1;
+        let candidate = &lists[list][position];
+        let advance = |heap: &mut BinaryHeap<_>| {
+            let next = position + 1;
+            if next < lists[list].len() {
+                let successor = &lists[list][next];
+                heap.push((
+                    successor.fee_per_gas,
+                    Reverse(successor.seq),
+                    Reverse(list),
+                    next,
+                ));
+            }
+        };
+        let sender = candidate.tx.sender();
+        let gas = gas_estimate(&candidate.tx);
+        if deferred_senders.contains(&sender) || gas_used.saturating_add(gas) > gas_limit {
+            // Gas skip, exactly like the single packer's loop: this sender's chain
+            // defers (later nonces may not jump their rejected head), other senders
+            // keep competing for the remaining gas.
+            deferred_senders.insert(sender);
+            deferred += 1;
+            advance(&mut heap);
+            continue;
+        }
+        gas_used += gas;
+        merged.push(candidate.clone());
+        advance(&mut heap);
+    }
+    (merged, deferred, pops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_types::Amount;
+
+    fn transfer(sender: u64, receiver: u64, nonce: u64) -> AccountTransaction {
+        AccountTransaction::transfer(
+            Address::from_low(sender),
+            Address::from_low(receiver),
+            Amount::from_sats(1),
+            nonce,
+        )
+    }
+
+    fn funded_state(senders: std::ops::Range<u64>) -> WorldState {
+        let mut state = WorldState::new();
+        for s in senders {
+            state.credit(Address::from_low(s), Amount::from_coins(10));
+        }
+        state
+    }
+
+    fn template(gas_limit: Gas) -> BlockTemplate {
+        BlockTemplate {
+            height: 1,
+            timestamp: 0,
+            beneficiary: Address::from_low(9_999),
+            gas_limit,
+        }
+    }
+
+    /// A pool with one 6-deposit exchange hot spot (one shard) and four independent
+    /// payments (spread over the others).
+    fn hotspot_pool(shards: usize) -> ShardedMempool {
+        let pool = ShardedMempool::new(shards, 1_000);
+        for i in 0..6u64 {
+            pool.insert(transfer(10 + i, 500, 0), 100 + i, i as f64, 0, Some(i));
+        }
+        for i in 0..4u64 {
+            pool.insert(
+                transfer(20 + i, 600 + i, 0),
+                50 + i,
+                10.0 + i as f64,
+                0,
+                Some(10 + i),
+            );
+        }
+        pool
+    }
+
+    #[test]
+    fn sharded_pack_merges_balanced_non_conflicting_sub_blocks() {
+        let pool = hotspot_pool(4);
+        let state = funded_state(10..30);
+        let mut packer = ShardedPacker::new(4, 4);
+        let (packed, report) = packer.pack(&pool, &state, &template(Gas::new(21_000 * 10)));
+        // The global cap search over [6,1,1,1,1] at capacity 10 on 4 threads picks
+        // cap 2: two exchange deposits plus the four independent payments.
+        assert_eq!(report.component_cap, 2);
+        assert_eq!(packed.block.transaction_count(), 6);
+        assert_eq!(report.sub_sizes.iter().sum::<usize>(), 6);
+        assert!(report.sub_sizes.iter().filter(|&&s| s > 0).count() >= 2);
+        assert_eq!(report.merge_deferred, 0);
+        let mut sizes = packed.predicted_group_sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1, 1, 2]);
+        // Nonce order per sender holds in the merged block.
+        let mut seen: HashMap<Address, u64> = HashMap::new();
+        for tx in packed.block.transactions() {
+            let next = seen.entry(tx.sender()).or_insert(0);
+            assert_eq!(tx.nonce(), *next);
+            *next += 1;
+        }
+        assert!(packed.estimated_gas <= Gas::new(21_000 * 10));
+        assert_eq!(packed.deferred_by_cap, 4);
+    }
+
+    #[test]
+    fn merge_matches_single_pool_balance_under_tight_gas() {
+        let pool = hotspot_pool(4);
+        let state = funded_state(10..30);
+        let mut packer = ShardedPacker::new(4, 4);
+        // Room for five transfers: like the single-pool packer, the merge admits
+        // one deposit and the four independent payments.
+        let (packed, _) = packer.pack(&pool, &state, &template(Gas::new(21_000 * 5)));
+        assert_eq!(packed.block.transaction_count(), 5);
+        assert!(packed.estimated_gas <= Gas::new(21_000 * 5));
+        let mut sizes = packed.predicted_group_sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn merge_cap_restores_balance_when_one_shard_dominates() {
+        // One shard holds a 12-deposit hot spot, three shards hold one single each.
+        let pool = ShardedMempool::new(4, 1_000);
+        let mut stamp = 0;
+        for i in 0..12u64 {
+            pool.insert(transfer(10 + i, 500, 0), 200 + i, i as f64, 0, Some(stamp));
+            stamp += 1;
+        }
+        for i in 0..3u64 {
+            pool.insert(transfer(30 + i, 700 + i, 0), 10 + i, 20.0, 0, Some(stamp));
+            stamp += 1;
+        }
+        let state = funded_state(10..40);
+        let mut packer = ShardedPacker::new(4, 4);
+        let (packed, report) = packer.pack(&pool, &state, &template(Gas::new(21_000 * 15)));
+        // Whether the deposits were capped inside their shard (if the singles
+        // hash-colocated with them) or at the merge (if the hot shard was alone),
+        // the dominant component must have been deferred almost entirely.
+        assert!(
+            packed.deferred_by_cap >= 11,
+            "cap must defer the dominant component (deferred {})",
+            packed.deferred_by_cap
+        );
+        let largest = packed
+            .predicted_group_sizes
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        let total: u64 = packed.predicted_group_sizes.iter().sum();
+        assert!(
+            largest <= total.div_ceil(4).max(1) + 1,
+            "merged block stays balanced: largest {largest} of {total}"
+        );
+        assert!(packed.deferred_by_cap >= report.merge_deferred);
+        // Deferred candidates are still pooled (pack never removes).
+        assert_eq!(pool.len(), 15);
+    }
+
+    #[test]
+    fn global_cap_balances_individually_unbalanced_sub_blocks() {
+        // Two shards, each holding one 4-deposit component. A shard-local cap
+        // search would see a lone component (speed-up 1 either way → largest
+        // block, all 4 included); the global distribution [4, 4] at capacity 6 on
+        // 4 threads instead picks cap 3 (B = 6, makespan 3), which each shard
+        // enforces. Use distinct exchanges whose canonical shards differ.
+        let mut exchange_b = 501u64;
+        loop {
+            let probe = ShardedMempool::new(2, 100);
+            probe.insert(transfer(10, 500, 0), 10, 0.0, 0, Some(0));
+            probe.insert(transfer(60, exchange_b, 0), 10, 0.1, 0, Some(1));
+            if probe.shard_lens() == vec![1, 1] {
+                break;
+            }
+            exchange_b += 1;
+        }
+        let pool = ShardedMempool::new(2, 100);
+        let mut stamp = 0;
+        for i in 0..4u64 {
+            pool.insert(
+                transfer(10 + i, 500, 0),
+                100 + i,
+                stamp as f64,
+                0,
+                Some(stamp),
+            );
+            stamp += 1;
+        }
+        for i in 0..4u64 {
+            pool.insert(
+                transfer(60 + i, exchange_b, 0),
+                50 + i,
+                stamp as f64,
+                0,
+                Some(stamp),
+            );
+            stamp += 1;
+        }
+        pool.assert_shard_disjointness();
+        let state = funded_state(10..70);
+        let mut packer = ShardedPacker::new(2, 4);
+        let (packed, report) = packer.pack(&pool, &state, &template(Gas::new(21_000 * 6)));
+        assert_eq!(report.component_cap, 3);
+        assert_eq!(packed.deferred_by_cap, 2, "one deposit deferred per shard");
+        let mut sizes = packed.predicted_group_sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn merge_slack_admits_more_of_the_hot_component() {
+        let pool = hotspot_pool(4);
+        let state = funded_state(10..30);
+        let tight = ShardedPacker::new(4, 4)
+            .pack(&pool, &state, &template(Gas::new(21_000 * 10)))
+            .0;
+        let slack = ShardedPacker::new(4, 4)
+            .with_merge_slack(2.0)
+            .pack(&pool, &state, &template(Gas::new(21_000 * 10)))
+            .0;
+        assert!(
+            slack.block.transaction_count() > tight.block.transaction_count(),
+            "slack {} vs tight {}",
+            slack.block.transaction_count(),
+            tight.block.transaction_count()
+        );
+    }
+
+    #[test]
+    fn empty_pool_packs_an_empty_block() {
+        let pool = ShardedMempool::new(3, 10);
+        let mut packer = ShardedPacker::new(3, 4);
+        let (packed, report) =
+            packer.pack(&pool, &WorldState::new(), &template(Gas::new(1_000_000)));
+        assert_eq!(packed.block.transaction_count(), 0);
+        assert_eq!(report.parallel_units, 0);
+        assert_eq!(packed.block.height().value(), 1);
+    }
+}

@@ -1,0 +1,473 @@
+//! Component → shard routing.
+//!
+//! The router is the sharded pool's single source of truth for *where a
+//! transaction's dependency component lives*. It maintains a monotone union–find
+//! over every address ever offered to the pool (monotone on purpose: an edge once
+//! seen is never forgotten, so two transactions sharing an address can never be
+//! routed to different shards) and a **sender pin** per sender with live pooled
+//! entries. Sender chains always live inside their component, so they never split
+//! across shards; when a component migrates, its chains move whole.
+//!
+//! # Canonical placement
+//!
+//! A component's home shard is `hash(anchor)`, where the *anchor* is the smallest
+//! address the component has ever contained. The minimum is order-independent, so
+//! the placement reached after ingesting any set of transactions is a pure function
+//! of that set — **not** of how concurrent producer threads interleaved. (A
+//! load-aware rule like "least loaded shard wins" reads racy counters and makes
+//! block composition nondeterministic; canonical placement keeps every downstream
+//! artifact reproducible.) An anchor can only decrease, and the minimum of a
+//! random-ish address sequence changes O(log n) times, so anchor-driven component
+//! migrations stay rare.
+//!
+//! When an arriving transaction's edge fuses two components, the router emits
+//! [`Migration`] orders moving every pinned sender that is off the fused
+//! component's canonical shard, restoring the invariant *all live transactions of
+//! one component reside on one shard*. [`Router::rebalance`] periodically rebuilds
+//! the union–find from the surviving pool contents — un-fusing components whose
+//! only bridges have since been packed, which the monotone online structure cannot
+//! do — and re-derives canonical placement for the survivors.
+
+use blockconc_graph::UnionFind;
+use blockconc_types::Address;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+
+/// An order to move every pooled transaction of `sender` between shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Migration {
+    pub sender: Address,
+    pub from: usize,
+    pub to: usize,
+}
+
+/// Where the router decided an offered transaction must go.
+#[derive(Debug)]
+pub(crate) struct RouteDecision {
+    pub shard: usize,
+    /// Chain moves required to keep the fused component on one shard.
+    pub migrations: Vec<Migration>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pin {
+    shard: usize,
+    live: usize,
+}
+
+/// The canonical shard of a component anchored at `anchor` (stable across runs:
+/// `DefaultHasher::new()` uses fixed keys).
+fn stable_shard(anchor: Address, shards: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    anchor.hash(&mut hasher);
+    (hasher.finish() % shards as u64) as usize
+}
+
+/// The component-to-shard routing state (all methods require external locking; the
+/// sharded pool wraps one `Router` in a mutex that orders strictly *before* any
+/// shard lock).
+#[derive(Debug)]
+pub(crate) struct Router {
+    shards: usize,
+    uf: UnionFind,
+    node_of: HashMap<Address, usize>,
+    address_of: Vec<Address>,
+    /// Smallest address ever seen in each component, keyed by union–find root.
+    anchor_of_root: HashMap<usize, Address>,
+    /// Senders with live pooled entries, per component root (deterministically
+    /// ordered so migration plans are reproducible).
+    senders_of_root: HashMap<usize, BTreeSet<Address>>,
+    pin: HashMap<Address, Pin>,
+    /// Live pooled transactions per shard (reporting only — never a routing input,
+    /// which would reintroduce interleaving-dependence).
+    shard_live: Vec<usize>,
+    pub migrated_chains: u64,
+    pub rebalances: u64,
+}
+
+impl Router {
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        Router {
+            shards,
+            uf: UnionFind::new(0),
+            node_of: HashMap::new(),
+            address_of: Vec::new(),
+            anchor_of_root: HashMap::new(),
+            senders_of_root: HashMap::new(),
+            pin: HashMap::new(),
+            shard_live: vec![0; shards],
+            migrated_chains: 0,
+            rebalances: 0,
+        }
+    }
+
+    fn node(&mut self, address: Address) -> usize {
+        match self.node_of.get(&address) {
+            Some(&index) => index,
+            None => {
+                let index = self.uf.grow();
+                self.node_of.insert(address, index);
+                self.address_of.push(address);
+                index
+            }
+        }
+    }
+
+    fn anchor(&mut self, root: usize) -> Address {
+        self.anchor_of_root
+            .get(&root)
+            .copied()
+            .unwrap_or(self.address_of[root])
+    }
+
+    /// The shard a sender's live chain is pinned to, if any.
+    pub fn pin_shard(&self, sender: Address) -> Option<usize> {
+        self.pin.get(&sender).map(|pin| pin.shard)
+    }
+
+    /// The number of live transactions accounted to `sender` (0 when unpinned).
+    /// The pool's capacity enforcement compares this against the sender's actual
+    /// pooled entries to detect inserts whose settle phase has not run yet.
+    pub fn pin_live(&self, sender: Address) -> usize {
+        self.pin.get(&sender).map_or(0, |pin| pin.live)
+    }
+
+    /// The canonical shard of `address`'s component, if the address has been seen.
+    pub fn component_shard(&mut self, address: Address) -> Option<usize> {
+        let node = *self.node_of.get(&address)?;
+        let root = self.uf.find(node);
+        let anchor = self.anchor(root);
+        Some(stable_shard(anchor, self.shards))
+    }
+
+    /// A read-mostly shard prediction for queue assignment (no union recorded):
+    /// computes the same canonical target [`Router::route`] would pick right now.
+    pub fn route_hint(&mut self, sender: Address, receiver: Address) -> usize {
+        let anchor_a = match self.node_of.get(&sender) {
+            Some(&node) => {
+                let root = self.uf.find(node);
+                self.anchor(root)
+            }
+            None => sender,
+        };
+        let anchor_b = match self.node_of.get(&receiver) {
+            Some(&node) => {
+                let root = self.uf.find(node);
+                self.anchor(root)
+            }
+            None => receiver,
+        };
+        stable_shard(anchor_a.min(anchor_b), self.shards)
+    }
+
+    /// Routes one offered transaction edge: interns both endpoints, unions them,
+    /// and places the (possibly fused) component at its canonical shard. If the
+    /// union fused two components on different shards — or lowered the anchor — the
+    /// decision carries the migrations that re-unite the component there.
+    pub fn route(&mut self, sender: Address, receiver: Address) -> RouteDecision {
+        let sender_node = self.node(sender);
+        let receiver_node = self.node(receiver);
+        let sender_root = self.uf.find(sender_node);
+        let receiver_root = self.uf.find(receiver_node);
+        let anchor = self.anchor(sender_root).min(self.anchor(receiver_root));
+
+        let (survivor, absorbed) = self.uf.merge_roots(sender_node, receiver_node);
+        if let Some(absorbed) = absorbed {
+            // Fold the absorbed component's per-root state into the survivor.
+            if let Some(absorbed_senders) = self.senders_of_root.remove(&absorbed) {
+                self.senders_of_root
+                    .entry(survivor)
+                    .or_default()
+                    .extend(absorbed_senders);
+            }
+            self.anchor_of_root.remove(&absorbed);
+        }
+        self.anchor_of_root.insert(survivor, anchor);
+        let target = stable_shard(anchor, self.shards);
+
+        // Any pinned sender of the component off its canonical shard moves.
+        let migrations: Vec<Migration> = self
+            .senders_of_root
+            .get(&survivor)
+            .map(|senders| {
+                senders
+                    .iter()
+                    .filter_map(|&member| {
+                        let pin = self.pin.get(&member)?;
+                        (pin.shard != target).then_some(Migration {
+                            sender: member,
+                            from: pin.shard,
+                            to: target,
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        RouteDecision {
+            shard: target,
+            migrations,
+        }
+    }
+
+    /// Records that every live transaction of `sender` moved to shard `to` (called
+    /// by the pool as it executes a migration).
+    pub fn apply_migration(&mut self, sender: Address, to: usize) {
+        if let Some(pin) = self.pin.get_mut(&sender) {
+            self.shard_live[pin.shard] -= pin.live;
+            self.shard_live[to] += pin.live;
+            pin.shard = to;
+        }
+        self.migrated_chains += 1;
+    }
+
+    /// Records one admitted transaction of `sender`. If the sender is already
+    /// pinned, the pin's shard wins (a migration may have moved the chain after the
+    /// caller picked `shard_hint`); otherwise the sender is pinned to `shard_hint`.
+    /// Returns the shard the admission was accounted to.
+    pub fn note_admitted(&mut self, sender: Address, shard_hint: usize) -> usize {
+        let node = self.node(sender);
+        let root = self.uf.find(node);
+        self.senders_of_root.entry(root).or_default().insert(sender);
+        let pin = self.pin.entry(sender).or_insert(Pin {
+            shard: shard_hint,
+            live: 0,
+        });
+        pin.live += 1;
+        let shard = pin.shard;
+        self.shard_live[shard] += 1;
+        shard
+    }
+
+    /// Records `count` removed transactions of `sender` (packed, evicted, resynced
+    /// or dropped); unpins the sender when its last live entry goes.
+    pub fn note_removed(&mut self, sender: Address, count: usize) {
+        if count == 0 {
+            return;
+        }
+        let Some(pin) = self.pin.get_mut(&sender) else {
+            return;
+        };
+        debug_assert!(
+            pin.live >= count,
+            "removing more than the sender's live txs"
+        );
+        pin.live -= count;
+        self.shard_live[pin.shard] -= count;
+        if pin.live == 0 {
+            self.pin.remove(&sender);
+            if let Some(&node) = self.node_of.get(&sender) {
+                let root = self.uf.find(node);
+                if let Some(senders) = self.senders_of_root.get_mut(&root) {
+                    senders.remove(&sender);
+                    if senders.is_empty() {
+                        self.senders_of_root.remove(&root);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total live transactions across all shards.
+    pub fn total_live(&self) -> usize {
+        self.shard_live.iter().sum()
+    }
+
+    /// Live transactions per shard.
+    pub fn shard_live(&self) -> &[usize] {
+        &self.shard_live
+    }
+
+    /// Rebuilds the routing state from the surviving pool contents, returning the
+    /// migrations that realize the survivors' canonical placement.
+    ///
+    /// `residents` is one `(sender, effective_receiver)` edge per pooled
+    /// transaction. The rebuild un-fuses components that only shared packed (now
+    /// gone) transactions — something the monotone online union–find cannot do — so
+    /// their anchors rise back to the surviving minima and the freed components
+    /// re-spread over the shards.
+    pub fn rebalance(&mut self, residents: &[(Address, Address)]) -> Vec<Migration> {
+        // Fresh union–find over the surviving edges only.
+        let mut uf = UnionFind::new(0);
+        let mut node_of: HashMap<Address, usize> = HashMap::new();
+        let mut address_of: Vec<Address> = Vec::new();
+        let mut node =
+            |address: Address, uf: &mut UnionFind, address_of: &mut Vec<Address>| match node_of
+                .get(&address)
+            {
+                Some(&index) => index,
+                None => {
+                    let index = uf.grow();
+                    node_of.insert(address, index);
+                    address_of.push(address);
+                    index
+                }
+            };
+        let mut live_of_sender: BTreeMap<Address, usize> = BTreeMap::new();
+        for &(sender, receiver) in residents {
+            let a = node(sender, &mut uf, &mut address_of);
+            let b = node(receiver, &mut uf, &mut address_of);
+            uf.union(a, b);
+            *live_of_sender.entry(sender).or_insert(0) += 1;
+        }
+
+        // Re-derive per-component state: members, anchors, canonical shards.
+        let mut anchor_of_root: HashMap<usize, Address> = HashMap::new();
+        for (index, &address) in address_of.iter().enumerate() {
+            let root = uf.find(index);
+            let anchor = anchor_of_root.entry(root).or_insert(address);
+            *anchor = (*anchor).min(address);
+        }
+        let mut senders_of_root: HashMap<usize, BTreeSet<Address>> = HashMap::new();
+        for &sender in live_of_sender.keys() {
+            let root = uf.find(node_of[&sender]);
+            senders_of_root.entry(root).or_default().insert(sender);
+        }
+
+        // Plan migrations for every sender pinned off its component's canonical
+        // shard.
+        let mut migrations = Vec::new();
+        for (root, senders) in &senders_of_root {
+            let target = stable_shard(anchor_of_root[root], self.shards);
+            for &sender in senders {
+                if let Some(pin) = self.pin.get(&sender) {
+                    if pin.shard != target {
+                        migrations.push(Migration {
+                            sender,
+                            from: pin.shard,
+                            to: target,
+                        });
+                    }
+                }
+            }
+        }
+        migrations.sort_by_key(|m| (m.from, m.to, m.sender));
+
+        // Install the rebuilt state (pins move as migrations execute).
+        self.uf = uf;
+        self.node_of = node_of;
+        self.address_of = address_of;
+        self.anchor_of_root = anchor_of_root;
+        self.senders_of_root = senders_of_root;
+        self.rebalances += 1;
+        migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> Address {
+        Address::from_low(n)
+    }
+
+    #[test]
+    fn placement_is_canonical_and_order_independent() {
+        // Process the same edge set in two different orders: final shards match.
+        let edges = [
+            (addr(9), addr(100)),
+            (addr(3), addr(100)),
+            (addr(7), addr(200)),
+            (addr(5), addr(200)),
+            (addr(2), addr(300)),
+        ];
+        let mut forward = Router::new(5);
+        for &(s, r) in &edges {
+            forward.route(s, r);
+        }
+        let mut backward = Router::new(5);
+        for &(s, r) in edges.iter().rev() {
+            backward.route(s, r);
+        }
+        for &(s, r) in &edges {
+            assert_eq!(
+                forward.component_shard(s),
+                backward.component_shard(s),
+                "sender {s}"
+            );
+            assert_eq!(forward.component_shard(r), backward.component_shard(r));
+        }
+    }
+
+    #[test]
+    fn sender_chains_route_to_one_shard() {
+        let mut router = Router::new(4);
+        let first = router.route(addr(11), addr(100));
+        router.note_admitted(addr(11), first.shard);
+        // Later nonces touch different receivers, but the component (and the pin)
+        // keeps the chain together.
+        let second = router.route(addr(11), addr(200));
+        assert_eq!(
+            second.shard,
+            router.pin_shard(addr(11)).unwrap_or(usize::MAX)
+        );
+        let third = router.route(addr(11), addr(300));
+        assert_eq!(third.shard, second.shard);
+    }
+
+    #[test]
+    fn fusing_components_across_shards_migrates_the_losing_chains() {
+        // Pick two senders whose components land on different shards.
+        let mut router = Router::new(8);
+        let a = router.route(addr(9), addr(901));
+        router.note_admitted(addr(9), a.shard);
+        let b = router.route(addr(21), addr(902));
+        router.note_admitted(addr(21), b.shard);
+        assert_ne!(a.shard, b.shard, "test needs distinct initial shards");
+        // A bridge fuses them; everything must colocate at the canonical shard.
+        let bridge = router.route(addr(901), addr(902));
+        let target = bridge.shard;
+        for migration in &bridge.migrations {
+            assert_eq!(migration.to, target);
+            router.apply_migration(migration.sender, migration.to);
+        }
+        assert_eq!(router.component_shard(addr(9)), Some(target));
+        assert_eq!(router.component_shard(addr(21)), Some(target));
+        assert_eq!(router.pin_shard(addr(9)), Some(target));
+        assert_eq!(router.pin_shard(addr(21)), Some(target));
+    }
+
+    #[test]
+    fn note_removed_unpins_and_rebalance_unfuses() {
+        let mut router = Router::new(8);
+        let a = router.route(addr(9), addr(901));
+        router.note_admitted(addr(9), a.shard);
+        let b = router.route(addr(21), addr(902));
+        router.note_admitted(addr(21), b.shard);
+        assert_ne!(a.shard, b.shard);
+        // Bridge them (sender 2 gets the bridge transaction).
+        let bridge = router.route(addr(2), addr(901));
+        router.note_admitted(addr(2), bridge.shard);
+        let fuse = router.route(addr(2), addr(902));
+        for migration in &fuse.migrations {
+            router.apply_migration(migration.sender, migration.to);
+        }
+        assert_eq!(
+            router.component_shard(addr(901)),
+            router.component_shard(addr(902))
+        );
+        assert_eq!(router.total_live(), 3);
+        // The bridge is packed away; online state cannot un-fuse...
+        router.note_removed(addr(2), 1);
+        assert_eq!(router.pin_shard(addr(2)), None);
+        assert_eq!(
+            router.component_shard(addr(901)),
+            router.component_shard(addr(902))
+        );
+        // ...but a rebalance over the survivors restores independent placement.
+        let residents = [(addr(9), addr(901)), (addr(21), addr(902))];
+        let migrations = router.rebalance(&residents);
+        for migration in &migrations {
+            router.apply_migration(migration.sender, migration.to);
+        }
+        assert_eq!(router.component_shard(addr(9)), Some(a.shard));
+        assert_eq!(router.component_shard(addr(21)), Some(b.shard));
+        assert_eq!(router.pin_shard(addr(9)), Some(a.shard));
+        assert_eq!(router.pin_shard(addr(21)), Some(b.shard));
+        assert_eq!(router.rebalances, 1);
+        assert_eq!(router.total_live(), 2);
+    }
+}
