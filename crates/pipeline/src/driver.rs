@@ -104,13 +104,16 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
         let mut lookahead: Option<TxArrival> = None;
         let mut blocks: Vec<BlockRecord> = Vec::with_capacity(self.config.max_blocks);
         let mut total_failed = 0usize;
+        let mut tdg_units_seen = 0u64;
         self.packer.configure(&self.config);
 
         for height in 1..=self.config.max_blocks as u64 {
             let deadline = height as f64 * self.config.block_interval_secs;
             let mut ingested = 0usize;
 
-            // Ingest every arrival due before this block's deadline.
+            // Ingest every arrival due before this block's deadline. Every
+            // admission outcome maps to an O(1) incremental TDG edit — the graph
+            // is never rebuilt from a pool scan.
             while let Some(arrival) = lookahead.take().or_else(|| stream.next()) {
                 if arrival.arrival_secs > deadline {
                     lookahead = Some(arrival);
@@ -124,18 +127,30 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                     );
                 }
                 ingested += 1;
-                let outcome = pool.insert(
+                let effects = pool.offer(
                     arrival.tx.clone(),
                     arrival.fee_per_gas,
                     arrival.arrival_secs,
                     state.nonce(arrival.tx.sender()),
+                    None,
                 );
-                match outcome {
-                    crate::AdmitOutcome::Admitted => tdg.insert(&arrival.tx),
-                    // A replacement may change the receiver; union-find cannot drop
-                    // the superseded edge, so rebuild (replacements are rare).
+                match effects.outcome {
+                    crate::AdmitOutcome::Admitted => {
+                        tdg.insert(&arrival.tx);
+                        // A capacity admission evicted the cheapest tail: drop its
+                        // edge too. When the superseded edge is still covered by
+                        // another pooled transaction this is the zero-degree fast
+                        // path — a pure refcount decrement.
+                        if let Some(evicted) = &effects.evicted {
+                            tdg.remove(&evicted.tx);
+                        }
+                    }
+                    // A replacement may change the receiver: swap the superseded
+                    // edge for the new one, incrementally.
                     crate::AdmitOutcome::Replaced => {
-                        tdg = IncrementalTdg::rebuild_from(pool.iter().map(|p| &p.tx));
+                        let replaced = effects.replaced.as_ref().expect("replacement payload");
+                        tdg.remove(&replaced.tx);
+                        tdg.insert(&arrival.tx);
                     }
                     _ => {}
                 }
@@ -161,21 +176,19 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
             let (executed, exec_report) = self.engine.execute(&mut state, &packed.block)?;
             let execute_wall = started.elapsed();
 
-            pool.remove_packed(packed.block.transactions());
+            // Settle the pool incrementally: the packed transactions leave both
+            // the pool and the graph as O(Δ) edits (deletion-capable union–find),
+            // never through a pool-wide rebuild.
+            let removed = pool.remove_packed_returning(packed.block.transactions());
+            tdg.remove_batch(removed.iter().map(|p| &p.tx));
             // A validation failure leaves the sender's account nonce behind the packed
             // nonce, stranding its later pooled entries behind a gap no arrival will
             // fill — sweep them out before they pin capacity.
-            let mut resynced = 0;
             for (tx, receipt) in executed.iter() {
                 if !receipt.succeeded() {
-                    resynced += pool.resync_sender(tx.sender(), state.nonce(tx.sender()));
+                    let dropped = pool.resync_sender_removed(tx.sender(), state.nonce(tx.sender()));
+                    tdg.remove_batch(dropped.iter().map(|p| &p.tx));
                 }
-            }
-            // Union–find cannot remove the packed transactions: rebuild the pool-level
-            // graph from the survivors (once per block, amortized over the arrivals).
-            // An empty block with no resync removed nothing, so the graph is current.
-            if packed.block.transaction_count() > 0 || resynced > 0 {
-                tdg = IncrementalTdg::rebuild_from(pool.iter().map(|p| &p.tx));
             }
 
             let failed = executed
@@ -184,6 +197,8 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                 .filter(|r| !r.succeeded())
                 .count();
             total_failed += failed;
+            let tdg_units = tdg.op_units() - tdg_units_seen;
+            tdg_units_seen = tdg.op_units();
             blocks.push(BlockRecord {
                 height,
                 ingested,
@@ -201,6 +216,8 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                 conflict_rate: exec_report.conflict_rate(),
                 group_conflict_rate: exec_report.group_conflict_rate(),
                 mempool_len_after: pool.len(),
+                tdg_units,
+                pack_considered: packed.considered,
                 pack_wall_nanos: pack_wall.as_nanos() as u64,
                 execute_wall_nanos: execute_wall.as_nanos() as u64,
             });
@@ -354,6 +371,73 @@ mod tests {
             "bounded deferral must include aged senders (deferred {deferred})"
         );
         assert_eq!(report.total_failed, 0);
+    }
+
+    #[test]
+    fn fee_replacements_stay_incremental_and_consistent() {
+        // A fee-escalating stream exercises the replacement path every block; the
+        // regression this pins down: a replacement must be an incremental edge
+        // swap (zero-degree fast path when the superseded edge is still covered),
+        // never a pool-wide rebuild — and the maintained graph must stay
+        // consistent enough that every packed block still executes cleanly.
+        use blockconc_chainsim::FeeEscalationSpec;
+        let escalating = stream(7).with_fee_escalation(FeeEscalationSpec::standard(14.0));
+        let report = PipelineDriver::new(
+            ConcurrencyAwarePacker::new(4),
+            SequentialEngine::new(),
+            config(),
+        )
+        .run(escalating)
+        .unwrap();
+        assert_eq!(report.total_failed, 0);
+        let stats = report.mempool_stats;
+        assert!(
+            stats.replaced > 0,
+            "escalation must exercise replacements: {stats:?}"
+        );
+        assert_eq!(
+            stats.admitted - stats.evicted - stats.dropped_unpackable,
+            stats.packed + report.leftover_mempool as u64
+        );
+    }
+
+    #[test]
+    fn per_block_maintenance_is_delta_bound_not_pool_bound() {
+        // With a standing backlog, the per-block TDG maintenance and pack scan
+        // must track the block-window delta (arrivals + packed + examined
+        // candidates), not the pool size. The generous factor absorbs compaction
+        // amortization and per-candidate rejections.
+        let report = PipelineDriver::new(
+            ConcurrencyAwarePacker::new(4),
+            SequentialEngine::new(),
+            config(),
+        )
+        .run(stream(8))
+        .unwrap();
+        // Compaction is amortized, so a single block may spike while the work it
+        // pays for accumulated over several: bound the *cumulative* maintenance by
+        // the cumulative delta, and each block's pack scan by its own delta.
+        let total_delta: u64 = report
+            .blocks
+            .iter()
+            .map(|b| (b.ingested + b.tx_count + 1) as u64)
+            .sum();
+        let total_tdg: u64 = report.blocks.iter().map(|b| b.tdg_units).sum();
+        assert!(
+            total_tdg <= total_delta * 8,
+            "cumulative tdg_units {total_tdg} vs cumulative delta {total_delta}"
+        );
+        for block in &report.blocks {
+            let delta = (block.ingested + block.tx_count + 1) as u64;
+            assert!(
+                block.pack_considered <= delta + block.deferred_by_cap + 64,
+                "block {}: pack_considered {} vs delta {}",
+                block.height,
+                block.pack_considered,
+                delta
+            );
+            assert!(block.tx_count == 0 || block.pack_considered >= block.tx_count as u64);
+        }
     }
 
     #[test]

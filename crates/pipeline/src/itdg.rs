@@ -3,7 +3,7 @@
 use blockconc_account::AccountTransaction;
 use blockconc_graph::UnionFind;
 use blockconc_types::Address;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 // The exact edge convention of `blockconc_graph::build_account_tdg` (declared
 // receiver, or deployment address for creations) — re-exported rather than
@@ -12,7 +12,17 @@ use std::collections::HashMap;
 // edges that only exist after execution.
 pub use blockconc_graph::effective_receiver;
 
-/// An address-level dependency graph maintained *online* as transactions arrive.
+/// A transaction's dependency edge in canonical (unordered) form.
+type EdgeKey = (Address, Address);
+
+fn edge_key(tx: &AccountTransaction) -> EdgeKey {
+    let a = tx.sender();
+    let b = effective_receiver(tx);
+    (a.min(b), a.max(b))
+}
+
+/// An address-level dependency graph maintained *online* as transactions arrive
+/// **and leave**.
 ///
 /// The block-at-a-time analyzer of `blockconc-graph` rebuilds its TDG per block; a
 /// mempool ingesting a stream cannot afford that, so this structure tracks connected
@@ -21,11 +31,38 @@ pub use blockconc_graph::effective_receiver;
 /// them, and maintains a per-component *transaction* count alongside the structure's
 /// address-level sets. Insertion is amortized near-constant time.
 ///
-/// Union–find cannot split components, so when transactions leave the pool (because a
-/// block packed them) the graph is rebuilt from the survivors with
-/// [`IncrementalTdg::rebuild_from`] — once per block over the *remaining* pool, not
-/// once per arrival. The randomized cross-check in this crate's tests asserts that
-/// streaming insertion and a from-scratch rebuild always agree.
+/// # Deletion
+///
+/// A union–find cannot split components, so earlier revisions rebuilt the whole
+/// graph whenever transactions left the pool — an O(pool) scan per block that
+/// dominated the pack phase at production pool sizes. [`IncrementalTdg::remove`]
+/// (and [`remove_batch`](IncrementalTdg::remove_batch)) now makes departures
+/// incremental:
+///
+/// * every distinct dependency edge carries a **reference count** of the live
+///   transactions inducing it; removing a transaction whose edge is still covered
+///   by another live transaction (the *zero-degree fast path*: fee replacements
+///   within a busy component, duplicate deposits to an exchange) is an exact O(1)
+///   decrement — the partition cannot have changed;
+/// * an edge whose last transaction leaves becomes a **tombstone**: the component's
+///   live counts drop immediately, but its membership stays (conservatively)
+///   merged until the component's garbage passes a constant fraction of its live
+///   edges, at which point a **component-local compaction** rebuilds just that
+///   component from its surviving edges (amortized O(1) per removal);
+/// * a component whose last transaction leaves is **freed exactly** — its
+///   addresses are removed from the union–find ([`UnionFind::remove`]) at once,
+///   and a generation compaction ([`UnionFind::compact`]) reclaims tombstoned
+///   slots whenever they outnumber the live ones.
+///
+/// Between compactions the partition is *conservative*: it may keep two address
+/// groups merged whose only bridges have left the pool, but it never separates
+/// addresses that conflict — the safe direction for every consumer (a packer that
+/// over-groups merely defers parallelism it could have claimed; it can never emit
+/// a conflicting schedule). [`IncrementalTdg::compact`] forces full tightness;
+/// the randomized cross-checks in this crate assert that a compacted graph agrees
+/// with a from-scratch [`IncrementalTdg::rebuild_from`] *exactly*, and that the
+/// conservative graph in between is always a coarsening with identical aggregate
+/// counts.
 ///
 /// # Examples
 ///
@@ -43,14 +80,32 @@ pub use blockconc_graph::effective_receiver;
 /// assert_eq!(tdg.tx_count(), 3);
 /// assert_eq!(tdg.largest_component_tx_count(), 2);
 /// assert_eq!(tdg.component_of(Address::from_low(1)), tdg.component_of(Address::from_low(2)));
+///
+/// // Departures are incremental now: packing {3, 300} frees it exactly.
+/// tdg.remove(&pay(3, 300, 0));
+/// assert_eq!(tdg.tx_count(), 2);
+/// assert_eq!(tdg.component_of(Address::from_low(3)), None);
 /// ```
 #[derive(Debug, Clone)]
 pub struct IncrementalTdg {
     uf: UnionFind,
     node_of: HashMap<Address, usize>,
-    /// Transactions per component, keyed by the component's union–find root.
+    /// Live transactions per component, keyed by the component's union–find root.
     tx_counts: HashMap<usize, usize>,
+    /// Live member addresses per component root (folded small-into-large on
+    /// union, so total fold work is O(n log n)).
+    members: HashMap<usize, Vec<Address>>,
+    /// Distinct edges recorded per component root. May contain stale entries for
+    /// edges whose reference count has dropped to zero; `dead_edges` counts them
+    /// and component-local compaction prunes them.
+    edges: HashMap<usize, Vec<EdgeKey>>,
+    /// Stale entries in `edges`, per component root.
+    dead_edges: HashMap<usize, usize>,
+    /// Live transactions per distinct dependency edge.
+    edge_refs: HashMap<EdgeKey, usize>,
     txs: usize,
+    ops: u64,
+    compactions: u64,
 }
 
 impl Default for IncrementalTdg {
@@ -66,12 +121,19 @@ impl IncrementalTdg {
             uf: UnionFind::new(0),
             node_of: HashMap::new(),
             tx_counts: HashMap::new(),
+            members: HashMap::new(),
+            edges: HashMap::new(),
+            dead_edges: HashMap::new(),
+            edge_refs: HashMap::new(),
             txs: 0,
+            ops: 0,
+            compactions: 0,
         }
     }
 
-    /// Builds a graph from scratch over the given transactions (used after a block
-    /// removes transactions from the pool, which union–find cannot express).
+    /// Builds a graph from scratch over the given transactions. Since the graph
+    /// became deletion-capable this is a test/cross-check constructor (and the
+    /// benchmarks' rebuild baseline) — no driver hot path needs it anymore.
     pub fn rebuild_from<'a>(txs: impl IntoIterator<Item = &'a AccountTransaction>) -> Self {
         let mut tdg = IncrementalTdg::new();
         for tx in txs {
@@ -87,6 +149,7 @@ impl IncrementalTdg {
             None => {
                 let index = self.uf.grow();
                 self.node_of.insert(address, index);
+                self.members.insert(index, vec![address]);
                 index
             }
         }
@@ -94,33 +157,258 @@ impl IncrementalTdg {
 
     /// Streams one transaction into the graph.
     pub fn insert(&mut self, tx: &AccountTransaction) {
-        let a = self.node(tx.sender());
-        let b = self.node(effective_receiver(tx));
-        let root_a = self.uf.find(a);
-        let root_b = self.uf.find(b);
-        if root_a == root_b {
-            *self.tx_counts.entry(root_a).or_insert(0) += 1;
-        } else {
-            let count_a = self.tx_counts.remove(&root_a).unwrap_or(0);
-            let count_b = self.tx_counts.remove(&root_b).unwrap_or(0);
-            self.uf.union(a, b);
-            let merged_root = self.uf.find(a);
-            self.tx_counts.insert(merged_root, count_a + count_b + 1);
+        let key = edge_key(tx);
+        let root = self.union_endpoints(key);
+        *self.tx_counts.entry(root).or_insert(0) += 1;
+        match self.edge_refs.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                *entry.get_mut() += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(1);
+                self.edges.entry(root).or_default().push(key);
+            }
         }
         self.txs += 1;
+        self.ops += 1;
     }
 
-    /// Number of transactions inserted.
+    /// Interns and unions the endpoints of `key`, folding per-root state across
+    /// any component merge; returns the surviving root.
+    fn union_endpoints(&mut self, key: EdgeKey) -> usize {
+        let a = self.node(key.0);
+        let b = self.node(key.1);
+        let (survivor, absorbed) = self.uf.merge_roots(a, b);
+        if let Some(absorbed) = absorbed {
+            self.fold_root(survivor, absorbed);
+        }
+        survivor
+    }
+
+    /// Folds the per-root state of `absorbed` into `survivor` after a union. The
+    /// union–find merges by size, so the absorbed side is never the larger one and
+    /// the total fold work stays O(n log n).
+    fn fold_root(&mut self, survivor: usize, absorbed: usize) {
+        if let Some(count) = self.tx_counts.remove(&absorbed) {
+            *self.tx_counts.entry(survivor).or_insert(0) += count;
+        }
+        if let Some(mut folded) = self.members.remove(&absorbed) {
+            self.ops += folded.len() as u64;
+            self.members
+                .entry(survivor)
+                .or_default()
+                .append(&mut folded);
+        }
+        if let Some(mut folded) = self.edges.remove(&absorbed) {
+            self.ops += folded.len() as u64;
+            self.edges.entry(survivor).or_default().append(&mut folded);
+        }
+        if let Some(dead) = self.dead_edges.remove(&absorbed) {
+            *self.dead_edges.entry(survivor).or_insert(0) += dead;
+        }
+    }
+
+    /// Removes one transaction previously [`insert`](IncrementalTdg::insert)ed.
+    ///
+    /// Cost is amortized O(1): an exact decrement when the transaction's edge is
+    /// still covered by another live transaction (the zero-degree fast path), an
+    /// exact component release when the last transaction of a component leaves,
+    /// and a tombstone otherwise — with component-local compaction amortized
+    /// against the removals that created the garbage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no live transaction with this sender/receiver edge is in the
+    /// graph (the caller removed something it never inserted).
+    pub fn remove(&mut self, tx: &AccountTransaction) {
+        let key = edge_key(tx);
+        let refs = self
+            .edge_refs
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("removing transaction absent from the TDG: {key:?}"));
+        let node = *self
+            .node_of
+            .get(&key.0)
+            .expect("edge endpoint is interned while its edge is live");
+        let root = self.uf.find(node);
+        let count = self
+            .tx_counts
+            .get_mut(&root)
+            .expect("live component has a transaction count");
+        *count -= 1;
+        let emptied = *count == 0;
+        self.txs -= 1;
+        self.ops += 1;
+        if *refs > 1 {
+            // Zero-degree fast path: another live transaction still induces this
+            // edge, so the partition is untouched — pure decrement, no garbage.
+            *refs -= 1;
+            return;
+        }
+        self.edge_refs.remove(&key);
+        if emptied {
+            self.free_component(root);
+            return;
+        }
+        let dead = self.dead_edges.entry(root).or_insert(0);
+        *dead += 1;
+        // A dead self-loop cannot split anything, but it still ages the component
+        // toward compaction — otherwise self-loop churn inside a live component
+        // would accumulate stale list entries without bound.
+        let total = self.edges.get(&root).map_or(0, |list| list.len());
+        let live = total - *dead;
+        if *dead * 4 >= live.max(1) {
+            self.compact_component(root);
+        }
+    }
+
+    /// Removes a batch of transactions (a packed block, a resync sweep).
+    pub fn remove_batch<'a>(&mut self, txs: impl IntoIterator<Item = &'a AccountTransaction>) {
+        for tx in txs {
+            self.remove(tx);
+        }
+    }
+
+    /// Releases a component whose last live transaction left: exact, O(members).
+    fn free_component(&mut self, root: usize) {
+        self.tx_counts.remove(&root);
+        self.dead_edges.remove(&root);
+        let members = self.members.remove(&root).unwrap_or_default();
+        let edges = self.edges.remove(&root).unwrap_or_default();
+        self.ops += (members.len() + edges.len()) as u64;
+        for address in members {
+            let node = self
+                .node_of
+                .remove(&address)
+                .expect("component member is interned");
+            self.uf.remove(node);
+        }
+        self.maybe_compact_uf();
+    }
+
+    /// Component-local (epoch) compaction: rebuilds one component from its live
+    /// edges, un-merging whatever its dead edges were bridging. Cost is
+    /// O(members + edges) of that component only, amortized against the removals
+    /// that tombstoned a constant fraction of its edges.
+    fn compact_component(&mut self, root: usize) {
+        let members = self.members.remove(&root).unwrap_or_default();
+        let edge_list = self.edges.remove(&root).unwrap_or_default();
+        self.dead_edges.remove(&root);
+        self.tx_counts.remove(&root);
+        self.ops += (members.len() + edge_list.len()) as u64;
+        for address in &members {
+            let node = self
+                .node_of
+                .remove(address)
+                .expect("component member is interned");
+            self.uf.remove(node);
+        }
+        let mut seen: HashSet<EdgeKey> = HashSet::new();
+        for key in edge_list {
+            if !seen.insert(key) {
+                continue;
+            }
+            let Some(&refs) = self.edge_refs.get(&key) else {
+                continue; // tombstoned edge: drop it
+            };
+            // Relink: the edge keeps its reference count, it only re-joins the
+            // rebuilt (possibly split) component structure.
+            let root = self.union_endpoints(key);
+            *self.tx_counts.entry(root).or_insert(0) += refs;
+            self.edges.entry(root).or_default().push(key);
+        }
+        self.compactions += 1;
+        self.maybe_compact_uf();
+    }
+
+    /// Generation compaction of the underlying union–find: once tombstoned slots
+    /// outnumber live ones, rebuild the dense arrays and re-key every cached node
+    /// index and root-keyed map.
+    fn maybe_compact_uf(&mut self) {
+        if self.uf.tombstone_count() <= self.uf.live_len().max(64) {
+            return;
+        }
+        let remap = self.uf.compact();
+        self.ops += remap.len() as u64;
+        for node in self.node_of.values_mut() {
+            *node = remap[*node].expect("interned nodes are live");
+        }
+        // Every live component has at least one member; re-derive its new root
+        // from any of them and re-key all root-keyed state consistently.
+        let old_members = std::mem::take(&mut self.members);
+        let mut old_edges = std::mem::take(&mut self.edges);
+        let mut old_dead = std::mem::take(&mut self.dead_edges);
+        let mut old_counts = std::mem::take(&mut self.tx_counts);
+        for (old_root, member_list) in old_members {
+            let new_root = self.uf.find(self.node_of[&member_list[0]]);
+            if let Some(count) = old_counts.remove(&old_root) {
+                self.tx_counts.insert(new_root, count);
+            }
+            if let Some(edges) = old_edges.remove(&old_root) {
+                self.edges.insert(new_root, edges);
+            }
+            if let Some(dead) = old_dead.remove(&old_root) {
+                self.dead_edges.insert(new_root, dead);
+            }
+            self.members.insert(new_root, member_list);
+        }
+    }
+
+    /// Forces full tightness: compacts every component carrying dead edges, so the
+    /// partition matches a from-scratch rebuild exactly. The drivers never need
+    /// this — it exists for cross-checks and for consumers that want an exact
+    /// component distribution at a chosen instant.
+    pub fn compact(&mut self) {
+        // Compacting one component may renumber roots (via the union–find's
+        // generation compaction), so re-scan for a dirty root after every pass
+        // instead of snapshotting the list up front.
+        while let Some(root) = self
+            .dead_edges
+            .iter()
+            .find(|&(_, &dead)| dead > 0)
+            .map(|(&root, _)| root)
+        {
+            self.compact_component(root);
+        }
+    }
+
+    /// Number of live transactions in the graph.
     pub fn tx_count(&self) -> usize {
         self.txs
     }
 
-    /// Number of distinct addresses seen.
+    /// Number of distinct addresses currently interned. Conservative between
+    /// compactions: an address whose every edge died stays interned until its
+    /// component compacts or empties.
     pub fn address_count(&self) -> usize {
         self.node_of.len()
     }
 
+    /// Number of distinct live dependency edges.
+    pub fn live_edge_count(&self) -> usize {
+        self.edge_refs.len()
+    }
+
+    /// Tombstoned (dead but not yet compacted) edge entries across all components.
+    pub fn dead_edge_count(&self) -> usize {
+        self.dead_edges.values().sum()
+    }
+
+    /// Cumulative maintenance work units: one per insert/remove plus one per
+    /// element touched by folds and compactions. The drivers report the per-block
+    /// delta of this counter, which is how the O(Δ)-per-block claim is measured.
+    pub fn op_units(&self) -> u64 {
+        self.ops
+    }
+
+    /// Component-local compactions run so far (the zero-degree fast path and
+    /// exact component releases never count here).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
     /// The component id (union–find root) of an address, if it has been seen.
+    /// Ids are stable between mutations but not across them (compaction renumbers).
     pub fn component_of(&mut self, address: Address) -> Option<usize> {
         let index = *self.node_of.get(&address)?;
         Some(self.uf.find(index))
@@ -150,6 +438,33 @@ impl IncrementalTdg {
     }
 }
 
+/// Dependency-component transaction counts of one packed block, computed with a
+/// throwaway block-local union–find over exactly the included transactions —
+/// O(block), independent of any pool-level graph. This is what the packers use to
+/// predict a block's group structure (the pool-level [`IncrementalTdg`] covers the
+/// whole pool and, between compactions, may be coarser than the block's own graph).
+pub fn block_group_sizes<'a>(txs: impl IntoIterator<Item = &'a AccountTransaction>) -> Vec<u64> {
+    let mut uf = UnionFind::new(0);
+    let mut node_of: HashMap<Address, usize> = HashMap::new();
+    let mut counts: HashMap<usize, u64> = HashMap::new();
+    for tx in txs {
+        let mut node = |address: Address, uf: &mut UnionFind| match node_of.get(&address) {
+            Some(&index) => index,
+            None => {
+                let index = uf.grow();
+                node_of.insert(address, index);
+                index
+            }
+        };
+        let a = node(tx.sender(), &mut uf);
+        let b = node(effective_receiver(tx), &mut uf);
+        let (survivor, absorbed) = uf.merge_roots(a, b);
+        let folded = absorbed.and_then(|r| counts.remove(&r)).unwrap_or(0);
+        *counts.entry(survivor).or_insert(0) += folded + 1;
+    }
+    counts.into_values().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +477,25 @@ mod tests {
             Amount::from_sats(1),
             nonce,
         )
+    }
+
+    /// Canonical partition fingerprint over a bounded address range.
+    fn groups(tdg: &mut IncrementalTdg, addresses: u64) -> Vec<Vec<u64>> {
+        let mut map: HashMap<usize, Vec<u64>> = HashMap::new();
+        for addr in 0..addresses {
+            if let Some(root) = tdg.component_of(Address::from_low(addr)) {
+                map.entry(root).or_default().push(addr);
+            }
+        }
+        let mut result: Vec<Vec<u64>> = map
+            .into_values()
+            .map(|mut group| {
+                group.sort_unstable();
+                group
+            })
+            .collect();
+        result.sort();
+        result
     }
 
     #[test]
@@ -184,6 +518,9 @@ mod tests {
         tdg.insert(&pay(5, 5, 0));
         assert_eq!(tdg.address_count(), 1);
         assert_eq!(tdg.component_tx_count(Address::from_low(5)), 1);
+        tdg.remove(&pay(5, 5, 0));
+        assert_eq!(tdg.address_count(), 0);
+        assert_eq!(tdg.tx_count(), 0);
     }
 
     #[test]
@@ -200,50 +537,206 @@ mod tests {
             tdg.component_of(deploy),
             tdg.component_of(Address::from_low(1))
         );
+        tdg.remove(&tx);
+        assert_eq!(tdg.component_of(deploy), None);
     }
 
-    /// The satellite invariant: streaming insertion agrees with a from-scratch rebuild
-    /// after every batch, on randomized workloads.
+    #[test]
+    fn removing_a_covered_edge_takes_the_zero_degree_fast_path() {
+        // Two deposits share the edge (1, 100): removing one is a pure decrement —
+        // no dead edges, no compaction (the regression test for the replacement
+        // fast path: a superseded transaction whose conflict edge is still covered
+        // must never trigger garbage collection, let alone a rebuild).
+        let mut tdg = IncrementalTdg::new();
+        tdg.insert(&pay(1, 100, 0));
+        tdg.insert(&pay(1, 100, 1));
+        tdg.insert(&pay(2, 100, 0));
+        tdg.remove(&pay(1, 100, 0));
+        assert_eq!(tdg.tx_count(), 2);
+        assert_eq!(tdg.dead_edge_count(), 0);
+        assert_eq!(tdg.compactions(), 0);
+        assert_eq!(tdg.component_tx_count(Address::from_low(1)), 2);
+        // The partition still matches a rebuild exactly.
+        let mut rebuilt = IncrementalTdg::rebuild_from([&pay(1, 100, 1), &pay(2, 100, 0)]);
+        assert_eq!(groups(&mut tdg, 200), groups(&mut rebuilt, 200));
+    }
+
+    #[test]
+    fn emptying_a_component_frees_its_addresses_exactly() {
+        let mut tdg = IncrementalTdg::new();
+        tdg.insert(&pay(1, 100, 0));
+        tdg.insert(&pay(3, 300, 0));
+        tdg.remove(&pay(1, 100, 0));
+        assert_eq!(tdg.address_count(), 2);
+        assert_eq!(tdg.component_of(Address::from_low(1)), None);
+        assert_eq!(tdg.component_of(Address::from_low(100)), None);
+        assert_eq!(tdg.component_tx_count(Address::from_low(3)), 1);
+        assert_eq!(tdg.dead_edge_count(), 0);
+    }
+
+    #[test]
+    fn dead_bridges_unsplit_after_compaction() {
+        // 1—100 and 2—200 bridged by 100—200: removing the bridge leaves the
+        // component conservatively merged until compaction splits it.
+        let mut tdg = IncrementalTdg::new();
+        tdg.insert(&pay(1, 100, 0));
+        tdg.insert(&pay(2, 200, 0));
+        tdg.insert(&pay(100, 200, 0));
+        assert_eq!(tdg.largest_component_tx_count(), 3);
+        tdg.remove(&pay(100, 200, 0));
+        // Aggregates are exact immediately even if membership lags.
+        assert_eq!(tdg.tx_count(), 2);
+        tdg.compact();
+        assert_eq!(tdg.dead_edge_count(), 0);
+        let mut rebuilt = IncrementalTdg::rebuild_from([&pay(1, 100, 0), &pay(2, 200, 0)]);
+        assert_eq!(groups(&mut tdg, 300), groups(&mut rebuilt, 300));
+        assert_eq!(tdg.largest_component_tx_count(), 1);
+        assert_eq!(tdg.address_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent from the TDG")]
+    fn removing_an_uninserted_transaction_panics() {
+        let mut tdg = IncrementalTdg::new();
+        tdg.insert(&pay(1, 100, 0));
+        tdg.remove(&pay(2, 200, 0));
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded_by_the_live_set() {
+        // Insert/remove waves over a shared hot spot: memory-ish proxies (address
+        // count, live edges) must track the live set, not the history.
+        let mut tdg = IncrementalTdg::new();
+        for wave in 0..50u64 {
+            for i in 0..40u64 {
+                tdg.insert(&pay(1_000 + wave * 40 + i, 7, 0));
+            }
+            for i in 0..40u64 {
+                tdg.remove(&pay(1_000 + wave * 40 + i, 7, 0));
+            }
+        }
+        assert_eq!(tdg.tx_count(), 0);
+        assert_eq!(tdg.address_count(), 0);
+        assert_eq!(tdg.live_edge_count(), 0);
+        assert_eq!(tdg.dead_edge_count(), 0);
+    }
+
+    #[test]
+    fn self_loop_churn_in_a_live_component_stays_bounded() {
+        // A dead self-loop cannot split the component, but it must still age it
+        // toward compaction — otherwise churn like this would grow the edge list
+        // without bound while the live set stays O(1).
+        let mut tdg = IncrementalTdg::new();
+        tdg.insert(&pay(5, 6, 0)); // keeps the component alive throughout
+        for n in 0..1_000u64 {
+            tdg.insert(&pay(5, 5, n));
+            tdg.remove(&pay(5, 5, n));
+        }
+        assert_eq!(tdg.tx_count(), 1);
+        assert_eq!(tdg.live_edge_count(), 1);
+        assert!(
+            tdg.dead_edge_count() <= 4,
+            "stale self-loop entries must be compacted away, found {}",
+            tdg.dead_edge_count()
+        );
+        assert_eq!(tdg.component_tx_count(Address::from_low(5)), 1);
+    }
+
+    #[test]
+    fn block_group_sizes_match_a_block_local_rebuild() {
+        let txs = [pay(1, 100, 0), pay(2, 100, 0), pay(3, 300, 0), pay(4, 4, 0)];
+        let mut sizes = block_group_sizes(txs.iter());
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 2]);
+        let rebuilt = IncrementalTdg::rebuild_from(txs.iter());
+        let mut expected: Vec<u64> = rebuilt
+            .component_tx_counts()
+            .into_iter()
+            .map(|c| c as u64)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(sizes, expected);
+    }
+
+    /// The tentpole invariant: streaming insertion *and deletion* agree with a
+    /// from-scratch rebuild after every batch, on randomized workloads — exactly
+    /// once compacted, conservatively (a coarsening with identical aggregate
+    /// counts) in between.
     #[test]
     fn streaming_matches_rebuild_after_every_batch() {
         for seed in 0..5u64 {
             let mut rng = DeterministicRng::seed(seed);
             let mut streaming = IncrementalTdg::new();
-            let mut all: Vec<AccountTransaction> = Vec::new();
-            for _batch in 0..10 {
+            let mut live: Vec<AccountTransaction> = Vec::new();
+            for _batch in 0..14 {
+                // Insert a burst (a small address space forces frequent merges).
                 for _ in 0..rng.range(1, 20) {
-                    // A small address space forces frequent component merges.
                     let tx = pay(rng.range(1, 25), rng.range(1, 25), rng.next_u64());
                     streaming.insert(&tx);
-                    all.push(tx);
+                    live.push(tx);
                 }
-                let rebuilt = IncrementalTdg::rebuild_from(all.iter());
-                assert_eq!(streaming.tx_count(), rebuilt.tx_count());
-                assert_eq!(streaming.address_count(), rebuilt.address_count());
+                // Interleave departures: packed blocks / evictions remove random
+                // entries, replacements remove-then-insert with a new receiver.
+                for _ in 0..rng.range(0, 10) {
+                    if live.is_empty() {
+                        break;
+                    }
+                    let index = (rng.next_u64() % live.len() as u64) as usize;
+                    let victim = live.swap_remove(index);
+                    streaming.remove(&victim);
+                    if rng.range(0, 2) == 0 {
+                        let rebid =
+                            pay(victim.sender().low_u64(), rng.range(1, 25), victim.nonce());
+                        streaming.insert(&rebid);
+                        live.push(rebid);
+                    }
+                }
+
+                let rebuilt = IncrementalTdg::rebuild_from(live.iter());
+                // Aggregate counts are exact at every instant.
+                assert_eq!(streaming.tx_count(), rebuilt.tx_count(), "seed {seed}");
                 let mut streaming_sizes = streaming.component_tx_counts();
                 let mut rebuilt_sizes = rebuilt.component_tx_counts();
                 streaming_sizes.sort_unstable();
                 rebuilt_sizes.sort_unstable();
-                assert_eq!(streaming_sizes, rebuilt_sizes, "seed {seed}");
-                // Component membership agrees address-by-address: same partition.
-                let mut streaming_map: HashMap<usize, Vec<u64>> = HashMap::new();
-                let mut rebuilt_map: HashMap<usize, Vec<u64>> = HashMap::new();
-                let mut s = streaming.clone();
-                let mut r = rebuilt.clone();
-                for addr in 1..25u64 {
-                    let address = Address::from_low(addr);
-                    if let Some(root) = s.component_of(address) {
-                        streaming_map.entry(root).or_default().push(addr);
-                    }
-                    if let Some(root) = r.component_of(address) {
-                        rebuilt_map.entry(root).or_default().push(addr);
-                    }
+                assert_eq!(
+                    streaming_sizes.iter().sum::<usize>(),
+                    rebuilt_sizes.iter().sum::<usize>(),
+                    "seed {seed}"
+                );
+
+                // The live partition is conservative: every rebuilt component maps
+                // into exactly one streaming component.
+                let mut conservative = streaming.clone();
+                let mut exact = rebuilt.clone();
+                let rebuilt_groups = groups(&mut exact, 25);
+                for group in &rebuilt_groups {
+                    let roots: HashSet<_> = group
+                        .iter()
+                        .map(|&addr| {
+                            conservative
+                                .component_of(Address::from_low(addr))
+                                .expect("live address is interned")
+                        })
+                        .collect();
+                    assert_eq!(roots.len(), 1, "seed {seed}: split a live component");
                 }
-                let mut streaming_groups: Vec<Vec<u64>> = streaming_map.into_values().collect();
-                let mut rebuilt_groups: Vec<Vec<u64>> = rebuilt_map.into_values().collect();
-                streaming_groups.sort();
-                rebuilt_groups.sort();
-                assert_eq!(streaming_groups, rebuilt_groups, "seed {seed}");
+
+                // Compaction restores exact agreement: same partition, same
+                // per-component counts, same address set.
+                let mut compacted = streaming.clone();
+                compacted.compact();
+                assert_eq!(compacted.address_count(), rebuilt.address_count());
+                assert_eq!(compacted.dead_edge_count(), 0);
+                let mut compacted_sizes = compacted.component_tx_counts();
+                compacted_sizes.sort_unstable();
+                assert_eq!(compacted_sizes, rebuilt_sizes, "seed {seed}");
+                let mut exact = rebuilt.clone();
+                assert_eq!(
+                    groups(&mut compacted, 25),
+                    groups(&mut exact, 25),
+                    "seed {seed}: compacted partition diverged"
+                );
             }
         }
     }

@@ -12,12 +12,19 @@
 //! * [`Mempool`] — a fee-prioritized, nonce-ordered, sender-indexed transaction pool
 //!   with production-style admission rules: same-nonce replacement requires a 10%
 //!   fee bump, and capacity eviction removes only the cheapest *chain tail*, so
-//!   per-sender nonce chains never acquire gaps.
+//!   per-sender nonce chains never acquire gaps. The pool *maintains* its packing
+//!   and eviction views instead of rebuilding them: a fee-ordered ready-chain-head
+//!   index ([`Mempool::ready_heads`]), a cheapest-tail eviction index, and a gas
+//!   aggregate are updated in O(log pool) on every insert/remove/replace/
+//!   nonce-advance and consumed by reference — the packers never rescan the pool.
 //! * [`IncrementalTdg`] — the address-level dependency graph maintained *online* as
-//!   transactions arrive, built on the streaming [`UnionFind::grow`] primitive of
-//!   `blockconc-graph` with per-component transaction counts; insertion is amortized
-//!   near-constant time, and a from-scratch rebuild is only needed when a packed
-//!   block removes transactions (once per block, not per arrival).
+//!   transactions arrive **and leave**, built on the deletion-capable union–find of
+//!   `blockconc-graph` ([`UnionFind::grow`], [`UnionFind::remove`], generation
+//!   [`UnionFind::compact`]) with per-component transaction counts. Insertions are
+//!   amortized near-constant time; removals (packed blocks, evictions,
+//!   replacements) are amortized O(1) via edge reference counts, exact component
+//!   release, and component-local epoch compaction — no call site rebuilds the
+//!   graph on the hot path, so every per-block cost is O(Δ), not O(pool).
 //! * [`BlockPacker`] — the packing strategy trait, with two implementations:
 //!   [`FeeGreedyPacker`] reproduces today's miners (highest fee bid first under the
 //!   gas limit), while [`ConcurrencyAwarePacker`] additionally caps how many
@@ -36,6 +43,8 @@
 //! preserves each sender's nonce order — enforced by the packer property tests.
 //!
 //! [`UnionFind::grow`]: blockconc_graph::UnionFind::grow
+//! [`UnionFind::remove`]: blockconc_graph::UnionFind::remove
+//! [`UnionFind::compact`]: blockconc_graph::UnionFind::compact
 //! [`ArrivalStream`]: blockconc_chainsim::ArrivalStream
 //! [`ExecutionEngine`]: blockconc_execution::ExecutionEngine
 //!
@@ -85,10 +94,13 @@ mod pool;
 mod report;
 
 pub use driver::{PipelineConfig, PipelineDriver};
-pub use itdg::{effective_receiver, IncrementalTdg};
+pub use itdg::{block_group_sizes, effective_receiver, IncrementalTdg};
 pub use packer::{
     advance_deferral_counters, aged_senders, choose_component_cap, pack_capped, slacked_cap,
     BlockPacker, BlockTemplate, CapDeferrals, ConcurrencyAwarePacker, FeeGreedyPacker, PackedBlock,
 };
-pub use pool::{gas_estimate, AdmitOutcome, Mempool, MempoolStats, PooledTx, ReadyChain};
+pub use pool::{
+    gas_estimate, AdmitEffects, AdmitOutcome, Mempool, MempoolStats, PooledTx, ReadyChain,
+    ReadyHeadKey,
+};
 pub use report::{BlockRecord, PipelineRunReport};

@@ -1,11 +1,11 @@
 //! Block packers: fee-greedy (what miners do today) and concurrency-aware (what the
 //! paper's speed-up model says they should do).
 
-use crate::{gas_estimate, IncrementalTdg, Mempool, PipelineConfig, PooledTx, ReadyChain};
+use crate::{block_group_sizes, gas_estimate, IncrementalTdg, Mempool, PipelineConfig, PooledTx};
 use blockconc_account::{AccountBlock, BlockBuilder, WorldState};
 use blockconc_model::lpt_makespan;
 use blockconc_types::{Address, Gas};
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// The fixed header fields of a block under construction, handed to a packer.
@@ -41,6 +41,11 @@ pub struct PackedBlock {
     /// sender's chain had been deferred for `max_deferral_blocks` consecutive blocks
     /// (the anti-starvation aging rule; 0 when aging is disabled or never fired).
     pub aged_included: u64,
+    /// Candidates the fee-ordered packing loop examined for this block (included +
+    /// gas-skipped + policy-rejected) — the pack phase's O(Δ) cost in work units,
+    /// independent of the pool size. Reported per block as
+    /// [`BlockRecord::pack_considered`](crate::BlockRecord::pack_considered).
+    pub considered: u64,
 }
 
 impl PackedBlock {
@@ -93,35 +98,17 @@ pub trait BlockPacker {
     ) -> PackedBlock;
 }
 
-/// A candidate chain head in the fee priority queue: highest fee first, then oldest
-/// admission (lowest sequence number) for a deterministic total order.
-struct Head {
-    fee_per_gas: u64,
-    seq: u64,
-    chain: usize,
-    position: usize,
-}
+/// A chain candidate in packing priority order: `(fee desc, seq asc, sender)` —
+/// the same total order as the maintained [`Mempool::ready_heads`] index, so the
+/// lazy merge below is a strict max-merge of two sorted sources.
+type Candidate = (u64, Reverse<u64>, Address);
 
-impl PartialEq for Head {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-
-impl Eq for Head {}
-
-impl PartialOrd for Head {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Head {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.fee_per_gas
-            .cmp(&other.fee_per_gas)
-            .then(other.seq.cmp(&self.seq))
-    }
+/// A successor candidate spilled into the local heap after its predecessor nonce
+/// was included; carries the nonce so the entry can be fetched in O(log).
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct SpillHead {
+    key: Candidate,
+    nonce: u64,
 }
 
 /// What the shared fee-ordered packing loop produced.
@@ -129,64 +116,79 @@ struct PackOutcome {
     included: Vec<PooledTx>,
     gas_used: Gas,
     total_fee: u64,
-    /// `(chain index, position)` of every candidate the `admit` policy rejected
+    /// `(sender, head nonce)` of every candidate the `admit` policy rejected
     /// (gas-limit skips are *not* recorded — only policy decisions, so callers can
     /// attribute deferral to the component cap).
-    policy_rejected: Vec<(usize, usize)>,
+    policy_rejected: Vec<(Address, u64)>,
+    /// Candidates examined (included + gas-skipped + policy-rejected).
+    considered: u64,
 }
 
-/// Shared packing loop: pops candidates in fee order and appends every transaction
-/// `admit` accepts, maintaining nonce order by only advancing within a sender's chain
-/// after its head was included. When a sender's head is rejected, the whole chain is
-/// deferred to a later block (its later nonces cannot jump the queue).
+/// Shared packing loop over the pool's maintained fee-ordered head index: consumes
+/// candidates in fee order and appends every transaction `admit` accepts,
+/// maintaining nonce order by only advancing within a sender's chain after its head
+/// was included. When a sender's head is rejected, the whole chain is deferred to a
+/// later block (its later nonces cannot jump the queue).
+///
+/// Cost is O((block + rejections) · log pool): the index iterator is lazily merged
+/// with a spill heap of in-chain successors, so chains the block never reaches are
+/// never touched — no per-pack pool scan, no per-pack allocation of a sorted view.
 fn pack_by_fee(
-    chains: &[ReadyChain<'_>],
+    pool: &Mempool,
     gas_limit: Gas,
     mut admit: impl FnMut(&PooledTx, Gas) -> bool,
 ) -> PackOutcome {
-    let mut heap: BinaryHeap<Head> = chains
-        .iter()
-        .enumerate()
-        .map(|(chain, c)| Head {
-            fee_per_gas: c.txs[0].fee_per_gas,
-            seq: c.txs[0].seq,
-            chain,
-            position: 0,
-        })
-        .collect();
+    let mut index = pool.ready_heads().iter().rev().peekable();
+    let mut spill: BinaryHeap<SpillHead> = BinaryHeap::new();
 
     let mut included: Vec<PooledTx> = Vec::new();
     let mut gas_used = Gas::ZERO;
     let mut total_fee = 0u64;
-    let mut policy_rejected: Vec<(usize, usize)> = Vec::new();
+    let mut policy_rejected: Vec<(Address, u64)> = Vec::new();
+    let mut considered = 0u64;
 
-    while let Some(head) = heap.pop() {
+    loop {
         // No estimate is below the intrinsic transfer cost, so once that cannot
         // fit, nothing can: stop scanning candidates.
         if gas_used.saturating_add(Gas::BASE_TX) > gas_limit {
             break;
         }
-        let pooled = chains[head.chain].txs[head.position];
+        // Lazy max-merge of the (sorted) head index and the successor spill heap.
+        let take_spill = match (index.peek(), spill.peek()) {
+            (None, None) => break,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(&&head), Some(successor)) => successor.key > head,
+        };
+        let (sender, nonce, pooled) = if take_spill {
+            let successor = spill.pop().expect("peeked");
+            let (_, _, sender) = successor.key;
+            let pooled = pool
+                .get(sender, successor.nonce)
+                .expect("spilled successor is pooled");
+            (sender, successor.nonce, pooled)
+        } else {
+            let &(_, _, sender) = index.next().expect("peeked");
+            let pooled = pool.head_of(sender).expect("indexed head is pooled");
+            (sender, pooled.tx.nonce(), pooled)
+        };
+        considered += 1;
         let gas = gas_estimate(&pooled.tx);
         if gas_used.saturating_add(gas) > gas_limit {
             // Defer this sender's remaining chain to a later block.
             continue;
         }
         if !admit(pooled, gas) {
-            policy_rejected.push((head.chain, head.position));
+            policy_rejected.push((sender, nonce));
             continue;
         }
         gas_used += gas;
         total_fee += pooled.fee_per_gas;
         included.push(pooled.clone());
-        let next = head.position + 1;
-        if next < chains[head.chain].txs.len() {
-            let successor = chains[head.chain].txs[next];
-            heap.push(Head {
-                fee_per_gas: successor.fee_per_gas,
-                seq: successor.seq,
-                chain: head.chain,
-                position: next,
+        if let Some(successor) = pool.get(sender, nonce + 1) {
+            spill.push(SpillHead {
+                key: (successor.fee_per_gas, Reverse(successor.seq), sender),
+                nonce: nonce + 1,
             });
         }
     }
@@ -195,17 +197,8 @@ fn pack_by_fee(
         gas_used,
         total_fee,
         policy_rejected,
+        considered,
     }
-}
-
-/// Computes the in-block predicted component sizes of a packed transaction list.
-fn predicted_groups(txs: &[PooledTx]) -> Vec<u64> {
-    let block_tdg = IncrementalTdg::rebuild_from(txs.iter().map(|p| &p.tx));
-    block_tdg
-        .component_tx_counts()
-        .into_iter()
-        .map(|c| c as u64)
-        .collect()
 }
 
 fn build_packed(
@@ -215,8 +208,11 @@ fn build_packed(
     template: &BlockTemplate,
     deferred_by_cap: u64,
     aged_included: u64,
+    considered: u64,
 ) -> PackedBlock {
-    let predicted_group_sizes = predicted_groups(&included);
+    // Block-local grouping over exactly the included transactions — O(block),
+    // independent of the pool-level graph and its conservative coarsening.
+    let predicted_group_sizes = block_group_sizes(included.iter().map(|p| &p.tx));
     let block = BlockBuilder::new(template.height, template.timestamp, template.beneficiary)
         .gas_limit(template.gas_limit)
         .transactions(included.into_iter().map(|p| p.tx))
@@ -228,6 +224,7 @@ fn build_packed(
         total_fee_per_gas: total_fee,
         deferred_by_cap,
         aged_included,
+        considered,
     }
 }
 
@@ -253,11 +250,10 @@ impl BlockPacker for FeeGreedyPacker {
         &mut self,
         pool: &Mempool,
         _tdg: &mut IncrementalTdg,
-        state: &WorldState,
+        _state: &WorldState,
         template: &BlockTemplate,
     ) -> PackedBlock {
-        let chains = pool.ready_chains(|sender| state.nonce(sender));
-        let outcome = pack_by_fee(&chains, template.gas_limit, |_, _| true);
+        let outcome = pack_by_fee(pool, template.gas_limit, |_, _| true);
         build_packed(
             outcome.included,
             outcome.gas_used,
@@ -265,6 +261,7 @@ impl BlockPacker for FeeGreedyPacker {
             template,
             0,
             0,
+            outcome.considered,
         )
     }
 }
@@ -438,30 +435,20 @@ impl BlockPacker for ConcurrencyAwarePacker {
         state: &WorldState,
         template: &BlockTemplate,
     ) -> PackedBlock {
-        // Ready transaction counts per pool-level dependency component, computed on
-        // the same chain list the packing loop consumes (one pool scan per block).
-        let chains = pool.ready_chains(|sender| state.nonce(sender));
-        let mut ready_by_component: HashMap<usize, usize> = HashMap::new();
-        for chain in &chains {
-            let root = tdg
-                .component_of(chain.sender)
-                .expect("pooled transaction was inserted into the TDG");
-            *ready_by_component.entry(root).or_insert(0) += chain.txs.len();
-        }
-        let sizes: Vec<usize> = ready_by_component.values().copied().collect();
-        // Block capacity in transactions under the *actual* gas profile of the ready
-        // set (an all-transfer assumption would overestimate it several-fold for
-        // call/create-heavy pools and skew the cap search).
-        let ready_txs: usize = chains.iter().map(|c| c.txs.len()).sum();
-        let ready_gas: u64 = chains
-            .iter()
-            .flat_map(|c| c.txs.iter())
-            .map(|p| gas_estimate(&p.tx).value())
-            .sum();
+        // Ready transaction counts per pool-level dependency component, straight
+        // from the maintained graph (every pooled transaction is ready under the
+        // pool's gap-free-chain invariant — see `Mempool::ready_heads`), so the cap
+        // search costs O(components), not an O(pool) chain scan.
+        let sizes = tdg.component_tx_counts();
+        // Block capacity in transactions under the *actual* gas profile of the
+        // pool (an all-transfer assumption would overestimate it several-fold for
+        // call/create-heavy pools and skew the cap search); both aggregates are
+        // maintained, O(1) reads.
+        let ready_txs = pool.len();
         let mean_gas = if ready_txs == 0 {
             Gas::BASE_TX.value()
         } else {
-            (ready_gas / ready_txs as u64).max(1)
+            (pool.ready_gas().value() / ready_txs as u64).max(1)
         };
         let capacity = (template.gas_limit.value() / mean_gas).max(1) as usize;
         let cap = self.choose_cap(&sizes, capacity);
@@ -528,16 +515,14 @@ pub struct CapDeferrals {
 pub fn pack_capped(
     pool: &Mempool,
     tdg: &mut IncrementalTdg,
-    state: &WorldState,
+    _state: &WorldState,
     template: &BlockTemplate,
     cap: usize,
     aged: &HashSet<Address>,
 ) -> (PackedBlock, CapDeferrals) {
-    let chains = pool.ready_chains(|sender| state.nonce(sender));
-
     let mut component_load: HashMap<usize, usize> = HashMap::new();
     let mut aged_included = 0u64;
-    let outcome = pack_by_fee(&chains, template.gas_limit, |pooled, _| {
+    let outcome = pack_by_fee(pool, template.gas_limit, |pooled, _| {
         // The sender is always part of the transaction's component, so its root
         // identifies the component in the pool-level graph.
         let root = tdg
@@ -555,11 +540,12 @@ pub fn pack_capped(
     });
 
     // Every ready transaction below a policy rejection is deferred with it (the
-    // chain cannot jump its own rejected head).
+    // chain cannot jump its own rejected head); the remaining chain length is
+    // index arithmetic, not a chain walk.
     let deferred_by_cap: u64 = outcome
         .policy_rejected
         .iter()
-        .map(|&(chain, position)| (chains[chain].txs.len() - position) as u64)
+        .map(|&(sender, nonce)| pool.chain_len_from(sender, nonce) as u64)
         .sum();
 
     let included_senders: HashSet<Address> =
@@ -567,7 +553,7 @@ pub fn pack_capped(
     let rejected_senders: HashSet<Address> = outcome
         .policy_rejected
         .iter()
-        .map(|&(chain, _)| chains[chain].sender)
+        .map(|&(sender, _)| sender)
         .collect();
     let starved_senders: HashSet<Address> = rejected_senders
         .difference(&included_senders)
@@ -581,6 +567,7 @@ pub fn pack_capped(
         template,
         deferred_by_cap,
         aged_included,
+        outcome.considered,
     );
     (
         packed,

@@ -3,7 +3,8 @@
 use blockconc_account::{AccountTransaction, TxPayload};
 use blockconc_types::{Address, Gas};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Estimated gas consumption of a transaction before execution, used as the packing
 /// weight. Real builders use the declared gas *limit*; the convenience constructors in
@@ -99,6 +100,51 @@ pub struct ReadyChain<'a> {
     pub txs: Vec<&'a PooledTx>,
 }
 
+/// One entry of the maintained fee-ordered ready-chain-head index:
+/// `(fee_per_gas, Reverse(seq), sender)`. Iterating the index *backwards* yields
+/// chain heads in packing priority order — highest fee first, oldest admission
+/// (lowest `seq`) on ties — matching the packers' candidate ordering exactly.
+pub type ReadyHeadKey = (u64, Reverse<u64>, Address);
+
+/// One entry of the maintained eviction index over chain *tails*:
+/// `(fee_per_gas, Reverse(seq), sender, nonce)`. The first entry in ascending
+/// order is the cheapest evictable tail (lowest fee, newest admission on ties).
+type TailKey = (u64, Reverse<u64>, Address, u64);
+
+/// The index keys currently registered for one sender (what must be deleted from
+/// the ordered sets before re-inserting fresh keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SenderKeys {
+    /// Head entry `(fee, seq)` — the nonce is implicit (the queue's first).
+    head: (u64, u64),
+    /// Tail entry `(fee, seq, nonce)`.
+    tail: (u64, u64, u64),
+}
+
+/// Everything one [`Mempool::offer`] did, beyond the outcome: the entries the
+/// admission displaced, so callers maintaining pool-adjacent structures (the
+/// incremental TDG, shard routing counts) can apply the same delta without
+/// rescanning the pool.
+#[derive(Debug)]
+pub struct AdmitEffects {
+    /// What happened to the offered transaction.
+    pub outcome: AdmitOutcome,
+    /// The same-slot entry a [`AdmitOutcome::Replaced`] admission superseded.
+    pub replaced: Option<PooledTx>,
+    /// The chain tail a capacity-bound admission evicted.
+    pub evicted: Option<PooledTx>,
+}
+
+impl AdmitEffects {
+    fn plain(outcome: AdmitOutcome) -> Self {
+        AdmitEffects {
+            outcome,
+            replaced: None,
+            evicted: None,
+        }
+    }
+}
+
 /// A fee-prioritized, sender-indexed transaction pool.
 ///
 /// Entries are indexed by `(sender, nonce)`. Per sender, nonces form an ordered queue;
@@ -138,6 +184,17 @@ pub struct ReadyChain<'a> {
 #[derive(Debug, Clone, Default)]
 pub struct Mempool {
     by_sender: BTreeMap<Address, BTreeMap<u64, PooledTx>>,
+    /// Maintained fee-ordered index of ready-chain heads (see [`ReadyHeadKey`]),
+    /// updated on every insert/remove/replace/nonce-advance — the packers consume
+    /// it by reference instead of rebuilding a sorted view per block.
+    heads: BTreeSet<ReadyHeadKey>,
+    /// Maintained eviction index over chain tails; makes the capacity rule's
+    /// cheapest-tail search O(log pool) instead of O(senders).
+    tails: BTreeSet<TailKey>,
+    /// The index keys registered per sender (for O(log) delta updates).
+    sender_keys: HashMap<Address, SenderKeys>,
+    /// Total [`gas_estimate`] of all resident transactions, maintained per delta.
+    ready_gas: u64,
     len: usize,
     capacity: usize,
     next_seq: u64,
@@ -202,7 +259,8 @@ impl Mempool {
         arrival_secs: f64,
         account_nonce: u64,
     ) -> AdmitOutcome {
-        self.insert_stamped(tx, fee_per_gas, arrival_secs, account_nonce, None)
+        self.offer(tx, fee_per_gas, arrival_secs, account_nonce, None)
+            .outcome
     }
 
     /// [`Mempool::insert`] with a caller-chosen admission sequence number.
@@ -221,6 +279,24 @@ impl Mempool {
         account_nonce: u64,
         stamp: Option<u64>,
     ) -> AdmitOutcome {
+        self.offer(tx, fee_per_gas, arrival_secs, account_nonce, stamp)
+            .outcome
+    }
+
+    /// [`Mempool::insert_stamped`], additionally reporting the entries the
+    /// admission displaced (the superseded same-slot entry of a replacement, the
+    /// evicted chain tail of a capacity admission). Callers that maintain
+    /// pool-adjacent incremental structures — the drivers' [`IncrementalTdg`]
+    /// (crate::IncrementalTdg), the sharded pool's routing counts — apply these
+    /// effects as O(1) edits instead of rebuilding from a pool scan.
+    pub fn offer(
+        &mut self,
+        tx: AccountTransaction,
+        fee_per_gas: u64,
+        arrival_secs: f64,
+        account_nonce: u64,
+        stamp: Option<u64>,
+    ) -> AdmitEffects {
         let sender = tx.sender();
         let nonce = tx.nonce();
 
@@ -229,7 +305,7 @@ impl Mempool {
         // packed and would strand capacity.
         if nonce < account_nonce {
             self.stats.rejected_nonce += 1;
-            return AdmitOutcome::RejectedStale;
+            return AdmitEffects::plain(AdmitOutcome::RejectedStale);
         }
         let mut next_unpooled = account_nonce;
         if let Some(queue) = self.by_sender.get(&sender) {
@@ -243,7 +319,7 @@ impl Mempool {
         }
         if nonce > next_unpooled {
             self.stats.rejected_nonce += 1;
-            return AdmitOutcome::RejectedGap;
+            return AdmitEffects::plain(AdmitOutcome::RejectedGap);
         }
 
         // Replacement of an occupied (sender, nonce) slot.
@@ -253,40 +329,51 @@ impl Mempool {
             let required = existing.fee_per_gas + bump.max(1);
             if fee_per_gas < required {
                 self.stats.rejected_underpriced += 1;
-                return AdmitOutcome::RejectedUnderpriced;
+                return AdmitEffects::plain(AdmitOutcome::RejectedUnderpriced);
             }
             let seq = self.bump_seq(stamp);
+            self.ready_gas += gas_estimate(&tx).value();
             let queue = self.by_sender.get_mut(&sender).expect("sender present");
-            queue.insert(
-                nonce,
-                PooledTx {
-                    tx,
-                    fee_per_gas,
-                    arrival_secs,
-                    seq,
-                },
-            );
+            let replaced = queue
+                .insert(
+                    nonce,
+                    PooledTx {
+                        tx,
+                        fee_per_gas,
+                        arrival_secs,
+                        seq,
+                    },
+                )
+                .expect("occupied slot holds an entry");
+            self.ready_gas -= gas_estimate(&replaced.tx).value();
+            self.refresh_sender_index(sender);
             self.stats.replaced += 1;
-            return AdmitOutcome::Replaced;
+            return AdmitEffects {
+                outcome: AdmitOutcome::Replaced,
+                replaced: Some(replaced),
+                evicted: None,
+            };
         }
 
         // Capacity: evict the cheapest chain tail if the newcomer outbids it.
+        let mut evicted = None;
         if self.len >= self.capacity {
             match self.cheapest_tail() {
                 Some((victim_sender, victim_nonce, victim_fee, _))
                     if victim_fee < fee_per_gas && victim_sender != sender =>
                 {
-                    self.remove(victim_sender, victim_nonce);
+                    evicted = self.remove(victim_sender, victim_nonce);
                     self.stats.evicted += 1;
                 }
                 _ => {
                     self.stats.rejected_full += 1;
-                    return AdmitOutcome::RejectedFull;
+                    return AdmitEffects::plain(AdmitOutcome::RejectedFull);
                 }
             }
         }
 
         let seq = self.bump_seq(stamp);
+        self.ready_gas += gas_estimate(&tx).value();
         self.by_sender.entry(sender).or_default().insert(
             nonce,
             PooledTx {
@@ -297,8 +384,13 @@ impl Mempool {
             },
         );
         self.len += 1;
+        self.refresh_sender_index(sender);
         self.stats.admitted += 1;
-        AdmitOutcome::Admitted
+        AdmitEffects {
+            outcome: AdmitOutcome::Admitted,
+            replaced: None,
+            evicted,
+        }
     }
 
     /// Removes and returns the entry at `(sender, nonce)`, if present.
@@ -309,17 +401,36 @@ impl Mempool {
             self.by_sender.remove(&sender);
         }
         self.len -= 1;
+        self.ready_gas -= gas_estimate(&removed.tx).value();
+        self.refresh_sender_index(sender);
         Some(removed)
+    }
+
+    /// Removes one packed transaction, updating the `packed` counter — the
+    /// per-transaction unit of [`Mempool::remove_packed`], exposed so sharded
+    /// callers can settle blocks in deterministic block order.
+    pub fn remove_packed_one(&mut self, tx: &AccountTransaction) -> Option<PooledTx> {
+        let removed = self.remove(tx.sender(), tx.nonce());
+        if removed.is_some() {
+            self.stats.packed += 1;
+        }
+        removed
     }
 
     /// Removes every transaction of a packed block from the pool, updating the
     /// `packed` counter.
     pub fn remove_packed(&mut self, txs: &[AccountTransaction]) {
         for tx in txs {
-            if self.remove(tx.sender(), tx.nonce()).is_some() {
-                self.stats.packed += 1;
-            }
+            self.remove_packed_one(tx);
         }
+    }
+
+    /// [`Mempool::remove_packed`], returning the removed entries (in block order)
+    /// so the caller can mirror the removal into incremental structures.
+    pub fn remove_packed_returning(&mut self, txs: &[AccountTransaction]) -> Vec<PooledTx> {
+        txs.iter()
+            .filter_map(|tx| self.remove_packed_one(tx))
+            .collect()
     }
 
     /// Drops every entry of `sender` that can no longer be packed given its current
@@ -332,33 +443,52 @@ impl Mempool {
     /// future arrival will fill — without this sweep they would occupy capacity
     /// forever.
     pub fn resync_sender(&mut self, sender: Address, account_nonce: u64) -> usize {
+        self.resync_sender_removed(sender, account_nonce).len()
+    }
+
+    /// [`Mempool::resync_sender`], returning the dropped entries (in nonce order)
+    /// so the caller can mirror the removal into incremental structures.
+    pub fn resync_sender_removed(&mut self, sender: Address, account_nonce: u64) -> Vec<PooledTx> {
         let Some(queue) = self.by_sender.get_mut(&sender) else {
-            return 0;
+            return Vec::new();
         };
-        let before = queue.len();
-        // BTreeMap::retain visits keys in ascending order, so a running expected
-        // nonce identifies the contiguous packable run.
+        // Keys ascend, so a running expected nonce identifies the contiguous
+        // packable run; everything else is unpackable.
         let mut expected = account_nonce;
-        queue.retain(|&nonce, _| {
-            if nonce == expected {
-                expected += 1;
-                true
-            } else {
-                false
-            }
-        });
-        let dropped = before - queue.len();
+        let doomed: Vec<u64> = queue
+            .keys()
+            .filter(|&&nonce| {
+                if nonce == expected {
+                    expected += 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .copied()
+            .collect();
+        let mut removed = Vec::with_capacity(doomed.len());
+        for nonce in doomed {
+            let entry = queue.remove(&nonce).expect("doomed nonce is pooled");
+            self.ready_gas -= gas_estimate(&entry.tx).value();
+            removed.push(entry);
+        }
         if queue.is_empty() {
             self.by_sender.remove(&sender);
         }
-        self.len -= dropped;
-        self.stats.dropped_unpackable += dropped as u64;
-        dropped
+        self.len -= removed.len();
+        self.stats.dropped_unpackable += removed.len() as u64;
+        self.refresh_sender_index(sender);
+        removed
     }
 
     /// The per-sender gap-free transaction chains that are ready for inclusion given
     /// the account nonces in `state_nonce` (a function from sender to current nonce).
     /// Chains are returned in sender-address order, so the result is deterministic.
+    ///
+    /// This is an O(pool) materialized snapshot, kept for tests and cross-checks;
+    /// the packers consume the maintained [`Mempool::ready_heads`] index instead,
+    /// which never rescans the pool.
     pub fn ready_chains(&self, state_nonce: impl Fn(Address) -> u64) -> Vec<ReadyChain<'_>> {
         let mut chains = Vec::new();
         for (&sender, queue) in &self.by_sender {
@@ -405,7 +535,12 @@ impl Mempool {
             return Vec::new();
         };
         self.len -= queue.len();
-        queue.into_values().collect()
+        let taken: Vec<PooledTx> = queue.into_values().collect();
+        for entry in &taken {
+            self.ready_gas -= gas_estimate(&entry.tx).value();
+        }
+        self.refresh_sender_index(sender);
+        taken
     }
 
     /// Re-inserts an entry previously removed with [`Mempool::take_sender`],
@@ -422,6 +557,7 @@ impl Mempool {
         let sender = pooled.tx.sender();
         let nonce = pooled.tx.nonce();
         self.next_seq = self.next_seq.max(pooled.seq + 1);
+        self.ready_gas += gas_estimate(&pooled.tx).value();
         let previous = self
             .by_sender
             .entry(sender)
@@ -432,6 +568,7 @@ impl Mempool {
             "restore would overwrite pooled entry {sender}:{nonce}"
         );
         self.len += 1;
+        self.refresh_sender_index(sender);
     }
 
     /// The cheapest evictable entry: `(sender, nonce, fee, seq)` of the chain tail
@@ -439,6 +576,8 @@ impl Mempool {
     /// sharded pool uses this to enforce a *global* capacity across per-shard pools,
     /// which is why the admission sequence number is exposed: stamped admissions (see
     /// [`Mempool::insert_stamped`]) make `seq` comparable across shards.
+    ///
+    /// Answered from the maintained tail index in O(log pool).
     pub fn cheapest_tail(&self) -> Option<(Address, u64, u64, u64)> {
         self.cheapest_tail_excluding(None)
     }
@@ -455,20 +594,110 @@ impl Mempool {
         &self,
         exclude: Option<(Address, u64)>,
     ) -> Option<(Address, u64, u64, u64)> {
-        self.by_sender
+        // If the excluded entry is its sender's current tail, that sender competes
+        // with its predecessor entry instead.
+        let mut excluded_key: Option<TailKey> = None;
+        let mut substitute: Option<TailKey> = None;
+        if let Some((sender, nonce)) = exclude {
+            if let Some(queue) = self.by_sender.get(&sender) {
+                if let Some((&tail_nonce, tail)) = queue.last_key_value() {
+                    if tail_nonce == nonce {
+                        excluded_key = Some((tail.fee_per_gas, Reverse(tail.seq), sender, nonce));
+                        substitute = queue
+                            .range(..nonce)
+                            .next_back()
+                            .map(|(&n, p)| (p.fee_per_gas, Reverse(p.seq), sender, n));
+                    }
+                }
+            }
+        }
+        let indexed = self
+            .tails
             .iter()
-            .filter_map(|(&sender, queue)| {
-                let mut tails = queue.iter().rev();
-                let (&nonce, pooled) = tails.next()?;
-                let (nonce, pooled) = if exclude == Some((sender, nonce)) {
-                    let (&predecessor, pooled) = tails.next()?;
-                    (predecessor, pooled)
-                } else {
-                    (nonce, pooled)
-                };
-                Some((sender, nonce, pooled.fee_per_gas, pooled.seq))
-            })
-            .min_by_key(|&(_, _, fee, seq)| (fee, std::cmp::Reverse(seq)))
+            .find(|&&key| Some(key) != excluded_key)
+            .copied();
+        let best = match (indexed, substitute) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        best.map(|(fee, Reverse(seq), sender, nonce)| (sender, nonce, fee, seq))
+    }
+
+    /// The maintained fee-ordered ready-chain-head index, by reference. Iterate it
+    /// *backwards* for packing priority order; look chains up with
+    /// [`Mempool::head_of`] / [`Mempool::get`] as you walk.
+    ///
+    /// Every pooled transaction is ready by the pool's maintained invariant: per
+    /// sender, the queue is gap-free from the account nonce the entries were
+    /// admitted against, packed prefixes are removed bottom-up, eviction takes only
+    /// tails, and validation failures are swept by [`Mempool::resync_sender`] — so
+    /// chain heads *are* the ready-chain heads, with no per-pack state scan.
+    pub fn ready_heads(&self) -> &BTreeSet<ReadyHeadKey> {
+        &self.heads
+    }
+
+    /// Total [`gas_estimate`] of all resident transactions (maintained, O(1)) —
+    /// the packers' gas-profile input for the block-capacity estimate.
+    pub fn ready_gas(&self) -> Gas {
+        Gas::new(self.ready_gas)
+    }
+
+    /// The head (lowest-nonce entry) of `sender`'s chain, if any.
+    pub fn head_of(&self, sender: Address) -> Option<&PooledTx> {
+        self.by_sender
+            .get(&sender)?
+            .first_key_value()
+            .map(|(_, pooled)| pooled)
+    }
+
+    /// Number of `sender`'s pooled entries with nonce ≥ `nonce`, in O(log pool).
+    /// Relies on the pool's gap-free-chain invariant (see
+    /// [`Mempool::ready_heads`]), which makes it pure index arithmetic — the
+    /// packers use it to attribute a deferred chain's remaining length without
+    /// walking the chain.
+    pub fn chain_len_from(&self, sender: Address, nonce: u64) -> usize {
+        let Some(queue) = self.by_sender.get(&sender) else {
+            return 0;
+        };
+        let Some((&first, _)) = queue.first_key_value() else {
+            return 0;
+        };
+        if nonce <= first {
+            queue.len()
+        } else {
+            queue.len().saturating_sub((nonce - first) as usize)
+        }
+    }
+
+    /// Re-derives `sender`'s head/tail index keys from its queue and applies the
+    /// delta to the ordered sets — O(log pool), called after every queue mutation.
+    fn refresh_sender_index(&mut self, sender: Address) {
+        let fresh = self.by_sender.get(&sender).map(|queue| {
+            let (_, head) = queue.first_key_value().expect("non-empty queue");
+            let (&tail_nonce, tail) = queue.last_key_value().expect("non-empty queue");
+            SenderKeys {
+                head: (head.fee_per_gas, head.seq),
+                tail: (tail.fee_per_gas, tail.seq, tail_nonce),
+            }
+        });
+        let stale = match fresh {
+            Some(keys) => self.sender_keys.insert(sender, keys),
+            None => self.sender_keys.remove(&sender),
+        };
+        if stale == fresh {
+            return;
+        }
+        if let Some(old) = stale {
+            self.heads
+                .remove(&(old.head.0, Reverse(old.head.1), sender));
+            self.tails
+                .remove(&(old.tail.0, Reverse(old.tail.1), sender, old.tail.2));
+        }
+        if let Some(new) = fresh {
+            self.heads.insert((new.head.0, Reverse(new.head.1), sender));
+            self.tails
+                .insert((new.tail.0, Reverse(new.tail.1), sender, new.tail.2));
+        }
     }
 
     fn bump_seq(&mut self, stamp: Option<u64>) -> u64 {
@@ -751,6 +980,129 @@ mod tests {
             seqs.contains(&8),
             "unstamped insert reused a stamp: {seqs:?}"
         );
+    }
+
+    /// Mirrors the maintained indexes against a from-scratch recomputation.
+    fn assert_indexes_consistent(pool: &Mempool) {
+        // Head index: one entry per sender, keyed by its first queue entry, and
+        // backwards iteration yields (fee desc, seq asc).
+        let expected_heads: Vec<(u64, u64, u64)> = {
+            let mut heads: Vec<(u64, u64, u64)> = pool
+                .by_sender
+                .iter()
+                .map(|(&sender, queue)| {
+                    let (_, head) = queue.first_key_value().unwrap();
+                    (head.fee_per_gas, head.seq, sender.low_u64())
+                })
+                .collect();
+            heads.sort_by(|a, b| {
+                (b.0, Reverse(b.1), b.2)
+                    .partial_cmp(&(a.0, Reverse(a.1), a.2))
+                    .unwrap()
+            });
+            heads
+        };
+        let indexed: Vec<(u64, u64, u64)> = pool
+            .ready_heads()
+            .iter()
+            .rev()
+            .map(|&(fee, Reverse(seq), sender)| (fee, seq, sender.low_u64()))
+            .collect();
+        assert_eq!(indexed, expected_heads, "head index diverged");
+        // Gas aggregate.
+        let expected_gas: u64 = pool.iter().map(|p| gas_estimate(&p.tx).value()).sum();
+        assert_eq!(pool.ready_gas().value(), expected_gas, "ready_gas diverged");
+        // Cheapest tail matches the original O(senders) scan.
+        let scan = pool
+            .by_sender
+            .iter()
+            .filter_map(|(&sender, queue)| {
+                let (&nonce, pooled) = queue.iter().next_back()?;
+                Some((sender, nonce, pooled.fee_per_gas, pooled.seq))
+            })
+            .min_by_key(|&(_, _, fee, seq)| (fee, Reverse(seq)));
+        assert_eq!(pool.cheapest_tail(), scan, "tail index diverged");
+    }
+
+    #[test]
+    fn maintained_indexes_track_every_mutation() {
+        let mut pool = Mempool::new(4);
+        assert_indexes_consistent(&pool);
+        pool.insert(transfer(1, 9, 0), 50, 0.0, 0);
+        pool.insert(transfer(1, 9, 1), 2, 0.1, 0);
+        pool.insert(transfer(2, 9, 0), 20, 0.2, 0);
+        assert_indexes_consistent(&pool);
+        // Replacement re-keys the head.
+        let effects = pool.offer(transfer(1, 7, 0), 60, 0.3, 0, None);
+        assert_eq!(effects.outcome, AdmitOutcome::Replaced);
+        assert_eq!(
+            effects.replaced.as_ref().map(|p| p.fee_per_gas),
+            Some(50),
+            "replacement must surface the superseded entry"
+        );
+        assert_indexes_consistent(&pool);
+        // Capacity eviction surfaces the victim and re-keys the tail.
+        pool.insert(transfer(3, 9, 0), 30, 0.4, 0);
+        let effects = pool.offer(transfer(4, 9, 0), 40, 0.5, 0, None);
+        assert_eq!(effects.outcome, AdmitOutcome::Admitted);
+        assert_eq!(
+            effects
+                .evicted
+                .as_ref()
+                .map(|p| (p.tx.sender().low_u64(), p.tx.nonce())),
+            Some((1, 1)),
+            "eviction must surface the cheapest tail"
+        );
+        assert_indexes_consistent(&pool);
+        // Packed removal advances the head to the successor nonce.
+        pool.insert(transfer(4, 9, 1), 45, 0.6, 0);
+        let removed = pool.remove_packed_returning(&[transfer(4, 9, 0)]);
+        assert_eq!(removed.len(), 1);
+        assert_indexes_consistent(&pool);
+        // Resync and take/restore keep the index in step.
+        pool.remove(Address::from_low(4), 1);
+        assert_indexes_consistent(&pool);
+        let chain = pool.take_sender(Address::from_low(2));
+        assert_indexes_consistent(&pool);
+        for entry in chain {
+            pool.restore(entry);
+        }
+        assert_indexes_consistent(&pool);
+    }
+
+    #[test]
+    fn chain_len_from_matches_range_counts() {
+        let mut pool = Mempool::new(10);
+        for nonce in 0..5u64 {
+            pool.insert(transfer(1, 9, nonce), 5, nonce as f64, 0);
+        }
+        assert_eq!(pool.chain_len_from(Address::from_low(1), 0), 5);
+        assert_eq!(pool.chain_len_from(Address::from_low(1), 3), 2);
+        assert_eq!(pool.chain_len_from(Address::from_low(1), 5), 0);
+        assert_eq!(pool.chain_len_from(Address::from_low(2), 0), 0);
+        pool.remove_packed(&[transfer(1, 9, 0), transfer(1, 9, 1)]);
+        assert_eq!(pool.chain_len_from(Address::from_low(1), 2), 3);
+        assert_eq!(pool.chain_len_from(Address::from_low(1), 4), 1);
+    }
+
+    #[test]
+    fn head_index_order_agrees_with_ready_chains() {
+        let mut pool = Mempool::new(100);
+        for i in 0..20u64 {
+            pool.insert(transfer(i + 1, 500 + (i % 3), 0), 10 + (i % 7), i as f64, 0);
+            pool.insert(transfer(i + 1, 500 + (i % 3), 1), 3 + (i % 5), i as f64, 0);
+        }
+        let chains = pool.ready_chains(|_| 0);
+        assert_eq!(pool.ready_heads().len(), chains.len());
+        for chain in &chains {
+            let head = pool.head_of(chain.sender).expect("chain head pooled");
+            assert_eq!(head.tx.nonce(), chain.txs[0].tx.nonce());
+            assert_eq!(head.seq, chain.txs[0].seq);
+            assert_eq!(
+                pool.chain_len_from(chain.sender, head.tx.nonce()),
+                chain.txs.len()
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,13 @@ pub struct BlockRecord {
     pub group_conflict_rate: f64,
     /// Transactions left in the mempool after packing this block.
     pub mempool_len_after: usize,
+    /// Incremental-TDG maintenance work units attributable to this block window
+    /// (edge inserts/removes plus amortized compaction touches) — O(Δ) in the
+    /// arrivals and departures, independent of the pool size.
+    pub tdg_units: u64,
+    /// Candidates the packer's fee-ordered loop examined for this block — the
+    /// pack phase's O(Δ) scan cost (no pool-wide rescan behind it).
+    pub pack_considered: u64,
     /// Wall-clock nanoseconds spent packing (and, for sharded pools, merging) the
     /// block.
     pub pack_wall_nanos: u64,
@@ -143,6 +150,8 @@ mod tests {
             conflict_rate: 0.0,
             group_conflict_rate: 0.0,
             mempool_len_after: 10,
+            tdg_units: 0,
+            pack_considered: 0,
             pack_wall_nanos: 100_000,
             execute_wall_nanos: 1_000_000,
         }

@@ -1,6 +1,9 @@
 //! Randomized cross-check of the streaming incremental TDG against from-scratch
-//! rebuilds, driven by real chainsim arrival streams: after every insertion batch,
-//! the online structure and a full rebuild must describe the same partition.
+//! rebuilds, driven by real chainsim arrival streams: after every mutation batch
+//! — insertions *and* the departures a running pool produces (packed blocks,
+//! evictions, replacements) — the online structure and a full rebuild must
+//! describe the same partition (exactly once compacted; conservatively, with
+//! identical aggregate counts, in between).
 
 use blockconc_account::AccountTransaction;
 use blockconc_chainsim::{AccountWorkloadParams, ArrivalStream, HotspotSpec};
@@ -91,5 +94,114 @@ fn streaming_union_agrees_with_rebuild_after_every_batch() {
             );
         }
         assert_eq!(streaming.tx_count(), 400);
+    }
+}
+
+/// The deletion-capable invariant on real workloads: interleave the departures a
+/// running pool produces — packed blocks (oldest arrivals leave in batches),
+/// evictions (random single departures) and replacements (remove + re-insert
+/// with a different receiver) — with insertion bursts. After every step the
+/// deletion-capable TDG must agree with a from-scratch rebuild of the survivors:
+/// exact aggregate counts at all times, exact partition after compaction, and
+/// never a split of a genuinely connected pair in between.
+#[test]
+fn streaming_deletion_agrees_with_rebuild_after_every_batch() {
+    for seed in 0..3u64 {
+        let mut rng = DeterministicRng::seed(seed ^ 0xdead);
+        let mut streaming = IncrementalTdg::new();
+        let mut live: Vec<AccountTransaction> = Vec::new();
+
+        let mut stream = workload(seed);
+        loop {
+            let batch: Vec<_> = (&mut stream).take(rng.range(1, 40) as usize).collect();
+            if batch.is_empty() {
+                break;
+            }
+            for arrival in &batch {
+                streaming.insert(&arrival.tx);
+                live.push(arrival.tx.clone());
+            }
+
+            // A "packed block": the oldest few live transactions leave together.
+            let packed = (rng.range(0, 12) as usize).min(live.len());
+            for tx in live.drain(..packed) {
+                streaming.remove(&tx);
+            }
+            // "Evictions": random single departures.
+            for _ in 0..rng.range(0, 5) {
+                if live.is_empty() {
+                    break;
+                }
+                let index = (rng.next_u64() % live.len() as u64) as usize;
+                let victim = live.swap_remove(index);
+                streaming.remove(&victim);
+            }
+            // "Replacements": swap an entry's edge for a fresh receiver.
+            for _ in 0..rng.range(0, 3) {
+                if live.is_empty() {
+                    break;
+                }
+                let index = (rng.next_u64() % live.len() as u64) as usize;
+                let superseded = live.swap_remove(index);
+                streaming.remove(&superseded);
+                let rebid = AccountTransaction::transfer(
+                    superseded.sender(),
+                    blockconc_types::Address::from_low(3_000 + rng.range(0, 50)),
+                    blockconc_types::Amount::from_sats(1),
+                    superseded.nonce(),
+                );
+                streaming.insert(&rebid);
+                live.push(rebid);
+            }
+
+            let mut rebuilt = IncrementalTdg::rebuild_from(live.iter());
+            // Aggregates are exact at every instant, even between compactions.
+            assert_eq!(streaming.tx_count(), rebuilt.tx_count(), "seed {seed}");
+            assert_eq!(
+                streaming.component_tx_counts().iter().sum::<usize>(),
+                rebuilt.component_tx_counts().iter().sum::<usize>(),
+                "seed {seed}"
+            );
+
+            // Conservative in between: connected survivors are never split — every
+            // rebuilt (exact) component maps into exactly one streaming component.
+            let mut conservative = streaming.clone();
+            let mut covering: HashMap<usize, usize> = HashMap::new();
+            for tx in &live {
+                assert_eq!(
+                    conservative.component_of(tx.sender()),
+                    conservative.component_of(effective_receiver(tx)),
+                    "seed {seed}: a live edge spans two components"
+                );
+                for address in [tx.sender(), effective_receiver(tx)] {
+                    let exact_root = rebuilt
+                        .component_of(address)
+                        .expect("live address is in the rebuild");
+                    let streaming_root = conservative
+                        .component_of(address)
+                        .expect("live address is interned");
+                    let entry = covering.entry(exact_root).or_insert(streaming_root);
+                    assert_eq!(
+                        *entry, streaming_root,
+                        "seed {seed}: split a rebuilt component"
+                    );
+                }
+            }
+
+            // Exact after compaction: same partition, same counts, same addresses.
+            let mut compacted = streaming.clone();
+            compacted.compact();
+            assert_eq!(compacted.address_count(), rebuilt.address_count());
+            let mut compacted_sizes = compacted.component_tx_counts();
+            let mut rebuilt_sizes = rebuilt.component_tx_counts();
+            compacted_sizes.sort_unstable();
+            rebuilt_sizes.sort_unstable();
+            assert_eq!(compacted_sizes, rebuilt_sizes, "seed {seed}");
+            assert_eq!(
+                partition(&mut compacted, &live),
+                partition(&mut rebuilt, &live),
+                "seed {seed}: compacted partition diverged after removals"
+            );
+        }
     }
 }

@@ -140,6 +140,7 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
         let mut phases: Vec<BlockPhaseRecord> = Vec::with_capacity(self.config.max_blocks);
         let mut total_failed = 0usize;
         let mut stamp = 0u64;
+        let mut tdg_units_seen = 0u64;
 
         for height in 1..=self.config.max_blocks as u64 {
             let deadline = height as f64 * self.config.block_interval_secs;
@@ -211,6 +212,8 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
                 .filter(|r| !r.succeeded())
                 .count();
             total_failed += failed;
+            let tdg_units = pool.tdg_op_units() - tdg_units_seen;
+            tdg_units_seen += tdg_units;
             blocks.push(BlockRecord {
                 height,
                 ingested,
@@ -228,6 +231,8 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
                 conflict_rate: exec_report.conflict_rate(),
                 group_conflict_rate: exec_report.group_conflict_rate(),
                 mempool_len_after: pool.len(),
+                tdg_units,
+                pack_considered: packed.considered,
                 pack_wall_nanos: pack_wall.as_nanos() as u64,
                 execute_wall_nanos: execute_wall.as_nanos() as u64,
             });

@@ -3,8 +3,8 @@
 use crate::ShardedMempool;
 use blockconc_account::{AccountTransaction, BlockBuilder, WorldState};
 use blockconc_pipeline::{
-    advance_deferral_counters, aged_senders, choose_component_cap, gas_estimate, pack_capped,
-    slacked_cap, BlockTemplate, CapDeferrals, IncrementalTdg, PackedBlock, PipelineConfig,
+    advance_deferral_counters, aged_senders, block_group_sizes, choose_component_cap, gas_estimate,
+    pack_capped, slacked_cap, BlockTemplate, CapDeferrals, PackedBlock, PipelineConfig,
 };
 use blockconc_types::{Address, Gas};
 use serde::{Deserialize, Serialize};
@@ -26,6 +26,8 @@ struct SubBlock {
     txs: Vec<MergeTx>,
     deferred_by_cap: u64,
     aged_included: u64,
+    /// Candidates this shard's packing loop examined (its O(Δ) scan cost).
+    considered: u64,
     deferrals: CapDeferrals,
 }
 
@@ -42,9 +44,13 @@ pub struct ShardPackReport {
     /// Sub-block candidates the merge could not fit under the block gas limit
     /// (deferred back to the pool, like every other deferral).
     pub merge_deferred: u64,
-    /// Abstract parallel cost of the pack phase in per-transaction work units: the
-    /// largest single-shard scan (shards pack concurrently) plus the serial
-    /// merge's heap pops.
+    /// Candidates each shard's packing loop examined, pre-merge.
+    pub sub_considered: Vec<u64>,
+    /// Abstract parallel cost of the pack phase in per-transaction work units:
+    /// the largest single-shard candidate scan (shards pack concurrently) plus
+    /// the serial merge's heap pops. Since the per-shard packers consume the
+    /// pools' maintained ready indexes, this tracks the examined candidates —
+    /// O(Δ) — not the shard pool sizes.
     pub parallel_units: u64,
 }
 
@@ -152,36 +158,22 @@ impl ShardedPacker {
         );
         let shard_lens = pool.shard_lens();
 
-        // Step 1: parallel per-shard ready scan (component sizes + gas profile).
-        let scans: Vec<(Vec<usize>, u64, usize)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..shards)
-                .map(|index| {
-                    scope.spawn(move || {
-                        pool.with_shard(index, |shard_pool, shard_tdg| {
-                            let chains = shard_pool.ready_chains(|sender| state.nonce(sender));
-                            let mut by_component: HashMap<usize, usize> = HashMap::new();
-                            for chain in &chains {
-                                let root = shard_tdg
-                                    .component_of(chain.sender)
-                                    .expect("pooled transaction is in the shard TDG");
-                                *by_component.entry(root).or_insert(0) += chain.txs.len();
-                            }
-                            let gas: u64 = chains
-                                .iter()
-                                .flat_map(|c| c.txs.iter())
-                                .map(|p| gas_estimate(&p.tx).value())
-                                .sum();
-                            let txs: usize = chains.iter().map(|c| c.txs.len()).sum();
-                            (by_component.into_values().collect(), gas, txs)
-                        })
-                    })
+        // Step 1: per-shard ready summary straight from the maintained
+        // structures — component counts from the shard's incremental TDG, gas
+        // profile from the pool's maintained aggregate. O(components) per shard
+        // (formerly an O(shard pool) chain scan per block, run on scoped threads
+        // to hide its cost; cheap enough now to take the shard locks serially).
+        let scans: Vec<(Vec<usize>, u64, usize)> = (0..shards)
+            .map(|index| {
+                pool.with_shard(index, |shard_pool, shard_tdg| {
+                    (
+                        shard_tdg.component_tx_counts(),
+                        shard_pool.ready_gas().value(),
+                        shard_pool.len(),
+                    )
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("shard scan panicked"))
-                .collect()
-        });
+            })
+            .collect();
 
         // Step 2: one cap for the whole block, from the concatenated (= global,
         // since components are shard-disjoint) ready distribution. This mirrors
@@ -217,6 +209,7 @@ impl ShardedPacker {
                                     txs: Vec::new(),
                                     deferred_by_cap: 0,
                                     aged_included: 0,
+                                    considered: 0,
                                     deferrals: CapDeferrals::default(),
                                 };
                             }
@@ -244,6 +237,7 @@ impl ShardedPacker {
                                 txs,
                                 deferred_by_cap: packed.deferred_by_cap,
                                 aged_included: packed.aged_included,
+                                considered: packed.considered,
                                 deferrals,
                             }
                         })
@@ -271,6 +265,7 @@ impl ShardedPacker {
         advance_deferral_counters(&mut self.deferrals, &combined);
 
         let sub_sizes: Vec<usize> = sub_blocks.iter().map(|sub| sub.txs.len()).collect();
+        let sub_considered: Vec<u64> = sub_blocks.iter().map(|sub| sub.considered).collect();
         let deferred_in_shards: u64 = sub_blocks.iter().map(|sub| sub.deferred_by_cap).sum();
         let aged_included: u64 = sub_blocks.iter().map(|sub| sub.aged_included).sum();
 
@@ -283,24 +278,22 @@ impl ShardedPacker {
             .iter()
             .fold(Gas::ZERO, |acc, m| acc + gas_estimate(&m.tx));
         let total_fee_per_gas: u64 = kept.iter().map(|m| m.fee_per_gas).sum();
-        let block_tdg = IncrementalTdg::rebuild_from(kept.iter().map(|m| &m.tx));
-        let predicted_group_sizes: Vec<u64> = block_tdg
-            .component_tx_counts()
-            .into_iter()
-            .map(|c| c as u64)
-            .collect();
+        // Block-local grouping over the merged selection — O(block).
+        let predicted_group_sizes = block_group_sizes(kept.iter().map(|m| &m.tx));
         let block = BlockBuilder::new(template.height, template.timestamp, template.beneficiary)
             .gas_limit(template.gas_limit)
             .transactions(kept.into_iter().map(|m| m.tx))
             .build();
 
-        let max_shard_len = shard_lens.iter().copied().max().unwrap_or(0);
+        let max_considered = sub_considered.iter().copied().max().unwrap_or(0);
+        let considered: u64 = sub_considered.iter().sum::<u64>() + merge_pops;
         let report = ShardPackReport {
             sub_sizes,
             shard_lens,
             component_cap: cap,
             merge_deferred,
-            parallel_units: max_shard_len as u64 + merge_pops,
+            sub_considered,
+            parallel_units: max_considered + merge_pops,
         };
         (
             PackedBlock {
@@ -313,6 +306,7 @@ impl ShardedPacker {
                 // `ShardPackReport::merge_deferred`.
                 deferred_by_cap: deferred_in_shards,
                 aged_included,
+                considered,
             },
             report,
         )

@@ -12,24 +12,15 @@ use std::sync::{Mutex, MutexGuard};
 const POISON: &str = "shard lock poisoned";
 
 /// One shard: a single-threaded [`Mempool`] plus its incremental dependency graph.
-/// The graph is rebuilt lazily (`tdg_dirty`) because several operations — packed
-/// removals, evictions, replacements, migrations — remove edges, which a union–find
-/// cannot express.
+/// Every operation that adds or removes pooled transactions — admissions,
+/// replacements, evictions, packed removals, migrations, rebalances — applies the
+/// matching O(1) edit to the deletion-capable graph in the same critical section,
+/// so the graph is *always* current: no dirty flag, no lazy O(shard) rebuild
+/// blocking producers behind the shard lock.
 #[derive(Debug)]
 pub(crate) struct Shard {
     pub pool: Mempool,
     pub tdg: IncrementalTdg,
-    pub tdg_dirty: bool,
-}
-
-impl Shard {
-    /// Rebuilds the shard dependency graph from the pool if removals invalidated it.
-    pub fn ensure_tdg(&mut self) {
-        if self.tdg_dirty {
-            self.tdg = IncrementalTdg::rebuild_from(self.pool.iter().map(|p| &p.tx));
-            self.tdg_dirty = false;
-        }
-    }
 }
 
 /// Stat corrections the sharded pool applies on top of the per-shard counters, so
@@ -112,7 +103,6 @@ impl ShardedMempool {
         let shard = || Shard {
             pool: Mempool::new(capacity * 2 + 1),
             tdg: IncrementalTdg::new(),
-            tdg_dirty: false,
         };
         ShardedMempool {
             shards: (0..shards).map(|_| Mutex::new(shard())).collect(),
@@ -210,23 +200,32 @@ impl ShardedMempool {
                 decision.shard
             };
 
-            // Phase 2: offer to the target shard (shard lock only).
+            // Phase 2: offer to the target shard (shard lock only). Admission
+            // effects are mirrored into the shard graph as O(1) edits inside the
+            // same critical section, so the graph never lags the pool.
             let outcome = {
                 let mut shard = self.shards[target].lock().expect(POISON);
-                let outcome = shard.pool.insert_stamped(
-                    tx.clone(),
-                    fee_per_gas,
-                    arrival_secs,
-                    account_nonce,
-                    stamp,
-                );
-                match outcome {
-                    AdmitOutcome::Admitted if !shard.tdg_dirty => shard.tdg.insert(&tx),
-                    AdmitOutcome::Admitted => {}
-                    AdmitOutcome::Replaced => shard.tdg_dirty = true,
+                let effects =
+                    shard
+                        .pool
+                        .offer(tx.clone(), fee_per_gas, arrival_secs, account_nonce, stamp);
+                match effects.outcome {
+                    AdmitOutcome::Admitted => {
+                        shard.tdg.insert(&tx);
+                        // Local eviction cannot fire (per-shard pools have
+                        // headroom), but mirror it defensively all the same.
+                        if let Some(evicted) = &effects.evicted {
+                            shard.tdg.remove(&evicted.tx);
+                        }
+                    }
+                    AdmitOutcome::Replaced => {
+                        let replaced = effects.replaced.as_ref().expect("replacement payload");
+                        shard.tdg.remove(&replaced.tx);
+                        shard.tdg.insert(&tx);
+                    }
                     _ => {}
                 }
-                outcome
+                effects.outcome
             };
 
             // Phase 3: settle under the router lock — re-assert the edge, account
@@ -293,7 +292,8 @@ impl ShardedMempool {
     }
 
     /// Physically moves every pooled transaction of `sender` from one shard to
-    /// another, preserving admission metadata.
+    /// another, preserving admission metadata. Both shard graphs are edited
+    /// incrementally — O(chain), never an O(shard) rebuild.
     fn move_sender(&self, sender: Address, from: usize, to: usize) {
         if from == to {
             return;
@@ -301,8 +301,8 @@ impl ShardedMempool {
         let moved = {
             let mut shard = self.shards[from].lock().expect(POISON);
             let moved = shard.pool.take_sender(sender);
-            if !moved.is_empty() {
-                shard.tdg_dirty = true;
+            for pooled in &moved {
+                shard.tdg.remove(&pooled.tx);
             }
             moved
         };
@@ -311,9 +311,7 @@ impl ShardedMempool {
         }
         let mut shard = self.shards[to].lock().expect(POISON);
         for pooled in moved {
-            if !shard.tdg_dirty {
-                shard.tdg.insert(&pooled.tx);
-            }
+            shard.tdg.insert(&pooled.tx);
             shard.pool.restore(pooled);
         }
     }
@@ -334,8 +332,8 @@ impl ShardedMempool {
         let strays = {
             let mut shard = self.shards[stray_shard].lock().expect(POISON);
             let strays = shard.pool.take_sender(sender);
-            if !strays.is_empty() {
-                shard.tdg_dirty = true;
+            for stray in &strays {
+                shard.tdg.remove(&stray.tx);
             }
             strays
         };
@@ -345,23 +343,25 @@ impl ShardedMempool {
             let nonce = stray.tx.nonce();
             if shard.pool.get(sender, nonce).is_some() {
                 // Occupied slot: judge the stray as the replacement it really is.
-                let verdict = shard.pool.insert_stamped(
-                    stray.tx,
+                let effects = shard.pool.offer(
+                    stray.tx.clone(),
                     stray.fee_per_gas,
                     stray.arrival_secs,
                     nonce,
                     Some(stray.seq),
                 );
+                if effects.outcome == AdmitOutcome::Replaced {
+                    let replaced = effects.replaced.as_ref().expect("replacement payload");
+                    shard.tdg.remove(&replaced.tx);
+                    shard.tdg.insert(&stray.tx);
+                }
                 // The stray's provisional admission is reversed either way: it
                 // became a replacement or was dropped as underpriced.
                 router.note_removed(sender, 1);
                 self.corrections.lock().expect(POISON).admit_reversals += 1;
-                shard.tdg_dirty = true;
-                outcome = verdict;
+                outcome = effects.outcome;
             } else {
-                if !shard.tdg_dirty {
-                    shard.tdg.insert(&stray.tx);
-                }
+                shard.tdg.insert(&stray.tx);
                 shard.pool.restore(stray);
             }
         }
@@ -430,16 +430,19 @@ impl ShardedMempool {
                 if pooled != router.pin_live(victim_sender) {
                     break;
                 }
-                guards[shard_index].pool.remove(victim_sender, victim_nonce);
-                guards[shard_index].tdg_dirty = true;
+                let victim = guards[shard_index]
+                    .pool
+                    .remove(victim_sender, victim_nonce)
+                    .expect("cheapest tail is pooled");
+                guards[shard_index].tdg.remove(&victim.tx);
                 router.note_removed(victim_sender, 1);
                 self.corrections.lock().expect(POISON).evicted += 1;
             } else if newcomer_present {
                 // The newcomer does not outbid any other sender's tail: reverse its
                 // optimistic admission.
                 for guard in guards.iter_mut() {
-                    if guard.pool.remove(newcomer, newcomer_nonce).is_some() {
-                        guard.tdg_dirty = true;
+                    if let Some(reversed) = guard.pool.remove(newcomer, newcomer_nonce) {
+                        guard.tdg.remove(&reversed.tx);
                         break;
                     }
                 }
@@ -457,26 +460,23 @@ impl ShardedMempool {
     }
 
     /// Removes every transaction of a packed block from the pool (routing each
-    /// sender group to its pinned shard) and updates the `packed` counters.
+    /// transaction to its sender's pinned shard) and updates the `packed`
+    /// counters. Transactions are settled in *block order* — the same
+    /// deterministic order the single pool uses — so the per-shard graphs see an
+    /// identical edit sequence regardless of sender hashing.
     pub fn remove_packed(&self, txs: &[AccountTransaction]) {
-        let mut by_sender: HashMap<Address, Vec<AccountTransaction>> = HashMap::new();
-        for tx in txs {
-            by_sender.entry(tx.sender()).or_default().push(tx.clone());
-        }
         let mut router = self.router.lock().expect(POISON);
-        for (sender, group) in by_sender {
+        for tx in txs {
+            let sender = tx.sender();
             let Some(shard_index) = router.pin_shard(sender) else {
                 continue;
             };
             let mut shard = self.shards[shard_index].lock().expect(POISON);
-            let before = shard.pool.sender_tx_count(sender);
-            shard.pool.remove_packed(&group);
-            let removed = before - shard.pool.sender_tx_count(sender);
-            if removed > 0 {
-                shard.tdg_dirty = true;
+            if let Some(removed) = shard.pool.remove_packed_one(tx) {
+                shard.tdg.remove(&removed.tx);
+                drop(shard);
+                router.note_removed(sender, 1);
             }
-            drop(shard);
-            router.note_removed(sender, removed);
         }
     }
 
@@ -488,17 +488,19 @@ impl ShardedMempool {
             return 0;
         };
         let mut shard = self.shards[shard_index].lock().expect(POISON);
-        let dropped = shard.pool.resync_sender(sender, account_nonce);
-        if dropped > 0 {
-            shard.tdg_dirty = true;
+        let dropped = shard.pool.resync_sender_removed(sender, account_nonce);
+        for entry in &dropped {
+            shard.tdg.remove(&entry.tx);
         }
         drop(shard);
-        router.note_removed(sender, dropped);
-        dropped
+        router.note_removed(sender, dropped.len());
+        dropped.len()
     }
 
-    /// Runs `f` with exclusive access to one shard's pool and (freshly rebuilt if
-    /// needed) dependency graph — the per-shard packers' entry point.
+    /// Runs `f` with exclusive access to one shard's pool and its (always current)
+    /// dependency graph — the per-shard packers' entry point. Since the graph is
+    /// maintained incrementally, entering a shard costs O(1): producers are never
+    /// blocked behind an O(shard) rebuild.
     ///
     /// # Panics
     ///
@@ -509,16 +511,17 @@ impl ShardedMempool {
         f: impl FnOnce(&Mempool, &mut IncrementalTdg) -> R,
     ) -> R {
         let mut shard = self.shards[index].lock().expect(POISON);
-        shard.ensure_tdg();
         let Shard { pool, tdg, .. } = &mut *shard;
         f(pool, tdg)
     }
 
-    /// Marks a shard's dependency graph dirty (needed when a caller of
-    /// [`ShardedMempool::with_shard`] mutated pool-adjacent state out of band; the
-    /// drivers do not need this).
-    pub fn mark_tdg_dirty(&self, index: usize) {
-        self.shards[index].lock().expect(POISON).tdg_dirty = true;
+    /// Total incremental-TDG maintenance work units across all shards (see
+    /// `IncrementalTdg::op_units`); the sharded driver reports the per-block delta.
+    pub fn tdg_op_units(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect(POISON).tdg.op_units())
+            .sum()
     }
 
     /// Every resident transaction, ordered by `(sender, nonce)` — a deterministic
@@ -569,11 +572,9 @@ impl ShardedMempool {
         let migrations = router.rebalance(&residents);
         for migration in &migrations {
             let chain = guards[migration.from].pool.take_sender(migration.sender);
-            if !chain.is_empty() {
-                guards[migration.from].tdg_dirty = true;
-                guards[migration.to].tdg_dirty = true;
-            }
             for pooled in chain {
+                guards[migration.from].tdg.remove(&pooled.tx);
+                guards[migration.to].tdg.insert(&pooled.tx);
                 guards[migration.to].pool.restore(pooled);
             }
             router.apply_migration(migration.sender, migration.to);

@@ -74,18 +74,24 @@ impl ShardedRunReport {
 }
 
 /// The single-pool pipeline's cost under the same unit convention, computed from
-/// its run report: serial ingest (one admission unit per offered arrival), serial
-/// pack (one scan unit per pooled transaction at pack time), and the engine's
-/// measured parallel units. This is the denominator of the shardpool benchmark's
-/// end-to-end comparison.
+/// its run report: serial ingest (one admission unit per offered arrival), the
+/// serial pack scan (`pack_considered` — the candidates the fee-ordered loop
+/// examined), and the engine's measured parallel units. This is the denominator
+/// of the shardpool benchmark's end-to-end comparison.
+///
+/// Before the incremental-maintenance refactor the single pipeline paid an
+/// O(pool) rescan per block, and this baseline charged one unit per pooled
+/// transaction at pack time; with maintained ready chains and a deletion-capable
+/// TDG, both pipelines' pack costs are O(Δ) and the baseline charges what the
+/// single pipeline actually scans. Graph-maintenance units (`tdg_units`) are
+/// excluded on *both* sides of the comparison — they are Δ-proportional for both
+/// pipelines and reported per block in the [`BlockRecord`]
+/// (blockconc_pipeline::BlockRecord) instead.
 pub fn baseline_pipeline_units(report: &PipelineRunReport) -> u64 {
     report
         .blocks
         .iter()
-        .map(|b| {
-            let pool_at_pack = (b.mempool_len_after + b.tx_count) as u64;
-            b.ingested as u64 + pool_at_pack + b.measured_parallel_units
-        })
+        .map(|b| b.ingested as u64 + b.pack_considered + b.measured_parallel_units)
         .sum()
 }
 
@@ -112,6 +118,8 @@ mod tests {
             conflict_rate: 0.0,
             group_conflict_rate: 0.0,
             mempool_len_after: 10,
+            tdg_units: 2 * ingested as u64,
+            pack_considered: tx_count as u64,
             pack_wall_nanos: 0,
             execute_wall_nanos: 1,
         }
@@ -148,9 +156,9 @@ mod tests {
         assert_eq!(report.ingest_pack_units(), 25);
         assert!((report.unit_throughput() - 30.0 / 35.0).abs() < 1e-12);
         // The single-pool baseline for the same block: 40 serial ingest units +
-        // 40 pool-scan units + 10 execute units.
+        // 30 pack-scan units + 10 execute units.
         let baseline = baseline_pipeline_units(&report.run);
-        assert_eq!(baseline, 90);
+        assert_eq!(baseline, 80);
     }
 
     #[test]

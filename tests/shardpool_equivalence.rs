@@ -13,7 +13,7 @@
 //!    invariants as single-packer blocks: per-sender nonce order, the gas budget,
 //!    and identical execution on the sequential, speculative and scheduled engines.
 
-use blockconc::pipeline::{BlockTemplate, Mempool};
+use blockconc::pipeline::{effective_receiver, BlockTemplate, IncrementalTdg, Mempool};
 use blockconc::prelude::*;
 use blockconc::shardpool::{IngestItem, IngestRouter, ShardedMempool, ShardedPacker};
 use proptest::prelude::*;
@@ -113,6 +113,65 @@ fn base_state(spec: &PoolSpec) -> WorldState {
     state
 }
 
+/// Asserts every shard's incrementally maintained dependency graph agrees with a
+/// from-scratch rebuild of that shard's residents: exact transaction counts at
+/// all times, and — once compacted — the exact partition and address set. This is
+/// the deletion-capable-TDG equivalence across admissions, packed removals,
+/// migrations and rebalances (the shard graphs are never rebuilt in production;
+/// the rebuild here is the test oracle).
+fn assert_shard_tdgs_match_rebuild(pool: &ShardedMempool) {
+    for index in 0..pool.shard_count() {
+        pool.with_shard(index, |shard_pool, shard_tdg| {
+            let txs: Vec<AccountTransaction> =
+                shard_pool.iter().map(|pooled| pooled.tx.clone()).collect();
+            let mut rebuilt = IncrementalTdg::rebuild_from(txs.iter());
+            assert_eq!(
+                shard_tdg.tx_count(),
+                rebuilt.tx_count(),
+                "shard {index}: live tx count diverged"
+            );
+            let mut compacted = shard_tdg.clone();
+            compacted.compact();
+            assert_eq!(
+                compacted.address_count(),
+                rebuilt.address_count(),
+                "shard {index}: address set diverged after compaction"
+            );
+            let mut compacted_sizes = compacted.component_tx_counts();
+            let mut rebuilt_sizes = rebuilt.component_tx_counts();
+            compacted_sizes.sort_unstable();
+            rebuilt_sizes.sort_unstable();
+            assert_eq!(
+                compacted_sizes, rebuilt_sizes,
+                "shard {index}: component sizes diverged after compaction"
+            );
+            // Same partition, address by address.
+            let mut pairing: HashMap<usize, usize> = HashMap::new();
+            let mut reverse: HashMap<usize, usize> = HashMap::new();
+            for tx in &txs {
+                for address in [tx.sender(), effective_receiver(tx)] {
+                    let a = compacted
+                        .component_of(address)
+                        .expect("live address is interned");
+                    let b = rebuilt
+                        .component_of(address)
+                        .expect("live address is in the rebuild");
+                    assert_eq!(
+                        *pairing.entry(a).or_insert(b),
+                        b,
+                        "shard {index}: compacted component split"
+                    );
+                    assert_eq!(
+                        *reverse.entry(b).or_insert(a),
+                        a,
+                        "shard {index}: compacted component over-merged"
+                    );
+                }
+            }
+        });
+    }
+}
+
 /// Every address a spec's execution can touch.
 fn touched_addresses(spec: &PoolSpec) -> Vec<Address> {
     let mut addresses = vec![
@@ -153,6 +212,9 @@ proptest! {
         prop_assert_eq!(single.stats(), sharded.stats());
         prop_assert_eq!(single.len(), sharded.len());
         sharded.assert_shard_disjointness();
+        // Admissions, replacements and capacity evictions all edited the shard
+        // graphs incrementally; they must still match a rebuild oracle.
+        assert_shard_tdgs_match_rebuild(&sharded);
     }
 
     // Property 2: concurrent multi-producer ingestion admits exactly the set the
@@ -310,6 +372,9 @@ proptest! {
                 sharded.rebalance();
             }
             sharded.assert_shard_disjointness();
+            // Packed removals and rebalance migrations are incremental TDG
+            // edits; after every block the graphs must match a rebuild oracle.
+            assert_shard_tdgs_match_rebuild(&sharded);
         }
         prop_assert_eq!(packed_total, total, "transactions lost or wedged in the pool");
         prop_assert!(sharded.is_empty());
