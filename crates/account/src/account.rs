@@ -4,7 +4,7 @@ use crate::vm::Contract;
 use blockconc_types::Amount;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The state of one account: balance, nonce, optional contract code and storage.
 ///
@@ -29,6 +29,11 @@ pub struct Account {
     nonce: u64,
     #[serde(skip)]
     code: Option<Arc<Contract>>,
+    /// Canonical JSON of `code`, computed lazily on first persistence so that
+    /// committing a dirty contract account never re-serializes the (immutable)
+    /// code — and runs that never persist never serialize at all.
+    #[serde(skip)]
+    code_json: OnceLock<Arc<str>>,
     storage: HashMap<u64, u64>,
 }
 
@@ -48,10 +53,9 @@ impl Account {
 
     /// Creates a contract account with the given code.
     pub fn contract(code: Arc<Contract>) -> Self {
-        Account {
-            code: Some(code),
-            ..Account::default()
-        }
+        let mut account = Account::default();
+        account.set_code(code);
+        account
     }
 
     /// The account's balance.
@@ -77,6 +81,30 @@ impl Account {
     /// Sets the contract code (used at deployment).
     pub fn set_code(&mut self, code: Arc<Contract>) {
         self.code = Some(code);
+        self.code_json = OnceLock::new();
+    }
+
+    /// Sets contract code together with its already-canonical JSON (used when
+    /// materializing a persisted account, avoiding a re-serialization).
+    pub(crate) fn set_code_with_json(&mut self, code: Arc<Contract>, json: Arc<str>) {
+        self.code = Some(code);
+        let cell = OnceLock::new();
+        cell.set(json).expect("fresh cell");
+        self.code_json = cell;
+    }
+
+    /// The canonical JSON of the deployed code, if any — serialized once on first
+    /// access and cached (clones of this account share the cache via `Arc` only
+    /// after cloning a filled cell; an unfilled clone fills its own).
+    pub fn code_json(&self) -> Option<&str> {
+        let code = self.code.as_ref()?;
+        Some(self.code_json.get_or_init(|| {
+            Arc::from(
+                serde_json::to_string(code.as_ref())
+                    .expect("contract serializes")
+                    .as_str(),
+            )
+        }))
     }
 
     /// Adds `value` to the balance.
@@ -132,6 +160,14 @@ impl Account {
     /// Number of non-zero storage slots.
     pub fn storage_len(&self) -> usize {
         self.storage.len()
+    }
+
+    /// All non-zero storage slots in canonical (slot-sorted) order — the form the
+    /// persistent state backends journal.
+    pub fn storage_entries(&self) -> Vec<(u64, u64)> {
+        let mut entries: Vec<(u64, u64)> = self.storage.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        entries
     }
 }
 

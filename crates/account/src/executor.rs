@@ -1,7 +1,8 @@
 //! Sequential block execution.
 
-use crate::state::{AccessSet, Journal, StateKey, WorldState};
+use crate::state::{AccessSet, Journal, WorldState};
 use crate::vm::{CallParams, Interpreter};
+use crate::StateKey;
 use crate::{AccountBlock, AccountTransaction, ExecutedBlock, Receipt, TxPayload};
 use blockconc_types::{Error, Result};
 

@@ -54,7 +54,10 @@ pub mod vm;
 
 pub use account::Account;
 pub use block::{AccountBlock, BlockBuilder, ExecutedBlock};
+// `StateKey` moved to `blockconc-store` (the unit of backend storage); re-exported
+// here so existing `blockconc_account::StateKey` imports keep working.
+pub use blockconc_store::{StateKey, StateValue};
 pub use executor::{BlockExecutor, TxContext};
 pub use receipt::{InternalTransaction, Receipt};
-pub use state::{AccessSet, Journal, StateKey, WorldState};
+pub use state::{account_to_stored, stored_to_account, AccessSet, Journal, WorldState};
 pub use transaction::{AccountTransaction, TxPayload};

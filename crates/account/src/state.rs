@@ -2,29 +2,27 @@
 
 use crate::vm::Contract;
 use crate::Account;
-use blockconc_types::{Address, Amount, Error, Result};
+use blockconc_store::{
+    BlockDelta, CommitStats, DeltaRecord, SharedBackend, StateKey, StoreStats, StoredAccount,
+};
+use blockconc_types::{Address, Amount, Error, Hash, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
-
-/// A key identifying one piece of mutable state, used by access tracking and by the
-/// optimistic-concurrency engines in `blockconc-execution`.
-///
-/// Balance and nonce are tracked at account granularity; contract storage is tracked
-/// per slot, matching the storage-level conflict definition of Saraph & Herlihy that
-/// the paper compares against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum StateKey {
-    /// The balance (and nonce) of an account.
-    Balance(Address),
-    /// One storage slot of a contract account.
-    Storage(Address, u64),
-}
 
 /// The read and write sets collected while executing one transaction.
 ///
 /// Two transactions conflict at the storage layer iff one writes a key the other reads
 /// or writes.
+///
+/// Keys are kept in sorted, deduplicated small vectors rather than hash sets: the
+/// typical transaction touches a handful of keys, so [`conflicts_with`] is a linear
+/// two-pointer merge over cache-friendly slices instead of per-key re-hashing — the
+/// hot loop of optimistic-concurrency conflict detection (benchmarked in
+/// `crates/bench/benches/access_set.rs`).
+///
+/// [`conflicts_with`]: AccessSet::conflicts_with
 ///
 /// # Examples
 ///
@@ -40,8 +38,28 @@ pub enum StateKey {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AccessSet {
-    reads: HashSet<StateKey>,
-    writes: HashSet<StateKey>,
+    reads: Vec<StateKey>,
+    writes: Vec<StateKey>,
+}
+
+/// Inserts `key` into a sorted vector, keeping it sorted and duplicate-free.
+fn insert_sorted(set: &mut Vec<StateKey>, key: StateKey) {
+    if let Err(pos) = set.binary_search(&key) {
+        set.insert(pos, key);
+    }
+}
+
+/// Returns `true` if two sorted slices share an element (two-pointer merge).
+fn sorted_intersects(a: &[StateKey], b: &[StateKey]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => return true,
+        }
+    }
+    false
 }
 
 impl AccessSet {
@@ -52,38 +70,41 @@ impl AccessSet {
 
     /// Records a read of `key`.
     pub fn record_read(&mut self, key: StateKey) {
-        self.reads.insert(key);
+        insert_sorted(&mut self.reads, key);
     }
 
     /// Records a write of `key`.
     pub fn record_write(&mut self, key: StateKey) {
-        self.writes.insert(key);
+        insert_sorted(&mut self.writes, key);
     }
 
-    /// Keys read by the transaction.
-    pub fn reads(&self) -> &HashSet<StateKey> {
+    /// Keys read by the transaction, in sorted order.
+    pub fn reads(&self) -> &[StateKey] {
         &self.reads
     }
 
-    /// Keys written by the transaction.
-    pub fn writes(&self) -> &HashSet<StateKey> {
+    /// Keys written by the transaction, in sorted order.
+    pub fn writes(&self) -> &[StateKey] {
         &self.writes
     }
 
     /// Returns `true` if this access set conflicts with `other`: a write in one
     /// intersects a read or write in the other.
     pub fn conflicts_with(&self, other: &AccessSet) -> bool {
-        self.writes
-            .iter()
-            .any(|k| other.writes.contains(k) || other.reads.contains(k))
-            || other.writes.iter().any(|k| self.reads.contains(k))
+        sorted_intersects(&self.writes, &other.writes)
+            || sorted_intersects(&self.writes, &other.reads)
+            || sorted_intersects(&other.writes, &self.reads)
     }
 
     /// Merges another access set into this one (used when a transaction triggers
     /// nested contract calls).
     pub fn merge(&mut self, other: &AccessSet) {
-        self.reads.extend(other.reads.iter().copied());
-        self.writes.extend(other.writes.iter().copied());
+        for key in &other.reads {
+            insert_sorted(&mut self.reads, *key);
+        }
+        for key in &other.writes {
+            insert_sorted(&mut self.writes, *key);
+        }
     }
 
     /// Returns `true` if neither reads nor writes were recorded.
@@ -130,7 +151,58 @@ impl Journal {
     }
 }
 
-/// The global state of an account-based blockchain: a map from addresses to accounts.
+/// Converts a cached [`Account`] into its canonical persisted form. The code
+/// blob is the JSON cached at deployment, so this never re-serializes contracts.
+pub fn account_to_stored(account: &Account) -> StoredAccount {
+    StoredAccount {
+        balance_sats: account.balance().sats(),
+        nonce: account.nonce(),
+        storage: account.storage_entries(),
+        code_json: account.code_json().map(str::to_string),
+    }
+}
+
+/// Decodes a persisted contract-code blob. Undecodable code means the store and
+/// this build disagree about the contract format (or the blob was corrupted past
+/// the frame CRC) — executing the account as if it had no code would silently
+/// diverge from the committed history, so fail loudly instead.
+fn decode_contract(code: &str) -> Arc<Contract> {
+    Arc::new(
+        serde_json::from_str::<Contract>(code)
+            .expect("persisted contract code must deserialize (format skew or corruption)"),
+    )
+}
+
+/// Materializes a persisted account back into the working-set form.
+///
+/// # Panics
+///
+/// Panics if the account carries contract code this build cannot decode (see
+/// [`decode_contract`]): continuing without the code would corrupt execution.
+pub fn stored_to_account(stored: &StoredAccount) -> Account {
+    let mut account = Account::with_balance(Amount::from_sats(stored.balance_sats));
+    account.set_nonce(stored.nonce);
+    for &(key, value) in &stored.storage {
+        account.storage_set(key, value);
+    }
+    if let Some(code) = &stored.code_json {
+        account.set_code_with_json(decode_contract(code), Arc::from(code.as_str()));
+    }
+    account
+}
+
+/// The global state of an account-based blockchain.
+///
+/// Without a backend this is exactly the historical in-memory map: every account
+/// lives in the resident map, and nothing else exists. With a
+/// [`StateBackend`](blockconc_store::StateBackend) mounted
+/// ([`WorldState::attach_backend`]), the map becomes a *working set* over the
+/// backend's committed state: reads fall through to the backend on a resident miss,
+/// writes are tracked as the open block's dirty set, and
+/// [`commit_block`](WorldState::commit_block) pushes the block's write-set delta
+/// down (journaled to disk by `blockconc_store::DiskBackend`). Clones share the
+/// backend handle but own their resident map, which is what lets the speculative
+/// engines execute against per-worker snapshots and throw them away.
 ///
 /// All mutating operations can be journalled (pass a [`Journal`]) so that a failed
 /// transaction can be reverted precisely; this mirrors how real execution clients
@@ -151,56 +223,302 @@ impl Journal {
 #[derive(Debug, Clone, Default)]
 pub struct WorldState {
     accounts: HashMap<Address, Account>,
+    backend: Option<SharedBackend>,
+    working_set_cap: Option<usize>,
+    dirty: BTreeSet<Address>,
+    open_height: Option<u64>,
 }
 
 impl WorldState {
-    /// Creates an empty world state.
+    /// Creates an empty world state (no backend: the resident map is the state).
     pub fn new() -> Self {
         WorldState::default()
     }
 
-    /// Number of accounts that exist (have been touched at least once).
-    pub fn account_count(&self) -> usize {
+    /// Mounts `backend` under this state.
+    ///
+    /// If the backend is empty, the current resident accounts are committed to it as
+    /// the genesis delta (height 0). If the backend already holds committed state (a
+    /// reopened store), that state becomes authoritative and the resident map is
+    /// reset to a cold working set.
+    ///
+    /// `working_set_cap` softly bounds the resident map: after each committed block,
+    /// accounts that are neither contracts nor part of the just-committed write set
+    /// are evicted down to the cap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend commit failures for the genesis delta.
+    pub fn attach_backend(
+        &mut self,
+        backend: SharedBackend,
+        working_set_cap: Option<usize>,
+    ) -> Result<()> {
+        let fresh = backend
+            .lock()
+            .expect("backend lock")
+            .committed_block()
+            .is_none();
+        if fresh {
+            // Fresh store: current accounts are the genesis.
+            let mut records: Vec<DeltaRecord> = self
+                .accounts
+                .iter()
+                .map(|(address, account)| DeltaRecord {
+                    address: *address,
+                    account: Some(account_to_stored(account)),
+                })
+                .collect();
+            records.sort_by_key(|r| r.address);
+            let mut guard = backend.lock().expect("backend lock");
+            guard.begin_block(0)?;
+            guard.commit_block(&BlockDelta { height: 0, records })?;
+        } else {
+            // Recovered store: its committed state wins.
+            self.accounts.clear();
+        }
+        self.backend = Some(backend);
+        self.working_set_cap = working_set_cap;
+        self.dirty.clear();
+        self.evict_to_cap(&BTreeSet::new());
+        Ok(())
+    }
+
+    /// The mounted backend handle, if any.
+    pub fn backend(&self) -> Option<&SharedBackend> {
+        self.backend.as_ref()
+    }
+
+    /// The mounted backend's cumulative counters, if any.
+    pub fn backend_stats(&self) -> Option<StoreStats> {
+        self.backend
+            .as_ref()
+            .map(|b| b.lock().expect("backend lock").stats())
+    }
+
+    /// Accounts currently materialized in the resident working set.
+    pub fn resident_accounts(&self) -> usize {
         self.accounts.len()
     }
 
-    /// Returns a reference to an account if it exists.
+    /// Opens block `height`: subsequent writes form its write-set delta.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's block-scope validation.
+    pub fn begin_block(&mut self, height: u64) -> Result<()> {
+        if let Some(backend) = &self.backend {
+            backend.lock().expect("backend lock").begin_block(height)?;
+        }
+        self.open_height = Some(height);
+        Ok(())
+    }
+
+    /// Commits the open block: the dirty accounts' new values are pushed to the
+    /// backend as one write-set delta (journaled, for the disk backend), the dirty
+    /// set is cleared, and the working set is evicted down to the cap.
+    ///
+    /// Dirty marking is conservative: an account touched and then fully reverted
+    /// within the block still commits its (unchanged) value. Detecting no-op
+    /// records would cost a backend pre-image read per dirty account on every
+    /// commit, so the rare reverted-transaction record is the cheaper trade.
+    ///
+    /// Without a backend this only clears the block scope and reports zero cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no block is open (with a backend mounted), or if the
+    /// backend commit fails.
+    pub fn commit_block(&mut self) -> Result<CommitStats> {
+        let Some(backend) = self.backend.clone() else {
+            self.open_height = None;
+            self.dirty.clear();
+            return Ok(CommitStats::default());
+        };
+        let height = self
+            .open_height
+            .ok_or_else(|| Error::validation("no open block to commit"))?;
+        let records: Vec<DeltaRecord> = self
+            .dirty
+            .iter()
+            .map(|address| DeltaRecord {
+                address: *address,
+                account: self.accounts.get(address).map(account_to_stored),
+            })
+            .collect();
+        // Close the block scope only after the backend accepted the delta: a
+        // failed commit (e.g. disk full) leaves the block open on both sides so
+        // the caller can still `rollback_block`.
+        let stats = backend
+            .lock()
+            .expect("backend lock")
+            .commit_block(&BlockDelta { height, records })?;
+        self.open_height = None;
+        let last_dirty = std::mem::take(&mut self.dirty);
+        self.evict_to_cap(&last_dirty);
+        Ok(stats)
+    }
+
+    /// Abandons the open block: uncommitted writes are dropped from the working set
+    /// (they re-materialize from the backend's committed state on next access).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error without a backend (the map alone cannot restore overwritten
+    /// values) or if no block is open.
+    pub fn rollback_block(&mut self) -> Result<()> {
+        let Some(backend) = &self.backend else {
+            return Err(Error::validation("rollback_block requires a state backend"));
+        };
+        self.open_height
+            .take()
+            .ok_or_else(|| Error::validation("no open block to roll back"))?;
+        backend.lock().expect("backend lock").rollback_block()?;
+        for address in std::mem::take(&mut self.dirty) {
+            self.accounts.remove(&address);
+        }
+        Ok(())
+    }
+
+    /// Evicts clean, non-contract accounts until the resident map is back at the
+    /// cap (`keep` is the just-committed write set — the hottest accounts, spared
+    /// from eviction). Deterministic: candidates leave in ascending address order,
+    /// and only as many as the excess demands.
+    fn evict_to_cap(&mut self, keep: &BTreeSet<Address>) {
+        let Some(cap) = self.working_set_cap else {
+            return;
+        };
+        if self.backend.is_none() || self.accounts.len() <= cap {
+            return;
+        }
+        let mut evictable: Vec<Address> = self
+            .accounts
+            .iter()
+            .filter(|(address, account)| !account.is_contract() && !keep.contains(address))
+            .map(|(address, _)| *address)
+            .collect();
+        evictable.sort_unstable();
+        let excess = self.accounts.len() - cap;
+        for address in evictable.into_iter().take(excess) {
+            self.accounts.remove(&address);
+        }
+    }
+
+    fn backend_stored(&self, address: Address) -> Option<StoredAccount> {
+        self.backend
+            .as_ref()?
+            .lock()
+            .expect("backend lock")
+            .get_account(address)
+    }
+
+    /// The committed value visible to a read that misses the resident map: `None`
+    /// without a backend, when the account was deleted in the open block (dirty
+    /// but not resident — the committed value is stale), or when the backend has
+    /// no such account. Every read-through path resolves through here so the
+    /// dirty-deletion rule lives in one place.
+    fn fallback_stored(&self, address: Address) -> Option<StoredAccount> {
+        if self.dirty.contains(&address) {
+            return None;
+        }
+        self.backend_stored(address)
+    }
+
+    fn mark_dirty(&mut self, address: Address) {
+        if self.backend.is_some() {
+            self.dirty.insert(address);
+        }
+    }
+
+    /// Number of accounts that exist (have been touched at least once).
+    pub fn account_count(&self) -> usize {
+        let Some(backend) = &self.backend else {
+            return self.accounts.len();
+        };
+        let mut guard = backend.lock().expect("backend lock");
+        let mut count = guard.account_count();
+        for address in &self.dirty {
+            let resident = self.accounts.contains_key(address);
+            let committed = guard.contains_account(*address);
+            if resident && !committed {
+                count += 1; // created this block, not yet committed
+            } else if !resident && committed {
+                count -= 1; // deleted this block, not yet committed
+            }
+        }
+        count
+    }
+
+    /// Returns a reference to an account **in the resident working set**. With a
+    /// backend mounted, evicted accounts return `None` even though they exist in
+    /// committed state — use the value accessors ([`balance`](WorldState::balance),
+    /// [`nonce`](WorldState::nonce), …) for authoritative reads.
     pub fn account(&self, address: Address) -> Option<&Account> {
         self.accounts.get(&address)
     }
 
-    /// Returns `true` if the account exists.
+    /// Returns `true` if the account exists (resident or committed).
     pub fn contains(&self, address: Address) -> bool {
-        self.accounts.contains_key(&address)
+        self.accounts.contains_key(&address) || self.fallback_stored(address).is_some()
     }
 
     /// The balance of `address` (zero if the account does not exist).
     pub fn balance(&self, address: Address) -> Amount {
-        self.accounts
-            .get(&address)
-            .map(|a| a.balance())
+        if let Some(account) = self.accounts.get(&address) {
+            return account.balance();
+        }
+        self.fallback_stored(address)
+            .map(|stored| Amount::from_sats(stored.balance_sats))
             .unwrap_or(Amount::ZERO)
     }
 
     /// The nonce of `address` (zero if the account does not exist).
     pub fn nonce(&self, address: Address) -> u64 {
-        self.accounts.get(&address).map(|a| a.nonce()).unwrap_or(0)
+        if let Some(account) = self.accounts.get(&address) {
+            return account.nonce();
+        }
+        self.fallback_stored(address)
+            .map(|stored| stored.nonce)
+            .unwrap_or(0)
     }
 
     /// The contract deployed at `address`, if any.
     pub fn contract(&self, address: Address) -> Option<Arc<Contract>> {
-        self.accounts.get(&address).and_then(|a| a.code()).cloned()
+        if let Some(account) = self.accounts.get(&address) {
+            return account.code().cloned();
+        }
+        let stored = self.fallback_stored(address)?;
+        stored.code_json.as_deref().map(decode_contract)
     }
 
     /// Reads a storage slot of `address` (zero when absent).
     pub fn storage(&self, address: Address, key: u64) -> u64 {
-        self.accounts
-            .get(&address)
-            .map(|a| a.storage_get(key))
+        if let Some(account) = self.accounts.get(&address) {
+            return account.storage_get(key);
+        }
+        self.fallback_stored(address)
+            .map(|stored| stored.storage_get(key))
             .unwrap_or(0)
     }
 
     fn entry(&mut self, address: Address, journal: Option<&mut Journal>) -> &mut Account {
+        if self.backend.is_some() {
+            if !self.accounts.contains_key(&address) {
+                match self.fallback_stored(address) {
+                    Some(stored) => {
+                        self.accounts.insert(address, stored_to_account(&stored));
+                    }
+                    None => {
+                        if let Some(j) = journal {
+                            j.ops.push(UndoOp::Created(address));
+                        }
+                        self.accounts.insert(address, Account::new());
+                    }
+                }
+            }
+            self.dirty.insert(address);
+            return self.accounts.get_mut(&address).expect("just materialized");
+        }
         self.accounts.entry(address).or_insert_with(|| {
             if let Some(j) = journal {
                 j.ops.push(UndoOp::Created(address));
@@ -249,6 +567,12 @@ impl WorldState {
         value: Amount,
         journal: Option<&mut Journal>,
     ) -> Result<()> {
+        // Materialize a committed-but-evicted account before debiting it.
+        if self.backend.is_some() && !self.accounts.contains_key(&address) {
+            if let Some(stored) = self.fallback_stored(address) {
+                self.accounts.insert(address, stored_to_account(&stored));
+            }
+        }
         let acct = self
             .accounts
             .get_mut(&address)
@@ -264,6 +588,7 @@ impl WorldState {
         if let Some(j) = journal {
             j.ops.push(UndoOp::Balance(address, old));
         }
+        self.mark_dirty(address);
         Ok(())
     }
 
@@ -314,38 +639,92 @@ impl WorldState {
     }
 
     fn apply_undo(&mut self, op: UndoOp) {
-        {
-            match op {
-                UndoOp::Balance(addr, old) => {
-                    if let Some(acct) = self.accounts.get_mut(&addr) {
-                        acct.set_balance(old);
-                    }
+        match op {
+            UndoOp::Balance(addr, old) => {
+                if let Some(acct) = self.accounts.get_mut(&addr) {
+                    acct.set_balance(old);
                 }
-                UndoOp::Nonce(addr, old) => {
-                    if let Some(acct) = self.accounts.get_mut(&addr) {
-                        acct.set_nonce(old);
-                    }
+            }
+            UndoOp::Nonce(addr, old) => {
+                if let Some(acct) = self.accounts.get_mut(&addr) {
+                    acct.set_nonce(old);
                 }
-                UndoOp::Storage(addr, key, old) => {
-                    if let Some(acct) = self.accounts.get_mut(&addr) {
-                        acct.storage_set(key, old);
-                    }
+            }
+            UndoOp::Storage(addr, key, old) => {
+                if let Some(acct) = self.accounts.get_mut(&addr) {
+                    acct.storage_set(key, old);
                 }
-                UndoOp::Created(addr) => {
-                    self.accounts.remove(&addr);
-                }
+            }
+            UndoOp::Created(addr) => {
+                self.accounts.remove(&addr);
+                // The account never existed in committed state (Created is only
+                // journalled when neither the working set nor the backend had it),
+                // so the delta does not need a deletion record... unless an earlier
+                // transaction in the same block committed it. Keeping the dirty
+                // mark emits a harmless Delete record in that edge case and none
+                // otherwise would lose it, so the mark stays.
             }
         }
     }
 
-    /// Iterates over all (address, account) pairs.
+    /// Iterates over the **resident** (address, account) pairs. Without a backend
+    /// this is every account; with one, evicted accounts are not visited — use
+    /// [`WorldState::state_root`] or [`WorldState::total_supply`] for whole-state
+    /// aggregates.
     pub fn iter(&self) -> impl Iterator<Item = (&Address, &Account)> {
         self.accounts.iter()
     }
 
     /// Sum of all account balances (conserved by transfers; useful as an invariant).
+    /// Merges committed and resident state when a backend is mounted.
     pub fn total_supply(&self) -> Amount {
-        self.accounts.values().map(|a| a.balance()).sum()
+        let Some(backend) = &self.backend else {
+            return self.accounts.values().map(|a| a.balance()).sum();
+        };
+        let mut total: u64 = 0;
+        backend
+            .lock()
+            .expect("backend lock")
+            .for_each_account(&mut |address, stored| {
+                if !self.accounts.contains_key(&address) && !self.dirty.contains(&address) {
+                    total += stored.balance_sats;
+                }
+            });
+        total += self
+            .accounts
+            .values()
+            .map(|a| a.balance().sats())
+            .sum::<u64>();
+        Amount::from_sats(total)
+    }
+
+    /// A deterministic digest of the complete logical state (committed accounts
+    /// overlaid with the resident working set), independent of which backend holds
+    /// it — the oracle the backend-equivalence tests compare across pipelines.
+    pub fn state_root(&self) -> Hash {
+        let mut entries: BTreeMap<Address, StoredAccount> = BTreeMap::new();
+        if let Some(backend) = &self.backend {
+            backend
+                .lock()
+                .expect("backend lock")
+                .for_each_account(&mut |address, stored| {
+                    entries.insert(address, stored);
+                });
+        }
+        for (address, account) in &self.accounts {
+            entries.insert(*address, account_to_stored(account));
+        }
+        for address in &self.dirty {
+            if !self.accounts.contains_key(address) {
+                entries.remove(address); // deleted this block
+            }
+        }
+        let mut data = Vec::new();
+        for (address, stored) in &entries {
+            data.extend_from_slice(address.as_bytes());
+            stored.digest_into(&mut data);
+        }
+        Hash::of_bytes(&data)
     }
 }
 
@@ -353,6 +732,7 @@ impl WorldState {
 mod tests {
     use super::*;
     use crate::vm::OpCode;
+    use blockconc_store::{shared, MemoryBackend};
 
     #[test]
     fn credit_creates_accounts_and_debit_requires_existence() {
@@ -454,5 +834,211 @@ mod tests {
         assert!(a.reads().contains(&k1));
         assert!(a.writes().contains(&k2));
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn access_set_stays_sorted_and_deduplicated() {
+        let mut set = AccessSet::new();
+        for low in [5u64, 1, 9, 5, 1] {
+            set.record_write(StateKey::Balance(Address::from_low(low)));
+        }
+        assert_eq!(set.writes().len(), 3);
+        let mut sorted = set.writes().to_vec();
+        sorted.sort();
+        assert_eq!(set.writes(), &sorted[..]);
+    }
+
+    #[test]
+    fn access_set_conflicts_match_naive_oracle() {
+        // Cross-check the merge-based conflict walk against the O(n·m) definition.
+        let key = |i: u64| {
+            if i % 2 == 0 {
+                StateKey::Balance(Address::from_low(i / 2))
+            } else {
+                StateKey::Storage(Address::from_low(i / 3), i % 5)
+            }
+        };
+        let mut sets = Vec::new();
+        for s in 0..12u64 {
+            let mut set = AccessSet::new();
+            for i in 0..6u64 {
+                let k = key((s * 7 + i * 13) % 10);
+                if (s + i) % 3 == 0 {
+                    set.record_write(k);
+                } else {
+                    set.record_read(k);
+                }
+            }
+            sets.push(set);
+        }
+        for a in &sets {
+            for b in &sets {
+                let naive = a
+                    .writes()
+                    .iter()
+                    .any(|k| b.writes().contains(k) || b.reads().contains(k))
+                    || b.writes().iter().any(|k| a.reads().contains(k));
+                assert_eq!(a.conflicts_with(b), naive);
+            }
+        }
+    }
+
+    fn backed_state() -> WorldState {
+        let mut state = WorldState::new();
+        state.credit(Address::from_low(1), Amount::from_coins(10));
+        state.credit(Address::from_low(2), Amount::from_coins(20));
+        state.deploy_contract(Address::from_low(9), Arc::new(Contract::counter()));
+        state
+            .attach_backend(shared(MemoryBackend::new()), Some(1))
+            .unwrap();
+        state
+    }
+
+    #[test]
+    fn attach_backend_commits_genesis_and_reads_fall_through() {
+        let state = backed_state();
+        // The cap evicted non-contract accounts, but reads fall through.
+        assert!(state.resident_accounts() < state.account_count());
+        assert_eq!(state.balance(Address::from_low(1)), Amount::from_coins(10));
+        assert_eq!(state.balance(Address::from_low(2)), Amount::from_coins(20));
+        assert!(state.contract(Address::from_low(9)).is_some());
+        assert_eq!(state.account_count(), 3);
+        assert_eq!(state.total_supply(), Amount::from_coins(30));
+    }
+
+    #[test]
+    fn commit_block_pushes_write_set_and_preserves_values() {
+        let mut state = backed_state();
+        let root_before = state.state_root();
+        state.begin_block(1).unwrap();
+        state
+            .debit(Address::from_low(2), Amount::from_coins(5))
+            .unwrap();
+        state.credit(Address::from_low(3), Amount::from_coins(5));
+        state.bump_nonce(Address::from_low(2), None);
+        let stats = state.commit_block().unwrap();
+        assert_eq!(stats.records, 2);
+        assert_ne!(state.state_root(), root_before);
+        assert_eq!(state.balance(Address::from_low(2)), Amount::from_coins(15));
+        assert_eq!(state.balance(Address::from_low(3)), Amount::from_coins(5));
+        assert_eq!(state.nonce(Address::from_low(2)), 1);
+        assert_eq!(state.total_supply(), Amount::from_coins(30));
+        let backend_stats = state.backend_stats().unwrap();
+        assert_eq!(backend_stats.committed_blocks, 2); // genesis + block 1
+    }
+
+    #[test]
+    fn rollback_block_discards_uncommitted_writes() {
+        let mut state = backed_state();
+        let root = state.state_root();
+        state.begin_block(1).unwrap();
+        state.credit(Address::from_low(50), Amount::from_coins(1));
+        state
+            .debit(Address::from_low(1), Amount::from_coins(1))
+            .unwrap();
+        state.rollback_block().unwrap();
+        assert_eq!(state.state_root(), root);
+        assert_eq!(state.balance(Address::from_low(1)), Amount::from_coins(10));
+        assert!(!state.contains(Address::from_low(50)));
+    }
+
+    #[test]
+    fn state_root_is_identical_with_and_without_backend() {
+        let mut plain = WorldState::new();
+        plain.credit(Address::from_low(1), Amount::from_coins(10));
+        plain.credit(Address::from_low(2), Amount::from_coins(20));
+        plain.deploy_contract(Address::from_low(9), Arc::new(Contract::counter()));
+        let mut backed = plain.clone();
+        backed
+            .attach_backend(shared(MemoryBackend::new()), Some(1))
+            .unwrap();
+        assert_eq!(plain.state_root(), backed.state_root());
+        // Same mutation on both sides keeps the roots in lockstep.
+        plain.bump_nonce(Address::from_low(1), None);
+        backed.begin_block(1).unwrap();
+        backed.bump_nonce(Address::from_low(1), None);
+        backed.commit_block().unwrap();
+        assert_eq!(plain.state_root(), backed.state_root());
+    }
+
+    #[test]
+    fn created_and_reverted_account_is_deleted_from_committed_state() {
+        let mut state = backed_state();
+        state.begin_block(1).unwrap();
+        let ghost = Address::from_low(77);
+        let mut journal = Journal::new();
+        state.credit_journalled(ghost, Amount::from_coins(1), Some(&mut journal));
+        assert!(state.contains(ghost));
+        state.revert(journal);
+        assert!(!state.contains(ghost));
+        assert_eq!(state.balance(ghost), Amount::ZERO);
+        state.commit_block().unwrap();
+        assert!(!state.contains(ghost));
+        let backend = state.backend().unwrap();
+        assert!(!backend.lock().unwrap().contains_account(ghost));
+    }
+
+    #[test]
+    fn reattaching_a_reopened_store_with_empty_genesis_succeeds() {
+        // A store whose only commit was an empty genesis (height 0, no accounts)
+        // must reopen as "already initialized", not retake the fresh path and
+        // fail trying to re-commit block 0.
+        let dir =
+            std::env::temp_dir().join(format!("blockconc-account-reattach-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = blockconc_store::DiskConfig::new(&dir);
+        {
+            let backend = blockconc_store::DiskBackend::open(&config).unwrap();
+            let mut state = WorldState::new();
+            state.attach_backend(shared(backend), None).unwrap();
+            assert_eq!(state.account_count(), 0);
+        }
+        let backend = blockconc_store::DiskBackend::open(&config).unwrap();
+        let mut state = WorldState::new();
+        state.attach_backend(shared(backend), None).unwrap();
+        state.begin_block(1).unwrap();
+        state.credit(Address::from_low(1), Amount::from_coins(1));
+        state.commit_block().unwrap();
+        assert_eq!(state.balance(Address::from_low(1)), Amount::from_coins(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_removes_only_the_excess_in_address_order() {
+        let mut state = WorldState::new();
+        for i in 1..=10u64 {
+            state.credit(Address::from_low(i), Amount::from_coins(i));
+        }
+        state.deploy_contract(Address::from_low(99), Arc::new(Contract::counter()));
+        state
+            .attach_backend(shared(MemoryBackend::new()), Some(8))
+            .unwrap();
+        // 11 residents, cap 8: exactly 3 clean non-contract accounts leave, the
+        // lowest addresses first; the contract always stays.
+        assert_eq!(state.resident_accounts(), 8);
+        assert!(state.account(Address::from_low(99)).is_some());
+        for i in 1..=3u64 {
+            assert!(state.account(Address::from_low(i)).is_none(), "address {i}");
+        }
+        for i in 4..=10u64 {
+            assert!(state.account(Address::from_low(i)).is_some(), "address {i}");
+        }
+        // Evicted values still read through.
+        assert_eq!(state.balance(Address::from_low(1)), Amount::from_coins(1));
+    }
+
+    #[test]
+    fn stored_account_round_trips_through_conversion() {
+        let mut account = Account::with_balance(Amount::from_sats(123));
+        account.set_nonce(7);
+        account.storage_set(3, 9);
+        account.set_code(Arc::new(Contract::counter()));
+        let stored = account_to_stored(&account);
+        let back = stored_to_account(&stored);
+        assert_eq!(back.balance(), account.balance());
+        assert_eq!(back.nonce(), account.nonce());
+        assert_eq!(back.storage_get(3), 9);
+        assert!(back.is_contract());
+        assert_eq!(account_to_stored(&back), stored);
     }
 }

@@ -1,8 +1,9 @@
 //! The VM interpreter.
 
-use crate::state::{AccessSet, Journal, StateKey, WorldState};
+use crate::state::{AccessSet, Journal, WorldState};
 use crate::vm::{GasSchedule, OpCode};
 use crate::InternalTransaction;
+use crate::StateKey;
 use blockconc_types::{Address, Amount, Error, Gas, Result};
 
 /// Maximum nested call depth (top-level call is depth 1).

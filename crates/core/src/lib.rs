@@ -22,6 +22,7 @@
 //! | [`execution`] | sequential, speculative and TDG-scheduled execution engines |
 //! | [`pipeline`] | concurrency-aware mempool and block-building pipeline |
 //! | [`shardpool`] | concurrent TDG-component-sharded mempool with parallel per-shard packers |
+//! | [`store`] | journaled persistent state backends (in-memory and log-structured disk) |
 //! | [`analysis`] | bucketed weighted aggregation, chain comparisons, figure data, export |
 //!
 //! # Quickstart
@@ -51,6 +52,7 @@ pub use blockconc_model as model;
 pub use blockconc_pipeline as pipeline;
 pub use blockconc_sharding as sharding;
 pub use blockconc_shardpool as shardpool;
+pub use blockconc_store as store;
 pub use blockconc_types as types;
 pub use blockconc_utxo as utxo;
 
@@ -86,6 +88,9 @@ pub mod prelude {
     pub use blockconc_shardpool::{
         IngestItem, IngestRouter, ShardedMempool, ShardedPacker, ShardedPipelineDriver,
         ShardedRunReport,
+    };
+    pub use blockconc_store::{
+        DiskBackend, DiskConfig, MemoryBackend, StateBackend, StateBackendConfig, StoreStats,
     };
     pub use blockconc_types::{Address, Amount, BlockHeight, Gas, Hash, Timestamp, TxId};
     pub use blockconc_utxo::{

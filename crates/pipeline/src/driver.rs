@@ -3,6 +3,7 @@
 use crate::{BlockPacker, BlockRecord, IncrementalTdg, Mempool, PipelineRunReport};
 use blockconc_chainsim::{ArrivalStream, TxArrival};
 use blockconc_execution::ExecutionEngine;
+use blockconc_store::StateBackendConfig;
 use blockconc_types::{Address, Amount, Gas, Result};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -36,6 +37,12 @@ pub struct PipelineConfig {
     /// serial ingest). Ignored by [`PipelineDriver`], like
     /// [`shards`](PipelineConfig::shards).
     pub producer_threads: usize,
+    /// Which state backend the driver mounts under its `WorldState`: the in-memory
+    /// map behind the `blockconc_store::StateBackend` trait (default,
+    /// bit-identical to the historical behaviour) or the journaled disk store
+    /// (`StateBackendConfig::Disk`), which bounds resident state by the configured
+    /// working-set cap and makes every block commit durable.
+    pub state_backend: StateBackendConfig,
 }
 
 impl Default for PipelineConfig {
@@ -49,6 +56,7 @@ impl Default for PipelineConfig {
             max_deferral_blocks: 0,
             shards: 1,
             producer_threads: 1,
+            state_backend: StateBackendConfig::InMemory,
         }
     }
 }
@@ -98,6 +106,10 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
     /// failures are recorded in the block records instead.
     pub fn run(mut self, mut stream: ArrivalStream) -> Result<PipelineRunReport> {
         let mut state = stream.base_state().clone();
+        // Mount the configured backend: the base state becomes the genesis commit
+        // (height 0) and every produced block commits its write-set delta.
+        let backend = self.config.state_backend.build()?;
+        state.attach_backend(backend, self.config.state_backend.working_set_cap())?;
         let mut funded: HashSet<Address> = HashSet::new();
         let mut pool = Mempool::new(self.config.mempool_capacity);
         let mut tdg = IncrementalTdg::new();
@@ -110,6 +122,9 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
         for height in 1..=self.config.max_blocks as u64 {
             let deadline = height as f64 * self.config.block_interval_secs;
             let mut ingested = 0usize;
+            // Open the block's write-set scope: ingest-time sender funding and the
+            // block's execution effects commit together.
+            state.begin_block(height)?;
 
             // Ingest every arrival due before this block's deadline. Every
             // admission outcome maps to an O(1) incremental TDG edit — the graph
@@ -157,6 +172,8 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
             }
 
             if pool.is_empty() && lookahead.is_none() && stream.remaining() == 0 {
+                // Flush any funding credited during the final (blockless) ingest.
+                state.commit_block()?;
                 break;
             }
 
@@ -191,6 +208,12 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                 }
             }
 
+            // Commit the block's write-set delta to the state backend (journaled
+            // and made durable by the disk backend).
+            let store_started = Instant::now();
+            let commit = state.commit_block()?;
+            let store_wall = store_started.elapsed();
+
             let failed = executed
                 .receipts()
                 .iter()
@@ -220,6 +243,9 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                 pack_considered: packed.considered,
                 pack_wall_nanos: pack_wall.as_nanos() as u64,
                 execute_wall_nanos: execute_wall.as_nanos() as u64,
+                receipts_digest: crate::receipts_digest(executed.receipts()),
+                store_units: commit.store_units,
+                store_wall_nanos: store_wall.as_nanos() as u64,
             });
         }
 
@@ -233,6 +259,8 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
             total_failed,
             leftover_mempool: pool.len(),
             mempool_stats: pool.stats(),
+            final_state_root: state.state_root().to_hex(),
+            store: state.backend_stats().unwrap_or_default(),
         })
     }
 }

@@ -93,6 +93,9 @@ mod packer;
 mod pool;
 mod report;
 
+// Re-exported so driver configuration reads naturally without a direct
+// `blockconc-store` dependency.
+pub use blockconc_store::{DiskConfig, StateBackendConfig, StoreStats};
 pub use driver::{PipelineConfig, PipelineDriver};
 pub use itdg::{block_group_sizes, effective_receiver, IncrementalTdg};
 pub use packer::{
@@ -103,4 +106,4 @@ pub use pool::{
     gas_estimate, AdmitEffects, AdmitOutcome, Mempool, MempoolStats, PooledTx, ReadyChain,
     ReadyHeadKey,
 };
-pub use report::{BlockRecord, PipelineRunReport};
+pub use report::{receipts_digest, BlockRecord, PipelineRunReport};

@@ -1,8 +1,37 @@
 //! Per-block and per-run pipeline reports.
 
 use crate::MempoolStats;
+use blockconc_account::Receipt;
+use blockconc_store::StoreStats;
+use blockconc_types::Hash;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+
+/// A deterministic digest of a block's receipts (transaction ids, outcomes, gas,
+/// internal transactions and logs): the per-block oracle the backend-equivalence
+/// tests compare across state backends.
+pub fn receipts_digest(receipts: &[Receipt]) -> String {
+    let mut data = Vec::with_capacity(receipts.len() * 64);
+    for receipt in receipts {
+        data.extend_from_slice(receipt.tx_id().hash().as_bytes());
+        data.push(receipt.succeeded() as u8);
+        data.extend_from_slice(&receipt.gas_used().value().to_le_bytes());
+        data.extend_from_slice(&(receipt.internal_transactions().len() as u64).to_le_bytes());
+        for internal in receipt.internal_transactions() {
+            data.extend_from_slice(internal.from().as_bytes());
+            data.extend_from_slice(internal.to().as_bytes());
+            data.extend_from_slice(&internal.value().sats().to_le_bytes());
+        }
+        // Length-prefixed like the internal transactions: without the count, a
+        // trailing log word would be indistinguishable from the next receipt's
+        // leading tx-hash bytes.
+        data.extend_from_slice(&(receipt.logs().len() as u64).to_le_bytes());
+        for log in receipt.logs() {
+            data.extend_from_slice(&log.to_le_bytes());
+        }
+    }
+    Hash::of_bytes(&data).to_hex()
+}
 
 /// What the pipeline measured for one produced block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,6 +81,30 @@ pub struct BlockRecord {
     pub pack_wall_nanos: u64,
     /// Wall-clock nanoseconds of the engine's parallel phase.
     pub execute_wall_nanos: u64,
+    /// Digest of this block's receipts (see [`receipts_digest`]).
+    pub receipts_digest: String,
+    /// Model-unit cost of committing this block's write-set delta to the state
+    /// backend (journal append + amortized snapshot compaction for the disk
+    /// backend; see `blockconc_store::store_units`).
+    pub store_units: u64,
+    /// Wall-clock nanoseconds of the state-backend commit.
+    pub store_wall_nanos: u64,
+}
+
+impl BlockRecord {
+    /// This record with every wall-clock and backend-cost field zeroed: what must
+    /// be *bit-identical* across state backends for the same arrival stream (the
+    /// backend may only change how long commits take and what they cost — never
+    /// which transactions are packed, how they execute, or what they leave behind).
+    pub fn normalized(&self) -> BlockRecord {
+        BlockRecord {
+            pack_wall_nanos: 0,
+            execute_wall_nanos: 0,
+            store_wall_nanos: 0,
+            store_units: 0,
+            ..self.clone()
+        }
+    }
 }
 
 /// Aggregate results of one pipeline run (one packer × engine × thread combination
@@ -74,6 +127,11 @@ pub struct PipelineRunReport {
     pub leftover_mempool: usize,
     /// The mempool's admission counters for the run.
     pub mempool_stats: MempoolStats,
+    /// Digest of the complete post-run state (committed ⊕ resident), hex-encoded —
+    /// identical across state backends for the same arrival stream.
+    pub final_state_root: String,
+    /// The state backend's cumulative counters for the run.
+    pub store: StoreStats,
 }
 
 impl PipelineRunReport {
@@ -154,6 +212,9 @@ mod tests {
             pack_considered: 0,
             pack_wall_nanos: 100_000,
             execute_wall_nanos: 1_000_000,
+            receipts_digest: String::new(),
+            store_units: 3,
+            store_wall_nanos: 10_000,
         }
     }
 
@@ -166,6 +227,8 @@ mod tests {
             total_failed: 0,
             leftover_mempool: 0,
             mempool_stats: MempoolStats::default(),
+            final_state_root: String::new(),
+            store: StoreStats::default(),
             blocks,
         }
     }
@@ -187,6 +250,30 @@ mod tests {
         assert_eq!(r.mean_predicted_speedup(), 0.0);
         assert_eq!(r.throughput_tps(), 0.0);
         assert_eq!(r.mean_mempool_len(), 0.0);
+    }
+
+    #[test]
+    fn normalized_records_zero_only_cost_fields() {
+        let record = record(10, 5, 5);
+        let normalized = record.normalized();
+        assert_eq!(normalized.pack_wall_nanos, 0);
+        assert_eq!(normalized.execute_wall_nanos, 0);
+        assert_eq!(normalized.store_wall_nanos, 0);
+        assert_eq!(normalized.store_units, 0);
+        assert_eq!(normalized.tx_count, record.tx_count);
+        assert_eq!(normalized.height, record.height);
+    }
+
+    #[test]
+    fn receipts_digest_is_deterministic_and_content_sensitive() {
+        use blockconc_types::{Gas, TxId};
+        let a = Receipt::success(TxId::from_low(1), Gas::new(21_000), vec![], vec![]);
+        let b = Receipt::failure(TxId::from_low(1), Gas::new(21_000), "nope");
+        assert_eq!(
+            receipts_digest(std::slice::from_ref(&a)),
+            receipts_digest(std::slice::from_ref(&a))
+        );
+        assert_ne!(receipts_digest(&[a]), receipts_digest(&[b]));
     }
 
     #[test]

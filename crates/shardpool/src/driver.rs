@@ -133,6 +133,11 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
     /// failures are recorded in the block records instead.
     pub fn run(mut self, mut stream: ArrivalStream) -> Result<ShardedRunReport> {
         let mut state = stream.base_state().clone();
+        // Mount the configured backend: genesis commits at height 0 and every
+        // produced block commits its write-set delta (journaled on disk when
+        // `PipelineConfig::state_backend` selects the disk store).
+        let backend = self.config.state_backend.build()?;
+        state.attach_backend(backend, self.config.state_backend.working_set_cap())?;
         let mut funded: HashSet<Address> = HashSet::new();
         let pool = ShardedMempool::new(self.config.shards, self.config.mempool_capacity);
         let mut lookahead: Option<TxArrival> = None;
@@ -144,6 +149,7 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
 
         for height in 1..=self.config.max_blocks as u64 {
             let deadline = height as f64 * self.config.block_interval_secs;
+            state.begin_block(height)?;
 
             // Phase 1: collect the due arrivals, mirroring the generator's lazy
             // funding and snapshotting each sender's account nonce (state does not
@@ -175,6 +181,8 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
             let ingest_report = self.ingest.ingest(&pool, batch);
 
             if pool.is_empty() && lookahead.is_none() && stream.remaining() == 0 {
+                // Flush any funding credited during the final (blockless) ingest.
+                state.commit_block()?;
                 break;
             }
 
@@ -206,6 +214,10 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
                 pool.rebalance();
             }
 
+            let store_started = Instant::now();
+            let commit = state.commit_block()?;
+            let store_wall = store_started.elapsed();
+
             let failed = executed
                 .receipts()
                 .iter()
@@ -235,6 +247,9 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
                 pack_considered: packed.considered,
                 pack_wall_nanos: pack_wall.as_nanos() as u64,
                 execute_wall_nanos: execute_wall.as_nanos() as u64,
+                receipts_digest: blockconc_pipeline::receipts_digest(executed.receipts()),
+                store_units: commit.store_units,
+                store_wall_nanos: store_wall.as_nanos() as u64,
             });
             phases.push(BlockPhaseRecord {
                 height,
@@ -257,6 +272,8 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
                 total_failed,
                 leftover_mempool: pool.len(),
                 mempool_stats: pool.stats(),
+                final_state_root: state.state_root().to_hex(),
+                store: state.backend_stats().unwrap_or_default(),
             },
             shards: self.config.shards,
             producers: self.config.producer_threads,

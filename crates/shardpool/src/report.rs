@@ -122,6 +122,9 @@ mod tests {
             pack_considered: tx_count as u64,
             pack_wall_nanos: 0,
             execute_wall_nanos: 1,
+            receipts_digest: String::new(),
+            store_units: 0,
+            store_wall_nanos: 0,
         }
     }
 
@@ -136,6 +139,8 @@ mod tests {
             total_failed: 0,
             leftover_mempool: 10,
             mempool_stats: MempoolStats::default(),
+            final_state_root: String::new(),
+            store: blockconc_pipeline::StoreStats::default(),
         };
         let report = ShardedRunReport {
             run,
@@ -173,6 +178,8 @@ mod tests {
                 total_failed: 0,
                 leftover_mempool: 0,
                 mempool_stats: MempoolStats::default(),
+                final_state_root: String::new(),
+                store: blockconc_pipeline::StoreStats::default(),
             },
             shards: 2,
             producers: 2,

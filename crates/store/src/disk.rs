@@ -1,0 +1,803 @@
+//! The log-structured disk backend: append-only journal of per-block write-set
+//! deltas, periodic snapshot compaction, recovery-by-replay on open.
+//!
+//! See `crates/store/README.md` for the on-disk format, the recovery protocol and
+//! the compaction policy; the crash-recovery property tests in
+//! `crates/store/tests/` drive torn-tail and torn-snapshot scenarios against it.
+
+use crate::journal::{append_frame, decode_frame, FrameScanner, JournalRecord};
+use crate::{
+    store_units, BlockDelta, CommitStats, DiskConfig, StateBackend, StoreStats, StoredAccount,
+};
+use blockconc_types::{Address, Error, Result};
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Which file of an epoch a record lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum FileKind {
+    Snapshot,
+    Journal,
+}
+
+/// Where an account's latest value sits on disk: one whole frame in one file.
+#[derive(Debug, Clone, Copy)]
+struct Location {
+    kind: FileKind,
+    epoch: u64,
+    offset: u64,
+    len: u32,
+}
+
+fn file_path(dir: &Path, kind: FileKind, epoch: u64) -> PathBuf {
+    match kind {
+        FileKind::Journal => dir.join(format!("journal-{epoch:06}.log")),
+        FileKind::Snapshot => dir.join(format!("snapshot-{epoch:06}.log")),
+    }
+}
+
+fn io_err(context: &str, err: std::io::Error) -> Error {
+    Error::execution(format!("store: {context}: {err}"))
+}
+
+/// A [`StateBackend`] whose committed state lives on disk.
+///
+/// In memory it keeps only a per-account *index* (address → file/offset/length of
+/// the latest value record), so resident memory is O(accounts) index entries plus
+/// whatever working set the owning `WorldState` caches — account *values* and the
+/// whole block history stay on disk. Point reads seek one frame; commits append one
+/// framed write-set delta; [`DiskConfig::snapshot_every`] bounds recovery replay by
+/// compacting the live state into a snapshot and starting a fresh journal epoch.
+///
+/// # Examples
+///
+/// ```no_run
+/// use blockconc_store::{DiskBackend, DiskConfig, StateBackend};
+///
+/// let mut backend = DiskBackend::open(&DiskConfig::new("/tmp/blockconc-demo")).unwrap();
+/// assert_eq!(backend.committed_height(), 0);
+/// ```
+#[derive(Debug)]
+pub struct DiskBackend {
+    dir: PathBuf,
+    snapshot_every: u64,
+    epoch: u64,
+    journal: File,
+    journal_len: u64,
+    index: BTreeMap<Address, Location>,
+    committed: Option<u64>,
+    open_height: Option<u64>,
+    last_snapshot_height: u64,
+    readers: HashMap<(FileKind, u64), File>,
+    stats: StoreStats,
+}
+
+impl DiskBackend {
+    /// Opens (or creates) the store in `config.dir`, recovering committed state by
+    /// loading the newest valid snapshot and replaying the journal epochs after it.
+    /// A torn journal tail — a crash mid-append — is detected by the frame CRCs and
+    /// truncated; a torn newest snapshot falls back to the previous generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created or the files cannot be
+    /// read.
+    pub fn open(config: &DiskConfig) -> Result<Self> {
+        fs::create_dir_all(&config.dir).map_err(|e| io_err("create store directory", e))?;
+        let (snapshots, journals) = list_epochs(&config.dir)?;
+
+        // Newest snapshot that validates wins; invalid (torn) ones fall back a
+        // generation. With no usable snapshot, replay starts from an empty state.
+        let mut index = BTreeMap::new();
+        let mut committed: Option<u64> = None;
+        let mut last_snapshot_height = 0u64;
+        let mut base_epoch = 0u64;
+        let mut stats = StoreStats {
+            backend: "disk-journal".to_string(),
+            ..StoreStats::default()
+        };
+        for &epoch in snapshots.iter().rev() {
+            if let Some((snap_index, height)) = load_snapshot(&config.dir, epoch)? {
+                index = snap_index;
+                committed = Some(height);
+                last_snapshot_height = height;
+                base_epoch = epoch;
+                break;
+            }
+        }
+
+        // Replay the journals of the chosen generation onwards, oldest first.
+        let mut max_epoch = base_epoch.max(snapshots.last().copied().unwrap_or(0));
+        let mut newest_valid_len = 0u64;
+        for &epoch in journals.iter().filter(|&&e| e >= base_epoch) {
+            max_epoch = max_epoch.max(epoch);
+            let valid_len =
+                replay_journal(&config.dir, epoch, &mut index, &mut committed, &mut stats)?;
+            newest_valid_len = valid_len;
+        }
+
+        // Append to the newest journal, truncating any torn tail first so new
+        // frames land on a valid boundary.
+        let journal_path = file_path(&config.dir, FileKind::Journal, max_epoch);
+        let has_newest = journals.contains(&max_epoch);
+        let journal = OpenOptions::new()
+            .create(true)
+            .truncate(false) // appended to; any torn tail is trimmed via set_len below
+            .read(true)
+            .write(true)
+            .open(&journal_path)
+            .map_err(|e| io_err("open journal", e))?;
+        let journal_len = if has_newest { newest_valid_len } else { 0 };
+        journal
+            .set_len(journal_len)
+            .map_err(|e| io_err("truncate torn journal tail", e))?;
+        let mut backend = DiskBackend {
+            dir: config.dir.clone(),
+            snapshot_every: config.snapshot_every,
+            epoch: max_epoch,
+            journal,
+            journal_len,
+            index,
+            committed,
+            open_height: None,
+            last_snapshot_height,
+            readers: HashMap::new(),
+            stats,
+        };
+        backend
+            .journal
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seek journal end", e))?;
+        Ok(backend)
+    }
+
+    /// Bytes currently in the active journal epoch (used by the crash-recovery
+    /// tests to map truncation points onto commit boundaries).
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_len
+    }
+
+    /// The active journal/snapshot generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Height of the last snapshot compaction (0 if none yet).
+    pub fn last_snapshot_height(&self) -> u64 {
+        self.last_snapshot_height
+    }
+
+    /// Forces a snapshot compaction now (also triggered automatically every
+    /// [`DiskConfig::snapshot_every`] committed blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure.
+    pub fn compact(&mut self) -> Result<CommitStats> {
+        let new_epoch = self.epoch + 1;
+        let height = self.committed.unwrap_or(0);
+        let addresses: Vec<(Address, Location)> =
+            self.index.iter().map(|(a, l)| (*a, *l)).collect();
+
+        let mut buf = Vec::new();
+        append_frame(
+            &mut buf,
+            &JournalRecord::SnapshotBegin {
+                height,
+                accounts: addresses.len() as u64,
+            },
+        )?;
+        let mut new_index = BTreeMap::new();
+        for (address, location) in &addresses {
+            let account = self.read_location(*location)?;
+            let offset = buf.len() as u64;
+            let len = append_frame(
+                &mut buf,
+                &JournalRecord::Upsert {
+                    address: *address,
+                    account,
+                },
+            )?;
+            new_index.insert(
+                *address,
+                Location {
+                    kind: FileKind::Snapshot,
+                    epoch: new_epoch,
+                    offset,
+                    len: len as u32,
+                },
+            );
+        }
+        append_frame(
+            &mut buf,
+            &JournalRecord::SnapshotEnd {
+                accounts: addresses.len() as u64,
+            },
+        )?;
+
+        // Durable snapshot via temp file + atomic rename, then a fresh journal.
+        let final_path = file_path(&self.dir, FileKind::Snapshot, new_epoch);
+        let tmp_path = final_path.with_extension("tmp");
+        fs::write(&tmp_path, &buf).map_err(|e| io_err("write snapshot", e))?;
+        fs::rename(&tmp_path, &final_path).map_err(|e| io_err("publish snapshot", e))?;
+        let journal_path = file_path(&self.dir, FileKind::Journal, new_epoch);
+        self.journal = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&journal_path)
+            .map_err(|e| io_err("open fresh journal", e))?;
+        self.journal_len = 0;
+
+        // Keep exactly one previous generation as the torn-snapshot fallback.
+        let old_epoch = self.epoch;
+        let (snapshots, journals) = list_epochs(&self.dir)?;
+        for epoch in snapshots.into_iter().filter(|&e| e < old_epoch) {
+            let _ = fs::remove_file(file_path(&self.dir, FileKind::Snapshot, epoch));
+        }
+        for epoch in journals.into_iter().filter(|&e| e < old_epoch) {
+            let _ = fs::remove_file(file_path(&self.dir, FileKind::Journal, epoch));
+        }
+        self.readers.retain(|&(_, epoch), _| epoch >= old_epoch);
+
+        self.index = new_index;
+        self.epoch = new_epoch;
+        self.last_snapshot_height = height;
+        self.stats.snapshots_written += 1;
+        let records = addresses.len() as u64;
+        let bytes = buf.len() as u64;
+        let units = store_units(records, bytes);
+        self.stats.records_written += records;
+        self.stats.bytes_written += bytes;
+        self.stats.commit_units += units;
+        Ok(CommitStats {
+            height,
+            records,
+            bytes,
+            store_units: units,
+        })
+    }
+
+    fn read_location(&mut self, location: Location) -> Result<StoredAccount> {
+        let path = file_path(&self.dir, location.kind, location.epoch);
+        let file = match self.readers.entry((location.kind, location.epoch)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(File::open(&path).map_err(|err| io_err("open for read", err))?)
+            }
+        };
+        file.seek(SeekFrom::Start(location.offset))
+            .map_err(|e| io_err("seek record", e))?;
+        let mut bytes = vec![0u8; location.len as usize];
+        file.read_exact(&mut bytes)
+            .map_err(|e| io_err("read record", e))?;
+        match decode_frame(&bytes)? {
+            JournalRecord::Upsert { account, .. } => Ok(account),
+            other => Err(Error::execution(format!(
+                "store: index pointed at a non-account record {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Epochs present in `dir`, each list ascending.
+fn list_epochs(dir: &Path) -> Result<(Vec<u64>, Vec<u64>)> {
+    let mut snapshots = Vec::new();
+    let mut journals = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| io_err("list store directory", e))? {
+        let entry = entry.map_err(|e| io_err("list store directory", e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let parse = |prefix: &str| -> Option<u64> {
+            name.strip_prefix(prefix)?
+                .strip_suffix(".log")?
+                .parse()
+                .ok()
+        };
+        if let Some(epoch) = parse("snapshot-") {
+            snapshots.push(epoch);
+        } else if let Some(epoch) = parse("journal-") {
+            journals.push(epoch);
+        }
+    }
+    snapshots.sort_unstable();
+    journals.sort_unstable();
+    Ok((snapshots, journals))
+}
+
+/// Reads a store file whole. A missing file is a normal recovery state (`None`);
+/// any other I/O failure must propagate — treating e.g. a transient `EIO` as "no
+/// data here" would make `open` truncate a journal that still holds committed
+/// blocks.
+fn read_file_or_absent(path: &Path, context: &str) -> Result<Option<Vec<u8>>> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(io_err(context, e)),
+    }
+}
+
+/// Loads and validates one snapshot file; `None` if it is torn or malformed.
+#[allow(clippy::type_complexity)]
+fn load_snapshot(dir: &Path, epoch: u64) -> Result<Option<(BTreeMap<Address, Location>, u64)>> {
+    let path = file_path(dir, FileKind::Snapshot, epoch);
+    let Some(bytes) = read_file_or_absent(&path, "read snapshot")? else {
+        return Ok(None);
+    };
+    let mut scanner = FrameScanner::new(&bytes);
+    let Some(first) = scanner.next() else {
+        return Ok(None);
+    };
+    let JournalRecord::SnapshotBegin { height, accounts } = first.record else {
+        return Ok(None);
+    };
+    let mut index = BTreeMap::new();
+    for _ in 0..accounts {
+        let Some(frame) = scanner.next() else {
+            return Ok(None);
+        };
+        let JournalRecord::Upsert { address, .. } = frame.record else {
+            return Ok(None);
+        };
+        index.insert(
+            address,
+            Location {
+                kind: FileKind::Snapshot,
+                epoch,
+                offset: frame.offset,
+                len: frame.len,
+            },
+        );
+    }
+    match scanner.next() {
+        Some(frame)
+            if frame.record == (JournalRecord::SnapshotEnd { accounts })
+                && scanner.consumed as usize == bytes.len() =>
+        {
+            Ok(Some((index, height)))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Replays one journal epoch into the index, applying only fully committed blocks
+/// ahead of the current height; returns the byte length of the valid committed
+/// prefix (everything after it is a torn or uncommitted tail).
+fn replay_journal(
+    dir: &Path,
+    epoch: u64,
+    index: &mut BTreeMap<Address, Location>,
+    committed: &mut Option<u64>,
+    stats: &mut StoreStats,
+) -> Result<u64> {
+    let path = file_path(dir, FileKind::Journal, epoch);
+    let Some(bytes) = read_file_or_absent(&path, "read journal")? else {
+        return Ok(0);
+    };
+    let mut scanner = FrameScanner::new(&bytes);
+    let mut valid_end = 0u64;
+    let mut pending_height: Option<u64> = None;
+    let mut pending: Vec<(Address, Option<Location>)> = Vec::new();
+    let mut pending_units = 0u64;
+    while let Some(frame) = scanner.next() {
+        match frame.record {
+            JournalRecord::BlockBegin { height } => {
+                pending_height = Some(height);
+                pending.clear();
+                pending_units = frame.len as u64;
+            }
+            JournalRecord::Upsert { address, .. } if pending_height.is_some() => {
+                pending.push((
+                    address,
+                    Some(Location {
+                        kind: FileKind::Journal,
+                        epoch,
+                        offset: frame.offset,
+                        len: frame.len,
+                    }),
+                ));
+                pending_units += frame.len as u64;
+            }
+            JournalRecord::Delete { address } if pending_height.is_some() => {
+                pending.push((address, None));
+                pending_units += frame.len as u64;
+            }
+            JournalRecord::BlockCommit { height, records }
+                if pending_height == Some(height) && records == pending.len() as u64 =>
+            {
+                if committed.map_or(true, |c| height > c) {
+                    for (address, location) in pending.drain(..) {
+                        match location {
+                            Some(location) => {
+                                index.insert(address, location);
+                            }
+                            None => {
+                                index.remove(&address);
+                            }
+                        }
+                    }
+                    *committed = Some(height);
+                    stats.replayed_blocks += 1;
+                    stats.replayed_records += records;
+                    stats.replay_units += store_units(records, pending_units + frame.len as u64);
+                }
+                pending_height = None;
+                valid_end = scanner.consumed;
+            }
+            // Any protocol violation means the writer died mid-block or the file
+            // is corrupt from here on: stop, keeping only the sealed prefix.
+            _ => break,
+        }
+    }
+    Ok(valid_end)
+}
+
+impl StateBackend for DiskBackend {
+    fn name(&self) -> &'static str {
+        "disk-journal"
+    }
+
+    fn get_account(&mut self, address: Address) -> Option<StoredAccount> {
+        let location = *self.index.get(&address)?;
+        self.stats.backend_reads += 1;
+        self.stats.read_bytes += location.len as u64;
+        // The index says the account exists, so a failed read is store corruption
+        // or an I/O fault — never "no such account". Returning None here would
+        // silently materialize an empty account and commit it as the new value.
+        Some(
+            self.read_location(location)
+                .expect("indexed account record must be readable"),
+        )
+    }
+
+    fn contains_account(&mut self, address: Address) -> bool {
+        self.index.contains_key(&address)
+    }
+
+    fn begin_block(&mut self, height: u64) -> Result<()> {
+        if let Some(open) = self.open_height {
+            return Err(Error::validation(format!(
+                "block {open} is already open, cannot begin {height}"
+            )));
+        }
+        if let Some(committed) = self.committed {
+            if height <= committed {
+                return Err(Error::validation(format!(
+                    "cannot begin block {height} at committed height {committed}"
+                )));
+            }
+        }
+        self.open_height = Some(height);
+        Ok(())
+    }
+
+    fn commit_block(&mut self, delta: &BlockDelta) -> Result<CommitStats> {
+        match self.open_height {
+            Some(open) if open != delta.height => {
+                return Err(Error::validation(format!(
+                    "delta height {} does not match open block {open}",
+                    delta.height
+                )))
+            }
+            None if self.committed.is_some_and(|c| delta.height <= c) => {
+                return Err(Error::validation(format!(
+                    "cannot commit block {} behind committed height",
+                    delta.height
+                )))
+            }
+            _ => {}
+        }
+
+        let mut buf = Vec::new();
+        append_frame(
+            &mut buf,
+            &JournalRecord::BlockBegin {
+                height: delta.height,
+            },
+        )?;
+        let mut placements: Vec<(Address, Option<Location>)> =
+            Vec::with_capacity(delta.records.len());
+        for record in &delta.records {
+            match &record.account {
+                Some(account) => {
+                    let offset = self.journal_len + buf.len() as u64;
+                    let len = append_frame(
+                        &mut buf,
+                        &JournalRecord::Upsert {
+                            address: record.address,
+                            account: account.clone(),
+                        },
+                    )?;
+                    placements.push((
+                        record.address,
+                        Some(Location {
+                            kind: FileKind::Journal,
+                            epoch: self.epoch,
+                            offset,
+                            len: len as u32,
+                        }),
+                    ));
+                }
+                None => {
+                    append_frame(
+                        &mut buf,
+                        &JournalRecord::Delete {
+                            address: record.address,
+                        },
+                    )?;
+                    placements.push((record.address, None));
+                }
+            }
+        }
+        append_frame(
+            &mut buf,
+            &JournalRecord::BlockCommit {
+                height: delta.height,
+                records: delta.records.len() as u64,
+            },
+        )?;
+        self.journal
+            .write_all(&buf)
+            .map_err(|e| io_err("append block delta", e))?;
+        self.journal
+            .flush()
+            .map_err(|e| io_err("flush journal", e))?;
+        self.journal_len += buf.len() as u64;
+
+        for (address, location) in placements {
+            match location {
+                Some(location) => {
+                    self.index.insert(address, location);
+                }
+                None => {
+                    self.index.remove(&address);
+                }
+            }
+        }
+        self.open_height = None;
+        self.committed = Some(delta.height);
+        let records = delta.records.len() as u64;
+        let bytes = buf.len() as u64;
+        let mut units = store_units(records, bytes);
+        self.stats.committed_blocks += 1;
+        self.stats.records_written += records;
+        self.stats.bytes_written += bytes;
+        self.stats.commit_units += units;
+
+        let mut total_bytes = bytes;
+        let mut total_records = records;
+        if self.snapshot_every > 0
+            && delta.height.saturating_sub(self.last_snapshot_height) >= self.snapshot_every
+        {
+            // Amortized compaction cost is charged to the commit that triggers it.
+            let compaction = self.compact()?;
+            units += compaction.store_units;
+            total_bytes += compaction.bytes;
+            total_records += compaction.records;
+        }
+        Ok(CommitStats {
+            height: delta.height,
+            records: total_records,
+            bytes: total_bytes,
+            store_units: units,
+        })
+    }
+
+    fn rollback_block(&mut self) -> Result<()> {
+        self.open_height
+            .take()
+            .map(|_| ())
+            .ok_or_else(|| Error::validation("no open block to roll back"))
+    }
+
+    fn committed_block(&self) -> Option<u64> {
+        self.committed
+    }
+
+    fn open_height(&self) -> Option<u64> {
+        self.open_height
+    }
+
+    fn account_count(&self) -> usize {
+        self.index.len()
+    }
+
+    fn for_each_account(&mut self, f: &mut dyn FnMut(Address, StoredAccount)) {
+        let entries: Vec<(Address, Location)> = self.index.iter().map(|(a, l)| (*a, *l)).collect();
+        for (address, location) in entries {
+            if let Ok(account) = self.read_location(location) {
+                f(address, account);
+            }
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats.clone()
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.journal.flush().map_err(|e| io_err("flush journal", e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeltaRecord;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("blockconc-store-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn account(balance: u64) -> StoredAccount {
+        StoredAccount {
+            balance_sats: balance,
+            nonce: balance / 10,
+            storage: vec![(1, balance)],
+            code_json: None,
+        }
+    }
+
+    fn delta(height: u64, accounts: &[(u64, u64)]) -> BlockDelta {
+        BlockDelta {
+            height,
+            records: accounts
+                .iter()
+                .map(|&(addr, balance)| DeltaRecord {
+                    address: Address::from_low(addr),
+                    account: Some(account(balance)),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn commit_read_reopen_round_trip() {
+        let dir = tempdir("roundtrip");
+        let config = DiskConfig::new(&dir);
+        {
+            let mut backend = DiskBackend::open(&config).unwrap();
+            backend.begin_block(1).unwrap();
+            backend
+                .commit_block(&delta(1, &[(1, 100), (2, 200)]))
+                .unwrap();
+            backend.begin_block(2).unwrap();
+            backend.commit_block(&delta(2, &[(1, 150)])).unwrap();
+            assert_eq!(
+                backend
+                    .get_account(Address::from_low(1))
+                    .unwrap()
+                    .balance_sats,
+                150
+            );
+        }
+        let mut reopened = DiskBackend::open(&config).unwrap();
+        assert_eq!(reopened.committed_height(), 2);
+        assert_eq!(reopened.account_count(), 2);
+        assert_eq!(
+            reopened
+                .get_account(Address::from_low(1))
+                .unwrap()
+                .balance_sats,
+            150
+        );
+        assert_eq!(
+            reopened
+                .get_account(Address::from_low(2))
+                .unwrap()
+                .balance_sats,
+            200
+        );
+        assert_eq!(reopened.stats().replayed_blocks, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_bounds_replay() {
+        let dir = tempdir("compact");
+        let config = DiskConfig {
+            snapshot_every: 4,
+            ..DiskConfig::new(&dir)
+        };
+        {
+            let mut backend = DiskBackend::open(&config).unwrap();
+            for height in 1..=10u64 {
+                backend.begin_block(height).unwrap();
+                backend
+                    .commit_block(&delta(height, &[(height % 3, height * 10)]))
+                    .unwrap();
+            }
+            assert!(backend.stats().snapshots_written >= 2);
+            assert!(backend.last_snapshot_height() >= 8);
+        }
+        let mut reopened = DiskBackend::open(&config).unwrap();
+        assert_eq!(reopened.committed_height(), 10);
+        // Replay after compaction is bounded by blocks since the last snapshot.
+        assert!(reopened.stats().replayed_blocks <= 4);
+        assert_eq!(
+            reopened
+                .get_account(Address::from_low(10 % 3))
+                .unwrap()
+                .balance_sats,
+            100
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_journal_propagates_instead_of_truncating() {
+        // An I/O error that is not NotFound (here: EISDIR via a directory squatting
+        // on the journal path) must fail `open` loudly — treating it as "empty"
+        // would wipe committed history via the torn-tail truncation.
+        let dir = tempdir("unreadable");
+        fs::create_dir_all(dir.join("journal-000000.log")).unwrap();
+        assert!(DiskBackend::open(&DiskConfig::new(&dir)).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_empty_store_reports_committed_genesis() {
+        let dir = tempdir("genesis");
+        let config = DiskConfig::new(&dir);
+        {
+            let mut backend = DiskBackend::open(&config).unwrap();
+            assert!(backend.committed_block().is_none());
+            backend.begin_block(0).unwrap();
+            backend
+                .commit_block(&BlockDelta {
+                    height: 0,
+                    records: vec![],
+                })
+                .unwrap();
+        }
+        let reopened = DiskBackend::open(&config).unwrap();
+        // Height 0 with an empty delta is still a commit: the store is no longer
+        // fresh, which is what `WorldState::attach_backend` keys off.
+        assert_eq!(reopened.committed_block(), Some(0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_on_reopen() {
+        let dir = tempdir("torn");
+        let config = DiskConfig {
+            snapshot_every: 0,
+            ..DiskConfig::new(&dir)
+        };
+        let boundary;
+        {
+            let mut backend = DiskBackend::open(&config).unwrap();
+            backend.begin_block(1).unwrap();
+            backend.commit_block(&delta(1, &[(1, 100)])).unwrap();
+            boundary = backend.journal_bytes();
+            backend.begin_block(2).unwrap();
+            backend.commit_block(&delta(2, &[(1, 999)])).unwrap();
+        }
+        let journal = file_path(&dir, FileKind::Journal, 0);
+        let full = fs::metadata(&journal).unwrap().len();
+        // Tear the tail anywhere inside block 2's frames.
+        let file = OpenOptions::new().write(true).open(&journal).unwrap();
+        file.set_len(boundary + (full - boundary) / 2).unwrap();
+        drop(file);
+        let mut reopened = DiskBackend::open(&config).unwrap();
+        assert_eq!(reopened.committed_height(), 1);
+        assert_eq!(
+            reopened
+                .get_account(Address::from_low(1))
+                .unwrap()
+                .balance_sats,
+            100
+        );
+        // The torn tail was truncated, so new commits extend a clean journal.
+        assert_eq!(reopened.journal_bytes(), boundary);
+        reopened.begin_block(2).unwrap();
+        reopened.commit_block(&delta(2, &[(1, 101)])).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

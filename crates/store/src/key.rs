@@ -1,0 +1,66 @@
+//! State keys and values: the unit of access tracking and backend storage.
+
+use blockconc_types::Address;
+use serde::{Deserialize, Serialize};
+
+/// A key identifying one piece of mutable state, used by access tracking, by the
+/// optimistic-concurrency engines in `blockconc-execution`, and by the state
+/// backends in this crate.
+///
+/// Balance and nonce are tracked at account granularity; contract storage is tracked
+/// per slot, matching the storage-level conflict definition of Saraph & Herlihy that
+/// the paper compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StateKey {
+    /// The balance (and nonce) of an account.
+    Balance(Address),
+    /// One storage slot of a contract account.
+    Storage(Address, u64),
+}
+
+impl StateKey {
+    /// The account the key belongs to.
+    pub fn address(&self) -> Address {
+        match self {
+            StateKey::Balance(addr) => *addr,
+            StateKey::Storage(addr, _) => *addr,
+        }
+    }
+}
+
+/// The value stored under a [`StateKey`], as read through
+/// [`StateBackend::get`](crate::StateBackend::get).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StateValue {
+    /// Balance (in base units) and nonce of an account — the pair lives under one
+    /// [`StateKey::Balance`] key, mirroring account-granularity conflict tracking.
+    AccountMeta {
+        /// Balance in base units.
+        balance_sats: u64,
+        /// Transaction nonce.
+        nonce: u64,
+    },
+    /// One contract storage slot.
+    Slot(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_expose_their_address_and_order_deterministically() {
+        let a = Address::from_low(1);
+        let b = Address::from_low(2);
+        assert_eq!(StateKey::Balance(a).address(), a);
+        assert_eq!(StateKey::Storage(b, 7).address(), b);
+        let mut keys = [
+            StateKey::Storage(a, 1),
+            StateKey::Balance(b),
+            StateKey::Balance(a),
+            StateKey::Storage(a, 0),
+        ];
+        keys.sort();
+        assert_eq!(keys[0], StateKey::Balance(a));
+    }
+}

@@ -1,0 +1,177 @@
+//! Snapshot-compaction invariants:
+//!
+//! 1. compaction at arbitrary block boundaries never changes observable state
+//!    (point reads, iteration, account counts); and
+//! 2. replay cost after compaction is bounded by blocks-since-snapshot, asserted
+//!    via the store's model-unit counters (`replayed_blocks` / `replayed_records` /
+//!    `replay_units`).
+
+use blockconc_store::{
+    BlockDelta, DeltaRecord, DiskBackend, DiskConfig, StateBackend, StoredAccount,
+};
+use blockconc_types::Address;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn store_dir(tag: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "blockconc-store-compact-{tag}-{}-{seq}",
+        std::process::id()
+    ))
+}
+
+fn delta_for(height: u64, mix: u64) -> BlockDelta {
+    let mut records = Vec::new();
+    for i in 0..(1 + (height.wrapping_add(mix) % 5)) {
+        let addr = (height
+            .wrapping_mul(11)
+            .wrapping_add(i * 3)
+            .wrapping_add(mix))
+            % 10;
+        let delete = height > 3 && (height + i) % 9 == 0;
+        records.push(DeltaRecord {
+            address: Address::from_low(addr),
+            account: (!delete).then(|| StoredAccount {
+                balance_sats: height * 100 + addr,
+                nonce: height,
+                storage: vec![(i, height)],
+                code_json: None,
+            }),
+        });
+    }
+    records.sort_by_key(|r| r.address);
+    records.dedup_by_key(|r| r.address);
+    BlockDelta { height, records }
+}
+
+fn observed_state(backend: &mut DiskBackend) -> BTreeMap<Address, StoredAccount> {
+    let mut observed = BTreeMap::new();
+    backend.for_each_account(&mut |address, account| {
+        observed.insert(address, account);
+    });
+    observed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Invariant 1: forcing compaction at an arbitrary boundary leaves every
+    // observable — point reads, iteration order and content, account count,
+    // committed height — exactly as a never-compacted twin of the same history.
+    #[test]
+    fn compaction_at_arbitrary_boundaries_preserves_observable_state(
+        blocks in 2u64..14,
+        mix in 0u64..1_000,
+        compact_marks in proptest::collection::vec(1u64..14, 0..4),
+    ) {
+        let plain_dir = store_dir("plain");
+        let compacted_dir = store_dir("forced");
+        let plain_config = DiskConfig { dir: plain_dir.clone(), working_set_cap: 0, snapshot_every: 0 };
+        let compacted_config = DiskConfig { dir: compacted_dir.clone(), working_set_cap: 0, snapshot_every: 0 };
+        let mut plain = DiskBackend::open(&plain_config).expect("open plain");
+        let mut compacted = DiskBackend::open(&compacted_config).expect("open compacted");
+        for height in 1..=blocks {
+            let delta = delta_for(height, mix);
+            plain.begin_block(height).expect("begin");
+            plain.commit_block(&delta).expect("commit");
+            compacted.begin_block(height).expect("begin");
+            compacted.commit_block(&delta).expect("commit");
+            if compact_marks.contains(&height) {
+                compacted.compact().expect("forced compaction");
+                // Immediately observable: nothing changed.
+                prop_assert_eq!(compacted.committed_height(), height);
+            }
+        }
+        prop_assert_eq!(plain.committed_height(), compacted.committed_height());
+        prop_assert_eq!(plain.account_count(), compacted.account_count());
+        let expected = observed_state(&mut plain);
+        prop_assert_eq!(observed_state(&mut compacted), expected.clone());
+        for address in expected.keys() {
+            prop_assert_eq!(
+                plain.get_account(*address),
+                compacted.get_account(*address)
+            );
+        }
+        // Reopening both twins agrees too (compaction changes the file layout,
+        // never the recovered state).
+        drop(plain);
+        drop(compacted);
+        let mut plain = DiskBackend::open(&plain_config).expect("reopen plain");
+        let mut compacted = DiskBackend::open(&compacted_config).expect("reopen compacted");
+        prop_assert_eq!(observed_state(&mut compacted), observed_state(&mut plain));
+        let _ = fs::remove_dir_all(&plain_dir);
+        let _ = fs::remove_dir_all(&compacted_dir);
+    }
+
+    // Invariant 2: replay cost after compaction is bounded by blocks since the
+    // last snapshot — visible in the model-unit counters a reopen reports.
+    #[test]
+    fn replay_cost_is_bounded_by_blocks_since_snapshot(
+        blocks in 6u64..16,
+        mix in 0u64..1_000,
+        cadence in 2u64..6,
+    ) {
+        let dir = store_dir("bound");
+        let config = DiskConfig { dir: dir.clone(), working_set_cap: 0, snapshot_every: cadence };
+        let last_snapshot_height;
+        let mut records_after_snapshot = 0u64;
+        {
+            let mut backend = DiskBackend::open(&config).expect("open");
+            for height in 1..=blocks {
+                let delta = delta_for(height, mix);
+                backend.begin_block(height).expect("begin");
+                backend.commit_block(&delta).expect("commit");
+            }
+            last_snapshot_height = backend.last_snapshot_height();
+            for height in last_snapshot_height + 1..=blocks {
+                records_after_snapshot += delta_for(height, mix).records.len() as u64;
+            }
+            prop_assert!(backend.stats().snapshots_written >= 1);
+        }
+
+        let reopened = DiskBackend::open(&config).expect("reopen");
+        let stats = reopened.stats();
+        // Exactly the post-snapshot suffix is replayed…
+        prop_assert_eq!(stats.replayed_blocks, blocks - last_snapshot_height);
+        prop_assert!(stats.replayed_blocks < cadence,
+            "replayed {} blocks at cadence {}", stats.replayed_blocks, cadence);
+        prop_assert_eq!(stats.replayed_records, records_after_snapshot);
+        // …and the replay model units scale with that suffix, not the history:
+        // every replayed block costs at least one unit and no more than its
+        // record count plus its framed bytes can justify.
+        if stats.replayed_blocks > 0 {
+            prop_assert!(stats.replay_units >= 1);
+        }
+        let per_block_ceiling = 1 + blockconc_store::store_units(
+            records_after_snapshot,
+            (records_after_snapshot + 2 * stats.replayed_blocks) * 512,
+        );
+        prop_assert!(
+            stats.replay_units <= stats.replayed_blocks * per_block_ceiling,
+            "replay units {} exceed the per-block ceiling {} x {}",
+            stats.replay_units, stats.replayed_blocks, per_block_ceiling
+        );
+
+        // A never-compacted twin of the same history must replay the whole of it.
+        let twin_dir = store_dir("twin");
+        let twin_config = DiskConfig { dir: twin_dir.clone(), working_set_cap: 0, snapshot_every: 0 };
+        {
+            let mut twin = DiskBackend::open(&twin_config).expect("open twin");
+            for height in 1..=blocks {
+                twin.begin_block(height).expect("begin");
+                twin.commit_block(&delta_for(height, mix)).expect("commit");
+            }
+        }
+        let twin = DiskBackend::open(&twin_config).expect("reopen twin");
+        prop_assert_eq!(twin.stats().replayed_blocks, blocks);
+        prop_assert!(twin.stats().replayed_blocks > stats.replayed_blocks);
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&twin_dir);
+    }
+}
