@@ -667,6 +667,69 @@ impl WorldState {
         }
     }
 
+    /// The complete persisted view of one account (resident value if cached,
+    /// committed value otherwise), or `None` if the account does not exist. This
+    /// is the export half of a cross-partition state handoff: the cluster layer
+    /// moves an account between shard partitions by exporting it here, removing it
+    /// ([`WorldState::remove_account`]) and installing it on the destination
+    /// ([`WorldState::install_account`]).
+    pub fn export_account(&self, address: Address) -> Option<StoredAccount> {
+        if let Some(account) = self.accounts.get(&address) {
+            return Some(account_to_stored(account));
+        }
+        self.fallback_stored(address)
+    }
+
+    /// Installs an account's persisted value into this state (the import half of a
+    /// cross-partition handoff). The account joins the open block's write set, so
+    /// the commit journals it into this partition's backend.
+    pub fn install_account(&mut self, address: Address, stored: &StoredAccount) {
+        self.accounts.insert(address, stored_to_account(stored));
+        self.mark_dirty(address);
+    }
+
+    /// Removes an account from this state (the eviction half of a cross-partition
+    /// handoff). The address joins the open block's write set as a deletion, so
+    /// the commit journals the departure; reads of the address afterwards see
+    /// nothing, exactly as if the account never lived here.
+    pub fn remove_account(&mut self, address: Address) {
+        self.accounts.remove(&address);
+        self.mark_dirty(address);
+    }
+
+    /// Withdraws `value` credited to a *phantom* account — one materialized by
+    /// executing the local debit half of a cross-shard transaction, whose real
+    /// home is another shard's partition. If the withdrawal leaves the account
+    /// exactly as if it had never been touched (zero balance, zero nonce, no
+    /// storage, no code, nothing committed for it in this partition), every trace
+    /// is erased — resident entry *and* dirty mark — so the block's write-set
+    /// delta carries no record of the visit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the usual debit errors if the account does not hold `value` (which
+    /// would indicate the caller mis-tracked the phantom credit).
+    pub fn withdraw_phantom(&mut self, address: Address, value: Amount) -> Result<()> {
+        self.debit(address, value)?;
+        let untouched = self.accounts.get(&address).is_some_and(|account| {
+            account.balance() == Amount::ZERO
+                && account.nonce() == 0
+                && !account.is_contract()
+                && account.storage_entries().is_empty()
+        });
+        if untouched {
+            let committed = self
+                .backend
+                .as_ref()
+                .is_some_and(|b| b.lock().expect("backend lock").contains_account(address));
+            if !committed {
+                self.accounts.remove(&address);
+                self.dirty.remove(&address);
+            }
+        }
+        Ok(())
+    }
+
     /// Iterates over the **resident** (address, account) pairs. Without a backend
     /// this is every account; with one, evicted accounts are not visited — use
     /// [`WorldState::state_root`] or [`WorldState::total_supply`] for whole-state
@@ -1025,6 +1088,65 @@ mod tests {
         }
         // Evicted values still read through.
         assert_eq!(state.balance(Address::from_low(1)), Amount::from_coins(1));
+    }
+
+    #[test]
+    fn account_handoff_moves_value_between_partitions() {
+        let mut source = backed_state();
+        let mut dest = WorldState::new();
+        dest.attach_backend(shared(MemoryBackend::new()), None)
+            .unwrap();
+        source.begin_block(1).unwrap();
+        dest.begin_block(1).unwrap();
+
+        let moved = Address::from_low(2);
+        let stored = source.export_account(moved).expect("account exists");
+        source.remove_account(moved);
+        dest.install_account(moved, &stored);
+        source.commit_block().unwrap();
+        dest.commit_block().unwrap();
+
+        assert!(!source.contains(moved));
+        assert_eq!(dest.balance(moved), Amount::from_coins(20));
+        // The departure was committed: a reopened view of the source backend has
+        // no trace of the account.
+        let source_backend = source.backend().unwrap();
+        assert!(!source_backend.lock().unwrap().contains_account(moved));
+        let dest_backend = dest.backend().unwrap();
+        assert!(dest_backend.lock().unwrap().contains_account(moved));
+    }
+
+    #[test]
+    fn withdraw_phantom_erases_every_trace_of_a_reversed_credit() {
+        let mut state = backed_state();
+        state.begin_block(1).unwrap();
+        let root_before = state.state_root();
+        let phantom = Address::from_low(7_777);
+        // The debit half of a cross-shard transfer credits the foreign receiver
+        // locally; the reversal must leave the partition bit-identical.
+        state.credit(phantom, Amount::from_coins(3));
+        state
+            .withdraw_phantom(phantom, Amount::from_coins(3))
+            .unwrap();
+        assert!(!state.contains(phantom));
+        assert_eq!(state.state_root(), root_before);
+        let stats = state.commit_block().unwrap();
+        assert_eq!(stats.records, 0, "no write-set record for the phantom");
+    }
+
+    #[test]
+    fn withdraw_phantom_keeps_real_accounts() {
+        let mut state = backed_state();
+        state.begin_block(1).unwrap();
+        // A pre-existing account that receives and loses a credit stays (it is
+        // committed state, not a phantom), even if the balance returns to its
+        // prior value.
+        state.credit(Address::from_low(1), Amount::from_coins(2));
+        state
+            .withdraw_phantom(Address::from_low(1), Amount::from_coins(2))
+            .unwrap();
+        assert!(state.contains(Address::from_low(1)));
+        assert_eq!(state.balance(Address::from_low(1)), Amount::from_coins(10));
     }
 
     #[test]

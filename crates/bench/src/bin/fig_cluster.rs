@@ -1,0 +1,363 @@
+//! The cluster experiment: what does routing whole TDG components to *nodes*
+//! (not just threads) buy end to end, and what does the cross-shard credit
+//! protocol cost as the cross-shard fraction grows?
+//!
+//! Two sweeps over one deterministic arrival workload:
+//!
+//! 1. **Shard sweep** — the cross-shard-light profile through 1/2/4/8 node
+//!    shards plus the single-node pipeline baseline, compared in abstract model
+//!    units (the execution engines' `parallel_units` convention: the cluster's
+//!    per-round critical path is the slowest shard's ingest+pack+execute plus
+//!    the serial DS merge and any re-homing handoffs). The headline — and an
+//!    enforced floor — is 8-shard end-to-end throughput ≥ 1.3× the single node.
+//! 2. **Cross-shard fraction sweep** — 8 shards under profiles interpolating
+//!    from fresh-receiver-dominated (almost no foreign credits) to
+//!    exchange-deposit-dominated (every third transaction ships a receipt),
+//!    recording the measured cross-shard fraction, hop count and mean credit
+//!    latency alongside throughput.
+//!
+//! Run with `cargo run --release -p blockconc-bench --bin fig_cluster`; pass
+//! `--smoke` for the fast CI path (small workload, no artifact, health
+//! assertions only). The full run writes `BENCH_cluster.json` at the repository
+//! root.
+
+use blockconc::cluster::{ClusterConfig, ClusterDriver};
+use blockconc::pipeline::ConcurrencyAwarePacker;
+use blockconc::prelude::*;
+use blockconc::shardpool::baseline_pipeline_units;
+use serde::{Deserialize, Serialize};
+
+/// Shared dataset seed (same convention as the figure binaries).
+const STREAM_SEED: u64 = 2020;
+/// Engine worker threads per node (every layout gets the same per-node budget).
+const THREADS: usize = 8;
+
+/// Workload / run shape, scaled down by `--smoke`.
+#[derive(Debug, Clone, Copy)]
+struct Scale {
+    total_txs: usize,
+    tx_rate: f64,
+    blocks: usize,
+}
+
+const FULL: Scale = Scale {
+    total_txs: 9_000,
+    tx_rate: 42.0,
+    blocks: 14,
+};
+const SMOKE: Scale = Scale {
+    total_txs: 900,
+    tx_rate: 18.0,
+    blocks: 5,
+};
+
+/// A workload interpolating between the cross-shard-light profile
+/// (`heaviness` = 0: fresh receivers dominate, deposits rare) and the
+/// cross-shard-heavy one (`heaviness` = 1: repeat receivers and four popular
+/// exchange wallets). The measured cross-shard fraction grows monotonically
+/// with `heaviness`.
+fn profile(heaviness: f64) -> AccountWorkloadParams {
+    let light = AccountWorkloadParams::cross_shard_light();
+    let exchange_total = 0.05 + 0.31 * heaviness;
+    AccountWorkloadParams {
+        fresh_receiver_share: 0.85 - 0.70 * heaviness,
+        hotspots: vec![
+            HotspotSpec::exchange(exchange_total * 0.34),
+            HotspotSpec::exchange(exchange_total * 0.28),
+            HotspotSpec::exchange(exchange_total * 0.22),
+            HotspotSpec::exchange(exchange_total * 0.16),
+        ],
+        contract_create_share: 0.0,
+        ..light
+    }
+}
+
+fn stream(scale: Scale, params: AccountWorkloadParams) -> ArrivalStream {
+    ArrivalStream::new(params, scale.tx_rate, scale.total_txs, STREAM_SEED)
+}
+
+fn pipeline_config(scale: Scale) -> PipelineConfig {
+    PipelineConfig {
+        threads: THREADS,
+        max_blocks: scale.blocks,
+        max_deferral_blocks: 2,
+        ..PipelineConfig::default()
+    }
+}
+
+fn cluster_config(scale: Scale, shards: u32) -> ClusterConfig {
+    let mut config = ClusterConfig::new(shards);
+    config.pipeline = pipeline_config(scale);
+    // One committee rotation mid-run, so every full cell also exercises
+    // component-affine re-homing.
+    config.sharding.tx_blocks_per_ds_epoch = (scale.blocks / 2).max(2) as u64;
+    config
+}
+
+/// One cluster cell's summary, as persisted to `BENCH_cluster.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CellSummary {
+    shards: usize,
+    /// The sweep knob that produced this cell (0 for the shard sweep).
+    heaviness: f64,
+    total_txs: usize,
+    total_failed: usize,
+    leftover_mempool: usize,
+    /// Measured share of transactions whose credit crossed shards.
+    cross_shard_fraction: f64,
+    /// Cross-shard credit hops (top-level + internal transactions).
+    cross_shard_hops: u64,
+    /// Mean credit latency in blocks.
+    mean_receipt_latency: f64,
+    /// Ingest critical path over the run, abstract work units.
+    ingest_units: u64,
+    /// Pack critical path, abstract work units.
+    pack_units: u64,
+    /// Execute critical path, abstract work units.
+    execute_units: u64,
+    /// Serial merge + re-homing cost, abstract work units.
+    coordination_units: u64,
+    /// Full cluster critical path, abstract work units.
+    total_units: u64,
+    /// Transactions per abstract work unit, end to end.
+    unit_throughput: f64,
+    rehomed_components: u64,
+    moved_accounts: u64,
+    rotations: u64,
+}
+
+impl CellSummary {
+    fn from_report(report: &ClusterRunReport, heaviness: f64) -> Self {
+        CellSummary {
+            shards: report.shards,
+            heaviness,
+            total_txs: report.total_txs,
+            total_failed: report.total_failed,
+            leftover_mempool: report.leftover_mempool(),
+            cross_shard_fraction: report.cross_shard_fraction(),
+            cross_shard_hops: report.cross_shard_hops,
+            mean_receipt_latency: report.mean_receipt_latency(),
+            ingest_units: report.blocks.iter().map(|b| b.ingest_units).sum(),
+            pack_units: report.blocks.iter().map(|b| b.pack_units).sum(),
+            execute_units: report.blocks.iter().map(|b| b.execute_units).sum(),
+            coordination_units: report
+                .blocks
+                .iter()
+                .map(|b| b.merge_units + b.rehome_units)
+                .sum(),
+            total_units: report.total_units(),
+            unit_throughput: report.unit_throughput(),
+            rehomed_components: report.rehomed_components,
+            moved_accounts: report.moved_accounts,
+            rotations: report.rotations,
+        }
+    }
+}
+
+/// The single-node baseline's summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BaselineSummary {
+    packer: String,
+    total_txs: usize,
+    total_failed: usize,
+    leftover_mempool: usize,
+    total_units: u64,
+    unit_throughput: f64,
+}
+
+/// The persisted benchmark artifact.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchArtifact {
+    seed: u64,
+    total_txs: usize,
+    tx_rate: f64,
+    blocks: usize,
+    threads: usize,
+    baseline: BaselineSummary,
+    /// The shard sweep on the cross-shard-light profile.
+    shard_sweep: Vec<CellSummary>,
+    /// The cross-shard fraction sweep at the widest shard count.
+    fraction_sweep: Vec<CellSummary>,
+    /// 8-shard end-to-end unit throughput ÷ the single-node baseline
+    /// (acceptance floor 1.3 on the low cross-shard-fraction workload).
+    headline_e2e_ratio: f64,
+}
+
+fn run_cell(scale: Scale, shards: u32, heaviness: f64) -> CellSummary {
+    eprintln!("[fig_cluster] {shards} shards @ heaviness {heaviness:.2}...");
+    let engines = (0..shards).map(|_| ScheduledEngine::new(THREADS)).collect();
+    let report = ClusterDriver::new(engines, cluster_config(scale, shards))
+        .run(stream(scale, profile(heaviness)))
+        .expect("cluster run");
+    assert_eq!(
+        report.total_failed, 0,
+        "{shards} shards @ {heaviness}: failing receipts"
+    );
+    assert_eq!(
+        report.receipts_applied, report.cross_shard_hops,
+        "every shipped credit must settle"
+    );
+    CellSummary::from_report(&report, heaviness)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let scale = if smoke { SMOKE } else { FULL };
+
+    // Baseline: one node running the single-pool pipeline, costed with the same
+    // convention (`baseline_pipeline_units`: serial ingest + pack scan +
+    // parallel execution units).
+    eprintln!("[fig_cluster] single-node baseline...");
+    let baseline_report = PipelineDriver::new(
+        ConcurrencyAwarePacker::new(THREADS),
+        ScheduledEngine::new(THREADS),
+        pipeline_config(scale),
+    )
+    .run(stream(scale, profile(0.0)))
+    .expect("baseline run");
+    assert_eq!(
+        baseline_report.total_failed, 0,
+        "baseline: failing receipts"
+    );
+    let baseline_units = baseline_pipeline_units(&baseline_report);
+    let baseline = BaselineSummary {
+        packer: baseline_report.packer.clone(),
+        total_txs: baseline_report.total_txs,
+        total_failed: baseline_report.total_failed,
+        leftover_mempool: baseline_report.leftover_mempool,
+        total_units: baseline_units,
+        unit_throughput: baseline_report.total_txs as f64 / baseline_units.max(1) as f64,
+    };
+
+    let shard_counts: &[u32] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let shard_sweep: Vec<CellSummary> = shard_counts
+        .iter()
+        .map(|&shards| run_cell(scale, shards, 0.0))
+        .collect();
+
+    let heavinesses: &[f64] = if smoke {
+        &[1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 1.0]
+    };
+    let widest = *shard_counts.last().expect("non-empty sweep");
+    let fraction_sweep: Vec<CellSummary> = heavinesses
+        .iter()
+        .map(|&heaviness| run_cell(scale, widest, heaviness))
+        .collect();
+
+    println!(
+        "{:<7} {:>5} {:>8} {:>9} {:>7} {:>9} {:>11} {:>9} {:>8} {:>8}",
+        "shards",
+        "heavy",
+        "txs",
+        "cross%",
+        "hops",
+        "latency",
+        "total u",
+        "tx/unit",
+        "rehomed",
+        "moved"
+    );
+    println!(
+        "{:<7} {:>5} {:>8} {:>9} {:>7} {:>9} {:>11} {:>9.4} {:>8} {:>8}",
+        "node=1",
+        "-",
+        baseline.total_txs,
+        "-",
+        "-",
+        "-",
+        baseline.total_units,
+        baseline.unit_throughput,
+        "-",
+        "-"
+    );
+    for cell in shard_sweep.iter().chain(&fraction_sweep) {
+        println!(
+            "{:<7} {:>5.2} {:>8} {:>8.1}% {:>7} {:>9.2} {:>11} {:>9.4} {:>8} {:>8}",
+            cell.shards,
+            cell.heaviness,
+            cell.total_txs,
+            cell.cross_shard_fraction * 100.0,
+            cell.cross_shard_hops,
+            cell.mean_receipt_latency,
+            cell.total_units,
+            cell.unit_throughput,
+            cell.rehomed_components,
+            cell.moved_accounts,
+        );
+    }
+
+    let widest_cell = shard_sweep.last().expect("non-empty sweep");
+    let ratio = widest_cell.unit_throughput / baseline.unit_throughput;
+    println!(
+        "\nheadline: {} node shards move {:.4} tx/unit end-to-end vs {:.4} on one node \
+         — {ratio:.2}x the pipeline throughput at {:.1}% cross-shard traffic \
+         (acceptance floor 1.3x on the low cross-shard-fraction workload)",
+        widest_cell.shards,
+        widest_cell.unit_throughput,
+        baseline.unit_throughput,
+        widest_cell.cross_shard_fraction * 100.0,
+    );
+
+    if smoke {
+        // Health only: the cluster must beat one node even at smoke scale, and
+        // the heavy cell must actually exercise the credit protocol.
+        assert!(
+            ratio >= 1.0,
+            "smoke: the cluster must never be slower than one node (got {ratio:.2}x)"
+        );
+        let heavy = fraction_sweep.last().expect("heavy cell present");
+        assert!(
+            heavy.cross_shard_hops > 0,
+            "smoke: the heavy profile must ship receipts"
+        );
+        println!("smoke mode: skipping artifact write and full acceptance assertions");
+        return;
+    }
+
+    assert!(
+        ratio >= 1.3,
+        "cluster end-to-end throughput must be >= 1.3x the single node at {} shards \
+         on the low cross-shard-fraction workload (got {ratio:.2}x)",
+        widest_cell.shards
+    );
+    assert!(
+        widest_cell.cross_shard_fraction < 0.15,
+        "the headline workload must stay cross-shard-light (got {:.1}%)",
+        widest_cell.cross_shard_fraction * 100.0
+    );
+    // The fraction sweep must actually sweep: monotone pressure in, growing
+    // measured fraction out (allowing plateaus between adjacent cells).
+    let first = fraction_sweep.first().expect("sweep has cells");
+    let last = fraction_sweep.last().expect("sweep has cells");
+    assert!(
+        last.cross_shard_fraction > first.cross_shard_fraction + 0.05,
+        "the heaviness knob must move the measured cross-shard fraction \
+         ({:.3} -> {:.3})",
+        first.cross_shard_fraction,
+        last.cross_shard_fraction
+    );
+    assert!(
+        fraction_sweep
+            .iter()
+            .all(|cell| cell.mean_receipt_latency >= 1.0 || cell.cross_shard_hops == 0),
+        "applied credits cannot be faster than the one-block protocol latency"
+    );
+
+    let artifact = BenchArtifact {
+        seed: STREAM_SEED,
+        total_txs: scale.total_txs,
+        tx_rate: scale.tx_rate,
+        blocks: scale.blocks,
+        threads: THREADS,
+        baseline,
+        shard_sweep,
+        fraction_sweep,
+        headline_e2e_ratio: ratio,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
+    std::fs::write(path, json).expect("write BENCH_cluster.json");
+    println!("wrote {path}");
+}

@@ -179,9 +179,9 @@ fn sweep(histories: &[usize]) -> (Vec<CellSummary>, f64, f64) {
         let disk_report = run_cell(
             blocks,
             StateBackendConfig::Disk(DiskConfig {
-                dir: dir.clone(),
                 working_set_cap: WORKING_SET_CAP,
                 snapshot_every: SNAPSHOT_EVERY,
+                ..DiskConfig::new(dir.clone())
             }),
         );
         let mut disk = CellSummary::from_report("disk", blocks, &disk_report);
@@ -195,9 +195,9 @@ fn sweep(histories: &[usize]) -> (Vec<CellSummary>, f64, f64) {
         // Reopen the journaled store: recovery must land on the run's final
         // height, replaying only the post-snapshot suffix.
         let reopened = DiskBackend::open(&DiskConfig {
-            dir: dir.clone(),
             working_set_cap: WORKING_SET_CAP,
             snapshot_every: SNAPSHOT_EVERY,
+            ..DiskConfig::new(dir.clone())
         })
         .expect("reopen journaled store");
         let stats = reopened.stats();

@@ -57,6 +57,50 @@ impl AccountWorkloadParams {
             self.hotspots.iter().map(|h| h.share).sum::<f64>() + self.contract_create_share;
         assert!(total <= 1.0 + 1e-9, "shares sum to {total} > 1");
     }
+
+    /// A *cross-shard-light* arrival profile for the cluster benchmarks: traffic
+    /// is dominated by payments to fresh receivers — accounts the recipient side
+    /// creates on the sender's own node shard — so almost nothing needs the
+    /// cross-shard credit protocol. Several small, distinct hot spots keep the
+    /// packing conflict-bound without fusing the backlog into one component.
+    pub fn cross_shard_light() -> Self {
+        AccountWorkloadParams {
+            txs_per_block: 200.0,
+            user_population: 30_000,
+            fresh_receiver_share: 0.85,
+            zipf_exponent: 0.15,
+            hotspots: vec![
+                HotspotSpec::exchange(0.03),
+                HotspotSpec::exchange(0.02),
+                HotspotSpec::contract(0.03, 2),
+                HotspotSpec::contract(0.02, 2),
+            ],
+            contract_create_share: 0.01,
+        }
+    }
+
+    /// A *cross-shard-heavy* arrival profile for the cluster benchmarks: most
+    /// transfers pay previously seen accounts (low fresh-receiver share) and a
+    /// large slice of traffic deposits into a handful of popular exchange wallets
+    /// — receivers that are owned by whichever node shard first saw them, so
+    /// deposits arriving on every other shard each need a receipt-carrying
+    /// cross-shard credit. This is the regime that stresses the debit/credit
+    /// protocol and its latency accounting.
+    pub fn cross_shard_heavy() -> Self {
+        AccountWorkloadParams {
+            txs_per_block: 200.0,
+            user_population: 30_000,
+            fresh_receiver_share: 0.15,
+            zipf_exponent: 0.15,
+            hotspots: vec![
+                HotspotSpec::exchange(0.12),
+                HotspotSpec::exchange(0.10),
+                HotspotSpec::exchange(0.08),
+                HotspotSpec::exchange(0.06),
+            ],
+            contract_create_share: 0.0,
+        }
+    }
 }
 
 /// A deployed hot spot: its spec plus the concrete addresses backing it.

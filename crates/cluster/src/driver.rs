@@ -1,0 +1,783 @@
+//! The cluster driver: arrival stream → cluster router → N node-shard pipelines
+//! → per-shard micro-blocks → merged final block, with the cross-shard credit
+//! protocol and DS-epoch committee rotation.
+
+use crate::node::{ShardNode, ShardRound};
+use crate::router::{ClusterRouter, MemberMove};
+use crate::{ClusterBlockRecord, ClusterConfig, ClusterRunReport, CrossShardReceipt};
+use blockconc_account::{account_to_stored, WorldState};
+use blockconc_chainsim::{ArrivalStream, TxArrival};
+use blockconc_execution::ExecutionEngine;
+use blockconc_pipeline::{
+    effective_receiver, receipts_digest, AdmitOutcome, BlockRecord, BlockTemplate, MempoolStats,
+};
+use blockconc_sharding::{DsEpoch, FinalBlock, MicroBlock, NodeId, ShardId};
+use blockconc_store::StoredAccount;
+use blockconc_types::{Address, Amount, BlockHeight, Hash, Result};
+use std::collections::{BTreeSet, HashSet};
+use std::time::Instant;
+
+/// Executes member-move orders physically: account records hand over between
+/// shard partitions, pooled chains (and their TDG edges) between shard pools.
+/// Returns the move's cost in one-touch work units.
+fn apply_moves<E>(
+    nodes: &mut [ShardNode<E>],
+    moves: &[MemberMove],
+    moved_accounts: &mut u64,
+    moved_chains: &mut u64,
+) -> u64 {
+    let mut units = 0u64;
+    for mv in moves {
+        if let Some(stored) = nodes[mv.from].state.export_account(mv.address) {
+            nodes[mv.from].state.remove_account(mv.address);
+            nodes[mv.to].state.install_account(mv.address, &stored);
+            *moved_accounts += 1;
+            units += 1;
+        }
+        let chain = nodes[mv.from].pool.take_sender(mv.address);
+        if !chain.is_empty() {
+            *moved_chains += 1;
+            units += chain.len() as u64;
+            for pooled in &chain {
+                nodes[mv.from].tdg.remove(&pooled.tx);
+            }
+            for pooled in chain {
+                nodes[mv.to].tdg.insert(&pooled.tx);
+                nodes[mv.to].pool.restore(pooled);
+            }
+        }
+    }
+    units
+}
+
+/// Drives a cluster of node shards over one arrival stream — the cross-node
+/// counterpart of `blockconc_pipeline::PipelineDriver` and
+/// `blockconc_shardpool::ShardedPipelineDriver`.
+///
+/// Per height (final-block round) the driver:
+///
+/// 1. opens every shard's block and, at DS-epoch boundaries, rotates the
+///    committee ([`DsEpoch`]) and re-homes live components under the new epoch's
+///    canonical placement (accounts and pooled chains move whole);
+/// 2. applies the previous round's in-flight [`CrossShardReceipt`] credits on
+///    their owner shards;
+/// 3. routes the due arrivals through the cluster router — whole dependency
+///    components to home shards, sender chains never splitting — funding
+///    first-seen senders on their home shard exactly like the single pipeline;
+/// 4. packs and executes every shard's micro-block **in parallel** (each shard
+///    is a full node: own mempool, own incremental TDG, own packer, own engine,
+///    own partitioned state backend);
+/// 5. settles serially: packed transactions leave pools and graphs, failed
+///    senders resync, and every successful credit to a foreign-owned account is
+///    reversed locally ([`WorldState::withdraw_phantom`]) and shipped as a
+///    receipt — the Zilliqa-style debit/credit protocol;
+/// 6. commits every shard's write-set delta to its own backend and merges the
+///    micro-blocks into a [`FinalBlock`], recording per-phase model units.
+///
+/// After the last round, in-flight receipts settle in one extra commit, so the
+/// reported shard roots describe a fully settled cluster.
+///
+/// With **one shard** every cluster-only step is a no-op and the driver performs
+/// exactly `PipelineDriver`'s sequence — the equivalence property tests assert
+/// the runs are bit-identical (normalized records, receipts digests, roots).
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_chainsim::{AccountWorkloadParams, ArrivalStream};
+/// use blockconc_cluster::{ClusterConfig, ClusterDriver};
+/// use blockconc_execution::SequentialEngine;
+/// use blockconc_pipeline::PipelineConfig;
+///
+/// let mut config = ClusterConfig::new(4);
+/// config.pipeline = PipelineConfig { threads: 2, max_blocks: 4, ..PipelineConfig::default() };
+/// let engines = (0..4).map(|_| SequentialEngine::new()).collect();
+/// let stream = ArrivalStream::new(AccountWorkloadParams::cross_shard_light(), 6.0, 150, 9);
+/// let report = ClusterDriver::new(engines, config).run(stream).unwrap();
+/// assert_eq!(report.total_failed, 0);
+/// assert_eq!(report.shards, 4);
+/// ```
+#[derive(Debug)]
+pub struct ClusterDriver<E> {
+    config: ClusterConfig,
+    engines: Vec<E>,
+    serial_order: Option<Vec<usize>>,
+    beneficiary: Address,
+}
+
+impl<E: ExecutionEngine + Send> ClusterDriver<E> {
+    /// Creates a driver from one engine per shard and a cluster configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine count does not match the configured shard count, or
+    /// `config.pipeline.threads` is zero.
+    pub fn new(engines: Vec<E>, config: ClusterConfig) -> Self {
+        assert_eq!(
+            engines.len(),
+            config.shards(),
+            "one engine per node shard required"
+        );
+        assert!(config.pipeline.threads > 0, "thread count must be positive");
+        ClusterDriver {
+            config,
+            engines,
+            serial_order: None,
+            // The same beneficiary the single pipeline stamps into templates (a
+            // header field only — fees are abstract bids, never credited — so
+            // sharing it across shards writes nothing anywhere).
+            beneficiary: Address::from_low(999_999_998),
+        }
+    }
+
+    /// Runs the per-shard pack+execute phase serially in the given shard order
+    /// instead of on scoped threads (builder-style). Shards touch disjoint
+    /// partitions, so every order — and the parallel default — must produce the
+    /// identical run; the interleaving-independence property tests drive this
+    /// hook with random permutations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the shard indices.
+    pub fn with_serial_shard_order(mut self, order: Vec<usize>) -> Self {
+        let mut seen: Vec<usize> = order.clone();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..self.config.shards()).collect::<Vec<_>>(),
+            "order must be a permutation of the shard indices"
+        );
+        self.serial_order = Some(order);
+        self
+    }
+
+    /// The driver's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Runs the cluster over `stream` until `max_blocks` final blocks have been
+    /// produced or the stream, every pool and the receipt queue are exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-level execution failures and state-backend I/O errors;
+    /// per-transaction failures are recorded in the micro-block records instead.
+    pub fn run(mut self, mut stream: ArrivalStream) -> Result<ClusterRunReport> {
+        let shards = self.config.shards();
+        let pipeline = self.config.pipeline.clone();
+        let mut router = ClusterRouter::new(shards);
+
+        // DS epoch 0: PoW-assign the node population to committees.
+        let population: Vec<NodeId> = (0..self.config.sharding.num_nodes)
+            .map(NodeId::new)
+            .collect();
+        let mut epoch = DsEpoch::start(
+            0,
+            &population,
+            self.config.sharding.num_shards,
+            self.config.sharding.tx_blocks_per_ds_epoch,
+        );
+        let mut rotations = 0u64;
+        let mut blocks_in_epoch = 0u64;
+
+        // Partition the base state by canonical address home and build the
+        // nodes: each shard's world state holds exactly its partition, committed
+        // as that shard's genesis into its own backend.
+        let engine_name = self
+            .engines
+            .first()
+            .map(|engine| engine.name().to_string())
+            .unwrap_or_default();
+        let mut partitions: Vec<Vec<(Address, StoredAccount)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (address, account) in stream.base_state().iter() {
+            let home = router.claim_base(*address, account.is_contract());
+            partitions[home].push((*address, account_to_stored(account)));
+        }
+        let engines = std::mem::take(&mut self.engines);
+        let mut nodes: Vec<ShardNode<E>> = Vec::with_capacity(shards);
+        for (index, engine) in engines.into_iter().enumerate() {
+            let mut partition = std::mem::take(&mut partitions[index]);
+            partition.sort_by_key(|(address, _)| *address);
+            let mut state = WorldState::new();
+            for (address, stored) in &partition {
+                state.install_account(*address, stored);
+            }
+            let backend_config = pipeline.state_backend.partition(index);
+            let backend = backend_config.build()?;
+            state.attach_backend(backend, backend_config.working_set_cap())?;
+            nodes.push(ShardNode::new(
+                ShardId::new(index as u32),
+                engine,
+                state,
+                &pipeline,
+            ));
+        }
+
+        let mut funded: HashSet<Address> = HashSet::new();
+        let mut lookahead: Option<TxArrival> = None;
+        let mut pending: Vec<CrossShardReceipt> = Vec::new();
+        let mut records: Vec<ClusterBlockRecord> = Vec::with_capacity(pipeline.max_blocks);
+        let mut total_failed = 0usize;
+        let mut cross_txs_total = 0u64;
+        let mut hops_total = 0u64;
+        let mut applied_total = 0u64;
+        let mut latency_total = 0u64;
+        let mut moved_accounts = 0u64;
+        let mut moved_chains = 0u64;
+        let mut last_height = 0u64;
+
+        for height in 1..=pipeline.max_blocks as u64 {
+            let deadline = height as f64 * pipeline.block_interval_secs;
+            for node in &mut nodes {
+                node.state.begin_block(height)?;
+                node.ingested = 0;
+                node.receipts_in = 0;
+            }
+            last_height = height;
+            let mut rehome_units = 0u64;
+
+            // DS-epoch rotation: reshuffle the committee, re-home live
+            // components under the new epoch's canonical placement.
+            if self.config.sharding.tx_blocks_per_ds_epoch > 0
+                && blocks_in_epoch >= self.config.sharding.tx_blocks_per_ds_epoch
+            {
+                let number = epoch.number() + 1;
+                epoch = DsEpoch::start(
+                    number,
+                    &population,
+                    self.config.sharding.num_shards,
+                    self.config.sharding.tx_blocks_per_ds_epoch,
+                );
+                rotations += 1;
+                blocks_in_epoch = 0;
+                let moves = router.rotate(number);
+                rehome_units +=
+                    apply_moves(&mut nodes, &moves, &mut moved_accounts, &mut moved_chains);
+            }
+
+            // Apply the previous round's in-flight credits on their owner shards
+            // (inside the open block, so they join that shard's write-set delta).
+            let due: Vec<CrossShardReceipt> = std::mem::take(&mut pending);
+            let mut applied_this = 0u64;
+            let mut latency_this = 0u64;
+            for receipt in due {
+                let dest = router
+                    .owner_of(receipt.to)
+                    .expect("cross-shard receipts only target claimed accounts");
+                nodes[dest]
+                    .state
+                    .credit(receipt.to, Amount::from_sats(receipt.value_sats));
+                nodes[dest].receipts_in += 1;
+                applied_this += 1;
+                latency_this += height - receipt.emit_height;
+            }
+            // Totals accrue at application time: the exhaustion break below
+            // commits these credits without pushing a block record, and they
+            // must still be accounted for.
+            applied_total += applied_this;
+            latency_total += latency_this;
+
+            // Route and admit every arrival due before this round's deadline,
+            // mirroring the single pipeline's ingest exactly (lazy funding, the
+            // same admission → O(1) TDG edit mapping).
+            while let Some(arrival) = lookahead.take().or_else(|| stream.next()) {
+                if arrival.arrival_secs > deadline {
+                    lookahead = Some(arrival);
+                    break;
+                }
+                // Routing is monotone, like the shardpool router: an edge once
+                // seen is never forgotten, even if admission then rejects the
+                // transaction — forgetting it could let two conflicting
+                // transactions drift onto different shards later. Contract
+                // registration, by contrast, is gated on admission below: a
+                // rejected create deploys nothing, so transfers to its target
+                // must keep using the credit protocol.
+                let decision = router.route(&arrival.tx);
+                rehome_units += apply_moves(
+                    &mut nodes,
+                    &decision.moves,
+                    &mut moved_accounts,
+                    &mut moved_chains,
+                );
+                let sender = arrival.tx.sender();
+                if funded.insert(sender) {
+                    nodes[decision.shard].state.credit(
+                        sender,
+                        Amount::from_coins(ArrivalStream::SENDER_FUNDING_COINS),
+                    );
+                }
+                let node = &mut nodes[decision.shard];
+                node.ingested += 1;
+                let account_nonce = node.state.nonce(sender);
+                let effects = node.pool.offer(
+                    arrival.tx.clone(),
+                    arrival.fee_per_gas,
+                    arrival.arrival_secs,
+                    account_nonce,
+                    None,
+                );
+                match effects.outcome {
+                    AdmitOutcome::Admitted => {
+                        node.tdg.insert(&arrival.tx);
+                        router.note_admitted(sender);
+                        if let Some(evicted) = &effects.evicted {
+                            node.tdg.remove(&evicted.tx);
+                            router.note_removed(evicted.tx.sender(), 1);
+                        }
+                    }
+                    AdmitOutcome::Replaced => {
+                        let replaced = effects.replaced.as_ref().expect("replacement payload");
+                        node.tdg.remove(&replaced.tx);
+                        node.tdg.insert(&arrival.tx);
+                    }
+                    _ => {}
+                }
+                if matches!(
+                    effects.outcome,
+                    AdmitOutcome::Admitted | AdmitOutcome::Replaced
+                ) && arrival.tx.is_contract_creation()
+                {
+                    router.register_contract(effective_receiver(&arrival.tx));
+                }
+            }
+
+            if nodes.iter().all(|node| node.pool.is_empty())
+                && lookahead.is_none()
+                && stream.remaining() == 0
+            {
+                // Flush funding (and any just-applied credits) before stopping.
+                for node in &mut nodes {
+                    node.state.commit_block()?;
+                }
+                break;
+            }
+
+            // Parallel micro-block production: every shard packs and executes on
+            // its own state. The serial-order hook exists so the equivalence
+            // tests can prove any interleaving yields the identical run.
+            let template = BlockTemplate {
+                height,
+                timestamp: 1_600_000_000 + deadline as u64,
+                beneficiary: self.beneficiary,
+                gas_limit: pipeline.block_gas_limit,
+            };
+            let rounds: Vec<ShardRound> = match &self.serial_order {
+                Some(order) => {
+                    let mut slots: Vec<Option<ShardRound>> = (0..shards).map(|_| None).collect();
+                    for &index in order {
+                        slots[index] = Some(nodes[index].produce(&template)?);
+                    }
+                    slots
+                        .into_iter()
+                        .map(|slot| slot.expect("every shard produced"))
+                        .collect()
+                }
+                None => {
+                    let template = &template;
+                    let results: Vec<Result<ShardRound>> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = nodes
+                            .iter_mut()
+                            .map(|node| scope.spawn(move || node.produce(template)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|handle| handle.join().expect("shard producer panicked"))
+                            .collect()
+                    });
+                    results.into_iter().collect::<Result<Vec<_>>>()?
+                }
+            };
+
+            // Serial settle, shard by shard in index order: pools and graphs
+            // shed the packed transactions, failed senders resync, and foreign
+            // credits convert into receipts (the debit half of the protocol).
+            let mut cross_txs_this = 0u64;
+            let mut hops_this = 0u64;
+            let mut height_failed = 0usize;
+            let mut micro_records: Vec<BlockRecord> = Vec::with_capacity(shards);
+            let mut microblocks: Vec<MicroBlock> = Vec::with_capacity(shards);
+            for (index, round) in rounds.into_iter().enumerate() {
+                let node = &mut nodes[index];
+                let removed = node
+                    .pool
+                    .remove_packed_returning(round.packed.block.transactions());
+                node.tdg.remove_batch(removed.iter().map(|p| &p.tx));
+                for pooled in &removed {
+                    router.note_removed(pooled.tx.sender(), 1);
+                }
+
+                for (tx, receipt) in round.executed.iter() {
+                    if !receipt.succeeded() {
+                        let dropped = node
+                            .pool
+                            .resync_sender_removed(tx.sender(), node.state.nonce(tx.sender()));
+                        node.tdg.remove_batch(dropped.iter().map(|p| &p.tx));
+                        router.note_removed(tx.sender(), dropped.len());
+                        continue;
+                    }
+                    // Top-level cross-shard settlement: the executed transfer
+                    // credited a locally materialized phantom of a foreign-owned
+                    // account; reverse it and ship the credit.
+                    let receiver = effective_receiver(tx);
+                    if !tx.is_contract_creation() {
+                        if let Some(owner) = router.owner_of(receiver) {
+                            if owner != index {
+                                node.state.withdraw_phantom(receiver, tx.value())?;
+                                pending.push(CrossShardReceipt {
+                                    to: receiver,
+                                    value_sats: tx.value().sats(),
+                                    source_shard: index as u32,
+                                    emit_height: height,
+                                });
+                                cross_txs_this += 1;
+                                hops_this += 1;
+                            }
+                        }
+                    }
+                    // Internal transactions (contract payouts) can also pay
+                    // foreign-owned accounts — each such credit is a hop of its
+                    // own. Fresh internal receivers are claimed where execution
+                    // created them.
+                    for internal in receipt.internal_transactions() {
+                        let to = internal.to();
+                        match router.owner_of(to) {
+                            None => router.claim_created(to, index),
+                            Some(owner) if owner != index => {
+                                node.state.withdraw_phantom(to, internal.value())?;
+                                pending.push(CrossShardReceipt {
+                                    to,
+                                    value_sats: internal.value().sats(),
+                                    source_shard: index as u32,
+                                    emit_height: height,
+                                });
+                                hops_this += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+
+                let store_started = Instant::now();
+                let commit = node.state.commit_block()?;
+                let store_wall = store_started.elapsed();
+
+                let failed = round
+                    .executed
+                    .receipts()
+                    .iter()
+                    .filter(|r| !r.succeeded())
+                    .count();
+                height_failed += failed;
+                let tdg_units = node.tdg_units_delta();
+                micro_records.push(BlockRecord {
+                    height,
+                    ingested: node.ingested,
+                    tx_count: round.packed.block.transaction_count(),
+                    deferred_by_cap: round.packed.deferred_by_cap,
+                    aged_included: round.packed.aged_included,
+                    failed_receipts: failed,
+                    estimated_gas: round.packed.estimated_gas.value(),
+                    gas_used: round.executed.gas_used().value(),
+                    total_fee_per_gas: round.packed.total_fee_per_gas,
+                    predicted_makespan: round.packed.predicted_makespan(pipeline.threads),
+                    predicted_speedup: round.packed.predicted_speedup(pipeline.threads),
+                    measured_parallel_units: round.exec_report.parallel_units,
+                    measured_speedup: round.exec_report.unit_speedup(),
+                    conflict_rate: round.exec_report.conflict_rate(),
+                    group_conflict_rate: round.exec_report.group_conflict_rate(),
+                    mempool_len_after: node.pool.len(),
+                    tdg_units,
+                    pack_considered: round.packed.considered,
+                    pack_wall_nanos: round.pack_wall_nanos,
+                    execute_wall_nanos: round.execute_wall_nanos,
+                    receipts_digest: receipts_digest(round.executed.receipts()),
+                    store_units: commit.store_units,
+                    store_wall_nanos: store_wall.as_nanos() as u64,
+                });
+                microblocks.push(MicroBlock::new(
+                    node.id,
+                    BlockHeight::new(height),
+                    round.packed.block.transactions().to_vec(),
+                ));
+            }
+
+            // The DS merge: micro-blocks fold into the round's final block.
+            let final_block = FinalBlock::merge(BlockHeight::new(height), microblocks);
+            let tx_count = final_block.transaction_count();
+            total_failed += height_failed;
+            cross_txs_total += cross_txs_this;
+            hops_total += hops_this;
+            blocks_in_epoch += 1;
+
+            let ingest_units = nodes
+                .iter()
+                .map(|node| node.ingested as u64 + node.receipts_in)
+                .max()
+                .unwrap_or(0);
+            let pack_units = micro_records
+                .iter()
+                .map(|r| r.pack_considered)
+                .max()
+                .unwrap_or(0);
+            let execute_units = micro_records
+                .iter()
+                .map(|r| r.measured_parallel_units)
+                .max()
+                .unwrap_or(0);
+            let merge_units = shards as u64;
+            // The critical path takes the slowest *single shard's* whole round
+            // (phases of one shard do not overlap), not the max of each phase.
+            let critical_units = nodes
+                .iter()
+                .zip(&micro_records)
+                .map(|(node, record)| {
+                    node.ingested as u64
+                        + node.receipts_in
+                        + record.pack_considered
+                        + record.measured_parallel_units
+                })
+                .max()
+                .unwrap_or(0)
+                + merge_units
+                + rehome_units;
+
+            records.push(ClusterBlockRecord {
+                height,
+                micro: micro_records,
+                tx_count,
+                cross_shard_txs: cross_txs_this,
+                cross_shard_hops: hops_this,
+                receipts_applied: applied_this,
+                receipt_latency_blocks: latency_this,
+                ingest_units,
+                pack_units,
+                execute_units,
+                merge_units,
+                rehome_units,
+                critical_units,
+            });
+        }
+
+        // Final settlement: in-flight credits from the last round commit in one
+        // extra block on their owner shards, so the reported roots describe a
+        // fully settled cluster (value conservation restored).
+        if !pending.is_empty() {
+            let settle_height = last_height + 1;
+            let due = std::mem::take(&mut pending);
+            let involved: BTreeSet<usize> = due
+                .iter()
+                .map(|receipt| {
+                    router
+                        .owner_of(receipt.to)
+                        .expect("cross-shard receipts only target claimed accounts")
+                })
+                .collect();
+            for &shard in &involved {
+                nodes[shard].state.begin_block(settle_height)?;
+            }
+            for receipt in due {
+                let dest = router.owner_of(receipt.to).expect("owner checked above");
+                nodes[dest]
+                    .state
+                    .credit(receipt.to, Amount::from_sats(receipt.value_sats));
+                applied_total += 1;
+                latency_total += settle_height - receipt.emit_height;
+            }
+            for &shard in &involved {
+                nodes[shard].state.commit_block()?;
+            }
+        }
+
+        let shard_roots: Vec<Hash> = nodes.iter().map(|node| node.state.state_root()).collect();
+        let mut root_bytes = Vec::with_capacity(shard_roots.len() * 32);
+        for root in &shard_roots {
+            root_bytes.extend_from_slice(root.as_bytes());
+        }
+        let cluster_root = Hash::of_bytes(&root_bytes);
+        let mut mempool_stats = MempoolStats::default();
+        for node in &nodes {
+            mempool_stats.merge(&node.pool.stats());
+        }
+        let total_txs = records.iter().map(|r| r.tx_count).sum();
+
+        Ok(ClusterRunReport {
+            shards,
+            threads: pipeline.threads,
+            engine: engine_name,
+            blocks: records,
+            total_txs,
+            total_failed,
+            cross_shard_txs: cross_txs_total,
+            cross_shard_hops: hops_total,
+            receipts_applied: applied_total,
+            receipt_latency_blocks: latency_total,
+            rehomed_components: router.rehomed_components,
+            moved_accounts,
+            moved_chains,
+            rotations,
+            ds_epoch: epoch.number(),
+            per_shard_leftover: nodes.iter().map(|node| node.pool.len()).collect(),
+            total_supply_sats: nodes
+                .iter()
+                .map(|node| node.state.total_supply().sats())
+                .sum(),
+            mempool_stats,
+            shard_roots: shard_roots.iter().map(|root| root.to_hex()).collect(),
+            cluster_root: cluster_root.to_hex(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_chainsim::AccountWorkloadParams;
+    use blockconc_execution::{ScheduledEngine, SequentialEngine};
+    use blockconc_pipeline::{ConcurrencyAwarePacker, PipelineConfig, PipelineDriver};
+
+    fn heavy_stream(seed: u64) -> ArrivalStream {
+        ArrivalStream::new(AccountWorkloadParams::cross_shard_heavy(), 8.0, 400, seed)
+    }
+
+    fn config(shards: u32, max_blocks: usize) -> ClusterConfig {
+        let mut config = ClusterConfig::new(shards);
+        config.pipeline = PipelineConfig {
+            threads: 2,
+            max_blocks,
+            ..PipelineConfig::default()
+        };
+        config
+    }
+
+    fn engines(shards: usize) -> Vec<SequentialEngine> {
+        (0..shards).map(|_| SequentialEngine::new()).collect()
+    }
+
+    #[test]
+    fn cluster_executes_cleanly_and_settles_every_receipt() {
+        let report = ClusterDriver::new(engines(4), config(4, 8))
+            .run(heavy_stream(1))
+            .unwrap();
+        assert!(report.total_txs > 100, "only {}", report.total_txs);
+        assert_eq!(report.total_failed, 0);
+        assert!(
+            report.cross_shard_txs > 0,
+            "heavy profile must cross shards"
+        );
+        assert_eq!(
+            report.receipts_applied, report.cross_shard_hops,
+            "every shipped credit must be applied"
+        );
+        assert!(report.mean_receipt_latency() >= 1.0);
+        // Pool conservation, exactly like the single pipeline.
+        let stats = &report.mempool_stats;
+        assert_eq!(
+            stats.admitted - stats.evicted - stats.dropped_unpackable,
+            stats.packed + report.leftover_mempool() as u64
+        );
+    }
+
+    #[test]
+    fn cross_shard_value_is_conserved_across_layouts() {
+        let one = ClusterDriver::new(engines(1), config(1, 8))
+            .run(heavy_stream(2))
+            .unwrap();
+        let four = ClusterDriver::new(engines(4), config(4, 8))
+            .run(heavy_stream(2))
+            .unwrap();
+        assert_eq!(one.cross_shard_txs, 0, "one shard has no foreign accounts");
+        assert!(four.cross_shard_txs > 0);
+        assert_eq!(
+            one.total_supply_sats, four.total_supply_sats,
+            "in-flight value must fully settle"
+        );
+    }
+
+    #[test]
+    fn one_shard_cluster_matches_the_single_pipeline() {
+        let cluster = ClusterDriver::new(engines(1), config(1, 8))
+            .run(heavy_stream(3))
+            .unwrap();
+        let single = PipelineDriver::new(
+            ConcurrencyAwarePacker::new(2),
+            SequentialEngine::new(),
+            config(1, 8).pipeline,
+        )
+        .run(heavy_stream(3))
+        .unwrap();
+        assert_eq!(cluster.total_txs, single.total_txs);
+        assert_eq!(cluster.leftover_mempool(), single.leftover_mempool);
+        assert_eq!(cluster.blocks.len(), single.blocks.len());
+        for (cluster_block, single_block) in cluster.blocks.iter().zip(&single.blocks) {
+            assert_eq!(
+                cluster_block.micro[0].normalized(),
+                single_block.normalized(),
+                "height {} diverged",
+                single_block.height
+            );
+        }
+        assert_eq!(cluster.shard_roots[0], single.final_state_root);
+        assert_eq!(cluster.mempool_stats, single.mempool_stats);
+    }
+
+    #[test]
+    fn shard_execution_interleaving_does_not_change_the_run() {
+        let parallel = ClusterDriver::new(engines(4), config(4, 6))
+            .run(heavy_stream(4))
+            .unwrap();
+        for order in [vec![3, 1, 0, 2], vec![2, 3, 1, 0]] {
+            let serial = ClusterDriver::new(engines(4), config(4, 6))
+                .with_serial_shard_order(order.clone())
+                .run(heavy_stream(4))
+                .unwrap();
+            assert_eq!(
+                serial.cluster_root, parallel.cluster_root,
+                "order {order:?}"
+            );
+            assert_eq!(serial.shard_roots, parallel.shard_roots);
+            assert_eq!(serial.total_txs, parallel.total_txs);
+            let normalize = |report: &ClusterRunReport| -> Vec<Vec<BlockRecord>> {
+                report
+                    .blocks
+                    .iter()
+                    .map(|b| b.micro.iter().map(BlockRecord::normalized).collect())
+                    .collect()
+            };
+            assert_eq!(normalize(&serial), normalize(&parallel));
+        }
+    }
+
+    #[test]
+    fn epoch_rotation_rehomes_components_and_stays_clean() {
+        let mut config = config(4, 9);
+        config.sharding.tx_blocks_per_ds_epoch = 2;
+        config.sharding.num_nodes = 80;
+        let stream = ArrivalStream::new(AccountWorkloadParams::cross_shard_heavy(), 8.0, 800, 5);
+        let report = ClusterDriver::new(engines(4), config).run(stream).unwrap();
+        assert!(report.rotations >= 2, "rotations: {}", report.rotations);
+        assert_eq!(report.ds_epoch, report.rotations);
+        assert!(
+            report.moved_accounts > 0,
+            "rotation must hand accounts over"
+        );
+        assert_eq!(report.total_failed, 0);
+        assert_eq!(report.receipts_applied, report.cross_shard_hops);
+    }
+
+    #[test]
+    fn scheduled_engines_match_sequential_results() {
+        let sequential = ClusterDriver::new(engines(4), config(4, 6))
+            .run(heavy_stream(6))
+            .unwrap();
+        let scheduled_engines: Vec<ScheduledEngine> =
+            (0..4).map(|_| ScheduledEngine::new(2)).collect();
+        let scheduled = ClusterDriver::new(scheduled_engines, config(4, 6))
+            .run(heavy_stream(6))
+            .unwrap();
+        assert_eq!(scheduled.cluster_root, sequential.cluster_root);
+        assert_eq!(scheduled.total_txs, sequential.total_txs);
+        assert_eq!(scheduled.total_failed + sequential.total_failed, 0);
+    }
+}

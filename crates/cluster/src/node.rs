@@ -1,0 +1,94 @@
+//! One node shard: a full single-node pipeline (mempool, incremental TDG,
+//! concurrency-aware packer, execution engine, world state over its own
+//! partitioned backend).
+
+use blockconc_account::{ExecutedBlock, WorldState};
+use blockconc_execution::{ExecutionEngine, ExecutionReport};
+use blockconc_pipeline::{
+    BlockPacker, BlockTemplate, ConcurrencyAwarePacker, IncrementalTdg, Mempool, PackedBlock,
+    PipelineConfig,
+};
+use blockconc_sharding::ShardId;
+use blockconc_types::Result;
+use std::time::Instant;
+
+/// What one shard produced in one round (joined by the driver's serial settle
+/// phase).
+#[derive(Debug)]
+pub(crate) struct ShardRound {
+    pub packed: PackedBlock,
+    pub executed: ExecutedBlock,
+    pub exec_report: ExecutionReport,
+    pub pack_wall_nanos: u64,
+    pub execute_wall_nanos: u64,
+}
+
+/// One network shard's full node pipeline. The driver owns N of these; each is
+/// exactly the machinery `PipelineDriver` runs for a single node, which is what
+/// makes the 1-shard cluster bit-identical to the single pipeline.
+#[derive(Debug)]
+pub(crate) struct ShardNode<E> {
+    pub id: ShardId,
+    pub pool: Mempool,
+    pub tdg: IncrementalTdg,
+    pub packer: ConcurrencyAwarePacker,
+    pub engine: E,
+    pub state: WorldState,
+    /// Arrivals offered to this shard in the current height window.
+    pub ingested: usize,
+    /// Receipt-carried credits applied by this shard in the current height.
+    pub receipts_in: u64,
+    /// TDG op-units watermark for per-block deltas.
+    pub tdg_units_seen: u64,
+}
+
+impl<E: ExecutionEngine> ShardNode<E> {
+    pub fn new(id: ShardId, engine: E, state: WorldState, config: &PipelineConfig) -> Self {
+        let mut packer = ConcurrencyAwarePacker::new(config.threads);
+        packer.configure(config);
+        ShardNode {
+            id,
+            pool: Mempool::new(config.mempool_capacity),
+            tdg: IncrementalTdg::new(),
+            packer,
+            engine,
+            state,
+            ingested: 0,
+            receipts_in: 0,
+            tdg_units_seen: 0,
+        }
+    }
+
+    /// Packs and executes this shard's micro-block for one round — the parallel
+    /// part of the cluster loop; admission, settling and commits stay with the
+    /// driver's serial fabric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-level failures (worker panics).
+    pub fn produce(&mut self, template: &BlockTemplate) -> Result<ShardRound> {
+        let pack_started = Instant::now();
+        let packed = self
+            .packer
+            .pack(&self.pool, &mut self.tdg, &self.state, template);
+        let pack_wall_nanos = pack_started.elapsed().as_nanos() as u64;
+        let execute_started = Instant::now();
+        let (executed, exec_report) = self.engine.execute(&mut self.state, &packed.block)?;
+        let execute_wall_nanos = execute_started.elapsed().as_nanos() as u64;
+        Ok(ShardRound {
+            packed,
+            executed,
+            exec_report,
+            pack_wall_nanos,
+            execute_wall_nanos,
+        })
+    }
+
+    /// The TDG maintenance units accrued since the last call (the per-block
+    /// `tdg_units` column).
+    pub fn tdg_units_delta(&mut self) -> u64 {
+        let delta = self.tdg.op_units() - self.tdg_units_seen;
+        self.tdg_units_seen = self.tdg.op_units();
+        delta
+    }
+}

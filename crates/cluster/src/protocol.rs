@@ -1,0 +1,33 @@
+//! The cross-shard transaction protocol: debit micro-block + receipt-carried
+//! credit, modeled after Zilliqa's two-phase cross-shard transfers.
+//!
+//! A transaction whose (top-level or internal) credit targets an account owned
+//! by another shard's partition executes its *debit half* on the processing
+//! shard: the sender is debited and its nonce bumped exactly as usual, the
+//! locally materialized phantom credit is reversed
+//! ([`WorldState::withdraw_phantom`](blockconc_account::WorldState::withdraw_phantom)),
+//! and a [`CrossShardReceipt`] is emitted into the cluster's in-flight queue.
+//! The owner shard applies the *credit half* at the next height, inside its own
+//! block's write set — so the credit is journaled, rolled into that shard's
+//! state root, and visible to every later transaction it processes.
+//!
+//! Value conservation: while a receipt is in flight the cluster's summed shard
+//! supply is short by exactly the receipt's value; once applied (latest at the
+//! final settlement block) the books balance again. The equivalence tests pin
+//! this down by comparing total supply after settlement.
+
+use blockconc_types::Address;
+use serde::{Deserialize, Serialize};
+
+/// One in-flight cross-shard credit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossShardReceipt {
+    /// The credited account (owned by the destination shard).
+    pub to: Address,
+    /// The credited value in base units.
+    pub value_sats: u64,
+    /// The shard whose micro-block executed the debit half.
+    pub source_shard: u32,
+    /// The height of the debit micro-block.
+    pub emit_height: u64,
+}

@@ -17,11 +17,12 @@
 //! | [`account`] | account/contract substrate with a gas-metered VM (Ethereum family) |
 //! | [`graph`] | TDG construction, connected components, conflict metrics |
 //! | [`model`] | the analytical speed-up model (Equations 1 and 2) |
-//! | [`sharding`] | Zilliqa-style network sharding |
+//! | [`sharding`] | Zilliqa-style network-sharding vocabulary and canonical placement |
 //! | [`chainsim`] | calibrated workload/history simulators for the seven chains |
 //! | [`execution`] | sequential, speculative and TDG-scheduled execution engines |
 //! | [`pipeline`] | concurrency-aware mempool and block-building pipeline |
 //! | [`shardpool`] | concurrent TDG-component-sharded mempool with parallel per-shard packers |
+//! | [`cluster`] | cross-node sharded mempool fabric: per-shard pipelines over partitioned state with a cross-shard credit protocol |
 //! | [`store`] | journaled persistent state backends (in-memory and log-structured disk) |
 //! | [`analysis`] | bucketed weighted aggregation, chain comparisons, figure data, export |
 //!
@@ -46,6 +47,7 @@
 pub use blockconc_account as account;
 pub use blockconc_analysis as analysis;
 pub use blockconc_chainsim as chainsim;
+pub use blockconc_cluster as cluster;
 pub use blockconc_execution as execution;
 pub use blockconc_graph as graph;
 pub use blockconc_model as model;
@@ -70,6 +72,9 @@ pub mod prelude {
         FeeEscalationSpec, HistoryConfig, HotspotSpec, SimulatedBlock, TxArrival, UtxoWorkloadGen,
         UtxoWorkloadParams,
     };
+    pub use blockconc_cluster::{
+        ClusterConfig, ClusterDriver, ClusterRunReport, CrossShardReceipt,
+    };
     pub use blockconc_execution::{
         ExecutionEngine, ExecutionReport, ScheduledEngine, SequentialEngine, SpeculativeEngine,
     };
@@ -84,7 +89,9 @@ pub mod prelude {
         BlockPacker, ConcurrencyAwarePacker, FeeGreedyPacker, IncrementalTdg, Mempool,
         PipelineConfig, PipelineDriver, PipelineRunReport,
     };
-    pub use blockconc_sharding::{ShardedNetwork, ShardingConfig};
+    pub use blockconc_sharding::{
+        canonical_shard, canonical_shard_epoch, ShardedNetwork, ShardingConfig,
+    };
     pub use blockconc_shardpool::{
         IngestItem, IngestRouter, ShardedMempool, ShardedPacker, ShardedPipelineDriver,
         ShardedRunReport,

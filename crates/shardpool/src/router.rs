@@ -29,10 +29,9 @@
 //! do — and re-derives canonical placement for the survivors.
 
 use blockconc_graph::UnionFind;
+use blockconc_sharding::canonical_shard;
 use blockconc_types::Address;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::hash::{Hash, Hasher};
 
 /// An order to move every pooled transaction of `sender` between shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,12 +55,11 @@ struct Pin {
     live: usize,
 }
 
-/// The canonical shard of a component anchored at `anchor` (stable across runs:
-/// `DefaultHasher::new()` uses fixed keys).
+/// The canonical shard of a component anchored at `anchor` — the workspace-wide
+/// placement rule, shared with `blockconc-sharding`'s network routing and the
+/// cluster router so no two layers can ever disagree about a component's home.
 fn stable_shard(anchor: Address, shards: usize) -> usize {
-    let mut hasher = DefaultHasher::new();
-    anchor.hash(&mut hasher);
-    (hasher.finish() % shards as u64) as usize
+    canonical_shard(anchor, shards)
 }
 
 /// The component-to-shard routing state (all methods require external locking; the

@@ -238,16 +238,24 @@ pub struct DiskConfig {
     /// Snapshot-compact the journal every this many committed blocks; 0 disables
     /// compaction (the journal grows with history).
     pub snapshot_every: u64,
+    /// Group commits: flush the journal to disk every this many committed blocks
+    /// (1 — the default — flushes every block, today's behaviour; 0 behaves like
+    /// 1). Blocks committed since the last group flush are readable and recorded
+    /// in the live index, but a crash loses them: recovery lands exactly on the
+    /// last *sealed* group boundary. Explicit [`StateBackend::flush`], snapshot
+    /// compaction and a clean drop all seal the open group.
+    pub group_commit_every: u64,
 }
 
 impl DiskConfig {
-    /// A disk store rooted at `dir` with an unbounded working set and compaction
-    /// every 64 blocks.
+    /// A disk store rooted at `dir` with an unbounded working set, compaction
+    /// every 64 blocks, and per-block journal flushes (no commit grouping).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DiskConfig {
             dir: dir.into(),
             working_set_cap: 0,
             snapshot_every: 64,
+            group_commit_every: 1,
         }
     }
 }
@@ -294,6 +302,20 @@ impl StateBackendConfig {
             StateBackendConfig::Disk(_) => "disk",
         }
     }
+
+    /// This configuration specialized to one shard of an address-partitioned
+    /// cluster: the in-memory backend partitions trivially (each shard gets its
+    /// own map), the disk backend roots each shard's journal in a `shard-N`
+    /// subdirectory so N node-shards own N disjoint stores.
+    pub fn partition(&self, shard: usize) -> StateBackendConfig {
+        match self {
+            StateBackendConfig::InMemory => StateBackendConfig::InMemory,
+            StateBackendConfig::Disk(config) => StateBackendConfig::Disk(DiskConfig {
+                dir: config.dir.join(format!("shard-{shard:03}")),
+                ..config.clone()
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +359,22 @@ mod tests {
         }
         .digest_into(&mut coded);
         assert_ne!(plain, coded);
+    }
+
+    #[test]
+    fn partition_roots_each_shard_in_its_own_subdirectory() {
+        assert_eq!(
+            StateBackendConfig::InMemory.partition(3),
+            StateBackendConfig::InMemory
+        );
+        let disk = StateBackendConfig::Disk(DiskConfig::new("/tmp/cluster"));
+        match disk.partition(2) {
+            StateBackendConfig::Disk(config) => {
+                assert_eq!(config.dir, PathBuf::from("/tmp/cluster/shard-002"));
+                assert_eq!(config.snapshot_every, DiskConfig::new("/x").snapshot_every);
+            }
+            other => panic!("expected a disk partition, got {other:?}"),
+        }
     }
 
     #[test]

@@ -63,9 +63,22 @@ fn io_err(context: &str, err: std::io::Error) -> Error {
 pub struct DiskBackend {
     dir: PathBuf,
     snapshot_every: u64,
+    group_every: u64,
     epoch: u64,
     journal: File,
+    /// Logical journal length: sealed (on-disk) bytes plus the pending group
+    /// buffer. Index [`Location`]s address this logical space.
     journal_len: u64,
+    /// Bytes of the active journal epoch that are actually on disk.
+    flushed_len: u64,
+    /// Framed commits of the open group, not yet written to the journal file.
+    /// Reads of these records are served from here; a crash loses them.
+    group_buffer: Vec<u8>,
+    /// Blocks committed into the open group since the last seal.
+    group_pending: u64,
+    /// Height of the last block whose commit was sealed to disk (what recovery
+    /// lands on after a crash).
+    sealed_height: Option<u64>,
     index: BTreeMap<Address, Location>,
     committed: Option<u64>,
     open_height: Option<u64>,
@@ -136,9 +149,14 @@ impl DiskBackend {
         let mut backend = DiskBackend {
             dir: config.dir.clone(),
             snapshot_every: config.snapshot_every,
+            group_every: config.group_commit_every.max(1),
             epoch: max_epoch,
             journal,
             journal_len,
+            flushed_len: journal_len,
+            group_buffer: Vec::new(),
+            group_pending: 0,
+            sealed_height: committed,
             index,
             committed,
             open_height: None,
@@ -153,10 +171,50 @@ impl DiskBackend {
         Ok(backend)
     }
 
-    /// Bytes currently in the active journal epoch (used by the crash-recovery
-    /// tests to map truncation points onto commit boundaries).
+    /// Bytes currently in the active journal epoch, including the unsealed group
+    /// buffer (used by the crash-recovery tests to map truncation points onto
+    /// commit boundaries; with `group_commit_every` = 1 every byte is on disk).
     pub fn journal_bytes(&self) -> u64 {
         self.journal_len
+    }
+
+    /// Blocks committed into the open (unsealed) commit group. Zero whenever
+    /// `group_commit_every` is 1 or a seal just happened.
+    pub fn pending_group_blocks(&self) -> u64 {
+        self.group_pending
+    }
+
+    /// Height of the last commit that is durable on disk — what recovery lands on
+    /// after a crash. Trails [`StateBackend::committed_block`] by up to
+    /// `group_commit_every - 1` blocks while a group is open.
+    pub fn sealed_height(&self) -> Option<u64> {
+        self.sealed_height
+    }
+
+    /// Writes the open commit group to the journal file and flushes it, sealing
+    /// every buffered block. A no-op when the buffer is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure.
+    pub fn seal_group(&mut self) -> Result<()> {
+        if self.group_buffer.is_empty() {
+            self.group_pending = 0;
+            self.sealed_height = self.committed;
+            return Ok(());
+        }
+        self.journal
+            .write_all(&self.group_buffer)
+            .map_err(|e| io_err("append commit group", e))?;
+        self.journal
+            .flush()
+            .map_err(|e| io_err("flush journal", e))?;
+        self.flushed_len += self.group_buffer.len() as u64;
+        debug_assert_eq!(self.flushed_len, self.journal_len);
+        self.group_buffer.clear();
+        self.group_pending = 0;
+        self.sealed_height = self.committed;
+        Ok(())
     }
 
     /// The active journal/snapshot generation.
@@ -176,6 +234,9 @@ impl DiskBackend {
     ///
     /// Returns an error on I/O failure.
     pub fn compact(&mut self) -> Result<CommitStats> {
+        // The snapshot reads records through the index, and the fresh epoch must
+        // not strand buffered commits in the abandoned journal: seal first.
+        self.seal_group()?;
         let new_epoch = self.epoch + 1;
         let height = self.committed.unwrap_or(0);
         let addresses: Vec<(Address, Location)> =
@@ -231,6 +292,7 @@ impl DiskBackend {
             .open(&journal_path)
             .map_err(|e| io_err("open fresh journal", e))?;
         self.journal_len = 0;
+        self.flushed_len = 0;
 
         // Keep exactly one previous generation as the torn-snapshot fallback.
         let old_epoch = self.epoch;
@@ -262,6 +324,24 @@ impl DiskBackend {
     }
 
     fn read_location(&mut self, location: Location) -> Result<StoredAccount> {
+        // Records of the open commit group live in the buffer, not on disk yet.
+        if location.kind == FileKind::Journal
+            && location.epoch == self.epoch
+            && location.offset >= self.flushed_len
+        {
+            let start = (location.offset - self.flushed_len) as usize;
+            let end = start + location.len as usize;
+            let bytes = self
+                .group_buffer
+                .get(start..end)
+                .ok_or_else(|| Error::execution("store: index pointed past the group buffer"))?;
+            return match decode_frame(bytes)? {
+                JournalRecord::Upsert { account, .. } => Ok(account),
+                other => Err(Error::execution(format!(
+                    "store: index pointed at a non-account record {other:?}"
+                ))),
+            };
+        }
         let path = file_path(&self.dir, location.kind, location.epoch);
         let file = match self.readers.entry((location.kind, location.epoch)) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
@@ -539,13 +619,12 @@ impl StateBackend for DiskBackend {
                 records: delta.records.len() as u64,
             },
         )?;
-        self.journal
-            .write_all(&buf)
-            .map_err(|e| io_err("append block delta", e))?;
-        self.journal
-            .flush()
-            .map_err(|e| io_err("flush journal", e))?;
+        // Group commit: the framed block joins the open group; the journal file
+        // is only written (and flushed) every `group_every` blocks. The index
+        // below addresses the *logical* journal, so reads stay current either way.
+        self.group_buffer.extend_from_slice(&buf);
         self.journal_len += buf.len() as u64;
+        self.group_pending += 1;
 
         for (address, location) in placements {
             match location {
@@ -559,6 +638,9 @@ impl StateBackend for DiskBackend {
         }
         self.open_height = None;
         self.committed = Some(delta.height);
+        if self.group_pending >= self.group_every {
+            self.seal_group()?;
+        }
         let records = delta.records.len() as u64;
         let bytes = buf.len() as u64;
         let mut units = store_units(records, bytes);
@@ -619,7 +701,17 @@ impl StateBackend for DiskBackend {
     }
 
     fn flush(&mut self) -> Result<()> {
+        self.seal_group()?;
         self.journal.flush().map_err(|e| io_err("flush journal", e))
+    }
+}
+
+impl Drop for DiskBackend {
+    /// A clean shutdown seals the open commit group; only a crash (process death,
+    /// or the crash-simulation tests copying the directory mid-group) loses the
+    /// buffered tail.
+    fn drop(&mut self) {
+        let _ = self.seal_group();
     }
 }
 
@@ -739,6 +831,126 @@ mod tests {
         fs::create_dir_all(dir.join("journal-000000.log")).unwrap();
         assert!(DiskBackend::open(&DiskConfig::new(&dir)).is_err());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Simulates a crash: snapshots the store directory's on-disk bytes as they
+    /// are right now — buffered (unsealed) commit groups are lost, exactly as a
+    /// power cut would lose them — into a fresh directory a new backend can open.
+    fn crash_copy(dir: &Path, tag: &str) -> PathBuf {
+        let copy = tempdir(tag);
+        fs::create_dir_all(&copy).unwrap();
+        for entry in fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            fs::copy(entry.path(), copy.join(entry.file_name())).unwrap();
+        }
+        copy
+    }
+
+    #[test]
+    fn group_commits_batch_journal_flushes() {
+        let dir = tempdir("group");
+        let config = DiskConfig {
+            snapshot_every: 0,
+            group_commit_every: 4,
+            ..DiskConfig::new(&dir)
+        };
+        let mut backend = DiskBackend::open(&config).unwrap();
+        for height in 1..=6u64 {
+            backend.begin_block(height).unwrap();
+            backend
+                .commit_block(&delta(height, &[(height, height * 10)]))
+                .unwrap();
+        }
+        // Blocks 1-4 sealed as one group; 5-6 pending in the buffer.
+        assert_eq!(backend.pending_group_blocks(), 2);
+        assert_eq!(backend.sealed_height(), Some(4));
+        assert_eq!(backend.committed_block(), Some(6));
+        // Reads of buffered commits are served from the group buffer.
+        assert_eq!(
+            backend
+                .get_account(Address::from_low(6))
+                .unwrap()
+                .balance_sats,
+            60
+        );
+        // An explicit flush seals the open group.
+        backend.flush().unwrap();
+        assert_eq!(backend.pending_group_blocks(), 0);
+        assert_eq!(backend.sealed_height(), Some(6));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_mid_group_recovers_to_the_last_sealed_group() {
+        let dir = tempdir("group-crash");
+        let config = DiskConfig {
+            snapshot_every: 0,
+            group_commit_every: 3,
+            ..DiskConfig::new(&dir)
+        };
+        let mut backend = DiskBackend::open(&config).unwrap();
+        for height in 1..=8u64 {
+            backend.begin_block(height).unwrap();
+            backend
+                .commit_block(&delta(height, &[(1, height * 100)]))
+                .unwrap();
+        }
+        // Groups sealed after blocks 3 and 6; 7-8 are buffered only.
+        assert_eq!(backend.sealed_height(), Some(6));
+        let crashed = crash_copy(&dir, "group-crash-copy");
+        let mut recovered = DiskBackend::open(&DiskConfig {
+            dir: crashed.clone(),
+            ..config.clone()
+        })
+        .unwrap();
+        assert_eq!(recovered.committed_block(), Some(6));
+        assert_eq!(
+            recovered
+                .get_account(Address::from_low(1))
+                .unwrap()
+                .balance_sats,
+            600
+        );
+        // The recovered store keeps committing cleanly past the crash point.
+        recovered.begin_block(7).unwrap();
+        recovered.commit_block(&delta(7, &[(1, 777)])).unwrap();
+        // A clean drop of the original seals the tail, so a normal reopen sees
+        // everything.
+        drop(backend);
+        let reopened = DiskBackend::open(&config).unwrap();
+        assert_eq!(reopened.committed_block(), Some(8));
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&crashed);
+    }
+
+    #[test]
+    fn crash_mid_group_after_compaction_lands_on_the_snapshot_epoch_seal() {
+        let dir = tempdir("group-compact");
+        let config = DiskConfig {
+            snapshot_every: 4,
+            group_commit_every: 3,
+            ..DiskConfig::new(&dir)
+        };
+        let mut backend = DiskBackend::open(&config).unwrap();
+        for height in 1..=5u64 {
+            backend.begin_block(height).unwrap();
+            backend
+                .commit_block(&delta(height, &[(2, height)]))
+                .unwrap();
+        }
+        // The compaction at height 4 sealed everything up to it; block 5 opened a
+        // new group in the fresh epoch.
+        assert!(backend.stats().snapshots_written >= 1);
+        assert_eq!(backend.pending_group_blocks(), 1);
+        let crashed = crash_copy(&dir, "group-compact-copy");
+        let recovered = DiskBackend::open(&DiskConfig {
+            dir: crashed.clone(),
+            ..config.clone()
+        })
+        .unwrap();
+        assert_eq!(recovered.committed_block(), Some(4));
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&crashed);
     }
 
     #[test]

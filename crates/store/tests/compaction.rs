@@ -72,8 +72,8 @@ proptest! {
     ) {
         let plain_dir = store_dir("plain");
         let compacted_dir = store_dir("forced");
-        let plain_config = DiskConfig { dir: plain_dir.clone(), working_set_cap: 0, snapshot_every: 0 };
-        let compacted_config = DiskConfig { dir: compacted_dir.clone(), working_set_cap: 0, snapshot_every: 0 };
+        let plain_config = DiskConfig { snapshot_every: 0, ..DiskConfig::new(plain_dir.clone()) };
+        let compacted_config = DiskConfig { snapshot_every: 0, ..DiskConfig::new(compacted_dir.clone()) };
         let mut plain = DiskBackend::open(&plain_config).expect("open plain");
         let mut compacted = DiskBackend::open(&compacted_config).expect("open compacted");
         for height in 1..=blocks {
@@ -118,7 +118,7 @@ proptest! {
         cadence in 2u64..6,
     ) {
         let dir = store_dir("bound");
-        let config = DiskConfig { dir: dir.clone(), working_set_cap: 0, snapshot_every: cadence };
+        let config = DiskConfig { snapshot_every: cadence, ..DiskConfig::new(dir.clone()) };
         let last_snapshot_height;
         let mut records_after_snapshot = 0u64;
         {
@@ -160,7 +160,7 @@ proptest! {
 
         // A never-compacted twin of the same history must replay the whole of it.
         let twin_dir = store_dir("twin");
-        let twin_config = DiskConfig { dir: twin_dir.clone(), working_set_cap: 0, snapshot_every: 0 };
+        let twin_config = DiskConfig { snapshot_every: 0, ..DiskConfig::new(twin_dir.clone()) };
         {
             let mut twin = DiskBackend::open(&twin_config).expect("open twin");
             for height in 1..=blocks {

@@ -84,9 +84,8 @@ fn run_store(
     snapshot_every: u64,
 ) -> (Vec<ExpectedState>, Vec<(u64, u64)>) {
     let config = DiskConfig {
-        dir: dir.to_path_buf(),
-        working_set_cap: 0,
         snapshot_every,
+        ..DiskConfig::new(dir)
     };
     let mut backend = DiskBackend::open(&config).expect("open store");
     let mut expected = ExpectedState::new();
@@ -154,9 +153,8 @@ proptest! {
             .unwrap_or(0);
 
         let mut reopened = DiskBackend::open(&DiskConfig {
-            dir: dir.clone(),
-            working_set_cap: 0,
             snapshot_every: 0,
+            ..DiskConfig::new(dir.clone())
         })
         .expect("reopen");
         prop_assert_eq!(reopened.committed_height(), expected_height);
@@ -196,9 +194,8 @@ proptest! {
             .expect("truncate snapshot");
 
         let mut reopened = DiskBackend::open(&DiskConfig {
-            dir: dir.clone(),
-            working_set_cap: 0,
             snapshot_every: cadence,
+            ..DiskConfig::new(dir.clone())
         })
         .expect("reopen");
         prop_assert_eq!(reopened.committed_height(), blocks);
@@ -252,9 +249,8 @@ proptest! {
             });
 
         let mut reopened = DiskBackend::open(&DiskConfig {
-            dir: dir.clone(),
-            working_set_cap: 0,
             snapshot_every: cadence,
+            ..DiskConfig::new(dir.clone())
         })
         .expect("reopen");
         prop_assert_eq!(reopened.committed_height(), expected_height);

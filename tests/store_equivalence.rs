@@ -63,9 +63,9 @@ fn config(backend: StateBackendConfig, shards: usize, producers: usize) -> Pipel
 
 fn disk_backend(dir: &Path, working_set_cap: usize, snapshot_every: u64) -> StateBackendConfig {
     StateBackendConfig::Disk(DiskConfig {
-        dir: dir.to_path_buf(),
         working_set_cap,
         snapshot_every,
+        ..DiskConfig::new(dir)
     })
 }
 
