@@ -25,6 +25,7 @@ use blockconc::cluster::{ClusterConfig, ClusterDriver};
 use blockconc::pipeline::ConcurrencyAwarePacker;
 use blockconc::prelude::*;
 use blockconc::shardpool::baseline_pipeline_units;
+use blockconc_bench::{print_telemetry, TelemetrySection};
 use serde::{Deserialize, Serialize};
 
 /// Shared dataset seed (same convention as the figure binaries).
@@ -81,6 +82,10 @@ fn pipeline_config(scale: Scale) -> PipelineConfig {
         threads: THREADS,
         max_blocks: scale.blocks,
         max_deferral_blocks: 2,
+        // Per-stage quantiles (including cross-shard receipt latency and
+        // re-homing) for the artifact's telemetry section; a fresh registry per
+        // call keeps cells from sharing counters.
+        telemetry: TelemetryRegistry::enabled(),
         ..PipelineConfig::default()
     }
 }
@@ -181,9 +186,12 @@ struct BenchArtifact {
     /// 8-shard end-to-end unit throughput ÷ the single-node baseline
     /// (acceptance floor 1.3 on the low cross-shard-fraction workload).
     headline_e2e_ratio: f64,
+    /// Per-stage wall/unit quantiles and counters, one section per cell (plus
+    /// the single-node baseline).
+    telemetry: Vec<TelemetrySection>,
 }
 
-fn run_cell(scale: Scale, shards: u32, heaviness: f64) -> CellSummary {
+fn run_cell(scale: Scale, shards: u32, heaviness: f64) -> (CellSummary, TelemetrySection) {
     eprintln!("[fig_cluster] {shards} shards @ heaviness {heaviness:.2}...");
     let engines = (0..shards).map(|_| ScheduledEngine::new(THREADS)).collect();
     let report = ClusterDriver::new(engines, cluster_config(scale, shards))
@@ -197,7 +205,13 @@ fn run_cell(scale: Scale, shards: u32, heaviness: f64) -> CellSummary {
         report.receipts_applied, report.cross_shard_hops,
         "every shipped credit must settle"
     );
-    CellSummary::from_report(&report, heaviness)
+    let snapshot = report
+        .telemetry
+        .as_ref()
+        .expect("cell collected telemetry (enabled in pipeline_config())");
+    let section =
+        TelemetrySection::from_snapshot(format!("{shards}shards@h{heaviness:.2}"), snapshot);
+    (CellSummary::from_report(&report, heaviness), section)
 }
 
 fn main() {
@@ -229,10 +243,21 @@ fn main() {
         unit_throughput: baseline_report.total_txs as f64 / baseline_units.max(1) as f64,
     };
 
+    let mut telemetry: Vec<TelemetrySection> = vec![TelemetrySection::from_snapshot(
+        "baseline/1node",
+        baseline_report
+            .telemetry
+            .as_ref()
+            .expect("baseline collected telemetry (enabled in pipeline_config())"),
+    )];
     let shard_counts: &[u32] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
     let shard_sweep: Vec<CellSummary> = shard_counts
         .iter()
-        .map(|&shards| run_cell(scale, shards, 0.0))
+        .map(|&shards| {
+            let (cell, section) = run_cell(scale, shards, 0.0);
+            telemetry.push(section);
+            cell
+        })
         .collect();
 
     let heavinesses: &[f64] = if smoke {
@@ -243,7 +268,11 @@ fn main() {
     let widest = *shard_counts.last().expect("non-empty sweep");
     let fraction_sweep: Vec<CellSummary> = heavinesses
         .iter()
-        .map(|&heaviness| run_cell(scale, widest, heaviness))
+        .map(|&heaviness| {
+            let (cell, section) = run_cell(scale, widest, heaviness);
+            telemetry.push(section);
+            cell
+        })
         .collect();
 
     println!(
@@ -299,18 +328,31 @@ fn main() {
         baseline.unit_throughput,
         widest_cell.cross_shard_fraction * 100.0,
     );
+    for section in &telemetry {
+        print_telemetry(section);
+    }
 
     if smoke {
         // Health only: the cluster must beat one node even at smoke scale, and
         // the heavy cell must actually exercise the credit protocol.
         assert!(
             ratio >= 1.0,
-            "smoke: the cluster must never be slower than one node (got {ratio:.2}x)"
+            "smoke: the cluster must never be slower than one node, got {ratio:.2}x \
+             (violating row: {} shards @ heaviness {:.2}, {:.4} tx/unit vs \
+             single-node {:.4} tx/unit)",
+            widest_cell.shards,
+            widest_cell.heaviness,
+            widest_cell.unit_throughput,
+            baseline.unit_throughput
         );
         let heavy = fraction_sweep.last().expect("heavy cell present");
         assert!(
             heavy.cross_shard_hops > 0,
-            "smoke: the heavy profile must ship receipts"
+            "smoke: the heavy profile must ship receipts (violating row: {} shards @ \
+             heaviness {:.2}, cross-shard fraction {:.3}, 0 hops)",
+            heavy.shards,
+            heavy.heaviness,
+            heavy.cross_shard_fraction
         );
         println!("smoke mode: skipping artifact write and full acceptance assertions");
         return;
@@ -318,14 +360,23 @@ fn main() {
 
     assert!(
         ratio >= 1.3,
-        "cluster end-to-end throughput must be >= 1.3x the single node at {} shards \
-         on the low cross-shard-fraction workload (got {ratio:.2}x)",
-        widest_cell.shards
+        "cluster end-to-end throughput must be >= 1.3x the single node, got {ratio:.2}x \
+         (violating row: {} shards @ heaviness {:.2} on the low cross-shard-fraction \
+         workload, {:.4} tx/unit vs single-node {:.4} tx/unit)",
+        widest_cell.shards,
+        widest_cell.heaviness,
+        widest_cell.unit_throughput,
+        baseline.unit_throughput
     );
     assert!(
         widest_cell.cross_shard_fraction < 0.15,
-        "the headline workload must stay cross-shard-light (got {:.1}%)",
-        widest_cell.cross_shard_fraction * 100.0
+        "the headline workload must stay cross-shard-light, got {:.1}% (violating row: \
+         {} shards @ heaviness {:.2}, {} cross-shard hops over {} txs)",
+        widest_cell.cross_shard_fraction * 100.0,
+        widest_cell.shards,
+        widest_cell.heaviness,
+        widest_cell.cross_shard_hops,
+        widest_cell.total_txs
     );
     // The fraction sweep must actually sweep: monotone pressure in, growing
     // measured fraction out (allowing plateaus between adjacent cells).
@@ -338,12 +389,17 @@ fn main() {
         first.cross_shard_fraction,
         last.cross_shard_fraction
     );
-    assert!(
-        fraction_sweep
-            .iter()
-            .all(|cell| cell.mean_receipt_latency >= 1.0 || cell.cross_shard_hops == 0),
-        "applied credits cannot be faster than the one-block protocol latency"
-    );
+    if let Some(bad) = fraction_sweep
+        .iter()
+        .find(|cell| cell.mean_receipt_latency < 1.0 && cell.cross_shard_hops > 0)
+    {
+        panic!(
+            "applied credits cannot be faster than the one-block protocol latency \
+             (violating row: {} shards @ heaviness {:.2}, {} hops, mean latency \
+             {:.2} blocks)",
+            bad.shards, bad.heaviness, bad.cross_shard_hops, bad.mean_receipt_latency
+        );
+    }
 
     let artifact = BenchArtifact {
         seed: STREAM_SEED,
@@ -355,6 +411,7 @@ fn main() {
         shard_sweep,
         fraction_sweep,
         headline_e2e_ratio: ratio,
+        telemetry,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");

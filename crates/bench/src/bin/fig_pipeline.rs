@@ -18,10 +18,11 @@
 //! `--smoke` for the fast CI path (sweep at reduced sizes, no artifact, no
 //! assertions).
 
-use blockconc::pipeline::{BlockTemplate, ConcurrencyAwarePacker, FeeGreedyPacker};
+use blockconc::pipeline::{BlockRecord, BlockTemplate, ConcurrencyAwarePacker, FeeGreedyPacker};
 use blockconc::prelude::*;
+use blockconc::telemetry::Clock;
+use blockconc_bench::{print_telemetry, TelemetrySection};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Shared dataset seed (same convention as the figure binaries).
 const STREAM_SEED: u64 = 2020;
@@ -61,6 +62,10 @@ fn config(threads: usize) -> PipelineConfig {
     PipelineConfig {
         threads,
         max_blocks: BLOCKS,
+        // Every cell collects: per-stage quantiles land in the artifact's
+        // telemetry section (each call builds a fresh registry, so cells
+        // never share counters).
+        telemetry: TelemetryRegistry::enabled(),
         ..PipelineConfig::default()
     }
 }
@@ -206,14 +211,15 @@ fn sweep_point(pool_txs: usize, blocks: usize) -> SweepPoint {
     let state = WorldState::new();
     let units_before = tdg.op_units();
     let mut considered = 0u64;
-    let started = Instant::now();
+    let clock = WallClock::new();
+    let started = clock.now_nanos();
     for height in 1..=blocks as u64 {
         let packed = packer.pack(&pool, &mut tdg, &state, &sweep_template(height));
         considered += packed.considered;
         let removed = pool.remove_packed_returning(packed.block.transactions());
         tdg.remove_batch(removed.iter().map(|p| &p.tx));
     }
-    let maintained_nanos = started.elapsed().as_nanos() as f64 / blocks as f64;
+    let maintained_nanos = clock.now_nanos().saturating_sub(started) as f64 / blocks as f64;
     let tdg_units = (tdg.op_units() - units_before) as f64 / blocks as f64;
     let considered_per_block = considered as f64 / blocks as f64;
 
@@ -222,7 +228,7 @@ fn sweep_point(pool_txs: usize, blocks: usize) -> SweepPoint {
     drop(tdg0);
     let mut pool = pool0;
     let mut packer = ConcurrencyAwarePacker::new(THREADS[THREADS.len() - 1]);
-    let started = Instant::now();
+    let started = clock.now_nanos();
     for height in 1..=blocks as u64 {
         let mut tdg = IncrementalTdg::rebuild_from(pool.iter().map(|p| &p.tx));
         let chains = pool.ready_chains(|_| 0);
@@ -231,7 +237,7 @@ fn sweep_point(pool_txs: usize, blocks: usize) -> SweepPoint {
         let packed = packer.pack(&pool, &mut tdg, &state, &sweep_template(height));
         pool.remove_packed(packed.block.transactions());
     }
-    let rebuild_nanos = started.elapsed().as_nanos() as f64 / blocks as f64;
+    let rebuild_nanos = clock.now_nanos().saturating_sub(started) as f64 / blocks as f64;
 
     SweepPoint {
         pool_txs,
@@ -278,8 +284,108 @@ struct BenchArtifact {
     /// Pack-phase cost per block vs pool size, maintained vs rebuild (the O(Δ)
     /// incrementality regression guard).
     pool_sweep: Vec<SweepPoint>,
+    /// Per-stage wall/unit quantiles and counters for the two headline runs.
+    telemetry: Vec<TelemetrySection>,
     /// Per-block detail for the two headline runs.
     headline_runs: Vec<PipelineRunReport>,
+}
+
+/// One timed headline-shaped run with the telemetry registry either enabled or
+/// disabled, returning (wall nanoseconds, report). Used by the `--smoke`
+/// overhead guard.
+fn overhead_run(enabled: bool) -> (u64, PipelineRunReport) {
+    let config = PipelineConfig {
+        threads: 4,
+        max_blocks: 8,
+        telemetry: if enabled {
+            TelemetryRegistry::enabled()
+        } else {
+            TelemetryRegistry::disabled()
+        },
+        ..PipelineConfig::default()
+    };
+    let clock = WallClock::new();
+    let started = clock.now_nanos();
+    let report = PipelineDriver::new(
+        ConcurrencyAwarePacker::new(4),
+        ScheduledEngine::new(4),
+        config,
+    )
+    .run(ArrivalStream::new(
+        hotspot_params(),
+        TX_RATE,
+        1_800,
+        STREAM_SEED,
+    ))
+    .expect("overhead-guard run failed");
+    (clock.now_nanos().saturating_sub(started), report)
+}
+
+/// The disabled-registry overhead guard: interleaved min-of-N runs with
+/// telemetry off vs on. The model-unit output must be *identical* (telemetry
+/// must never perturb what the simulation computes) and the enabled registry
+/// must cost < 2% wall time over the disabled one.
+fn overhead_guard() {
+    const ROUNDS: usize = 3;
+    eprintln!("[fig_pipeline] telemetry overhead guard ({ROUNDS} interleaved rounds)...");
+    let mut disabled_min = u64::MAX;
+    let mut enabled_min = u64::MAX;
+    let mut disabled_report = None;
+    let mut enabled_report = None;
+    for _ in 0..ROUNDS {
+        let (wall, report) = overhead_run(false);
+        disabled_min = disabled_min.min(wall);
+        disabled_report.get_or_insert(report);
+        let (wall, report) = overhead_run(true);
+        enabled_min = enabled_min.min(wall);
+        enabled_report.get_or_insert(report);
+    }
+    let disabled = disabled_report.expect("overhead guard ran");
+    let enabled = enabled_report.expect("overhead guard ran");
+
+    // Model-unit equality: telemetry may only observe, never steer. Blocks are
+    // compared with wall/backend-cost fields zeroed, then the backend cost and
+    // final state are checked separately (same backend on both sides).
+    let normalize = |report: &PipelineRunReport| -> Vec<BlockRecord> {
+        report.blocks.iter().map(BlockRecord::normalized).collect()
+    };
+    assert_eq!(
+        normalize(&disabled),
+        normalize(&enabled),
+        "overhead guard: enabling telemetry changed the model-unit block records"
+    );
+    assert_eq!(
+        disabled.mempool_stats, enabled.mempool_stats,
+        "overhead guard: enabling telemetry changed mempool admission behaviour"
+    );
+    let store_units =
+        |report: &PipelineRunReport| -> u64 { report.blocks.iter().map(|b| b.store_units).sum() };
+    assert_eq!(
+        store_units(&disabled),
+        store_units(&enabled),
+        "overhead guard: enabling telemetry changed the store-unit cost"
+    );
+    assert_eq!(
+        disabled.final_state_root, enabled.final_state_root,
+        "overhead guard: enabling telemetry changed the final state root"
+    );
+
+    let ratio = enabled_min as f64 / disabled_min.max(1) as f64;
+    println!(
+        "overhead guard: telemetry off {} ns vs on {} ns (min of {ROUNDS} interleaved \
+         runs, 4 threads x 8 blocks x 1800 txs) — ratio {:.4} (ceiling 1.02); \
+         model units identical",
+        disabled_min, enabled_min, ratio
+    );
+    assert!(
+        ratio <= 1.02,
+        "telemetry overhead guard: enabled registry must cost < 2% wall time over \
+         disabled, got {:.4} (off {} ns, on {} ns; config: concurrency-aware/scheduled, \
+         4 threads, 8 blocks, 1800 txs, seed {STREAM_SEED})",
+        ratio,
+        disabled_min,
+        enabled_min
+    );
 }
 
 fn main() {
@@ -295,9 +401,15 @@ fn main() {
         assert!(
             at_10k.rebuild_over_maintained >= 2.0,
             "smoke: maintained pack phase must be >= 2x cheaper than the rebuild \
-             baseline at 10k (got {:.2}x)",
-            at_10k.rebuild_over_maintained
+             baseline, got {:.2}x (violating row: pool {} txs, {} blocks, \
+             maintained {:.0} ns/block, rebuild {:.0} ns/block)",
+            at_10k.rebuild_over_maintained,
+            at_10k.pool_txs,
+            at_10k.blocks,
+            at_10k.maintained_pack_nanos_per_block,
+            at_10k.rebuild_pack_nanos_per_block
         );
+        overhead_guard();
         println!("smoke mode: skipping grid, artifact write and full acceptance assertions");
         return;
     }
@@ -372,10 +484,34 @@ fn main() {
     );
     assert!(
         at_100k.rebuild_over_maintained >= 5.0,
-        "maintained pack phase must be >= 5x cheaper than the rebuild baseline at 100k \
-         (got {:.2}x)",
-        at_100k.rebuild_over_maintained
+        "maintained pack phase must be >= 5x cheaper than the rebuild baseline, \
+         got {:.2}x (violating row: pool {} txs, {} blocks, maintained {:.0} ns/block, \
+         rebuild {:.0} ns/block)",
+        at_100k.rebuild_over_maintained,
+        at_100k.pool_txs,
+        at_100k.blocks,
+        at_100k.maintained_pack_nanos_per_block,
+        at_100k.rebuild_pack_nanos_per_block
     );
+
+    // Per-stage quantiles for the two headline runs (the drivers collect them
+    // because `config()` enables the registry for every cell).
+    let telemetry: Vec<TelemetrySection> = headline_runs
+        .iter()
+        .map(|report| {
+            let snapshot = report
+                .telemetry
+                .as_ref()
+                .expect("headline run collected telemetry (enabled in config())");
+            TelemetrySection::from_snapshot(
+                format!("{}/{}/{}", report.packer, report.engine, report.threads),
+                snapshot,
+            )
+        })
+        .collect();
+    for section in &telemetry {
+        print_telemetry(section);
+    }
 
     let artifact = BenchArtifact {
         seed: STREAM_SEED,
@@ -385,6 +521,7 @@ fn main() {
         cells,
         headline_speedup_ratio: ratio,
         pool_sweep,
+        telemetry,
         headline_runs,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");

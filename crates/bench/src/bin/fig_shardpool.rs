@@ -20,8 +20,9 @@
 use blockconc::pipeline::BlockTemplate;
 use blockconc::prelude::*;
 use blockconc::shardpool::baseline_pipeline_units;
+use blockconc::telemetry::Clock;
+use blockconc_bench::{print_telemetry, TelemetrySection};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Shared dataset seed (same convention as the figure binaries).
 const STREAM_SEED: u64 = 2020;
@@ -93,6 +94,9 @@ fn config(scale: Scale, shards: usize, producers: usize) -> PipelineConfig {
         shards,
         producer_threads: producers,
         max_deferral_blocks: 2,
+        // Per-stage quantiles for the artifact's telemetry section; a fresh
+        // registry per call keeps cells from sharing counters.
+        telemetry: TelemetryRegistry::enabled(),
         ..PipelineConfig::default()
     }
 }
@@ -201,6 +205,9 @@ struct BenchArtifact {
     /// Pack-phase cost per block vs standing pool size, maintained vs per-block
     /// rebuild (the O(Δ) incrementality regression guard).
     pool_sweep: Vec<SweepPoint>,
+    /// Per-stage wall/unit quantiles and counters, one section per grid cell
+    /// (plus the single-pool baseline).
+    telemetry: Vec<TelemetrySection>,
 }
 
 /// One pool-size sweep point for the sharded pipeline: pack-phase cost per block
@@ -249,19 +256,20 @@ fn sweep_point(pool_txs: usize, shards: usize, blocks: usize) -> SweepPoint {
     // Maintained path: exactly what `ShardedPipelineDriver` does per block.
     let pool = standing_shard_pool(pool_txs, shards);
     let mut packer = ShardedPacker::new(shards, THREADS);
-    let started = Instant::now();
+    let clock = WallClock::new();
+    let started = clock.now_nanos();
     for height in 1..=blocks as u64 {
         let (packed, _) = packer.pack(&pool, &state, &sweep_template(height));
         pool.remove_packed(packed.block.transactions());
     }
-    let maintained_nanos = started.elapsed().as_nanos() as f64 / blocks as f64;
+    let maintained_nanos = clock.now_nanos().saturating_sub(started) as f64 / blocks as f64;
 
     // Rebuild baseline: the pre-refactor per-block cost — every shard's TDG
     // rebuilt from its residents plus a full per-shard ready-chain scan before
     // the same pack.
     let pool = standing_shard_pool(pool_txs, shards);
     let mut packer = ShardedPacker::new(shards, THREADS);
-    let started = Instant::now();
+    let started = clock.now_nanos();
     for height in 1..=blocks as u64 {
         for index in 0..shards {
             pool.with_shard(index, |shard_pool, shard_tdg| {
@@ -273,7 +281,7 @@ fn sweep_point(pool_txs: usize, shards: usize, blocks: usize) -> SweepPoint {
         let (packed, _) = packer.pack(&pool, &state, &sweep_template(height));
         pool.remove_packed(packed.block.transactions());
     }
-    let rebuild_nanos = started.elapsed().as_nanos() as f64 / blocks as f64;
+    let rebuild_nanos = clock.now_nanos().saturating_sub(started) as f64 / blocks as f64;
 
     SweepPoint {
         pool_txs,
@@ -307,7 +315,7 @@ fn run_sweep(sizes: &[usize], shards: usize, blocks: usize) -> Vec<SweepPoint> {
     points
 }
 
-fn run_cell(scale: Scale, shards: usize, producers: usize) -> CellSummary {
+fn run_cell(scale: Scale, shards: usize, producers: usize) -> (CellSummary, TelemetrySection) {
     eprintln!("[fig_shardpool] {shards} shards x {producers} producers...");
     let report = ShardedPipelineDriver::new(
         ScheduledEngine::new(THREADS),
@@ -322,7 +330,13 @@ fn run_cell(scale: Scale, shards: usize, producers: usize) -> CellSummary {
         report.run.total_failed, 0,
         "{shards}x{producers}: failing receipts"
     );
-    CellSummary::from_report(&report)
+    let snapshot = report
+        .run
+        .telemetry
+        .as_ref()
+        .expect("cell collected telemetry (enabled in config())");
+    let section = TelemetrySection::from_snapshot(format!("{shards}x{producers}"), snapshot);
+    (CellSummary::from_report(&report), section)
 }
 
 fn main() {
@@ -364,9 +378,20 @@ fn main() {
     } else {
         &[(1, 1), (2, 2), (4, 4), (8, 1), (8, 2), (8, 4), (8, 8)]
     };
+    let mut telemetry: Vec<TelemetrySection> = vec![TelemetrySection::from_snapshot(
+        "baseline/1x1",
+        baseline_report
+            .telemetry
+            .as_ref()
+            .expect("baseline collected telemetry (enabled in config())"),
+    )];
     let cells: Vec<CellSummary> = layouts
         .iter()
-        .map(|&(shards, producers)| run_cell(scale, shards, producers))
+        .map(|&(shards, producers)| {
+            let (cell, section) = run_cell(scale, shards, producers);
+            telemetry.push(section);
+            cell
+        })
         .collect();
 
     println!(
@@ -432,6 +457,9 @@ fn main() {
         "producer scaling at {} shards (tx per ingest+pack unit): {:?}",
         widest.shards, producer_scaling
     );
+    for section in &telemetry {
+        print_telemetry(section);
+    }
 
     if smoke {
         // The O(Δ) sweep still runs (reduced sizes) so CI regression-guards the
@@ -445,8 +473,14 @@ fn main() {
         assert!(
             at_10k.rebuild_over_maintained >= 1.2,
             "smoke: maintained sharded pack phase must be >= 1.2x cheaper than the \
-             rebuild baseline at 10k (got {:.2}x)",
-            at_10k.rebuild_over_maintained
+             rebuild baseline, got {:.2}x (violating row: pool {} txs, {} shards, \
+             {} blocks, maintained {:.0} ns/block, rebuild {:.0} ns/block)",
+            at_10k.rebuild_over_maintained,
+            at_10k.pool_txs,
+            at_10k.shards,
+            at_10k.blocks,
+            at_10k.maintained_pack_nanos_per_block,
+            at_10k.rebuild_pack_nanos_per_block
         );
         println!("smoke mode: skipping artifact write and full acceptance assertions");
         return;
@@ -454,7 +488,13 @@ fn main() {
 
     assert!(
         ratio >= 1.0,
-        "sharded pipeline must never be worse than the single pool (got {ratio:.2}x)"
+        "sharded pipeline must never be worse than the single pool, got {ratio:.2}x \
+         (violating row: {} shards x {} producers at {:.4} tx/unit vs single-pool \
+         {:.4} tx/unit)",
+        widest.shards,
+        widest.producers,
+        widest.unit_throughput,
+        baseline.unit_throughput
     );
     // What sharding buys post-refactor: the serial admission path parallelizes.
     let serial_ingest = cells
@@ -491,9 +531,15 @@ fn main() {
     );
     assert!(
         at_100k.rebuild_over_maintained >= 5.0,
-        "maintained sharded pack phase must be >= 5x cheaper than the rebuild baseline at \
-         100k (got {:.2}x)",
-        at_100k.rebuild_over_maintained
+        "maintained sharded pack phase must be >= 5x cheaper than the rebuild baseline, \
+         got {:.2}x (violating row: pool {} txs, {} shards, {} blocks, maintained \
+         {:.0} ns/block, rebuild {:.0} ns/block)",
+        at_100k.rebuild_over_maintained,
+        at_100k.pool_txs,
+        at_100k.shards,
+        at_100k.blocks,
+        at_100k.maintained_pack_nanos_per_block,
+        at_100k.rebuild_pack_nanos_per_block
     );
 
     let artifact = BenchArtifact {
@@ -507,6 +553,7 @@ fn main() {
         headline_e2e_ratio: ratio,
         producer_scaling,
         pool_sweep,
+        telemetry,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shardpool.json");
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");

@@ -22,6 +22,7 @@
 use blockconc::pipeline::{ConcurrencyAwarePacker, DiskConfig, StateBackendConfig};
 use blockconc::prelude::*;
 use blockconc::store::{DiskBackend, StateBackend};
+use blockconc_bench::{print_telemetry, TelemetrySection};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
@@ -64,6 +65,10 @@ fn run_cell(blocks: usize, backend: StateBackendConfig) -> PipelineRunReport {
         threads: 4,
         max_blocks: blocks,
         state_backend: backend,
+        // Journal/flush/compaction counters and store-stage quantiles for the
+        // artifact's telemetry section; a fresh registry per call keeps cells
+        // from sharing counters.
+        telemetry: TelemetryRegistry::enabled(),
         ..PipelineConfig::default()
     };
     let total_txs = blocks * 60 + 200;
@@ -152,12 +157,29 @@ struct BenchArtifact {
     /// Distinct accounts over resident cap at the longest history — acceptance
     /// requires ≥ 10.
     working_set_expansion: f64,
+    /// Per-stage wall/unit quantiles and counters, one section per grid cell.
+    telemetry: Vec<TelemetrySection>,
 }
 
-fn sweep(histories: &[usize]) -> (Vec<CellSummary>, f64, f64) {
+/// Everything one backend × history sweep produces.
+struct SweepOutcome {
+    cells: Vec<CellSummary>,
+    /// Worst (largest) disk commit-overhead ratio across the sweep.
+    worst_ratio: f64,
+    /// The disk cell that produced `worst_ratio` (for floor-guard messages).
+    worst_cell: Option<CellSummary>,
+    /// Distinct accounts over resident cap at the longest history.
+    expansion: f64,
+    /// Per-cell telemetry sections for the artifact.
+    telemetry: Vec<TelemetrySection>,
+}
+
+fn sweep(histories: &[usize]) -> SweepOutcome {
     let mut cells = Vec::new();
     let mut worst_ratio = 0.0f64;
+    let mut worst_cell: Option<CellSummary> = None;
     let mut expansion = 0.0f64;
+    let mut telemetry = Vec::new();
     println!(
         "{:<8} {:>7} {:>8} {:>10} {:>10} {:>10} {:>9} {:>10} {:>9}",
         "backend",
@@ -173,6 +195,13 @@ fn sweep(histories: &[usize]) -> (Vec<CellSummary>, f64, f64) {
     for (cell_no, &blocks) in histories.iter().enumerate() {
         let memory_report = run_cell(blocks, StateBackendConfig::InMemory);
         let memory = CellSummary::from_report("memory", blocks, &memory_report);
+        telemetry.push(TelemetrySection::from_snapshot(
+            format!("memory/{blocks}blocks"),
+            memory_report
+                .telemetry
+                .as_ref()
+                .expect("cell collected telemetry (enabled in run_cell())"),
+        ));
 
         let dir = store_dir(cell_no);
         let _ = std::fs::remove_dir_all(&dir);
@@ -185,6 +214,13 @@ fn sweep(histories: &[usize]) -> (Vec<CellSummary>, f64, f64) {
             }),
         );
         let mut disk = CellSummary::from_report("disk", blocks, &disk_report);
+        telemetry.push(TelemetrySection::from_snapshot(
+            format!("disk/{blocks}blocks"),
+            disk_report
+                .telemetry
+                .as_ref()
+                .expect("cell collected telemetry (enabled in run_cell())"),
+        ));
 
         assert_eq!(
             memory.final_state_root, disk.final_state_root,
@@ -217,7 +253,10 @@ fn sweep(histories: &[usize]) -> (Vec<CellSummary>, f64, f64) {
         drop(reopened);
         let _ = std::fs::remove_dir_all(&dir);
 
-        worst_ratio = worst_ratio.max(disk.commit_overhead_ratio);
+        if disk.commit_overhead_ratio >= worst_ratio {
+            worst_ratio = disk.commit_overhead_ratio;
+            worst_cell = Some(disk.clone());
+        }
         expansion = distinct_accounts as f64 / WORKING_SET_CAP as f64;
         for cell in [&memory, &disk] {
             println!(
@@ -239,7 +278,28 @@ fn sweep(histories: &[usize]) -> (Vec<CellSummary>, f64, f64) {
         cells.push(memory);
         cells.push(disk);
     }
-    (cells, worst_ratio, expansion)
+    SweepOutcome {
+        cells,
+        worst_ratio,
+        worst_cell,
+        expansion,
+        telemetry,
+    }
+}
+
+/// The "violating config row" rendered into a floor-guard failure message.
+fn cell_row(cell: &CellSummary) -> String {
+    format!(
+        "{} backend, {} blocks, {} txs, store {} units vs pack+exec {} units, \
+         journal {} KB, working-set cap {WORKING_SET_CAP}, snapshot every \
+         {SNAPSHOT_EVERY} blocks",
+        cell.backend,
+        cell.blocks,
+        cell.total_txs,
+        cell.store_units,
+        cell.pack_units + cell.execute_units,
+        cell.journal_bytes / 1024
+    )
 }
 
 fn main() {
@@ -247,16 +307,35 @@ fn main() {
     if smoke {
         // CI path: one short history; equivalence and the (relaxed) overhead
         // bound still hold, no artifact is written.
-        let (_, worst_ratio, _) = sweep(&[6]);
+        let outcome = sweep(&[6]);
+        for section in &outcome.telemetry {
+            print_telemetry(section);
+        }
         assert!(
-            worst_ratio < 0.5,
-            "smoke: journaled commit overhead {worst_ratio:.3} must stay below 50%"
+            outcome.worst_ratio < 0.5,
+            "smoke: journaled commit overhead must stay below 50%, got {:.1}% \
+             (violating row: {})",
+            outcome.worst_ratio * 100.0,
+            outcome
+                .worst_cell
+                .as_ref()
+                .map(cell_row)
+                .unwrap_or_else(|| "<no disk cell ran>".into())
         );
         println!("smoke mode: skipping full sweep, artifact write and working-set assertion");
         return;
     }
 
-    let (cells, worst_ratio, expansion) = sweep(&HISTORIES);
+    let SweepOutcome {
+        cells,
+        worst_ratio,
+        worst_cell,
+        expansion,
+        telemetry,
+    } = sweep(&HISTORIES);
+    for section in &telemetry {
+        print_telemetry(section);
+    }
     println!(
         "\nheadline: journaled commits cost {:.1}% of pack+execute model units at worst \
          (acceptance < 25%); the longest history touched {:.1}x the configured \
@@ -266,13 +345,21 @@ fn main() {
     );
     assert!(
         worst_ratio < 0.25,
-        "journaled commit overhead must stay below 25% of pack+execute units \
-         (got {:.1}%)",
-        worst_ratio * 100.0
+        "journaled commit overhead must stay below 25% of pack+execute units, \
+         got {:.1}% (violating row: {})",
+        worst_ratio * 100.0,
+        worst_cell
+            .as_ref()
+            .map(cell_row)
+            .unwrap_or_else(|| "<no disk cell ran>".into())
     );
     assert!(
         expansion >= 10.0,
-        "history must touch >= 10x the working-set cap (got {expansion:.1}x)"
+        "history must touch >= 10x the working-set cap, got {expansion:.1}x \
+         (violating row: longest history {} blocks, {} distinct accounts over a \
+         {WORKING_SET_CAP}-account resident cap)",
+        HISTORIES[HISTORIES.len() - 1],
+        (expansion * WORKING_SET_CAP as f64) as u64
     );
 
     let artifact = BenchArtifact {
@@ -284,6 +371,7 @@ fn main() {
         cells,
         worst_commit_overhead_ratio: worst_ratio,
         working_set_expansion: expansion,
+        telemetry,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");

@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 
 use blockconc::prelude::*;
+use blockconc::telemetry::CounterSnapshot;
+use serde::{Deserialize, Serialize};
 
 /// Number of time buckets used by the figure binaries (the paper uses 20–200; 20 keeps
 /// regeneration runs under a minute while preserving the longitudinal shape).
@@ -38,6 +40,103 @@ pub fn history_for(chain: ChainId) -> ChainHistory {
 pub fn print_panel(title: &str, series: &[Series]) {
     println!("{}", report::series_table(title, series));
     println!("CSV:\n{}", export::to_csv(series));
+}
+
+/// Per-stage latency/work quantiles extracted from a [`TelemetrySnapshot`] — the
+/// compact per-stage row the `fig_*` artifacts persist alongside the headline
+/// numbers (wall nanoseconds and abstract model units, p50/p99).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageQuantiles {
+    /// Stage name (`"ingest"`, `"pack"`, `"execute"`, `"store"`, ...).
+    pub stage: String,
+    /// Observations (one per block, per driver that recorded the stage).
+    pub samples: u64,
+    /// Median wall nanoseconds per observation.
+    pub wall_p50_nanos: u64,
+    /// 99th-percentile wall nanoseconds per observation.
+    pub wall_p99_nanos: u64,
+    /// Total wall nanoseconds across the run.
+    pub wall_total_nanos: u64,
+    /// Median abstract model units per observation.
+    pub units_p50: u64,
+    /// 99th-percentile abstract model units per observation.
+    pub units_p99: u64,
+    /// Total model units across the run.
+    pub units_total: u64,
+}
+
+/// The `telemetry` section of a `BENCH_*.json` artifact: per-stage quantiles
+/// plus the run's counters, labelled with the grid cell that produced it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelemetrySection {
+    /// Which run this summarizes (e.g. `"concurrency-aware/scheduled/8"`).
+    pub label: String,
+    /// Per-stage wall/unit quantiles, in stage-name order.
+    pub stages: Vec<StageQuantiles>,
+    /// The run's monotonic counters (admissions, journal bytes, receipts, ...).
+    pub counters: Vec<CounterSnapshot>,
+    /// Spans captured by the flight recorder.
+    pub spans_recorded: u64,
+    /// Block span trees sealed by the flight recorder.
+    pub blocks_sealed: u64,
+}
+
+impl TelemetrySection {
+    /// Summarizes one run's snapshot under `label`.
+    pub fn from_snapshot(label: impl Into<String>, snapshot: &TelemetrySnapshot) -> Self {
+        TelemetrySection {
+            label: label.into(),
+            stages: snapshot
+                .stages
+                .iter()
+                .map(|stage| StageQuantiles {
+                    stage: stage.stage.clone(),
+                    samples: stage.wall_nanos.count,
+                    wall_p50_nanos: stage.wall_nanos.p50(),
+                    wall_p99_nanos: stage.wall_nanos.p99(),
+                    wall_total_nanos: stage.wall_nanos.sum,
+                    units_p50: stage.units.p50(),
+                    units_p99: stage.units.p99(),
+                    units_total: stage.units.sum,
+                })
+                .collect(),
+            counters: snapshot.counters.clone(),
+            spans_recorded: snapshot.spans_recorded,
+            blocks_sealed: snapshot.blocks_sealed,
+        }
+    }
+}
+
+/// Prints one telemetry section as an aligned per-stage table (and a one-line
+/// counter digest), the way the `fig_*` binaries surface it on stdout.
+pub fn print_telemetry(section: &TelemetrySection) {
+    println!("\ntelemetry [{}]:", section.label);
+    println!(
+        "{:<9} {:>8} {:>13} {:>13} {:>10} {:>10}",
+        "stage", "samples", "wall p50/ns", "wall p99/ns", "units p50", "units p99"
+    );
+    for stage in &section.stages {
+        println!(
+            "{:<9} {:>8} {:>13} {:>13} {:>10} {:>10}",
+            stage.stage,
+            stage.samples,
+            stage.wall_p50_nanos,
+            stage.wall_p99_nanos,
+            stage.units_p50,
+            stage.units_p99,
+        );
+    }
+    let counters: Vec<String> = section
+        .counters
+        .iter()
+        .map(|c| format!("{}={}", c.name, c.value))
+        .collect();
+    println!(
+        "counters: {} (spans {}, blocks sealed {})",
+        counters.join(" "),
+        section.spans_recorded,
+        section.blocks_sealed
+    );
 }
 
 /// Convenience: the standard longitudinal series of one metric for one chain, labelled

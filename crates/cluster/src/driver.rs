@@ -13,9 +13,9 @@ use blockconc_pipeline::{
 };
 use blockconc_sharding::{DsEpoch, FinalBlock, MicroBlock, NodeId, ShardId};
 use blockconc_store::StoredAccount;
+use blockconc_telemetry::{Count, Dist, SpanId, Stage};
 use blockconc_types::{Address, Amount, BlockHeight, Hash, Result};
 use std::collections::{BTreeSet, HashSet};
-use std::time::Instant;
 
 /// Executes member-move orders physically: account records hand over between
 /// shard partitions, pooled chains (and their TDG edges) between shard pools.
@@ -166,7 +166,12 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
     pub fn run(mut self, mut stream: ArrivalStream) -> Result<ClusterRunReport> {
         let shards = self.config.shards();
         let pipeline = self.config.pipeline.clone();
+        let telemetry = pipeline.telemetry.clone();
         let mut router = ClusterRouter::new(shards);
+        // Per-node backend watermarks so flush/compaction counters accrue as
+        // per-block deltas (mirrors the single-pipeline driver).
+        let mut flushes_seen = vec![0u64; shards];
+        let mut compactions_seen = vec![0u64; shards];
 
         // DS epoch 0: PoW-assign the node population to committees.
         let population: Vec<NodeId> = (0..self.config.sharding.num_nodes)
@@ -237,6 +242,10 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
             }
             last_height = height;
             let mut rehome_units = 0u64;
+            let mut rehome_wall = 0u64;
+            let moved_accounts_before = moved_accounts;
+            let block_span = telemetry.begin_span("block", SpanId::ROOT);
+            telemetry.span_attr(block_span, "height", height);
 
             // DS-epoch rotation: reshuffle the committee, re-home live
             // components under the new epoch's canonical placement.
@@ -253,8 +262,10 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
                 rotations += 1;
                 blocks_in_epoch = 0;
                 let moves = router.rotate(number);
+                let rehome_started = telemetry.now_nanos();
                 rehome_units +=
                     apply_moves(&mut nodes, &moves, &mut moved_accounts, &mut moved_chains);
+                rehome_wall = telemetry.now_nanos().saturating_sub(rehome_started);
             }
 
             // Apply the previous round's in-flight credits on their owner shards
@@ -272,16 +283,19 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
                 nodes[dest].receipts_in += 1;
                 applied_this += 1;
                 latency_this += height - receipt.emit_height;
+                telemetry.dist(Dist::ReceiptLatencyBlocks, height - receipt.emit_height);
             }
             // Totals accrue at application time: the exhaustion break below
             // commits these credits without pushing a block record, and they
             // must still be accounted for.
             applied_total += applied_this;
             latency_total += latency_this;
+            telemetry.count(Count::CrossShardReceipts, applied_this);
 
             // Route and admit every arrival due before this round's deadline,
             // mirroring the single pipeline's ingest exactly (lazy funding, the
             // same admission → O(1) TDG edit mapping).
+            let ingest_started = telemetry.now_nanos();
             while let Some(arrival) = lookahead.take().or_else(|| stream.next()) {
                 if arrival.arrival_secs > deadline {
                     lookahead = Some(arrival);
@@ -342,6 +356,21 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
                     router.register_contract(effective_receiver(&arrival.tx));
                 }
             }
+            let ingest_wall = telemetry.now_nanos().saturating_sub(ingest_started);
+            let ingest_units = nodes
+                .iter()
+                .map(|node| node.ingested as u64 + node.receipts_in)
+                .max()
+                .unwrap_or(0);
+            telemetry.stage(Stage::Ingest, ingest_wall, ingest_units);
+            telemetry.record_span(
+                "ingest",
+                block_span,
+                ingest_started,
+                ingest_started + ingest_wall,
+                ingest_units,
+                &[],
+            );
 
             if nodes.iter().all(|node| node.pool.is_empty())
                 && lookahead.is_none()
@@ -351,6 +380,7 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
                 for node in &mut nodes {
                     node.state.commit_block()?;
                 }
+                telemetry.end_span(block_span, 0);
                 break;
             }
 
@@ -398,6 +428,13 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
             let mut height_failed = 0usize;
             let mut micro_records: Vec<BlockRecord> = Vec::with_capacity(shards);
             let mut microblocks: Vec<MicroBlock> = Vec::with_capacity(shards);
+            let mut max_pack_wall = 0u64;
+            let mut max_execute_wall = 0u64;
+            let mut store_wall_total = 0u64;
+            let mut store_units_total = 0u64;
+            let mut bytes_total = 0u64;
+            let mut conflicts_total = 0u64;
+            let mut tdg_units_total = 0u64;
             for (index, round) in rounds.into_iter().enumerate() {
                 let node = &mut nodes[index];
                 let removed = node
@@ -459,9 +496,9 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
                     }
                 }
 
-                let store_started = Instant::now();
+                let store_started = telemetry.now_nanos();
                 let commit = node.state.commit_block()?;
-                let store_wall = store_started.elapsed();
+                let store_wall = telemetry.now_nanos().saturating_sub(store_started);
 
                 let failed = round
                     .executed
@@ -471,6 +508,44 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
                     .count();
                 height_failed += failed;
                 let tdg_units = node.tdg_units_delta();
+
+                max_pack_wall = max_pack_wall.max(round.pack_wall_nanos);
+                max_execute_wall = max_execute_wall.max(round.execute_wall_nanos);
+                store_wall_total += store_wall;
+                store_units_total += commit.store_units;
+                bytes_total += commit.bytes;
+                conflicts_total += round.exec_report.conflicted_transactions as u64;
+                tdg_units_total += tdg_units;
+                telemetry.dist(Dist::TdgBlockUnits, tdg_units);
+                telemetry.dist(Dist::CommitBytes, commit.bytes);
+                telemetry.record_span(
+                    "shard",
+                    block_span,
+                    round.started_nanos,
+                    round.started_nanos + round.pack_wall_nanos + round.execute_wall_nanos,
+                    round.packed.considered + round.exec_report.parallel_units,
+                    &[
+                        ("shard", index as u64),
+                        ("txs", round.packed.block.transaction_count() as u64),
+                    ],
+                );
+                if telemetry.is_enabled() {
+                    if let Some(stats) = node.state.backend_stats() {
+                        telemetry.count(
+                            Count::JournalFlushes,
+                            stats.group_flushes.saturating_sub(flushes_seen[index]),
+                        );
+                        telemetry.count(
+                            Count::StoreCompactions,
+                            stats
+                                .snapshots_written
+                                .saturating_sub(compactions_seen[index]),
+                        );
+                        flushes_seen[index] = stats.group_flushes;
+                        compactions_seen[index] = stats.snapshots_written;
+                    }
+                }
+
                 micro_records.push(BlockRecord {
                     height,
                     ingested: node.ingested,
@@ -494,7 +569,7 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
                     execute_wall_nanos: round.execute_wall_nanos,
                     receipts_digest: receipts_digest(round.executed.receipts()),
                     store_units: commit.store_units,
-                    store_wall_nanos: store_wall.as_nanos() as u64,
+                    store_wall_nanos: store_wall,
                 });
                 microblocks.push(MicroBlock::new(
                     node.id,
@@ -504,18 +579,15 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
             }
 
             // The DS merge: micro-blocks fold into the round's final block.
+            let merge_started = telemetry.now_nanos();
             let final_block = FinalBlock::merge(BlockHeight::new(height), microblocks);
+            let merge_wall = telemetry.now_nanos().saturating_sub(merge_started);
             let tx_count = final_block.transaction_count();
             total_failed += height_failed;
             cross_txs_total += cross_txs_this;
             hops_total += hops_this;
             blocks_in_epoch += 1;
 
-            let ingest_units = nodes
-                .iter()
-                .map(|node| node.ingested as u64 + node.receipts_in)
-                .max()
-                .unwrap_or(0);
             let pack_units = micro_records
                 .iter()
                 .map(|r| r.pack_considered)
@@ -542,6 +614,29 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
                 .unwrap_or(0)
                 + merge_units
                 + rehome_units;
+
+            telemetry.stage(Stage::Pack, max_pack_wall, pack_units);
+            telemetry.stage(Stage::Execute, max_execute_wall, execute_units);
+            telemetry.stage(Stage::Store, store_wall_total, store_units_total);
+            telemetry.stage(Stage::Merge, merge_wall, merge_units);
+            telemetry.stage(Stage::Rehome, rehome_wall, rehome_units);
+            telemetry.count(Count::EngineConflicts, conflicts_total);
+            telemetry.count(Count::TdgOps, tdg_units_total);
+            telemetry.count(Count::JournalBytes, bytes_total);
+            telemetry.count(
+                Count::RehomedAccounts,
+                moved_accounts - moved_accounts_before,
+            );
+            telemetry.dist(Dist::BlockTxs, tx_count as u64);
+            telemetry.record_span(
+                "merge",
+                block_span,
+                merge_started,
+                merge_started + merge_wall,
+                merge_units,
+                &[("txs", tx_count as u64)],
+            );
+            telemetry.end_span(block_span, critical_units);
 
             records.push(ClusterBlockRecord {
                 height,
@@ -577,6 +672,7 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
             for &shard in &involved {
                 nodes[shard].state.begin_block(settle_height)?;
             }
+            telemetry.count(Count::CrossShardReceipts, due.len() as u64);
             for receipt in due {
                 let dest = router.owner_of(receipt.to).expect("owner checked above");
                 nodes[dest]
@@ -584,6 +680,10 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
                     .credit(receipt.to, Amount::from_sats(receipt.value_sats));
                 applied_total += 1;
                 latency_total += settle_height - receipt.emit_height;
+                telemetry.dist(
+                    Dist::ReceiptLatencyBlocks,
+                    settle_height - receipt.emit_height,
+                );
             }
             for &shard in &involved {
                 nodes[shard].state.commit_block()?;
@@ -626,6 +726,7 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
             mempool_stats,
             shard_roots: shard_roots.iter().map(|root| root.to_hex()).collect(),
             cluster_root: cluster_root.to_hex(),
+            telemetry: telemetry.snapshot(),
         })
     }
 }

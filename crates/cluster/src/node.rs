@@ -9,8 +9,8 @@ use blockconc_pipeline::{
     PipelineConfig,
 };
 use blockconc_sharding::ShardId;
+use blockconc_telemetry::SharedClock;
 use blockconc_types::Result;
-use std::time::Instant;
 
 /// What one shard produced in one round (joined by the driver's serial settle
 /// phase).
@@ -19,6 +19,9 @@ pub(crate) struct ShardRound {
     pub packed: PackedBlock,
     pub executed: ExecutedBlock,
     pub exec_report: ExecutionReport,
+    /// Clock reading when the shard's round started — the driver synthesizes a
+    /// per-shard flight-recorder span from this anchor plus the phase walls.
+    pub started_nanos: u64,
     pub pack_wall_nanos: u64,
     pub execute_wall_nanos: u64,
 }
@@ -34,6 +37,9 @@ pub(crate) struct ShardNode<E> {
     pub packer: ConcurrencyAwarePacker,
     pub engine: E,
     pub state: WorldState,
+    /// The clock the shard times its phases on (shared with the driver's
+    /// telemetry registry, so a mock clock makes every wall field deterministic).
+    pub clock: SharedClock,
     /// Arrivals offered to this shard in the current height window.
     pub ingested: usize,
     /// Receipt-carried credits applied by this shard in the current height.
@@ -53,6 +59,7 @@ impl<E: ExecutionEngine> ShardNode<E> {
             packer,
             engine,
             state,
+            clock: config.telemetry.clock().clone(),
             ingested: 0,
             receipts_in: 0,
             tdg_units_seen: 0,
@@ -67,20 +74,20 @@ impl<E: ExecutionEngine> ShardNode<E> {
     ///
     /// Propagates engine-level failures (worker panics).
     pub fn produce(&mut self, template: &BlockTemplate) -> Result<ShardRound> {
-        let pack_started = Instant::now();
+        let started_nanos = self.clock.now_nanos();
         let packed = self
             .packer
             .pack(&self.pool, &mut self.tdg, &self.state, template);
-        let pack_wall_nanos = pack_started.elapsed().as_nanos() as u64;
-        let execute_started = Instant::now();
+        let pack_done = self.clock.now_nanos();
         let (executed, exec_report) = self.engine.execute(&mut self.state, &packed.block)?;
-        let execute_wall_nanos = execute_started.elapsed().as_nanos() as u64;
+        let execute_done = self.clock.now_nanos();
         Ok(ShardRound {
             packed,
             executed,
             exec_report,
-            pack_wall_nanos,
-            execute_wall_nanos,
+            started_nanos,
+            pack_wall_nanos: pack_done.saturating_sub(started_nanos),
+            execute_wall_nanos: execute_done.saturating_sub(pack_done),
         })
     }
 

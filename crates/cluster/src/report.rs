@@ -89,6 +89,10 @@ pub struct ClusterRunReport {
     pub shard_roots: Vec<String>,
     /// The cluster root: a digest folding every shard's root in shard order.
     pub cluster_root: String,
+    /// Telemetry summary when the run's registry was enabled (`None` — and the
+    /// report bit-identical to pre-telemetry runs — when it was disabled, which
+    /// is what the layout-equivalence tests compare).
+    pub telemetry: Option<blockconc_telemetry::TelemetrySnapshot>,
 }
 
 impl ClusterRunReport {
@@ -179,6 +183,7 @@ mod tests {
             mempool_stats: MempoolStats::default(),
             shard_roots: vec![String::new(); 2],
             cluster_root: String::new(),
+            telemetry: None,
             blocks,
         }
     }

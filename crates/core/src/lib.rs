@@ -24,6 +24,7 @@
 //! | [`shardpool`] | concurrent TDG-component-sharded mempool with parallel per-shard packers |
 //! | [`cluster`] | cross-node sharded mempool fabric: per-shard pipelines over partitioned state with a cross-shard credit protocol |
 //! | [`store`] | journaled persistent state backends (in-memory and log-structured disk) |
+//! | [`telemetry`] | zero-dependency observability: clocks, histograms, counters, span flight recorder |
 //! | [`analysis`] | bucketed weighted aggregation, chain comparisons, figure data, export |
 //!
 //! # Quickstart
@@ -55,6 +56,7 @@ pub use blockconc_pipeline as pipeline;
 pub use blockconc_sharding as sharding;
 pub use blockconc_shardpool as shardpool;
 pub use blockconc_store as store;
+pub use blockconc_telemetry as telemetry;
 pub use blockconc_types as types;
 pub use blockconc_utxo as utxo;
 
@@ -99,6 +101,7 @@ pub mod prelude {
     pub use blockconc_store::{
         DiskBackend, DiskConfig, MemoryBackend, StateBackend, StateBackendConfig, StoreStats,
     };
+    pub use blockconc_telemetry::{MockClock, TelemetryRegistry, TelemetrySnapshot, WallClock};
     pub use blockconc_types::{Address, Amount, BlockHeight, Gas, Hash, Timestamp, TxId};
     pub use blockconc_utxo::{
         BlockBuilder as UtxoBlockBuilder, TransactionBuilder, UtxoBlock, UtxoSet,

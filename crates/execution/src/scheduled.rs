@@ -4,8 +4,9 @@ use crate::{detect_conflicts, parallel_map, ExecutionEngine, ExecutionReport};
 use blockconc_account::{AccountBlock, BlockExecutor, ExecutedBlock, Receipt, WorldState};
 use blockconc_graph::UnionFind;
 use blockconc_model::lpt_makespan;
+use blockconc_telemetry::{SharedClock, WallClock};
 use blockconc_types::{Gas, Result};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The group-concurrency engine modelled by the paper's Equation (2):
 ///
@@ -31,10 +32,12 @@ use std::time::{Duration, Instant};
 pub struct ScheduledEngine {
     threads: usize,
     executor: BlockExecutor,
+    clock: SharedClock,
 }
 
 impl ScheduledEngine {
-    /// Creates an engine with `threads` worker threads.
+    /// Creates an engine with `threads` worker threads, timing itself on the
+    /// wall clock.
     ///
     /// # Panics
     ///
@@ -44,7 +47,16 @@ impl ScheduledEngine {
         ScheduledEngine {
             threads,
             executor: BlockExecutor::new(),
+            clock: WallClock::shared(),
         }
+    }
+
+    /// This engine timing itself on `clock` instead of the wall clock
+    /// (builder-style) — a mock clock makes the reported wall times
+    /// deterministic.
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The number of worker threads.
@@ -140,7 +152,7 @@ impl ExecutionEngine for ScheduledEngine {
             loads[idx] += groups[g].len() as u64;
         }
 
-        let parallel_start = Instant::now();
+        let parallel_start = self.clock.now_nanos();
         parallel_map(&assignments, assignments.len(), |_, group_ids| {
             let mut local = state.clone();
             let mut executor = BlockExecutor::new();
@@ -151,7 +163,7 @@ impl ExecutionEngine for ScheduledEngine {
                 }
             }
         });
-        let parallel_wall = parallel_start.elapsed();
+        let parallel_wall = self.clock.now_nanos().saturating_sub(parallel_start);
 
         // Install the canonical result (excluded from the reported wall time).
         let mut receipts: Vec<Receipt> = Vec::with_capacity(x);
@@ -172,7 +184,7 @@ impl ExecutionEngine for ScheduledEngine {
             largest_group,
             sequential_units: x as u64,
             parallel_units: lpt_makespan(&group_sizes, self.threads),
-            wall_time: parallel_wall,
+            wall_time: Duration::from_nanos(parallel_wall),
             sequential_wall_time: Duration::ZERO,
         };
         Ok((executed, report))

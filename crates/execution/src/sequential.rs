@@ -2,8 +2,9 @@
 
 use crate::{ExecutionEngine, ExecutionReport};
 use blockconc_account::{AccountBlock, BlockExecutor, ExecutedBlock, WorldState};
+use blockconc_telemetry::{SharedClock, WallClock};
 use blockconc_types::Result;
-use std::time::Instant;
+use std::time::Duration;
 
 /// Executes transactions one at a time in block order — exactly what the clients of
 /// the studied blockchains do today, and the baseline every speed-up is measured
@@ -12,15 +13,33 @@ use std::time::Instant;
 /// # Examples
 ///
 /// See the [crate documentation](crate).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SequentialEngine {
     executor: BlockExecutor,
+    clock: SharedClock,
+}
+
+impl Default for SequentialEngine {
+    fn default() -> Self {
+        SequentialEngine::new()
+    }
 }
 
 impl SequentialEngine {
-    /// Creates a sequential engine.
+    /// Creates a sequential engine timing itself on the wall clock.
     pub fn new() -> Self {
-        SequentialEngine::default()
+        SequentialEngine {
+            executor: BlockExecutor::new(),
+            clock: WallClock::shared(),
+        }
+    }
+
+    /// This engine timing itself on `clock` instead of the wall clock
+    /// (builder-style) — a mock clock makes the reported wall times
+    /// deterministic.
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
     }
 }
 
@@ -34,9 +53,9 @@ impl ExecutionEngine for SequentialEngine {
         state: &mut WorldState,
         block: &AccountBlock,
     ) -> Result<(ExecutedBlock, ExecutionReport)> {
-        let start = Instant::now();
+        let start = self.clock.now_nanos();
         let executed = self.executor.execute_block(state, block)?;
-        let elapsed = start.elapsed();
+        let elapsed = Duration::from_nanos(self.clock.now_nanos().saturating_sub(start));
         let x = block.transaction_count() as u64;
         let report = ExecutionReport {
             engine: self.name().to_string(),
@@ -78,5 +97,25 @@ mod tests {
         assert_eq!(report.sequential_units, 1);
         assert!((report.unit_speedup() - 1.0).abs() < 1e-12);
         assert_eq!(state.balance(Address::from_low(2)), Amount::from_coins(1));
+    }
+
+    #[test]
+    fn mock_clock_makes_wall_time_deterministic() {
+        use blockconc_telemetry::MockClock;
+        let mut state = WorldState::new();
+        state.credit(Address::from_low(1), Amount::from_coins(5));
+        let block = BlockBuilder::new(1, 0, Address::from_low(9))
+            .transaction(AccountTransaction::transfer(
+                Address::from_low(1),
+                Address::from_low(2),
+                Amount::from_coins(1),
+                0,
+            ))
+            .build();
+        // Two clock reads (start, end) at step 7 → exactly 7ns, every run.
+        let mut engine = SequentialEngine::new().with_clock(MockClock::shared(7));
+        let (_, report) = engine.execute(&mut state, &block).unwrap();
+        assert_eq!(report.wall_time, Duration::from_nanos(7));
+        assert_eq!(report.sequential_wall_time, Duration::from_nanos(7));
     }
 }

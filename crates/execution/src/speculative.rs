@@ -4,8 +4,9 @@ use crate::{detect_conflicts, parallel_map, ExecutionEngine, ExecutionReport};
 use blockconc_account::{
     AccessSet, AccountBlock, BlockExecutor, ExecutedBlock, Receipt, StateKey, WorldState,
 };
+use blockconc_telemetry::{SharedClock, WallClock};
 use blockconc_types::{Gas, Result};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The speculative two-phase engine modelled by the paper's Equation (1):
 ///
@@ -29,10 +30,12 @@ use std::time::{Duration, Instant};
 pub struct SpeculativeEngine {
     threads: usize,
     executor: BlockExecutor,
+    clock: SharedClock,
 }
 
 impl SpeculativeEngine {
-    /// Creates an engine with `threads` worker threads.
+    /// Creates an engine with `threads` worker threads, timing itself on the
+    /// wall clock.
     ///
     /// # Panics
     ///
@@ -42,7 +45,16 @@ impl SpeculativeEngine {
         SpeculativeEngine {
             threads,
             executor: BlockExecutor::new(),
+            clock: WallClock::shared(),
         }
+    }
+
+    /// This engine timing itself on `clock` instead of the wall clock
+    /// (builder-style) — a mock clock makes the reported wall times
+    /// deterministic.
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The number of worker threads.
@@ -101,9 +113,9 @@ impl ExecutionEngine for SpeculativeEngine {
         block: &AccountBlock,
     ) -> Result<(ExecutedBlock, ExecutionReport)> {
         let x = block.transaction_count();
-        let phase1_start = Instant::now();
+        let phase1_start = self.clock.now_nanos();
         let access_sets = self.speculative_phase(state, block);
-        let phase1 = phase1_start.elapsed();
+        let phase1 = self.clock.now_nanos().saturating_sub(phase1_start);
 
         let conflicts = detect_conflicts(&access_sets);
         let conflicted = conflicts.conflicted_flags().to_vec();
@@ -123,7 +135,7 @@ impl ExecutionEngine for SpeculativeEngine {
         }
 
         // Sequential phase: re-execute the conflicted bin in block order.
-        let phase2_start = Instant::now();
+        let phase2_start = self.clock.now_nanos();
         for (idx, tx) in block.transactions().iter().enumerate() {
             if conflicted[idx] {
                 let receipt = match self.executor.execute_transaction(state, tx) {
@@ -133,7 +145,7 @@ impl ExecutionEngine for SpeculativeEngine {
                 receipts[idx] = Some(receipt);
             }
         }
-        let phase2 = phase2_start.elapsed();
+        let phase2 = self.clock.now_nanos().saturating_sub(phase2_start);
 
         let receipts: Vec<Receipt> = receipts
             .into_iter()
@@ -150,7 +162,7 @@ impl ExecutionEngine for SpeculativeEngine {
             largest_group: bin_size,
             sequential_units: x as u64,
             parallel_units,
-            wall_time: phase1 + phase2,
+            wall_time: Duration::from_nanos(phase1 + phase2),
             sequential_wall_time: Duration::ZERO,
         };
         Ok((executed, report))

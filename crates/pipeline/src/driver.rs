@@ -4,9 +4,9 @@ use crate::{BlockPacker, BlockRecord, IncrementalTdg, Mempool, PipelineRunReport
 use blockconc_chainsim::{ArrivalStream, TxArrival};
 use blockconc_execution::ExecutionEngine;
 use blockconc_store::StateBackendConfig;
+use blockconc_telemetry::{Count, Dist, SpanId, Stage, TelemetryRegistry};
 use blockconc_types::{Address, Amount, Gas, Result};
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// Configuration of a pipeline run.
 #[derive(Debug, Clone)]
@@ -43,6 +43,12 @@ pub struct PipelineConfig {
     /// (`StateBackendConfig::Disk`), which bounds resident state by the configured
     /// working-set cap and makes every block commit durable.
     pub state_backend: StateBackendConfig,
+    /// Observability handle. Disabled by default (a disabled registry is a
+    /// single branch per record call — the `fig_pipeline` overhead guard holds
+    /// it under 2%); drivers route all wall-clock measurements through its
+    /// [`Clock`](blockconc_telemetry::Clock) either way, so a mock clock makes
+    /// the report's timing fields deterministic even with collection off.
+    pub telemetry: TelemetryRegistry,
 }
 
 impl Default for PipelineConfig {
@@ -57,6 +63,7 @@ impl Default for PipelineConfig {
             shards: 1,
             producer_threads: 1,
             state_backend: StateBackendConfig::InMemory,
+            telemetry: TelemetryRegistry::default(),
         }
     }
 }
@@ -117,11 +124,19 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
         let mut blocks: Vec<BlockRecord> = Vec::with_capacity(self.config.max_blocks);
         let mut total_failed = 0usize;
         let mut tdg_units_seen = 0u64;
+        let mut flushes_seen = 0u64;
+        let mut compactions_seen = 0u64;
+        let telemetry = self.config.telemetry.clone();
         self.packer.configure(&self.config);
 
         for height in 1..=self.config.max_blocks as u64 {
             let deadline = height as f64 * self.config.block_interval_secs;
             let mut ingested = 0usize;
+            // Per-block admission tallies, folded into the telemetry counters
+            // once per block so the hot ingest loop stays counter-free.
+            let (mut admitted, mut replaced, mut evicted, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+            let block_span = telemetry.begin_span("block", SpanId::ROOT);
+            telemetry.span_attr(block_span, "height", height);
             // Open the block's write-set scope: ingest-time sender funding and the
             // block's execution effects commit together.
             state.begin_block(height)?;
@@ -129,6 +144,7 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
             // Ingest every arrival due before this block's deadline. Every
             // admission outcome maps to an O(1) incremental TDG edit — the graph
             // is never rebuilt from a pool scan.
+            let ingest_started = telemetry.now_nanos();
             while let Some(arrival) = lookahead.take().or_else(|| stream.next()) {
                 if arrival.arrival_secs > deadline {
                     lookahead = Some(arrival);
@@ -151,29 +167,47 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                 );
                 match effects.outcome {
                     crate::AdmitOutcome::Admitted => {
+                        admitted += 1;
                         tdg.insert(&arrival.tx);
                         // A capacity admission evicted the cheapest tail: drop its
                         // edge too. When the superseded edge is still covered by
                         // another pooled transaction this is the zero-degree fast
                         // path — a pure refcount decrement.
-                        if let Some(evicted) = &effects.evicted {
-                            tdg.remove(&evicted.tx);
+                        if let Some(evicted_entry) = &effects.evicted {
+                            evicted += 1;
+                            tdg.remove(&evicted_entry.tx);
                         }
                     }
                     // A replacement may change the receiver: swap the superseded
                     // edge for the new one, incrementally.
                     crate::AdmitOutcome::Replaced => {
-                        let replaced = effects.replaced.as_ref().expect("replacement payload");
-                        tdg.remove(&replaced.tx);
+                        replaced += 1;
+                        let superseded = effects.replaced.as_ref().expect("replacement payload");
+                        tdg.remove(&superseded.tx);
                         tdg.insert(&arrival.tx);
                     }
-                    _ => {}
+                    _ => rejected += 1,
                 }
             }
+            let ingest_wall = telemetry.now_nanos().saturating_sub(ingest_started);
+            telemetry.count(Count::MempoolAdmitted, admitted);
+            telemetry.count(Count::MempoolReplaced, replaced);
+            telemetry.count(Count::MempoolEvicted, evicted);
+            telemetry.count(Count::MempoolRejected, rejected);
+            telemetry.stage(Stage::Ingest, ingest_wall, ingested as u64);
+            telemetry.record_span(
+                "ingest",
+                block_span,
+                ingest_started,
+                ingest_started + ingest_wall,
+                ingested as u64,
+                &[],
+            );
 
             if pool.is_empty() && lookahead.is_none() && stream.remaining() == 0 {
                 // Flush any funding credited during the final (blockless) ingest.
                 state.commit_block()?;
+                telemetry.end_span(block_span, 0);
                 break;
             }
 
@@ -183,15 +217,15 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                 beneficiary: self.beneficiary,
                 gas_limit: self.config.block_gas_limit,
             };
-            let pack_started = Instant::now();
+            let pack_started = telemetry.now_nanos();
             let packed = self.packer.pack(&pool, &mut tdg, &state, &template);
-            let pack_wall = pack_started.elapsed();
+            let pack_wall = telemetry.now_nanos().saturating_sub(pack_started);
             let predicted_makespan = packed.predicted_makespan(self.config.threads);
             let predicted_speedup = packed.predicted_speedup(self.config.threads);
 
-            let started = Instant::now();
+            let execute_started = telemetry.now_nanos();
             let (executed, exec_report) = self.engine.execute(&mut state, &packed.block)?;
-            let execute_wall = started.elapsed();
+            let execute_wall = telemetry.now_nanos().saturating_sub(execute_started);
 
             // Settle the pool incrementally: the packed transactions leave both
             // the pool and the graph as O(Δ) edits (deletion-capable union–find),
@@ -210,9 +244,9 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
 
             // Commit the block's write-set delta to the state backend (journaled
             // and made durable by the disk backend).
-            let store_started = Instant::now();
+            let store_started = telemetry.now_nanos();
             let commit = state.commit_block()?;
-            let store_wall = store_started.elapsed();
+            let store_wall = telemetry.now_nanos().saturating_sub(store_started);
 
             let failed = executed
                 .receipts()
@@ -222,10 +256,69 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
             total_failed += failed;
             let tdg_units = tdg.op_units() - tdg_units_seen;
             tdg_units_seen = tdg.op_units();
+            let tx_count = packed.block.transaction_count();
+
+            telemetry.stage(Stage::Pack, pack_wall, packed.considered);
+            telemetry.record_span(
+                "pack",
+                block_span,
+                pack_started,
+                pack_started + pack_wall,
+                packed.considered,
+                &[("txs", tx_count as u64)],
+            );
+            telemetry.stage(Stage::Execute, execute_wall, exec_report.parallel_units);
+            telemetry.record_span(
+                "execute",
+                block_span,
+                execute_started,
+                execute_started + execute_wall,
+                exec_report.parallel_units,
+                &[("conflicts", exec_report.conflicted_transactions as u64)],
+            );
+            telemetry.stage(Stage::Store, store_wall, commit.store_units);
+            telemetry.record_span(
+                "store",
+                block_span,
+                store_started,
+                store_started + store_wall,
+                commit.store_units,
+                &[("bytes", commit.bytes)],
+            );
+            telemetry.count(
+                Count::EngineConflicts,
+                exec_report.conflicted_transactions as u64,
+            );
+            telemetry.count(Count::TdgOps, tdg_units);
+            telemetry.dist(Dist::TdgBlockUnits, tdg_units);
+            telemetry.dist(Dist::BlockTxs, tx_count as u64);
+            telemetry.count(Count::JournalBytes, commit.bytes);
+            telemetry.dist(Dist::CommitBytes, commit.bytes);
+            if telemetry.is_enabled() {
+                // Flush/compaction counts live in the backend's cumulative stats;
+                // diff them per block only when someone is listening.
+                if let Some(stats) = state.backend_stats() {
+                    telemetry.count(
+                        Count::JournalFlushes,
+                        stats.group_flushes.saturating_sub(flushes_seen),
+                    );
+                    telemetry.count(
+                        Count::StoreCompactions,
+                        stats.snapshots_written.saturating_sub(compactions_seen),
+                    );
+                    flushes_seen = stats.group_flushes;
+                    compactions_seen = stats.snapshots_written;
+                }
+            }
+            telemetry.end_span(
+                block_span,
+                exec_report.parallel_units + commit.store_units + tdg_units,
+            );
+
             blocks.push(BlockRecord {
                 height,
                 ingested,
-                tx_count: packed.block.transaction_count(),
+                tx_count,
                 deferred_by_cap: packed.deferred_by_cap,
                 aged_included: packed.aged_included,
                 failed_receipts: failed,
@@ -241,11 +334,11 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                 mempool_len_after: pool.len(),
                 tdg_units,
                 pack_considered: packed.considered,
-                pack_wall_nanos: pack_wall.as_nanos() as u64,
-                execute_wall_nanos: execute_wall.as_nanos() as u64,
+                pack_wall_nanos: pack_wall,
+                execute_wall_nanos: execute_wall,
                 receipts_digest: crate::receipts_digest(executed.receipts()),
                 store_units: commit.store_units,
-                store_wall_nanos: store_wall.as_nanos() as u64,
+                store_wall_nanos: store_wall,
             });
         }
 
@@ -261,6 +354,7 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
             mempool_stats: pool.stats(),
             final_state_root: state.state_root().to_hex(),
             store: state.backend_stats().unwrap_or_default(),
+            telemetry: telemetry.snapshot(),
         })
     }
 }

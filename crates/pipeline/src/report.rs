@@ -132,6 +132,10 @@ pub struct PipelineRunReport {
     pub final_state_root: String,
     /// The state backend's cumulative counters for the run.
     pub store: StoreStats,
+    /// Telemetry summary when the run's registry was enabled (`None` — and the
+    /// report bit-identical to pre-telemetry runs — when it was disabled, which
+    /// is what the backend-equivalence tests compare).
+    pub telemetry: Option<blockconc_telemetry::TelemetrySnapshot>,
 }
 
 impl PipelineRunReport {
@@ -229,6 +233,7 @@ mod tests {
             mempool_stats: MempoolStats::default(),
             final_state_root: String::new(),
             store: StoreStats::default(),
+            telemetry: None,
             blocks,
         }
     }

@@ -7,9 +7,9 @@ use crate::{
 use blockconc_chainsim::{ArrivalStream, TxArrival};
 use blockconc_execution::ExecutionEngine;
 use blockconc_pipeline::{BlockRecord, BlockTemplate, PipelineConfig, PipelineRunReport};
+use blockconc_telemetry::{Count, Dist, SpanId, Stage};
 use blockconc_types::{Address, Amount, Result};
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// Drives the sharded mempool and per-shard packers over an arrival stream — the
 /// sharded counterpart of `blockconc_pipeline::PipelineDriver`, selected by the
@@ -90,7 +90,8 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
         let mut packer = ShardedPacker::new(config.shards, config.threads);
         packer.configure(&config);
         ShardedPipelineDriver {
-            ingest: IngestRouter::new(config.producer_threads, Self::DEFAULT_QUEUE_DEPTH),
+            ingest: IngestRouter::new(config.producer_threads, Self::DEFAULT_QUEUE_DEPTH)
+                .with_clock(config.telemetry.clock().clone()),
             packer,
             engine,
             config,
@@ -101,7 +102,8 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
 
     /// Overrides the per-shard admission queue depth (builder-style).
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
-        self.ingest = IngestRouter::new(self.config.producer_threads, depth);
+        self.ingest = IngestRouter::new(self.config.producer_threads, depth)
+            .with_clock(self.config.telemetry.clock().clone());
         self
     }
 
@@ -146,9 +148,14 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
         let mut total_failed = 0usize;
         let mut stamp = 0u64;
         let mut tdg_units_seen = 0u64;
+        let mut flushes_seen = 0u64;
+        let mut compactions_seen = 0u64;
+        let telemetry = self.config.telemetry.clone();
 
         for height in 1..=self.config.max_blocks as u64 {
             let deadline = height as f64 * self.config.block_interval_secs;
+            let block_span = telemetry.begin_span("block", SpanId::ROOT);
+            telemetry.span_attr(block_span, "height", height);
             state.begin_block(height)?;
 
             // Phase 1: collect the due arrivals, mirroring the generator's lazy
@@ -178,11 +185,37 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
             let ingested = batch.len();
 
             // Phase 2: concurrent admission through the ingest router.
+            let ingest_started = telemetry.now_nanos();
             let ingest_report = self.ingest.ingest(&pool, batch);
+            let outcomes = &ingest_report.outcomes;
+            telemetry.count(Count::MempoolAdmitted, outcomes.admitted);
+            telemetry.count(Count::MempoolReplaced, outcomes.replaced);
+            telemetry.count(
+                Count::MempoolRejected,
+                outcomes.rejected_underpriced + outcomes.rejected_full + outcomes.rejected_nonce,
+            );
+            telemetry.dist(
+                Dist::IngestQueueDepth,
+                ingest_report.max_consumer_items as u64,
+            );
+            telemetry.stage(
+                Stage::Ingest,
+                ingest_report.wall_nanos,
+                ingest_report.parallel_units(),
+            );
+            telemetry.record_span(
+                "ingest",
+                block_span,
+                ingest_started,
+                ingest_started + ingest_report.wall_nanos,
+                ingest_report.parallel_units(),
+                &[("items", ingest_report.items as u64)],
+            );
 
             if pool.is_empty() && lookahead.is_none() && stream.remaining() == 0 {
                 // Flush any funding credited during the final (blockless) ingest.
                 state.commit_block()?;
+                telemetry.end_span(block_span, 0);
                 break;
             }
 
@@ -193,16 +226,16 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
                 beneficiary: self.beneficiary,
                 gas_limit: self.config.block_gas_limit,
             };
-            let pack_started = Instant::now();
+            let pack_started = telemetry.now_nanos();
             let (packed, pack_report) = self.packer.pack(&pool, &state, &template);
-            let pack_wall = pack_started.elapsed();
+            let pack_wall = telemetry.now_nanos().saturating_sub(pack_started);
             let predicted_makespan = packed.predicted_makespan(self.config.threads);
             let predicted_speedup = packed.predicted_speedup(self.config.threads);
 
             // Phase 4: execute, settle the pool, rebalance on cadence.
-            let started = Instant::now();
+            let execute_started = telemetry.now_nanos();
             let (executed, exec_report) = self.engine.execute(&mut state, &packed.block)?;
-            let execute_wall = started.elapsed();
+            let execute_wall = telemetry.now_nanos().saturating_sub(execute_started);
 
             pool.remove_packed(packed.block.transactions());
             for (tx, receipt) in executed.iter() {
@@ -214,9 +247,9 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
                 pool.rebalance();
             }
 
-            let store_started = Instant::now();
+            let store_started = telemetry.now_nanos();
             let commit = state.commit_block()?;
-            let store_wall = store_started.elapsed();
+            let store_wall = telemetry.now_nanos().saturating_sub(store_started);
 
             let failed = executed
                 .receipts()
@@ -226,10 +259,69 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
             total_failed += failed;
             let tdg_units = pool.tdg_op_units() - tdg_units_seen;
             tdg_units_seen += tdg_units;
+            let tx_count = packed.block.transaction_count();
+
+            telemetry.stage(Stage::Pack, pack_wall, packed.considered);
+            telemetry.record_span(
+                "pack",
+                block_span,
+                pack_started,
+                pack_started + pack_wall,
+                packed.considered,
+                &[("txs", tx_count as u64)],
+            );
+            telemetry.stage(Stage::Execute, execute_wall, exec_report.parallel_units);
+            telemetry.record_span(
+                "execute",
+                block_span,
+                execute_started,
+                execute_started + execute_wall,
+                exec_report.parallel_units,
+                &[("conflicts", exec_report.conflicted_transactions as u64)],
+            );
+            telemetry.stage(Stage::Store, store_wall, commit.store_units);
+            telemetry.record_span(
+                "store",
+                block_span,
+                store_started,
+                store_started + store_wall,
+                commit.store_units,
+                &[("bytes", commit.bytes)],
+            );
+            telemetry.count(
+                Count::EngineConflicts,
+                exec_report.conflicted_transactions as u64,
+            );
+            telemetry.count(Count::TdgOps, tdg_units);
+            telemetry.dist(Dist::TdgBlockUnits, tdg_units);
+            telemetry.dist(Dist::BlockTxs, tx_count as u64);
+            telemetry.count(Count::JournalBytes, commit.bytes);
+            telemetry.dist(Dist::CommitBytes, commit.bytes);
+            if telemetry.is_enabled() {
+                // Flush/compaction counts live in the backend's cumulative stats;
+                // diff them per block only when someone is listening.
+                if let Some(stats) = state.backend_stats() {
+                    telemetry.count(
+                        Count::JournalFlushes,
+                        stats.group_flushes.saturating_sub(flushes_seen),
+                    );
+                    telemetry.count(
+                        Count::StoreCompactions,
+                        stats.snapshots_written.saturating_sub(compactions_seen),
+                    );
+                    flushes_seen = stats.group_flushes;
+                    compactions_seen = stats.snapshots_written;
+                }
+            }
+            telemetry.end_span(
+                block_span,
+                exec_report.parallel_units + commit.store_units + tdg_units,
+            );
+
             blocks.push(BlockRecord {
                 height,
                 ingested,
-                tx_count: packed.block.transaction_count(),
+                tx_count,
                 deferred_by_cap: packed.deferred_by_cap,
                 aged_included: packed.aged_included,
                 failed_receipts: failed,
@@ -245,11 +337,11 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
                 mempool_len_after: pool.len(),
                 tdg_units,
                 pack_considered: packed.considered,
-                pack_wall_nanos: pack_wall.as_nanos() as u64,
-                execute_wall_nanos: execute_wall.as_nanos() as u64,
+                pack_wall_nanos: pack_wall,
+                execute_wall_nanos: execute_wall,
                 receipts_digest: blockconc_pipeline::receipts_digest(executed.receipts()),
                 store_units: commit.store_units,
-                store_wall_nanos: store_wall.as_nanos() as u64,
+                store_wall_nanos: store_wall,
             });
             phases.push(BlockPhaseRecord {
                 height,
@@ -274,6 +366,7 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
                 mempool_stats: pool.stats(),
                 final_state_root: state.state_root().to_hex(),
                 store: state.backend_stats().unwrap_or_default(),
+                telemetry: telemetry.snapshot(),
             },
             shards: self.config.shards,
             producers: self.config.producer_threads,

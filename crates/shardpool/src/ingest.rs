@@ -12,13 +12,13 @@
 use crate::ShardedMempool;
 use blockconc_account::AccountTransaction;
 use blockconc_pipeline::{effective_receiver, AdmitOutcome};
+use blockconc_telemetry::{SharedClock, WallClock};
 use blockconc_types::Address;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::time::Instant;
 
 /// One arrival prepared for ingestion: the transaction plus everything admission
 /// needs (fee bid, arrival time, the sender's account nonce at this block boundary,
@@ -101,15 +101,16 @@ impl IngestReport {
 }
 
 /// The multi-producer ingestion front of a [`ShardedMempool`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct IngestRouter {
     producers: usize,
     queue_depth: usize,
+    clock: SharedClock,
 }
 
 impl IngestRouter {
     /// Creates a router with `producers` producer threads and per-shard admission
-    /// queues bounded at `queue_depth` items.
+    /// queues bounded at `queue_depth` items, timing batches on the wall clock.
     ///
     /// # Panics
     ///
@@ -120,7 +121,16 @@ impl IngestRouter {
         IngestRouter {
             producers,
             queue_depth,
+            clock: WallClock::shared(),
         }
+    }
+
+    /// This router timing its batches on `clock` instead of the wall clock
+    /// (builder-style) — a mock clock makes [`IngestReport::wall_nanos`]
+    /// deterministic.
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The configured producer-thread count.
@@ -135,7 +145,7 @@ impl IngestRouter {
     /// against the single-threaded pool); only the scheduling is concurrent.
     pub fn ingest(&self, pool: &ShardedMempool, items: Vec<IngestItem>) -> IngestReport {
         let total = items.len();
-        let started = Instant::now();
+        let started = self.clock.now_nanos();
 
         // Partition by sender across producers, preserving per-sender order.
         let mut bins: Vec<Vec<IngestItem>> = (0..self.producers).map(|_| Vec::new()).collect();
@@ -220,7 +230,7 @@ impl IngestRouter {
             outcomes,
             max_producer_items,
             max_consumer_items,
-            wall_nanos: started.elapsed().as_nanos() as u64,
+            wall_nanos: self.clock.now_nanos().saturating_sub(started),
         }
     }
 }

@@ -141,6 +141,7 @@ mod tests {
             mempool_stats: MempoolStats::default(),
             final_state_root: String::new(),
             store: blockconc_pipeline::StoreStats::default(),
+            telemetry: None,
         };
         let report = ShardedRunReport {
             run,
@@ -180,6 +181,7 @@ mod tests {
                 mempool_stats: MempoolStats::default(),
                 final_state_root: String::new(),
                 store: blockconc_pipeline::StoreStats::default(),
+                telemetry: None,
             },
             shards: 2,
             producers: 2,

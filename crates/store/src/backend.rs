@@ -119,6 +119,9 @@ pub struct StoreStats {
     pub read_bytes: u64,
     /// Snapshot compactions performed.
     pub snapshots_written: u64,
+    /// Commit groups sealed (journal write + flush). With `group_commit_every`
+    /// = 1 this equals the committed blocks; larger groups amortize flushes.
+    pub group_flushes: u64,
     /// Blocks replayed from the journal when the backend was opened.
     pub replayed_blocks: u64,
     /// Records replayed when the backend was opened.

@@ -214,6 +214,7 @@ impl DiskBackend {
         self.group_buffer.clear();
         self.group_pending = 0;
         self.sealed_height = self.committed;
+        self.stats.group_flushes += 1;
         Ok(())
     }
 

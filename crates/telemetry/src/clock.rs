@@ -1,0 +1,154 @@
+//! Time sources: the [`Clock`] trait, the monotonic [`WallClock`] and the
+//! deterministic [`MockClock`].
+//!
+//! Every wall-clock measurement in the workspace flows through a [`Clock`] so
+//! that tests can substitute a [`MockClock`] and turn previously time-flaky
+//! assertions ("the parallel phase took *some* time") into exact ones.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+///
+/// Implementations must be monotone: consecutive [`now_nanos`](Clock::now_nanos)
+/// calls on one instance never go backwards. The zero point is arbitrary (the
+/// wall clock counts from its construction), so only *differences* are
+/// meaningful.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Nanoseconds elapsed since this clock's arbitrary origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// A shareable clock handle (engines, drivers and the registry all clone it).
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The real monotonic clock: [`Instant`] nanoseconds since construction.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_telemetry::{Clock, WallClock};
+///
+/// let clock = WallClock::new();
+/// let a = clock.now_nanos();
+/// let b = clock.now_nanos();
+/// assert!(b >= a);
+/// ```
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock whose origin is "now".
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// A fresh wall clock behind a [`SharedClock`] handle.
+    pub fn shared() -> SharedClock {
+        Arc::new(WallClock::new())
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A deterministic clock for tests: every [`now_nanos`](Clock::now_nanos) call
+/// returns the current reading and then advances it by a fixed step, so
+/// measured durations are exact, reproducible and non-zero.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_telemetry::{Clock, MockClock};
+///
+/// let clock = MockClock::with_step(1_000);
+/// assert_eq!(clock.now_nanos(), 0);
+/// assert_eq!(clock.now_nanos(), 1_000);
+/// clock.advance(500);
+/// assert_eq!(clock.now_nanos(), 2_500);
+/// ```
+#[derive(Debug, Default)]
+pub struct MockClock {
+    nanos: AtomicU64,
+    step: u64,
+}
+
+impl MockClock {
+    /// A mock clock starting at 0 that does not advance on its own
+    /// (use [`advance`](MockClock::advance)).
+    pub fn new() -> Self {
+        MockClock::default()
+    }
+
+    /// A mock clock that auto-advances by `step` nanoseconds per reading.
+    pub fn with_step(step: u64) -> Self {
+        MockClock {
+            nanos: AtomicU64::new(0),
+            step,
+        }
+    }
+
+    /// A fresh auto-stepping mock behind a [`SharedClock`] handle.
+    pub fn shared(step: u64) -> SharedClock {
+        Arc::new(MockClock::with_step(step))
+    }
+
+    /// Advances the clock by `nanos` nanoseconds.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+impl Clock for MockClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = WallClock::new();
+        let mut last = clock.now_nanos();
+        for _ in 0..100 {
+            let now = clock.now_nanos();
+            assert!(now >= last);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn mock_clock_is_exact() {
+        let clock = MockClock::with_step(7);
+        assert_eq!(clock.now_nanos(), 0);
+        assert_eq!(clock.now_nanos(), 7);
+        clock.advance(100);
+        assert_eq!(clock.now_nanos(), 114);
+    }
+
+    #[test]
+    fn shared_handles_alias_one_clock() {
+        let clock = MockClock::shared(1);
+        let other = Arc::clone(&clock);
+        assert_eq!(clock.now_nanos(), 0);
+        assert_eq!(other.now_nanos(), 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for histogram correctness and snapshot merge algebra.
+//!
+//! Two families of invariants:
+//!
+//! 1. **Quantile accuracy**: for any sample set, the log-bucketed quantile
+//!    lands in the same bucket as the exact order statistic from a sorted
+//!    oracle (i.e. within ≤12.5% relative error by bucket construction).
+//! 2. **Merge algebra**: `HistogramSnapshot::merge` and
+//!    `TelemetrySnapshot::merge` are associative and commutative, so
+//!    per-shard snapshots fold into cluster-wide ones in any order.
+
+use blockconc_telemetry::hist::{bucket_index, Histogram, HistogramSnapshot};
+use blockconc_telemetry::{CounterSnapshot, DistSnapshot, StageSnapshot, TelemetrySnapshot};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Exact order statistic matching `HistogramSnapshot::quantile`'s rank rule.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A shard-like snapshot built from small value pools, exercising both
+/// overlapping and disjoint entry names across merges.
+fn shard_snapshot(stage_values: &[u64], counter_value: u64, with_dist: bool) -> TelemetrySnapshot {
+    let mut snapshot = TelemetrySnapshot {
+        stages: vec![StageSnapshot {
+            stage: if counter_value % 2 == 0 {
+                "pack"
+            } else {
+                "execute"
+            }
+            .to_string(),
+            wall_nanos: snapshot_of(stage_values),
+            units: snapshot_of(&[counter_value + 1]),
+        }],
+        counters: vec![CounterSnapshot {
+            name: if counter_value % 3 == 0 {
+                "mempool_admitted"
+            } else {
+                "tdg_ops"
+            }
+            .to_string(),
+            value: counter_value,
+        }],
+        dists: Vec::new(),
+        spans_recorded: counter_value % 7,
+        blocks_sealed: counter_value % 3,
+    };
+    if with_dist {
+        snapshot.dists.push(DistSnapshot {
+            name: "block_txs".to_string(),
+            dist: snapshot_of(stage_values),
+        });
+    }
+    snapshot
+}
+
+fn merged(a: &TelemetrySnapshot, b: &TelemetrySnapshot) -> TelemetrySnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Quantiles from the sparse log-bucketed representation agree with an
+    // exact sorted oracle at bucket resolution: same bucket, or (because the
+    // histogram clamps representatives to observed min/max) the directly
+    // adjacent one.
+    #[test]
+    fn quantiles_match_sorted_oracle_within_one_bucket(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..300),
+        q_mille in 1u64..1000,
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let q = q_mille as f64 / 1000.0;
+        let exact = exact_quantile(&sorted, q);
+        let approx = snap.quantile(q);
+        let exact_bucket = bucket_index(exact) as i64;
+        let approx_bucket = bucket_index(approx) as i64;
+        prop_assert!(
+            (exact_bucket - approx_bucket).abs() <= 1,
+            "q={} exact={} (bucket {}) approx={} (bucket {})",
+            q, exact, exact_bucket, approx, approx_bucket
+        );
+    }
+
+    // Min/max/count/sum are exact regardless of bucketing.
+    #[test]
+    fn scalar_aggregates_are_exact(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *values.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+    }
+
+    // Histogram snapshot merge is commutative and associative, and merging
+    // equals having recorded everything into one histogram.
+    #[test]
+    fn histogram_merge_is_order_independent(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&ab_c, &snapshot_of(&all));
+    }
+
+    // TelemetrySnapshot merge is commutative and associative across shard
+    // snapshots with overlapping and disjoint entry names.
+    #[test]
+    fn telemetry_snapshot_merge_is_order_independent(
+        a_values in proptest::collection::vec(0u64..100_000, 1..40),
+        b_values in proptest::collection::vec(0u64..100_000, 1..40),
+        c_values in proptest::collection::vec(0u64..100_000, 1..40),
+        a_count in 0u64..1_000,
+        b_count in 0u64..1_000,
+        c_count in 0u64..1_000,
+    ) {
+        let sa = shard_snapshot(&a_values, a_count, a_count % 2 == 0);
+        let sb = shard_snapshot(&b_values, b_count, b_count % 2 == 1);
+        let sc = shard_snapshot(&c_values, c_count, true);
+
+        prop_assert_eq!(merged(&sa, &sb), merged(&sb, &sa));
+        prop_assert_eq!(
+            merged(&merged(&sa, &sb), &sc),
+            merged(&sa, &merged(&sb, &sc))
+        );
+        // Identity element.
+        prop_assert_eq!(merged(&sa, &TelemetrySnapshot::default()), sa.clone());
+        prop_assert_eq!(merged(&TelemetrySnapshot::default(), &sa), sa);
+    }
+}
