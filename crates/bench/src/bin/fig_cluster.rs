@@ -17,15 +17,17 @@
 //!    latency alongside throughput.
 //!
 //! Run with `cargo run --release -p blockconc-bench --bin fig_cluster`; pass
-//! `--smoke` for the fast CI path (small workload, no artifact, health
-//! assertions only). The full run writes `BENCH_cluster.json` at the repository
-//! root.
+//! `--smoke` for the fast CI path (small workload, reduced grid, health
+//! assertions only; the artifact goes to `target/bench-smoke/` for the CI
+//! `obs bench-diff` step). The full run writes `BENCH_cluster.json` at the
+//! repository root. `--trace-out <path>` additionally exports the widest
+//! shard-sweep cell's flight-recorder JSONL for `obs trace` / `obs critpath`.
 
 use blockconc::cluster::{ClusterConfig, ClusterDriver};
 use blockconc::pipeline::ConcurrencyAwarePacker;
 use blockconc::prelude::*;
 use blockconc::shardpool::baseline_pipeline_units;
-use blockconc_bench::{print_telemetry, TelemetrySection};
+use blockconc_bench::{print_telemetry, write_artifact, BenchMeta, TelemetrySection};
 use serde::{Deserialize, Serialize};
 
 /// Shared dataset seed (same convention as the figure binaries).
@@ -77,22 +79,23 @@ fn stream(scale: Scale, params: AccountWorkloadParams) -> ArrivalStream {
     ArrivalStream::new(params, scale.tx_rate, scale.total_txs, STREAM_SEED)
 }
 
-fn pipeline_config(scale: Scale) -> PipelineConfig {
+fn pipeline_config(scale: Scale, telemetry: TelemetryRegistry) -> PipelineConfig {
     PipelineConfig {
         threads: THREADS,
         max_blocks: scale.blocks,
         max_deferral_blocks: 2,
         // Per-stage quantiles (including cross-shard receipt latency and
         // re-homing) for the artifact's telemetry section; a fresh registry per
-        // call keeps cells from sharing counters.
-        telemetry: TelemetryRegistry::enabled(),
+        // cell keeps cells from sharing counters, and the caller keeps the
+        // handle so it can export the cell's flight recorder afterwards.
+        telemetry,
         ..PipelineConfig::default()
     }
 }
 
-fn cluster_config(scale: Scale, shards: u32) -> ClusterConfig {
+fn cluster_config(scale: Scale, shards: u32, telemetry: TelemetryRegistry) -> ClusterConfig {
     let mut config = ClusterConfig::new(shards);
-    config.pipeline = pipeline_config(scale);
+    config.pipeline = pipeline_config(scale, telemetry);
     // One committee rotation mid-run, so every full cell also exercises
     // component-affine re-homing.
     config.sharding.tx_blocks_per_ds_epoch = (scale.blocks / 2).max(2) as u64;
@@ -173,6 +176,8 @@ struct BaselineSummary {
 /// The persisted benchmark artifact.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchArtifact {
+    /// Provenance: `obs bench-diff` refuses artifacts whose metas differ.
+    meta: BenchMeta,
     seed: u64,
     total_txs: usize,
     tx_rate: f64,
@@ -191,10 +196,11 @@ struct BenchArtifact {
     telemetry: Vec<TelemetrySection>,
 }
 
-fn run_cell(scale: Scale, shards: u32, heaviness: f64) -> (CellSummary, TelemetrySection) {
+fn run_cell(scale: Scale, shards: u32, heaviness: f64) -> (CellSummary, TelemetrySection, String) {
     eprintln!("[fig_cluster] {shards} shards @ heaviness {heaviness:.2}...");
+    let telemetry = TelemetryRegistry::enabled();
     let engines = (0..shards).map(|_| ScheduledEngine::new(THREADS)).collect();
-    let report = ClusterDriver::new(engines, cluster_config(scale, shards))
+    let report = ClusterDriver::new(engines, cluster_config(scale, shards, telemetry.clone()))
         .run(stream(scale, profile(heaviness)))
         .expect("cluster run");
     assert_eq!(
@@ -211,11 +217,24 @@ fn run_cell(scale: Scale, shards: u32, heaviness: f64) -> (CellSummary, Telemetr
         .expect("cell collected telemetry (enabled in pipeline_config())");
     let section =
         TelemetrySection::from_snapshot(format!("{shards}shards@h{heaviness:.2}"), snapshot);
-    (CellSummary::from_report(&report, heaviness), section)
+    (
+        CellSummary::from_report(&report, heaviness),
+        section,
+        telemetry.flight_jsonl(),
+    )
 }
 
 fn main() {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|arg| arg == "--smoke");
+    let trace_out: Option<String> = args
+        .iter()
+        .position(|arg| arg == "--trace-out")
+        .map(|index| {
+            args.get(index + 1)
+                .expect("--trace-out needs a path")
+                .clone()
+        });
     let scale = if smoke { SMOKE } else { FULL };
 
     // Baseline: one node running the single-pool pipeline, costed with the same
@@ -225,7 +244,7 @@ fn main() {
     let baseline_report = PipelineDriver::new(
         ConcurrencyAwarePacker::new(THREADS),
         ScheduledEngine::new(THREADS),
-        pipeline_config(scale),
+        pipeline_config(scale, TelemetryRegistry::enabled()),
     )
     .run(stream(scale, profile(0.0)))
     .expect("baseline run");
@@ -251,25 +270,34 @@ fn main() {
             .expect("baseline collected telemetry (enabled in pipeline_config())"),
     )];
     let shard_counts: &[u32] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let widest = *shard_counts.last().expect("non-empty sweep");
+    let mut widest_trace: Option<String> = None;
     let shard_sweep: Vec<CellSummary> = shard_counts
         .iter()
         .map(|&shards| {
-            let (cell, section) = run_cell(scale, shards, 0.0);
+            let (cell, section, flight_jsonl) = run_cell(scale, shards, 0.0);
             telemetry.push(section);
+            if shards == widest {
+                widest_trace = Some(flight_jsonl);
+            }
             cell
         })
         .collect();
+    if let Some(path) = &trace_out {
+        let jsonl = widest_trace.as_ref().expect("widest cell ran");
+        std::fs::write(path, jsonl).unwrap_or_else(|err| panic!("write {path}: {err}"));
+        println!("wrote {path} ({widest}-shard flight recorder, for obs trace/critpath)");
+    }
 
     let heavinesses: &[f64] = if smoke {
         &[1.0]
     } else {
         &[0.0, 0.25, 0.5, 0.75, 1.0]
     };
-    let widest = *shard_counts.last().expect("non-empty sweep");
     let fraction_sweep: Vec<CellSummary> = heavinesses
         .iter()
         .map(|&heaviness| {
-            let (cell, section) = run_cell(scale, widest, heaviness);
+            let (cell, section, _) = run_cell(scale, widest, heaviness);
             telemetry.push(section);
             cell
         })
@@ -332,6 +360,28 @@ fn main() {
         print_telemetry(section);
     }
 
+    let meta = BenchMeta::new("cluster", smoke, STREAM_SEED, THREADS, &["scheduled"])
+        .knob("shard_counts", shard_counts)
+        .knob("heavinesses", heavinesses)
+        .knob("total_txs", scale.total_txs)
+        .knob("tx_rate", scale.tx_rate)
+        .knob("blocks", scale.blocks);
+    let artifact = BenchArtifact {
+        meta,
+        seed: STREAM_SEED,
+        total_txs: scale.total_txs,
+        tx_rate: scale.tx_rate,
+        blocks: scale.blocks,
+        threads: THREADS,
+        baseline,
+        shard_sweep,
+        fraction_sweep,
+        headline_e2e_ratio: ratio,
+        telemetry,
+    };
+    let widest_cell = artifact.shard_sweep.last().expect("non-empty sweep");
+    let fraction_sweep = &artifact.fraction_sweep;
+
     if smoke {
         // Health only: the cluster must beat one node even at smoke scale, and
         // the heavy cell must actually exercise the credit protocol.
@@ -343,7 +393,7 @@ fn main() {
             widest_cell.shards,
             widest_cell.heaviness,
             widest_cell.unit_throughput,
-            baseline.unit_throughput
+            artifact.baseline.unit_throughput
         );
         let heavy = fraction_sweep.last().expect("heavy cell present");
         assert!(
@@ -354,7 +404,8 @@ fn main() {
             heavy.heaviness,
             heavy.cross_shard_fraction
         );
-        println!("smoke mode: skipping artifact write and full acceptance assertions");
+        write_artifact("cluster", true, &artifact);
+        println!("smoke mode: skipping full acceptance assertions");
         return;
     }
 
@@ -366,7 +417,7 @@ fn main() {
         widest_cell.shards,
         widest_cell.heaviness,
         widest_cell.unit_throughput,
-        baseline.unit_throughput
+        artifact.baseline.unit_throughput
     );
     assert!(
         widest_cell.cross_shard_fraction < 0.15,
@@ -401,20 +452,5 @@ fn main() {
         );
     }
 
-    let artifact = BenchArtifact {
-        seed: STREAM_SEED,
-        total_txs: scale.total_txs,
-        tx_rate: scale.tx_rate,
-        blocks: scale.blocks,
-        threads: THREADS,
-        baseline,
-        shard_sweep,
-        fraction_sweep,
-        headline_e2e_ratio: ratio,
-        telemetry,
-    };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
-    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
-    std::fs::write(path, json).expect("write BENCH_cluster.json");
-    println!("wrote {path}");
+    write_artifact("cluster", false, &artifact);
 }

@@ -14,14 +14,15 @@
 //! clocks are recorded alongside for reference.
 //!
 //! Run with `cargo run --release -p blockconc-bench --bin fig_shardpool`; pass
-//! `--smoke` for the fast CI path (small workload, no artifact, no assertions
-//! beyond basic health).
+//! `--smoke` for the fast CI path (small workload, basic health assertions;
+//! the reduced artifact goes to `target/bench-smoke/` for the CI
+//! `obs bench-diff` step).
 
 use blockconc::pipeline::BlockTemplate;
 use blockconc::prelude::*;
 use blockconc::shardpool::baseline_pipeline_units;
 use blockconc::telemetry::Clock;
-use blockconc_bench::{print_telemetry, TelemetrySection};
+use blockconc_bench::{print_telemetry, write_artifact, BenchMeta, TelemetrySection};
 use serde::{Deserialize, Serialize};
 
 /// Shared dataset seed (same convention as the figure binaries).
@@ -183,6 +184,8 @@ struct BaselineSummary {
 /// The persisted benchmark artifact.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchArtifact {
+    /// Provenance: `obs bench-diff` refuses artifacts whose metas differ.
+    meta: BenchMeta,
     seed: u64,
     total_txs: usize,
     tx_rate: f64,
@@ -482,7 +485,31 @@ fn main() {
             at_10k.maintained_pack_nanos_per_block,
             at_10k.rebuild_pack_nanos_per_block
         );
-        println!("smoke mode: skipping artifact write and full acceptance assertions");
+        let meta = BenchMeta::new("shardpool", true, STREAM_SEED, THREADS, &["scheduled"])
+            .knob("layouts", layouts)
+            .knob("pool_sizes", [1_000usize, 10_000])
+            .knob("total_txs", scale.total_txs)
+            .knob("tx_rate", scale.tx_rate)
+            .knob("blocks", scale.blocks);
+        write_artifact(
+            "shardpool",
+            true,
+            &BenchArtifact {
+                meta,
+                seed: STREAM_SEED,
+                total_txs: scale.total_txs,
+                tx_rate: scale.tx_rate,
+                blocks: scale.blocks,
+                threads: THREADS,
+                baseline,
+                cells,
+                headline_e2e_ratio: ratio,
+                producer_scaling,
+                pool_sweep: points,
+                telemetry,
+            },
+        );
+        println!("smoke mode: skipping full acceptance assertions");
         return;
     }
 
@@ -542,7 +569,14 @@ fn main() {
         at_100k.rebuild_pack_nanos_per_block
     );
 
+    let meta = BenchMeta::new("shardpool", false, STREAM_SEED, THREADS, &["scheduled"])
+        .knob("layouts", layouts)
+        .knob("pool_sizes", [1_000usize, 10_000, 100_000])
+        .knob("total_txs", scale.total_txs)
+        .knob("tx_rate", scale.tx_rate)
+        .knob("blocks", scale.blocks);
     let artifact = BenchArtifact {
+        meta,
         seed: STREAM_SEED,
         total_txs: scale.total_txs,
         tx_rate: scale.tx_rate,
@@ -555,8 +589,5 @@ fn main() {
         pool_sweep,
         telemetry,
     };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shardpool.json");
-    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
-    std::fs::write(path, json).expect("write BENCH_shardpool.json");
-    println!("wrote {path}");
+    write_artifact("shardpool", false, &artifact);
 }

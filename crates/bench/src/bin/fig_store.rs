@@ -17,12 +17,13 @@
 //!
 //! Results land in `BENCH_store.json` at the repository root. Run with
 //! `cargo run --release -p blockconc-bench --bin fig_store`; pass `--smoke` for the
-//! fast CI path (short history, no artifact, relaxed assertions).
+//! fast CI path (short history, relaxed assertions; the reduced artifact goes to
+//! `target/bench-smoke/` for the CI `obs bench-diff` step).
 
 use blockconc::pipeline::{ConcurrencyAwarePacker, DiskConfig, StateBackendConfig};
 use blockconc::prelude::*;
 use blockconc::store::{DiskBackend, StateBackend};
-use blockconc_bench::{print_telemetry, TelemetrySection};
+use blockconc_bench::{print_telemetry, write_artifact, BenchMeta, TelemetrySection};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
@@ -145,6 +146,8 @@ impl CellSummary {
 /// The whole artifact written to `BENCH_store.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchArtifact {
+    /// Provenance: `obs bench-diff` refuses artifacts whose metas differ.
+    meta: BenchMeta,
     seed: u64,
     tx_rate: f64,
     working_set_cap: usize,
@@ -306,7 +309,7 @@ fn main() {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
     if smoke {
         // CI path: one short history; equivalence and the (relaxed) overhead
-        // bound still hold, no artifact is written.
+        // bound still hold, and the reduced artifact feeds the CI diff step.
         let outcome = sweep(&[6]);
         for section in &outcome.telemetry {
             print_telemetry(section);
@@ -322,7 +325,28 @@ fn main() {
                 .map(cell_row)
                 .unwrap_or_else(|| "<no disk cell ran>".into())
         );
-        println!("smoke mode: skipping full sweep, artifact write and working-set assertion");
+        let meta = BenchMeta::new("store", true, STREAM_SEED, 4, &["sequential"])
+            .knob("histories", [6usize])
+            .knob("working_set_cap", WORKING_SET_CAP)
+            .knob("snapshot_every", SNAPSHOT_EVERY)
+            .knob("tx_rate", TX_RATE);
+        write_artifact(
+            "store",
+            true,
+            &BenchArtifact {
+                meta,
+                seed: STREAM_SEED,
+                tx_rate: TX_RATE,
+                working_set_cap: WORKING_SET_CAP,
+                snapshot_every: SNAPSHOT_EVERY,
+                histories: vec![6],
+                cells: outcome.cells,
+                worst_commit_overhead_ratio: outcome.worst_ratio,
+                working_set_expansion: outcome.expansion,
+                telemetry: outcome.telemetry,
+            },
+        );
+        println!("smoke mode: skipping full sweep and working-set assertion");
         return;
     }
 
@@ -362,7 +386,13 @@ fn main() {
         (expansion * WORKING_SET_CAP as f64) as u64
     );
 
+    let meta = BenchMeta::new("store", false, STREAM_SEED, 4, &["sequential"])
+        .knob("histories", HISTORIES)
+        .knob("working_set_cap", WORKING_SET_CAP)
+        .knob("snapshot_every", SNAPSHOT_EVERY)
+        .knob("tx_rate", TX_RATE);
     let artifact = BenchArtifact {
+        meta,
         seed: STREAM_SEED,
         tx_rate: TX_RATE,
         working_set_cap: WORKING_SET_CAP,
@@ -373,8 +403,5 @@ fn main() {
         working_set_expansion: expansion,
         telemetry,
     };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
-    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
-    std::fs::write(path, json).expect("write BENCH_store.json");
-    println!("wrote {path}");
+    write_artifact("store", false, &artifact);
 }

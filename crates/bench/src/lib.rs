@@ -42,6 +42,76 @@ pub fn print_panel(title: &str, series: &[Series]) {
     println!("CSV:\n{}", export::to_csv(series));
 }
 
+/// Provenance section of a `BENCH_*.json` artifact: everything `obs
+/// bench-diff` needs to decide whether two artifacts measure the same
+/// experiment. Artifacts whose metas differ in any field are incommensurable
+/// and the diff refuses to compare them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchMeta {
+    /// Benchmark name (`"pipeline"`, `"shardpool"`, `"store"`, `"cluster"`).
+    pub bench: String,
+    /// `"full"` or `"smoke"` — the two scales sweep different grids.
+    pub mode: String,
+    /// Clock behind the wall measurements (always `"wall"` for the bins;
+    /// mock-clock artifacts would be comparable only to each other).
+    pub clock: String,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Engine worker threads per node.
+    pub threads: usize,
+    /// Execution engines exercised, in sweep order.
+    pub engines: Vec<String>,
+    /// The configuration grid, knob name → rendered sweep values.
+    pub grid: Vec<(String, String)>,
+}
+
+impl BenchMeta {
+    /// Provenance for one bench run.
+    pub fn new(bench: &str, smoke: bool, seed: u64, threads: usize, engines: &[&str]) -> Self {
+        BenchMeta {
+            bench: bench.to_string(),
+            mode: if smoke { "smoke" } else { "full" }.to_string(),
+            clock: "wall".to_string(),
+            seed,
+            threads,
+            engines: engines.iter().map(|e| e.to_string()).collect(),
+            grid: Vec::new(),
+        }
+    }
+
+    /// Adds one grid knob (rendered with `Debug`, e.g. `[1, 2, 4, 8]`).
+    pub fn knob(mut self, name: &str, values: impl std::fmt::Debug) -> Self {
+        self.grid.push((name.to_string(), format!("{values:?}")));
+        self
+    }
+}
+
+/// Where a bench artifact lands: full runs write `BENCH_<bench>.json` at the
+/// repository root (committed), smoke runs write the same shape to
+/// `target/bench-smoke/` (ephemeral, consumed by the CI `bench-diff` step).
+pub fn artifact_path(bench: &str, smoke: bool) -> std::path::PathBuf {
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    if smoke {
+        root.join("target/bench-smoke")
+            .join(format!("BENCH_{bench}.json"))
+    } else {
+        root.join(format!("BENCH_{bench}.json"))
+    }
+}
+
+/// Serializes and writes a bench artifact to [`artifact_path`], creating the
+/// smoke directory if needed. Returns the path written.
+pub fn write_artifact<T: Serialize>(bench: &str, smoke: bool, artifact: &T) -> std::path::PathBuf {
+    let path = artifact_path(bench, smoke);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create artifact directory");
+    }
+    let json = serde_json::to_string_pretty(artifact).expect("serialize artifact");
+    std::fs::write(&path, json).unwrap_or_else(|err| panic!("write {}: {err}", path.display()));
+    println!("wrote {}", path.display());
+    path
+}
+
 /// Per-stage latency/work quantiles extracted from a [`TelemetrySnapshot`] — the
 /// compact per-stage row the `fig_*` artifacts persist alongside the headline
 /// numbers (wall nanoseconds and abstract model units, p50/p99).
@@ -79,6 +149,9 @@ pub struct TelemetrySection {
     pub spans_recorded: u64,
     /// Block span trees sealed by the flight recorder.
     pub blocks_sealed: u64,
+    /// Sealed trees the flight-recorder ring evicted (history lost to
+    /// exports; non-zero means the ring was too small for the run).
+    pub trees_dropped: u64,
 }
 
 impl TelemetrySection {
@@ -103,6 +176,7 @@ impl TelemetrySection {
             counters: snapshot.counters.clone(),
             spans_recorded: snapshot.spans_recorded,
             blocks_sealed: snapshot.blocks_sealed,
+            trees_dropped: snapshot.trees_dropped,
         }
     }
 }
@@ -132,10 +206,11 @@ pub fn print_telemetry(section: &TelemetrySection) {
         .map(|c| format!("{}={}", c.name, c.value))
         .collect();
     println!(
-        "counters: {} (spans {}, blocks sealed {})",
+        "counters: {} (spans {}, blocks sealed {}, trees dropped {})",
         counters.join(" "),
         section.spans_recorded,
-        section.blocks_sealed
+        section.blocks_sealed,
+        section.trees_dropped
     );
 }
 

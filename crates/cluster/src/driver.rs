@@ -266,6 +266,14 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
                 rehome_units +=
                     apply_moves(&mut nodes, &moves, &mut moved_accounts, &mut moved_chains);
                 rehome_wall = telemetry.now_nanos().saturating_sub(rehome_started);
+                telemetry.record_span(
+                    "rehome",
+                    block_span,
+                    rehome_started,
+                    rehome_started + rehome_wall,
+                    rehome_units,
+                    &[("epoch", number)],
+                );
             }
 
             // Apply the previous round's in-flight credits on their owner shards
@@ -423,6 +431,7 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
             // Serial settle, shard by shard in index order: pools and graphs
             // shed the packed transactions, failed senders resync, and foreign
             // credits convert into receipts (the debit half of the protocol).
+            let settle_started = telemetry.now_nanos();
             let mut cross_txs_this = 0u64;
             let mut hops_this = 0u64;
             let mut height_failed = 0usize;
@@ -577,6 +586,15 @@ impl<E: ExecutionEngine + Send> ClusterDriver<E> {
                     round.packed.block.transactions().to_vec(),
                 ));
             }
+
+            telemetry.record_span(
+                "settle",
+                block_span,
+                settle_started,
+                telemetry.now_nanos(),
+                store_units_total,
+                &[("bytes", bytes_total)],
+            );
 
             // The DS merge: micro-blocks fold into the round's final block.
             let merge_started = telemetry.now_nanos();

@@ -43,6 +43,21 @@ impl Value {
     }
 }
 
+/// Identity codec: a [`Value`] serializes to itself, so callers can parse and
+/// walk documents generically (schema-free diffing, validation) through the
+/// same `serde_json` entry points typed data uses.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 /// An error produced while converting a [`Value`] back into typed data.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeError(pub String);

@@ -1,0 +1,233 @@
+//! Workload contention profiling: hot accounts, dependency-component growth,
+//! and conflict attribution from telemetry counters.
+//!
+//! The paper's speedup bound is governed by how transactions fuse into
+//! dependency components — a handful of hot accounts (exchange wallets, \
+//! popular contracts) weld otherwise-independent transactions into one
+//! serial chain. This profiler quantifies exactly that, per block over time,
+//! from nothing but per-transaction account access lists: blocks are
+//! `Vec<tx>`, a tx is the list of account labels it touches.
+
+use blockconc_graph::UnionFind;
+use blockconc_telemetry::TelemetrySnapshot;
+use std::collections::BTreeMap;
+
+/// One account's touch count across the profiled window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotAccount {
+    /// Account label (rendered address).
+    pub account: String,
+    /// Transactions touching the account.
+    pub touches: u64,
+    /// Share of all transactions touching it.
+    pub share: f64,
+}
+
+/// A named conflict source from the telemetry counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictSource {
+    /// Counter name (`"engine_conflicts"`, `"mempool_replaced"`, ...).
+    pub source: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// The contention profile of a block sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionProfile {
+    /// Blocks profiled.
+    pub blocks: usize,
+    /// Transactions profiled.
+    pub txs: usize,
+    /// Top-K accounts by touch count, descending.
+    pub hot_accounts: Vec<HotAccount>,
+    /// CDF over dependency-component sizes: `(size, share of txs in
+    /// components of at most that size)`, ascending by size.
+    pub component_cdf: Vec<(usize, f64)>,
+    /// Largest-component share of each block's transactions, in block order —
+    /// the fusion trend over time.
+    pub largest_share_over_time: Vec<f64>,
+}
+
+/// Profiles blocks of transactions, each transaction the list of account
+/// labels it touches. Transactions sharing an account within a block are
+/// unioned into one dependency component (the TDG's connected components).
+pub fn profile_blocks(blocks: &[Vec<Vec<String>>], top_k: usize) -> ContentionProfile {
+    let mut touches: BTreeMap<String, u64> = BTreeMap::new();
+    let mut component_sizes: Vec<usize> = Vec::new();
+    let mut largest_share_over_time = Vec::with_capacity(blocks.len());
+    let mut txs = 0usize;
+    for block in blocks {
+        txs += block.len();
+        let mut uf = UnionFind::new(block.len());
+        let mut owner: BTreeMap<&str, usize> = BTreeMap::new();
+        for (index, accounts) in block.iter().enumerate() {
+            for account in accounts {
+                *touches.entry(account.clone()).or_default() += 1;
+                match owner.get(account.as_str()) {
+                    Some(&first) => {
+                        uf.union(first, index);
+                    }
+                    None => {
+                        owner.insert(account, index);
+                    }
+                }
+            }
+        }
+        let sizes = uf.component_sizes();
+        let largest = sizes.iter().copied().max().unwrap_or(0);
+        largest_share_over_time.push(if block.is_empty() {
+            0.0
+        } else {
+            largest as f64 / block.len() as f64
+        });
+        component_sizes.extend(sizes);
+    }
+
+    let mut ranked: Vec<(String, u64)> = touches.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(top_k);
+    let hot_accounts = ranked
+        .into_iter()
+        .map(|(account, count)| HotAccount {
+            account,
+            touches: count,
+            share: count as f64 / txs.max(1) as f64,
+        })
+        .collect();
+
+    // CDF weighted by transactions: a component of size s holds s txs.
+    component_sizes.sort_unstable();
+    let mut component_cdf: Vec<(usize, f64)> = Vec::new();
+    let mut cum = 0usize;
+    for &size in &component_sizes {
+        cum += size;
+        let share = cum as f64 / txs.max(1) as f64;
+        match component_cdf.last_mut() {
+            Some((last, last_share)) if *last == size => *last_share = share,
+            _ => component_cdf.push((size, share)),
+        }
+    }
+
+    ContentionProfile {
+        blocks: blocks.len(),
+        txs,
+        hot_accounts,
+        component_cdf,
+        largest_share_over_time,
+    }
+}
+
+/// Conflict-source counters a profile report surfaces, in display order:
+/// engine aborts first, then cross-shard and mempool churn.
+pub const CONFLICT_COUNTERS: &[&str] = &[
+    "engine_conflicts",
+    "cross_shard_receipts",
+    "rehomed_accounts",
+    "mempool_replaced",
+    "mempool_evicted",
+    "mempool_rejected",
+];
+
+/// Extracts the conflict-attribution counters from a telemetry snapshot.
+pub fn conflict_attribution(snapshot: &TelemetrySnapshot) -> Vec<ConflictSource> {
+    CONFLICT_COUNTERS
+        .iter()
+        .filter_map(|name| {
+            let value = snapshot.counter(name);
+            (value > 0).then(|| ConflictSource {
+                source: (*name).to_string(),
+                value,
+            })
+        })
+        .collect()
+}
+
+impl ContentionProfile {
+    /// Renders the profile as an aligned text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "contention profile — {} blocks, {} txs\n\n",
+            self.blocks, self.txs
+        ));
+        out.push_str(&format!(
+            "top {} hot accounts:\n{:<16} {:>8} {:>8}\n",
+            self.hot_accounts.len(),
+            "account",
+            "touches",
+            "share"
+        ));
+        for hot in &self.hot_accounts {
+            out.push_str(&format!(
+                "{:<16} {:>8} {:>7.1}%\n",
+                hot.account,
+                hot.touches,
+                hot.share * 100.0
+            ));
+        }
+        out.push_str("\ncomponent-size CDF (share of txs in components ≤ size):\n");
+        for (size, share) in &self.component_cdf {
+            out.push_str(&format!("  ≤{:<6} {:>6.1}%\n", size, share * 100.0));
+        }
+        out.push_str("\nlargest-component share per block:\n  ");
+        for share in &self.largest_share_over_time {
+            out.push_str(&format!("{:.2} ", share));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(accounts: &[&str]) -> Vec<String> {
+        accounts.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn hot_accounts_and_components() {
+        // Block 0: three txs all touching the exchange → one component of 3.
+        // Block 1: two independent transfers → two components of 1.
+        let blocks = vec![
+            vec![
+                tx(&["exchange", "a"]),
+                tx(&["exchange", "b"]),
+                tx(&["exchange", "c"]),
+            ],
+            vec![tx(&["d", "e"]), tx(&["f", "g"])],
+        ];
+        let profile = profile_blocks(&blocks, 3);
+        assert_eq!(profile.blocks, 2);
+        assert_eq!(profile.txs, 5);
+        assert_eq!(profile.hot_accounts[0].account, "exchange");
+        assert_eq!(profile.hot_accounts[0].touches, 3);
+        assert_eq!(profile.largest_share_over_time, vec![1.0, 0.5]);
+        // Components: sizes [3] and [1, 1] → CDF: ≤1 covers 2/5, ≤3 covers 5/5.
+        assert_eq!(profile.component_cdf, vec![(1, 0.4), (3, 1.0)]);
+    }
+
+    #[test]
+    fn conflict_attribution_reads_counters() {
+        use blockconc_telemetry::CounterSnapshot;
+        let snapshot = TelemetrySnapshot {
+            counters: vec![
+                CounterSnapshot {
+                    name: "engine_conflicts".into(),
+                    value: 9,
+                },
+                CounterSnapshot {
+                    name: "mempool_admitted".into(),
+                    value: 100,
+                },
+            ],
+            ..TelemetrySnapshot::default()
+        };
+        let sources = conflict_attribution(&snapshot);
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].source, "engine_conflicts");
+        assert_eq!(sources[0].value, 9);
+    }
+}

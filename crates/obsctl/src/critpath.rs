@@ -1,0 +1,361 @@
+//! Critical-path attribution and Amdahl-style what-if bounds over span trees.
+//!
+//! Two complementary views of the same sealed trees:
+//!
+//! - [`analyze`] runs a **last-finisher sweep** over each block root: every
+//!   instant of the root interval is attributed to the covering top-level span
+//!   that finishes last (ties to the youngest), and uncovered instants to the
+//!   `"(driver)"` gap. The attribution therefore sums *exactly* to the
+//!   end-to-end wall time — no residue, no double counting — which is what
+//!   makes the what-if arithmetic sound.
+//! - [`critical_path_nanos`] computes the classic critical-path length of one
+//!   tree: overlapping children form parallel clusters, sequential clusters
+//!   chain, and the path through a cluster goes through the branch that keeps
+//!   the clock running longest. For the serial pipeline shape it equals the
+//!   covered wall time; for the cluster shape it walks the slowest shard.
+//!
+//! The what-if bounds answer the questions the ROADMAP's open items pose:
+//! "if pack were free" (stage elimination), "if the slowest shard matched the
+//! median" (straggler repair), and the serial-section speedup ceiling (Amdahl
+//! with the measured parallel fraction).
+
+use blockconc_telemetry::{SpanRecord, SpanTree};
+use std::collections::BTreeMap;
+
+/// Attribution key for time no top-level span covers: driver bookkeeping
+/// between stages.
+pub const DRIVER_GAP: &str = "(driver)";
+
+/// Wall time attributed to one stage name across a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageAttribution {
+    /// Stage span name (`"pack"`, `"shard"`, ...) or [`DRIVER_GAP`].
+    pub name: String,
+    /// Nanoseconds of end-to-end time attributed to the stage.
+    pub nanos: u64,
+}
+
+/// A bound of the form "end-to-end time if X changed".
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIf {
+    /// Human-readable description of the hypothetical.
+    pub label: String,
+    /// Bounded end-to-end nanoseconds under the hypothetical.
+    pub e2e_nanos: u64,
+    /// Throughput gain the hypothetical buys: `e2e / e2e_after − 1`.
+    pub gain: f64,
+}
+
+/// The full critical-path report over a set of sealed trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CritPathReport {
+    /// Trees analyzed (≈ blocks).
+    pub blocks: usize,
+    /// Sum of root wall times — the end-to-end denominator.
+    pub e2e_nanos: u64,
+    /// Per-stage attribution, descending by time; sums exactly to
+    /// [`e2e_nanos`](Self::e2e_nanos).
+    pub stages: Vec<StageAttribution>,
+    /// Attribution split per shard index (from `shard` spans' `shard` attrs).
+    pub shards: Vec<StageAttribution>,
+    /// Time attributed to parallel `shard` spans — the Amdahl numerator.
+    pub parallel_nanos: u64,
+    /// Amdahl ceiling: speedup if all shard work were free,
+    /// `e2e / (e2e − parallel)`.
+    pub serial_ceiling: f64,
+    /// What-if bounds, in report order.
+    pub whatifs: Vec<WhatIf>,
+}
+
+fn gain(e2e: u64, after: u64) -> f64 {
+    if after == 0 {
+        f64::INFINITY
+    } else {
+        e2e as f64 / after as f64 - 1.0
+    }
+}
+
+/// Runs the last-finisher sweep over every tree and assembles the report.
+pub fn analyze(trees: &[SpanTree]) -> CritPathReport {
+    let mut stage_nanos: BTreeMap<String, u64> = BTreeMap::new();
+    let mut shard_nanos: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut e2e = 0u64;
+    let mut straggler_saving = 0u64;
+    for tree in trees {
+        let root = tree.root();
+        e2e += root.wall_nanos();
+        let children: Vec<&SpanRecord> = tree.children_of(root.id).collect();
+        // Segment boundaries: root endpoints plus child endpoints clamped in.
+        let mut cuts: Vec<u64> = vec![root.start_nanos, root.end_nanos];
+        for child in &children {
+            cuts.push(child.start_nanos.clamp(root.start_nanos, root.end_nanos));
+            cuts.push(child.end_nanos.clamp(root.start_nanos, root.end_nanos));
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        for pair in cuts.windows(2) {
+            let (seg_start, seg_end) = (pair[0], pair[1]);
+            // Last finisher covering the segment, ties to the youngest span.
+            let winner = children
+                .iter()
+                .filter(|c| c.start_nanos <= seg_start && c.end_nanos >= seg_end)
+                .max_by_key(|c| (c.end_nanos, c.id));
+            let length = seg_end - seg_start;
+            match winner {
+                Some(span) => {
+                    *stage_nanos.entry(span.name.clone()).or_default() += length;
+                    if span.name == "shard" {
+                        if let Some(index) = span.attr("shard") {
+                            *shard_nanos.entry(index).or_default() += length;
+                        }
+                    }
+                }
+                None => *stage_nanos.entry(DRIVER_GAP.to_string()).or_default() += length,
+            }
+        }
+        // Straggler repair: replace the slowest shard's duration with the
+        // median shard duration; the parallel section then costs whichever is
+        // larger, the runner-up or the median.
+        let mut durations: Vec<u64> = children
+            .iter()
+            .filter(|c| c.name == "shard")
+            .map(|c| c.wall_nanos())
+            .collect();
+        if durations.len() >= 2 {
+            durations.sort_unstable();
+            let max = durations[durations.len() - 1];
+            let second = durations[durations.len() - 2];
+            let median = durations[durations.len() / 2];
+            straggler_saving += max - second.max(median).min(max);
+        }
+    }
+
+    let parallel_nanos = stage_nanos.get("shard").copied().unwrap_or(0);
+    let mut whatifs: Vec<WhatIf> = Vec::new();
+    for (name, &nanos) in &stage_nanos {
+        if name == DRIVER_GAP || name == "shard" || nanos == 0 {
+            continue;
+        }
+        let after = e2e - nanos;
+        whatifs.push(WhatIf {
+            label: format!("if {name} were free"),
+            e2e_nanos: after,
+            gain: gain(e2e, after),
+        });
+    }
+    if !shard_nanos.is_empty() {
+        let after = e2e - straggler_saving.min(e2e);
+        whatifs.push(WhatIf {
+            label: "if the slowest shard matched the median".to_string(),
+            e2e_nanos: after,
+            gain: gain(e2e, after),
+        });
+        let after = e2e - parallel_nanos;
+        whatifs.push(WhatIf {
+            label: "serial ceiling (all shard work free)".to_string(),
+            e2e_nanos: after,
+            gain: gain(e2e, after),
+        });
+    }
+
+    let mut stages: Vec<StageAttribution> = stage_nanos
+        .into_iter()
+        .map(|(name, nanos)| StageAttribution { name, nanos })
+        .collect();
+    stages.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(a.name.cmp(&b.name)));
+    let shards: Vec<StageAttribution> = shard_nanos
+        .into_iter()
+        .map(|(index, nanos)| StageAttribution {
+            name: format!("shard {index}"),
+            nanos,
+        })
+        .collect();
+    CritPathReport {
+        blocks: trees.len(),
+        e2e_nanos: e2e,
+        stages,
+        shards,
+        parallel_nanos,
+        serial_ceiling: 1.0 + gain(e2e, e2e - parallel_nanos),
+        whatifs,
+    }
+}
+
+/// Critical-path length of one tree: sequential clusters of children chain,
+/// parallel (overlapping) children contribute the branch that keeps the clock
+/// running longest, and time no child covers is the span's own.
+pub fn critical_path_nanos(tree: &SpanTree) -> u64 {
+    path_through(tree, tree.root())
+}
+
+fn path_through(tree: &SpanTree, span: &SpanRecord) -> u64 {
+    let mut children: Vec<&SpanRecord> = tree.children_of(span.id).collect();
+    if children.is_empty() {
+        return span.wall_nanos();
+    }
+    children.sort_by_key(|c| (c.start_nanos, c.id));
+    let mut covered = 0u64;
+    let mut through_children = 0u64;
+    let mut index = 0usize;
+    while index < children.len() {
+        // One maximal overlapping cluster of children.
+        let cluster_start = children[index].start_nanos;
+        let mut cluster_end = children[index].end_nanos;
+        let mut best = 0u64;
+        while index < children.len()
+            && children[index].start_nanos < cluster_end.max(cluster_start + 1)
+        {
+            let child = children[index];
+            cluster_end = cluster_end.max(child.end_nanos);
+            // The path enters the cluster at its start; a later-starting
+            // branch costs its wait plus its own critical path.
+            best = best.max(child.start_nanos - cluster_start + path_through(tree, child));
+            index += 1;
+        }
+        covered += cluster_end - cluster_start;
+        through_children += best;
+    }
+    let self_time = span.wall_nanos().saturating_sub(covered);
+    self_time + through_children
+}
+
+impl CritPathReport {
+    /// Verifies the report's internal consistency: the per-stage attribution
+    /// sums exactly to the end-to-end wall time, and no what-if bound exceeds
+    /// it (a hypothetical improvement can never lengthen the path).
+    pub fn check(&self) -> Result<(), String> {
+        let attributed: u64 = self.stages.iter().map(|s| s.nanos).sum();
+        if attributed != self.e2e_nanos {
+            return Err(format!(
+                "attribution {} ≠ end-to-end {} ({} blocks)",
+                attributed, self.e2e_nanos, self.blocks
+            ));
+        }
+        for whatif in &self.whatifs {
+            if whatif.e2e_nanos > self.e2e_nanos {
+                return Err(format!(
+                    "what-if {:?} lengthens the path: {} > {}",
+                    whatif.label, whatif.e2e_nanos, self.e2e_nanos
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "critical path over {} blocks — end-to-end {:.3} ms\n\n",
+            self.blocks,
+            self.e2e_nanos as f64 / 1e6
+        ));
+        out.push_str(&format!("{:<28} {:>12} {:>8}\n", "stage", "nanos", "share"));
+        for stage in &self.stages {
+            out.push_str(&format!(
+                "{:<28} {:>12} {:>7.1}%\n",
+                stage.name,
+                stage.nanos,
+                100.0 * stage.nanos as f64 / self.e2e_nanos.max(1) as f64
+            ));
+        }
+        if !self.shards.is_empty() {
+            out.push('\n');
+            for shard in &self.shards {
+                out.push_str(&format!(
+                    "{:<28} {:>12} {:>7.1}%\n",
+                    shard.name,
+                    shard.nanos,
+                    100.0 * shard.nanos as f64 / self.e2e_nanos.max(1) as f64
+                ));
+            }
+        }
+        out.push_str("\nwhat-if bounds:\n");
+        for whatif in &self.whatifs {
+            out.push_str(&format!(
+                "  {:<44} e2e {:>12} ns  (+{:.1}% throughput)\n",
+                whatif.label,
+                whatif.e2e_nanos,
+                whatif.gain * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "\nserial ceiling: {:.2}x (parallel fraction {:.1}%)\n",
+            self.serial_ceiling,
+            100.0 * self.parallel_nanos as f64 / self.e2e_nanos.max(1) as f64
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockconc_telemetry::{FlightRecorder, SpanId};
+
+    fn cluster_tree() -> SpanTree {
+        let recorder = FlightRecorder::new(4);
+        let block = recorder.begin("block", SpanId::ROOT, 0);
+        recorder.record("ingest", block, 0, 100, 10, &[]);
+        recorder.record("shard", block, 100, 700, 60, &[("shard", 0)]);
+        recorder.record("shard", block, 100, 300, 20, &[("shard", 1)]);
+        recorder.record("shard", block, 100, 400, 30, &[("shard", 2)]);
+        recorder.record("merge", block, 700, 800, 12, &[]);
+        recorder.end(block, 1_000, 122);
+        recorder.trees().pop().unwrap()
+    }
+
+    #[test]
+    fn sweep_attribution_sums_exactly_to_e2e() {
+        let report = analyze(&[cluster_tree()]);
+        assert_eq!(report.e2e_nanos, 1_000);
+        report.check().unwrap();
+        let by_name = |name: &str| {
+            report
+                .stages
+                .iter()
+                .find(|s| s.name == name)
+                .map_or(0, |s| s.nanos)
+        };
+        assert_eq!(by_name("ingest"), 100);
+        // Shard 0 is the last finisher over the whole parallel section.
+        assert_eq!(by_name("shard"), 600);
+        assert_eq!(by_name("merge"), 100);
+        assert_eq!(by_name(DRIVER_GAP), 200);
+        assert_eq!(report.parallel_nanos, 600);
+    }
+
+    #[test]
+    fn straggler_whatif_replaces_max_with_median() {
+        let report = analyze(&[cluster_tree()]);
+        let straggler = report
+            .whatifs
+            .iter()
+            .find(|w| w.label.contains("slowest shard"))
+            .unwrap();
+        // Durations 600/300/200: median 300, runner-up 300 → saving 300.
+        assert_eq!(straggler.e2e_nanos, 700);
+    }
+
+    #[test]
+    fn critical_path_walks_slowest_shard() {
+        let tree = cluster_tree();
+        // ingest 100 + slowest shard 600 + merge 100 + driver self 200.
+        assert_eq!(critical_path_nanos(&tree), 1_000);
+    }
+
+    #[test]
+    fn serial_tree_critical_path_is_covered_wall() {
+        let recorder = FlightRecorder::new(4);
+        let block = recorder.begin("block", SpanId::ROOT, 0);
+        recorder.record("pack", block, 0, 40, 4, &[]);
+        recorder.record("execute", block, 40, 90, 9, &[]);
+        recorder.end(block, 100, 13);
+        let tree = recorder.trees().pop().unwrap();
+        assert_eq!(critical_path_nanos(&tree), 100);
+        let report = analyze(&[tree]);
+        report.check().unwrap();
+        assert_eq!(report.e2e_nanos, 100);
+        assert!(report.shards.is_empty());
+    }
+}

@@ -1,0 +1,422 @@
+//! Noise-aware cell-by-cell comparison of two `BENCH_*.json` artifacts.
+//!
+//! The diff walks both documents in lockstep, pairing numeric leaves by path.
+//! Each leaf's *direction* is inferred from its path: wall nanoseconds,
+//! overhead ratios and conflict counts are higher-is-worse; speedups and
+//! throughputs are higher-is-better; configuration echoes and model units are
+//! neutral (they are reported when changed but never flagged as regressions —
+//! a unit change means the model changed, not that it got slower).
+//!
+//! Artifacts must carry a provenance `meta` section ([`check_meta`]); two
+//! artifacts whose metas differ (different grid, clock, thread count or
+//! engine list) are **incommensurable** and the diff refuses to run rather
+//! than produce a plausible-looking lie.
+
+use serde::Value;
+
+/// How a metric's value relates to quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values are regressions (latencies, overheads, conflicts).
+    HigherWorse,
+    /// Larger values are improvements (speedups, throughput).
+    HigherBetter,
+    /// Changes are informational only (configuration echoes, model units).
+    Neutral,
+}
+
+/// Infers a leaf's direction from its dotted path. Order matters: `overhead`
+/// outranks `ratio`, so `commit_overhead_ratio` is higher-is-worse while
+/// `headline_e2e_ratio` (a speedup) is higher-is-better.
+pub fn direction_for(path: &str) -> Direction {
+    let path = path.to_ascii_lowercase();
+    const WORSE: &[&str] = &[
+        "overhead", "wall", "nanos", "latency", "conflict", "abort", "dropped", "evicted",
+        "rejected",
+    ];
+    const BETTER: &[&str] = &["speedup", "throughput", "ratio"];
+    if WORSE.iter().any(|needle| path.contains(needle)) {
+        Direction::HigherWorse
+    } else if BETTER.iter().any(|needle| path.contains(needle)) {
+        Direction::HigherBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+/// Thresholds of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Relative change below this is noise (default 5%).
+    pub rel_threshold: f64,
+    /// Absolute change below this is noise regardless of relative size,
+    /// guarding tiny denominators (default 0 — purely relative).
+    pub min_abs_delta: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            rel_threshold: 0.05,
+            min_abs_delta: 0.0,
+        }
+    }
+}
+
+/// One compared numeric cell whose value moved past the noise threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// Dotted path of the leaf within the artifact.
+    pub path: String,
+    /// Old value.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+    /// Relative change `(new − old) / old` (infinite when `old == 0`).
+    pub change: f64,
+    /// The leaf's inferred direction.
+    pub direction: Direction,
+    /// Whether the change is a regression under the direction.
+    pub regression: bool,
+}
+
+/// The outcome of one artifact comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Numeric leaves compared.
+    pub cells: usize,
+    /// Cells that moved past the noise threshold, any direction.
+    pub changed: Vec<CellDiff>,
+    /// Structural mismatches (paths present on one side only, shape changes).
+    pub structural: Vec<String>,
+}
+
+impl DiffReport {
+    /// Changed cells that are regressions.
+    pub fn regressions(&self) -> Vec<&CellDiff> {
+        self.changed.iter().filter(|c| c.regression).collect()
+    }
+
+    /// Whether the comparison passes: no regressions, no structural drift.
+    pub fn passes(&self) -> bool {
+        self.structural.is_empty() && self.regressions().is_empty()
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench-diff: {} cells compared, {} changed, {} regressions, {} structural\n",
+            self.cells,
+            self.changed.len(),
+            self.regressions().len(),
+            self.structural.len()
+        ));
+        for issue in &self.structural {
+            out.push_str(&format!("  STRUCTURAL {issue}\n"));
+        }
+        for cell in &self.changed {
+            let marker = if cell.regression {
+                "REGRESSION"
+            } else {
+                match cell.direction {
+                    Direction::Neutral => "changed   ",
+                    _ => "improved  ",
+                }
+            };
+            out.push_str(&format!(
+                "  {marker} {:<58} {} -> {} ({:+.1}%)\n",
+                cell.path,
+                cell.old,
+                cell.new,
+                cell.change * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Verifies both artifacts carry equal provenance `meta` sections. Returns a
+/// description of the first mismatch, or an error if either side has no meta
+/// at all (pre-provenance artifacts cannot be compared safely).
+pub fn check_meta(old: &Value, new: &Value) -> Result<(), String> {
+    let old_meta = old
+        .get("meta")
+        .ok_or("old artifact has no meta section — regenerate it")?;
+    let new_meta = new
+        .get("meta")
+        .ok_or("new artifact has no meta section — regenerate it")?;
+    let (Value::Map(old_entries), Value::Map(new_entries)) = (old_meta, new_meta) else {
+        return Err("meta sections are not objects".to_string());
+    };
+    for (key, old_value) in old_entries {
+        match new_meta.get(key) {
+            Some(new_value) if new_value == old_value => {}
+            Some(new_value) => {
+                return Err(format!(
+                    "incommensurable artifacts: meta.{key} differs ({old_value:?} vs {new_value:?})"
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "incommensurable artifacts: meta.{key} missing on new side"
+                ))
+            }
+        }
+    }
+    for (key, _) in new_entries {
+        if old_meta.get(key).is_none() {
+            return Err(format!(
+                "incommensurable artifacts: meta.{key} missing on old side"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Diffs two artifacts cell by cell. Fails if the artifacts are
+/// incommensurable (see [`check_meta`]).
+pub fn diff_artifacts(old: &Value, new: &Value, config: DiffConfig) -> Result<DiffReport, String> {
+    check_meta(old, new)?;
+    let mut report = DiffReport::default();
+    walk(old, new, "", &config, &mut report);
+    Ok(report)
+}
+
+fn as_number(value: &Value) -> Option<f64> {
+    match value {
+        Value::UInt(v) => Some(*v as f64),
+        Value::Int(v) => Some(*v as f64),
+        Value::Float(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn walk(old: &Value, new: &Value, path: &str, config: &DiffConfig, report: &mut DiffReport) {
+    match (old, new) {
+        (Value::Map(old_entries), Value::Map(new_entries)) => {
+            for (key, old_value) in old_entries {
+                // Provenance is compared by check_meta, not cell-diffed.
+                if path.is_empty() && key == "meta" {
+                    continue;
+                }
+                let child = join(path, key);
+                match new.get(key) {
+                    Some(new_value) => walk(old_value, new_value, &child, config, report),
+                    None => report.structural.push(format!("{child}: removed")),
+                }
+            }
+            for (key, _) in new_entries {
+                if old.get(key).is_none() {
+                    report
+                        .structural
+                        .push(format!("{}: added", join(path, key)));
+                }
+            }
+        }
+        (Value::Seq(old_items), Value::Seq(new_items)) => {
+            if old_items.len() != new_items.len() {
+                report.structural.push(format!(
+                    "{path}: length changed {} -> {}",
+                    old_items.len(),
+                    new_items.len()
+                ));
+            }
+            for (index, (old_item, new_item)) in old_items.iter().zip(new_items).enumerate() {
+                walk(
+                    old_item,
+                    new_item,
+                    &format!("{path}[{index}]"),
+                    config,
+                    report,
+                );
+            }
+        }
+        _ => match (as_number(old), as_number(new)) {
+            (Some(old_num), Some(new_num)) => {
+                report.cells += 1;
+                compare_cell(path, old_num, new_num, config, report);
+            }
+            _ => {
+                if old != new {
+                    report
+                        .structural
+                        .push(format!("{path}: value changed {old:?} -> {new:?}"));
+                }
+            }
+        },
+    }
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn compare_cell(path: &str, old: f64, new: f64, config: &DiffConfig, report: &mut DiffReport) {
+    let delta = new - old;
+    if delta == 0.0 {
+        return;
+    }
+    let change = if old != 0.0 {
+        delta / old.abs()
+    } else {
+        f64::INFINITY * delta.signum()
+    };
+    if change.abs() <= config.rel_threshold || delta.abs() <= config.min_abs_delta {
+        return;
+    }
+    let direction = direction_for(path);
+    let regression = match direction {
+        Direction::HigherWorse => change > 0.0,
+        Direction::HigherBetter => change < 0.0,
+        Direction::Neutral => false,
+    };
+    report.changed.push(CellDiff {
+        path: path.to_string(),
+        old,
+        new,
+        change,
+        direction,
+        regression,
+    });
+}
+
+/// Injects a synthetic regression into a copy of `artifact`: every
+/// higher-is-worse leaf is inflated by `factor` and every higher-is-better
+/// leaf deflated by it (the `meta` section is left untouched). Returns the
+/// perturbed copy and how many leaves were perturbed — the self-test that the
+/// watch actually watches.
+pub fn inject_regression(artifact: &Value, factor: f64) -> (Value, usize) {
+    let mut perturbed = 0usize;
+    let copy = perturb(artifact, "", factor, &mut perturbed);
+    (copy, perturbed)
+}
+
+fn perturb(value: &Value, path: &str, factor: f64, perturbed: &mut usize) -> Value {
+    match value {
+        Value::Map(entries) => Value::Map(
+            entries
+                .iter()
+                .map(|(key, child)| {
+                    let next = join(path, key);
+                    if path.is_empty() && key == "meta" {
+                        (key.clone(), child.clone())
+                    } else {
+                        (key.clone(), perturb(child, &next, factor, perturbed))
+                    }
+                })
+                .collect(),
+        ),
+        Value::Seq(items) => Value::Seq(
+            items
+                .iter()
+                .enumerate()
+                .map(|(index, item)| perturb(item, &format!("{path}[{index}]"), factor, perturbed))
+                .collect(),
+        ),
+        other => {
+            let Some(number) = as_number(other) else {
+                return other.clone();
+            };
+            match direction_for(path) {
+                Direction::HigherWorse => {
+                    *perturbed += 1;
+                    Value::Float(number * (1.0 + factor))
+                }
+                Direction::HigherBetter => {
+                    *perturbed += 1;
+                    Value::Float(number / (1.0 + factor))
+                }
+                Direction::Neutral => other.clone(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(speedup: f64, wall: u64) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"meta":{{"bench":"pipeline","seed":7,"threads":4}},
+                "headline_speedup_ratio":{speedup},
+                "cells":[{{"label":"a","wall_total_nanos":{wall},"txs":100}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = artifact(3.0, 1_000_000);
+        let report = diff_artifacts(&a, &a, DiffConfig::default()).unwrap();
+        assert!(report.passes());
+        assert_eq!(report.cells, 3);
+        assert!(report.changed.is_empty());
+    }
+
+    #[test]
+    fn regressions_are_flagged_in_both_directions() {
+        let old = artifact(3.0, 1_000_000);
+        let slower = artifact(3.0, 1_200_000); // wall +20%: worse
+        let report = diff_artifacts(&old, &slower, DiffConfig::default()).unwrap();
+        assert_eq!(report.regressions().len(), 1);
+        assert!(report.regressions()[0].path.contains("wall_total_nanos"));
+
+        let lower_speedup = artifact(2.0, 1_000_000); // speedup −33%: worse
+        let report = diff_artifacts(&old, &lower_speedup, DiffConfig::default()).unwrap();
+        assert_eq!(report.regressions().len(), 1);
+        assert!(report.regressions()[0].path.contains("speedup"));
+    }
+
+    #[test]
+    fn small_changes_are_noise() {
+        let old = artifact(3.0, 1_000_000);
+        let wobble = artifact(3.0, 1_030_000); // +3% < 5% threshold
+        let report = diff_artifacts(&old, &wobble, DiffConfig::default()).unwrap();
+        assert!(report.passes());
+        assert!(report.changed.is_empty());
+    }
+
+    #[test]
+    fn incommensurable_metas_are_refused() {
+        let old = artifact(3.0, 1_000_000);
+        let mut other = artifact(3.0, 1_000_000);
+        if let Value::Map(entries) = &mut other {
+            for (key, value) in entries.iter_mut() {
+                if key == "meta" {
+                    *value = Value::Map(vec![("bench".into(), Value::Str("store".into()))]);
+                }
+            }
+        }
+        let err = diff_artifacts(&old, &other, DiffConfig::default()).unwrap_err();
+        assert!(err.contains("incommensurable"), "{err}");
+
+        let no_meta: Value = serde_json::from_str(r#"{"x":1}"#).unwrap();
+        assert!(diff_artifacts(&old, &no_meta, DiffConfig::default()).is_err());
+    }
+
+    #[test]
+    fn injected_regression_is_flagged() {
+        let old = artifact(3.0, 1_000_000);
+        let (bad, perturbed) = inject_regression(&old, 0.10);
+        assert!(perturbed >= 2, "wall and speedup leaves perturbed");
+        let report = diff_artifacts(&old, &bad, DiffConfig::default()).unwrap();
+        assert!(!report.passes());
+        assert!(report.regressions().len() >= 2);
+    }
+
+    #[test]
+    fn direction_inference_orders_overhead_before_ratio() {
+        assert_eq!(
+            direction_for("worst_commit_overhead_ratio"),
+            Direction::HigherWorse
+        );
+        assert_eq!(direction_for("headline_e2e_ratio"), Direction::HigherBetter);
+        assert_eq!(direction_for("cells[0].units_total"), Direction::Neutral);
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests for the critical-path analyzer.
+//!
+//! Two families of randomized span trees:
+//!
+//! - **Gap-free exact-partition trees**: every non-leaf's children partition it
+//!   into sequential segments, each segment covered by parallel branches that
+//!   start together with at least one branch spanning the whole segment. On
+//!   these the critical path provably equals the root wall time, and both equal
+//!   the max-weight chain of non-overlapping leaves — an O(n²) DP oracle that
+//!   knows nothing about the cluster walk under test.
+//! - **Arbitrary trees**: direct children thrown anywhere inside the root
+//!   (overlapping, nested, zero-length). Here only the invariants hold: the
+//!   sweep attribution sums exactly to the end-to-end wall, no what-if bound
+//!   lengthens the path (removing a stage can only shorten it), and the
+//!   critical path never exceeds the root wall.
+
+use blockconc_obsctl::critpath::{analyze, critical_path_nanos};
+use blockconc_telemetry::{SpanRecord, SpanTree};
+use proptest::prelude::*;
+
+/// SplitMix64 — the tests drive tree construction from one sampled seed so a
+/// failing case is reproducible from the assertion message alone.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+fn span(id: u64, parent: u64, name: &str, start: u64, end: u64) -> SpanRecord {
+    SpanRecord {
+        id,
+        parent,
+        name: name.to_string(),
+        start_nanos: start,
+        end_nanos: end,
+        units: end - start,
+        attrs: Vec::new(),
+    }
+}
+
+const STAGE_NAMES: [&str; 4] = ["ingest", "pack", "execute", "merge"];
+
+/// Recursively fills `[start, end]` under `parent` with sequential segments of
+/// parallel branches, all branches starting at their segment start and one
+/// branch spanning the whole segment.
+fn fill_gap_free(
+    spans: &mut Vec<SpanRecord>,
+    next_id: &mut u64,
+    rng: &mut Rng,
+    parent: u64,
+    start: u64,
+    end: u64,
+    depth: u32,
+) {
+    if depth == 0 || end - start < 4 || rng.below(4) == 0 {
+        return; // parent stays a leaf over [start, end]
+    }
+    // Split into 1..=3 sequential segments at distinct interior cuts.
+    let mut cuts = vec![start, end];
+    for _ in 0..rng.below(3) {
+        cuts.push(start + 1 + rng.below(end - start - 1));
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    for pair in cuts.windows(2) {
+        let (seg_start, seg_end) = (pair[0], pair[1]);
+        // 1..=3 parallel branches from seg_start; branch 0 spans the segment.
+        let branches = 1 + rng.below(3);
+        for branch in 0..branches {
+            let branch_end = if branch == 0 {
+                seg_end
+            } else {
+                seg_start + 1 + rng.below(seg_end - seg_start)
+            };
+            let id = *next_id;
+            *next_id += 1;
+            let name = STAGE_NAMES[rng.below(4) as usize];
+            spans.push(span(id, parent, name, seg_start, branch_end));
+            fill_gap_free(spans, next_id, rng, id, seg_start, branch_end, depth - 1);
+        }
+    }
+}
+
+fn gap_free_tree(seed: u64, wall: u64) -> SpanTree {
+    let mut rng = Rng(seed);
+    let mut spans = vec![span(1, 0, "block", 0, wall)];
+    let mut next_id = 2;
+    fill_gap_free(&mut spans, &mut next_id, &mut rng, 1, 0, wall, 3);
+    SpanTree { spans }
+}
+
+/// O(n²) DP: the max-weight chain of pairwise non-overlapping, time-ordered
+/// leaves. Independent of the recursive cluster walk in `critical_path_nanos`.
+fn leaf_chain_oracle(tree: &SpanTree) -> u64 {
+    let mut leaves: Vec<&SpanRecord> = tree
+        .spans
+        .iter()
+        .filter(|s| tree.children_of(s.id).next().is_none())
+        .collect();
+    leaves.sort_by_key(|leaf| (leaf.end_nanos, leaf.start_nanos));
+    let mut best = vec![0u64; leaves.len()];
+    for i in 0..leaves.len() {
+        let mut prior = 0;
+        for j in 0..i {
+            if leaves[j].end_nanos <= leaves[i].start_nanos {
+                prior = prior.max(best[j]);
+            }
+        }
+        best[i] = prior + leaves[i].wall_nanos();
+    }
+    best.into_iter().max().unwrap_or(0)
+}
+
+/// A root with arbitrary direct children (any overlap, nesting, zero-length
+/// spans, shard attrs) — the shape `analyze` must stay sound on.
+fn arbitrary_tree(rng: &mut Rng, wall: u64) -> SpanTree {
+    let mut spans = vec![span(1, 0, "block", 0, wall)];
+    let mut next_id = 2;
+    for index in 0..rng.below(8) {
+        let start = rng.below(wall);
+        let end = start + rng.below(wall - start + 1);
+        let id = next_id;
+        next_id += 1;
+        if rng.below(3) == 0 {
+            let mut shard = span(id, 1, "shard", start, end);
+            shard.attrs.push(("shard".to_string(), index));
+            spans.push(shard);
+        } else {
+            spans.push(span(id, 1, STAGE_NAMES[rng.below(4) as usize], start, end));
+        }
+        // Sometimes a grandchild, so the critical-path recursion has depth.
+        if end > start && rng.below(2) == 0 {
+            let inner_start = start + rng.below(end - start);
+            let inner_end = inner_start + rng.below(end - inner_start + 1);
+            spans.push(span(next_id, id, "execute", inner_start, inner_end));
+            next_id += 1;
+        }
+    }
+    SpanTree { spans }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn gap_free_critical_path_matches_leaf_chain_oracle(
+        seed in 0u64..1_000_000,
+        wall in 16u64..4_096,
+    ) {
+        let tree = gap_free_tree(seed, wall);
+        let path = critical_path_nanos(&tree);
+        // Exact partitions keep the clock running through some branch at every
+        // instant, so the path must account for the whole root interval...
+        prop_assert_eq!(path, wall, "seed {} wall {}: {} spans", seed, wall, tree.spans.len());
+        // ...and the best chain of non-overlapping leaves walks the same time.
+        prop_assert_eq!(leaf_chain_oracle(&tree), path, "seed {} wall {}", seed, wall);
+    }
+
+    #[test]
+    fn arbitrary_trees_attribute_exactly_and_whatifs_never_lengthen(
+        seed in 0u64..1_000_000,
+        wall in 8u64..2_048,
+        blocks in 1usize..4,
+    ) {
+        let mut rng = Rng(seed);
+        let trees: Vec<SpanTree> = (0..blocks).map(|_| arbitrary_tree(&mut rng, wall)).collect();
+        for tree in &trees {
+            prop_assert!(
+                critical_path_nanos(tree) <= tree.root().wall_nanos(),
+                "critical path exceeds root wall (seed {})", seed
+            );
+        }
+        let report = analyze(&trees);
+        prop_assert_eq!(report.e2e_nanos, wall * blocks as u64);
+        let attributed: u64 = report.stages.iter().map(|s| s.nanos).sum();
+        prop_assert_eq!(attributed, report.e2e_nanos, "attribution residue (seed {})", seed);
+        for whatif in &report.whatifs {
+            prop_assert!(
+                whatif.e2e_nanos <= report.e2e_nanos,
+                "removing {:?} lengthened the path: {} > {} (seed {})",
+                &whatif.label, whatif.e2e_nanos, report.e2e_nanos, seed
+            );
+            prop_assert!(whatif.gain >= 0.0);
+        }
+        prop_assert!(report.check().is_ok());
+    }
+}

@@ -283,6 +283,14 @@ impl TelemetryRegistry {
             .map_or_else(String::new, |inner| inner.recorder.to_jsonl())
     }
 
+    /// Clones the flight recorder's sealed span trees, oldest first (empty
+    /// when disabled) — the input to trace exporters and analyzers.
+    pub fn flight_trees(&self) -> Vec<crate::span::SpanTree> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |inner| inner.recorder.trees())
+    }
+
     /// Summarizes everything collected so far; `None` when disabled, so
     /// reports stay bit-identical to pre-telemetry runs by default.
     pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
@@ -327,6 +335,7 @@ impl TelemetryRegistry {
             dists,
             spans_recorded: inner.recorder.recorded_total(),
             blocks_sealed: inner.recorder.sealed_total(),
+            trees_dropped: inner.recorder.dropped_total(),
         })
     }
 }
@@ -383,6 +392,19 @@ mod tests {
         let pack_span: crate::span::SpanRecord = serde_json::from_str(lines[1]).unwrap();
         assert_eq!(pack_span.start_nanos, 10);
         assert_eq!(pack_span.end_nanos, 20);
+    }
+
+    #[test]
+    fn snapshot_surfaces_flight_ring_overflow() {
+        let registry = TelemetryRegistry::enabled_with(MockClock::shared(1), 2);
+        for _ in 0..5 {
+            let block = registry.begin_span("block", SpanId::ROOT);
+            registry.end_span(block, 1);
+        }
+        let snapshot = registry.snapshot().unwrap();
+        assert_eq!(snapshot.blocks_sealed, 5);
+        assert_eq!(snapshot.trees_dropped, 3);
+        assert_eq!(registry.flight_trees().len(), 2);
     }
 
     #[test]

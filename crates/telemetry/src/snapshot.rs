@@ -54,6 +54,10 @@ pub struct TelemetrySnapshot {
     pub spans_recorded: u64,
     /// Root span trees sealed (≈ blocks traced).
     pub blocks_sealed: u64,
+    /// Sealed trees evicted from the flight-recorder ring — history that
+    /// exports can no longer show. Non-zero means the ring was too small for
+    /// the run.
+    pub trees_dropped: u64,
 }
 
 impl TelemetrySnapshot {
@@ -106,6 +110,7 @@ impl TelemetrySnapshot {
         }
         self.spans_recorded += other.spans_recorded;
         self.blocks_sealed += other.blocks_sealed;
+        self.trees_dropped += other.trees_dropped;
     }
 }
 
@@ -137,6 +142,7 @@ mod tests {
             dists: vec![],
             spans_recorded: 3,
             blocks_sealed: 1,
+            trees_dropped: 1,
         };
         let b = TelemetrySnapshot {
             stages: vec![
@@ -161,6 +167,7 @@ mod tests {
             }],
             spans_recorded: 4,
             blocks_sealed: 2,
+            trees_dropped: 2,
         };
         a.merge(&b);
         assert_eq!(a.stages.len(), 2);
@@ -170,6 +177,7 @@ mod tests {
         assert_eq!(a.dist("commit_bytes").unwrap().count, 1);
         assert_eq!(a.spans_recorded, 7);
         assert_eq!(a.blocks_sealed, 3);
+        assert_eq!(a.trees_dropped, 3);
     }
 
     #[test]
@@ -208,6 +216,7 @@ mod tests {
             }],
             spans_recorded: 12,
             blocks_sealed: 4,
+            trees_dropped: 1,
         };
         let json = serde_json::to_string(&snapshot).unwrap();
         let parsed: TelemetrySnapshot = serde_json::from_str(&json).unwrap();

@@ -58,6 +58,39 @@ pub struct SpanTree {
     pub spans: Vec<SpanRecord>,
 }
 
+impl SpanTree {
+    /// The tree's root span (the sealed block span).
+    pub fn root(&self) -> &SpanRecord {
+        &self.spans[0]
+    }
+
+    /// Direct children of `parent`, in id order.
+    pub fn children_of(&self, parent: u64) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(move |span| span.parent == parent)
+    }
+
+    /// Looks up a span by id.
+    pub fn span(&self, id: u64) -> Option<&SpanRecord> {
+        self.spans.iter().find(|span| span.id == id)
+    }
+
+    /// The root span's numeric attribute, if present (e.g. `"height"`).
+    pub fn root_attr(&self, key: &str) -> Option<u64> {
+        self.root()
+            .attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+    }
+}
+
+impl SpanRecord {
+    /// The span's numeric attribute, if present.
+    pub fn attr(&self, key: &str) -> Option<u64> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
 struct OpenSpan {
     record: SpanRecord,
     root: u64,
@@ -71,6 +104,7 @@ struct RecorderState {
     ring: VecDeque<SpanTree>,
     sealed_total: u64,
     recorded_total: u64,
+    dropped_total: u64,
 }
 
 /// A bounded ring of recent sealed span trees.
@@ -102,6 +136,7 @@ impl FlightRecorder {
                 ring: VecDeque::new(),
                 sealed_total: 0,
                 recorded_total: 0,
+                dropped_total: 0,
             }),
             capacity: capacity.max(1),
         }
@@ -215,8 +250,11 @@ impl FlightRecorder {
         state.recorded_total += spans.len() as u64;
         state.sealed_total += 1;
         state.ring.push_back(SpanTree { spans });
+        // Ring overwrite is data loss, not a silent rotation: every evicted
+        // sealed tree is tallied so exports can say how much history is gone.
         while state.ring.len() > self.capacity {
             state.ring.pop_front();
+            state.dropped_total += 1;
         }
     }
 
@@ -233,6 +271,12 @@ impl FlightRecorder {
     /// Total spans recorded into sealed trees over the run.
     pub fn recorded_total(&self) -> u64 {
         self.state.lock().unwrap().recorded_total
+    }
+
+    /// Sealed trees evicted from the ring by capacity pressure — history the
+    /// JSONL export can no longer show.
+    pub fn dropped_total(&self) -> u64 {
+        self.state.lock().unwrap().dropped_total
     }
 
     /// Exports the ring as JSONL: one [`SpanRecord`] object per line, trees in
@@ -293,6 +337,51 @@ mod tests {
         assert_eq!(trees.len(), 2);
         assert_eq!(trees[0].spans[0].attrs[0].1, 3);
         assert_eq!(trees[1].spans[0].attrs[0].1, 4);
+    }
+
+    #[test]
+    fn ring_overflow_counts_dropped_trees() {
+        let recorder = FlightRecorder::new(3);
+        assert_eq!(recorder.dropped_total(), 0);
+        for height in 0..10u64 {
+            let block = recorder.begin("block", SpanId::ROOT, height * 10);
+            recorder.end(block, height * 10 + 5, 1);
+        }
+        // 10 sealed, 3 retained: exactly 7 trees were overwritten, and the
+        // loss is visible rather than silent.
+        assert_eq!(recorder.sealed_total(), 10);
+        assert_eq!(recorder.trees().len(), 3);
+        assert_eq!(recorder.dropped_total(), 7);
+        assert_eq!(
+            recorder.sealed_total() - recorder.dropped_total(),
+            recorder.trees().len() as u64
+        );
+    }
+
+    #[test]
+    fn tree_accessors_resolve_roots_children_and_attrs() {
+        let recorder = FlightRecorder::new(4);
+        let block = recorder.begin("block", SpanId::ROOT, 0);
+        recorder.attr(block, "height", 9);
+        let pack = recorder.begin("pack", block, 5);
+        recorder.attr(pack, "txs", 3);
+        recorder.end(pack, 15, 3);
+        recorder.record("shard", block, 15, 40, 7, &[("shard", 2)]);
+        recorder.end(block, 50, 10);
+
+        let trees = recorder.trees();
+        let tree = &trees[0];
+        assert_eq!(tree.root().name, "block");
+        assert_eq!(tree.root_attr("height"), Some(9));
+        assert_eq!(tree.root_attr("missing"), None);
+        let children: Vec<&str> = tree
+            .children_of(tree.root().id)
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(children, vec!["pack", "shard"]);
+        let shard = tree.spans.iter().find(|s| s.name == "shard").unwrap();
+        assert_eq!(shard.attr("shard"), Some(2));
+        assert_eq!(tree.span(shard.id).unwrap().units, 7);
     }
 
     #[test]

@@ -53,6 +53,7 @@ fn shard_snapshot(stage_values: &[u64], counter_value: u64, with_dist: bool) -> 
         dists: Vec::new(),
         spans_recorded: counter_value % 7,
         blocks_sealed: counter_value % 3,
+        trees_dropped: counter_value % 5,
     };
     if with_dist {
         snapshot.dists.push(DistSnapshot {

@@ -2,8 +2,10 @@
 //! layer enabled, print the per-stage latency/work quantiles and counters it
 //! collected, export the flight recorder's span trees as JSONL, and
 //! schema-check the export (every span closed, every parent resolving inside
-//! its tree, timestamps monotone). CI runs this example as the JSONL schema
-//! gate, so a schema violation here fails loudly.
+//! its tree, timestamps monotone). The JSONL is then lowered to a Chrome
+//! trace-event file via `blockconc-obsctl` and validated (B/E pairing, monotone
+//! timestamps, named tracks) — CI runs this example as both schema gates, so a
+//! violation in either format fails loudly.
 //!
 //! The second half shows the other half of the clock story: the same run on a
 //! deterministic [`MockClock`] produces *bit-identical* telemetry snapshots,
@@ -162,7 +164,28 @@ fn main() {
     );
     println!("JSONL export written to {}", path.display());
 
-    // 3. Determinism: the same run on a stepping mock clock twice over —
+    // 3. Lower the same trees to the Chrome trace-event format and validate it
+    //    the way the CI gate does: ph B/E pairing per track, monotone
+    //    timestamps, every track named by metadata.
+    let trees = blockconc_obsctl::trees_from_jsonl(&jsonl).expect("JSONL round-trips");
+    let chrome = blockconc_obsctl::trace::chrome_trace(&trees);
+    let stats =
+        blockconc_obsctl::trace::validate_chrome_trace(&chrome).expect("Chrome trace is valid");
+    let trace_path = std::env::temp_dir().join(format!(
+        "blockconc-telemetry-demo-{}.trace.json",
+        std::process::id()
+    ));
+    std::fs::write(&trace_path, &chrome).expect("write Chrome trace");
+    println!(
+        "chrome trace: {} events over {} spans on {} tracks — schema OK; written to {} \
+         (open in chrome://tracing or https://ui.perfetto.dev)",
+        stats.events,
+        stats.spans,
+        stats.tracks,
+        trace_path.display()
+    );
+
+    // 4. Determinism: the same run on a stepping mock clock twice over —
     //    identical snapshots, wall nanos included.
     let first = mock_run(10);
     let second = mock_run(10);
