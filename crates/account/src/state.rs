@@ -667,6 +667,46 @@ impl WorldState {
         }
     }
 
+    /// Drops the resident working set, the dirty set and any open block scope
+    /// (rolled back on the backend), keeping the mounted backend. The next read
+    /// re-materializes from the backend's committed state, exactly as after
+    /// [`attach_backend`](WorldState::attach_backend) to a recovered store — but
+    /// cheap enough to call between transactions. Executors that recycle a
+    /// scratch state across independent transactions (the optimistic engine's
+    /// per-worker scratch) use this instead of rebuilding the whole state.
+    pub fn reset_working_set(&mut self) {
+        self.accounts.clear();
+        self.dirty.clear();
+        if self.open_height.take().is_some() {
+            if let Some(backend) = &self.backend {
+                // With a block open on our side the backend cannot refuse the
+                // rollback; ignore the impossible error rather than propagate
+                // fallibility into every reset call site.
+                let _ = backend.lock().expect("backend lock").rollback_block();
+            }
+        }
+    }
+
+    /// Collects the dirty accounts' current values into `out` — exactly the
+    /// records [`commit_block`](WorldState::commit_block) would push — then
+    /// clears the dirty set and closes any open block scope *without notifying
+    /// the backend*. `out` is cleared first and its capacity reused.
+    ///
+    /// This is the write-set half of a virtual-backend interposition: the
+    /// optimistic engine executes each transaction on a scratch state mounted
+    /// over a versioned view, and consumes the write set directly instead of
+    /// round-tripping it through a backend commit (which would build the same
+    /// records, clone them, and take a backend lock — per transaction).
+    pub fn take_write_set(&mut self, out: &mut Vec<DeltaRecord>) {
+        out.clear();
+        out.extend(self.dirty.iter().map(|address| DeltaRecord {
+            address: *address,
+            account: self.accounts.get(address).map(account_to_stored),
+        }));
+        self.dirty.clear();
+        self.open_height = None;
+    }
+
     /// The complete persisted view of one account (resident value if cached,
     /// committed value otherwise), or `None` if the account does not exist. This
     /// is the export half of a cross-partition state handoff: the cluster layer
@@ -1088,6 +1128,48 @@ mod tests {
         }
         // Evicted values still read through.
         assert_eq!(state.balance(Address::from_low(1)), Amount::from_coins(1));
+    }
+
+    #[test]
+    fn take_write_set_matches_what_commit_would_push() {
+        let mut state = backed_state();
+        state.begin_block(1).unwrap();
+        state.credit(Address::from_low(3), Amount::from_coins(5));
+        state
+            .debit(Address::from_low(1), Amount::from_coins(5))
+            .unwrap();
+        let mut out = vec![DeltaRecord {
+            address: Address::from_low(99),
+            account: None,
+        }];
+        state.take_write_set(&mut out);
+        assert_eq!(out.len(), 2, "stale buffer contents are replaced");
+        let addresses: Vec<Address> = out.iter().map(|r| r.address).collect();
+        assert!(addresses.contains(&Address::from_low(1)));
+        assert!(addresses.contains(&Address::from_low(3)));
+        // The dirty set is consumed: a second take is empty.
+        state.take_write_set(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reset_working_set_drops_uncommitted_state_but_keeps_the_backend() {
+        let mut state = backed_state();
+        state.begin_block(1).unwrap();
+        state.credit(Address::from_low(55), Amount::from_coins(9));
+        state
+            .debit(Address::from_low(1), Amount::from_coins(1))
+            .unwrap();
+        state.reset_working_set();
+        assert_eq!(state.resident_accounts(), 0);
+        // Uncommitted writes are gone; committed values read through again.
+        assert!(!state.contains(Address::from_low(55)));
+        assert_eq!(state.balance(Address::from_low(1)), Amount::from_coins(10));
+        // The block scope is closed on our side: a fresh block can open.
+        state.begin_block(1).unwrap();
+        state.bump_nonce(Address::from_low(1), None);
+        state.commit_block().unwrap();
+        assert_eq!(state.nonce(Address::from_low(1)), 1);
     }
 
     #[test]

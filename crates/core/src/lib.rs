@@ -78,7 +78,8 @@ pub mod prelude {
         ClusterConfig, ClusterDriver, ClusterRunReport, CrossShardReceipt,
     };
     pub use blockconc_execution::{
-        ExecutionEngine, ExecutionReport, ScheduledEngine, SequentialEngine, SpeculativeEngine,
+        ExecutionEngine, ExecutionReport, OptimisticEngine, ScheduledEngine, SequentialEngine,
+        SpeculativeEngine,
     };
     pub use blockconc_graph::{
         build_account_tdg, build_utxo_tdg, tdg_to_dot, BlockMetrics, BlockWeight, Tdg,

@@ -1,0 +1,143 @@
+//! Quick profiling harness: per-engine wall time on a 512-tx low-conflict block.
+//! Run with `cargo run --release -p blockconc-execution --example profile_opt`.
+
+use blockconc_account::{AccountBlock, AccountTransaction, BlockBuilder, WorldState};
+use blockconc_execution::{ExecutionEngine, OptimisticEngine, SequentialEngine};
+use blockconc_types::{Address, Amount};
+use std::time::Instant;
+
+const BLOCK_TXS: u64 = 512;
+
+fn workload() -> (WorldState, AccountBlock) {
+    let mut state = WorldState::new();
+    for i in 0..BLOCK_TXS {
+        state.credit(Address::from_low(1_000 + i), Amount::from_coins(100));
+    }
+    let txs = (0..BLOCK_TXS).map(|i| {
+        AccountTransaction::transfer(
+            Address::from_low(1_000 + i),
+            Address::from_low(1_000_000 + i),
+            Amount::from_sats(10),
+            0,
+        )
+    });
+    let block = BlockBuilder::new(1, 0, Address::from_low(1))
+        .transactions(txs)
+        .build();
+    (state, block)
+}
+
+fn time_engine(label: &str, engine: &mut dyn ExecutionEngine, rounds: usize) {
+    let mut best = u128::MAX;
+    for _ in 0..rounds {
+        let (state, block) = workload();
+        let mut state = state;
+        let start = Instant::now();
+        let _ = engine.execute(&mut state, &block).unwrap();
+        best = best.min(start.elapsed().as_nanos());
+    }
+    println!(
+        "{label:<16} best {:>10} ns  ({:>7.0} ns/tx)",
+        best,
+        best as f64 / BLOCK_TXS as f64
+    );
+}
+
+/// Mimics the optimistic engine's per-transaction view: reads forward to a
+/// snapshot, writes are discarded at commit. Isolates the scratch-state
+/// machinery cost from the MVCC layer.
+#[derive(Debug)]
+struct SinkBackend {
+    inner: blockconc_store::MemoryBackend,
+}
+
+impl blockconc_store::StateBackend for SinkBackend {
+    fn name(&self) -> &'static str {
+        "sink"
+    }
+    fn get_account(&mut self, address: Address) -> Option<blockconc_store::StoredAccount> {
+        self.inner.get_account(address)
+    }
+    fn begin_block(&mut self, _height: u64) -> blockconc_types::Result<()> {
+        Ok(())
+    }
+    fn commit_block(
+        &mut self,
+        _delta: &blockconc_store::BlockDelta,
+    ) -> blockconc_types::Result<blockconc_store::CommitStats> {
+        Ok(blockconc_store::CommitStats::default())
+    }
+    fn rollback_block(&mut self) -> blockconc_types::Result<()> {
+        Ok(())
+    }
+    fn committed_block(&self) -> Option<u64> {
+        Some(0)
+    }
+    fn open_height(&self) -> Option<u64> {
+        None
+    }
+    fn account_count(&self) -> usize {
+        0
+    }
+    fn for_each_account(&mut self, _f: &mut dyn FnMut(Address, blockconc_store::StoredAccount)) {}
+    fn stats(&self) -> blockconc_store::StoreStats {
+        blockconc_store::StoreStats::default()
+    }
+}
+
+fn scratch_machinery() {
+    use blockconc_account::BlockExecutor;
+    use blockconc_store::StateBackend;
+
+    let (base, block) = workload();
+    let mut inner = blockconc_store::MemoryBackend::new();
+    inner.begin_block(0).unwrap();
+    let records: Vec<blockconc_store::DeltaRecord> = base
+        .iter()
+        .map(|(a, acct)| blockconc_store::DeltaRecord {
+            address: *a,
+            account: Some(blockconc_account::account_to_stored(acct)),
+        })
+        .collect();
+    inner
+        .commit_block(&blockconc_store::BlockDelta { height: 0, records })
+        .unwrap();
+
+    let mut scratch = WorldState::new();
+    scratch
+        .attach_backend(blockconc_store::shared(SinkBackend { inner }), None)
+        .unwrap();
+    let mut executor = BlockExecutor::new();
+    let mut best = u128::MAX;
+    for _ in 0..10 {
+        let start = Instant::now();
+        for tx in block.transactions() {
+            scratch.reset_working_set();
+            scratch.begin_block(1).unwrap();
+            let _ = executor.execute_transaction(&mut scratch, tx);
+            scratch.commit_block().unwrap();
+        }
+        best = best.min(start.elapsed().as_nanos());
+    }
+    println!(
+        "scratch-machinery best {:>10} ns  ({:>7.0} ns/tx)",
+        best,
+        best as f64 / BLOCK_TXS as f64
+    );
+}
+
+fn main() {
+    println!(
+        "available_parallelism = {:?}",
+        std::thread::available_parallelism()
+    );
+    time_engine("sequential", &mut SequentialEngine::new(), 10);
+    scratch_machinery();
+    for threads in [1, 2, 4, 8] {
+        time_engine(
+            &format!("optimistic/{threads}"),
+            &mut OptimisticEngine::new(threads),
+            10,
+        );
+    }
+}

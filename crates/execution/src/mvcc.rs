@@ -1,0 +1,306 @@
+//! Multi-version in-memory store for the optimistic engine.
+//!
+//! [`MvMemory`] holds, per account address, every write buffered by an in-flight
+//! block execution, stamped with the version `(tx_index, incarnation)` that produced
+//! it. Reads by transaction `t` resolve to the highest write below `t` (or fall
+//! through to the pre-block base state), validation re-resolves a recorded read set
+//! against the current contents, and aborted incarnations leave `ESTIMATE` markers
+//! behind so dependent transactions suspend instead of chasing stale data.
+//!
+//! Granularity is per *account* (the unit `WorldState` reads through its backend),
+//! not per storage slot — see the crate README for the trade-off discussion.
+
+use blockconc_store::{DeltaRecord, StoredAccount};
+use blockconc_types::Address;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// Number of independently locked shards of the version map. Writes of concurrent
+/// transactions mostly touch disjoint accounts, so striping the map keeps lock
+/// contention off the execution hot path.
+const SHARDS: usize = 64;
+
+/// Where a read resolved, recorded in per-transaction read sets and re-checked by
+/// validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadOrigin {
+    /// Resolved from the immutable pre-block state (present or absent alike —
+    /// the base cannot change during block execution).
+    Base,
+    /// Resolved from the buffered write of `(tx_index, incarnation)`.
+    Version(usize, u32),
+}
+
+/// Result of resolving one account read for transaction `tx_index`.
+#[derive(Debug)]
+pub(crate) enum ReadResult {
+    /// No buffered write below the reader: fall through to the base state.
+    Base,
+    /// The highest buffered write below the reader.
+    Version {
+        /// Writer transaction index.
+        txn: usize,
+        /// Writer incarnation.
+        incarnation: u32,
+        /// Whether the entry is an `ESTIMATE` (the writer aborted and has not
+        /// re-executed yet): the reader should suspend on `txn`.
+        estimate: bool,
+        /// The buffered account value (`None` = deletion record).
+        value: Option<StoredAccount>,
+    },
+}
+
+#[derive(Debug)]
+struct VersionEntry {
+    incarnation: u32,
+    estimate: bool,
+    value: Option<StoredAccount>,
+}
+
+/// The sharded multi-version map: `address → (tx_index → versioned write)`.
+#[derive(Debug)]
+pub(crate) struct MvMemory {
+    shards: Vec<Mutex<HashMap<Address, BTreeMap<usize, VersionEntry>>>>,
+}
+
+impl MvMemory {
+    pub(crate) fn new() -> Self {
+        MvMemory {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, address: Address) -> &Mutex<HashMap<Address, BTreeMap<usize, VersionEntry>>> {
+        // Fibonacci hash of the low word spreads both sequential test addresses and
+        // hash-derived workload addresses across the stripes.
+        let mix = (address.low_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
+        &self.shards[mix % SHARDS]
+    }
+
+    /// Resolves the read of `address` by transaction `tx_index`: the buffered write
+    /// with the highest transaction index strictly below the reader, if any.
+    pub(crate) fn read(&self, address: Address, tx_index: usize) -> ReadResult {
+        let shard = self.shard(address).lock().expect("mvcc shard lock");
+        let Some(versions) = shard.get(&address) else {
+            return ReadResult::Base;
+        };
+        match versions.range(..tx_index).next_back() {
+            Some((&txn, entry)) => ReadResult::Version {
+                txn,
+                incarnation: entry.incarnation,
+                estimate: entry.estimate,
+                value: entry.value.clone(),
+            },
+            None => ReadResult::Base,
+        }
+    }
+
+    /// Installs the write set of `(tx_index, incarnation)` and removes entries left
+    /// behind by the previous incarnation at addresses no longer written. Returns
+    /// `true` if this incarnation wrote to an address its predecessor did not
+    /// (Block-STM's `wrote_new_path`, which forces revalidation of higher
+    /// transactions).
+    pub(crate) fn apply(
+        &self,
+        tx_index: usize,
+        incarnation: u32,
+        writes: &mut Vec<DeltaRecord>,
+        previous_writes: &[Address],
+    ) -> bool {
+        let wrote_new_path = writes
+            .iter()
+            .any(|record| !previous_writes.contains(&record.address));
+        for &stale in previous_writes {
+            if !writes.iter().any(|r| r.address == stale) {
+                let mut shard = self.shard(stale).lock().expect("mvcc shard lock");
+                if let Some(versions) = shard.get_mut(&stale) {
+                    versions.remove(&tx_index);
+                }
+            }
+        }
+        // The write set is drained: values move into the map without a clone, and
+        // the caller keeps the vector's capacity for the next transaction.
+        for record in writes.drain(..) {
+            let mut shard = self.shard(record.address).lock().expect("mvcc shard lock");
+            shard.entry(record.address).or_default().insert(
+                tx_index,
+                VersionEntry {
+                    incarnation,
+                    estimate: false,
+                    value: record.account,
+                },
+            );
+        }
+        wrote_new_path
+    }
+
+    /// Marks every write of `tx_index` as an `ESTIMATE` after its validation failed,
+    /// so transactions that read them suspend instead of executing against data
+    /// known to be stale.
+    pub(crate) fn convert_writes_to_estimates(&self, tx_index: usize, writes: &[Address]) {
+        for &address in writes {
+            let mut shard = self.shard(address).lock().expect("mvcc shard lock");
+            if let Some(entry) = shard.get_mut(&address).and_then(|v| v.get_mut(&tx_index)) {
+                entry.estimate = true;
+            }
+        }
+    }
+
+    /// Re-resolves a recorded read set for transaction `tx_index`. The read set is
+    /// valid iff every read resolves to the same origin as during execution and no
+    /// resolved entry is an estimate.
+    pub(crate) fn validate_reads(&self, tx_index: usize, reads: &[(Address, ReadOrigin)]) -> bool {
+        reads.iter().all(
+            |&(address, origin)| match (self.read(address, tx_index), origin) {
+                (ReadResult::Base, ReadOrigin::Base) => true,
+                (
+                    ReadResult::Version {
+                        txn,
+                        incarnation,
+                        estimate,
+                        ..
+                    },
+                    ReadOrigin::Version(read_txn, read_incarnation),
+                ) => !estimate && txn == read_txn && incarnation == read_incarnation,
+                _ => false,
+            },
+        )
+    }
+
+    /// The final value of every written account — for each address, the write of the
+    /// highest transaction index. Called once after the whole block has executed and
+    /// validated; the values are installed into the engine's `WorldState`.
+    pub(crate) fn final_writes(&self) -> Vec<(Address, Option<StoredAccount>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("mvcc shard lock");
+            for (address, versions) in shard.iter() {
+                if let Some((_, entry)) = versions.iter().next_back() {
+                    out.push((*address, entry.value.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> Address {
+        Address::from_low(n)
+    }
+
+    fn account(balance: u64) -> Option<StoredAccount> {
+        Some(StoredAccount {
+            balance_sats: balance,
+            nonce: 0,
+            storage: Vec::new(),
+            code_json: None,
+        })
+    }
+
+    fn record(address: Address, balance: u64) -> DeltaRecord {
+        DeltaRecord {
+            address,
+            account: account(balance),
+        }
+    }
+
+    #[test]
+    fn read_resolves_highest_version_below_reader() {
+        let mv = MvMemory::new();
+        mv.apply(2, 0, &mut vec![record(addr(1), 20)], &[]);
+        mv.apply(5, 0, &mut vec![record(addr(1), 50)], &[]);
+
+        assert!(matches!(mv.read(addr(1), 2), ReadResult::Base));
+        match mv.read(addr(1), 4) {
+            ReadResult::Version { txn, value, .. } => {
+                assert_eq!(txn, 2);
+                assert_eq!(value.unwrap().balance_sats, 20);
+            }
+            other => panic!("expected version, got {other:?}"),
+        }
+        match mv.read(addr(1), 9) {
+            ReadResult::Version { txn, .. } => assert_eq!(txn, 5),
+            other => panic!("expected version, got {other:?}"),
+        }
+        assert!(matches!(mv.read(addr(2), 9), ReadResult::Base));
+    }
+
+    #[test]
+    fn apply_reports_new_paths_and_clears_stale_writes() {
+        let mv = MvMemory::new();
+        assert!(mv.apply(3, 0, &mut vec![record(addr(1), 10)], &[]));
+        // Same write set: no new path.
+        assert!(!mv.apply(3, 1, &mut vec![record(addr(1), 11)], &[addr(1)]));
+        // Moves to a different address: new path, and the stale entry disappears.
+        assert!(mv.apply(3, 2, &mut vec![record(addr(2), 12)], &[addr(1)]));
+        assert!(matches!(mv.read(addr(1), 9), ReadResult::Base));
+        match mv.read(addr(2), 9) {
+            ReadResult::Version { incarnation, .. } => assert_eq!(incarnation, 2),
+            other => panic!("expected version, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn estimates_flow_through_read_and_validation() {
+        let mv = MvMemory::new();
+        mv.apply(1, 0, &mut vec![record(addr(7), 70)], &[]);
+        let reads = vec![(addr(7), ReadOrigin::Version(1, 0))];
+        assert!(mv.validate_reads(4, &reads));
+
+        mv.convert_writes_to_estimates(1, &[addr(7)]);
+        match mv.read(addr(7), 4) {
+            ReadResult::Version { estimate, .. } => assert!(estimate),
+            other => panic!("expected version, got {other:?}"),
+        }
+        assert!(!mv.validate_reads(4, &reads));
+
+        // Re-execution at the next incarnation clears the estimate but the version
+        // stamp changed, so the old read is still invalid.
+        mv.apply(1, 1, &mut vec![record(addr(7), 71)], &[addr(7)]);
+        assert!(!mv.validate_reads(4, &reads));
+        assert!(mv.validate_reads(4, &[(addr(7), ReadOrigin::Version(1, 1))]));
+    }
+
+    #[test]
+    fn validation_catches_origin_flips_both_ways() {
+        let mv = MvMemory::new();
+        // Read resolved from base, then a lower write appears.
+        assert!(mv.validate_reads(5, &[(addr(3), ReadOrigin::Base)]));
+        mv.apply(2, 0, &mut vec![record(addr(3), 30)], &[]);
+        assert!(!mv.validate_reads(5, &[(addr(3), ReadOrigin::Base)]));
+        // Read resolved from a version, then the write retreats.
+        assert!(mv.validate_reads(5, &[(addr(3), ReadOrigin::Version(2, 0))]));
+        mv.apply(2, 1, &mut vec![], &[addr(3)]);
+        assert!(!mv.validate_reads(5, &[(addr(3), ReadOrigin::Version(2, 0))]));
+    }
+
+    #[test]
+    fn final_writes_take_the_highest_transaction() {
+        let mv = MvMemory::new();
+        mv.apply(
+            0,
+            0,
+            &mut vec![record(addr(1), 10), record(addr(2), 20)],
+            &[],
+        );
+        mv.apply(4, 1, &mut vec![record(addr(1), 40)], &[]);
+        mv.apply(
+            6,
+            0,
+            &mut vec![DeltaRecord {
+                address: addr(2),
+                account: None,
+            }],
+            &[],
+        );
+        let mut finals = mv.final_writes();
+        finals.sort_by_key(|(a, _)| *a);
+        assert_eq!(finals.len(), 2);
+        assert_eq!(finals[0].1.as_ref().unwrap().balance_sats, 40);
+        assert!(finals[1].1.is_none(), "deletion survives as None");
+    }
+}

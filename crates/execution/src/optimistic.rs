@@ -1,0 +1,1027 @@
+//! The optimistic parallel engine (Block-STM-style MVCC execution).
+//!
+//! Unlike [`SpeculativeEngine`](crate::SpeculativeEngine) — which re-executes every
+//! transaction to commit — this engine executes each transaction once (plus bounded
+//! re-executions after conflicts) against a [multi-version store](crate::mvcc) and
+//! commits by installing the buffered write sets directly. The design follows
+//! Block-STM: optimistic execution in block order, lazy validation of read sets
+//! against the highest finished versions, `ESTIMATE` markers + dependency
+//! suspension for known-stale reads, and a collaborative scheduler driving both
+//! task kinds from two atomic counters.
+
+use crate::mvcc::{MvMemory, ReadOrigin, ReadResult};
+use crate::thread_pool::{Job, WorkerPool};
+use crate::{ExecutionEngine, ExecutionReport};
+use blockconc_account::{AccountBlock, BlockExecutor, ExecutedBlock, Receipt, WorldState};
+use blockconc_store::{
+    BlockDelta, CommitStats, SharedBackend, StateBackend, StoreStats, StoredAccount,
+};
+use blockconc_telemetry::{SharedClock, WallClock};
+use blockconc_types::{Address, Gas, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Incarnation ceiling per transaction. Exceeding it means validation keeps
+/// invalidating the same transaction (pathological contention); the engine then
+/// abandons the optimistic run — the target state is untouched until the final
+/// install, so falling back to plain sequential execution is trivially correct.
+const MAX_INCARNATIONS: u32 = 32;
+
+// ---------------------------------------------------------------------------
+// The per-transaction versioned view.
+// ---------------------------------------------------------------------------
+
+/// A [`StateBackend`] that resolves reads through the multi-version map (falling
+/// through to the immutable pre-block state) and captures the transaction's
+/// write-set delta at `commit_block`.
+///
+/// Each optimistic execution mounts a fresh `MvView` under a scratch
+/// [`WorldState`], so the unmodified sequential executor runs on top of it: every
+/// account read misses the empty working set and lands here (recording the read's
+/// origin for later validation), and the scratch commit delivers the write set
+/// without touching any real store.
+#[derive(Debug)]
+struct MvView {
+    mv: Arc<MvMemory>,
+    base: Arc<WorldState>,
+    tx_index: usize,
+    /// First-read origins, in read order — the validation read set.
+    reads: Vec<(Address, ReadOrigin)>,
+    /// First-read values, so one execution observes a stable snapshot per address.
+    cache: HashMap<Address, Option<StoredAccount>>,
+    /// Lowest-indexed transaction whose `ESTIMATE` this execution read, if any.
+    blocked_on: Option<usize>,
+}
+
+impl MvView {
+    fn new(mv: Arc<MvMemory>, base: Arc<WorldState>, tx_index: usize) -> Self {
+        MvView {
+            mv,
+            base,
+            tx_index,
+            reads: Vec::new(),
+            cache: HashMap::new(),
+            blocked_on: None,
+        }
+    }
+
+    /// Re-arms the view for another transaction, keeping the allocated capacity
+    /// of the read set and cache — the view is reused by its worker for every
+    /// execution instead of being rebuilt per transaction.
+    fn reset(&mut self, tx_index: usize) {
+        self.tx_index = tx_index;
+        self.reads.clear();
+        self.cache.clear();
+        self.blocked_on = None;
+    }
+}
+
+impl StateBackend for MvView {
+    fn name(&self) -> &'static str {
+        "mv-view"
+    }
+
+    fn get_account(&mut self, address: Address) -> Option<StoredAccount> {
+        if let Some(cached) = self.cache.get(&address) {
+            return cached.clone();
+        }
+        let (value, origin) = match self.mv.read(address, self.tx_index) {
+            ReadResult::Base => (self.base.export_account(address), ReadOrigin::Base),
+            ReadResult::Version {
+                txn,
+                incarnation,
+                estimate,
+                value,
+            } => {
+                if estimate {
+                    // Known-stale data: remember the blocking writer so the caller
+                    // can suspend; keep executing so control flow stays simple (the
+                    // whole outcome is discarded).
+                    self.blocked_on.get_or_insert(txn);
+                }
+                (value, ReadOrigin::Version(txn, incarnation))
+            }
+        };
+        self.reads.push((address, origin));
+        self.cache.insert(address, value.clone());
+        value
+    }
+
+    fn begin_block(&mut self, _height: u64) -> Result<()> {
+        Ok(())
+    }
+
+    /// Never reached: the engine harvests write sets straight out of the scratch
+    /// working set with [`WorldState::take_write_set`] instead of paying for a
+    /// journalled commit per transaction.
+    fn commit_block(&mut self, _delta: &BlockDelta) -> Result<CommitStats> {
+        Ok(CommitStats::default())
+    }
+
+    fn rollback_block(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Pretends height 0 is committed so `WorldState::attach_backend` takes its
+    /// recovered-store path (no genesis commit of the empty scratch working set).
+    fn committed_block(&self) -> Option<u64> {
+        Some(0)
+    }
+
+    fn open_height(&self) -> Option<u64> {
+        None
+    }
+
+    fn account_count(&self) -> usize {
+        0
+    }
+
+    fn for_each_account(&mut self, _f: &mut dyn FnMut(Address, StoredAccount)) {}
+
+    fn stats(&self) -> StoreStats {
+        StoreStats::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The collaborative scheduler (Block-STM Algorithms 2–3).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxStatus {
+    ReadyToExecute(u32),
+    Executing(u32),
+    Suspended(u32),
+    Executed(u32),
+    Aborting(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Task {
+    Execute(usize, u32),
+    Validate(usize, u32),
+}
+
+/// One value per cache line: the scheduler's counters are hammered by every
+/// worker, so letting two of them share a line would turn independent updates
+/// into false-sharing ping-pong.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Aligned<T>(T);
+
+#[derive(Debug)]
+struct Scheduler {
+    n: usize,
+    execution_idx: Aligned<AtomicUsize>,
+    validation_idx: Aligned<AtomicUsize>,
+    /// Times either index was decreased — the done-check re-reads it to detect a
+    /// concurrent decrease between its observations.
+    decrease_cnt: Aligned<AtomicUsize>,
+    num_active: Aligned<AtomicUsize>,
+    done_marker: Aligned<AtomicBool>,
+    /// Emergency stop (abort bound exceeded): workers drain immediately.
+    halted: Aligned<AtomicBool>,
+    status: Vec<Aligned<Mutex<TxStatus>>>,
+    /// Per-transaction suspended dependents. `add_dependency` registers under this
+    /// lock after re-checking the blocking status, and `finish_execution` drains
+    /// under it — that mutual exclusion is what prevents lost wake-ups.
+    deps: Vec<Mutex<Vec<usize>>>,
+}
+
+impl Scheduler {
+    fn new(n: usize) -> Self {
+        Scheduler {
+            n,
+            execution_idx: Aligned(AtomicUsize::new(0)),
+            validation_idx: Aligned(AtomicUsize::new(0)),
+            decrease_cnt: Aligned(AtomicUsize::new(0)),
+            num_active: Aligned(AtomicUsize::new(0)),
+            done_marker: Aligned(AtomicBool::new(false)),
+            halted: Aligned(AtomicBool::new(false)),
+            status: (0..n)
+                .map(|_| Aligned(Mutex::new(TxStatus::ReadyToExecute(0))))
+                .collect(),
+            deps: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn status(&self, t: usize) -> std::sync::MutexGuard<'_, TxStatus> {
+        self.status[t].0.lock().expect("scheduler status lock")
+    }
+
+    fn done(&self) -> bool {
+        self.done_marker.0.load(Ordering::SeqCst) || self.halted.0.load(Ordering::SeqCst)
+    }
+
+    fn halt(&self) {
+        self.halted.0.store(true, Ordering::SeqCst);
+    }
+
+    fn halted(&self) -> bool {
+        self.halted.0.load(Ordering::SeqCst)
+    }
+
+    fn decrease_execution_idx(&self, t: usize) {
+        self.execution_idx.0.fetch_min(t, Ordering::SeqCst);
+        self.decrease_cnt.0.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn decrease_validation_idx(&self, t: usize) {
+        self.validation_idx.0.fetch_min(t, Ordering::SeqCst);
+        self.decrease_cnt.0.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn check_done(&self) {
+        let observed = self.decrease_cnt.0.load(Ordering::SeqCst);
+        let exec = self.execution_idx.0.load(Ordering::SeqCst);
+        let valid = self.validation_idx.0.load(Ordering::SeqCst);
+        if exec.min(valid) >= self.n
+            && self.num_active.0.load(Ordering::SeqCst) == 0
+            && observed == self.decrease_cnt.0.load(Ordering::SeqCst)
+        {
+            self.done_marker.0.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Claims transaction `t` for execution if it is ready. Releases the caller's
+    /// active-task slot when it is not.
+    fn try_incarnate(&self, t: usize) -> Option<u32> {
+        if t < self.n {
+            let mut status = self.status(t);
+            if let TxStatus::ReadyToExecute(i) = *status {
+                *status = TxStatus::Executing(i);
+                return Some(i);
+            }
+        }
+        self.num_active.0.fetch_sub(1, Ordering::SeqCst);
+        None
+    }
+
+    fn next_version_to_execute(&self) -> Option<Task> {
+        if self.execution_idx.0.load(Ordering::SeqCst) >= self.n {
+            self.check_done();
+            return None;
+        }
+        self.num_active.0.fetch_add(1, Ordering::SeqCst);
+        let idx = self.execution_idx.0.fetch_add(1, Ordering::SeqCst);
+        self.try_incarnate(idx).map(|i| Task::Execute(idx, i))
+    }
+
+    /// Claims the next validation task. Unlike textbook Block-STM — whose
+    /// validation index races ahead over not-yet-executed transactions and is
+    /// pulled back wholesale after every finished execution — the index only
+    /// advances past `Executed` statuses (CAS-claimed, one winner). At
+    /// fine-grained transaction cost the scan-ahead is pure overhead: every
+    /// wasted probe is a contended RMW on shared cache lines, and the rescans it
+    /// forces serialize the whole pool.
+    fn next_version_to_validate(&self) -> Option<Task> {
+        let idx = self.validation_idx.0.load(Ordering::SeqCst);
+        if idx >= self.n {
+            self.check_done();
+            return None;
+        }
+        let incarnation = match *self.status(idx) {
+            TxStatus::Executed(i) => i,
+            _ => return None, // frontier not executed yet: nothing to validate
+        };
+        self.num_active.0.fetch_add(1, Ordering::SeqCst);
+        if self
+            .validation_idx
+            .0
+            .compare_exchange(idx, idx + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            Some(Task::Validate(idx, incarnation))
+        } else {
+            self.num_active.0.fetch_sub(1, Ordering::SeqCst);
+            None
+        }
+    }
+
+    fn next_task(&self) -> Option<Task> {
+        // Prefer validation when it lags execution, but fall through to an
+        // execution task when the validation frontier is not claimable (its
+        // transaction still executing) — otherwise the pool would idle behind
+        // one slow transaction.
+        if self.validation_idx.0.load(Ordering::SeqCst)
+            < self.execution_idx.0.load(Ordering::SeqCst)
+        {
+            if let Some(task) = self.next_version_to_validate() {
+                return Some(task);
+            }
+        }
+        self.next_version_to_execute()
+    }
+
+    /// Suspends `t` on `blocking`. Returns `false` (caller should retry execution
+    /// immediately) when the blocking transaction finished in the meantime.
+    fn add_dependency(&self, t: usize, blocking: usize) -> bool {
+        let mut deps = self.deps[blocking].lock().expect("scheduler deps lock");
+        if matches!(*self.status(blocking), TxStatus::Executed(_)) {
+            return false;
+        }
+        {
+            let mut status = self.status(t);
+            if let TxStatus::Executing(i) = *status {
+                *status = TxStatus::Suspended(i);
+            }
+        }
+        deps.push(t);
+        drop(deps);
+        self.num_active.0.fetch_sub(1, Ordering::SeqCst);
+        true
+    }
+
+    fn resume_dependencies(&self, dependents: &[usize]) {
+        let mut min_idx = usize::MAX;
+        for &dep in dependents {
+            let mut status = self.status(dep);
+            if let TxStatus::Suspended(i) = *status {
+                *status = TxStatus::ReadyToExecute(i);
+            }
+            drop(status);
+            min_idx = min_idx.min(dep);
+        }
+        if min_idx != usize::MAX {
+            self.decrease_execution_idx(min_idx);
+        }
+    }
+
+    fn finish_execution(&self, t: usize, i: u32, wrote_new_path: bool) -> Option<Task> {
+        *self.status(t) = TxStatus::Executed(i);
+        let dependents = std::mem::take(&mut *self.deps[t].lock().expect("scheduler deps lock"));
+        self.resume_dependencies(&dependents);
+        if self.validation_idx.0.load(Ordering::SeqCst) > t {
+            if wrote_new_path {
+                // Everything from t upwards must revalidate against the new writes.
+                self.decrease_validation_idx(t);
+            } else {
+                // Only t itself needs (re)validation: do it on this worker.
+                return Some(Task::Validate(t, i));
+            }
+        }
+        self.num_active.0.fetch_sub(1, Ordering::SeqCst);
+        None
+    }
+
+    /// Flips `(t, i)` from `Executed` to `Aborting` — fails if a different
+    /// incarnation got there first (at most one validation aborts each incarnation).
+    fn try_validation_abort(&self, t: usize, i: u32) -> bool {
+        let mut status = self.status(t);
+        if *status == TxStatus::Executed(i) {
+            *status = TxStatus::Aborting(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn finish_validation(&self, t: usize, aborted: bool) -> Option<Task> {
+        if aborted {
+            {
+                let mut status = self.status(t);
+                if let TxStatus::Aborting(i) = *status {
+                    *status = TxStatus::ReadyToExecute(i + 1);
+                }
+            }
+            self.decrease_validation_idx(t + 1);
+            if self.execution_idx.0.load(Ordering::SeqCst) > t {
+                // Re-execute the aborted transaction on this worker right away
+                // (try_incarnate releases the active slot if someone else claims it).
+                return self.try_incarnate(t).map(|i| Task::Execute(t, i));
+            }
+        }
+        self.num_active.0.fetch_sub(1, Ordering::SeqCst);
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-block run context shared by the workers.
+// ---------------------------------------------------------------------------
+
+/// Deterministic validation-failure injection for the equivalence oracle: forces
+/// an abort of roughly `percent`% of the transactions at incarnation 0, exercising
+/// the abort / estimate / re-execution machinery on workloads that would otherwise
+/// not conflict. Injection never fires past incarnation 0, so termination is
+/// unaffected, and the re-execution converges to the same state — which is exactly
+/// what the oracle asserts.
+#[derive(Debug, Clone, Copy)]
+pub struct AbortInjection {
+    /// Seed mixed with the transaction index.
+    pub seed: u64,
+    /// Share of transactions to abort once, in percent (0–100).
+    pub percent: u8,
+}
+
+impl AbortInjection {
+    fn fires(&self, tx_index: usize) -> bool {
+        // splitmix64 of (seed ⊕ index): deterministic across runs and schedules.
+        let mut z = self.seed ^ (tx_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 100) < self.percent as u64
+    }
+}
+
+struct RunCtx {
+    mv: Arc<MvMemory>,
+    base: Arc<WorldState>,
+    block: AccountBlock,
+    scheduler: Scheduler,
+    /// Latest receipt per transaction (set at every finished execution).
+    outcomes: Vec<Mutex<Option<Receipt>>>,
+    /// Latest validation read set per transaction.
+    read_sets: Vec<Mutex<Vec<(Address, ReadOrigin)>>>,
+    /// Addresses written by the previous incarnation (for stale-entry removal and
+    /// `wrote_new_path` detection).
+    last_writes: Vec<Mutex<Vec<Address>>>,
+    /// Whether the transaction was aborted at least once (the conflict count).
+    ever_aborted: Vec<AtomicBool>,
+    executions: AtomicU64,
+    validations: AtomicU64,
+    aborts: AtomicU64,
+    fell_back: AtomicBool,
+    abort_injection: Option<AbortInjection>,
+}
+
+/// One worker's reusable execution machinery, built once per block run and
+/// recycled across every transaction the worker executes: the versioned view,
+/// the scratch [`WorldState`] mounted on it, the executor, and local task
+/// counters (flushed into the shared totals when the worker drains). Rebuilding
+/// these per transaction — allocation, backend attachment, atomics — used to
+/// cost several times the transaction itself.
+struct WorkerScratch {
+    view: Arc<Mutex<MvView>>,
+    state: WorldState,
+    executor: BlockExecutor,
+    /// Reusable write-set buffer: filled by `take_write_set`, drained by
+    /// `MvMemory::apply` — the records move into the version map and the
+    /// vector's capacity survives for the next transaction.
+    writes: Vec<blockconc_store::DeltaRecord>,
+    /// Reusable written-addresses buffer, swapped into `last_writes[t]`.
+    addrs: Vec<Address>,
+    executions: u64,
+    validations: u64,
+}
+
+impl WorkerScratch {
+    fn new(ctx: &RunCtx) -> Self {
+        let view = Arc::new(Mutex::new(MvView::new(
+            Arc::clone(&ctx.mv),
+            Arc::clone(&ctx.base),
+            0,
+        )));
+        let mut state = WorldState::new();
+        state
+            .attach_backend(Arc::clone(&view) as SharedBackend, None)
+            .expect("mv-view attach is infallible");
+        WorkerScratch {
+            view,
+            state,
+            executor: BlockExecutor::new(),
+            writes: Vec::new(),
+            addrs: Vec::new(),
+            executions: 0,
+            validations: 0,
+        }
+    }
+}
+
+impl RunCtx {
+    fn execute_task(&self, t: usize, i: u32, ws: &mut WorkerScratch) -> Option<Task> {
+        if i >= MAX_INCARNATIONS {
+            self.fell_back.store(true, Ordering::SeqCst);
+            self.scheduler.halt();
+            return None;
+        }
+        let tx = &self.block.transactions()[t];
+        loop {
+            ws.executions += 1;
+            // No begin/commit on the scratch state: dirty tracking only needs the
+            // mounted backend, and the write set is harvested directly below —
+            // the journalled per-transaction commit was pure overhead.
+            ws.view.lock().expect("mv-view lock").reset(t);
+            ws.state.reset_working_set();
+            let receipt = match ws.executor.execute_transaction(&mut ws.state, tx) {
+                Ok(ctx) => ctx.receipt,
+                Err(err) => Receipt::failure(tx.id(), Gas::ZERO, err.to_string()),
+            };
+            ws.state.take_write_set(&mut ws.writes);
+            let blocked_on = ws.view.lock().expect("mv-view lock").blocked_on.take();
+            if let Some(blocking) = blocked_on {
+                if self.scheduler.add_dependency(t, blocking) {
+                    return None; // parked until the blocking transaction finishes
+                }
+                continue; // blocker finished in the meantime: retry immediately
+            }
+            let wrote_new_path = {
+                ws.addrs.clear();
+                ws.addrs.extend(ws.writes.iter().map(|r| r.address));
+                let mut last = self.last_writes[t].lock().expect("last-writes lock");
+                let new_path = self.mv.apply(t, i, &mut ws.writes, &last);
+                // The previous incarnation's address list comes back to the worker
+                // as the next transaction's buffer — capacity circulates instead of
+                // being reallocated.
+                std::mem::swap(&mut *last, &mut ws.addrs);
+                new_path
+            };
+            {
+                let mut view = ws.view.lock().expect("mv-view lock");
+                let mut slot = self.read_sets[t].lock().expect("read-set lock");
+                std::mem::swap(&mut *slot, &mut view.reads);
+            }
+            *self.outcomes[t].lock().expect("outcome lock") = Some(receipt);
+            return self.scheduler.finish_execution(t, i, wrote_new_path);
+        }
+    }
+
+    fn validate_task(&self, t: usize, i: u32, ws: &mut WorkerScratch) -> Option<Task> {
+        ws.validations += 1;
+        let mut valid = {
+            let reads = self.read_sets[t].lock().expect("read-set lock");
+            self.mv.validate_reads(t, &reads)
+        };
+        if valid && i == 0 {
+            if let Some(injection) = self.abort_injection {
+                if injection.fires(t) {
+                    valid = false;
+                }
+            }
+        }
+        let aborted = !valid && self.scheduler.try_validation_abort(t, i);
+        if aborted {
+            self.aborts.fetch_add(1, Ordering::SeqCst);
+            self.ever_aborted[t].store(true, Ordering::SeqCst);
+            let last = self.last_writes[t].lock().expect("last-writes lock");
+            self.mv.convert_writes_to_estimates(t, &last);
+        }
+        self.scheduler.finish_validation(t, aborted)
+    }
+}
+
+fn worker_loop(ctx: &RunCtx) {
+    let mut ws = WorkerScratch::new(ctx);
+    let mut task: Option<Task> = None;
+    loop {
+        if ctx.scheduler.halted() {
+            break;
+        }
+        task = match task {
+            Some(Task::Execute(t, i)) => ctx.execute_task(t, i, &mut ws),
+            Some(Task::Validate(t, i)) => ctx.validate_task(t, i, &mut ws),
+            None => {
+                if ctx.scheduler.done() {
+                    break;
+                }
+                let next = ctx.scheduler.next_task();
+                if next.is_none() {
+                    std::thread::yield_now();
+                }
+                next
+            }
+        };
+    }
+    // One flush per worker instead of one contended RMW per task.
+    ctx.executions.fetch_add(ws.executions, Ordering::Relaxed);
+    ctx.validations.fetch_add(ws.validations, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// The engine.
+// ---------------------------------------------------------------------------
+
+/// The Block-STM-style optimistic parallel engine.
+///
+/// Workers live in a persistent [`WorkerPool`] (spawned once at construction, no
+/// per-block thread startup). Per block, every transaction executes optimistically
+/// — in block order by preference — over a multi-version view of the pre-block
+/// state; read sets are validated lazily against the highest finished versions;
+/// invalidated transactions re-execute (bounded, see below); and the block commits
+/// by installing the final buffered write sets into the `WorldState` directly —
+/// nothing is re-executed to commit.
+///
+/// The committed state transition, receipts and `state_root` are bit-identical to
+/// [`SequentialEngine`](crate::SequentialEngine) — enforced by a proptest
+/// equivalence oracle on both memory and disk backends, including forced-abort
+/// interleavings.
+///
+/// **Abort bound:** a transaction may re-execute at most 32 incarnations. Beyond
+/// that the optimistic run halts and the whole block falls back to sequential
+/// execution (counted in [`ExecutionReport::sequential_fallbacks`]); the fallback
+/// is trivially correct because the target state is not touched until the final
+/// install.
+///
+/// # Examples
+///
+/// See the [crate documentation](crate).
+#[derive(Debug)]
+pub struct OptimisticEngine {
+    threads: usize,
+    pool: WorkerPool,
+    executor: BlockExecutor,
+    clock: SharedClock,
+    abort_injection: Option<AbortInjection>,
+}
+
+impl OptimisticEngine {
+    /// Creates an engine whose persistent pool holds `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        OptimisticEngine {
+            threads,
+            pool: WorkerPool::new(threads),
+            executor: BlockExecutor::new(),
+            clock: WallClock::shared(),
+            abort_injection: None,
+        }
+    }
+
+    /// This engine timing itself on `clock` instead of the wall clock
+    /// (builder-style) — a mock clock makes the reported wall times
+    /// deterministic.
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Test hook: deterministically force validation failures (see
+    /// [`AbortInjection`]). Used by the equivalence oracle to cover abort /
+    /// re-execution interleavings; the committed state must stay bit-identical.
+    pub fn with_forced_aborts(mut self, injection: AbortInjection) -> Self {
+        self.abort_injection = Some(injection);
+        self
+    }
+
+    /// The number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &self,
+        x: usize,
+        conflicted: usize,
+        executions: u64,
+        validations: u64,
+        aborts: u64,
+        fallbacks: u64,
+        wall: Duration,
+    ) -> ExecutionReport {
+        let parallel_units = executions.div_ceil(self.threads as u64);
+        ExecutionReport {
+            engine: self.name().to_string(),
+            threads: self.threads,
+            tx_count: x,
+            conflicted_transactions: conflicted,
+            largest_group: conflicted,
+            sequential_units: x as u64,
+            parallel_units,
+            validations,
+            aborts,
+            re_executions: executions.saturating_sub(x as u64),
+            sequential_fallbacks: fallbacks,
+            wall_time: wall,
+            sequential_wall_time: Duration::ZERO,
+        }
+    }
+}
+
+impl ExecutionEngine for OptimisticEngine {
+    fn name(&self) -> &'static str {
+        "optimistic"
+    }
+
+    fn execute(
+        &mut self,
+        state: &mut WorldState,
+        block: &AccountBlock,
+    ) -> Result<(ExecutedBlock, ExecutionReport)> {
+        let x = block.transaction_count();
+        if x == 0 {
+            let executed = ExecutedBlock::new(block.clone(), Vec::new());
+            return Ok((executed, self.report(0, 0, 0, 0, 0, 0, Duration::ZERO)));
+        }
+
+        let start = self.clock.now_nanos();
+        // Move the state behind an Arc so the 'static pool jobs can read it; it is
+        // recovered (and restored into `*state`) on every exit path below.
+        let base = Arc::new(std::mem::take(state));
+        let ctx = Arc::new(RunCtx {
+            mv: Arc::new(MvMemory::new()),
+            base: Arc::clone(&base),
+            block: block.clone(),
+            scheduler: Scheduler::new(x),
+            outcomes: (0..x).map(|_| Mutex::new(None)).collect(),
+            read_sets: (0..x).map(|_| Mutex::new(Vec::new())).collect(),
+            last_writes: (0..x).map(|_| Mutex::new(Vec::new())).collect(),
+            ever_aborted: (0..x).map(|_| AtomicBool::new(false)).collect(),
+            executions: AtomicU64::new(0),
+            validations: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            fell_back: AtomicBool::new(false),
+            abort_injection: self.abort_injection,
+        });
+
+        let workers = self.threads.min(x);
+        let tasks: Vec<Job> = (0..workers)
+            .map(|_| {
+                let ctx = Arc::clone(&ctx);
+                Box::new(move || worker_loop(&ctx)) as Job
+            })
+            .collect();
+        let run = self.pool.run_tasks(tasks);
+
+        // Every job has been consumed (even on panic), so both Arcs are unique
+        // again. Reclaim the state before any early return.
+        let ctx = match Arc::try_unwrap(ctx) {
+            Ok(ctx) => ctx,
+            Err(_) => unreachable!("pool drained all jobs"),
+        };
+        let RunCtx {
+            mv,
+            base: ctx_base,
+            outcomes,
+            ever_aborted,
+            executions,
+            validations,
+            aborts,
+            fell_back,
+            ..
+        } = ctx;
+        drop(ctx_base);
+        let mut owned = Arc::try_unwrap(base).unwrap_or_else(|arc| WorldState::clone(&arc));
+
+        let executions = executions.into_inner();
+        let validations = validations.into_inner();
+        let abort_count = aborts.into_inner();
+
+        if run.is_err() || fell_back.into_inner() {
+            // Worker panic or abort bound exceeded: the state was never touched, so
+            // hand it back and (for the bound case) execute sequentially instead.
+            *state = owned;
+            run?;
+            let executed = self.executor.execute_block(state, block)?;
+            let wall = Duration::from_nanos(self.clock.now_nanos().saturating_sub(start));
+            let conflicted = ever_aborted
+                .iter()
+                .filter(|a| a.load(Ordering::SeqCst))
+                .count();
+            let report = self.report(
+                x,
+                conflicted,
+                executions + x as u64, // the sequential pass re-ran everything
+                validations,
+                abort_count,
+                1,
+                wall,
+            );
+            return Ok((executed, report));
+        }
+
+        // Commit: install the final buffered write sets directly — the step the
+        // two-phase engines punt on. `install_account`/`remove_account` mark the
+        // addresses dirty, so a pipeline-level `commit_block` journals exactly the
+        // delta sequential execution would have produced.
+        for (address, value) in mv.final_writes() {
+            match value {
+                Some(stored) => owned.install_account(address, &stored),
+                None => owned.remove_account(address),
+            }
+        }
+        let wall = Duration::from_nanos(self.clock.now_nanos().saturating_sub(start));
+        *state = owned;
+
+        let receipts: Vec<Receipt> = outcomes
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("outcome lock")
+                    .expect("every transaction executed")
+            })
+            .collect();
+        let executed = ExecutedBlock::new(block.clone(), receipts);
+        let conflicted = ever_aborted
+            .iter()
+            .filter(|a| a.load(Ordering::SeqCst))
+            .count();
+        let report = self.report(x, conflicted, executions, validations, abort_count, 0, wall);
+        Ok((executed, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialEngine;
+    use blockconc_account::{AccountTransaction, BlockBuilder};
+    use blockconc_types::{Address, Amount};
+
+    fn funded(users: std::ops::Range<u64>) -> WorldState {
+        let mut state = WorldState::new();
+        for i in users {
+            state.credit(Address::from_low(i), Amount::from_coins(10));
+        }
+        state
+    }
+
+    fn assert_matches_sequential(block: &AccountBlock, mut opt_state: WorldState) {
+        let mut seq_state = opt_state.clone();
+        let (seq_block, _) = SequentialEngine::new()
+            .execute(&mut seq_state, block)
+            .unwrap();
+        let (opt_block, _) = OptimisticEngine::new(4)
+            .execute(&mut opt_state, block)
+            .unwrap();
+        assert_eq!(seq_block.receipts(), opt_block.receipts());
+        assert_eq!(seq_state.state_root(), opt_state.state_root());
+    }
+
+    #[test]
+    fn independent_transfers_have_no_conflicts() {
+        let txs = (0..32u64).map(|i| {
+            AccountTransaction::transfer(
+                Address::from_low(100 + i),
+                Address::from_low(10_000 + i),
+                Amount::from_sats(5),
+                0,
+            )
+        });
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
+        let mut state = funded(100..140);
+        let (executed, report) = OptimisticEngine::new(8)
+            .execute(&mut state, &block)
+            .unwrap();
+        assert!(executed.receipts().iter().all(|r| r.succeeded()));
+        assert_eq!(report.conflicted_transactions, 0);
+        assert_eq!(report.re_executions, 0);
+        assert_eq!(report.sequential_fallbacks, 0);
+        assert!(report.validations >= 32);
+        assert_eq!(report.parallel_units, 4); // ceil(32/8)
+    }
+
+    #[test]
+    fn hot_account_block_matches_sequential() {
+        let hot = Address::from_low(900);
+        let mut txs: Vec<_> = (0..12u64)
+            .map(|i| {
+                AccountTransaction::transfer(
+                    Address::from_low(100 + i),
+                    hot,
+                    Amount::from_sats(1 + i),
+                    0,
+                )
+            })
+            .collect();
+        // The hot account spends what it received (reads the accumulated balance).
+        txs.push(AccountTransaction::transfer(
+            hot,
+            Address::from_low(800),
+            Amount::from_sats(3),
+            0,
+        ));
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
+        let mut state = funded(100..120);
+        state.credit(hot, Amount::from_coins(1));
+        assert_matches_sequential(&block, state);
+    }
+
+    #[test]
+    fn same_sender_nonce_chain_matches_sequential() {
+        let mut txs = Vec::new();
+        for nonce in 0..6u64 {
+            txs.push(AccountTransaction::transfer(
+                Address::from_low(100),
+                Address::from_low(200 + nonce),
+                Amount::from_sats(10),
+                nonce,
+            ));
+        }
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
+        assert_matches_sequential(&block, funded(100..101));
+    }
+
+    #[test]
+    fn bad_nonce_and_unfunded_transactions_match_sequential() {
+        let txs = vec![
+            // Bad nonce (failure receipt with the sequential error string).
+            AccountTransaction::transfer(
+                Address::from_low(100),
+                Address::from_low(200),
+                Amount::from_sats(1),
+                7,
+            ),
+            // Unfunded sender that never existed.
+            AccountTransaction::transfer(
+                Address::from_low(999_999),
+                Address::from_low(201),
+                Amount::from_coins(5),
+                0,
+            ),
+            // And a normal transfer.
+            AccountTransaction::transfer(
+                Address::from_low(101),
+                Address::from_low(202),
+                Amount::from_sats(5),
+                0,
+            ),
+        ];
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
+        assert_matches_sequential(&block, funded(100..110));
+    }
+
+    #[test]
+    fn forced_aborts_converge_to_the_same_state() {
+        let txs = (0..24u64).map(|i| {
+            AccountTransaction::transfer(
+                Address::from_low(100 + i),
+                Address::from_low(10_000 + i),
+                Amount::from_sats(5),
+                0,
+            )
+        });
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
+        let mut seq_state = funded(100..130);
+        let mut opt_state = seq_state.clone();
+        let (seq_block, _) = SequentialEngine::new()
+            .execute(&mut seq_state, &block)
+            .unwrap();
+        let (opt_block, report) = OptimisticEngine::new(4)
+            .with_forced_aborts(AbortInjection {
+                seed: 7,
+                percent: 50,
+            })
+            .execute(&mut opt_state, &block)
+            .unwrap();
+        assert!(report.aborts > 0, "injection must fire");
+        assert!(report.re_executions > 0);
+        assert_eq!(report.conflicted_transactions as u64, report.aborts);
+        assert_eq!(seq_block.receipts(), opt_block.receipts());
+        assert_eq!(seq_state.state_root(), opt_state.state_root());
+    }
+
+    #[test]
+    fn empty_block_is_handled() {
+        let block = BlockBuilder::new(1, 0, Address::from_low(1)).build();
+        let mut state = WorldState::new();
+        let (executed, report) = OptimisticEngine::new(4)
+            .execute(&mut state, &block)
+            .unwrap();
+        assert_eq!(executed.receipts().len(), 0);
+        assert_eq!(report.parallel_units, 0);
+    }
+
+    #[test]
+    fn engine_is_reusable_across_blocks() {
+        let mut engine = OptimisticEngine::new(4);
+        let mut state = funded(100..160);
+        for height in 1..=3u64 {
+            let txs = (0..16u64).map(|i| {
+                AccountTransaction::transfer(
+                    Address::from_low(100 + i),
+                    Address::from_low(130 + i),
+                    Amount::from_sats(1),
+                    height - 1,
+                )
+            });
+            let block = BlockBuilder::new(height, 0, Address::from_low(1))
+                .transactions(txs)
+                .build();
+            let (executed, _) = engine.execute(&mut state, &block).unwrap();
+            assert!(
+                executed.receipts().iter().all(|r| r.succeeded()),
+                "height {height}"
+            );
+        }
+        for i in 0..16u64 {
+            assert_eq!(state.nonce(Address::from_low(100 + i)), 3);
+            assert_eq!(
+                state.balance(Address::from_low(130 + i)),
+                Amount::from_coins(10) + Amount::from_sats(3)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_panics() {
+        let _ = OptimisticEngine::new(0);
+    }
+}

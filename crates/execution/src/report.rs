@@ -26,6 +26,15 @@ pub struct ExecutionReport {
     pub sequential_units: u64,
     /// Abstract execution time of this engine under the paper's unit-cost model.
     pub parallel_units: u64,
+    /// Read-set validations performed (optimistic engine; 0 for the others).
+    pub validations: u64,
+    /// Validation failures that aborted an incarnation (optimistic engine).
+    pub aborts: u64,
+    /// Transaction executions beyond the first per transaction (optimistic engine).
+    pub re_executions: u64,
+    /// Whole-block fallbacks to sequential execution after the abort bound was
+    /// exceeded (optimistic engine; 0 or 1 per block).
+    pub sequential_fallbacks: u64,
     /// Wall-clock time of the parallelizable portion as actually measured.
     #[serde(skip)]
     pub wall_time: Duration,
@@ -90,6 +99,10 @@ mod tests {
             largest_group: 20,
             sequential_units: 100,
             parallel_units: 66,
+            validations: 0,
+            aborts: 0,
+            re_executions: 0,
+            sequential_fallbacks: 0,
             wall_time: Duration::from_millis(10),
             sequential_wall_time: Duration::from_millis(30),
         }

@@ -1,11 +1,15 @@
 //! The TDG-scheduled group-concurrency engine (Equation 2).
 
-use crate::{detect_conflicts, parallel_map, ExecutionEngine, ExecutionReport};
-use blockconc_account::{AccountBlock, BlockExecutor, ExecutedBlock, Receipt, WorldState};
+use crate::thread_pool::{Job, WorkerPool};
+use crate::{detect_conflicts, ExecutionEngine, ExecutionReport};
+use blockconc_account::{
+    AccessSet, AccountBlock, BlockExecutor, ExecutedBlock, Receipt, WorldState,
+};
 use blockconc_graph::UnionFind;
 use blockconc_model::lpt_makespan;
 use blockconc_telemetry::{SharedClock, WallClock};
 use blockconc_types::{Gas, Result};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The group-concurrency engine modelled by the paper's Equation (2):
@@ -31,21 +35,23 @@ use std::time::Duration;
 #[derive(Debug)]
 pub struct ScheduledEngine {
     threads: usize,
+    pool: WorkerPool,
     executor: BlockExecutor,
     clock: SharedClock,
 }
 
 impl ScheduledEngine {
-    /// Creates an engine with `threads` worker threads, timing itself on the
+    /// Creates an engine whose persistent worker pool holds `threads` threads
+    /// (spawned once here, reused for every block), timing itself on the
     /// wall clock.
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     pub fn new(threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be positive");
         ScheduledEngine {
             threads,
+            pool: WorkerPool::new(threads),
             executor: BlockExecutor::new(),
             clock: WallClock::shared(),
         }
@@ -65,49 +71,74 @@ impl ScheduledEngine {
     }
 
     /// Groups transaction indices into connected components of the conflict graph.
-    fn build_groups(&self, state: &WorldState, block: &AccountBlock) -> Vec<Vec<usize>> {
-        let txs = block.transactions();
-        if txs.is_empty() {
-            return Vec::new();
+    fn build_groups(
+        &self,
+        base: &Arc<WorldState>,
+        block: &Arc<AccountBlock>,
+    ) -> Result<Vec<Vec<usize>>> {
+        let tx_count = block.transaction_count();
+        if tx_count == 0 {
+            return Ok(Vec::new());
         }
-        let chunk_size = txs.len().div_ceil(self.threads);
-        let chunks: Vec<&[blockconc_account::AccountTransaction]> =
-            txs.chunks(chunk_size).collect();
-        let access_sets: Vec<_> = parallel_map(&chunks, self.threads, |_, chunk| {
-            let mut local = state.clone();
-            let mut executor = BlockExecutor::new();
-            chunk
-                .iter()
-                .map(|tx| match executor.execute_transaction(&mut local, tx) {
-                    Ok(ctx) => {
-                        local.revert(ctx.journal);
-                        ctx.access
-                    }
-                    Err(_) => {
-                        // A transaction that fails speculation (e.g. a nonce that only
-                        // becomes valid after an earlier same-sender transaction) must
-                        // be treated as conflicted, so give it the sender/receiver
-                        // balance keys its execution would have touched.
-                        let mut access = blockconc_account::AccessSet::new();
-                        access.record_write(blockconc_account::StateKey::Balance(tx.sender()));
-                        access.record_write(blockconc_account::StateKey::Balance(tx.receiver()));
-                        access
-                    }
-                })
-                .collect::<Vec<_>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let chunk_size = tx_count.div_ceil(self.threads);
+        let chunk_count = tx_count.div_ceil(chunk_size);
+        let slots: Arc<Mutex<Vec<Vec<AccessSet>>>> =
+            Arc::new(Mutex::new((0..chunk_count).map(|_| Vec::new()).collect()));
+        let tasks: Vec<Job> = (0..chunk_count)
+            .map(|chunk_index| {
+                let base = Arc::clone(base);
+                let block = Arc::clone(block);
+                let slots = Arc::clone(&slots);
+                Box::new(move || {
+                    let start = chunk_index * chunk_size;
+                    let end = (start + chunk_size).min(block.transaction_count());
+                    let mut local = WorldState::clone(&base);
+                    let mut executor = BlockExecutor::new();
+                    let sets: Vec<AccessSet> = block.transactions()[start..end]
+                        .iter()
+                        .map(|tx| match executor.execute_transaction(&mut local, tx) {
+                            Ok(ctx) => {
+                                local.revert(ctx.journal);
+                                ctx.access
+                            }
+                            Err(_) => {
+                                // A transaction that fails speculation (e.g. a nonce that
+                                // only becomes valid after an earlier same-sender
+                                // transaction) must be treated as conflicted, so give it
+                                // the sender/receiver balance keys its execution would
+                                // have touched.
+                                let mut access = AccessSet::new();
+                                access.record_write(blockconc_account::StateKey::Balance(
+                                    tx.sender(),
+                                ));
+                                access.record_write(blockconc_account::StateKey::Balance(
+                                    tx.receiver(),
+                                ));
+                                access
+                            }
+                        })
+                        .collect();
+                    slots.lock().expect("discovery slot lock")[chunk_index] = sets;
+                }) as Job
+            })
+            .collect();
+        self.pool.run_tasks(tasks)?;
+        let access_sets: Vec<AccessSet> = Arc::try_unwrap(slots)
+            .expect("pool drained all jobs")
+            .into_inner()
+            .expect("discovery slot lock")
+            .into_iter()
+            .flatten()
+            .collect();
 
         let conflicts = detect_conflicts(&access_sets);
-        let mut uf = UnionFind::new(txs.len());
+        let mut uf = UnionFind::new(tx_count);
         for &(a, b) in conflicts.edges() {
             uf.union(a, b);
         }
         let mut groups_by_root: std::collections::HashMap<usize, Vec<usize>> =
             std::collections::HashMap::new();
-        for idx in 0..txs.len() {
+        for idx in 0..tx_count {
             groups_by_root.entry(uf.find(idx)).or_default().push(idx);
         }
         let mut groups: Vec<Vec<usize>> = groups_by_root.into_values().collect();
@@ -115,7 +146,38 @@ impl ScheduledEngine {
             group.sort_unstable();
         }
         groups.sort_by_key(|g| g[0]);
-        groups
+        Ok(groups)
+    }
+
+    /// Runs the timed parallel phase: executes each worker's assigned groups on the
+    /// pool against per-worker snapshots of the pre-block state. Results are
+    /// discarded — the canonical install happens sequentially afterwards.
+    fn parallel_phase(
+        &self,
+        base: &Arc<WorldState>,
+        block: &Arc<AccountBlock>,
+        groups: &Arc<Vec<Vec<usize>>>,
+        assignments: Vec<Vec<usize>>,
+    ) -> Result<()> {
+        let tasks: Vec<Job> = assignments
+            .into_iter()
+            .map(|group_ids| {
+                let base = Arc::clone(base);
+                let block = Arc::clone(block);
+                let groups = Arc::clone(groups);
+                Box::new(move || {
+                    let mut local = WorldState::clone(&base);
+                    let mut executor = BlockExecutor::new();
+                    for &gid in &group_ids {
+                        for &tx_idx in &groups[gid] {
+                            let tx = &block.transactions()[tx_idx];
+                            let _ = executor.execute_transaction(&mut local, tx);
+                        }
+                    }
+                }) as Job
+            })
+            .collect();
+        self.pool.run_tasks(tasks)
     }
 }
 
@@ -130,40 +192,43 @@ impl ExecutionEngine for ScheduledEngine {
         block: &AccountBlock,
     ) -> Result<(ExecutedBlock, ExecutionReport)> {
         let x = block.transaction_count();
-        let groups = self.build_groups(state, block);
-        let group_sizes: Vec<u64> = groups.iter().map(|g| g.len() as u64).collect();
+        // Pool jobs are 'static: move the state behind an Arc for the parallel
+        // phases and reclaim it afterwards (the jobs only read it).
+        let base = Arc::new(std::mem::take(state));
+        let shared_block = Arc::new(block.clone());
+        let phases: Result<(Vec<Vec<usize>>, Vec<u64>, u64)> = (|| {
+            let groups = Arc::new(self.build_groups(&base, &shared_block)?);
+            let group_sizes: Vec<u64> = groups.iter().map(|g| g.len() as u64).collect();
+
+            // LPT schedule: assign groups (largest first) to the currently
+            // least-loaded worker, then execute each worker's groups in parallel
+            // against a snapshot.
+            let mut order: Vec<usize> = (0..groups.len()).collect();
+            order.sort_by_key(|&g| std::cmp::Reverse(groups[g].len()));
+            let mut assignments: Vec<Vec<usize>> =
+                vec![Vec::new(); self.threads.min(groups.len()).max(1)];
+            let mut loads: Vec<u64> = vec![0; assignments.len()];
+            for g in order {
+                let (idx, _) = loads
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &load)| load)
+                    .expect("at least one worker");
+                assignments[idx].push(g);
+                loads[idx] += groups[g].len() as u64;
+            }
+
+            let parallel_start = self.clock.now_nanos();
+            self.parallel_phase(&base, &shared_block, &groups, assignments)?;
+            let parallel_wall = self.clock.now_nanos().saturating_sub(parallel_start);
+            let groups = Arc::try_unwrap(groups).unwrap_or_else(|arc| (*arc).clone());
+            Ok((groups, group_sizes, parallel_wall))
+        })();
+        drop(shared_block);
+        *state = Arc::try_unwrap(base).unwrap_or_else(|arc| WorldState::clone(&arc));
+        let (groups, group_sizes, parallel_wall) = phases?;
         let largest_group = group_sizes.iter().copied().max().unwrap_or(0) as usize;
         let conflicted: usize = groups.iter().filter(|g| g.len() > 1).map(|g| g.len()).sum();
-
-        // LPT schedule: assign groups (largest first) to the currently least-loaded
-        // worker, then execute each worker's groups in parallel against a snapshot.
-        let mut order: Vec<usize> = (0..groups.len()).collect();
-        order.sort_by_key(|&g| std::cmp::Reverse(groups[g].len()));
-        let mut assignments: Vec<Vec<usize>> =
-            vec![Vec::new(); self.threads.min(groups.len()).max(1)];
-        let mut loads: Vec<u64> = vec![0; assignments.len()];
-        for g in order {
-            let (idx, _) = loads
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &load)| load)
-                .expect("at least one worker");
-            assignments[idx].push(g);
-            loads[idx] += groups[g].len() as u64;
-        }
-
-        let parallel_start = self.clock.now_nanos();
-        parallel_map(&assignments, assignments.len(), |_, group_ids| {
-            let mut local = state.clone();
-            let mut executor = BlockExecutor::new();
-            for &gid in group_ids {
-                for &tx_idx in &groups[gid] {
-                    let tx = &block.transactions()[tx_idx];
-                    let _ = executor.execute_transaction(&mut local, tx);
-                }
-            }
-        });
-        let parallel_wall = self.clock.now_nanos().saturating_sub(parallel_start);
 
         // Install the canonical result (excluded from the reported wall time).
         let mut receipts: Vec<Receipt> = Vec::with_capacity(x);
@@ -184,6 +249,10 @@ impl ExecutionEngine for ScheduledEngine {
             largest_group,
             sequential_units: x as u64,
             parallel_units: lpt_makespan(&group_sizes, self.threads),
+            validations: 0,
+            aborts: 0,
+            re_executions: 0,
+            sequential_fallbacks: 0,
             wall_time: Duration::from_nanos(parallel_wall),
             sequential_wall_time: Duration::ZERO,
         };

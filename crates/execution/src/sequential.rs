@@ -65,6 +65,10 @@ impl ExecutionEngine for SequentialEngine {
             largest_group: 0,
             sequential_units: x,
             parallel_units: x,
+            validations: 0,
+            aborts: 0,
+            re_executions: 0,
+            sequential_fallbacks: 0,
             wall_time: elapsed,
             sequential_wall_time: elapsed,
         };

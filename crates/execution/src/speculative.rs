@@ -1,11 +1,13 @@
 //! The two-phase speculative engine (single-transaction concurrency, Equation 1).
 
-use crate::{detect_conflicts, parallel_map, ExecutionEngine, ExecutionReport};
+use crate::thread_pool::{Job, WorkerPool};
+use crate::{detect_conflicts, ExecutionEngine, ExecutionReport};
 use blockconc_account::{
     AccessSet, AccountBlock, BlockExecutor, ExecutedBlock, Receipt, StateKey, WorldState,
 };
 use blockconc_telemetry::{SharedClock, WallClock};
 use blockconc_types::{Gas, Result};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The speculative two-phase engine modelled by the paper's Equation (1):
@@ -29,21 +31,23 @@ use std::time::Duration;
 #[derive(Debug)]
 pub struct SpeculativeEngine {
     threads: usize,
+    pool: WorkerPool,
     executor: BlockExecutor,
     clock: SharedClock,
 }
 
 impl SpeculativeEngine {
-    /// Creates an engine with `threads` worker threads, timing itself on the
+    /// Creates an engine whose persistent worker pool holds `threads` threads
+    /// (spawned once here, reused for every block), timing itself on the
     /// wall clock.
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     pub fn new(threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be positive");
         SpeculativeEngine {
             threads,
+            pool: WorkerPool::new(threads),
             executor: BlockExecutor::new(),
             clock: WallClock::shared(),
         }
@@ -63,42 +67,64 @@ impl SpeculativeEngine {
     }
 
     /// Runs the speculative phase: executes every transaction against the pre-block
-    /// state in parallel, returning each transaction's access set.
-    fn speculative_phase(&self, state: &WorldState, block: &AccountBlock) -> Vec<AccessSet> {
-        let txs = block.transactions();
-        if txs.is_empty() {
-            return Vec::new();
+    /// state in parallel on the persistent pool, returning each transaction's
+    /// access set.
+    fn speculative_phase(
+        &self,
+        base: &Arc<WorldState>,
+        block: &Arc<AccountBlock>,
+    ) -> Result<Vec<AccessSet>> {
+        let tx_count = block.transaction_count();
+        if tx_count == 0 {
+            return Ok(Vec::new());
         }
         // Partition transactions into one chunk per worker; each worker clones the
         // pre-block state once and rolls every speculative execution back so all
         // transactions observe the same starting state.
-        let chunk_size = txs.len().div_ceil(self.threads);
-        let chunks: Vec<&[blockconc_account::AccountTransaction]> =
-            txs.chunks(chunk_size).collect();
-        let per_chunk: Vec<Vec<AccessSet>> = parallel_map(&chunks, self.threads, |_, chunk| {
-            let mut local = state.clone();
-            let mut executor = BlockExecutor::new();
-            chunk
-                .iter()
-                .map(|tx| match executor.execute_transaction(&mut local, tx) {
-                    Ok(ctx) => {
-                        local.revert(ctx.journal);
-                        ctx.access
-                    }
-                    Err(_) => {
-                        // A transaction that fails speculation (e.g. a nonce that only
-                        // becomes valid after an earlier same-sender transaction) must
-                        // be treated as conflicted, so give it the sender/receiver
-                        // balance keys its execution would have touched.
-                        let mut access = AccessSet::new();
-                        access.record_write(StateKey::Balance(tx.sender()));
-                        access.record_write(StateKey::Balance(tx.receiver()));
-                        access
-                    }
-                })
-                .collect()
-        });
-        per_chunk.into_iter().flatten().collect()
+        let chunk_size = tx_count.div_ceil(self.threads);
+        let chunk_count = tx_count.div_ceil(chunk_size);
+        let slots: Arc<Mutex<Vec<Vec<AccessSet>>>> =
+            Arc::new(Mutex::new((0..chunk_count).map(|_| Vec::new()).collect()));
+        let tasks: Vec<Job> = (0..chunk_count)
+            .map(|chunk_index| {
+                let base = Arc::clone(base);
+                let block = Arc::clone(block);
+                let slots = Arc::clone(&slots);
+                Box::new(move || {
+                    let start = chunk_index * chunk_size;
+                    let end = (start + chunk_size).min(block.transaction_count());
+                    let mut local = WorldState::clone(&base);
+                    let mut executor = BlockExecutor::new();
+                    let sets: Vec<AccessSet> = block.transactions()[start..end]
+                        .iter()
+                        .map(|tx| match executor.execute_transaction(&mut local, tx) {
+                            Ok(ctx) => {
+                                local.revert(ctx.journal);
+                                ctx.access
+                            }
+                            Err(_) => {
+                                // A transaction that fails speculation (e.g. a nonce that
+                                // only becomes valid after an earlier same-sender
+                                // transaction) must be treated as conflicted, so give it
+                                // the sender/receiver balance keys its execution would
+                                // have touched.
+                                let mut access = AccessSet::new();
+                                access.record_write(StateKey::Balance(tx.sender()));
+                                access.record_write(StateKey::Balance(tx.receiver()));
+                                access
+                            }
+                        })
+                        .collect();
+                    slots.lock().expect("speculative slot lock")[chunk_index] = sets;
+                }) as Job
+            })
+            .collect();
+        self.pool.run_tasks(tasks)?;
+        let slots = Arc::try_unwrap(slots)
+            .expect("pool drained all jobs")
+            .into_inner()
+            .expect("speculative slot lock");
+        Ok(slots.into_iter().flatten().collect())
     }
 }
 
@@ -114,7 +140,15 @@ impl ExecutionEngine for SpeculativeEngine {
     ) -> Result<(ExecutedBlock, ExecutionReport)> {
         let x = block.transaction_count();
         let phase1_start = self.clock.now_nanos();
-        let access_sets = self.speculative_phase(state, block);
+        // Pool jobs are 'static: move the state behind an Arc for the phase and
+        // reclaim it afterwards (the jobs only read it, so it is unique again once
+        // `run_tasks` has drained the batch).
+        let base = Arc::new(std::mem::take(state));
+        let shared_block = Arc::new(block.clone());
+        let phase_outcome = self.speculative_phase(&base, &shared_block);
+        drop(shared_block);
+        *state = Arc::try_unwrap(base).unwrap_or_else(|arc| WorldState::clone(&arc));
+        let access_sets = phase_outcome?;
         let phase1 = self.clock.now_nanos().saturating_sub(phase1_start);
 
         let conflicts = detect_conflicts(&access_sets);
@@ -162,6 +196,10 @@ impl ExecutionEngine for SpeculativeEngine {
             largest_group: bin_size,
             sequential_units: x as u64,
             parallel_units,
+            validations: 0,
+            aborts: 0,
+            re_executions: 0,
+            sequential_fallbacks: 0,
             wall_time: Duration::from_nanos(phase1 + phase2),
             sequential_wall_time: Duration::ZERO,
         };

@@ -1,13 +1,27 @@
-//! Minimal scoped fork-join helper.
+//! Worker-thread primitives: a minimal scoped fork-join helper and a persistent
+//! worker pool.
+//!
+//! [`parallel_map`] spawns scoped threads per call — fine for one-off fan-outs, but
+//! every engine invocation paid the thread-startup cost, which polluted per-block
+//! wall measurements. [`WorkerPool`] keeps the workers alive across blocks: jobs are
+//! `'static` closures pushed over a channel, and [`WorkerPool::run_tasks`] blocks
+//! until the submitted batch drains.
 
+use blockconc_types::{Error, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 /// Applies `f` to every item of `items`, splitting the work across `threads` scoped
 /// worker threads, and returns the results in input order.
 ///
-/// This is the only concurrency primitive the engines need: a deterministic fork-join
-/// over an indexed work list. Results are collected per worker and stitched back
-/// together by index, so no locking is involved beyond the join.
+/// This is the one-shot fork-join primitive: a deterministic map over an indexed work
+/// list. Results are collected per worker and stitched back together by index, so no
+/// locking is involved beyond the join. Engines that execute every block should
+/// prefer a long-lived [`WorkerPool`] so thread startup stays out of the measured
+/// wall time.
 ///
 /// # Examples
 ///
@@ -66,9 +80,184 @@ where
     out
 }
 
+/// A unit of work submitted to a [`WorkerPool`].
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counts outstanding jobs of one `run_tasks` batch; `wait` blocks until all are done.
+#[derive(Clone)]
+struct WaitGroup {
+    inner: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl WaitGroup {
+    fn new(count: usize) -> Self {
+        WaitGroup {
+            inner: Arc::new((Mutex::new(count), Condvar::new())),
+        }
+    }
+
+    fn done(&self) {
+        let (lock, cvar) = &*self.inner;
+        let mut remaining = lock.lock().expect("wait-group lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            cvar.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let (lock, cvar) = &*self.inner;
+        let mut remaining = lock.lock().expect("wait-group lock");
+        while *remaining > 0 {
+            remaining = cvar.wait(remaining).expect("wait-group condvar");
+        }
+    }
+}
+
+/// A persistent pool of worker threads.
+///
+/// Workers are spawned once (at engine construction) and reused for every block, so
+/// the measured execution wall time contains no thread-startup cost. Jobs are
+/// `'static` closures: callers that need to share non-`'static` data (like the
+/// engine's `WorldState`) temporarily move it into an [`Arc`] — see the optimistic
+/// engine — and recover it with [`Arc::try_unwrap`] after [`WorkerPool::run_tasks`]
+/// returns, which is guaranteed to succeed because every job (and the data it
+/// captured) has been consumed by then.
+///
+/// Dropping the pool closes the job channel and joins all workers.
+///
+/// # Examples
+///
+/// ```
+/// use blockconc_execution::WorkerPool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(4);
+/// let sum = Arc::new(AtomicU64::new(0));
+/// let tasks = (1..=10u64)
+///     .map(|i| {
+///         let sum = Arc::clone(&sum);
+///         Box::new(move || {
+///             sum.fetch_add(i, Ordering::Relaxed);
+///         }) as Box<dyn FnOnce() + Send>
+///     })
+///     .collect();
+/// pool.run_tasks(tasks).unwrap();
+/// assert_eq!(sum.load(Ordering::Relaxed), 55);
+/// ```
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `size` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "thread count must be positive");
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("blockconc-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+            size,
+        }
+    }
+
+    /// The number of worker threads in the pool.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submits `tasks` to the pool and blocks until every one has finished.
+    ///
+    /// Panics inside a task are caught on the worker (the worker survives for the
+    /// next block) and surface here as an `Err` after the whole batch has drained —
+    /// matching the engine trait's contract that worker failures are engine-level
+    /// errors. By the time this returns, every task closure has been dropped, so
+    /// `Arc`s captured by the tasks are no longer referenced by the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any task panicked.
+    pub fn run_tasks(&self, tasks: Vec<Job>) -> Result<()> {
+        if tasks.is_empty() {
+            return Ok(());
+        }
+        let wg = WaitGroup::new(tasks.len());
+        let panicked = Arc::new(AtomicBool::new(false));
+        let sender = self.sender.as_ref().expect("pool is alive");
+        for task in tasks {
+            let wg = wg.clone();
+            let panicked = Arc::clone(&panicked);
+            let job: Job = Box::new(move || {
+                // `task` is moved into (and consumed by) the catch_unwind closure, so
+                // its captures are dropped before `done()` runs — the caller may rely
+                // on `Arc::try_unwrap` succeeding right after `wait()` returns.
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    panicked.store(true, Ordering::SeqCst);
+                }
+                wg.done();
+            });
+            sender.send(job).expect("worker threads alive");
+        }
+        wg.wait();
+        if panicked.load(Ordering::SeqCst) {
+            Err(Error::execution("worker thread panicked"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = receiver.lock().expect("pool receiver lock");
+            guard.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => break, // channel closed: pool dropped
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn preserves_input_order() {
@@ -102,5 +291,69 @@ mod tests {
     #[should_panic(expected = "thread count")]
     fn zero_threads_panics() {
         let _ = parallel_map(&[1], 0, |_, &x| x);
+    }
+
+    #[test]
+    fn pool_runs_every_task_and_is_reusable() {
+        let pool = WorkerPool::new(3);
+        for round in 1..=3usize {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let tasks: Vec<Job> = (0..20)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Job
+                })
+                .collect();
+            pool.run_tasks(tasks).unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 20, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pool_releases_task_captures_before_returning() {
+        let pool = WorkerPool::new(2);
+        let shared = Arc::new(vec![1u8, 2, 3]);
+        let tasks: Vec<Job> = (0..8)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                Box::new(move || {
+                    std::hint::black_box(shared.len());
+                }) as Job
+            })
+            .collect();
+        pool.run_tasks(tasks).unwrap();
+        // Every task clone has been dropped: the caller's Arc is unique again.
+        assert!(Arc::try_unwrap(shared).is_ok());
+    }
+
+    #[test]
+    fn panicking_task_reports_error_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let mut tasks: Vec<Job> = vec![Box::new(|| panic!("boom"))];
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let ran = Arc::clone(&ran);
+            tasks.push(Box::new(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        assert!(pool.run_tasks(tasks).is_err());
+        assert_eq!(ran.load(Ordering::Relaxed), 4, "batch drains despite panic");
+        // The pool is still usable afterwards.
+        let ok = Arc::new(AtomicUsize::new(0));
+        let ok2 = Arc::clone(&ok);
+        pool.run_tasks(vec![Box::new(move || {
+            ok2.fetch_add(1, Ordering::Relaxed);
+        }) as Job])
+            .unwrap();
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_size_pool_panics() {
+        let _ = WorkerPool::new(0);
     }
 }

@@ -1,0 +1,215 @@
+//! The equivalence oracle: proptest evidence that [`OptimisticEngine`] computes
+//! the *same state transition* as [`SequentialEngine`] — bit-identical receipts,
+//! bit-identical per-block write sets, identical `state_root` and identical
+//! committed backend contents — on both the memory and the disk backend, and
+//! under forced-abort interleavings that exercise the estimate / suspension /
+//! re-execution machinery on otherwise conflict-free workloads.
+//!
+//! Workloads are generated over a small sender pool so blocks routinely contain
+//! hot-account conflicts, same-sender nonce chains, bad-nonce failures and
+//! unfunded transfers, all in one block.
+
+use blockconc_account::{AccountBlock, AccountTransaction, BlockBuilder, Receipt, WorldState};
+use blockconc_execution::{AbortInjection, ExecutionEngine, OptimisticEngine, SequentialEngine};
+use blockconc_store::{
+    shared, DeltaRecord, DiskBackend, DiskConfig, MemoryBackend, SharedBackend, StoredAccount,
+};
+use blockconc_types::{Address, Amount, Hash};
+use proptest::collection::vec as any_vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Senders live at 100..100+SENDERS; receivers may extend past the funded pool,
+/// so transfers to never-seen accounts are part of every run.
+const SENDERS: u64 = 6;
+
+/// One raw generated transfer: `(sender, receiver, sats, nonce_roll)` — a
+/// `nonce_roll` below 8 follows the sender's planned chain, otherwise the nonce
+/// deliberately misses it.
+type RawPlan = (u64, u64, u64, u64);
+
+fn plan_strategy() -> impl Strategy<Value = RawPlan> {
+    (0..SENDERS, 0..SENDERS + 4, 1u64..400_000, 0u64..10)
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn disk_dir() -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "blockconc-exec-oracle-{}-{seq}",
+        std::process::id()
+    ))
+}
+
+/// Materializes the raw plans into a block. Planned nonces count every
+/// transaction a sender *attempts* — a transfer that later fails for funds
+/// desynchronizes the chain and turns the sender's remaining transactions into
+/// bad-nonce failures, which is exactly the kind of receipt the oracle must
+/// reproduce bit-for-bit.
+fn build_block(plans: &[RawPlan]) -> AccountBlock {
+    let mut next_nonce = [0u64; SENDERS as usize];
+    let txs = plans.iter().map(|&(sender, receiver, sats, nonce_roll)| {
+        let nonce = if nonce_roll < 8 {
+            let n = next_nonce[sender as usize];
+            next_nonce[sender as usize] += 1;
+            n
+        } else {
+            next_nonce[sender as usize] + 7
+        };
+        AccountTransaction::transfer(
+            Address::from_low(100 + sender),
+            Address::from_low(100 + receiver),
+            Amount::from_sats(sats),
+            nonce,
+        )
+    });
+    BlockBuilder::new(1, 0, Address::from_low(1))
+        .transactions(txs)
+        .build()
+}
+
+/// The complete observable outcome of one engine committing one block.
+#[derive(Debug, PartialEq)]
+struct Transition {
+    receipts: Vec<Receipt>,
+    /// The block's write set as `commit_block` would journal it, sorted.
+    write_set: Vec<DeltaRecord>,
+    state_root: Hash,
+    /// Every account the backend holds after the commit.
+    committed: BTreeMap<Address, StoredAccount>,
+}
+
+/// Funds the senders, mounts `backend`, executes `block` with `engine` and
+/// commits — returning everything an observer could compare.
+fn run_engine(
+    engine: &mut dyn ExecutionEngine,
+    backend: SharedBackend,
+    funding: &[u64],
+    block: &AccountBlock,
+) -> Transition {
+    let mut state = WorldState::new();
+    for (i, sats) in funding.iter().enumerate() {
+        state.credit(Address::from_low(100 + i as u64), Amount::from_sats(*sats));
+    }
+    state
+        .attach_backend(SharedBackend::clone(&backend), None)
+        .expect("attach backend");
+    state.begin_block(1).expect("begin block");
+    let (executed, _) = engine.execute(&mut state, block).expect("engine run");
+
+    // Snapshot the pending write set off a clone, then really commit it.
+    let mut write_set = Vec::new();
+    state.clone().take_write_set(&mut write_set);
+    write_set.sort_by_key(|record| record.address);
+    state.commit_block().expect("commit block");
+
+    let mut committed = BTreeMap::new();
+    backend
+        .lock()
+        .expect("backend lock")
+        .for_each_account(&mut |address, account| {
+            committed.insert(address, account);
+        });
+    Transition {
+        receipts: executed.receipts().to_vec(),
+        write_set,
+        state_root: state.state_root(),
+        committed,
+    }
+}
+
+fn assert_equivalent(
+    funding: &[u64],
+    plans: &[RawPlan],
+    mut optimistic: OptimisticEngine,
+    on_disk: bool,
+) {
+    let block = build_block(plans);
+    let (seq, opt) = if on_disk {
+        let (seq_dir, opt_dir) = (disk_dir(), disk_dir());
+        let seq_backend = shared(DiskBackend::open(&DiskConfig::new(&seq_dir)).expect("open"));
+        let opt_backend = shared(DiskBackend::open(&DiskConfig::new(&opt_dir)).expect("open"));
+        let seq = run_engine(&mut SequentialEngine::new(), seq_backend, funding, &block);
+        let opt = run_engine(&mut optimistic, opt_backend, funding, &block);
+        let _ = std::fs::remove_dir_all(&seq_dir);
+        let _ = std::fs::remove_dir_all(&opt_dir);
+        (seq, opt)
+    } else {
+        let seq = run_engine(
+            &mut SequentialEngine::new(),
+            shared(MemoryBackend::new()),
+            funding,
+            &block,
+        );
+        let opt = run_engine(
+            &mut optimistic,
+            shared(MemoryBackend::new()),
+            funding,
+            &block,
+        );
+        (seq, opt)
+    };
+    prop_assert_eq!(
+        &seq.receipts,
+        &opt.receipts,
+        "receipts must be bit-identical"
+    );
+    prop_assert_eq!(
+        &seq.write_set,
+        &opt.write_set,
+        "write sets must be bit-identical"
+    );
+    prop_assert_eq!(seq.state_root, opt.state_root, "state roots must match");
+    prop_assert_eq!(
+        &seq.committed,
+        &opt.committed,
+        "committed stores must match"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Memory backend: any generated block, any worker count.
+    #[test]
+    fn optimistic_matches_sequential_in_memory(
+        funding in any_vec(0u64..2_000_000, 6usize),
+        plans in any_vec(plan_strategy(), 1..28),
+        threads in 1usize..5,
+    ) {
+        assert_equivalent(&funding, &plans, OptimisticEngine::new(threads), false);
+    }
+
+    // Disk backend: the pre-state round-trips through the journal (genesis commit,
+    // cold working set) and the block's write set is journalled on commit.
+    #[test]
+    fn optimistic_matches_sequential_on_disk(
+        funding in any_vec(0u64..2_000_000, 6usize),
+        plans in any_vec(plan_strategy(), 1..16),
+        threads in 1usize..5,
+    ) {
+        assert_equivalent(&funding, &plans, OptimisticEngine::new(threads), true);
+    }
+
+    // Forced aborts: deterministically fail validation for a large share of the
+    // transactions, driving estimate markers, suspension and re-execution even on
+    // conflict-free blocks — the committed transition must not move an inch.
+    #[test]
+    fn forced_abort_interleavings_stay_equivalent(
+        funding in any_vec(0u64..2_000_000, 6usize),
+        plans in any_vec(plan_strategy(), 1..20),
+        threads in 1usize..5,
+        seed in 0u64..u64::MAX,
+        percent in 20u64..95,
+        disk_roll in 0u64..2,
+    ) {
+        let engine = OptimisticEngine::new(threads).with_forced_aborts(AbortInjection {
+            seed,
+            percent: percent as u8,
+        });
+        assert_equivalent(&funding, &plans, engine, disk_roll == 1);
+    }
+}

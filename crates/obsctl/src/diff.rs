@@ -35,7 +35,12 @@ pub fn direction_for(path: &str) -> Direction {
         "rejected",
     ];
     const BETTER: &[&str] = &["speedup", "throughput", "ratio"];
-    if WORSE.iter().any(|needle| path.contains(needle)) {
+    // Rates beat the substring scan: `wall_tx_per_sec` contains "wall" but is a
+    // throughput, so the per-second check must run before the worse-list scan.
+    const RATES: &[&str] = &["per_sec", "tx_per_sec"];
+    if RATES.iter().any(|needle| path.contains(needle)) {
+        Direction::HigherBetter
+    } else if WORSE.iter().any(|needle| path.contains(needle)) {
         Direction::HigherWorse
     } else if BETTER.iter().any(|needle| path.contains(needle)) {
         Direction::HigherBetter
@@ -418,5 +423,22 @@ mod tests {
         );
         assert_eq!(direction_for("headline_e2e_ratio"), Direction::HigherBetter);
         assert_eq!(direction_for("cells[0].units_total"), Direction::Neutral);
+    }
+
+    #[test]
+    fn per_second_rates_are_higher_better_despite_wall_prefix() {
+        assert_eq!(
+            direction_for("wall_grid[3].wall_tx_per_sec"),
+            Direction::HigherBetter
+        );
+        assert_eq!(
+            direction_for("cells[0].wall_tx_per_sec"),
+            Direction::HigherBetter
+        );
+        // Plain wall nanoseconds stay higher-is-worse.
+        assert_eq!(
+            direction_for("wall_grid[3].wall_nanos"),
+            Direction::HigherWorse
+        );
     }
 }

@@ -274,7 +274,11 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                 execute_started,
                 execute_started + execute_wall,
                 exec_report.parallel_units,
-                &[("conflicts", exec_report.conflicted_transactions as u64)],
+                &[
+                    ("conflicts", exec_report.conflicted_transactions as u64),
+                    ("aborts", exec_report.aborts),
+                    ("re_executions", exec_report.re_executions),
+                ],
             );
             telemetry.stage(Stage::Store, store_wall, commit.store_units);
             telemetry.record_span(
@@ -289,6 +293,9 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
                 Count::EngineConflicts,
                 exec_report.conflicted_transactions as u64,
             );
+            telemetry.count(Count::EngineValidations, exec_report.validations);
+            telemetry.count(Count::EngineAborts, exec_report.aborts);
+            telemetry.count(Count::EngineReExecutions, exec_report.re_executions);
             telemetry.count(Count::TdgOps, tdg_units);
             telemetry.dist(Dist::TdgBlockUnits, tdg_units);
             telemetry.dist(Dist::BlockTxs, tx_count as u64);

@@ -93,6 +93,12 @@ named_enum! {
         RehomedAccounts => "rehomed_accounts",
         /// Optimistic-engine conflicts (aborted speculative lanes).
         EngineConflicts => "engine_conflicts",
+        /// Optimistic-engine read-set validation passes.
+        EngineValidations => "engine_validations",
+        /// Optimistic-engine incarnation aborts (failed validations).
+        EngineAborts => "engine_aborts",
+        /// Optimistic-engine transaction re-executions after aborts.
+        EngineReExecutions => "engine_re_executions",
     }
 }
 
