@@ -299,9 +299,13 @@ fn wall_cell(profile: &str, engine: &str, threads: usize, total_txs: usize) -> W
 /// The wall-clock floor guard: the optimistic engine at `WALL_FLOOR_THREADS`
 /// threads must reach at least `WALL_FLOOR_RATIO`× the sequential engine's
 /// wall-clock tx/s on the low-conflict profile. Interleaved best-of-N so a noisy
-/// scheduler tick doesn't fail CI on unchanged code.
+/// scheduler tick doesn't fail CI on unchanged code; on shared/loaded runners
+/// where even best-of-N can't buy the engine 8 real cores, set
+/// `BLOCKCONC_WALL_FLOOR=warn` to downgrade the assert to a loud warning (the
+/// strict check stays the default — dedicated benchmarking hosts keep the
+/// regression net).
 fn wall_floor_guard(total_txs: usize) -> (WallCell, WallCell) {
-    const ROUNDS: usize = 2;
+    const ROUNDS: usize = 3;
     eprintln!(
         "[fig_pipeline] wall-clock floor guard ({ROUNDS} interleaved rounds, \
          {total_txs} txs)..."
@@ -344,8 +348,7 @@ fn wall_floor_guard(total_txs: usize) -> (WallCell, WallCell) {
         );
         return (seq, opt);
     }
-    assert!(
-        ratio >= WALL_FLOOR_RATIO,
+    let violation = format!(
         "wall-clock floor: optimistic engine must reach >= {WALL_FLOOR_RATIO}x sequential \
          tx/s, got {ratio:.2}x (violating row: profile low-conflict, engine optimistic, \
          {} threads, {} txs, {} blocks, optimistic {:.0} tx/s / {} ns vs sequential \
@@ -358,6 +361,13 @@ fn wall_floor_guard(total_txs: usize) -> (WallCell, WallCell) {
         seq.wall_tx_per_sec,
         seq.wall_nanos
     );
+    if ratio < WALL_FLOOR_RATIO
+        && std::env::var("BLOCKCONC_WALL_FLOOR").as_deref() == Ok("warn")
+    {
+        eprintln!("WARNING (BLOCKCONC_WALL_FLOOR=warn, not failing): {violation}");
+        return (seq, opt);
+    }
+    assert!(ratio >= WALL_FLOOR_RATIO, "{violation}");
     (seq, opt)
 }
 

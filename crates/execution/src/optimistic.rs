@@ -223,6 +223,13 @@ impl Scheduler {
         self.halted.0.load(Ordering::SeqCst)
     }
 
+    /// Releases the caller's claimed active-task slot without completing a task.
+    /// Every `num_active` increment must be balanced by exactly one release (or
+    /// one task completion) — `check_done` relies on the count draining to zero.
+    fn release_active(&self) {
+        self.num_active.0.fetch_sub(1, Ordering::SeqCst);
+    }
+
     fn decrease_execution_idx(&self, t: usize) {
         self.execution_idx.0.fetch_min(t, Ordering::SeqCst);
         self.decrease_cnt.0.fetch_add(1, Ordering::SeqCst);
@@ -255,7 +262,7 @@ impl Scheduler {
                 return Some(i);
             }
         }
-        self.num_active.0.fetch_sub(1, Ordering::SeqCst);
+        self.release_active();
         None
     }
 
@@ -282,21 +289,40 @@ impl Scheduler {
             self.check_done();
             return None;
         }
-        let incarnation = match *self.status(idx) {
-            TxStatus::Executed(i) => i,
-            _ => return None, // frontier not executed yet: nothing to validate
-        };
+        // Cheap peek before contending on the CAS: the frontier transaction is
+        // usually still executing, and bailing here keeps that common case off
+        // the shared counters entirely.
+        if !matches!(*self.status(idx), TxStatus::Executed(_)) {
+            return None;
+        }
         self.num_active.0.fetch_add(1, Ordering::SeqCst);
         if self
             .validation_idx
             .0
             .compare_exchange(idx, idx + 1, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
+            .is_err()
         {
-            Some(Task::Validate(idx, incarnation))
-        } else {
-            self.num_active.0.fetch_sub(1, Ordering::SeqCst);
-            None
+            self.release_active();
+            return None;
+        }
+        // Claim first, read the incarnation AFTER (Block-STM's ordering): the
+        // peek above is only a hint. Between peek and CAS the transaction can
+        // abort and re-execute (pulling validation_idx back to idx, which is
+        // what lets this CAS win); labelling the claimed pass with the peeked
+        // incarnation would validate the new incarnation's read set under the
+        // stale label, so a failure could never abort it. Reading after the
+        // claim restores the invariant: either this pass sees the latest
+        // `Executed` incarnation, or `finish_execution` observes
+        // `validation_idx > idx` and schedules its own revalidation.
+        match *self.status(idx) {
+            TxStatus::Executed(i) => Some(Task::Validate(idx, i)),
+            _ => {
+                // Aborted (or re-executing) since the claim: hand the frontier
+                // back so the next incarnation gets its own validation pass.
+                self.decrease_validation_idx(idx);
+                self.release_active();
+                None
+            }
         }
     }
 
@@ -330,7 +356,7 @@ impl Scheduler {
         }
         deps.push(t);
         drop(deps);
-        self.num_active.0.fetch_sub(1, Ordering::SeqCst);
+        self.release_active();
         true
     }
 
@@ -362,7 +388,7 @@ impl Scheduler {
                 return Some(Task::Validate(t, i));
             }
         }
-        self.num_active.0.fetch_sub(1, Ordering::SeqCst);
+        self.release_active();
         None
     }
 
@@ -393,7 +419,7 @@ impl Scheduler {
                 return self.try_incarnate(t).map(|i| Task::Execute(t, i));
             }
         }
-        self.num_active.0.fetch_sub(1, Ordering::SeqCst);
+        self.release_active();
         None
     }
 }
@@ -496,6 +522,11 @@ impl RunCtx {
         if i >= MAX_INCARNATIONS {
             self.fell_back.store(true, Ordering::SeqCst);
             self.scheduler.halt();
+            // Balance the claimed active-task slot even though halt()
+            // short-circuits done() today: the every-claim-is-released
+            // invariant must not depend on halt staying a hard stop (e.g. a
+            // future graceful drain).
+            self.scheduler.release_active();
             return None;
         }
         let tx = &self.block.transactions()[t];
