@@ -144,6 +144,7 @@ impl BlockExecutor {
             TxPayload::ContractCreate { code } => {
                 let deploy_addr = code.deployment_address(tx.sender(), tx.nonce());
                 access.record_write(StateKey::Balance(deploy_addr));
+                access.record_write(StateKey::Code(deploy_addr));
                 state.deploy_contract(deploy_addr, code.clone());
                 Receipt::success(tx.id(), intrinsic, Vec::new(), Vec::new())
             }

@@ -3,7 +3,8 @@
 use crate::vm::Contract;
 use crate::Account;
 use blockconc_store::{
-    BlockDelta, CommitStats, DeltaRecord, SharedBackend, StateKey, StoreStats, StoredAccount,
+    diff_account_fragments, BlockDelta, CommitStats, DeltaRecord, SharedBackend, StateFragment,
+    StateKey, StoreStats, StoredAccount,
 };
 use blockconc_types::{Address, Amount, Error, Hash, Result};
 use serde::{Deserialize, Serialize};
@@ -703,6 +704,40 @@ impl WorldState {
             address: *address,
             account: self.accounts.get(address).map(account_to_stored),
         }));
+        self.dirty.clear();
+        self.open_height = None;
+    }
+
+    /// The per-[`StateKey`] counterpart of
+    /// [`take_write_set`](WorldState::take_write_set): diffs every dirty
+    /// account's resident value against the value the backend *served* and
+    /// collects only the keys that actually changed into `fragments`
+    /// (address-major, canonical part order). `touched` receives every dirty
+    /// address, changed or not — the optimistic engine needs the full set to
+    /// reproduce the sequential write set at commit, since an untouched-value
+    /// record still appears in a block delta.
+    ///
+    /// The pre-image is read through `backend_stored`, not the dirty-aware
+    /// `fallback_stored`: for a scratch state mounted over a versioned view the
+    /// backend's answer *is* the pre-state this execution observed, which is
+    /// what makes an unchanged key diff to no fragment even when the served
+    /// value was itself speculative.
+    ///
+    /// Like `take_write_set`, this clears the dirty set and closes any open
+    /// block scope without notifying the backend.
+    pub fn take_write_fragments(
+        &mut self,
+        fragments: &mut Vec<StateFragment>,
+        touched: &mut Vec<Address>,
+    ) {
+        fragments.clear();
+        touched.clear();
+        for address in &self.dirty {
+            touched.push(*address);
+            let pre = self.backend_stored(*address);
+            let post = self.accounts.get(address).map(account_to_stored);
+            diff_account_fragments(*address, pre.as_ref(), post.as_ref(), fragments);
+        }
         self.dirty.clear();
         self.open_height = None;
     }

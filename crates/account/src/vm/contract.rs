@@ -89,6 +89,23 @@ impl Contract {
         ])
     }
 
+    /// A counter keyed by caller: each caller increments the storage slot at its
+    /// own address word, so transactions from distinct senders write *disjoint*
+    /// slots of one shared contract. Whole-account conflict tracking serializes
+    /// every call to this contract; per-`StateKey` tracking runs them
+    /// conflict-free — the contrast the granularity benchmarks measure.
+    pub fn per_caller_counter() -> Self {
+        Contract::new(vec![
+            OpCode::Caller,
+            OpCode::SLoad,
+            OpCode::Push(1),
+            OpCode::Add,
+            OpCode::Caller,
+            OpCode::SStore,
+            OpCode::Stop,
+        ])
+    }
+
     /// A forwarding wallet: sends the received value on to `beneficiary`.
     pub fn forwarder(beneficiary: Address) -> Self {
         Contract::new(vec![

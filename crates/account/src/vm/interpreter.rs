@@ -209,6 +209,10 @@ impl Frame<'_> {
                 .credit_journalled(target, value, Some(&mut *self.journal));
         }
 
+        // Which program is installed at `target` decides everything below —
+        // plain transfer vs execution, and which instructions run — so the code
+        // cell is a consumed read even when no code is deployed.
+        self.access.record_read(StateKey::Code(target));
         let Some(contract) = self.state.contract(target) else {
             // Plain value transfer to a non-contract account: nothing to execute.
             return Ok(self.gas_left);

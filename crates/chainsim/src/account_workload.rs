@@ -101,6 +101,25 @@ impl AccountWorkloadParams {
             contract_create_share: 0.0,
         }
     }
+
+    /// A *shared-contract, disjoint-slots* profile for the granularity
+    /// benchmarks: nearly every transaction calls one shared contract, but each
+    /// caller writes only the storage slot at its own address word. Under
+    /// whole-account conflict tracking the entire block serializes on the
+    /// contract account; under per-`StateKey` tracking the block is
+    /// conflict-free. The huge uniform population (no Zipf skew, all-fresh
+    /// plain-transfer receivers) keeps accidental sender collisions negligible,
+    /// so granularity is the *only* variable.
+    pub fn shared_contract_disjoint_slots() -> Self {
+        AccountWorkloadParams {
+            txs_per_block: 200.0,
+            user_population: 200_000,
+            fresh_receiver_share: 1.0,
+            zipf_exponent: 0.0,
+            hotspots: vec![HotspotSpec::disjoint_slots(0.95)],
+            contract_create_share: 0.0,
+        }
+    }
 }
 
 /// A deployed hot spot: its spec plus the concrete addresses backing it.
@@ -192,6 +211,13 @@ impl AccountWorkloadGen {
                         target = addr;
                     }
                     target
+                }
+                HotspotKind::SlotDisjointContract => {
+                    // One shared contract; each caller increments the slot at its
+                    // own address word, so calls write disjoint `StateKey`s.
+                    let entry = Address::from_low(CONTRACT_BASE + (i as u64) * 16);
+                    state.deploy_contract(entry, Arc::new(Contract::per_caller_counter()));
+                    entry
                 }
             };
             if spec.kind == HotspotKind::PoolPayout {
@@ -298,6 +324,15 @@ impl AccountWorkloadGen {
                 let nonce = self.take_nonce(sender);
                 let value = self.small_value();
                 AccountTransaction::contract_call(sender, entry, value, vec![], nonce)
+            }
+            HotspotKind::SlotDisjointContract => {
+                // Value stays zero: a transfer would write the contract's shared
+                // balance cell and re-introduce exactly the conflict this
+                // profile exists to avoid.
+                let sender = self.population.sample_user(&mut self.rng);
+                self.ensure_funded(sender);
+                let nonce = self.take_nonce(sender);
+                AccountTransaction::contract_call(sender, entry, Amount::ZERO, vec![], nonce)
             }
         }
     }
@@ -463,6 +498,28 @@ mod tests {
             "no creation-weight gas seen"
         );
         assert!(gases.contains(&21_000), "no plain transfers seen");
+    }
+
+    #[test]
+    fn disjoint_slots_profile_generates_succeeding_shared_contract_calls() {
+        let mut gen =
+            AccountWorkloadGen::new(AccountWorkloadParams::shared_contract_disjoint_slots(), 9);
+        let executed = gen.generate_block(1, 0);
+        assert!(executed.receipts().iter().all(|r| r.succeeded()));
+        // The vast majority of transactions must be calls of the one shared
+        // contract (whole-account tracking would serialize them all).
+        let contract = Address::from_low(CONTRACT_BASE);
+        let calls = executed
+            .block()
+            .transactions()
+            .iter()
+            .filter(|tx| tx.receiver() == contract)
+            .count();
+        assert!(
+            calls * 10 >= executed.block().transaction_count() * 8,
+            "only {calls} of {} transactions hit the shared contract",
+            executed.block().transaction_count()
+        );
     }
 
     #[test]

@@ -14,6 +14,11 @@ pub enum HotspotKind {
     /// A popular smart contract (token, game, …) that many users call; calls also
     /// produce internal transactions to the contracts it depends on.
     PopularContract,
+    /// A shared contract whose callers each write their *own* storage slot
+    /// (airdrop claims, per-user counters, registrations). Every transaction
+    /// touches the same account but a disjoint `StateKey` — conflict-free under
+    /// per-key tracking, fully serialized under whole-account tracking.
+    SlotDisjointContract,
 }
 
 /// One hot spot and the share of a block's transactions it attracts.
@@ -63,6 +68,17 @@ impl HotspotSpec {
         }
     }
 
+    /// A shared contract attracting `share` of transactions whose callers write
+    /// disjoint storage slots (no internal calls — the conflict structure is the
+    /// point, not the call chain).
+    pub fn disjoint_slots(share: f64) -> Self {
+        HotspotSpec {
+            kind: HotspotKind::SlotDisjointContract,
+            share,
+            call_depth: 0,
+        }
+    }
+
     /// Validates that the shares of a set of hot spots are sane (each in `[0, 1]` and
     /// summing to at most 1).
     ///
@@ -97,6 +113,9 @@ mod tests {
         let c = HotspotSpec::contract(0.15, 2);
         assert_eq!(c.kind, HotspotKind::PopularContract);
         assert_eq!(c.call_depth, 2);
+        let d = HotspotSpec::disjoint_slots(0.95);
+        assert_eq!(d.kind, HotspotKind::SlotDisjointContract);
+        assert_eq!(d.call_depth, 0);
     }
 
     #[test]

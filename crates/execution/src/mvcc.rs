@@ -1,28 +1,152 @@
 //! Multi-version in-memory store for the optimistic engine.
 //!
-//! [`MvMemory`] holds, per account address, every write buffered by an in-flight
+//! [`MvMemory`] holds, per state *cell*, every write buffered by an in-flight
 //! block execution, stamped with the version `(tx_index, incarnation)` that produced
 //! it. Reads by transaction `t` resolve to the highest write below `t` (or fall
 //! through to the pre-block base state), validation re-resolves a recorded read set
 //! against the current contents, and aborted incarnations leave `ESTIMATE` markers
 //! behind so dependent transactions suspend instead of chasing stale data.
 //!
-//! Granularity is per *account* (the unit `WorldState` reads through its backend),
-//! not per storage slot — see the crate README for the trade-off discussion.
+//! A cell is one [`CellKey`]: an address plus the [`CellPart`] of the account it
+//! covers — the balance/nonce pair, one storage slot, or the deployed code, each
+//! versioned independently so transactions touching disjoint parts of one
+//! account never conflict. The pre-refactor whole-account granularity survives
+//! as [`CellPart::Whole`], which the engine's account-granular compatibility
+//! mode routes every read and write through.
 
-use blockconc_store::{DeltaRecord, StoredAccount};
+use blockconc_store::{apply_fragment, FragmentValue, StateKey, StoredAccount};
 use blockconc_types::Address;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
 /// Number of independently locked shards of the version map. Writes of concurrent
 /// transactions mostly touch disjoint accounts, so striping the map keeps lock
-/// contention off the execution hot path.
+/// contention off the execution hot path. Shards are keyed by *address* (not by
+/// cell), keeping every cell of one account under a single lock — one account
+/// read resolves all of its parts without re-locking per part.
 const SHARDS: usize = 64;
+
+/// The part of an account one versioned cell covers. Orders canonically within
+/// an address: meta, then slots ascending, then code (mirroring the fragment
+/// order `diff_account_fragments` emits), with the whole-account compatibility
+/// cell last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) enum CellPart {
+    /// The balance/nonce pair (one conflict unit, like [`StateKey::Balance`]).
+    Meta,
+    /// One storage slot.
+    Slot(u64),
+    /// The deployed contract code.
+    Code,
+    /// The whole account — the account-granular compatibility mode's only part.
+    Whole,
+}
+
+impl CellPart {
+    /// The [`StateKey`] this part corresponds to at `address`. [`CellPart::Whole`]
+    /// has no key-level equivalent — it exists only in the account-granular mode,
+    /// which never materializes fragments.
+    fn state_key(self, address: Address) -> StateKey {
+        match self {
+            CellPart::Meta => StateKey::Balance(address),
+            CellPart::Slot(slot) => StateKey::Storage(address, slot),
+            CellPart::Code => StateKey::Code(address),
+            CellPart::Whole => unreachable!("whole-account cells carry no state key"),
+        }
+    }
+}
+
+/// A fully qualified versioned cell: one part of one account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct CellKey {
+    /// The account.
+    pub(crate) address: Address,
+    /// The part of the account.
+    pub(crate) part: CellPart,
+}
+
+/// Maps a tracked [`StateKey`] to its versioned cell.
+pub(crate) fn cell_key_of(key: StateKey) -> CellKey {
+    match key {
+        StateKey::Balance(address) => CellKey {
+            address,
+            part: CellPart::Meta,
+        },
+        StateKey::Storage(address, slot) => CellKey {
+            address,
+            part: CellPart::Slot(slot),
+        },
+        StateKey::Code(address) => CellKey {
+            address,
+            part: CellPart::Code,
+        },
+    }
+}
+
+/// The value buffered in one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CellValue {
+    /// A per-part fragment; `None` deletes the part (a meta deletion kills the
+    /// account).
+    Fragment(Option<FragmentValue>),
+    /// A whole-account value; `None` deletes the account.
+    Whole(Option<StoredAccount>),
+}
+
+/// One buffered cell write, the unit [`MvMemory::apply`] installs.
+#[derive(Debug)]
+pub(crate) struct CellWrite {
+    /// The written cell.
+    pub(crate) key: CellKey,
+    /// Its new value.
+    pub(crate) value: CellValue,
+}
+
+/// Overlays one cell's value onto an assembled account. Fragment cells replay
+/// through [`apply_fragment`]; a whole-account cell replaces the value outright.
+pub(crate) fn apply_cell(
+    address: Address,
+    value: &mut Option<StoredAccount>,
+    part: CellPart,
+    cell: &CellValue,
+) {
+    match (part, cell) {
+        (CellPart::Whole, CellValue::Whole(account)) => *value = account.clone(),
+        (CellPart::Whole, CellValue::Fragment(_)) => {
+            debug_assert!(false, "fragment value under a whole-account cell");
+        }
+        (part, CellValue::Fragment(fragment)) => {
+            apply_fragment(value, &part.state_key(address), fragment.as_ref());
+        }
+        (_, CellValue::Whole(_)) => {
+            debug_assert!(false, "whole-account value under a fragment cell");
+        }
+    }
+}
+
+/// Owning variant of [`apply_cell`] for the commit path: consumes the cell, so
+/// whole-account values move into place instead of being cloned.
+pub(crate) fn overlay_cell(
+    address: Address,
+    value: &mut Option<StoredAccount>,
+    part: CellPart,
+    cell: CellValue,
+) {
+    match cell {
+        CellValue::Whole(account) => {
+            debug_assert!(part == CellPart::Whole, "whole value under a fragment cell");
+            *value = account;
+        }
+        CellValue::Fragment(fragment) => {
+            debug_assert!(part != CellPart::Whole, "fragment value under a whole cell");
+            apply_fragment(value, &part.state_key(address), fragment.as_ref());
+        }
+    }
+}
 
 /// Where a read resolved, recorded in per-transaction read sets and re-checked by
 /// validation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) enum ReadOrigin {
     /// Resolved from the immutable pre-block state (present or absent alike —
     /// the base cannot change during block execution).
@@ -31,7 +155,8 @@ pub(crate) enum ReadOrigin {
     Version(usize, u32),
 }
 
-/// Result of resolving one account read for transaction `tx_index`.
+/// Result of resolving one cell read for transaction `tx_index` (validation
+/// path: origin only, no value).
 #[derive(Debug)]
 pub(crate) enum ReadResult {
     /// No buffered write below the reader: fall through to the base state.
@@ -45,22 +170,39 @@ pub(crate) enum ReadResult {
         /// Whether the entry is an `ESTIMATE` (the writer aborted and has not
         /// re-executed yet): the reader should suspend on `txn`.
         estimate: bool,
-        /// The buffered account value (`None` = deletion record).
-        value: Option<StoredAccount>,
     },
+}
+
+/// One resolved cell of an account read: the winning version below the reader
+/// for one part, value included.
+#[derive(Debug)]
+pub(crate) struct CellRead {
+    /// The resolved part.
+    pub(crate) part: CellPart,
+    /// Writer transaction index.
+    pub(crate) txn: usize,
+    /// Writer incarnation.
+    pub(crate) incarnation: u32,
+    /// Whether the entry is an `ESTIMATE`.
+    pub(crate) estimate: bool,
+    /// The buffered value.
+    pub(crate) value: CellValue,
 }
 
 #[derive(Debug)]
 struct VersionEntry {
     incarnation: u32,
     estimate: bool,
-    value: Option<StoredAccount>,
+    value: CellValue,
 }
 
-/// The sharded multi-version map: `address → (tx_index → versioned write)`.
+/// Per-account versioned cells: `part → (tx_index → versioned write)`.
+type AccountCells = BTreeMap<CellPart, BTreeMap<usize, VersionEntry>>;
+
+/// The sharded multi-version map: `address → part → (tx_index → versioned write)`.
 #[derive(Debug)]
 pub(crate) struct MvMemory {
-    shards: Vec<Mutex<HashMap<Address, BTreeMap<usize, VersionEntry>>>>,
+    shards: Vec<Mutex<HashMap<Address, AccountCells>>>,
 }
 
 impl MvMemory {
@@ -70,18 +212,42 @@ impl MvMemory {
         }
     }
 
-    fn shard(&self, address: Address) -> &Mutex<HashMap<Address, BTreeMap<usize, VersionEntry>>> {
+    fn shard(&self, address: Address) -> &Mutex<HashMap<Address, AccountCells>> {
         // Fibonacci hash of the low word spreads both sequential test addresses and
         // hash-derived workload addresses across the stripes.
         let mix = (address.low_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
         &self.shards[mix % SHARDS]
     }
 
-    /// Resolves the read of `address` by transaction `tx_index`: the buffered write
-    /// with the highest transaction index strictly below the reader, if any.
-    pub(crate) fn read(&self, address: Address, tx_index: usize) -> ReadResult {
+    /// Resolves every cell of `address` for a read by transaction `tx_index` under
+    /// one shard lock: for each part with a buffered write below the reader, the
+    /// winning version and its value are appended to `out` in part order.
+    pub(crate) fn read_account(&self, address: Address, tx_index: usize, out: &mut Vec<CellRead>) {
         let shard = self.shard(address).lock().expect("mvcc shard lock");
-        let Some(versions) = shard.get(&address) else {
+        let Some(parts) = shard.get(&address) else {
+            return;
+        };
+        for (&part, versions) in parts {
+            if let Some((&txn, entry)) = versions.range(..tx_index).next_back() {
+                out.push(CellRead {
+                    part,
+                    txn,
+                    incarnation: entry.incarnation,
+                    estimate: entry.estimate,
+                    value: entry.value.clone(),
+                });
+            }
+        }
+    }
+
+    /// Resolves the read of one cell by transaction `tx_index`: the buffered write
+    /// with the highest transaction index strictly below the reader, if any.
+    pub(crate) fn read(&self, key: CellKey, tx_index: usize) -> ReadResult {
+        let shard = self.shard(key.address).lock().expect("mvcc shard lock");
+        let Some(versions) = shard
+            .get(&key.address)
+            .and_then(|parts| parts.get(&key.part))
+        else {
             return ReadResult::Base;
         };
         match versions.range(..tx_index).next_back() {
@@ -89,58 +255,99 @@ impl MvMemory {
                 txn,
                 incarnation: entry.incarnation,
                 estimate: entry.estimate,
-                value: entry.value.clone(),
             },
             None => ReadResult::Base,
         }
     }
 
     /// Installs the write set of `(tx_index, incarnation)` and removes entries left
-    /// behind by the previous incarnation at addresses no longer written. Returns
-    /// `true` if this incarnation wrote to an address its predecessor did not
+    /// behind by the previous incarnation at cells no longer written. Returns
+    /// `true` if this incarnation wrote to a cell its predecessor did not
     /// (Block-STM's `wrote_new_path`, which forces revalidation of higher
     /// transactions).
+    ///
+    /// Both `writes` and `previous` must be sorted by cell key (the canonical
+    /// order both `take_write_fragments` and the dirty-set walk produce); the
+    /// stale sweep is then a single two-pointer merge instead of the quadratic
+    /// contains-scan per cell.
     pub(crate) fn apply(
         &self,
         tx_index: usize,
         incarnation: u32,
-        writes: &mut Vec<DeltaRecord>,
-        previous_writes: &[Address],
+        writes: &mut Vec<CellWrite>,
+        previous: &[CellKey],
     ) -> bool {
-        let wrote_new_path = writes
-            .iter()
-            .any(|record| !previous_writes.contains(&record.address));
-        for &stale in previous_writes {
-            if !writes.iter().any(|r| r.address == stale) {
-                let mut shard = self.shard(stale).lock().expect("mvcc shard lock");
-                if let Some(versions) = shard.get_mut(&stale) {
-                    versions.remove(&tx_index);
-                }
-            }
-        }
+        debug_assert!(
+            writes.windows(2).all(|w| w[0].key < w[1].key),
+            "cell writes must be sorted and unique"
+        );
+        debug_assert!(
+            previous.windows(2).all(|w| w[0] < w[1]),
+            "previous cell keys must be sorted and unique"
+        );
+        let mut wrote_new_path = false;
+        let mut stale = previous.iter().peekable();
         // The write set is drained: values move into the map without a clone, and
         // the caller keeps the vector's capacity for the next transaction.
-        for record in writes.drain(..) {
-            let mut shard = self.shard(record.address).lock().expect("mvcc shard lock");
-            shard.entry(record.address).or_default().insert(
-                tx_index,
-                VersionEntry {
-                    incarnation,
-                    estimate: false,
-                    value: record.account,
-                },
-            );
+        for write in writes.drain(..) {
+            while let Some(&&key) = stale.peek() {
+                if key < write.key {
+                    self.remove_version(key, tx_index);
+                    stale.next();
+                } else {
+                    break;
+                }
+            }
+            if stale.peek().copied() == Some(&write.key) {
+                stale.next();
+            } else {
+                wrote_new_path = true;
+            }
+            let mut shard = self
+                .shard(write.key.address)
+                .lock()
+                .expect("mvcc shard lock");
+            shard
+                .entry(write.key.address)
+                .or_default()
+                .entry(write.key.part)
+                .or_default()
+                .insert(
+                    tx_index,
+                    VersionEntry {
+                        incarnation,
+                        estimate: false,
+                        value: write.value,
+                    },
+                );
+        }
+        for &key in stale {
+            self.remove_version(key, tx_index);
         }
         wrote_new_path
+    }
+
+    fn remove_version(&self, key: CellKey, tx_index: usize) {
+        let mut shard = self.shard(key.address).lock().expect("mvcc shard lock");
+        if let Some(versions) = shard
+            .get_mut(&key.address)
+            .and_then(|parts| parts.get_mut(&key.part))
+        {
+            versions.remove(&tx_index);
+        }
     }
 
     /// Marks every write of `tx_index` as an `ESTIMATE` after its validation failed,
     /// so transactions that read them suspend instead of executing against data
     /// known to be stale.
-    pub(crate) fn convert_writes_to_estimates(&self, tx_index: usize, writes: &[Address]) {
-        for &address in writes {
-            let mut shard = self.shard(address).lock().expect("mvcc shard lock");
-            if let Some(entry) = shard.get_mut(&address).and_then(|v| v.get_mut(&tx_index)) {
+    pub(crate) fn convert_writes_to_estimates(&self, tx_index: usize, writes: &[CellKey]) {
+        for &key in writes {
+            let mut shard = self.shard(key.address).lock().expect("mvcc shard lock");
+            if let Some(entry) = shard
+                .get_mut(&key.address)
+                .and_then(|parts| parts.get_mut(&key.part))
+                .and_then(|versions| versions.get_mut(&tx_index))
+            {
                 entry.estimate = true;
             }
         }
@@ -149,34 +356,41 @@ impl MvMemory {
     /// Re-resolves a recorded read set for transaction `tx_index`. The read set is
     /// valid iff every read resolves to the same origin as during execution and no
     /// resolved entry is an estimate.
-    pub(crate) fn validate_reads(&self, tx_index: usize, reads: &[(Address, ReadOrigin)]) -> bool {
-        reads.iter().all(
-            |&(address, origin)| match (self.read(address, tx_index), origin) {
+    pub(crate) fn validate_reads(&self, tx_index: usize, reads: &[(CellKey, ReadOrigin)]) -> bool {
+        reads
+            .iter()
+            .all(|&(key, origin)| match (self.read(key, tx_index), origin) {
                 (ReadResult::Base, ReadOrigin::Base) => true,
                 (
                     ReadResult::Version {
                         txn,
                         incarnation,
                         estimate,
-                        ..
                     },
                     ReadOrigin::Version(read_txn, read_incarnation),
                 ) => !estimate && txn == read_txn && incarnation == read_incarnation,
                 _ => false,
-            },
-        )
+            })
     }
 
-    /// The final value of every written account — for each address, the write of the
-    /// highest transaction index. Called once after the whole block has executed and
-    /// validated; the values are installed into the engine's `WorldState`.
-    pub(crate) fn final_writes(&self) -> Vec<(Address, Option<StoredAccount>)> {
-        let mut out = Vec::new();
-        for shard in &self.shards {
-            let shard = shard.lock().expect("mvcc shard lock");
-            for (address, versions) in shard.iter() {
-                if let Some((_, entry)) = versions.iter().next_back() {
-                    out.push((*address, entry.value.clone()));
+    /// The final value of every written cell — for each cell, the write of the
+    /// highest transaction index. Called once after the whole block has executed
+    /// and validated; the map is consumed, so values *move* out instead of being
+    /// cloned under shard locks, and the result's deterministic `BTreeMap` order
+    /// is what the engine's commit walks.
+    pub(crate) fn into_final_cells(self) -> BTreeMap<Address, BTreeMap<CellPart, CellValue>> {
+        let mut out: BTreeMap<Address, BTreeMap<CellPart, CellValue>> = BTreeMap::new();
+        for shard in self.shards {
+            let shard = shard.into_inner().expect("mvcc shard lock");
+            for (address, parts) in shard {
+                let cells = out.entry(address).or_default();
+                for (part, versions) in parts {
+                    if let Some((_, entry)) = versions.into_iter().next_back() {
+                        cells.insert(part, entry.value);
+                    }
+                }
+                if cells.is_empty() {
+                    out.remove(&address);
                 }
             }
         }
@@ -187,72 +401,124 @@ impl MvMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn addr(n: u64) -> Address {
         Address::from_low(n)
     }
 
-    fn account(balance: u64) -> Option<StoredAccount> {
-        Some(StoredAccount {
+    fn stored(balance: u64) -> StoredAccount {
+        StoredAccount {
             balance_sats: balance,
             nonce: 0,
             storage: Vec::new(),
             code_json: None,
-        })
+        }
     }
 
-    fn record(address: Address, balance: u64) -> DeltaRecord {
-        DeltaRecord {
-            address,
-            account: account(balance),
+    fn meta_key(n: u64) -> CellKey {
+        CellKey {
+            address: addr(n),
+            part: CellPart::Meta,
+        }
+    }
+
+    fn slot_key(n: u64, slot: u64) -> CellKey {
+        CellKey {
+            address: addr(n),
+            part: CellPart::Slot(slot),
+        }
+    }
+
+    fn meta_write(n: u64, balance: u64) -> CellWrite {
+        CellWrite {
+            key: meta_key(n),
+            value: CellValue::Fragment(Some(FragmentValue::Meta {
+                balance_sats: balance,
+                nonce: 0,
+            })),
+        }
+    }
+
+    fn slot_write(n: u64, slot: u64, value: u64) -> CellWrite {
+        CellWrite {
+            key: slot_key(n, slot),
+            value: CellValue::Fragment(Some(FragmentValue::Slot(value))),
+        }
+    }
+
+    fn resolved_txn(mv: &MvMemory, key: CellKey, reader: usize) -> Option<usize> {
+        match mv.read(key, reader) {
+            ReadResult::Base => None,
+            ReadResult::Version { txn, .. } => Some(txn),
         }
     }
 
     #[test]
     fn read_resolves_highest_version_below_reader() {
         let mv = MvMemory::new();
-        mv.apply(2, 0, &mut vec![record(addr(1), 20)], &[]);
-        mv.apply(5, 0, &mut vec![record(addr(1), 50)], &[]);
+        mv.apply(2, 0, &mut vec![meta_write(1, 20)], &[]);
+        mv.apply(5, 0, &mut vec![meta_write(1, 50)], &[]);
 
-        assert!(matches!(mv.read(addr(1), 2), ReadResult::Base));
-        match mv.read(addr(1), 4) {
-            ReadResult::Version { txn, value, .. } => {
-                assert_eq!(txn, 2);
-                assert_eq!(value.unwrap().balance_sats, 20);
-            }
-            other => panic!("expected version, got {other:?}"),
-        }
-        match mv.read(addr(1), 9) {
-            ReadResult::Version { txn, .. } => assert_eq!(txn, 5),
-            other => panic!("expected version, got {other:?}"),
-        }
-        assert!(matches!(mv.read(addr(2), 9), ReadResult::Base));
+        assert!(matches!(mv.read(meta_key(1), 2), ReadResult::Base));
+        assert_eq!(resolved_txn(&mv, meta_key(1), 4), Some(2));
+        assert_eq!(resolved_txn(&mv, meta_key(1), 9), Some(5));
+        assert!(matches!(mv.read(meta_key(2), 9), ReadResult::Base));
+    }
+
+    #[test]
+    fn disjoint_cells_of_one_account_resolve_independently() {
+        let mv = MvMemory::new();
+        mv.apply(1, 0, &mut vec![slot_write(9, 3, 30)], &[]);
+        mv.apply(2, 0, &mut vec![slot_write(9, 7, 70)], &[]);
+
+        // A reader of slot 3 sees only the slot-3 writer; slot 7's write is not
+        // a conflict edge for it.
+        assert_eq!(resolved_txn(&mv, slot_key(9, 3), 5), Some(1));
+        assert_eq!(resolved_txn(&mv, slot_key(9, 7), 5), Some(2));
+        assert!(matches!(mv.read(meta_key(9), 5), ReadResult::Base));
+        assert!(mv.validate_reads(5, &[(slot_key(9, 3), ReadOrigin::Version(1, 0))]));
+
+        // But an account-level read surfaces both cells.
+        let mut cells = Vec::new();
+        mv.read_account(addr(9), 5, &mut cells);
+        assert_eq!(
+            cells.iter().map(|c| (c.part, c.txn)).collect::<Vec<_>>(),
+            vec![(CellPart::Slot(3), 1), (CellPart::Slot(7), 2)]
+        );
     }
 
     #[test]
     fn apply_reports_new_paths_and_clears_stale_writes() {
         let mv = MvMemory::new();
-        assert!(mv.apply(3, 0, &mut vec![record(addr(1), 10)], &[]));
+        assert!(mv.apply(3, 0, &mut vec![meta_write(1, 10)], &[]));
         // Same write set: no new path.
-        assert!(!mv.apply(3, 1, &mut vec![record(addr(1), 11)], &[addr(1)]));
-        // Moves to a different address: new path, and the stale entry disappears.
-        assert!(mv.apply(3, 2, &mut vec![record(addr(2), 12)], &[addr(1)]));
-        assert!(matches!(mv.read(addr(1), 9), ReadResult::Base));
-        match mv.read(addr(2), 9) {
+        assert!(!mv.apply(3, 1, &mut vec![meta_write(1, 11)], &[meta_key(1)]));
+        // Moves to a different cell: new path, and the stale entry disappears.
+        assert!(mv.apply(3, 2, &mut vec![meta_write(2, 12)], &[meta_key(1)]));
+        assert!(matches!(mv.read(meta_key(1), 9), ReadResult::Base));
+        match mv.read(meta_key(2), 9) {
             ReadResult::Version { incarnation, .. } => assert_eq!(incarnation, 2),
             other => panic!("expected version, got {other:?}"),
         }
+        // A new slot of an already-written account is a new path too.
+        assert!(mv.apply(
+            3,
+            3,
+            &mut vec![meta_write(2, 13), slot_write(2, 4, 44)],
+            &[meta_key(2)]
+        ));
     }
 
     #[test]
     fn estimates_flow_through_read_and_validation() {
         let mv = MvMemory::new();
-        mv.apply(1, 0, &mut vec![record(addr(7), 70)], &[]);
-        let reads = vec![(addr(7), ReadOrigin::Version(1, 0))];
+        mv.apply(1, 0, &mut vec![meta_write(7, 70)], &[]);
+        let reads = vec![(meta_key(7), ReadOrigin::Version(1, 0))];
         assert!(mv.validate_reads(4, &reads));
 
-        mv.convert_writes_to_estimates(1, &[addr(7)]);
-        match mv.read(addr(7), 4) {
+        mv.convert_writes_to_estimates(1, &[meta_key(7)]);
+        match mv.read(meta_key(7), 4) {
             ReadResult::Version { estimate, .. } => assert!(estimate),
             other => panic!("expected version, got {other:?}"),
         }
@@ -260,47 +526,347 @@ mod tests {
 
         // Re-execution at the next incarnation clears the estimate but the version
         // stamp changed, so the old read is still invalid.
-        mv.apply(1, 1, &mut vec![record(addr(7), 71)], &[addr(7)]);
+        mv.apply(1, 1, &mut vec![meta_write(7, 71)], &[meta_key(7)]);
         assert!(!mv.validate_reads(4, &reads));
-        assert!(mv.validate_reads(4, &[(addr(7), ReadOrigin::Version(1, 1))]));
+        assert!(mv.validate_reads(4, &[(meta_key(7), ReadOrigin::Version(1, 1))]));
     }
 
     #[test]
     fn validation_catches_origin_flips_both_ways() {
         let mv = MvMemory::new();
         // Read resolved from base, then a lower write appears.
-        assert!(mv.validate_reads(5, &[(addr(3), ReadOrigin::Base)]));
-        mv.apply(2, 0, &mut vec![record(addr(3), 30)], &[]);
-        assert!(!mv.validate_reads(5, &[(addr(3), ReadOrigin::Base)]));
+        assert!(mv.validate_reads(5, &[(meta_key(3), ReadOrigin::Base)]));
+        mv.apply(2, 0, &mut vec![meta_write(3, 30)], &[]);
+        assert!(!mv.validate_reads(5, &[(meta_key(3), ReadOrigin::Base)]));
         // Read resolved from a version, then the write retreats.
-        assert!(mv.validate_reads(5, &[(addr(3), ReadOrigin::Version(2, 0))]));
-        mv.apply(2, 1, &mut vec![], &[addr(3)]);
-        assert!(!mv.validate_reads(5, &[(addr(3), ReadOrigin::Version(2, 0))]));
+        assert!(mv.validate_reads(5, &[(meta_key(3), ReadOrigin::Version(2, 0))]));
+        mv.apply(2, 1, &mut vec![], &[meta_key(3)]);
+        assert!(!mv.validate_reads(5, &[(meta_key(3), ReadOrigin::Version(2, 0))]));
     }
 
     #[test]
-    fn final_writes_take_the_highest_transaction() {
+    fn final_cells_take_the_highest_transaction() {
         let mv = MvMemory::new();
+        mv.apply(0, 0, &mut vec![meta_write(1, 10), meta_write(2, 20)], &[]);
         mv.apply(
-            0,
-            0,
-            &mut vec![record(addr(1), 10), record(addr(2), 20)],
+            4,
+            1,
+            &mut vec![meta_write(1, 40), slot_write(1, 6, 66)],
             &[],
         );
-        mv.apply(4, 1, &mut vec![record(addr(1), 40)], &[]);
         mv.apply(
             6,
             0,
-            &mut vec![DeltaRecord {
-                address: addr(2),
-                account: None,
+            &mut vec![CellWrite {
+                key: meta_key(2),
+                value: CellValue::Fragment(None),
             }],
             &[],
         );
-        let mut finals = mv.final_writes();
-        finals.sort_by_key(|(a, _)| *a);
+        let finals = mv.into_final_cells();
         assert_eq!(finals.len(), 2);
-        assert_eq!(finals[0].1.as_ref().unwrap().balance_sats, 40);
-        assert!(finals[1].1.is_none(), "deletion survives as None");
+        assert_eq!(
+            finals[&addr(1)][&CellPart::Meta],
+            CellValue::Fragment(Some(FragmentValue::Meta {
+                balance_sats: 40,
+                nonce: 0
+            }))
+        );
+        assert_eq!(
+            finals[&addr(1)][&CellPart::Slot(6)],
+            CellValue::Fragment(Some(FragmentValue::Slot(66)))
+        );
+        assert_eq!(
+            finals[&addr(2)][&CellPart::Meta],
+            CellValue::Fragment(None),
+            "deletion survives as a None fragment"
+        );
+    }
+
+    #[test]
+    fn whole_account_cells_support_the_compatibility_mode() {
+        let mv = MvMemory::new();
+        let key = CellKey {
+            address: addr(5),
+            part: CellPart::Whole,
+        };
+        mv.apply(
+            2,
+            0,
+            &mut vec![CellWrite {
+                key,
+                value: CellValue::Whole(Some(stored(500))),
+            }],
+            &[],
+        );
+        assert_eq!(resolved_txn(&mv, key, 4), Some(2));
+        let mut value = None;
+        apply_cell(
+            addr(5),
+            &mut value,
+            CellPart::Whole,
+            &CellValue::Whole(Some(stored(500))),
+        );
+        assert_eq!(value, Some(stored(500)));
+    }
+
+    // ---- property oracles -------------------------------------------------
+
+    /// Naive single-map model of the multi-version store: no shards, no locks,
+    /// one flat `(cell, txn) → entry` map.
+    #[derive(Default)]
+    struct NaiveModel {
+        entries: BTreeMap<(CellKey, usize), (u32, bool)>,
+    }
+
+    impl NaiveModel {
+        fn apply(
+            &mut self,
+            txn: usize,
+            incarnation: u32,
+            writes: &[CellKey],
+            previous: &[CellKey],
+        ) {
+            for &key in previous {
+                if !writes.contains(&key) {
+                    self.entries.remove(&(key, txn));
+                }
+            }
+            for &key in writes {
+                self.entries.insert((key, txn), (incarnation, false));
+            }
+        }
+
+        fn estimate(&mut self, txn: usize, writes: &[CellKey]) {
+            for &key in writes {
+                if let Some(entry) = self.entries.get_mut(&(key, txn)) {
+                    entry.1 = true;
+                }
+            }
+        }
+
+        fn resolve(&self, key: CellKey, reader: usize) -> Option<(usize, u32, bool)> {
+            self.entries
+                .range((key, 0)..(key, reader))
+                .next_back()
+                .map(|(&(_, txn), &(incarnation, estimate))| (txn, incarnation, estimate))
+        }
+    }
+
+    /// The cell-key universe the interleaving oracle draws from: two accounts'
+    /// metas plus shared-contract slots and code — the shapes the engine writes.
+    fn oracle_key(index: u8) -> CellKey {
+        match index % 6 {
+            0 => meta_key(1),
+            1 => meta_key(2),
+            2 => slot_key(2, 3),
+            3 => slot_key(2, 7),
+            4 => slot_key(2, 11),
+            _ => CellKey {
+                address: addr(2),
+                part: CellPart::Code,
+            },
+        }
+    }
+
+    fn oracle_value(key: CellKey, value: u8) -> CellValue {
+        if value == 0 {
+            return CellValue::Fragment(None);
+        }
+        CellValue::Fragment(Some(match key.part {
+            CellPart::Meta => FragmentValue::Meta {
+                balance_sats: u64::from(value),
+                nonce: 0,
+            },
+            CellPart::Slot(_) => FragmentValue::Slot(u64::from(value)),
+            CellPart::Code => FragmentValue::Code(format!("code-{value}")),
+            CellPart::Whole => unreachable!("oracle keys are fragment cells"),
+        }))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Random interleavings of apply / estimate / read over shared-contract
+        // cells must agree, resolution for resolution, with the naive
+        // single-map model — and the drained final cells must be the
+        // highest-transaction entries the model predicts.
+        #[test]
+        fn interleavings_agree_with_the_naive_model(
+            ops in proptest::collection::vec((0u8..10, 0u8..4, 0u8..12, 0u8..5), 1..40),
+        ) {
+            let mv = MvMemory::new();
+            let mut model = NaiveModel::default();
+            let mut incarnations = [0u32; 10];
+            let mut last_writes: Vec<Vec<CellKey>> = vec![Vec::new(); 10];
+
+            for (txn, action, key_roll, value_roll) in ops {
+                let txn = txn as usize;
+                match action {
+                    // Execute: install a small write set over the key universe.
+                    0 | 1 => {
+                        let mut keys = vec![oracle_key(key_roll), oracle_key(key_roll + value_roll + 1)];
+                        keys.sort_unstable();
+                        keys.dedup();
+                        let mut writes: Vec<CellWrite> = keys
+                            .iter()
+                            .map(|&key| CellWrite { key, value: oracle_value(key, value_roll) })
+                            .collect();
+                        let incarnation = incarnations[txn];
+                        incarnations[txn] += 1;
+                        mv.apply(txn, incarnation, &mut writes, &last_writes[txn]);
+                        model.apply(txn, incarnation, &keys, &last_writes[txn].clone());
+                        last_writes[txn] = keys;
+                    }
+                    // Abort: the last write set becomes estimates.
+                    2 => {
+                        mv.convert_writes_to_estimates(txn, &last_writes[txn]);
+                        model.estimate(txn, &last_writes[txn]);
+                    }
+                    // Read: resolve one cell for this reader in both stores.
+                    _ => {
+                        let key = oracle_key(key_roll);
+                        let resolved = match mv.read(key, txn) {
+                            ReadResult::Base => None,
+                            ReadResult::Version { txn, incarnation, estimate } => {
+                                Some((txn, incarnation, estimate))
+                            }
+                        };
+                        prop_assert_eq!(resolved, model.resolve(key, txn), "read of {:?} by {}", key, txn);
+                    }
+                }
+            }
+
+            // Whole-universe sweep: every cell, every reader.
+            for key_roll in 0..6u8 {
+                let key = oracle_key(key_roll);
+                for reader in 0..11usize {
+                    let resolved = match mv.read(key, reader) {
+                        ReadResult::Base => None,
+                        ReadResult::Version { txn, incarnation, estimate } => {
+                            Some((txn, incarnation, estimate))
+                        }
+                    };
+                    prop_assert_eq!(resolved, model.resolve(key, reader));
+                }
+            }
+
+            // Validation must accept exactly the model's current resolutions
+            // (sans estimates).
+            for key_roll in 0..6u8 {
+                let key = oracle_key(key_roll);
+                let origin = match model.resolve(key, 10) {
+                    None => ReadOrigin::Base,
+                    Some((txn, incarnation, _)) => ReadOrigin::Version(txn, incarnation),
+                };
+                let estimate = model.resolve(key, 10).is_some_and(|(_, _, e)| e);
+                prop_assert_eq!(mv.validate_reads(10, &[(key, origin)]), !estimate);
+            }
+
+            let finals = mv.into_final_cells();
+            for key_roll in 0..6u8 {
+                let key = oracle_key(key_roll);
+                let drained = finals.get(&key.address).and_then(|parts| parts.get(&key.part));
+                prop_assert_eq!(
+                    drained.is_some(),
+                    model.resolve(key, usize::MAX).is_some(),
+                    "final cell presence for {:?}",
+                    key
+                );
+            }
+        }
+
+        // Refinement: committing a block of per-transaction mutations through
+        // key-granular fragment cells must reassemble to exactly the accounts
+        // the whole-account (account-granular) cells produce — key granularity
+        // changes the conflict structure, never the committed values.
+        #[test]
+        fn key_granularity_refines_account_granularity(
+            base_balance in 1u64..1_000,
+            base_slots in proptest::collection::vec((0u64..5, 1u64..50), 0..4),
+            mutations in proptest::collection::vec((0u8..2, 0u8..5, 0u64..5, 0u64..4), 1..12),
+        ) {
+            let address = addr(42);
+            let mut base = stored(base_balance);
+            for (slot, value) in base_slots {
+                if base.storage.binary_search_by_key(&slot, |(k, _)| *k).is_err() {
+                    let pos = base.storage.partition_point(|(k, _)| *k < slot);
+                    base.storage.insert(pos, (slot, value));
+                }
+            }
+            let base = Some(base);
+
+            let key_mv = MvMemory::new();
+            let account_mv = MvMemory::new();
+            let whole_key = CellKey { address, part: CellPart::Whole };
+
+            for (t, (kind, balance_roll, slot, slot_value)) in mutations.into_iter().enumerate() {
+                // The transaction's served pre-state: base overlaid with every
+                // winning key-granular cell below it.
+                let mut pre = base.clone();
+                let mut cells = Vec::new();
+                key_mv.read_account(address, t, &mut cells);
+                for cell in &cells {
+                    apply_cell(address, &mut pre, cell.part, &cell.value);
+                }
+
+                let post = match kind {
+                    // Delete the account.
+                    0 if balance_roll == 0 => None,
+                    // Mutate meta.
+                    0 => {
+                        let mut next = pre.clone().unwrap_or_else(|| stored(0));
+                        next.balance_sats = next.balance_sats.wrapping_add(u64::from(balance_roll));
+                        next.nonce += 1;
+                        Some(next)
+                    }
+                    // Mutate one slot (0 clears it).
+                    _ => {
+                        let mut next = pre.clone().unwrap_or_else(|| stored(0));
+                        match next.storage.binary_search_by_key(&slot, |(k, _)| *k) {
+                            Ok(pos) => {
+                                if slot_value == 0 {
+                                    next.storage.remove(pos);
+                                } else {
+                                    next.storage[pos].1 = slot_value;
+                                }
+                            }
+                            Err(pos) => {
+                                if slot_value != 0 {
+                                    next.storage.insert(pos, (slot, slot_value));
+                                }
+                            }
+                        }
+                        Some(next)
+                    }
+                };
+
+                let mut fragments = Vec::new();
+                blockconc_store::diff_account_fragments(address, pre.as_ref(), post.as_ref(), &mut fragments);
+                let mut writes: Vec<CellWrite> = fragments
+                    .into_iter()
+                    .map(|f| CellWrite { key: cell_key_of(f.key), value: CellValue::Fragment(f.value) })
+                    .collect();
+                key_mv.apply(t, 0, &mut writes, &[]);
+
+                let mut whole = vec![CellWrite { key: whole_key, value: CellValue::Whole(post) }];
+                account_mv.apply(t, 0, &mut whole, &[]);
+            }
+
+            // Reassemble the committed account both ways.
+            let mut key_committed = base.clone();
+            if let Some(parts) = key_mv.into_final_cells().get(&address) {
+                for (part, cell) in parts {
+                    apply_cell(address, &mut key_committed, *part, cell);
+                }
+            }
+            let mut account_committed = base.clone();
+            if let Some(parts) = account_mv.into_final_cells().get(&address) {
+                for (part, cell) in parts {
+                    apply_cell(address, &mut account_committed, *part, cell);
+                }
+            }
+            prop_assert_eq!(key_committed, account_committed);
+        }
     }
 }

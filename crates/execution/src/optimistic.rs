@@ -8,11 +8,24 @@
 //! against the highest finished versions, `ESTIMATE` markers + dependency
 //! suspension for known-stale reads, and a collaborative scheduler driving both
 //! task kinds from two atomic counters.
+//!
+//! Conflicts are tracked per [`StateKey`](blockconc_store::StateKey)-granular
+//! *cell* (balance/nonce pair,
+//! individual storage slot, deployed code — see [`crate::mvcc`]): a transaction
+//! only aborts when a cell it actually consumed changes under it, so
+//! transactions touching disjoint slots of one shared contract run
+//! conflict-free. The pre-refactor whole-account tracking survives behind
+//! [`OptimisticEngine::with_account_granularity`] as a measurable baseline.
 
-use crate::mvcc::{MvMemory, ReadOrigin, ReadResult};
+use crate::mvcc::{
+    apply_cell, cell_key_of, overlay_cell, CellKey, CellPart, CellRead, CellValue, CellWrite,
+    MvMemory, ReadOrigin,
+};
 use crate::thread_pool::{Job, WorkerPool};
 use crate::{ExecutionEngine, ExecutionReport};
-use blockconc_account::{AccountBlock, BlockExecutor, ExecutedBlock, Receipt, WorldState};
+use blockconc_account::{
+    AccessSet, AccountBlock, BlockExecutor, ExecutedBlock, Receipt, WorldState,
+};
 use blockconc_store::{
     BlockDelta, CommitStats, SharedBackend, StateBackend, StoreStats, StoredAccount,
 };
@@ -33,48 +46,169 @@ const MAX_INCARNATIONS: u32 = 32;
 // The per-transaction versioned view.
 // ---------------------------------------------------------------------------
 
+/// Conflict-tracking granularity of the multi-version machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Granularity {
+    /// Per-[`StateKey`](blockconc_store::StateKey) cells — the default. Write
+    /// sets decompose into fragments diffed against the served pre-state, and
+    /// validation covers exactly the cells the transaction consumed.
+    Key,
+    /// Whole-account cells — the pre-refactor baseline, kept as a measurable
+    /// comparison mode (`with_account_granularity`).
+    Account,
+}
+
+/// One account as served to a transaction: the assembled value plus the cell
+/// origins the assembly resolved (a part absent from `origins` came from base).
+#[derive(Debug)]
+struct CachedAccount {
+    value: Option<StoredAccount>,
+    origins: Vec<(CellPart, ReadOrigin, bool)>,
+}
+
 /// A [`StateBackend`] that resolves reads through the multi-version map (falling
 /// through to the immutable pre-block state) and captures the transaction's
 /// write-set delta at `commit_block`.
 ///
 /// Each optimistic execution mounts a fresh `MvView` under a scratch
 /// [`WorldState`], so the unmodified sequential executor runs on top of it: every
-/// account read misses the empty working set and lands here (recording the read's
-/// origin for later validation), and the scratch commit delivers the write set
-/// without touching any real store.
+/// account read misses the empty working set and lands here. The view assembles
+/// the account from the base value plus every winning versioned cell below the
+/// reader, remembering each cell's origin; after the execution,
+/// [`consumed_reads`](MvView::consumed_reads) projects those origins onto the
+/// keys the transaction actually consumed — that projection is the validation
+/// read set, and it is what makes a slot-7 write invisible to a slot-3 reader.
 #[derive(Debug)]
 struct MvView {
     mv: Arc<MvMemory>,
     base: Arc<WorldState>,
     tx_index: usize,
-    /// First-read origins, in read order — the validation read set.
-    reads: Vec<(Address, ReadOrigin)>,
-    /// First-read values, so one execution observes a stable snapshot per address.
-    cache: HashMap<Address, Option<StoredAccount>>,
-    /// Lowest-indexed transaction whose `ESTIMATE` this execution read, if any.
-    blocked_on: Option<usize>,
+    granularity: Granularity,
+    /// First-read values + cell origins, so one execution observes a stable
+    /// snapshot per address.
+    cache: HashMap<Address, CachedAccount>,
+    /// Scratch buffer for [`MvMemory::read_account`] resolutions.
+    cell_buf: Vec<CellRead>,
 }
 
 impl MvView {
-    fn new(mv: Arc<MvMemory>, base: Arc<WorldState>, tx_index: usize) -> Self {
+    fn new(
+        mv: Arc<MvMemory>,
+        base: Arc<WorldState>,
+        tx_index: usize,
+        granularity: Granularity,
+    ) -> Self {
         MvView {
             mv,
             base,
             tx_index,
-            reads: Vec::new(),
+            granularity,
             cache: HashMap::new(),
-            blocked_on: None,
+            cell_buf: Vec::new(),
         }
     }
 
     /// Re-arms the view for another transaction, keeping the allocated capacity
-    /// of the read set and cache — the view is reused by its worker for every
-    /// execution instead of being rebuilt per transaction.
+    /// of the cache — the view is reused by its worker for every execution
+    /// instead of being rebuilt per transaction.
     fn reset(&mut self, tx_index: usize) {
         self.tx_index = tx_index;
-        self.reads.clear();
         self.cache.clear();
-        self.blocked_on = None;
+    }
+
+    /// Appends the consumed read of one cell to `out` and folds its blocking
+    /// estimate writer (if any) into `blocked`. A part with no recorded origin
+    /// resolved from base — the base cannot change during the block, so `Base`
+    /// is its validation origin.
+    fn push_consumed(
+        &self,
+        key: CellKey,
+        out: &mut Vec<(CellKey, ReadOrigin)>,
+        blocked: &mut Option<usize>,
+    ) {
+        let Some(cached) = self.cache.get(&key.address) else {
+            // Every tracked key belongs to an account the executor materialized
+            // through this view; a miss would mean an unvalidated read path.
+            debug_assert!(
+                false,
+                "consumed key {key:?} of an account the view never served"
+            );
+            return;
+        };
+        let mut origin = ReadOrigin::Base;
+        let mut estimate = false;
+        for &(part, cell_origin, cell_estimate) in &cached.origins {
+            if part == key.part {
+                origin = cell_origin;
+                estimate = cell_estimate;
+                break;
+            }
+        }
+        out.push((key, origin));
+        if estimate {
+            if let ReadOrigin::Version(txn, _) = origin {
+                // The *lowest-indexed* estimate writer: suspending on the
+                // earliest blocker resumes as soon as any stale input can
+                // change, instead of waiting out a higher-indexed writer first.
+                *blocked = Some(blocked.map_or(txn, |b| b.min(txn)));
+            }
+        }
+    }
+
+    /// Computes the finished execution's validation read set into `out` (sorted,
+    /// deduplicated) and returns the lowest-indexed transaction whose `ESTIMATE`
+    /// the execution consumed, if any — the dependency to suspend on.
+    ///
+    /// Key granularity consumes the tracked [`AccessSet`] (reads *and* writes —
+    /// a written key's fragment-or-not decision depends on its served pre-value,
+    /// so writes validate like reads) plus the sender's meta, which every
+    /// execution reads for the nonce check before any tracking starts. When the
+    /// execution failed (`access` is `None`), everything it observed was decided
+    /// by the sender's meta alone. Account granularity consumes every account
+    /// the view served, as one whole-account cell each.
+    fn consumed_reads(
+        &self,
+        access: Option<&AccessSet>,
+        sender: Address,
+        out: &mut Vec<(CellKey, ReadOrigin)>,
+    ) -> Option<usize> {
+        out.clear();
+        let mut blocked = None;
+        match self.granularity {
+            Granularity::Key => {
+                self.push_consumed(
+                    CellKey {
+                        address: sender,
+                        part: CellPart::Meta,
+                    },
+                    out,
+                    &mut blocked,
+                );
+                if let Some(access) = access {
+                    for &key in access.reads() {
+                        self.push_consumed(cell_key_of(key), out, &mut blocked);
+                    }
+                    for &key in access.writes() {
+                        self.push_consumed(cell_key_of(key), out, &mut blocked);
+                    }
+                }
+            }
+            Granularity::Account => {
+                for address in self.cache.keys() {
+                    self.push_consumed(
+                        CellKey {
+                            address: *address,
+                            part: CellPart::Whole,
+                        },
+                        out,
+                        &mut blocked,
+                    );
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        blocked
     }
 }
 
@@ -85,27 +219,28 @@ impl StateBackend for MvView {
 
     fn get_account(&mut self, address: Address) -> Option<StoredAccount> {
         if let Some(cached) = self.cache.get(&address) {
-            return cached.clone();
+            return cached.value.clone();
         }
-        let (value, origin) = match self.mv.read(address, self.tx_index) {
-            ReadResult::Base => (self.base.export_account(address), ReadOrigin::Base),
-            ReadResult::Version {
-                txn,
-                incarnation,
-                estimate,
-                value,
-            } => {
-                if estimate {
-                    // Known-stale data: remember the blocking writer so the caller
-                    // can suspend; keep executing so control flow stays simple (the
-                    // whole outcome is discarded).
-                    self.blocked_on.get_or_insert(txn);
-                }
-                (value, ReadOrigin::Version(txn, incarnation))
-            }
-        };
-        self.reads.push((address, origin));
-        self.cache.insert(address, value.clone());
+        self.cell_buf.clear();
+        self.mv
+            .read_account(address, self.tx_index, &mut self.cell_buf);
+        let mut value = self.base.export_account(address);
+        let mut origins = Vec::with_capacity(self.cell_buf.len());
+        for cell in self.cell_buf.drain(..) {
+            apply_cell(address, &mut value, cell.part, &cell.value);
+            origins.push((
+                cell.part,
+                ReadOrigin::Version(cell.txn, cell.incarnation),
+                cell.estimate,
+            ));
+        }
+        self.cache.insert(
+            address,
+            CachedAccount {
+                value: value.clone(),
+                origins,
+            },
+        );
         value
     }
 
@@ -458,13 +593,19 @@ struct RunCtx {
     base: Arc<WorldState>,
     block: AccountBlock,
     scheduler: Scheduler,
+    granularity: Granularity,
     /// Latest receipt per transaction (set at every finished execution).
     outcomes: Vec<Mutex<Option<Receipt>>>,
     /// Latest validation read set per transaction.
-    read_sets: Vec<Mutex<Vec<(Address, ReadOrigin)>>>,
-    /// Addresses written by the previous incarnation (for stale-entry removal and
-    /// `wrote_new_path` detection).
-    last_writes: Vec<Mutex<Vec<Address>>>,
+    read_sets: Vec<Mutex<Vec<(CellKey, ReadOrigin)>>>,
+    /// Cells written by the previous incarnation (for stale-entry removal and
+    /// `wrote_new_path` detection), sorted.
+    last_writes: Vec<Mutex<Vec<CellKey>>>,
+    /// Addresses the latest incarnation dirtied — changed or not. The commit
+    /// needs the union of these to reproduce the sequential write set exactly:
+    /// an account whose every consumed key diffed to "unchanged" produces no
+    /// cell, but sequential execution still journals it.
+    touched: Vec<Mutex<Vec<Address>>>,
     /// Whether the transaction was aborted at least once (the conflict count).
     ever_aborted: Vec<AtomicBool>,
     executions: AtomicU64,
@@ -484,12 +625,20 @@ struct WorkerScratch {
     view: Arc<Mutex<MvView>>,
     state: WorldState,
     executor: BlockExecutor,
-    /// Reusable write-set buffer: filled by `take_write_set`, drained by
-    /// `MvMemory::apply` — the records move into the version map and the
+    /// Reusable cell-write buffer: filled from the harvested write set, drained
+    /// by `MvMemory::apply` — the values move into the version map and the
     /// vector's capacity survives for the next transaction.
-    writes: Vec<blockconc_store::DeltaRecord>,
-    /// Reusable written-addresses buffer, swapped into `last_writes[t]`.
+    writes: Vec<CellWrite>,
+    /// Reusable fragment buffer for `WorldState::take_write_fragments`.
+    fragments: Vec<blockconc_store::StateFragment>,
+    /// Reusable record buffer for `WorldState::take_write_set` (account mode).
+    records: Vec<blockconc_store::DeltaRecord>,
+    /// Reusable written-cell-keys buffer, swapped into `last_writes[t]`.
+    keys: Vec<CellKey>,
+    /// Reusable dirty-addresses buffer, swapped into `touched[t]`.
     addrs: Vec<Address>,
+    /// Reusable consumed-read-set buffer, swapped into `read_sets[t]`.
+    reads: Vec<(CellKey, ReadOrigin)>,
     executions: u64,
     validations: u64,
 }
@@ -500,6 +649,7 @@ impl WorkerScratch {
             Arc::clone(&ctx.mv),
             Arc::clone(&ctx.base),
             0,
+            ctx.granularity,
         )));
         let mut state = WorldState::new();
         state
@@ -510,7 +660,11 @@ impl WorkerScratch {
             state,
             executor: BlockExecutor::new(),
             writes: Vec::new(),
+            fragments: Vec::new(),
+            records: Vec::new(),
+            keys: Vec::new(),
             addrs: Vec::new(),
+            reads: Vec::new(),
             executions: 0,
             validations: 0,
         }
@@ -537,12 +691,48 @@ impl RunCtx {
             // the journalled per-transaction commit was pure overhead.
             ws.view.lock().expect("mv-view lock").reset(t);
             ws.state.reset_working_set();
-            let receipt = match ws.executor.execute_transaction(&mut ws.state, tx) {
-                Ok(ctx) => ctx.receipt,
-                Err(err) => Receipt::failure(tx.id(), Gas::ZERO, err.to_string()),
+            let (receipt, access) = match ws.executor.execute_transaction(&mut ws.state, tx) {
+                Ok(ctx) => (ctx.receipt, Some(ctx.access)),
+                Err(err) => (Receipt::failure(tx.id(), Gas::ZERO, err.to_string()), None),
             };
-            ws.state.take_write_set(&mut ws.writes);
-            let blocked_on = ws.view.lock().expect("mv-view lock").blocked_on.take();
+            // Harvest the write set as sorted cell writes: key-granular fragments
+            // (unchanged keys vanish here) or whole-account records.
+            ws.writes.clear();
+            match self.granularity {
+                Granularity::Key => {
+                    ws.state
+                        .take_write_fragments(&mut ws.fragments, &mut ws.addrs);
+                    ws.writes.extend(ws.fragments.drain(..).map(|f| CellWrite {
+                        key: cell_key_of(f.key),
+                        value: CellValue::Fragment(f.value),
+                    }));
+                }
+                Granularity::Account => {
+                    ws.state.take_write_set(&mut ws.records);
+                    ws.addrs.clear();
+                    ws.addrs.extend(ws.records.iter().map(|r| r.address));
+                    ws.writes.extend(ws.records.drain(..).map(|r| CellWrite {
+                        key: CellKey {
+                            address: r.address,
+                            part: CellPart::Whole,
+                        },
+                        value: CellValue::Whole(r.account),
+                    }));
+                }
+            }
+            let blocked_on = ws.view.lock().expect("mv-view lock").consumed_reads(
+                access.as_ref(),
+                tx.sender(),
+                &mut ws.reads,
+            );
+            // Every write must be a consumed key — otherwise its fragment-or-not
+            // decision would escape validation.
+            debug_assert!(
+                ws.writes
+                    .iter()
+                    .all(|w| ws.reads.iter().any(|&(key, _)| key == w.key)),
+                "write cell outside the consumed key set"
+            );
             if let Some(blocking) = blocked_on {
                 if self.scheduler.add_dependency(t, blocking) {
                     return None; // parked until the blocking transaction finishes
@@ -550,20 +740,23 @@ impl RunCtx {
                 continue; // blocker finished in the meantime: retry immediately
             }
             let wrote_new_path = {
-                ws.addrs.clear();
-                ws.addrs.extend(ws.writes.iter().map(|r| r.address));
+                ws.keys.clear();
+                ws.keys.extend(ws.writes.iter().map(|w| w.key));
                 let mut last = self.last_writes[t].lock().expect("last-writes lock");
                 let new_path = self.mv.apply(t, i, &mut ws.writes, &last);
-                // The previous incarnation's address list comes back to the worker
-                // as the next transaction's buffer — capacity circulates instead of
-                // being reallocated.
-                std::mem::swap(&mut *last, &mut ws.addrs);
+                // The previous incarnation's key list comes back to the worker
+                // as the next transaction's buffer — capacity circulates instead
+                // of being reallocated.
+                std::mem::swap(&mut *last, &mut ws.keys);
                 new_path
             };
             {
-                let mut view = ws.view.lock().expect("mv-view lock");
+                let mut slot = self.touched[t].lock().expect("touched lock");
+                std::mem::swap(&mut *slot, &mut ws.addrs);
+            }
+            {
                 let mut slot = self.read_sets[t].lock().expect("read-set lock");
-                std::mem::swap(&mut *slot, &mut view.reads);
+                std::mem::swap(&mut *slot, &mut ws.reads);
             }
             *self.outcomes[t].lock().expect("outcome lock") = Some(receipt);
             return self.scheduler.finish_execution(t, i, wrote_new_path);
@@ -656,10 +849,16 @@ pub struct OptimisticEngine {
     executor: BlockExecutor,
     clock: SharedClock,
     abort_injection: Option<AbortInjection>,
+    granularity: Granularity,
 }
 
 impl OptimisticEngine {
     /// Creates an engine whose persistent pool holds `threads` workers.
+    ///
+    /// Conflicts are tracked per [`StateKey`](blockconc_store::StateKey) (the
+    /// default since the granularity split); use
+    /// [`with_account_granularity`](Self::with_account_granularity) for the
+    /// whole-account baseline.
     ///
     /// # Panics
     ///
@@ -671,7 +870,17 @@ impl OptimisticEngine {
             executor: BlockExecutor::new(),
             clock: WallClock::shared(),
             abort_injection: None,
+            granularity: Granularity::Key,
         }
+    }
+
+    /// Switches conflict tracking back to whole-account granularity
+    /// (builder-style). Transactions touching *different* parts of one account
+    /// then conflict — the baseline the key-granular benchmarks compare
+    /// against. Reported as engine `"optimistic-account"`.
+    pub fn with_account_granularity(mut self) -> Self {
+        self.granularity = Granularity::Account;
+        self
     }
 
     /// This engine timing itself on `clock` instead of the wall clock
@@ -727,7 +936,10 @@ impl OptimisticEngine {
 
 impl ExecutionEngine for OptimisticEngine {
     fn name(&self) -> &'static str {
-        "optimistic"
+        match self.granularity {
+            Granularity::Key => "optimistic",
+            Granularity::Account => "optimistic-account",
+        }
     }
 
     fn execute(
@@ -750,9 +962,11 @@ impl ExecutionEngine for OptimisticEngine {
             base: Arc::clone(&base),
             block: block.clone(),
             scheduler: Scheduler::new(x),
+            granularity: self.granularity,
             outcomes: (0..x).map(|_| Mutex::new(None)).collect(),
             read_sets: (0..x).map(|_| Mutex::new(Vec::new())).collect(),
             last_writes: (0..x).map(|_| Mutex::new(Vec::new())).collect(),
+            touched: (0..x).map(|_| Mutex::new(Vec::new())).collect(),
             ever_aborted: (0..x).map(|_| AtomicBool::new(false)).collect(),
             executions: AtomicU64::new(0),
             validations: AtomicU64::new(0),
@@ -780,6 +994,7 @@ impl ExecutionEngine for OptimisticEngine {
             mv,
             base: ctx_base,
             outcomes,
+            touched,
             ever_aborted,
             executions,
             validations,
@@ -817,11 +1032,29 @@ impl ExecutionEngine for OptimisticEngine {
             return Ok((executed, report));
         }
 
-        // Commit: install the final buffered write sets directly — the step the
-        // two-phase engines punt on. `install_account`/`remove_account` mark the
-        // addresses dirty, so a pipeline-level `commit_block` journals exactly the
-        // delta sequential execution would have produced.
-        for (address, value) in mv.final_writes() {
+        // Commit: reassemble whole accounts from the final per-cell versions over
+        // the base state and install them directly — the step the two-phase
+        // engines punt on. The address set is the union of final-cell addresses
+        // and every transaction's dirty list: an account whose fragments all
+        // diffed away (value written back unchanged) produced no cells, yet
+        // sequential execution journals it — `touched` puts it back so
+        // `install_account`/`remove_account` mark exactly the addresses a
+        // pipeline-level `commit_block` would journal sequentially.
+        let mv = match Arc::try_unwrap(mv) {
+            Ok(mv) => mv,
+            Err(_) => unreachable!("workers exited"),
+        };
+        let mut final_cells = mv.into_final_cells();
+        for slot in touched {
+            for address in slot.into_inner().expect("touched lock") {
+                final_cells.entry(address).or_default();
+            }
+        }
+        for (address, parts) in final_cells {
+            let mut value = owned.export_account(address);
+            for (part, cell) in parts {
+                overlay_cell(address, &mut value, part, cell);
+            }
             match value {
                 Some(stored) => owned.install_account(address, &stored),
                 None => owned.remove_account(address),
@@ -1054,5 +1287,114 @@ mod tests {
     #[should_panic(expected = "thread count")]
     fn zero_threads_panics() {
         let _ = OptimisticEngine::new(0);
+    }
+
+    /// Regression: `blocked_on` must be the *lowest-indexed* estimate writer.
+    /// The first-encountered origin used to win, so a view whose key iteration
+    /// happened to hit a higher-indexed blocker first suspended on it and sat
+    /// out the earlier writer's re-execution.
+    #[test]
+    fn blocked_on_is_the_lowest_indexed_estimate_writer() {
+        use blockconc_store::{FragmentValue, StateKey};
+
+        let mv = Arc::new(MvMemory::new());
+        // Ascending key order encounters tx 5's estimate (lower address)
+        // before tx 2's — a first-encounter fold would return 5.
+        let early = Address::from_low(50);
+        let late = Address::from_low(60);
+        for (txn, address) in [(5usize, early), (2usize, late)] {
+            let key = CellKey {
+                address,
+                part: CellPart::Meta,
+            };
+            let mut writes = vec![CellWrite {
+                key,
+                value: CellValue::Fragment(Some(FragmentValue::Meta {
+                    balance_sats: 1,
+                    nonce: 0,
+                })),
+            }];
+            mv.apply(txn, 0, &mut writes, &[]);
+            mv.convert_writes_to_estimates(txn, &[key]);
+        }
+
+        let sender = Address::from_low(1);
+        let mut base = WorldState::new();
+        base.credit(sender, Amount::from_coins(1));
+        let mut view = MvView::new(Arc::clone(&mv), Arc::new(base), 8, Granularity::Key);
+        view.get_account(sender);
+        view.get_account(early);
+        view.get_account(late);
+
+        let mut access = AccessSet::default();
+        access.record_read(StateKey::Balance(early));
+        access.record_read(StateKey::Balance(late));
+        let mut out = Vec::new();
+        let blocked = view.consumed_reads(Some(&access), sender, &mut out);
+        assert_eq!(blocked, Some(2));
+        assert_eq!(out.len(), 3); // sender meta + the two estimate cells
+    }
+
+    /// A shared contract whose callers write disjoint storage slots: the
+    /// granularity tentpole's headline case. Distinct senders, one contract
+    /// account, zero overlapping `StateKey`s.
+    fn shared_counter_block(n: u64) -> (WorldState, AccountBlock) {
+        use blockconc_account::vm::Contract;
+
+        let contract_addr = Address::from_low(77_777);
+        let mut state = funded(100..100 + n);
+        state.deploy_contract(contract_addr, Arc::new(Contract::per_caller_counter()));
+        let txs = (0..n).map(|i| {
+            AccountTransaction::contract_call(
+                Address::from_low(100 + i),
+                contract_addr,
+                Amount::ZERO,
+                Vec::new(),
+                0,
+            )
+        });
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
+        (state, block)
+    }
+
+    #[test]
+    fn disjoint_slot_writers_never_conflict_at_key_granularity() {
+        let (state, block) = shared_counter_block(24);
+        let mut seq_state = state.clone();
+        let (seq_block, _) = SequentialEngine::new()
+            .execute(&mut seq_state, &block)
+            .unwrap();
+        let mut opt_state = state;
+        let mut engine = OptimisticEngine::new(4);
+        assert_eq!(engine.name(), "optimistic");
+        let (opt_block, report) = engine.execute(&mut opt_state, &block).unwrap();
+        assert!(opt_block.receipts().iter().all(|r| r.succeeded()));
+        assert_eq!(seq_block.receipts(), opt_block.receipts());
+        assert_eq!(seq_state.state_root(), opt_state.state_root());
+        // The whole point of per-key cells: every transaction touches the shared
+        // contract, yet none of them conflict — regardless of schedule.
+        assert_eq!(report.aborts, 0);
+        assert_eq!(report.re_executions, 0);
+        assert_eq!(report.sequential_fallbacks, 0);
+    }
+
+    #[test]
+    fn account_granularity_baseline_matches_sequential_on_disjoint_slots() {
+        let (state, block) = shared_counter_block(24);
+        let mut seq_state = state.clone();
+        let (seq_block, _) = SequentialEngine::new()
+            .execute(&mut seq_state, &block)
+            .unwrap();
+        let mut opt_state = state;
+        let mut engine = OptimisticEngine::new(4).with_account_granularity();
+        assert_eq!(engine.name(), "optimistic-account");
+        // Whole-account cells serialize the shared contract (every call is a
+        // write-after-read on one account), but the committed transition must
+        // still be bit-identical.
+        let (opt_block, _) = engine.execute(&mut opt_state, &block).unwrap();
+        assert_eq!(seq_block.receipts(), opt_block.receipts());
+        assert_eq!(seq_state.state_root(), opt_state.state_root());
     }
 }

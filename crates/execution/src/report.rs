@@ -29,6 +29,10 @@ pub struct ExecutionReport {
     /// Read-set validations performed (optimistic engine; 0 for the others).
     pub validations: u64,
     /// Validation failures that aborted an incarnation (optimistic engine).
+    /// Conflicts are counted at the engine's tracking granularity: per
+    /// `StateKey` cell by default, per whole account under
+    /// `with_account_granularity` — the same block can report near-zero aborts
+    /// at key granularity and near-total conflict at account granularity.
     pub aborts: u64,
     /// Transaction executions beyond the first per transaction (optimistic engine).
     pub re_executions: u64,

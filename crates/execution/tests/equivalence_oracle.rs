@@ -7,8 +7,13 @@
 //!
 //! Workloads are generated over a small sender pool so blocks routinely contain
 //! hot-account conflicts, same-sender nonce chains, bad-nonce failures and
-//! unfunded transfers, all in one block.
+//! unfunded transfers, all in one block. A shared per-caller-counter contract is
+//! pre-deployed, and a slice of the generated transactions call it — covering
+//! storage-slot fragments, the code-cell read and value transfers into a shared
+//! account. Every property rolls the engine's conflict granularity, so both the
+//! key-granular default and the whole-account baseline face the same blocks.
 
+use blockconc_account::vm::Contract;
 use blockconc_account::{AccountBlock, AccountTransaction, BlockBuilder, Receipt, WorldState};
 use blockconc_execution::{AbortInjection, ExecutionEngine, OptimisticEngine, SequentialEngine};
 use blockconc_store::{
@@ -20,10 +25,19 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Senders live at 100..100+SENDERS; receivers may extend past the funded pool,
 /// so transfers to never-seen accounts are part of every run.
 const SENDERS: u64 = 6;
+
+/// A shared per-caller-counter contract, pre-deployed in every run's pre-state.
+/// Calls write disjoint storage slots (one per caller) but a shared balance
+/// cell when value is attached — mixed key-granular conflict structure.
+const CONTRACT: u64 = 777;
+
+/// The receiver roll that turns a plan into a call of the shared contract.
+const CALL_MARKER: u64 = SENDERS + 3;
 
 /// One raw generated transfer: `(sender, receiver, sats, nonce_roll)` — a
 /// `nonce_roll` below 8 follows the sender's planned chain, otherwise the nonce
@@ -59,12 +73,22 @@ fn build_block(plans: &[RawPlan]) -> AccountBlock {
         } else {
             next_nonce[sender as usize] + 7
         };
-        AccountTransaction::transfer(
-            Address::from_low(100 + sender),
-            Address::from_low(100 + receiver),
-            Amount::from_sats(sats),
-            nonce,
-        )
+        if receiver == CALL_MARKER {
+            AccountTransaction::contract_call(
+                Address::from_low(100 + sender),
+                Address::from_low(CONTRACT),
+                Amount::from_sats(sats),
+                Vec::new(),
+                nonce,
+            )
+        } else {
+            AccountTransaction::transfer(
+                Address::from_low(100 + sender),
+                Address::from_low(100 + receiver),
+                Amount::from_sats(sats),
+                nonce,
+            )
+        }
     });
     BlockBuilder::new(1, 0, Address::from_low(1))
         .transactions(txs)
@@ -94,6 +118,10 @@ fn run_engine(
     for (i, sats) in funding.iter().enumerate() {
         state.credit(Address::from_low(100 + i as u64), Amount::from_sats(*sats));
     }
+    state.deploy_contract(
+        Address::from_low(CONTRACT),
+        Arc::new(Contract::per_caller_counter()),
+    );
     state
         .attach_backend(SharedBackend::clone(&backend), None)
         .expect("attach backend");
@@ -170,17 +198,29 @@ fn assert_equivalent(
     );
 }
 
+/// An engine with the rolled conflict granularity: even rolls keep the
+/// key-granular default, odd rolls take the whole-account baseline.
+fn engine_with(threads: usize, granularity_roll: u64) -> OptimisticEngine {
+    let engine = OptimisticEngine::new(threads);
+    if granularity_roll % 2 == 1 {
+        engine.with_account_granularity()
+    } else {
+        engine
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    // Memory backend: any generated block, any worker count.
+    // Memory backend: any generated block, any worker count, both granularities.
     #[test]
     fn optimistic_matches_sequential_in_memory(
         funding in any_vec(0u64..2_000_000, 6usize),
         plans in any_vec(plan_strategy(), 1..28),
         threads in 1usize..5,
+        granularity in 0u64..2,
     ) {
-        assert_equivalent(&funding, &plans, OptimisticEngine::new(threads), false);
+        assert_equivalent(&funding, &plans, engine_with(threads, granularity), false);
     }
 
     // Disk backend: the pre-state round-trips through the journal (genesis commit,
@@ -190,8 +230,9 @@ proptest! {
         funding in any_vec(0u64..2_000_000, 6usize),
         plans in any_vec(plan_strategy(), 1..16),
         threads in 1usize..5,
+        granularity in 0u64..2,
     ) {
-        assert_equivalent(&funding, &plans, OptimisticEngine::new(threads), true);
+        assert_equivalent(&funding, &plans, engine_with(threads, granularity), true);
     }
 
     // Forced aborts: deterministically fail validation for a large share of the
@@ -205,11 +246,61 @@ proptest! {
         seed in 0u64..u64::MAX,
         percent in 20u64..95,
         disk_roll in 0u64..2,
+        granularity in 0u64..2,
     ) {
-        let engine = OptimisticEngine::new(threads).with_forced_aborts(AbortInjection {
+        let engine = engine_with(threads, granularity).with_forced_aborts(AbortInjection {
             seed,
             percent: percent as u8,
         });
         assert_equivalent(&funding, &plans, engine, disk_roll == 1);
+    }
+}
+
+/// SplitMix64 step for the stress sweep below.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The CI abort-stress entry point: a deterministic sweep of forced-abort
+/// interleavings over both granularities. The base seed comes from the
+/// `BLOCKCONC_STRESS_SEED` environment variable (default 0), so a CI loop
+/// re-running this test under different values covers a fresh slice of the
+/// interleaving space on every iteration while staying reproducible.
+#[test]
+fn forced_abort_stress_sweep() {
+    let offset: u64 = std::env::var("BLOCKCONC_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut rng = offset
+        .wrapping_mul(0x0100_0000_01B3)
+        .wrapping_add(0xCBF2_9CE4);
+    for i in 0..12u64 {
+        let funding: Vec<u64> = (0..SENDERS).map(|_| mix(&mut rng) % 2_000_000).collect();
+        let plan_count = 4 + (mix(&mut rng) % 20) as usize;
+        let plans: Vec<RawPlan> = (0..plan_count)
+            .map(|_| {
+                (
+                    mix(&mut rng) % SENDERS,
+                    mix(&mut rng) % (SENDERS + 4),
+                    1 + mix(&mut rng) % 400_000,
+                    mix(&mut rng) % 10,
+                )
+            })
+            .collect();
+        let threads = 2 + (mix(&mut rng) % 3) as usize;
+        let injection = AbortInjection {
+            seed: mix(&mut rng),
+            percent: 65,
+        };
+        let on_disk = i % 6 == 0;
+        for granularity in 0..2u64 {
+            let engine = engine_with(threads, granularity).with_forced_aborts(injection);
+            assert_equivalent(&funding, &plans, engine, on_disk);
+        }
     }
 }

@@ -31,7 +31,16 @@ pub enum Direction {
 pub fn direction_for(path: &str) -> Direction {
     let path = path.to_ascii_lowercase();
     const WORSE: &[&str] = &[
-        "overhead", "wall", "nanos", "latency", "conflict", "abort", "dropped", "evicted",
+        "overhead",
+        "wall",
+        "nanos",
+        "latency",
+        "conflict",
+        "abort",
+        "re_execution",
+        "fallback",
+        "dropped",
+        "evicted",
         "rejected",
     ];
     const BETTER: &[&str] = &["speedup", "throughput", "ratio"];
@@ -423,6 +432,32 @@ mod tests {
         );
         assert_eq!(direction_for("headline_e2e_ratio"), Direction::HigherBetter);
         assert_eq!(direction_for("cells[0].units_total"), Direction::Neutral);
+    }
+
+    #[test]
+    fn direction_inference_covers_granularity_grid_cells() {
+        // The fig_pipeline granularity grid: aborts and re-executions rising is
+        // a regression, wall tx/s rising is an improvement.
+        assert_eq!(
+            direction_for("granularity_grid[1].aborts"),
+            Direction::HigherWorse
+        );
+        assert_eq!(
+            direction_for("granularity_grid[1].re_executions"),
+            Direction::HigherWorse
+        );
+        assert_eq!(
+            direction_for("granularity_grid[1].sequential_fallbacks"),
+            Direction::HigherWorse
+        );
+        assert_eq!(
+            direction_for("granularity_grid[1].wall_tx_per_sec"),
+            Direction::HigherBetter
+        );
+        assert_eq!(
+            direction_for("granularity_grid[1].total_txs"),
+            Direction::Neutral
+        );
     }
 
     #[test]

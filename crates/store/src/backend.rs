@@ -47,6 +47,21 @@ impl StoredAccount {
         }
     }
 
+    /// Identity digest of the deployed code (FNV-1a over the canonical JSON),
+    /// `0` when the account has no code. Backing value of
+    /// [`StateValue::CodeDigest`](crate::StateValue::CodeDigest).
+    pub fn code_digest(&self) -> u64 {
+        let Some(code) = &self.code_json else {
+            return 0;
+        };
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in code.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Appends this account's canonical bytes to `buf` (used for state roots: both
     /// cached and persisted views digest through this one encoding).
     pub fn digest_into(&self, buf: &mut Vec<u8>) {
@@ -161,6 +176,7 @@ pub trait StateBackend: Send + std::fmt::Debug {
                 nonce: account.nonce,
             },
             StateKey::Storage(_, slot) => StateValue::Slot(account.storage_get(*slot)),
+            StateKey::Code(_) => StateValue::CodeDigest(account.code_digest()),
         })
     }
 

@@ -9,13 +9,17 @@ use serde::{Deserialize, Serialize};
 ///
 /// Balance and nonce are tracked at account granularity; contract storage is tracked
 /// per slot, matching the storage-level conflict definition of Saraph & Herlihy that
-/// the paper compares against.
+/// the paper compares against. Deployed code is its own key: which program runs at an
+/// address is consulted on every call (even a plain transfer checks for code), so it
+/// must be a first-class conflict cell rather than folded into the account meta.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum StateKey {
     /// The balance (and nonce) of an account.
     Balance(Address),
     /// One storage slot of a contract account.
     Storage(Address, u64),
+    /// The contract code deployed at an account (or its absence).
+    Code(Address),
 }
 
 impl StateKey {
@@ -24,6 +28,7 @@ impl StateKey {
         match self {
             StateKey::Balance(addr) => *addr,
             StateKey::Storage(addr, _) => *addr,
+            StateKey::Code(addr) => *addr,
         }
     }
 }
@@ -42,6 +47,10 @@ pub enum StateValue {
     },
     /// One contract storage slot.
     Slot(u64),
+    /// Identity digest of the account's deployed code; `0` when no code is
+    /// deployed. Point reads only need to detect *which* program is installed,
+    /// not its body, so the value stays `Copy`.
+    CodeDigest(u64),
 }
 
 #[cfg(test)]
@@ -54,6 +63,7 @@ mod tests {
         let b = Address::from_low(2);
         assert_eq!(StateKey::Balance(a).address(), a);
         assert_eq!(StateKey::Storage(b, 7).address(), b);
+        assert_eq!(StateKey::Code(b).address(), b);
         let mut keys = [
             StateKey::Storage(a, 1),
             StateKey::Balance(b),

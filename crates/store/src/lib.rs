@@ -54,6 +54,7 @@
 
 mod backend;
 mod disk;
+mod fragment;
 pub mod journal;
 mod key;
 mod memory;
@@ -64,5 +65,6 @@ pub use backend::{
     STORE_RECORDS_PER_UNIT,
 };
 pub use disk::DiskBackend;
+pub use fragment::{apply_fragment, diff_account_fragments, FragmentValue, StateFragment};
 pub use key::{StateKey, StateValue};
 pub use memory::MemoryBackend;
