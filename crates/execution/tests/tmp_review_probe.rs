@@ -1,0 +1,46 @@
+//! Temporary review probe (not part of the PR).
+
+use blockconc_account::vm::{Contract, OpCode};
+use blockconc_account::{AccountTransaction, BlockBuilder, WorldState};
+use blockconc_execution::{ExecutionEngine, OptimisticEngine};
+use blockconc_types::{Address, Amount};
+use std::sync::Arc;
+
+#[test]
+fn failing_internal_transfer_to_unserved_receiver() {
+    let sender = Address::from_low(100);
+    let contract_addr = Address::from_low(5000);
+    let never_served = Address::from_low(9_999_999);
+
+    let mut state = WorldState::new();
+    state.credit(sender, Amount::from_coins(10));
+    // Contract with zero balance tries to transfer 1000 sats out: the debit
+    // fails and the call reverts, but Balance(never_served) was recorded in the
+    // access set before the debit.
+    state.deploy_contract(
+        contract_addr,
+        Arc::new(Contract::new(vec![
+            OpCode::Push(1000),
+            OpCode::Transfer(never_served),
+            OpCode::Stop,
+        ])),
+    );
+
+    let block = BlockBuilder::new(1, 0, Address::from_low(1))
+        .transaction(AccountTransaction::contract_call(
+            sender,
+            contract_addr,
+            Amount::ZERO,
+            vec![],
+            0,
+        ))
+        .build();
+
+    let result = OptimisticEngine::new(2).execute(&mut state, &block);
+    match result {
+        Ok((executed, _)) => {
+            println!("receipts: {:?}", executed.receipts());
+        }
+        Err(err) => panic!("optimistic execution errored: {err:?}"),
+    }
+}
