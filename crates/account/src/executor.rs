@@ -28,6 +28,7 @@ pub struct TxContext {
 #[derive(Debug, Default)]
 pub struct BlockExecutor {
     interpreter: Interpreter,
+    delta_accesses: bool,
 }
 
 impl BlockExecutor {
@@ -38,7 +39,24 @@ impl BlockExecutor {
 
     /// Creates an executor that uses the given interpreter (custom gas schedule).
     pub fn with_interpreter(interpreter: Interpreter) -> Self {
-        BlockExecutor { interpreter }
+        BlockExecutor {
+            interpreter,
+            delta_accesses: false,
+        }
+    }
+
+    /// Creates an executor that records commutative credits and `SAdd`
+    /// increments as *delta* accesses instead of ordered read/write pairs.
+    ///
+    /// Receipts, state changes and gas are bit-identical to the classic
+    /// executor; only the [`AccessSet`] classification (and the blind-delta
+    /// journal entries backing it) differ. Used by the delta-cell granularity
+    /// of the optimistic engine.
+    pub fn with_delta_accesses() -> Self {
+        BlockExecutor {
+            interpreter: Interpreter::new().with_delta_accesses(),
+            delta_accesses: true,
+        }
     }
 
     /// Executes a single transaction against `state`, committing its effects.
@@ -102,7 +120,12 @@ impl BlockExecutor {
                     TxPayload::ContractCall { args } => args.clone(),
                     _ => Vec::new(),
                 };
-                access.record_write(StateKey::Balance(tx.receiver()));
+                if !self.delta_accesses {
+                    // Classic mode pre-declares the receiver balance write; in
+                    // delta mode the interpreter records the receiver side
+                    // precisely (delta for blind credits, write otherwise).
+                    access.record_write(StateKey::Balance(tx.receiver()));
+                }
                 let outcome = self.interpreter.call_tracked(
                     state,
                     CallParams {
@@ -360,6 +383,125 @@ mod tests {
         state.revert(ctx.journal);
         assert_eq!(state.balance(Address::from_low(2)), before_balance);
         assert_eq!(state.nonce(Address::from_low(1)), 0);
+    }
+
+    fn delta_backed_state() -> WorldState {
+        use blockconc_store::{shared, MemoryBackend};
+        let mut state = WorldState::new();
+        for i in 1..=4u64 {
+            state.credit(Address::from_low(i), Amount::from_coins(100));
+        }
+        state.deploy_contract(Address::from_low(700), Arc::new(Contract::fee_sink()));
+        state.deploy_contract(
+            Address::from_low(701),
+            Arc::new(Contract::per_caller_counter()),
+        );
+        state
+            .attach_backend(shared(MemoryBackend::new()), Some(1))
+            .unwrap();
+        state.begin_block(1).unwrap();
+        state
+    }
+
+    fn delta_workload() -> Vec<AccountTransaction> {
+        let fresh = Address::from_low(4_000);
+        vec![
+            // Blind credit: receiver is non-resident on the backed state.
+            AccountTransaction::transfer(Address::from_low(1), fresh, Amount::from_sats(11), 0),
+            // Commutative fee-sink accumulation (zero-value call, nonzero addend).
+            AccountTransaction::contract_call(
+                Address::from_low(2),
+                Address::from_low(700),
+                Amount::ZERO,
+                vec![33],
+                0,
+            ),
+            AccountTransaction::contract_call(
+                Address::from_low(3),
+                Address::from_low(700),
+                Amount::ZERO,
+                vec![44],
+                0,
+            ),
+            // Classic read-modify-write counter call for contrast.
+            AccountTransaction::contract_call(
+                Address::from_low(4),
+                Address::from_low(701),
+                Amount::ZERO,
+                vec![],
+                0,
+            ),
+            // Second credit onto the same fresh receiver merges into one delta.
+            AccountTransaction::transfer(Address::from_low(1), fresh, Amount::from_sats(5), 1),
+        ]
+    }
+
+    #[test]
+    fn delta_executor_emits_delta_accesses_for_credits_and_sadd() {
+        let mut state = delta_backed_state();
+        let mut exec = BlockExecutor::with_delta_accesses();
+        let txs = delta_workload();
+
+        let ctx = exec.execute_transaction(&mut state, &txs[0]).unwrap();
+        assert!(ctx.receipt.succeeded());
+        let fresh = Address::from_low(4_000);
+        assert!(ctx.access.deltas().contains(&StateKey::Balance(fresh)));
+        assert!(!ctx.access.writes().contains(&StateKey::Balance(fresh)));
+        // The sender side stays an ordered write.
+        assert!(ctx
+            .access
+            .writes()
+            .contains(&StateKey::Balance(Address::from_low(1))));
+
+        let ctx = exec.execute_transaction(&mut state, &txs[1]).unwrap();
+        assert!(ctx.receipt.succeeded());
+        let sink_slot = StateKey::Storage(Address::from_low(700), 0);
+        assert!(ctx.access.deltas().contains(&sink_slot));
+        assert!(!ctx.access.writes().contains(&sink_slot));
+        assert!(!ctx.access.reads().contains(&sink_slot));
+
+        // The per-caller counter uses SLoad/SStore: ordered as before.
+        let ctx = exec.execute_transaction(&mut state, &txs[3]).unwrap();
+        assert!(ctx.receipt.succeeded());
+        assert!(ctx.access.deltas().is_empty());
+    }
+
+    #[test]
+    fn delta_executor_matches_classic_receipts_and_state_root() {
+        let mut classic_state = delta_backed_state();
+        let mut delta_state = delta_backed_state();
+        let mut classic = BlockExecutor::new();
+        let mut delta = BlockExecutor::with_delta_accesses();
+
+        let block = {
+            let mut b = BlockBuilder::new(1, 0, Address::from_low(99));
+            for tx in delta_workload() {
+                b = b.transaction(tx);
+            }
+            b.build()
+        };
+
+        let classic_block = classic.execute_block(&mut classic_state, &block).unwrap();
+        let delta_block = delta.execute_block(&mut delta_state, &block).unwrap();
+        assert_eq!(classic_block.receipts(), delta_block.receipts());
+        // Virtual folds make the pending deltas observable before commit.
+        assert_eq!(classic_state.state_root(), delta_state.state_root());
+        assert_eq!(
+            classic_state.balance(Address::from_low(4_000)),
+            Amount::from_sats(16)
+        );
+        assert_eq!(
+            delta_state.balance(Address::from_low(4_000)),
+            Amount::from_sats(16)
+        );
+        assert_eq!(delta_state.storage(Address::from_low(700), 0), 77);
+
+        let mut classic_ws = Vec::new();
+        classic_state.take_write_set(&mut classic_ws);
+        let mut delta_ws = Vec::new();
+        delta_state.take_write_set(&mut delta_ws);
+        assert_eq!(classic_ws, delta_ws);
+        assert_eq!(classic_state.state_root(), delta_state.state_root());
     }
 
     #[test]

@@ -9,13 +9,17 @@ use blockconc_store::{
 use blockconc_types::{Address, Amount, Error, Hash, Result};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
-/// The read and write sets collected while executing one transaction.
+/// The read, write and delta sets collected while executing one transaction.
 ///
-/// Two transactions conflict at the storage layer iff one writes a key the other reads
-/// or writes.
+/// A *delta* access is a commutative merge on a key — a pure balance credit or a
+/// counter increment — whose final value does not depend on the order in which
+/// concurrent deltas land. Two transactions conflict at the storage layer iff one
+/// writes a key the other reads, writes or delta-merges, or one delta-merges a
+/// key the other reads. Delta∧delta on the same key does **not** conflict: that
+/// is the property that dissolves hot fee-sink accounts into independent work.
 ///
 /// Keys are kept in sorted, deduplicated small vectors rather than hash sets: the
 /// typical transaction touches a handful of keys, so [`conflicts_with`] is a linear
@@ -32,15 +36,19 @@ use std::sync::Arc;
 /// use blockconc_account::{AccessSet, StateKey};
 ///
 /// let mut a = AccessSet::new();
-/// a.record_write(StateKey::Balance(Address::from_low(1)));
+/// a.record_delta(StateKey::Balance(Address::from_low(1)));
 /// let mut b = AccessSet::new();
-/// b.record_read(StateKey::Balance(Address::from_low(1)));
-/// assert!(a.conflicts_with(&b));
+/// b.record_delta(StateKey::Balance(Address::from_low(1)));
+/// assert!(!a.conflicts_with(&b)); // commutative credits never conflict
+/// let mut r = AccessSet::new();
+/// r.record_read(StateKey::Balance(Address::from_low(1)));
+/// assert!(a.conflicts_with(&r)); // an observer still orders against them
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AccessSet {
     reads: Vec<StateKey>,
     writes: Vec<StateKey>,
+    deltas: Vec<StateKey>,
 }
 
 /// Inserts `key` into a sorted vector, keeping it sorted and duplicate-free.
@@ -74,9 +82,22 @@ impl AccessSet {
         insert_sorted(&mut self.reads, key);
     }
 
-    /// Records a write of `key`.
+    /// Records a write of `key`. An absolute write subsumes any delta previously
+    /// recorded on the same key (the order-dependent access is the stronger one).
     pub fn record_write(&mut self, key: StateKey) {
         insert_sorted(&mut self.writes, key);
+        if let Ok(pos) = self.deltas.binary_search(&key) {
+            self.deltas.remove(pos);
+        }
+    }
+
+    /// Records a commutative delta merge on `key`. A no-op when the key is
+    /// already in the write set — the write already carries the stronger class.
+    pub fn record_delta(&mut self, key: StateKey) {
+        if self.writes.binary_search(&key).is_ok() {
+            return;
+        }
+        insert_sorted(&mut self.deltas, key);
     }
 
     /// Keys read by the transaction, in sorted order.
@@ -89,12 +110,23 @@ impl AccessSet {
         &self.writes
     }
 
+    /// Keys delta-merged by the transaction, in sorted order.
+    pub fn deltas(&self) -> &[StateKey] {
+        &self.deltas
+    }
+
     /// Returns `true` if this access set conflicts with `other`: a write in one
-    /// intersects a read or write in the other.
+    /// intersects a read, write or delta in the other, or a delta in one
+    /// intersects a read in the other. Delta∧delta never conflicts — commutative
+    /// merges reorder freely.
     pub fn conflicts_with(&self, other: &AccessSet) -> bool {
         sorted_intersects(&self.writes, &other.writes)
             || sorted_intersects(&self.writes, &other.reads)
             || sorted_intersects(&other.writes, &self.reads)
+            || sorted_intersects(&self.writes, &other.deltas)
+            || sorted_intersects(&other.writes, &self.deltas)
+            || sorted_intersects(&self.deltas, &other.reads)
+            || sorted_intersects(&other.deltas, &self.reads)
     }
 
     /// Merges another access set into this one (used when a transaction triggers
@@ -104,13 +136,16 @@ impl AccessSet {
             insert_sorted(&mut self.reads, *key);
         }
         for key in &other.writes {
-            insert_sorted(&mut self.writes, *key);
+            self.record_write(*key);
+        }
+        for key in &other.deltas {
+            self.record_delta(*key);
         }
     }
 
-    /// Returns `true` if neither reads nor writes were recorded.
+    /// Returns `true` if no reads, writes or deltas were recorded.
     pub fn is_empty(&self) -> bool {
-        self.reads.is_empty() && self.writes.is_empty()
+        self.reads.is_empty() && self.writes.is_empty() && self.deltas.is_empty()
     }
 }
 
@@ -127,6 +162,14 @@ enum UndoOp {
     Nonce(Address, u64),
     Storage(Address, u64, u64),
     Created(Address),
+    /// A blind delta was accumulated on `key`: undo subtracts the addend back out
+    /// of the pending map.
+    DeltaAdded(StateKey, u64),
+    /// A pending delta on `key` was folded into (or overridden on) the resident
+    /// account: undo restores the pending addend. The account-side effects of the
+    /// fold are journalled separately (Balance/Created ops), so LIFO replay first
+    /// restores the pending entry, then the account.
+    DeltaFolded(StateKey, u64),
 }
 
 impl Journal {
@@ -228,6 +271,62 @@ pub struct WorldState {
     working_set_cap: Option<usize>,
     dirty: BTreeSet<Address>,
     open_height: Option<u64>,
+    /// Blind commutative contributions to non-resident accounts: accumulated
+    /// without reading the account, folded over the authoritative value only
+    /// when observed (value accessors), ordered against (debit, absolute slot
+    /// write) or harvested ([`take_delta_ops`](WorldState::take_delta_ops) /
+    /// [`commit_block`](WorldState::commit_block)).
+    pending: HashMap<Address, AccountDeltas>,
+    /// Slots absolutely written (`storage_set`) in the current working set.
+    /// A blind slot delta must not coexist with an absolute write to the same
+    /// slot inside one write-set harvest (the engine would emit two cell
+    /// writes for one part), so `SAdd` on a stored slot falls back to the
+    /// classic read-modify-write.
+    stored_slots: HashSet<(Address, u64)>,
+}
+
+/// The unmaterialized commutative contributions to one account: a balance
+/// credit sum plus per-slot wrapping addends. A zero entry is *not* removed —
+/// it is the conservative "was touched, then fully reverted" marker that keeps
+/// the delta path's write sets bit-identical to classic execution's dirty
+/// marks.
+#[derive(Debug, Clone, Default)]
+struct AccountDeltas {
+    balance: u64,
+    slots: BTreeMap<u64, u64>,
+}
+
+impl AccountDeltas {
+    /// True when every addend is zero — nothing to fold, only the touch marker.
+    fn is_noop(&self) -> bool {
+        self.balance == 0 && self.slots.values().all(|&v| v == 0)
+    }
+}
+
+/// Folds pending deltas over a persisted account value in place: balance adds
+/// are checked (mirroring [`Account::credit`]'s overflow panic), slot adds wrap
+/// and a slot reaching zero is removed (mirroring [`Account::storage_set`]).
+fn fold_deltas_into(stored: &mut StoredAccount, deltas: &AccountDeltas) {
+    stored.balance_sats = stored
+        .balance_sats
+        .checked_add(deltas.balance)
+        .expect("amount overflow");
+    for (&slot, &add) in &deltas.slots {
+        if add == 0 {
+            continue;
+        }
+        match stored.storage.binary_search_by_key(&slot, |&(k, _)| k) {
+            Ok(pos) => {
+                let new = stored.storage[pos].1.wrapping_add(add);
+                if new == 0 {
+                    stored.storage.remove(pos);
+                } else {
+                    stored.storage[pos].1 = new;
+                }
+            }
+            Err(pos) => stored.storage.insert(pos, (slot, add)),
+        }
+    }
 }
 
 impl WorldState {
@@ -281,6 +380,8 @@ impl WorldState {
         self.backend = Some(backend);
         self.working_set_cap = working_set_cap;
         self.dirty.clear();
+        self.pending.clear();
+        self.stored_slots.clear();
         self.evict_to_cap(&BTreeSet::new());
         Ok(())
     }
@@ -331,6 +432,7 @@ impl WorldState {
     /// Returns an error if no block is open (with a backend mounted), or if the
     /// backend commit fails.
     pub fn commit_block(&mut self) -> Result<CommitStats> {
+        self.flush_pending_deltas();
         let Some(backend) = self.backend.clone() else {
             self.open_height = None;
             self.dirty.clear();
@@ -355,6 +457,7 @@ impl WorldState {
             .expect("backend lock")
             .commit_block(&BlockDelta { height, records })?;
         self.open_height = None;
+        self.stored_slots.clear();
         let last_dirty = std::mem::take(&mut self.dirty);
         self.evict_to_cap(&last_dirty);
         Ok(stats)
@@ -378,6 +481,8 @@ impl WorldState {
         for address in std::mem::take(&mut self.dirty) {
             self.accounts.remove(&address);
         }
+        self.pending.clear();
+        self.stored_slots.clear();
         Ok(())
     }
 
@@ -447,6 +552,15 @@ impl WorldState {
                 count -= 1; // deleted this block, not yet committed
             }
         }
+        for (address, deltas) in &self.pending {
+            if !deltas.is_noop()
+                && !self.accounts.contains_key(address)
+                && !self.dirty.contains(address)
+                && !guard.contains_account(*address)
+            {
+                count += 1; // will be created when the blind credit folds
+            }
+        }
         count
     }
 
@@ -458,19 +572,33 @@ impl WorldState {
         self.accounts.get(&address)
     }
 
-    /// Returns `true` if the account exists (resident or committed).
+    /// Returns `true` if the account exists (resident, committed, or about to be
+    /// created by a pending blind credit).
     pub fn contains(&self, address: Address) -> bool {
-        self.accounts.contains_key(&address) || self.fallback_stored(address).is_some()
+        self.accounts.contains_key(&address)
+            || self.pending.get(&address).is_some_and(|d| !d.is_noop())
+            || self.fallback_stored(address).is_some()
     }
 
-    /// The balance of `address` (zero if the account does not exist).
+    /// The balance of `address` (zero if the account does not exist). Pending
+    /// blind credits are folded in virtually — observing the value does not
+    /// materialize it.
     pub fn balance(&self, address: Address) -> Amount {
-        if let Some(account) = self.accounts.get(&address) {
-            return account.balance();
+        let base = if let Some(account) = self.accounts.get(&address) {
+            account.balance()
+        } else {
+            self.fallback_stored(address)
+                .map(|stored| Amount::from_sats(stored.balance_sats))
+                .unwrap_or(Amount::ZERO)
+        };
+        match self.pending.get(&address) {
+            Some(deltas) if deltas.balance != 0 => Amount::from_sats(
+                base.sats()
+                    .checked_add(deltas.balance)
+                    .expect("amount overflow"),
+            ),
+            _ => base,
         }
-        self.fallback_stored(address)
-            .map(|stored| Amount::from_sats(stored.balance_sats))
-            .unwrap_or(Amount::ZERO)
     }
 
     /// The nonce of `address` (zero if the account does not exist).
@@ -492,14 +620,20 @@ impl WorldState {
         stored.code_json.as_deref().map(decode_contract)
     }
 
-    /// Reads a storage slot of `address` (zero when absent).
+    /// Reads a storage slot of `address` (zero when absent). Pending blind slot
+    /// addends are folded in virtually.
     pub fn storage(&self, address: Address, key: u64) -> u64 {
-        if let Some(account) = self.accounts.get(&address) {
-            return account.storage_get(key);
+        let base = if let Some(account) = self.accounts.get(&address) {
+            account.storage_get(key)
+        } else {
+            self.fallback_stored(address)
+                .map(|stored| stored.storage_get(key))
+                .unwrap_or(0)
+        };
+        match self.pending.get(&address).and_then(|d| d.slots.get(&key)) {
+            Some(add) => base.wrapping_add(*add),
+            None => base,
         }
-        self.fallback_stored(address)
-            .map(|stored| stored.storage_get(key))
-            .unwrap_or(0)
     }
 
     fn entry(&mut self, address: Address, journal: Option<&mut Journal>) -> &mut Account {
@@ -531,6 +665,95 @@ impl WorldState {
     /// Adds `value` to the balance of `address` (creating the account if needed).
     pub fn credit(&mut self, address: Address, value: Amount) {
         self.credit_journalled(address, value, None);
+    }
+
+    /// True when a commutative merge on `address` can be accumulated *blind* —
+    /// without reading the account: a backend is mounted (so the authoritative
+    /// value exists somewhere to fold over) and the account is not resident (a
+    /// resident value is already order-materialized, so the classic path is both
+    /// correct and cheaper).
+    fn delta_eligible(&self, address: Address) -> bool {
+        self.backend.is_some() && !self.accounts.contains_key(&address)
+    }
+
+    /// Slot deltas are finer-grained than balance deltas: a resident account is
+    /// fine (the `Meta` and `Slot` cell parts are independent), only a slot the
+    /// working set has already absolutely written must stay classic.
+    fn slot_delta_eligible(&self, address: Address, key: u64) -> bool {
+        self.backend.is_some() && !self.stored_slots.contains(&(address, key))
+    }
+
+    /// Credits `address` as a commutative delta when possible: the addend is
+    /// accumulated blind (no account read, no dirty mark) and folded over the
+    /// authoritative value only when observed or committed. Returns `true` on
+    /// the blind path — the caller records a *delta* access. Otherwise falls
+    /// back to [`credit_journalled`](WorldState::credit_journalled) and returns
+    /// `false` — the caller records a write.
+    pub fn credit_delta(
+        &mut self,
+        address: Address,
+        value: Amount,
+        journal: Option<&mut Journal>,
+    ) -> bool {
+        if value.is_zero() || !self.delta_eligible(address) {
+            // An ordered credit observes the balance: fold any blind pending
+            // credit first so the account never carries both a `Meta` value
+            // change and a pending balance addend in one harvest.
+            let mut journal = journal;
+            self.fold_pending_balance(address, journal.as_deref_mut());
+            self.credit_journalled(address, value, journal);
+            return false;
+        }
+        let deltas = self.pending.entry(address).or_default();
+        deltas.balance = deltas
+            .balance
+            .checked_add(value.sats())
+            .expect("amount overflow");
+        if let Some(j) = journal {
+            j.ops
+                .push(UndoOp::DeltaAdded(StateKey::Balance(address), value.sats()));
+        }
+        true
+    }
+
+    /// Adds `value` (wrapping) to a storage slot of `address` as a commutative
+    /// delta when possible (see [`credit_delta`](WorldState::credit_delta)).
+    /// Returns `true` on the blind path; `false` means the caller must perform
+    /// the classic read-modify-write (which keeps a zero-valued add's
+    /// account-creation side effect identical to classic execution).
+    pub fn storage_add_delta(
+        &mut self,
+        address: Address,
+        key: u64,
+        value: u64,
+        journal: Option<&mut Journal>,
+    ) -> bool {
+        if value == 0 || !self.slot_delta_eligible(address, key) {
+            return false;
+        }
+        let deltas = self.pending.entry(address).or_default();
+        let slot = deltas.slots.entry(key).or_insert(0);
+        *slot = slot.wrapping_add(value);
+        if let Some(j) = journal {
+            j.ops
+                .push(UndoOp::DeltaAdded(StateKey::Storage(address, key), value));
+        }
+        true
+    }
+
+    /// Folds any pending blind balance credit into the resident account — the
+    /// point where a commutative contribution is upgraded to an ordered one,
+    /// because the caller is about to observe or overwrite the true balance.
+    fn fold_pending_balance(&mut self, address: Address, mut journal: Option<&mut Journal>) {
+        let amount = match self.pending.get_mut(&address) {
+            Some(deltas) if deltas.balance != 0 => std::mem::take(&mut deltas.balance),
+            _ => return,
+        };
+        self.credit_journalled(address, Amount::from_sats(amount), journal.as_deref_mut());
+        if let Some(j) = journal {
+            j.ops
+                .push(UndoOp::DeltaFolded(StateKey::Balance(address), amount));
+        }
     }
 
     /// Adds `value` to the balance of `address`, journalling the old balance.
@@ -566,8 +789,11 @@ impl WorldState {
         &mut self,
         address: Address,
         value: Amount,
-        journal: Option<&mut Journal>,
+        mut journal: Option<&mut Journal>,
     ) -> Result<()> {
+        // A debit observes the true balance: fold any blind pending credit
+        // first, so a blind-credited account can be spent from in-block.
+        self.fold_pending_balance(address, journal.as_deref_mut());
         // Materialize a committed-but-evicted account before debiting it.
         if self.backend.is_some() && !self.accounts.contains_key(&address) {
             if let Some(stored) = self.fallback_stored(address) {
@@ -610,6 +836,21 @@ impl WorldState {
         value: u64,
         mut journal: Option<&mut Journal>,
     ) {
+        // An absolute write overrides any blind pending addend on the slot, so
+        // add-then-store agrees with the classic read-modify-write order.
+        if let Some(deltas) = self.pending.get_mut(&address) {
+            if let Some(pending) = deltas.slots.remove(&key) {
+                if pending != 0 {
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.ops.push(UndoOp::DeltaFolded(
+                            StateKey::Storage(address, key),
+                            pending,
+                        ));
+                    }
+                }
+            }
+        }
+        self.stored_slots.insert((address, key));
         let acct = self.entry(address, journal.as_deref_mut());
         let old = acct.storage_set(key, value);
         if let Some(j) = journal {
@@ -665,6 +906,37 @@ impl WorldState {
                 // mark emits a harmless Delete record in that edge case and none
                 // otherwise would lose it, so the mark stays.
             }
+            UndoOp::DeltaAdded(key, amount) => {
+                // Subtract the addend back out. The entry is kept even at zero:
+                // it is the touch marker mirroring the dirty mark Created leaves.
+                match key {
+                    StateKey::Balance(addr) => {
+                        if let Some(deltas) = self.pending.get_mut(&addr) {
+                            deltas.balance = deltas.balance.wrapping_sub(amount);
+                        }
+                    }
+                    StateKey::Storage(addr, slot) => {
+                        if let Some(deltas) = self.pending.get_mut(&addr) {
+                            if let Some(value) = deltas.slots.get_mut(&slot) {
+                                *value = value.wrapping_sub(amount);
+                            }
+                        }
+                    }
+                    StateKey::Code(_) => debug_assert!(false, "code keys carry no deltas"),
+                }
+            }
+            UndoOp::DeltaFolded(key, amount) => match key {
+                StateKey::Balance(addr) => {
+                    let deltas = self.pending.entry(addr).or_default();
+                    deltas.balance = deltas.balance.checked_add(amount).expect("amount overflow");
+                }
+                StateKey::Storage(addr, slot) => {
+                    let deltas = self.pending.entry(addr).or_default();
+                    let value = deltas.slots.entry(slot).or_insert(0);
+                    *value = value.wrapping_add(amount);
+                }
+                StateKey::Code(_) => debug_assert!(false, "code keys carry no deltas"),
+            },
         }
     }
 
@@ -678,6 +950,8 @@ impl WorldState {
     pub fn reset_working_set(&mut self) {
         self.accounts.clear();
         self.dirty.clear();
+        self.pending.clear();
+        self.stored_slots.clear();
         if self.open_height.take().is_some() {
             if let Some(backend) = &self.backend {
                 // With a block open on our side the backend cannot refuse the
@@ -699,6 +973,7 @@ impl WorldState {
     /// round-tripping it through a backend commit (which would build the same
     /// records, clone them, and take a backend lock — per transaction).
     pub fn take_write_set(&mut self, out: &mut Vec<DeltaRecord>) {
+        self.flush_pending_deltas();
         out.clear();
         out.extend(self.dirty.iter().map(|address| DeltaRecord {
             address: *address,
@@ -706,6 +981,69 @@ impl WorldState {
         }));
         self.dirty.clear();
         self.open_height = None;
+    }
+
+    /// Drains the blind pending contributions as `(key, addend)` delta ops in
+    /// ascending address order (balance first, then slots). The optimistic
+    /// engine harvests these into delta cells next to the write fragments of
+    /// [`take_write_fragments`](WorldState::take_write_fragments) — the two key
+    /// sets are disjoint by construction (a fold or an absolute write always
+    /// consumes the pending entry first). A fully reverted entry is emitted as a
+    /// zero balance addend: the conservative touch marker matching the dirty
+    /// mark classic execution leaves behind.
+    pub fn take_delta_ops(&mut self, out: &mut Vec<(StateKey, u64)>) {
+        out.clear();
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut addresses: Vec<Address> = self.pending.keys().copied().collect();
+        addresses.sort_unstable();
+        for address in addresses {
+            let deltas = self.pending.remove(&address).expect("key from this map");
+            if deltas.is_noop() {
+                out.push((StateKey::Balance(address), 0));
+                continue;
+            }
+            if deltas.balance != 0 {
+                out.push((StateKey::Balance(address), deltas.balance));
+            }
+            for (slot, add) in deltas.slots {
+                if add != 0 {
+                    out.push((StateKey::Storage(address, slot), add));
+                }
+            }
+        }
+    }
+
+    /// Folds every pending blind contribution into the resident working set —
+    /// the sequential counterpart of [`take_delta_ops`](WorldState::take_delta_ops),
+    /// run by the commit/write-set paths so a state executed with delta accesses
+    /// commits exactly what classic execution would.
+    fn flush_pending_deltas(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let mut entries: Vec<(Address, AccountDeltas)> = pending.into_iter().collect();
+        entries.sort_unstable_by_key(|&(address, _)| address);
+        for (address, deltas) in entries {
+            if deltas.is_noop() {
+                // Fully reverted: keep only the conservative dirty mark, the
+                // same trace a reverted classic creation leaves.
+                self.mark_dirty(address);
+                continue;
+            }
+            let acct = self.entry(address, None);
+            if deltas.balance != 0 {
+                acct.credit(Amount::from_sats(deltas.balance));
+            }
+            for (&slot, &add) in &deltas.slots {
+                if add != 0 {
+                    let new = acct.storage_get(slot).wrapping_add(add);
+                    acct.storage_set(slot, new);
+                }
+            }
+        }
     }
 
     /// The per-[`StateKey`] counterpart of
@@ -724,7 +1062,9 @@ impl WorldState {
     /// value was itself speculative.
     ///
     /// Like `take_write_set`, this clears the dirty set and closes any open
-    /// block scope without notifying the backend.
+    /// block scope without notifying the backend. Pending blind deltas are
+    /// *not* folded here — the optimistic engine harvests them separately via
+    /// [`take_delta_ops`](WorldState::take_delta_ops).
     pub fn take_write_fragments(
         &mut self,
         fragments: &mut Vec<StateFragment>,
@@ -749,10 +1089,23 @@ impl WorldState {
     /// ([`WorldState::remove_account`]) and installing it on the destination
     /// ([`WorldState::install_account`]).
     pub fn export_account(&self, address: Address) -> Option<StoredAccount> {
-        if let Some(account) = self.accounts.get(&address) {
-            return Some(account_to_stored(account));
+        let mut stored = if let Some(account) = self.accounts.get(&address) {
+            Some(account_to_stored(account))
+        } else {
+            self.fallback_stored(address)
+        };
+        if let Some(deltas) = self.pending.get(&address) {
+            if !deltas.is_noop() {
+                let account = stored.get_or_insert_with(|| StoredAccount {
+                    balance_sats: 0,
+                    nonce: 0,
+                    storage: Vec::new(),
+                    code_json: None,
+                });
+                fold_deltas_into(account, deltas);
+            }
         }
-        self.fallback_stored(address)
+        stored
     }
 
     /// Installs an account's persisted value into this state (the import half of a
@@ -833,6 +1186,7 @@ impl WorldState {
             .values()
             .map(|a| a.balance().sats())
             .sum::<u64>();
+        total += self.pending.values().map(|d| d.balance).sum::<u64>();
         Amount::from_sats(total)
     }
 
@@ -856,6 +1210,18 @@ impl WorldState {
             if !self.accounts.contains_key(address) {
                 entries.remove(address); // deleted this block
             }
+        }
+        for (address, deltas) in &self.pending {
+            if deltas.is_noop() {
+                continue;
+            }
+            let entry = entries.entry(*address).or_insert_with(|| StoredAccount {
+                balance_sats: 0,
+                nonce: 0,
+                storage: Vec::new(),
+                code_json: None,
+            });
+            fold_deltas_into(entry, deltas);
         }
         let mut data = Vec::new();
         for (address, stored) in &entries {
@@ -958,6 +1324,29 @@ mod tests {
         assert!(!r1.conflicts_with(&r1.clone())); // read-read never conflicts
         assert!(!w1.conflicts_with(&rw2)); // disjoint keys
         assert!(w1.conflicts_with(&w1.clone())); // write-write conflicts
+
+        let mut d1 = AccessSet::new();
+        d1.record_delta(k1);
+        assert!(!d1.conflicts_with(&d1.clone())); // delta-delta commutes
+        assert!(d1.conflicts_with(&w1)); // delta-write conflicts
+        assert!(w1.conflicts_with(&d1));
+        assert!(d1.conflicts_with(&r1)); // delta-read conflicts (observer orders)
+        assert!(r1.conflicts_with(&d1));
+        assert!(!d1.conflicts_with(&rw2)); // disjoint keys
+    }
+
+    #[test]
+    fn access_set_write_subsumes_delta() {
+        let k = StateKey::Balance(Address::from_low(1));
+        let mut set = AccessSet::new();
+        set.record_delta(k);
+        assert_eq!(set.deltas(), &[k]);
+        set.record_write(k);
+        assert!(set.deltas().is_empty(), "write promotes the delta");
+        assert_eq!(set.writes(), &[k]);
+        set.record_delta(k);
+        assert!(set.deltas().is_empty(), "delta on a written key is a no-op");
+        assert!(!set.is_empty());
     }
 
     #[test]
@@ -1001,21 +1390,24 @@ mod tests {
             let mut set = AccessSet::new();
             for i in 0..6u64 {
                 let k = key((s * 7 + i * 13) % 10);
-                if (s + i) % 3 == 0 {
-                    set.record_write(k);
-                } else {
-                    set.record_read(k);
+                match (s + i) % 4 {
+                    0 => set.record_write(k),
+                    1 => set.record_delta(k),
+                    _ => set.record_read(k),
                 }
             }
             sets.push(set);
         }
         for a in &sets {
             for b in &sets {
-                let naive = a
+                let naive = a.writes().iter().any(|k| {
+                    b.writes().contains(k) || b.reads().contains(k) || b.deltas().contains(k)
+                }) || b
                     .writes()
                     .iter()
-                    .any(|k| b.writes().contains(k) || b.reads().contains(k))
-                    || b.writes().iter().any(|k| a.reads().contains(k));
+                    .any(|k| a.reads().contains(k) || a.deltas().contains(k))
+                    || a.deltas().iter().any(|k| b.reads().contains(k))
+                    || b.deltas().iter().any(|k| a.reads().contains(k));
                 assert_eq!(a.conflicts_with(b), naive);
             }
         }
@@ -1264,6 +1656,113 @@ mod tests {
             .unwrap();
         assert!(state.contains(Address::from_low(1)));
         assert_eq!(state.balance(Address::from_low(1)), Amount::from_coins(10));
+    }
+
+    #[test]
+    fn blind_credit_folds_virtually_and_commits_classically() {
+        let mut classic = backed_state();
+        let mut delta = backed_state(); // same genesis, independent backend
+        classic.begin_block(1).unwrap();
+        delta.begin_block(1).unwrap();
+        let hot = Address::from_low(2); // committed but evicted by the cap
+        let ghost = Address::from_low(70); // never existed
+
+        classic.credit(hot, Amount::from_sats(5));
+        classic.credit(hot, Amount::from_sats(6));
+        classic.credit(ghost, Amount::from_sats(9));
+
+        assert!(delta.credit_delta(hot, Amount::from_sats(5), None));
+        assert!(delta.credit_delta(hot, Amount::from_sats(6), None));
+        assert!(delta.credit_delta(ghost, Amount::from_sats(9), None));
+        // Nothing materialized, yet every observer sees the folded values.
+        assert_eq!(delta.resident_accounts(), classic.resident_accounts() - 2);
+        assert_eq!(delta.balance(hot), classic.balance(hot));
+        assert_eq!(delta.balance(ghost), Amount::from_sats(9));
+        assert!(delta.contains(ghost));
+        assert_eq!(delta.total_supply(), classic.total_supply());
+        assert_eq!(delta.account_count(), classic.account_count());
+        assert_eq!(delta.state_root(), classic.state_root());
+        assert_eq!(delta.export_account(hot), classic.export_account(hot));
+
+        classic.commit_block().unwrap();
+        delta.commit_block().unwrap();
+        assert_eq!(delta.state_root(), classic.state_root());
+        assert_eq!(delta.balance(hot), classic.balance(hot));
+    }
+
+    #[test]
+    fn blind_credit_reverts_and_leaves_the_classic_touch_marker() {
+        let mut state = backed_state();
+        state.begin_block(1).unwrap();
+        let ghost = Address::from_low(71);
+        let mut journal = Journal::new();
+        assert!(state.credit_delta(ghost, Amount::from_sats(4), Some(&mut journal)));
+        assert!(state.contains(ghost));
+        state.revert(journal);
+        assert!(!state.contains(ghost));
+        assert_eq!(state.balance(ghost), Amount::ZERO);
+        // The reverted entry still surfaces as a zero-addend touch marker.
+        let mut ops = Vec::new();
+        state.clone().take_delta_ops(&mut ops);
+        assert_eq!(ops, vec![(StateKey::Balance(ghost), 0)]);
+        state.commit_block().unwrap();
+        assert!(!state.contains(ghost));
+    }
+
+    #[test]
+    fn debit_folds_pending_credit_and_revert_restores_it() {
+        let mut state = backed_state();
+        state.begin_block(1).unwrap();
+        let ghost = Address::from_low(72);
+        assert!(state.credit_delta(ghost, Amount::from_sats(10), None));
+        let mut journal = Journal::new();
+        state
+            .debit_journalled(ghost, Amount::from_sats(3), Some(&mut journal))
+            .unwrap();
+        assert_eq!(state.balance(ghost), Amount::from_sats(7));
+        state.revert(journal);
+        // The fold reversed: the credit is pending again, the account is gone.
+        assert_eq!(state.balance(ghost), Amount::from_sats(10));
+        assert_eq!(state.resident_accounts(), 1); // only the contract survives the cap
+        let mut ops = Vec::new();
+        state.take_delta_ops(&mut ops);
+        assert_eq!(ops, vec![(StateKey::Balance(ghost), 10)]);
+    }
+
+    #[test]
+    fn storage_add_delta_agrees_with_classic_read_modify_write() {
+        let mut classic = backed_state();
+        let mut delta = backed_state(); // same genesis, independent backend
+        classic.begin_block(1).unwrap();
+        delta.begin_block(1).unwrap();
+        let sink = Address::from_low(73);
+
+        // add, add, absolute store, add — the absolute write must override the
+        // pending addends on both paths.
+        let classic_add = |state: &mut WorldState, slot: u64, v: u64| {
+            let cur = state.storage(sink, slot);
+            state.storage_set(sink, slot, cur.wrapping_add(v), None);
+        };
+        classic_add(&mut classic, 0, 5);
+        classic_add(&mut classic, 0, 6);
+        classic.storage_set(sink, 0, 100, None);
+        classic_add(&mut classic, 0, 1);
+        classic_add(&mut classic, 1, 9);
+
+        assert!(delta.storage_add_delta(sink, 0, 5, None));
+        assert!(delta.storage_add_delta(sink, 0, 6, None));
+        assert_eq!(delta.storage(sink, 0), 11);
+        delta.storage_set(sink, 0, 100, None); // drops the pending addend
+        assert!(!delta.storage_add_delta(sink, 0, 1, None)); // stored slot: classic path
+        classic_add(&mut delta, 0, 1);
+        // A *different* slot of the now-resident account still goes blind: the
+        // Meta and Slot cell parts are independent.
+        assert!(delta.storage_add_delta(sink, 1, 9, None));
+
+        assert_eq!(delta.storage(sink, 0), classic.storage(sink, 0));
+        classic.commit_block().unwrap();
+        delta.commit_block().unwrap();
+        assert_eq!(delta.state_root(), classic.state_root());
     }
 
     #[test]

@@ -106,6 +106,21 @@ impl Contract {
         ])
     }
 
+    /// A fee sink: accumulates argument 0 into storage slot 0 via the
+    /// commutative [`OpCode::SAdd`]. Designed for zero-value calls — every
+    /// caller contributes an addend and nothing else, so a delta-aware engine
+    /// runs arbitrarily many calls to one sink conflict-free, while classic
+    /// read-modify-write accounting (see [`Contract::per_caller_counter`])
+    /// serializes them on the shared slot.
+    pub fn fee_sink() -> Self {
+        Contract::new(vec![
+            OpCode::Arg(0),
+            OpCode::Push(0),
+            OpCode::SAdd,
+            OpCode::Stop,
+        ])
+    }
+
     /// A forwarding wallet: sends the received value on to `beneficiary`.
     pub fn forwarder(beneficiary: Address) -> Self {
         Contract::new(vec![

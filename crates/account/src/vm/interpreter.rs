@@ -52,6 +52,11 @@ pub struct CallOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct Interpreter {
     schedule: GasSchedule,
+    /// When set, pure credits and `SAdd` accumulations on non-resident accounts
+    /// are recorded as commutative *delta* accesses (blind, unordered) instead
+    /// of read/write pairs. Off by default: classic executors keep the exact
+    /// access sets and conflict structure they always had.
+    delta_accesses: bool,
 }
 
 struct Frame<'a> {
@@ -72,7 +77,25 @@ impl Interpreter {
 
     /// Creates an interpreter with a custom gas schedule.
     pub fn with_schedule(schedule: GasSchedule) -> Self {
-        Interpreter { schedule }
+        Interpreter {
+            schedule,
+            delta_accesses: false,
+        }
+    }
+
+    /// Enables commutative delta accounting: pure credits and `SAdd`
+    /// accumulations targeting non-resident accounts are accumulated blind in
+    /// the state's pending-delta map and recorded as delta accesses. Gas,
+    /// receipts and final state are identical to the classic mode — only the
+    /// access classification (and hence the conflict structure) weakens.
+    pub fn with_delta_accesses(mut self) -> Self {
+        self.delta_accesses = true;
+        self
+    }
+
+    /// Whether delta accounting is enabled.
+    pub fn delta_accesses(&self) -> bool {
+        self.delta_accesses
     }
 
     /// The interpreter's gas schedule.
@@ -195,7 +218,9 @@ impl Frame<'_> {
         // Value transfer from caller to target.
         if !value.is_zero() {
             self.access.record_write(StateKey::Balance(caller));
-            self.access.record_write(StateKey::Balance(target));
+            if !self.interpreter.delta_accesses {
+                self.access.record_write(StateKey::Balance(target));
+            }
             self.state
                 .debit_journalled(caller, value, Some(&mut *self.journal))
                 .map_err(|e| {
@@ -205,8 +230,7 @@ impl Frame<'_> {
                         VmFailure::Reverted(e.to_string(), self.gas_left)
                     }
                 })?;
-            self.state
-                .credit_journalled(target, value, Some(&mut *self.journal));
+            self.credit_side(target, value);
         }
 
         // Which program is installed at `target` decides everything below —
@@ -264,6 +288,32 @@ impl Frame<'_> {
                     self.state
                         .storage_set(target, key, value, Some(&mut *self.journal));
                 }
+                OpCode::SAdd => {
+                    let key = self.pop(&mut stack)?;
+                    let value = self.pop(&mut stack)?;
+                    if self.interpreter.delta_accesses
+                        && self.state.storage_add_delta(
+                            target,
+                            key,
+                            value,
+                            Some(&mut *self.journal),
+                        )
+                    {
+                        self.access.record_delta(StateKey::Storage(target, key));
+                    } else {
+                        // Classic read-modify-write: the slot is observed, so the
+                        // access is an ordered read + write pair.
+                        self.access.record_read(StateKey::Storage(target, key));
+                        self.access.record_write(StateKey::Storage(target, key));
+                        let current = self.state.storage(target, key);
+                        self.state.storage_set(
+                            target,
+                            key,
+                            current.wrapping_add(value),
+                            Some(&mut *self.journal),
+                        );
+                    }
+                }
                 OpCode::Caller => stack.push(caller.low_u64()),
                 OpCode::CallValue => stack.push(value.sats()),
                 OpCode::SelfBalance => {
@@ -314,6 +364,27 @@ impl Frame<'_> {
         Ok(self.gas_left)
     }
 
+    /// Credits the receiving side of a value transfer. In delta mode a credit
+    /// to a non-resident account is accumulated blind and recorded as a
+    /// commutative delta (falling back to an ordered write when the account is
+    /// already materialized); classic mode credits exactly as before — the
+    /// write access was already recorded ahead of the debit.
+    fn credit_side(&mut self, to: Address, amount: Amount) {
+        if self.interpreter.delta_accesses {
+            if self
+                .state
+                .credit_delta(to, amount, Some(&mut *self.journal))
+            {
+                self.access.record_delta(StateKey::Balance(to));
+            } else {
+                self.access.record_write(StateKey::Balance(to));
+            }
+        } else {
+            self.state
+                .credit_journalled(to, amount, Some(&mut *self.journal));
+        }
+    }
+
     fn do_transfer(
         &mut self,
         from: Address,
@@ -322,12 +393,13 @@ impl Frame<'_> {
         depth: usize,
     ) -> std::result::Result<(), VmFailure> {
         self.access.record_write(StateKey::Balance(from));
-        self.access.record_write(StateKey::Balance(to));
+        if !self.interpreter.delta_accesses {
+            self.access.record_write(StateKey::Balance(to));
+        }
         self.state
             .debit_journalled(from, amount, Some(&mut *self.journal))
             .map_err(|e| VmFailure::Reverted(e.to_string(), self.gas_left))?;
-        self.state
-            .credit_journalled(to, amount, Some(&mut *self.journal));
+        self.credit_side(to, amount);
         self.internal
             .push(InternalTransaction::new(from, to, amount, depth));
         Ok(())

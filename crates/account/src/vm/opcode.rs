@@ -32,6 +32,12 @@ pub enum OpCode {
     SLoad,
     /// Pop a key then a value, store value at key in the current contract's storage.
     SStore,
+    /// Pop a key then a value, add the value (wrapping) to the current contract's
+    /// storage slot at that key. Semantically a read-modify-write, but because
+    /// addition commutes the interpreter may record it as a *delta* access — the
+    /// operation-level conflict class that lets concurrent accumulators on one
+    /// hot slot run unordered.
+    SAdd,
     /// Push the low 64 bits of the caller's address.
     Caller,
     /// Push the value (in base units) sent with the current call.
@@ -117,7 +123,10 @@ impl GasSchedule {
     pub fn cost(&self, op: &OpCode) -> Gas {
         let raw = match op {
             OpCode::SLoad => self.sload,
-            OpCode::SStore => self.sstore,
+            // SAdd is priced like the absolute store it replaces, so classic and
+            // delta-aware interpretation burn identical gas (receipts stay
+            // bit-identical across the two modes).
+            OpCode::SStore | OpCode::SAdd => self.sstore,
             OpCode::Transfer(_) | OpCode::TransferArg(_) => self.transfer,
             OpCode::Call(_) | OpCode::CallArg(_) => self.call,
             OpCode::Log => self.log,

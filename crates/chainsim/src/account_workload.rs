@@ -120,6 +120,41 @@ impl AccountWorkloadParams {
             contract_create_share: 0.0,
         }
     }
+
+    /// A *commutative hot spot* profile with a tunable hot-traffic share — the
+    /// hot-share sweep knob of the delta-cell benchmarks. `hot_share` of the
+    /// traffic splits evenly between an exchange deposit wall (everyone credits
+    /// one balance cell) and a shared fee-sink contract (everyone `SAdd`s one
+    /// storage slot); the rest are plain transfers to fresh receivers. Both hot
+    /// patterns are *commutative*: key-granular and whole-account conflict
+    /// tracking serialize them, delta-cell tracking commutes them — so
+    /// throughput across the sweep isolates exactly the delta-cell headline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot_share` is outside `[0, 0.95]`.
+    pub fn commutative_hotspot(hot_share: f64) -> Self {
+        assert!(
+            (0.0..=0.95).contains(&hot_share),
+            "hot share {hot_share} out of range"
+        );
+        let hotspots = if hot_share > 0.0 {
+            vec![
+                HotspotSpec::exchange(hot_share / 2.0),
+                HotspotSpec::fee_sink(hot_share / 2.0),
+            ]
+        } else {
+            Vec::new()
+        };
+        AccountWorkloadParams {
+            txs_per_block: 200.0,
+            user_population: 200_000,
+            fresh_receiver_share: 1.0,
+            zipf_exponent: 0.0,
+            hotspots,
+            contract_create_share: 0.0,
+        }
+    }
 }
 
 /// A deployed hot spot: its spec plus the concrete addresses backing it.
@@ -217,6 +252,14 @@ impl AccountWorkloadGen {
                     // own address word, so calls write disjoint `StateKey`s.
                     let entry = Address::from_low(CONTRACT_BASE + (i as u64) * 16);
                     state.deploy_contract(entry, Arc::new(Contract::per_caller_counter()));
+                    entry
+                }
+                HotspotKind::FeeSink => {
+                    // One shared fee accumulator; every caller adds its argument
+                    // to the same slot — the same `StateKey` for everyone, but
+                    // only via a commutative increment.
+                    let entry = Address::from_low(CONTRACT_BASE + (i as u64) * 16);
+                    state.deploy_contract(entry, Arc::new(Contract::fee_sink()));
                     entry
                 }
             };
@@ -333,6 +376,16 @@ impl AccountWorkloadGen {
                 self.ensure_funded(sender);
                 let nonce = self.take_nonce(sender);
                 AccountTransaction::contract_call(sender, entry, Amount::ZERO, vec![], nonce)
+            }
+            HotspotKind::FeeSink => {
+                // Value stays zero for the same reason as above; the added fee
+                // travels as the call argument, so the only shared touch is the
+                // accumulator slot's commutative `SAdd`.
+                let sender = self.population.sample_user(&mut self.rng);
+                self.ensure_funded(sender);
+                let nonce = self.take_nonce(sender);
+                let fee = self.rng.range(1, 10_000);
+                AccountTransaction::contract_call(sender, entry, Amount::ZERO, vec![fee], nonce)
             }
         }
     }
@@ -520,6 +573,44 @@ mod tests {
             "only {calls} of {} transactions hit the shared contract",
             executed.block().transaction_count()
         );
+    }
+
+    #[test]
+    fn fee_sink_profile_accumulates_the_shared_slot() {
+        let params = AccountWorkloadParams {
+            hotspots: vec![HotspotSpec::fee_sink(0.8)],
+            contract_create_share: 0.0,
+            ..AccountWorkloadParams::commutative_hotspot(0.8)
+        };
+        let mut gen = AccountWorkloadGen::new(params, 10);
+        let executed = gen.generate_block(1, 0);
+        assert!(executed.receipts().iter().all(|r| r.succeeded()));
+        let sink = Address::from_low(CONTRACT_BASE);
+        let calls = executed
+            .block()
+            .transactions()
+            .iter()
+            .filter(|tx| tx.receiver() == sink)
+            .count();
+        assert!(
+            calls * 10 >= executed.block().transaction_count() * 6,
+            "only {calls} of {} transactions hit the fee sink",
+            executed.block().transaction_count()
+        );
+        // Every call adds its positive fee argument to slot 0 of the sink.
+        assert!(
+            gen.state().storage(sink, 0) > 0,
+            "fee accumulator untouched"
+        );
+    }
+
+    #[test]
+    fn commutative_hotspot_sweep_knob_scales_the_hot_share() {
+        AccountWorkloadParams::commutative_hotspot(0.0).validate();
+        let hot = AccountWorkloadParams::commutative_hotspot(0.8);
+        hot.validate();
+        let total: f64 = hot.hotspots.iter().map(|h| h.share).sum();
+        assert!((total - 0.8).abs() < 1e-9);
     }
 
     #[test]

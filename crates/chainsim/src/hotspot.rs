@@ -19,6 +19,12 @@ pub enum HotspotKind {
     /// touches the same account but a disjoint `StateKey` — conflict-free under
     /// per-key tracking, fully serialized under whole-account tracking.
     SlotDisjointContract,
+    /// A shared fee-accumulator contract whose callers all *add* to the same
+    /// storage slot (protocol fee sinks, tip jars, burn counters). Every
+    /// transaction touches the same `StateKey`, but only with a commutative
+    /// increment — fully serialized under both whole-account *and* per-key
+    /// tracking, conflict-free only under delta-cell tracking.
+    FeeSink,
 }
 
 /// One hot spot and the share of a block's transactions it attracts.
@@ -79,6 +85,17 @@ impl HotspotSpec {
         }
     }
 
+    /// A shared fee-accumulator contract attracting `share` of transactions,
+    /// all adding to the same storage slot — the pure-commutative hot spot
+    /// that only delta-cell conflict tracking can parallelize.
+    pub fn fee_sink(share: f64) -> Self {
+        HotspotSpec {
+            kind: HotspotKind::FeeSink,
+            share,
+            call_depth: 0,
+        }
+    }
+
     /// Validates that the shares of a set of hot spots are sane (each in `[0, 1]` and
     /// summing to at most 1).
     ///
@@ -116,6 +133,9 @@ mod tests {
         let d = HotspotSpec::disjoint_slots(0.95);
         assert_eq!(d.kind, HotspotKind::SlotDisjointContract);
         assert_eq!(d.call_depth, 0);
+        let f = HotspotSpec::fee_sink(0.4);
+        assert_eq!(f.kind, HotspotKind::FeeSink);
+        assert_eq!(f.call_depth, 0);
     }
 
     #[test]

@@ -14,6 +14,17 @@ pub trait ExecutionEngine {
     /// A short, stable name for reports and benchmark labels.
     fn name(&self) -> &'static str;
 
+    /// Whether this engine treats commutative contributions (pure credits,
+    /// `SAdd`-style increments) as unordered delta accesses rather than
+    /// read-modify-writes. Schedulers upstream may then model pure-credit
+    /// receiver edges as *weak* — e.g.
+    /// `IncrementalTdg::with_weak_edges` — because transactions
+    /// sharing only a delta-accumulated cell no longer conflict. Purely
+    /// advisory: engines validate their own reads either way.
+    fn commutes_deltas(&self) -> bool {
+        false
+    }
+
     /// Executes `block` against `state`, committing its effects, and reports what was
     /// measured.
     ///

@@ -91,6 +91,14 @@ pub(crate) enum CellValue {
     Fragment(Option<FragmentValue>),
     /// A whole-account value; `None` deletes the account.
     Whole(Option<StoredAccount>),
+    /// A commutative contribution to the part: a balance credit (checked) or a
+    /// slot addend (wrapping). Unlike the absolute variants, delta entries of
+    /// several transactions *stack* — a reader folds every delta above the
+    /// winning absolute write, so concurrent contributors never invalidate
+    /// each other. A zero delta is the blind touch marker of a fully reverted
+    /// contribution: it creates the account (like the classic path's dirty
+    /// mark) without changing any value.
+    Delta(u64),
 }
 
 /// One buffered cell write, the unit [`MvMemory::apply`] installs.
@@ -121,6 +129,47 @@ pub(crate) fn apply_cell(
         (_, CellValue::Whole(_)) => {
             debug_assert!(false, "whole-account value under a fragment cell");
         }
+        (part, CellValue::Delta(amount)) => apply_delta(value, part, *amount),
+    }
+}
+
+/// Folds one commutative contribution over an assembled account value, with
+/// exactly the arithmetic the sequential flush uses: balance adds are checked
+/// (mirroring `Account::credit`'s overflow panic), slot adds wrap and a slot
+/// reaching zero is removed. A missing account is created empty first — the
+/// blind-credit account-creation side effect.
+pub(crate) fn apply_delta(value: &mut Option<StoredAccount>, part: CellPart, amount: u64) {
+    let account = value.get_or_insert_with(|| StoredAccount {
+        balance_sats: 0,
+        nonce: 0,
+        storage: Vec::new(),
+        code_json: None,
+    });
+    match part {
+        CellPart::Meta => {
+            account.balance_sats = account
+                .balance_sats
+                .checked_add(amount)
+                .expect("amount overflow");
+        }
+        CellPart::Slot(slot) => match account.storage.binary_search_by_key(&slot, |(k, _)| *k) {
+            Ok(pos) => {
+                let next = account.storage[pos].1.wrapping_add(amount);
+                if next == 0 {
+                    account.storage.remove(pos);
+                } else {
+                    account.storage[pos].1 = next;
+                }
+            }
+            Err(pos) => {
+                if amount != 0 {
+                    account.storage.insert(pos, (slot, amount));
+                }
+            }
+        },
+        CellPart::Code | CellPart::Whole => {
+            debug_assert!(false, "delta value under a non-commutative cell part");
+        }
     }
 }
 
@@ -141,6 +190,7 @@ pub(crate) fn overlay_cell(
             debug_assert!(part != CellPart::Whole, "fragment value under a whole cell");
             apply_fragment(value, &part.state_key(address), fragment.as_ref());
         }
+        CellValue::Delta(amount) => apply_delta(value, part, amount),
     }
 }
 
@@ -153,6 +203,13 @@ pub(crate) enum ReadOrigin {
     Base,
     /// Resolved from the buffered write of `(tx_index, incarnation)`.
     Version(usize, u32),
+    /// Folded the commutative delta contribution of `(tx_index, incarnation)`
+    /// on top of the write-level origin. A reader that *observes* a
+    /// delta-accumulated cell records one such origin per contributor — the
+    /// upgrade to an ordered dependency that keeps delta cells serializable:
+    /// any contributor appearing, vanishing or re-executing invalidates the
+    /// observer.
+    Delta(usize, u32),
 }
 
 /// Result of resolving one cell read for transaction `tx_index` (validation
@@ -173,20 +230,30 @@ pub(crate) enum ReadResult {
     },
 }
 
-/// One resolved cell of an account read: the winning version below the reader
-/// for one part, value included.
+/// One resolved cell of an account read: for one part, the winning absolute
+/// write below the reader (if any) plus every delta contribution stacked above
+/// it, values included. At least one of the two is non-empty.
 #[derive(Debug)]
 pub(crate) struct CellRead {
     /// The resolved part.
     pub(crate) part: CellPart,
-    /// Writer transaction index.
-    pub(crate) txn: usize,
-    /// Writer incarnation.
-    pub(crate) incarnation: u32,
-    /// Whether the entry is an `ESTIMATE`.
-    pub(crate) estimate: bool,
-    /// The buffered value.
-    pub(crate) value: CellValue,
+    /// The winning absolute write below the reader, as
+    /// `(txn, incarnation, estimate, value)`; `None` means the part's
+    /// write-level resolution falls through to the base state.
+    pub(crate) write: Option<(usize, u32, bool, CellValue)>,
+    /// Delta contributions between the winning write and the reader, in
+    /// ascending transaction order: `(txn, incarnation, estimate, amount)`.
+    pub(crate) deltas: Vec<(usize, u32, bool, u64)>,
+}
+
+/// Result of resolving one cell for validation: the write-level origin plus
+/// the exact delta contributor list above it (ascending transaction order).
+#[derive(Debug)]
+pub(crate) struct KeyRead {
+    /// The write-level resolution (delta entries are transparent to it).
+    pub(crate) write: ReadResult,
+    /// Delta contributors above the winning write, `(txn, incarnation, estimate)`.
+    pub(crate) deltas: Vec<(usize, u32, bool)>,
 }
 
 #[derive(Debug)]
@@ -220,28 +287,47 @@ impl MvMemory {
     }
 
     /// Resolves every cell of `address` for a read by transaction `tx_index` under
-    /// one shard lock: for each part with a buffered write below the reader, the
-    /// winning version and its value are appended to `out` in part order.
+    /// one shard lock: for each part with buffered entries below the reader, the
+    /// winning absolute write and the delta contributions stacked above it are
+    /// appended to `out` in part order.
     pub(crate) fn read_account(&self, address: Address, tx_index: usize, out: &mut Vec<CellRead>) {
         let shard = self.shard(address).lock().expect("mvcc shard lock");
         let Some(parts) = shard.get(&address) else {
             return;
         };
         for (&part, versions) in parts {
-            if let Some((&txn, entry)) = versions.range(..tx_index).next_back() {
+            let mut write = None;
+            let mut deltas = Vec::new();
+            for (&txn, entry) in versions.range(..tx_index).rev() {
+                match &entry.value {
+                    CellValue::Delta(amount) => {
+                        deltas.push((txn, entry.incarnation, entry.estimate, *amount));
+                    }
+                    value => {
+                        write = Some((txn, entry.incarnation, entry.estimate, value.clone()));
+                        break;
+                    }
+                }
+            }
+            if write.is_some() || !deltas.is_empty() {
+                deltas.reverse();
                 out.push(CellRead {
                     part,
-                    txn,
-                    incarnation: entry.incarnation,
-                    estimate: entry.estimate,
-                    value: entry.value.clone(),
+                    write,
+                    deltas,
                 });
             }
         }
     }
 
-    /// Resolves the read of one cell by transaction `tx_index`: the buffered write
-    /// with the highest transaction index strictly below the reader, if any.
+    /// Resolves the write-level read of one cell by transaction `tx_index`: the
+    /// buffered *absolute* write with the highest transaction index strictly
+    /// below the reader, if any. Delta entries are transparent — they stack on
+    /// top of a write instead of replacing it (see [`MvMemory::read_key`]).
+    /// The execution path reads through [`MvMemory::read_account`] /
+    /// [`MvMemory::read_key`]; this narrower probe backs the unit and property
+    /// tests.
+    #[cfg(test)]
     pub(crate) fn read(&self, key: CellKey, tx_index: usize) -> ReadResult {
         let shard = self.shard(key.address).lock().expect("mvcc shard lock");
         let Some(versions) = shard
@@ -250,14 +336,45 @@ impl MvMemory {
         else {
             return ReadResult::Base;
         };
-        match versions.range(..tx_index).next_back() {
-            Some((&txn, entry)) => ReadResult::Version {
-                txn,
-                incarnation: entry.incarnation,
-                estimate: entry.estimate,
-            },
-            None => ReadResult::Base,
+        for (&txn, entry) in versions.range(..tx_index).rev() {
+            if !matches!(entry.value, CellValue::Delta(_)) {
+                return ReadResult::Version {
+                    txn,
+                    incarnation: entry.incarnation,
+                    estimate: entry.estimate,
+                };
+            }
         }
+        ReadResult::Base
+    }
+
+    /// Resolves one cell for transaction `tx_index` with the full delta
+    /// structure: the write-level origin plus the exact contributor list above
+    /// it. This is what validation compares a recorded read group against.
+    pub(crate) fn read_key(&self, key: CellKey, tx_index: usize) -> KeyRead {
+        let shard = self.shard(key.address).lock().expect("mvcc shard lock");
+        let mut write = ReadResult::Base;
+        let mut deltas = Vec::new();
+        if let Some(versions) = shard
+            .get(&key.address)
+            .and_then(|parts| parts.get(&key.part))
+        {
+            for (&txn, entry) in versions.range(..tx_index).rev() {
+                match entry.value {
+                    CellValue::Delta(_) => deltas.push((txn, entry.incarnation, entry.estimate)),
+                    _ => {
+                        write = ReadResult::Version {
+                            txn,
+                            incarnation: entry.incarnation,
+                            estimate: entry.estimate,
+                        };
+                        break;
+                    }
+                }
+            }
+        }
+        deltas.reverse();
+        KeyRead { write, deltas }
     }
 
     /// Installs the write set of `(tx_index, incarnation)` and removes entries left
@@ -353,40 +470,128 @@ impl MvMemory {
         }
     }
 
-    /// Re-resolves a recorded read set for transaction `tx_index`. The read set is
-    /// valid iff every read resolves to the same origin as during execution and no
-    /// resolved entry is an estimate.
+    /// Re-resolves a recorded read set for transaction `tx_index`. The read set
+    /// is valid iff every read resolves to the same origins as during execution
+    /// and no resolved entry is an estimate.
+    ///
+    /// Entries for one cell must be adjacent (the engine keeps the read set
+    /// sorted by cell key): each group carries exactly one write-level origin
+    /// ([`ReadOrigin::Base`] or [`ReadOrigin::Version`]) plus the
+    /// [`ReadOrigin::Delta`] contributor list the execution folded, in
+    /// ascending transaction order. The group is re-resolved as a unit — a
+    /// delta contributor appearing, vanishing or re-executing invalidates the
+    /// observer even when the write-level origin is untouched (the *reader
+    /// upgrade* that keeps commutative cells serializable).
     pub(crate) fn validate_reads(&self, tx_index: usize, reads: &[(CellKey, ReadOrigin)]) -> bool {
-        reads
-            .iter()
-            .all(|&(key, origin)| match (self.read(key, tx_index), origin) {
-                (ReadResult::Base, ReadOrigin::Base) => true,
+        let mut i = 0;
+        while i < reads.len() {
+            let key = reads[i].0;
+            let mut j = i;
+            let mut write_origin = None;
+            let mut delta_origins: Vec<(usize, u32)> = Vec::new();
+            while j < reads.len() && reads[j].0 == key {
+                match reads[j].1 {
+                    ReadOrigin::Delta(txn, incarnation) => delta_origins.push((txn, incarnation)),
+                    origin => {
+                        debug_assert!(
+                            write_origin.is_none(),
+                            "two write-level origins recorded for one cell"
+                        );
+                        write_origin = Some(origin);
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+
+            let actual = self.read_key(key, tx_index);
+            let write_ok = match (actual.write, write_origin) {
+                (ReadResult::Base, Some(ReadOrigin::Base) | None) => true,
                 (
                     ReadResult::Version {
                         txn,
                         incarnation,
                         estimate,
                     },
-                    ReadOrigin::Version(read_txn, read_incarnation),
+                    Some(ReadOrigin::Version(read_txn, read_incarnation)),
                 ) => !estimate && txn == read_txn && incarnation == read_incarnation,
                 _ => false,
-            })
+            };
+            if !write_ok {
+                return false;
+            }
+            if actual.deltas.len() != delta_origins.len()
+                || actual.deltas.iter().zip(&delta_origins).any(
+                    |(&(txn, incarnation, estimate), &(read_txn, read_incarnation))| {
+                        estimate || txn != read_txn || incarnation != read_incarnation
+                    },
+                )
+            {
+                return false;
+            }
+        }
+        true
     }
 
-    /// The final value of every written cell — for each cell, the write of the
-    /// highest transaction index. Called once after the whole block has executed
-    /// and validated; the map is consumed, so values *move* out instead of being
-    /// cloned under shard locks, and the result's deterministic `BTreeMap` order
-    /// is what the engine's commit walks.
-    pub(crate) fn into_final_cells(self) -> BTreeMap<Address, BTreeMap<CellPart, CellValue>> {
-        let mut out: BTreeMap<Address, BTreeMap<CellPart, CellValue>> = BTreeMap::new();
+    /// The final value of every written cell: the absolute write of the highest
+    /// transaction index plus the folded sum of every delta contribution above
+    /// it (deltas *below* an absolute write are excluded — that write's value
+    /// was computed from a pre-state that already folded them). Called once
+    /// after the whole block has executed and validated; the map is consumed,
+    /// so values *move* out instead of being cloned under shard locks, and the
+    /// result's deterministic `BTreeMap` order is what the engine's commit
+    /// walks.
+    /// Counts the committed commutative contributions: `CellValue::Delta`
+    /// entries live in the version map once every transaction has validated.
+    /// Each one is a same-cell collision that never ordered against its
+    /// neighbours (contributions folded under a later absolute write count
+    /// too — they committed through the writer's served pre-state).
+    pub(crate) fn delta_entries(&self) -> u64 {
+        let mut merges = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("mvcc shard lock");
+            for parts in shard.values() {
+                for versions in parts.values() {
+                    merges += versions
+                        .values()
+                        .filter(|entry| matches!(entry.value, CellValue::Delta(_)))
+                        .count() as u64;
+                }
+            }
+        }
+        merges
+    }
+
+    pub(crate) fn into_final_cells(self) -> BTreeMap<Address, BTreeMap<CellPart, FinalCell>> {
+        let mut out: BTreeMap<Address, BTreeMap<CellPart, FinalCell>> = BTreeMap::new();
         for shard in self.shards {
             let shard = shard.into_inner().expect("mvcc shard lock");
             for (address, parts) in shard {
                 let cells = out.entry(address).or_default();
                 for (part, versions) in parts {
-                    if let Some((_, entry)) = versions.into_iter().next_back() {
-                        cells.insert(part, entry.value);
+                    let mut write = None;
+                    let mut delta: Option<u64> = None;
+                    for (_, entry) in versions.into_iter().rev() {
+                        match entry.value {
+                            CellValue::Delta(amount) => {
+                                let sum = delta.get_or_insert(0);
+                                *sum = match part {
+                                    // The same fold arithmetic the observers
+                                    // and the sequential flush use.
+                                    CellPart::Meta => {
+                                        sum.checked_add(amount).expect("amount overflow")
+                                    }
+                                    _ => sum.wrapping_add(amount),
+                                };
+                            }
+                            value => {
+                                write = Some(value);
+                                break;
+                            }
+                        }
+                    }
+                    if write.is_some() || delta.is_some() {
+                        cells.insert(part, FinalCell { write, delta });
                     }
                 }
                 if cells.is_empty() {
@@ -396,6 +601,20 @@ impl MvMemory {
         }
         out
     }
+}
+
+/// The committed outcome of one cell: an optional absolute write plus an
+/// optional folded delta sum on top of it. Commit applies the write first,
+/// then the delta — the two-step that makes delete-then-recredit sequences
+/// come out right. `delta` is `Some(0)` (not `None`) when delta entries
+/// existed but folded to nothing: the zero still creates the touched account,
+/// mirroring the classic path's dirty mark.
+#[derive(Debug, PartialEq)]
+pub(crate) struct FinalCell {
+    /// The absolute write of the highest transaction, if any.
+    pub(crate) write: Option<CellValue>,
+    /// The folded delta contributions above that write, if any existed.
+    pub(crate) delta: Option<u64>,
 }
 
 #[cfg(test)]
@@ -447,6 +666,13 @@ mod tests {
         }
     }
 
+    fn delta_write(n: u64, slot: u64, amount: u64) -> CellWrite {
+        CellWrite {
+            key: slot_key(n, slot),
+            value: CellValue::Delta(amount),
+        }
+    }
+
     fn resolved_txn(mv: &MvMemory, key: CellKey, reader: usize) -> Option<usize> {
         match mv.read(key, reader) {
             ReadResult::Base => None,
@@ -483,9 +709,124 @@ mod tests {
         let mut cells = Vec::new();
         mv.read_account(addr(9), 5, &mut cells);
         assert_eq!(
-            cells.iter().map(|c| (c.part, c.txn)).collect::<Vec<_>>(),
-            vec![(CellPart::Slot(3), 1), (CellPart::Slot(7), 2)]
+            cells
+                .iter()
+                .map(|c| (c.part, c.write.as_ref().map(|w| w.0)))
+                .collect::<Vec<_>>(),
+            vec![(CellPart::Slot(3), Some(1)), (CellPart::Slot(7), Some(2))]
         );
+    }
+
+    #[test]
+    fn delta_entries_stack_over_the_winning_write() {
+        let mv = MvMemory::new();
+        mv.apply(1, 0, &mut vec![slot_write(3, 0, 100)], &[]);
+        mv.apply(2, 0, &mut vec![delta_write(3, 0, 5)], &[]);
+        mv.apply(4, 0, &mut vec![delta_write(3, 0, 7)], &[]);
+
+        // Write-level reads see through the deltas to the absolute write.
+        assert_eq!(resolved_txn(&mv, slot_key(3, 0), 9), Some(1));
+        let key_read = mv.read_key(slot_key(3, 0), 9);
+        assert!(matches!(key_read.write, ReadResult::Version { txn: 1, .. }));
+        assert_eq!(
+            key_read.deltas.iter().map(|d| d.0).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        // A reader between the contributors folds only what is below it.
+        let below = mv.read_key(slot_key(3, 0), 4);
+        assert_eq!(
+            below.deltas.iter().map(|d| d.0).collect::<Vec<_>>(),
+            vec![2]
+        );
+
+        // The account-level read carries the same structure, values included.
+        let mut cells = Vec::new();
+        mv.read_account(addr(3), 9, &mut cells);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].part, CellPart::Slot(0));
+        assert_eq!(cells[0].write.as_ref().map(|w| w.0), Some(1));
+        assert_eq!(
+            cells[0]
+                .deltas
+                .iter()
+                .map(|d| (d.0, d.3))
+                .collect::<Vec<_>>(),
+            vec![(2, 5), (4, 7)]
+        );
+
+        // Commit folds write-then-delta: 100 + 5 + 7. (A slot fragment on a
+        // dead account is ignored, so fold over an existing empty account.)
+        let finals = mv.into_final_cells();
+        let cell = &finals[&addr(3)][&CellPart::Slot(0)];
+        assert_eq!(cell.delta, Some(12));
+        let mut value = None;
+        apply_delta(&mut value, CellPart::Meta, 0);
+        if let Some(write) = &cell.write {
+            apply_cell(addr(3), &mut value, CellPart::Slot(0), write);
+        }
+        apply_delta(&mut value, CellPart::Slot(0), cell.delta.unwrap());
+        assert_eq!(value.unwrap().storage, vec![(0, 112)]);
+    }
+
+    #[test]
+    fn deltas_below_an_absolute_write_are_superseded() {
+        let mv = MvMemory::new();
+        mv.apply(1, 0, &mut vec![delta_write(3, 0, 5)], &[]);
+        mv.apply(2, 0, &mut vec![slot_write(3, 0, 50)], &[]);
+        // The absolute write at txn 2 was computed from a pre-state that folded
+        // txn 1's contribution: neither readers nor the commit re-apply it.
+        let key_read = mv.read_key(slot_key(3, 0), 9);
+        assert!(matches!(key_read.write, ReadResult::Version { txn: 2, .. }));
+        assert!(key_read.deltas.is_empty());
+        let finals = mv.into_final_cells();
+        let cell = &finals[&addr(3)][&CellPart::Slot(0)];
+        assert_eq!(cell.delta, None);
+        assert_eq!(
+            cell.write,
+            Some(CellValue::Fragment(Some(FragmentValue::Slot(50))))
+        );
+    }
+
+    #[test]
+    fn observer_of_delta_cell_validates_against_exact_contributors() {
+        let mv = MvMemory::new();
+        mv.apply(2, 0, &mut vec![delta_write(6, 1, 5)], &[]);
+        let reads = vec![
+            (slot_key(6, 1), ReadOrigin::Base),
+            (slot_key(6, 1), ReadOrigin::Delta(2, 0)),
+        ];
+        assert!(mv.validate_reads(8, &reads));
+
+        // A new contributor appears below the observer → invalid, even though
+        // the write-level origin is untouched.
+        mv.apply(5, 0, &mut vec![delta_write(6, 1, 7)], &[]);
+        assert!(!mv.validate_reads(8, &reads));
+        // ...and a previously clean Base read upgrades the same way.
+        assert!(!mv.validate_reads(8, &[(slot_key(6, 1), ReadOrigin::Base)]));
+        // A pure contributor that read nothing stays valid: delta∧delta does
+        // not conflict.
+        assert!(mv.validate_reads(8, &[]));
+
+        // With the full contributor list the observer is valid again.
+        let full = vec![
+            (slot_key(6, 1), ReadOrigin::Base),
+            (slot_key(6, 1), ReadOrigin::Delta(2, 0)),
+            (slot_key(6, 1), ReadOrigin::Delta(5, 0)),
+        ];
+        assert!(mv.validate_reads(8, &full));
+
+        // An estimated contributor suspends observers, like estimated writes.
+        mv.convert_writes_to_estimates(5, &[slot_key(6, 1)]);
+        assert!(!mv.validate_reads(8, &full));
+        // Re-execution at a new incarnation changes the contributor stamp.
+        mv.apply(5, 1, &mut vec![delta_write(6, 1, 7)], &[slot_key(6, 1)]);
+        assert!(!mv.validate_reads(8, &full));
+        let bumped = vec![
+            (slot_key(6, 1), ReadOrigin::Base),
+            (slot_key(6, 1), ReadOrigin::Delta(2, 0)),
+            (slot_key(6, 1), ReadOrigin::Delta(5, 1)),
+        ];
+        assert!(mv.validate_reads(8, &bumped));
     }
 
     #[test]
@@ -567,18 +908,27 @@ mod tests {
         assert_eq!(finals.len(), 2);
         assert_eq!(
             finals[&addr(1)][&CellPart::Meta],
-            CellValue::Fragment(Some(FragmentValue::Meta {
-                balance_sats: 40,
-                nonce: 0
-            }))
+            FinalCell {
+                write: Some(CellValue::Fragment(Some(FragmentValue::Meta {
+                    balance_sats: 40,
+                    nonce: 0
+                }))),
+                delta: None,
+            }
         );
         assert_eq!(
             finals[&addr(1)][&CellPart::Slot(6)],
-            CellValue::Fragment(Some(FragmentValue::Slot(66)))
+            FinalCell {
+                write: Some(CellValue::Fragment(Some(FragmentValue::Slot(66)))),
+                delta: None,
+            }
         );
         assert_eq!(
             finals[&addr(2)][&CellPart::Meta],
-            CellValue::Fragment(None),
+            FinalCell {
+                write: Some(CellValue::Fragment(None)),
+                delta: None,
+            },
             "deletion survives as a None fragment"
         );
     }
@@ -613,10 +963,10 @@ mod tests {
     // ---- property oracles -------------------------------------------------
 
     /// Naive single-map model of the multi-version store: no shards, no locks,
-    /// one flat `(cell, txn) → entry` map.
+    /// one flat `(cell, txn) → (incarnation, estimate, is_delta)` map.
     #[derive(Default)]
     struct NaiveModel {
-        entries: BTreeMap<(CellKey, usize), (u32, bool)>,
+        entries: BTreeMap<(CellKey, usize), (u32, bool, bool)>,
     }
 
     impl NaiveModel {
@@ -624,16 +974,17 @@ mod tests {
             &mut self,
             txn: usize,
             incarnation: u32,
-            writes: &[CellKey],
+            writes: &[(CellKey, bool)],
             previous: &[CellKey],
         ) {
             for &key in previous {
-                if !writes.contains(&key) {
+                if !writes.iter().any(|&(w, _)| w == key) {
                     self.entries.remove(&(key, txn));
                 }
             }
-            for &key in writes {
-                self.entries.insert((key, txn), (incarnation, false));
+            for &(key, is_delta) in writes {
+                self.entries
+                    .insert((key, txn), (incarnation, false, is_delta));
             }
         }
 
@@ -645,11 +996,33 @@ mod tests {
             }
         }
 
+        /// Write-level resolution: deltas are transparent.
         fn resolve(&self, key: CellKey, reader: usize) -> Option<(usize, u32, bool)> {
             self.entries
                 .range((key, 0)..(key, reader))
-                .next_back()
-                .map(|(&(_, txn), &(incarnation, estimate))| (txn, incarnation, estimate))
+                .rev()
+                .find(|(_, &(_, _, is_delta))| !is_delta)
+                .map(|(&(_, txn), &(incarnation, estimate, _))| (txn, incarnation, estimate))
+        }
+
+        /// Delta contributors above the winning write, ascending.
+        fn resolve_deltas(&self, key: CellKey, reader: usize) -> Vec<(usize, u32, bool)> {
+            let mut out: Vec<(usize, u32, bool)> = self
+                .entries
+                .range((key, 0)..(key, reader))
+                .rev()
+                .take_while(|(_, &(_, _, is_delta))| is_delta)
+                .map(|(&(_, txn), &(incarnation, estimate, _))| (txn, incarnation, estimate))
+                .collect();
+            out.reverse();
+            out
+        }
+
+        fn any_entry(&self, key: CellKey) -> bool {
+            self.entries
+                .range((key, 0)..(key, usize::MAX))
+                .next()
+                .is_some()
         }
     }
 
@@ -672,6 +1045,11 @@ mod tests {
     fn oracle_value(key: CellKey, value: u8) -> CellValue {
         if value == 0 {
             return CellValue::Fragment(None);
+        }
+        // One roll in five is a commutative delta (code cells have no
+        // commutative form).
+        if value == 4 && !matches!(key.part, CellPart::Code) {
+            return CellValue::Delta(u64::from(value));
         }
         CellValue::Fragment(Some(match key.part {
             CellPart::Meta => FragmentValue::Meta {
@@ -712,10 +1090,14 @@ mod tests {
                             .iter()
                             .map(|&key| CellWrite { key, value: oracle_value(key, value_roll) })
                             .collect();
+                        let paired: Vec<(CellKey, bool)> = writes
+                            .iter()
+                            .map(|w| (w.key, matches!(w.value, CellValue::Delta(_))))
+                            .collect();
                         let incarnation = incarnations[txn];
                         incarnations[txn] += 1;
                         mv.apply(txn, incarnation, &mut writes, &last_writes[txn]);
-                        model.apply(txn, incarnation, &keys, &last_writes[txn].clone());
+                        model.apply(txn, incarnation, &paired, &last_writes[txn].clone());
                         last_writes[txn] = keys;
                     }
                     // Abort: the last write set becomes estimates.
@@ -737,7 +1119,8 @@ mod tests {
                 }
             }
 
-            // Whole-universe sweep: every cell, every reader.
+            // Whole-universe sweep: every cell, every reader, write-level and
+            // delta-level resolution alike.
             for key_roll in 0..6u8 {
                 let key = oracle_key(key_roll);
                 for reader in 0..11usize {
@@ -748,19 +1131,34 @@ mod tests {
                         }
                     };
                     prop_assert_eq!(resolved, model.resolve(key, reader));
+                    prop_assert_eq!(
+                        mv.read_key(key, reader).deltas,
+                        model.resolve_deltas(key, reader),
+                        "delta contributors of {:?} for {}",
+                        key,
+                        reader
+                    );
                 }
             }
 
             // Validation must accept exactly the model's current resolutions
-            // (sans estimates).
+            // (sans estimates), delta contributor lists included.
             for key_roll in 0..6u8 {
                 let key = oracle_key(key_roll);
                 let origin = match model.resolve(key, 10) {
                     None => ReadOrigin::Base,
                     Some((txn, incarnation, _)) => ReadOrigin::Version(txn, incarnation),
                 };
-                let estimate = model.resolve(key, 10).is_some_and(|(_, _, e)| e);
-                prop_assert_eq!(mv.validate_reads(10, &[(key, origin)]), !estimate);
+                let deltas = model.resolve_deltas(key, 10);
+                let mut group = vec![(key, origin)];
+                group.extend(
+                    deltas
+                        .iter()
+                        .map(|&(txn, incarnation, _)| (key, ReadOrigin::Delta(txn, incarnation))),
+                );
+                let estimate = model.resolve(key, 10).is_some_and(|(_, _, e)| e)
+                    || deltas.iter().any(|&(_, _, e)| e);
+                prop_assert_eq!(mv.validate_reads(10, &group), !estimate);
             }
 
             let finals = mv.into_final_cells();
@@ -769,7 +1167,7 @@ mod tests {
                 let drained = finals.get(&key.address).and_then(|parts| parts.get(&key.part));
                 prop_assert_eq!(
                     drained.is_some(),
-                    model.resolve(key, usize::MAX).is_some(),
+                    model.any_entry(key),
                     "final cell presence for {:?}",
                     key
                 );
@@ -807,7 +1205,12 @@ mod tests {
                 let mut cells = Vec::new();
                 key_mv.read_account(address, t, &mut cells);
                 for cell in &cells {
-                    apply_cell(address, &mut pre, cell.part, &cell.value);
+                    if let Some((_, _, _, value)) = &cell.write {
+                        apply_cell(address, &mut pre, cell.part, value);
+                    }
+                    for &(_, _, _, amount) in &cell.deltas {
+                        apply_delta(&mut pre, cell.part, amount);
+                    }
                 }
 
                 let post = match kind {
@@ -854,19 +1257,21 @@ mod tests {
             }
 
             // Reassemble the committed account both ways.
-            let mut key_committed = base.clone();
-            if let Some(parts) = key_mv.into_final_cells().get(&address) {
-                for (part, cell) in parts {
-                    apply_cell(address, &mut key_committed, *part, cell);
+            let fold = |mv: MvMemory| {
+                let mut committed = base.clone();
+                if let Some(parts) = mv.into_final_cells().get(&address) {
+                    for (part, cell) in parts {
+                        if let Some(write) = &cell.write {
+                            apply_cell(address, &mut committed, *part, write);
+                        }
+                        if let Some(delta) = cell.delta {
+                            apply_delta(&mut committed, *part, delta);
+                        }
+                    }
                 }
-            }
-            let mut account_committed = base.clone();
-            if let Some(parts) = account_mv.into_final_cells().get(&address) {
-                for (part, cell) in parts {
-                    apply_cell(address, &mut account_committed, *part, cell);
-                }
-            }
-            prop_assert_eq!(key_committed, account_committed);
+                committed
+            };
+            prop_assert_eq!(fold(key_mv), fold(account_mv));
         }
     }
 }

@@ -18,8 +18,8 @@
 //! [`OptimisticEngine::with_account_granularity`] as a measurable baseline.
 
 use crate::mvcc::{
-    apply_cell, cell_key_of, overlay_cell, CellKey, CellPart, CellRead, CellValue, CellWrite,
-    MvMemory, ReadOrigin,
+    apply_cell, apply_delta, cell_key_of, overlay_cell, CellKey, CellPart, CellRead, CellValue,
+    CellWrite, MvMemory, ReadOrigin,
 };
 use crate::thread_pool::{Job, WorkerPool};
 use crate::{ExecutionEngine, ExecutionReport};
@@ -56,6 +56,12 @@ enum Granularity {
     /// Whole-account cells — the pre-refactor baseline, kept as a measurable
     /// comparison mode (`with_account_granularity`).
     Account,
+    /// Per-key cells plus commutative delta accumulation: pure credits and
+    /// `SAdd` increments land as unordered [`CellValue::Delta`] contributions
+    /// that never conflict with each other. A transaction that *observes* a
+    /// delta-accumulated cell upgrades to an ordered dependency on the exact
+    /// contributor set (`with_delta_cells`).
+    Delta,
 }
 
 /// One account as served to a transaction: the assembled value plus the cell
@@ -116,10 +122,12 @@ impl MvView {
         self.cache.clear();
     }
 
-    /// Appends the consumed read of one cell to `out` and folds its blocking
-    /// estimate writer (if any) into `blocked`. A part with no recorded origin
+    /// Appends the consumed reads of one cell to `out` and folds its blocking
+    /// estimate writers (if any) into `blocked`. A part with no recorded origin
     /// resolved from base — the base cannot change during the block, so `Base`
-    /// is its validation origin.
+    /// is its validation origin. A delta-accumulated part contributes one
+    /// write-level origin plus one `Delta` origin per contributor: observing the
+    /// folded value makes the reader ordered after every contributor.
     fn push_consumed(
         &self,
         key: CellKey,
@@ -127,31 +135,39 @@ impl MvView {
         blocked: &mut Option<usize>,
     ) {
         let Some(cached) = self.cache.get(&key.address) else {
-            // Every tracked key belongs to an account the executor materialized
-            // through this view; a miss would mean an unvalidated read path.
-            debug_assert!(
-                false,
-                "consumed key {key:?} of an account the view never served"
-            );
+            // An account the view never served: the access set records some
+            // keys ahead of the state operation (a transfer records the
+            // receiver before the debit), so a reverted path can leave a
+            // recorded key whose account was never observed. The execution is
+            // independent of the cell, and `Base` is a sound origin: if a
+            // lower transaction turns out to have written it, validation
+            // aborts conservatively and re-execution converges.
+            out.push((key, ReadOrigin::Base));
             return;
         };
-        let mut origin = ReadOrigin::Base;
-        let mut estimate = false;
+        let mut found = false;
         for &(part, cell_origin, cell_estimate) in &cached.origins {
-            if part == key.part {
-                origin = cell_origin;
-                estimate = cell_estimate;
-                break;
+            if part != key.part {
+                continue;
+            }
+            found = true;
+            out.push((key, cell_origin));
+            if cell_estimate {
+                let txn = match cell_origin {
+                    // The *lowest-indexed* estimate writer: suspending on the
+                    // earliest blocker resumes as soon as any stale input can
+                    // change, instead of waiting out a higher-indexed writer
+                    // first.
+                    ReadOrigin::Version(txn, _) | ReadOrigin::Delta(txn, _) => Some(txn),
+                    ReadOrigin::Base => None,
+                };
+                if let Some(txn) = txn {
+                    *blocked = Some(blocked.map_or(txn, |b| b.min(txn)));
+                }
             }
         }
-        out.push((key, origin));
-        if estimate {
-            if let ReadOrigin::Version(txn, _) = origin {
-                // The *lowest-indexed* estimate writer: suspending on the
-                // earliest blocker resumes as soon as any stale input can
-                // change, instead of waiting out a higher-indexed writer first.
-                *blocked = Some(blocked.map_or(txn, |b| b.min(txn)));
-            }
+        if !found {
+            out.push((key, ReadOrigin::Base));
         }
     }
 
@@ -175,7 +191,11 @@ impl MvView {
         out.clear();
         let mut blocked = None;
         match self.granularity {
-            Granularity::Key => {
+            // Delta granularity consumes the same keys as key granularity: a
+            // pure delta contribution (`access.deltas()`) observes nothing, so
+            // it records no read origin at all — that omission is exactly what
+            // lets contributors commute.
+            Granularity::Key | Granularity::Delta => {
                 self.push_consumed(
                     CellKey {
                         address: sender,
@@ -227,12 +247,24 @@ impl StateBackend for MvView {
         let mut value = self.base.export_account(address);
         let mut origins = Vec::with_capacity(self.cell_buf.len());
         for cell in self.cell_buf.drain(..) {
-            apply_cell(address, &mut value, cell.part, &cell.value);
-            origins.push((
-                cell.part,
-                ReadOrigin::Version(cell.txn, cell.incarnation),
-                cell.estimate,
-            ));
+            match &cell.write {
+                Some((txn, incarnation, estimate, write)) => {
+                    apply_cell(address, &mut value, cell.part, write);
+                    origins.push((
+                        cell.part,
+                        ReadOrigin::Version(*txn, *incarnation),
+                        *estimate,
+                    ));
+                }
+                // A delta-only part still resolves its write level from base;
+                // the explicit `Base` origin is what invalidates a reader when
+                // an absolute write to the part appears later.
+                None => origins.push((cell.part, ReadOrigin::Base, false)),
+            }
+            for &(txn, incarnation, estimate, amount) in &cell.deltas {
+                apply_delta(&mut value, cell.part, amount);
+                origins.push((cell.part, ReadOrigin::Delta(txn, incarnation), estimate));
+            }
         }
         self.cache.insert(
             address,
@@ -633,6 +665,8 @@ struct WorkerScratch {
     fragments: Vec<blockconc_store::StateFragment>,
     /// Reusable record buffer for `WorldState::take_write_set` (account mode).
     records: Vec<blockconc_store::DeltaRecord>,
+    /// Reusable delta-op buffer for `WorldState::take_delta_ops` (delta mode).
+    delta_ops: Vec<(blockconc_store::StateKey, u64)>,
     /// Reusable written-cell-keys buffer, swapped into `last_writes[t]`.
     keys: Vec<CellKey>,
     /// Reusable dirty-addresses buffer, swapped into `touched[t]`.
@@ -655,13 +689,22 @@ impl WorkerScratch {
         state
             .attach_backend(Arc::clone(&view) as SharedBackend, None)
             .expect("mv-view attach is infallible");
+        // Delta granularity flips the executor into delta-emitting mode: pure
+        // credits and `SAdd` increments accumulate as pending deltas instead of
+        // materializing the target account, and land in the version map as
+        // commutative `CellValue::Delta` contributions.
+        let executor = match ctx.granularity {
+            Granularity::Delta => BlockExecutor::with_delta_accesses(),
+            _ => BlockExecutor::new(),
+        };
         WorkerScratch {
             view,
             state,
-            executor: BlockExecutor::new(),
+            executor,
             writes: Vec::new(),
             fragments: Vec::new(),
             records: Vec::new(),
+            delta_ops: Vec::new(),
             keys: Vec::new(),
             addrs: Vec::new(),
             reads: Vec::new(),
@@ -707,6 +750,33 @@ impl RunCtx {
                         value: CellValue::Fragment(f.value),
                     }));
                 }
+                Granularity::Delta => {
+                    ws.state
+                        .take_write_fragments(&mut ws.fragments, &mut ws.addrs);
+                    ws.writes.extend(ws.fragments.drain(..).map(|f| CellWrite {
+                        key: cell_key_of(f.key),
+                        value: CellValue::Fragment(f.value),
+                    }));
+                    ws.state.take_delta_ops(&mut ws.delta_ops);
+                    for (key, amount) in ws.delta_ops.drain(..) {
+                        let key = cell_key_of(key);
+                        // The address is touched even when the contribution
+                        // reverted to nothing — sequential execution journals
+                        // the account either way, and the commit reproduces
+                        // that. A zero addend installs no cell: readers must
+                        // not observe (and depend on) a no-op.
+                        ws.addrs.push(key.address);
+                        if amount != 0 {
+                            ws.writes.push(CellWrite {
+                                key,
+                                value: CellValue::Delta(amount),
+                            });
+                        }
+                    }
+                    // Fragments and delta contributions interleave: restore the
+                    // sorted-by-key order `MvMemory::apply` expects.
+                    ws.writes.sort_unstable_by_key(|w| w.key);
+                }
                 Granularity::Account => {
                     ws.state.take_write_set(&mut ws.records);
                     ws.addrs.clear();
@@ -726,10 +796,13 @@ impl RunCtx {
                 &mut ws.reads,
             );
             // Every write must be a consumed key — otherwise its fragment-or-not
-            // decision would escape validation.
+            // decision would escape validation. Delta contributions are exempt:
+            // they observe nothing by construction, which is exactly what makes
+            // them commute.
             debug_assert!(
                 ws.writes
                     .iter()
+                    .filter(|w| !matches!(w.value, CellValue::Delta(_)))
                     .all(|w| ws.reads.iter().any(|&(key, _)| key == w.key)),
                 "write cell outside the consumed key set"
             );
@@ -883,6 +956,18 @@ impl OptimisticEngine {
         self
     }
 
+    /// Switches conflict tracking to delta-cell granularity (builder-style):
+    /// per-key cells plus commutative accumulation for pure credits and `SAdd`
+    /// increments. Contributions to one hot cell commute — no aborts, no
+    /// ordering — and fold over the base value at read and commit time; a
+    /// transaction that *reads* the accumulated cell becomes ordered after the
+    /// exact contributor set it observed. Reported as engine
+    /// `"optimistic-delta"`.
+    pub fn with_delta_cells(mut self) -> Self {
+        self.granularity = Granularity::Delta;
+        self
+    }
+
     /// This engine timing itself on `clock` instead of the wall clock
     /// (builder-style) — a mock clock makes the reported wall times
     /// deterministic.
@@ -913,6 +998,8 @@ impl OptimisticEngine {
         validations: u64,
         aborts: u64,
         fallbacks: u64,
+        delta_merges: u64,
+        delta_downgrades: u64,
         wall: Duration,
     ) -> ExecutionReport {
         let parallel_units = executions.div_ceil(self.threads as u64);
@@ -928,6 +1015,8 @@ impl OptimisticEngine {
             aborts,
             re_executions: executions.saturating_sub(x as u64),
             sequential_fallbacks: fallbacks,
+            delta_merges,
+            delta_downgrades,
             wall_time: wall,
             sequential_wall_time: Duration::ZERO,
         }
@@ -939,7 +1028,12 @@ impl ExecutionEngine for OptimisticEngine {
         match self.granularity {
             Granularity::Key => "optimistic",
             Granularity::Account => "optimistic-account",
+            Granularity::Delta => "optimistic-delta",
         }
+    }
+
+    fn commutes_deltas(&self) -> bool {
+        matches!(self.granularity, Granularity::Delta)
     }
 
     fn execute(
@@ -950,7 +1044,10 @@ impl ExecutionEngine for OptimisticEngine {
         let x = block.transaction_count();
         if x == 0 {
             let executed = ExecutedBlock::new(block.clone(), Vec::new());
-            return Ok((executed, self.report(0, 0, 0, 0, 0, 0, Duration::ZERO)));
+            return Ok((
+                executed,
+                self.report(0, 0, 0, 0, 0, 0, 0, 0, Duration::ZERO),
+            ));
         }
 
         let start = self.clock.now_nanos();
@@ -994,6 +1091,7 @@ impl ExecutionEngine for OptimisticEngine {
             mv,
             base: ctx_base,
             outcomes,
+            read_sets,
             touched,
             ever_aborted,
             executions,
@@ -1027,6 +1125,10 @@ impl ExecutionEngine for OptimisticEngine {
                 validations,
                 abort_count,
                 1,
+                // The sequential rerun discards the version map: whatever
+                // commuted speculatively did not commit that way.
+                0,
+                0,
                 wall,
             );
             return Ok((executed, report));
@@ -1044,6 +1146,22 @@ impl ExecutionEngine for OptimisticEngine {
             Ok(mv) => mv,
             Err(_) => unreachable!("workers exited"),
         };
+        // Delta attribution, from the committed run itself: merges are the
+        // commutative contributions live in the version map, downgrades the
+        // committed reads that ordered themselves after those contributors.
+        // Both are schedule-independent — the final read sets validated
+        // against the final version map.
+        let delta_merges = mv.delta_entries();
+        let delta_downgrades: u64 = read_sets
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("read-set lock")
+                    .iter()
+                    .filter(|(_, origin)| matches!(origin, ReadOrigin::Delta(_, _)))
+                    .count() as u64
+            })
+            .sum();
         let mut final_cells = mv.into_final_cells();
         for slot in touched {
             for address in slot.into_inner().expect("touched lock") {
@@ -1053,7 +1171,12 @@ impl ExecutionEngine for OptimisticEngine {
         for (address, parts) in final_cells {
             let mut value = owned.export_account(address);
             for (part, cell) in parts {
-                overlay_cell(address, &mut value, part, cell);
+                if let Some(write) = cell.write {
+                    overlay_cell(address, &mut value, part, write);
+                }
+                if let Some(delta) = cell.delta {
+                    apply_delta(&mut value, part, delta);
+                }
             }
             match value {
                 Some(stored) => owned.install_account(address, &stored),
@@ -1076,7 +1199,17 @@ impl ExecutionEngine for OptimisticEngine {
             .iter()
             .filter(|a| a.load(Ordering::SeqCst))
             .count();
-        let report = self.report(x, conflicted, executions, validations, abort_count, 0, wall);
+        let report = self.report(
+            x,
+            conflicted,
+            executions,
+            validations,
+            abort_count,
+            0,
+            delta_merges,
+            delta_downgrades,
+            wall,
+        );
         Ok((executed, report))
     }
 }
@@ -1396,5 +1529,178 @@ mod tests {
         let (opt_block, _) = engine.execute(&mut opt_state, &block).unwrap();
         assert_eq!(seq_block.receipts(), opt_block.receipts());
         assert_eq!(seq_state.state_root(), opt_state.state_root());
+    }
+
+    /// Runs `block` under `engine` and asserts receipts + state root match the
+    /// sequential engine on an identical starting state.
+    fn assert_engine_matches_sequential(
+        block: &AccountBlock,
+        state: &WorldState,
+        engine: &mut OptimisticEngine,
+    ) -> ExecutionReport {
+        let mut seq_state = state.clone();
+        let (seq_block, _) = SequentialEngine::new()
+            .execute(&mut seq_state, block)
+            .unwrap();
+        let mut opt_state = state.clone();
+        let (opt_block, report) = engine.execute(&mut opt_state, block).unwrap();
+        assert_eq!(seq_block.receipts(), opt_block.receipts());
+        assert_eq!(seq_state.state_root(), opt_state.state_root());
+        report
+    }
+
+    /// The delta tentpole's headline case: every transaction credits one hot
+    /// sink, nobody reads it — the contributions commute, so the block runs
+    /// abort-free regardless of schedule.
+    #[test]
+    fn delta_cells_dissolve_the_hot_deposit_wall() {
+        let hot = Address::from_low(900);
+        let txs = (0..24u64).map(|i| {
+            AccountTransaction::transfer(
+                Address::from_low(100 + i),
+                hot,
+                Amount::from_sats(1 + i),
+                0,
+            )
+        });
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
+        let state = funded(100..130);
+        let mut engine = OptimisticEngine::new(4).with_delta_cells();
+        assert_eq!(engine.name(), "optimistic-delta");
+        let report = assert_engine_matches_sequential(&block, &state, &mut engine);
+        assert_eq!(report.aborts, 0);
+        assert_eq!(report.re_executions, 0);
+        assert_eq!(report.sequential_fallbacks, 0);
+        assert!(
+            report.delta_merges >= 24,
+            "every credit commits as a commutative merge, got {}",
+            report.delta_merges
+        );
+        assert_eq!(report.delta_downgrades, 0, "nobody reads the sink");
+    }
+
+    /// `fee_sink` callers all `SAdd` the same storage slot: the increments land
+    /// as commutative delta cells, so the hottest possible contract slot still
+    /// produces zero conflicts.
+    #[test]
+    fn delta_cells_commute_fee_sink_increments() {
+        use blockconc_account::vm::Contract;
+
+        let sink = Address::from_low(88_888);
+        let n = 24u64;
+        let mut state = funded(100..100 + n);
+        state.deploy_contract(sink, Arc::new(Contract::fee_sink()));
+        let txs = (0..n).map(|i| {
+            AccountTransaction::contract_call(
+                Address::from_low(100 + i),
+                sink,
+                Amount::ZERO,
+                vec![i + 1],
+                0,
+            )
+        });
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
+        let mut engine = OptimisticEngine::new(4).with_delta_cells();
+        let report = assert_engine_matches_sequential(&block, &state, &mut engine);
+        assert_eq!(report.aborts, 0);
+        assert_eq!(report.re_executions, 0);
+        let mut opt_state = state;
+        engine.execute(&mut opt_state, &block).unwrap();
+        assert_eq!(opt_state.storage(sink, 0), n * (n + 1) / 2);
+    }
+
+    /// A transaction that *spends* the accumulated balance observes the delta
+    /// cell: it upgrades to an ordered dependency on the exact contributor set,
+    /// and the committed transition stays bit-identical to sequential.
+    #[test]
+    fn delta_cells_reader_upgrade_matches_sequential() {
+        let hot = Address::from_low(900);
+        let mut txs: Vec<_> = (0..12u64)
+            .map(|i| {
+                AccountTransaction::transfer(
+                    Address::from_low(100 + i),
+                    hot,
+                    Amount::from_sats(1 + i),
+                    0,
+                )
+            })
+            .collect();
+        txs.push(AccountTransaction::transfer(
+            hot,
+            Address::from_low(800),
+            Amount::from_sats(3),
+            0,
+        ));
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transactions(txs)
+            .build();
+        let mut state = funded(100..120);
+        state.credit(hot, Amount::from_coins(1));
+        let mut engine = OptimisticEngine::new(4).with_delta_cells();
+        let report = assert_engine_matches_sequential(&block, &state, &mut engine);
+        assert!(
+            report.delta_merges >= 12,
+            "the credits still commit as merges, got {}",
+            report.delta_merges
+        );
+        assert!(
+            report.delta_downgrades > 0,
+            "the spender observed the accumulated cell and must be ordered \
+             after its contributors"
+        );
+    }
+
+    /// Regression: a contract whose internal transfer *fails* records the
+    /// receiver's balance key before the debit reverts, leaving a consumed key
+    /// whose account the view never served. That must validate as a `Base`
+    /// read, not trip the unvalidated-read-path assertion.
+    #[test]
+    fn failing_internal_transfer_to_unserved_receiver_matches_sequential() {
+        use blockconc_account::vm::{Contract, OpCode};
+
+        let sender = Address::from_low(100);
+        let contract_addr = Address::from_low(5000);
+        let never_served = Address::from_low(9_999_999);
+        let mut state = WorldState::new();
+        state.credit(sender, Amount::from_coins(10));
+        // Zero-balance contract transfers 1000 sats out: the debit fails and
+        // the call reverts.
+        state.deploy_contract(
+            contract_addr,
+            Arc::new(Contract::new(vec![
+                OpCode::Push(1000),
+                OpCode::Transfer(never_served),
+                OpCode::Stop,
+            ])),
+        );
+        let block = BlockBuilder::new(1, 0, Address::from_low(1))
+            .transaction(AccountTransaction::contract_call(
+                sender,
+                contract_addr,
+                Amount::ZERO,
+                vec![],
+                0,
+            ))
+            .build();
+        for mut engine in [
+            OptimisticEngine::new(2),
+            OptimisticEngine::new(2).with_delta_cells(),
+        ] {
+            assert_engine_matches_sequential(&block, &state, &mut engine);
+        }
+    }
+
+    /// Delta granularity on the classic disjoint-slot workload: the `SStore`
+    /// path stays an ordered fragment write and the transition stays exact.
+    #[test]
+    fn delta_cells_match_sequential_on_disjoint_slot_writers() {
+        let (state, block) = shared_counter_block(24);
+        let mut engine = OptimisticEngine::new(4).with_delta_cells();
+        let report = assert_engine_matches_sequential(&block, &state, &mut engine);
+        assert_eq!(report.sequential_fallbacks, 0);
     }
 }

@@ -39,6 +39,16 @@ pub struct ExecutionReport {
     /// Whole-block fallbacks to sequential execution after the abort bound was
     /// exceeded (optimistic engine; 0 or 1 per block).
     pub sequential_fallbacks: u64,
+    /// Commutative delta contributions committed without ordering (delta-cell
+    /// engine; 0 for the others and on the sequential-fallback path). Every
+    /// merge is a same-cell collision that would have serialized — or aborted —
+    /// under write tracking.
+    pub delta_merges: u64,
+    /// Committed reads that observed a delta-accumulated cell and were
+    /// therefore ordered after each contributor (the reader-upgrade path).
+    /// High merge counts with low downgrade counts are the commutative ideal;
+    /// downgrades approaching merges mean the "hot sink" is also hot to read.
+    pub delta_downgrades: u64,
     /// Wall-clock time of the parallelizable portion as actually measured.
     #[serde(skip)]
     pub wall_time: Duration,
@@ -107,6 +117,8 @@ mod tests {
             aborts: 0,
             re_executions: 0,
             sequential_fallbacks: 0,
+            delta_merges: 0,
+            delta_downgrades: 0,
             wall_time: Duration::from_millis(10),
             sequential_wall_time: Duration::from_millis(30),
         }

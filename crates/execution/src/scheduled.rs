@@ -253,6 +253,8 @@ impl ExecutionEngine for ScheduledEngine {
             aborts: 0,
             re_executions: 0,
             sequential_fallbacks: 0,
+            delta_merges: 0,
+            delta_downgrades: 0,
             wall_time: Duration::from_nanos(parallel_wall),
             sequential_wall_time: Duration::ZERO,
         };

@@ -69,6 +69,8 @@ impl ExecutionEngine for SequentialEngine {
             aborts: 0,
             re_executions: 0,
             sequential_fallbacks: 0,
+            delta_merges: 0,
+            delta_downgrades: 0,
             wall_time: elapsed,
             sequential_wall_time: elapsed,
         };

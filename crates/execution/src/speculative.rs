@@ -200,6 +200,8 @@ impl ExecutionEngine for SpeculativeEngine {
             aborts: 0,
             re_executions: 0,
             sequential_fallbacks: 0,
+            delta_merges: 0,
+            delta_downgrades: 0,
             wall_time: Duration::from_nanos(phase1 + phase2),
             sequential_wall_time: Duration::ZERO,
         };

@@ -198,14 +198,15 @@ fn assert_equivalent(
     );
 }
 
-/// An engine with the rolled conflict granularity: even rolls keep the
-/// key-granular default, odd rolls take the whole-account baseline.
+/// An engine with the rolled conflict granularity: roll 0 keeps the
+/// key-granular default, roll 1 takes the whole-account baseline, roll 2 the
+/// commutative delta-cell mode.
 fn engine_with(threads: usize, granularity_roll: u64) -> OptimisticEngine {
     let engine = OptimisticEngine::new(threads);
-    if granularity_roll % 2 == 1 {
-        engine.with_account_granularity()
-    } else {
-        engine
+    match granularity_roll % 3 {
+        1 => engine.with_account_granularity(),
+        2 => engine.with_delta_cells(),
+        _ => engine,
     }
 }
 
@@ -218,7 +219,7 @@ proptest! {
         funding in any_vec(0u64..2_000_000, 6usize),
         plans in any_vec(plan_strategy(), 1..28),
         threads in 1usize..5,
-        granularity in 0u64..2,
+        granularity in 0u64..3,
     ) {
         assert_equivalent(&funding, &plans, engine_with(threads, granularity), false);
     }
@@ -230,7 +231,7 @@ proptest! {
         funding in any_vec(0u64..2_000_000, 6usize),
         plans in any_vec(plan_strategy(), 1..16),
         threads in 1usize..5,
-        granularity in 0u64..2,
+        granularity in 0u64..3,
     ) {
         assert_equivalent(&funding, &plans, engine_with(threads, granularity), true);
     }
@@ -246,7 +247,7 @@ proptest! {
         seed in 0u64..u64::MAX,
         percent in 20u64..95,
         disk_roll in 0u64..2,
-        granularity in 0u64..2,
+        granularity in 0u64..3,
     ) {
         let engine = engine_with(threads, granularity).with_forced_aborts(AbortInjection {
             seed,
@@ -298,7 +299,7 @@ fn forced_abort_stress_sweep() {
             percent: 65,
         };
         let on_disk = i % 6 == 0;
-        for granularity in 0..2u64 {
+        for granularity in 0..3u64 {
             let engine = engine_with(threads, granularity).with_forced_aborts(injection);
             assert_equivalent(&funding, &plans, engine, on_disk);
         }

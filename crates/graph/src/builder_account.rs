@@ -53,6 +53,23 @@ pub fn effective_receiver(tx: &blockconc_account::AccountTransaction) -> Address
     }
 }
 
+/// Whether a transaction's receiver endpoint is a *weak* dependency edge: a
+/// plain transfer only **credits** the receiver, and under commutative
+/// delta-cell execution pure credits to one account commute — the edge orders
+/// nothing against other weak edges on the same address. Contract calls and
+/// creations stay strong: code execution can read or overwrite the target's
+/// state.
+///
+/// This is an advisory pre-execution classification, mirroring the executor's
+/// delta-access emission. It intentionally ignores the possibility that a
+/// transfer's receiver is a contract (which would run code): the TDG is a
+/// scheduling hint, never a correctness gate — the engine's own read/delta
+/// tracking catches every ordered access at execution time. Exported so the
+/// mempool's incremental TDG and this builder share one convention.
+pub fn receiver_edge_is_weak(tx: &blockconc_account::AccountTransaction) -> bool {
+    matches!(tx.payload(), TxPayload::Transfer)
+}
+
 /// Builds the address-level transaction dependency graph of an executed account-model
 /// block and computes its metrics.
 ///

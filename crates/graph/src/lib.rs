@@ -57,7 +57,9 @@ mod tdg;
 mod union_find;
 mod weights;
 
-pub use builder_account::{build_account_tdg, effective_receiver, AccountTdgAnalysis};
+pub use builder_account::{
+    build_account_tdg, effective_receiver, receiver_edge_is_weak, AccountTdgAnalysis,
+};
 pub use builder_utxo::{build_utxo_tdg, UtxoTdgAnalysis};
 pub use components::{connected_components, largest_component_size};
 pub use dot::tdg_to_dot;

@@ -13,6 +13,7 @@
 //! `--check` modes exit non-zero on violation, which is how CI consumes them.
 
 use blockconc_chainsim::{AccountWorkloadParams, ArrivalStream, HotspotSpec};
+use blockconc_obsctl::contention::AccessClass;
 use blockconc_obsctl::{contention, critpath, diff, trace, trees_from_jsonl};
 use serde::Value;
 use std::process::ExitCode;
@@ -167,19 +168,28 @@ fn cmd_contention(args: &[String]) -> Result<(), String> {
     };
     let total = blocks * txs_per_block;
     let stream = ArrivalStream::new(params, 10.0, total, seed);
-    let mut tx_accounts: Vec<Vec<String>> = Vec::with_capacity(total);
+    let mut tx_accounts: Vec<Vec<(String, AccessClass)>> = Vec::with_capacity(total);
     for arrival in stream {
-        let mut accounts = vec![arrival.tx.sender().to_string()];
+        // The sender's balance and nonce are read-modify-write: an ordering
+        // write. A plain transfer's receiver only gains a commutative credit
+        // (the delta-cell engine merges those without ordering); a contract
+        // call can rewrite arbitrary callee state, so it stays a write.
+        let mut accounts = vec![(arrival.tx.sender().to_string(), AccessClass::Write)];
         if !arrival.tx.is_contract_creation() {
-            accounts.push(arrival.tx.receiver().to_string());
+            let class = if arrival.tx.is_contract_call() {
+                AccessClass::Write
+            } else {
+                AccessClass::Delta
+            };
+            accounts.push((arrival.tx.receiver().to_string(), class));
         }
         tx_accounts.push(accounts);
     }
-    let block_list: Vec<Vec<Vec<String>>> = tx_accounts
+    let block_list: Vec<Vec<Vec<(String, AccessClass)>>> = tx_accounts
         .chunks(txs_per_block.max(1))
         .map(|chunk| chunk.to_vec())
         .collect();
-    let profile = contention::profile_blocks(&block_list, top);
+    let profile = contention::profile_blocks_classed(&block_list, top);
     print!("{}", profile.render());
 
     if let Some(path) = artifact {

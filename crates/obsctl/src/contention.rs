@@ -12,13 +12,34 @@ use blockconc_graph::UnionFind;
 use blockconc_telemetry::TelemetrySnapshot;
 use std::collections::BTreeMap;
 
+/// How a transaction touches an account: a pure read, an ordering write, or a
+/// commutative delta contribution (a credit or counter bump that merges with
+/// other deltas without imposing an order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// The transaction observes the account's state.
+    Read,
+    /// The transaction overwrites account state — orders against everything.
+    Write,
+    /// The transaction adds a commutative delta — orders only against
+    /// readers and writers, never against other deltas.
+    Delta,
+}
+
 /// One account's touch count across the profiled window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HotAccount {
     /// Account label (rendered address).
     pub account: String,
-    /// Transactions touching the account.
+    /// Transactions touching the account (all classes).
     pub touches: u64,
+    /// Pure-read touches.
+    pub reads: u64,
+    /// Ordering-write touches.
+    pub writes: u64,
+    /// Commutative-delta touches. A hot account whose touches are almost all
+    /// deltas is a dissolved hotspot: it no longer welds a component.
+    pub deltas: u64,
     /// Share of all transactions touching it.
     pub share: f64,
 }
@@ -50,27 +71,78 @@ pub struct ContentionProfile {
 }
 
 /// Profiles blocks of transactions, each transaction the list of account
-/// labels it touches. Transactions sharing an account within a block are
-/// unioned into one dependency component (the TDG's connected components).
+/// labels it touches. Every touch is treated as an ordering write — the
+/// conservative view in which sharing an account always fuses. Callers that
+/// know the access class per touch get a sharper profile from
+/// [`profile_blocks_classed`].
 pub fn profile_blocks(blocks: &[Vec<Vec<String>>], top_k: usize) -> ContentionProfile {
-    let mut touches: BTreeMap<String, u64> = BTreeMap::new();
+    let classed: Vec<Vec<Vec<(String, AccessClass)>>> = blocks
+        .iter()
+        .map(|block| {
+            block
+                .iter()
+                .map(|accounts| {
+                    accounts
+                        .iter()
+                        .map(|account| (account.clone(), AccessClass::Write))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    profile_blocks_classed(&classed, top_k)
+}
+
+/// Profiles blocks of transactions with per-touch access classes.
+///
+/// Transactions sharing an account within a block are unioned into one
+/// dependency component only when the sharing actually orders them: any write
+/// touch fuses everyone on the account, and a mix of reads and deltas fuses
+/// too (the reader upgrades to an ordered dependency on each contributor).
+/// Pure read sharing and pure delta sharing commute and fuse nothing — this
+/// is the operation-level view the delta-cell engine exploits.
+pub fn profile_blocks_classed(
+    blocks: &[Vec<Vec<(String, AccessClass)>>],
+    top_k: usize,
+) -> ContentionProfile {
+    #[derive(Default)]
+    struct Tally {
+        reads: u64,
+        writes: u64,
+        deltas: u64,
+    }
+    let mut touches: BTreeMap<String, Tally> = BTreeMap::new();
     let mut component_sizes: Vec<usize> = Vec::new();
     let mut largest_share_over_time = Vec::with_capacity(blocks.len());
     let mut txs = 0usize;
     for block in blocks {
         txs += block.len();
         let mut uf = UnionFind::new(block.len());
-        let mut owner: BTreeMap<&str, usize> = BTreeMap::new();
-        for (index, accounts) in block.iter().enumerate() {
-            for account in accounts {
-                *touches.entry(account.clone()).or_default() += 1;
-                match owner.get(account.as_str()) {
-                    Some(&first) => {
-                        uf.union(first, index);
-                    }
-                    None => {
-                        owner.insert(account, index);
-                    }
+        let mut per_account: BTreeMap<&str, Vec<(usize, AccessClass)>> = BTreeMap::new();
+        for (index, accesses) in block.iter().enumerate() {
+            for (account, class) in accesses {
+                let tally = touches.entry(account.clone()).or_default();
+                match class {
+                    AccessClass::Read => tally.reads += 1,
+                    AccessClass::Write => tally.writes += 1,
+                    AccessClass::Delta => tally.deltas += 1,
+                }
+                per_account
+                    .entry(account.as_str())
+                    .or_default()
+                    .push((index, *class));
+            }
+        }
+        for touchers in per_account.values() {
+            let any_write = touchers.iter().any(|(_, c)| *c == AccessClass::Write);
+            let any_read = touchers.iter().any(|(_, c)| *c == AccessClass::Read);
+            let any_delta = touchers.iter().any(|(_, c)| *c == AccessClass::Delta);
+            // Writes order against everything; a reader among deltas upgrades
+            // to ordered. Read-only or delta-only sharing commutes: no fusion.
+            if any_write || (any_read && any_delta) {
+                let first = touchers[0].0;
+                for &(index, _) in &touchers[1..] {
+                    uf.union(first, index);
                 }
             }
         }
@@ -84,15 +156,25 @@ pub fn profile_blocks(blocks: &[Vec<Vec<String>>], top_k: usize) -> ContentionPr
         component_sizes.extend(sizes);
     }
 
-    let mut ranked: Vec<(String, u64)> = touches.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut ranked: Vec<(String, Tally)> = touches.into_iter().collect();
+    ranked.sort_by(|a, b| {
+        let ta = a.1.reads + a.1.writes + a.1.deltas;
+        let tb = b.1.reads + b.1.writes + b.1.deltas;
+        tb.cmp(&ta).then(a.0.cmp(&b.0))
+    });
     ranked.truncate(top_k);
     let hot_accounts = ranked
         .into_iter()
-        .map(|(account, count)| HotAccount {
-            account,
-            touches: count,
-            share: count as f64 / txs.max(1) as f64,
+        .map(|(account, tally)| {
+            let count = tally.reads + tally.writes + tally.deltas;
+            HotAccount {
+                account,
+                touches: count,
+                reads: tally.reads,
+                writes: tally.writes,
+                deltas: tally.deltas,
+                share: count as f64 / txs.max(1) as f64,
+            }
         })
         .collect();
 
@@ -119,9 +201,13 @@ pub fn profile_blocks(blocks: &[Vec<Vec<String>>], top_k: usize) -> ContentionPr
 }
 
 /// Conflict-source counters a profile report surfaces, in display order:
-/// engine aborts first, then cross-shard and mempool churn.
+/// engine aborts first, then the delta-cell split (merges are same-cell
+/// collisions dissolved without ordering, downgrades are readers re-ordered
+/// against delta contributors), then cross-shard and mempool churn.
 pub const CONFLICT_COUNTERS: &[&str] = &[
     "engine_conflicts",
+    "delta_merges",
+    "delta_downgrades",
     "cross_shard_receipts",
     "rehomed_accounts",
     "mempool_replaced",
@@ -152,17 +238,23 @@ impl ContentionProfile {
             self.blocks, self.txs
         ));
         out.push_str(&format!(
-            "top {} hot accounts:\n{:<16} {:>8} {:>8}\n",
+            "top {} hot accounts:\n{:<16} {:>8} {:>6} {:>6} {:>6} {:>8}\n",
             self.hot_accounts.len(),
             "account",
             "touches",
+            "reads",
+            "writes",
+            "deltas",
             "share"
         ));
         for hot in &self.hot_accounts {
             out.push_str(&format!(
-                "{:<16} {:>8} {:>7.1}%\n",
+                "{:<16} {:>8} {:>6} {:>6} {:>6} {:>7.1}%\n",
                 hot.account,
                 hot.touches,
+                hot.reads,
+                hot.writes,
+                hot.deltas,
                 hot.share * 100.0
             ));
         }
@@ -207,6 +299,72 @@ mod tests {
         assert_eq!(profile.largest_share_over_time, vec![1.0, 0.5]);
         // Components: sizes [3] and [1, 1] → CDF: ≤1 covers 2/5, ≤3 covers 5/5.
         assert_eq!(profile.component_cdf, vec![(1, 0.4), (3, 1.0)]);
+    }
+
+    fn classed(accesses: &[(&str, AccessClass)]) -> Vec<(String, AccessClass)> {
+        accesses.iter().map(|(a, c)| (a.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn delta_only_sharing_does_not_fuse() {
+        use AccessClass::*;
+        // Three fee payers all crediting the sink with commutative deltas:
+        // under write tracking this is one component of 3; under class
+        // tracking they commute and stay independent.
+        let blocks = vec![vec![
+            classed(&[("a", Write), ("sink", Delta)]),
+            classed(&[("b", Write), ("sink", Delta)]),
+            classed(&[("c", Write), ("sink", Delta)]),
+        ]];
+        let profile = profile_blocks_classed(&blocks, 3);
+        assert_eq!(profile.largest_share_over_time, vec![1.0 / 3.0]);
+        assert_eq!(profile.component_cdf, vec![(1, 1.0)]);
+        assert_eq!(profile.hot_accounts[0].account, "sink");
+        assert_eq!(profile.hot_accounts[0].touches, 3);
+        assert_eq!(profile.hot_accounts[0].deltas, 3);
+        assert_eq!(profile.hot_accounts[0].writes, 0);
+    }
+
+    #[test]
+    fn a_write_on_the_shared_account_fuses_everyone() {
+        use AccessClass::*;
+        // Same sink, but one tx overwrites it — everyone orders against it.
+        let blocks = vec![vec![
+            classed(&[("a", Write), ("sink", Delta)]),
+            classed(&[("b", Write), ("sink", Write)]),
+            classed(&[("c", Write), ("sink", Delta)]),
+        ]];
+        let profile = profile_blocks_classed(&blocks, 1);
+        assert_eq!(profile.largest_share_over_time, vec![1.0]);
+        assert_eq!(profile.hot_accounts[0].writes, 1);
+        assert_eq!(profile.hot_accounts[0].deltas, 2);
+    }
+
+    #[test]
+    fn a_reader_among_deltas_fuses_by_upgrade() {
+        use AccessClass::*;
+        // A balance reader on the sink upgrades to an ordered dependency on
+        // each delta contributor, welding the component back together.
+        let blocks = vec![vec![
+            classed(&[("a", Write), ("sink", Delta)]),
+            classed(&[("b", Write), ("sink", Delta)]),
+            classed(&[("watcher", Write), ("sink", Read)]),
+        ]];
+        let profile = profile_blocks_classed(&blocks, 1);
+        assert_eq!(profile.largest_share_over_time, vec![1.0]);
+        assert_eq!(profile.hot_accounts[0].reads, 1);
+        assert_eq!(profile.hot_accounts[0].deltas, 2);
+    }
+
+    #[test]
+    fn read_only_sharing_does_not_fuse() {
+        use AccessClass::*;
+        let blocks = vec![vec![
+            classed(&[("a", Write), ("oracle", Read)]),
+            classed(&[("b", Write), ("oracle", Read)]),
+        ]];
+        let profile = profile_blocks_classed(&blocks, 1);
+        assert_eq!(profile.component_cdf, vec![(1, 1.0)]);
     }
 
     #[test]

@@ -42,8 +42,15 @@ pub fn direction_for(path: &str) -> Direction {
         "dropped",
         "evicted",
         "rejected",
+        // A commutative cell a reader ordered itself against — the delta
+        // engine losing parallelism it claimed.
+        "delta_downgrade",
     ];
-    const BETTER: &[&str] = &["speedup", "throughput", "ratio"];
+    // `delta_merge` before the generic lists: every merge is a same-cell
+    // collision committed *without* ordering, so more merges = more dissolved
+    // conflicts (the "conflict" needle must not claim it first — it doesn't
+    // match, but keep the intent explicit here).
+    const BETTER: &[&str] = &["speedup", "throughput", "ratio", "delta_merge"];
     // Rates beat the substring scan: `wall_tx_per_sec` contains "wall" but is a
     // throughput, so the per-second check must run before the worse-list scan.
     const RATES: &[&str] = &["per_sec", "tx_per_sec"];
@@ -457,6 +464,21 @@ mod tests {
         assert_eq!(
             direction_for("granularity_grid[1].total_txs"),
             Direction::Neutral
+        );
+    }
+
+    #[test]
+    fn delta_metrics_split_by_direction() {
+        // More commutative merges means more same-cell collisions dissolved
+        // without ordering — an improvement. More reader downgrades means the
+        // delta engine gave back parallelism it had claimed — a regression.
+        assert_eq!(
+            direction_for("counters.delta_merges"),
+            Direction::HigherBetter
+        );
+        assert_eq!(
+            direction_for("counters.delta_downgrades"),
+            Direction::HigherWorse
         );
     }
 

@@ -119,7 +119,15 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
         state.attach_backend(backend, self.config.state_backend.working_set_cap())?;
         let mut funded: HashSet<Address> = HashSet::new();
         let mut pool = Mempool::new(self.config.mempool_capacity);
-        let mut tdg = IncrementalTdg::new();
+        // A delta-commuting engine never conflicts on pure-credit receivers, so
+        // the maintained graph models those edges as weak — hot deposit sinks
+        // stop fusing the pool into one giant component, and the packer's
+        // component cap sees the same parallelism the engine will find.
+        let mut tdg = if self.engine.commutes_deltas() {
+            IncrementalTdg::new().with_weak_edges()
+        } else {
+            IncrementalTdg::new()
+        };
         let mut lookahead: Option<TxArrival> = None;
         let mut blocks: Vec<BlockRecord> = Vec::with_capacity(self.config.max_blocks);
         let mut total_failed = 0usize;
@@ -296,6 +304,8 @@ impl<P: BlockPacker, E: ExecutionEngine> PipelineDriver<P, E> {
             telemetry.count(Count::EngineValidations, exec_report.validations);
             telemetry.count(Count::EngineAborts, exec_report.aborts);
             telemetry.count(Count::EngineReExecutions, exec_report.re_executions);
+            telemetry.count(Count::DeltaMerges, exec_report.delta_merges);
+            telemetry.count(Count::DeltaDowngrades, exec_report.delta_downgrades);
             telemetry.count(Count::TdgOps, tdg_units);
             telemetry.dist(Dist::TdgBlockUnits, tdg_units);
             telemetry.dist(Dist::BlockTxs, tx_count as u64);
@@ -567,6 +577,44 @@ mod tests {
             );
             assert!(block.tx_count == 0 || block.pack_considered >= block.tx_count as u64);
         }
+    }
+
+    #[test]
+    fn delta_engine_dissolves_the_deposit_hotspot_end_to_end() {
+        // The weak-TDG propagation test: with the delta-commuting engine the
+        // driver's maintained graph treats exchange deposits as weak edges, so
+        // the concurrency-aware cap no longer sees one giant component and
+        // stops deferring the hot traffic — while the same stream under the
+        // key-granular engine keeps fusing and deferring.
+        use blockconc_execution::OptimisticEngine;
+        let params = AccountWorkloadParams {
+            txs_per_block: 60.0,
+            user_population: 3_000,
+            fresh_receiver_share: 0.5,
+            zipf_exponent: 0.5,
+            hotspots: vec![HotspotSpec::exchange(0.6)],
+            contract_create_share: 0.0,
+        };
+        let run = |engine: OptimisticEngine| {
+            PipelineDriver::new(ConcurrencyAwarePacker::new(4), engine, config())
+                .run(ArrivalStream::new(params.clone(), 4.0, 700, 11))
+                .unwrap()
+        };
+        let strong = run(OptimisticEngine::new(2));
+        let weak = run(OptimisticEngine::new(2).with_delta_cells());
+        assert_eq!(strong.engine, "optimistic");
+        assert_eq!(weak.engine, "optimistic-delta");
+        assert_eq!(weak.total_failed, 0);
+        let strong_deferred: u64 = strong.blocks.iter().map(|b| b.deferred_by_cap).sum();
+        let weak_deferred: u64 = weak.blocks.iter().map(|b| b.deferred_by_cap).sum();
+        assert!(
+            weak_deferred * 4 <= strong_deferred.max(1),
+            "weak TDG must stop the cap from deferring deposits: weak {weak_deferred} vs strong {strong_deferred}"
+        );
+        assert!(
+            weak.total_txs >= strong.total_txs,
+            "dissolved components must not shrink throughput"
+        );
     }
 
     #[test]

@@ -11,6 +11,9 @@ use std::collections::{HashMap, HashSet};
 // engine-side TDG builder. Note the prediction still misses the internal-transaction
 // edges that only exist after execution.
 pub use blockconc_graph::effective_receiver;
+// The weak-edge classification (pure-credit receivers commute under delta-cell
+// execution) — shared with the block-at-a-time builder for the same reason.
+pub use blockconc_graph::receiver_edge_is_weak;
 
 /// A transaction's dependency edge in canonical (unordered) form.
 type EdgeKey = (Address, Address);
@@ -64,6 +67,25 @@ fn edge_key(tx: &AccountTransaction) -> EdgeKey {
 /// conservative graph in between is always a coarsening with identical aggregate
 /// counts.
 ///
+/// # Weak (commutative) edges
+///
+/// With [`with_weak_edges`](IncrementalTdg::with_weak_edges), a transaction whose
+/// receiver endpoint is a pure credit ([`receiver_edge_is_weak`]) inserts as a
+/// **weak** edge: the transaction is counted in its *sender's* component, but the
+/// receiver is neither interned nor unioned — a hot deposit sink shared by a
+/// thousand otherwise-independent senders stays dissolved into a thousand
+/// singleton components, which is exactly the parallelism the delta-cell engine
+/// realizes at execution time. Two guard rails keep the weakening honest:
+///
+/// * **conservative promotion** — a payload-weak transaction whose target is
+///   currently touched by a live *strong* edge inserts as strong (someone might
+///   observe the account, so ordering it is the safe prediction);
+/// * **advisory only** — a strong edge arriving *after* weak ones does not
+///   retroactively union the weak senders. The TDG is a scheduling hint; the
+///   optimistic engine's own read/delta validation catches every real dependency
+///   at execution time, so an optimistic prediction costs re-executions, never
+///   correctness.
+///
 /// # Examples
 ///
 /// ```
@@ -103,6 +125,19 @@ pub struct IncrementalTdg {
     dead_edges: HashMap<usize, usize>,
     /// Live transactions per distinct dependency edge.
     edge_refs: HashMap<EdgeKey, usize>,
+    /// Whether pure-credit receivers insert as weak (non-fusing) edges.
+    weak_edges: bool,
+    /// Live weak transactions per *directed* (sender, receiver) pair. Directed —
+    /// unlike `edge_refs` — because a weak transaction is anchored at its
+    /// sender's component and removal must release the matching anchor.
+    weak_refs: HashMap<(Address, Address), usize>,
+    /// Live weak transactions anchored per sender address; component-local
+    /// compaction re-adds these counts (weak transactions induce no edges, so
+    /// the edge relink alone would drop them).
+    weak_anchors: HashMap<Address, usize>,
+    /// Live strong-edge touches per address (both endpoints of every strong
+    /// edge, reference-counted) — the conservative-promotion lookup.
+    strong_touches: HashMap<Address, usize>,
     txs: usize,
     ops: u64,
     compactions: u64,
@@ -125,10 +160,33 @@ impl IncrementalTdg {
             edges: HashMap::new(),
             dead_edges: HashMap::new(),
             edge_refs: HashMap::new(),
+            weak_edges: false,
+            weak_refs: HashMap::new(),
+            weak_anchors: HashMap::new(),
+            strong_touches: HashMap::new(),
             txs: 0,
             ops: 0,
             compactions: 0,
         }
+    }
+
+    /// Enables weak (commutative) edges for pure-credit receivers
+    /// (builder-style): see the type-level docs. The mode is a property of the
+    /// graph, chosen at construction — every insert and remove then classifies
+    /// consistently.
+    pub fn with_weak_edges(mut self) -> Self {
+        self.weak_edges = true;
+        self
+    }
+
+    /// Whether weak (commutative) edges are enabled.
+    pub fn weak_edges(&self) -> bool {
+        self.weak_edges
+    }
+
+    /// Live weak (commutative) transactions currently anchored in the graph.
+    pub fn weak_tx_count(&self) -> usize {
+        self.weak_refs.values().sum()
     }
 
     /// Builds a graph from scratch over the given transactions. Since the graph
@@ -157,7 +215,22 @@ impl IncrementalTdg {
 
     /// Streams one transaction into the graph.
     pub fn insert(&mut self, tx: &AccountTransaction) {
+        if self.weak_edges {
+            let sender = tx.sender();
+            let receiver = effective_receiver(tx);
+            if sender != receiver
+                && receiver_edge_is_weak(tx)
+                && self.strong_touches.get(&receiver).copied().unwrap_or(0) == 0
+            {
+                self.insert_weak(sender, receiver);
+                return;
+            }
+        }
         let key = edge_key(tx);
+        if self.weak_edges {
+            *self.strong_touches.entry(key.0).or_insert(0) += 1;
+            *self.strong_touches.entry(key.1).or_insert(0) += 1;
+        }
         let root = self.union_endpoints(key);
         *self.tx_counts.entry(root).or_insert(0) += 1;
         match self.edge_refs.entry(key) {
@@ -169,6 +242,19 @@ impl IncrementalTdg {
                 self.edges.entry(root).or_default().push(key);
             }
         }
+        self.txs += 1;
+        self.ops += 1;
+    }
+
+    /// Inserts a weak (commutative) transaction: counted in the sender's
+    /// component, receiver neither interned nor unioned — a pure credit orders
+    /// nothing, so the edge fuses nothing.
+    fn insert_weak(&mut self, sender: Address, receiver: Address) {
+        let node = self.node(sender);
+        let root = self.uf.find(node);
+        *self.tx_counts.entry(root).or_insert(0) += 1;
+        *self.weak_refs.entry((sender, receiver)).or_insert(0) += 1;
+        *self.weak_anchors.entry(sender).or_insert(0) += 1;
         self.txs += 1;
         self.ops += 1;
     }
@@ -222,6 +308,27 @@ impl IncrementalTdg {
     /// graph (the caller removed something it never inserted).
     pub fn remove(&mut self, tx: &AccountTransaction) {
         let key = edge_key(tx);
+        if self.weak_edges {
+            // Prefer releasing a weak reference: identical weak transactions
+            // are interchangeable, and a promoted twin's strong bookkeeping is
+            // then released by the pair's *last* removal — the counts are
+            // conserved either way.
+            let directed = (tx.sender(), effective_receiver(tx));
+            if self.weak_refs.contains_key(&directed) {
+                self.remove_weak(directed);
+                return;
+            }
+            for endpoint in [key.0, key.1] {
+                let touches = self
+                    .strong_touches
+                    .get_mut(&endpoint)
+                    .expect("strong edge endpoints carry touch counts");
+                *touches -= 1;
+                if *touches == 0 {
+                    self.strong_touches.remove(&endpoint);
+                }
+            }
+        }
         let refs = self
             .edge_refs
             .get_mut(&key)
@@ -259,6 +366,44 @@ impl IncrementalTdg {
         let live = total - *dead;
         if *dead * 4 >= live.max(1) {
             self.compact_component(root);
+        }
+    }
+
+    /// Removes one weak transaction: releases its directed reference and sender
+    /// anchor, and decrements the sender's component count — no edges, no
+    /// tombstones, no compaction pressure.
+    fn remove_weak(&mut self, directed: (Address, Address)) {
+        let refs = self
+            .weak_refs
+            .get_mut(&directed)
+            .expect("checked by the caller");
+        *refs -= 1;
+        if *refs == 0 {
+            self.weak_refs.remove(&directed);
+        }
+        let anchors = self
+            .weak_anchors
+            .get_mut(&directed.0)
+            .expect("weak transactions anchor at their sender");
+        *anchors -= 1;
+        if *anchors == 0 {
+            self.weak_anchors.remove(&directed.0);
+        }
+        let node = *self
+            .node_of
+            .get(&directed.0)
+            .expect("weak sender is interned while its anchor is live");
+        let root = self.uf.find(node);
+        let count = self
+            .tx_counts
+            .get_mut(&root)
+            .expect("live component has a transaction count");
+        *count -= 1;
+        let emptied = *count == 0;
+        self.txs -= 1;
+        self.ops += 1;
+        if emptied {
+            self.free_component(root);
         }
     }
 
@@ -316,6 +461,17 @@ impl IncrementalTdg {
             let root = self.union_endpoints(key);
             *self.tx_counts.entry(root).or_insert(0) += refs;
             self.edges.entry(root).or_default().push(key);
+        }
+        // Re-anchor weak transactions: they induce no edges, so the relink
+        // above dropped their counts — and possibly the interning of a sender
+        // whose every strong edge died.
+        for address in &members {
+            if let Some(&weak) = self.weak_anchors.get(address) {
+                let node = self.node(*address);
+                let root = self.uf.find(node);
+                *self.tx_counts.entry(root).or_insert(0) += weak;
+                self.ops += 1;
+            }
         }
         self.compactions += 1;
         self.maybe_compact_uf();
@@ -465,6 +621,55 @@ pub fn block_group_sizes<'a>(txs: impl IntoIterator<Item = &'a AccountTransactio
     counts.into_values().collect()
 }
 
+/// Weak-aware variant of [`block_group_sizes`]: a pure-credit receiver
+/// ([`receiver_edge_is_weak`]) does not union — the transaction counts in its
+/// sender's group only, predicting the delta-cell engine's conflict structure.
+/// Unlike the streaming graph's arrival-order promotion, the block-local
+/// classification is computed in two passes, so a payload-weak transaction
+/// whose target any strong edge in the block touches is promoted regardless of
+/// its position in the block.
+pub fn block_group_sizes_weak<'a>(
+    txs: impl IntoIterator<Item = &'a AccountTransaction>,
+) -> Vec<u64> {
+    let txs: Vec<&AccountTransaction> = txs.into_iter().collect();
+    // Pass 1: every address a strong edge touches. A payload-weak transaction
+    // aimed at one of these is promoted to strong.
+    let mut strong_touched: HashSet<Address> = HashSet::new();
+    for tx in &txs {
+        if !receiver_edge_is_weak(tx) || tx.sender() == effective_receiver(tx) {
+            strong_touched.insert(tx.sender());
+            strong_touched.insert(effective_receiver(tx));
+        }
+    }
+    let mut uf = UnionFind::new(0);
+    let mut node_of: HashMap<Address, usize> = HashMap::new();
+    let mut counts: HashMap<usize, u64> = HashMap::new();
+    for tx in txs {
+        let mut node = |address: Address, uf: &mut UnionFind| match node_of.get(&address) {
+            Some(&index) => index,
+            None => {
+                let index = uf.grow();
+                node_of.insert(address, index);
+                index
+            }
+        };
+        let sender = tx.sender();
+        let receiver = effective_receiver(tx);
+        if sender != receiver && receiver_edge_is_weak(tx) && !strong_touched.contains(&receiver) {
+            let a = node(sender, &mut uf);
+            let root = uf.find(a);
+            *counts.entry(root).or_insert(0) += 1;
+            continue;
+        }
+        let a = node(sender, &mut uf);
+        let b = node(receiver, &mut uf);
+        let (survivor, absorbed) = uf.merge_roots(a, b);
+        let folded = absorbed.and_then(|r| counts.remove(&r)).unwrap_or(0);
+        *counts.entry(survivor).or_insert(0) += folded + 1;
+    }
+    counts.into_values().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +680,16 @@ mod tests {
             Address::from_low(sender),
             Address::from_low(receiver),
             Amount::from_sats(1),
+            nonce,
+        )
+    }
+
+    fn call(sender: u64, target: u64, nonce: u64) -> AccountTransaction {
+        AccountTransaction::contract_call(
+            Address::from_low(sender),
+            Address::from_low(target),
+            Amount::from_sats(1),
+            Vec::new(),
             nonce,
         )
     }
@@ -739,5 +954,192 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn weak_edges_dissolve_the_hot_sink() {
+        // The delta-cell headline in graph form: twenty pure credits into one
+        // sink share nothing — the sink is never interned and every transfer
+        // stays a singleton component.
+        let mut tdg = IncrementalTdg::new().with_weak_edges();
+        for s in 1..=20u64 {
+            tdg.insert(&pay(s, 500, 0));
+        }
+        assert_eq!(tdg.tx_count(), 20);
+        assert_eq!(tdg.weak_tx_count(), 20);
+        assert_eq!(tdg.largest_component_tx_count(), 1);
+        assert_eq!(tdg.component_of(Address::from_low(500)), None);
+        // Strong-mode control: the same block fuses into one 20-tx component.
+        let mut strong = IncrementalTdg::new();
+        for s in 1..=20u64 {
+            strong.insert(&pay(s, 500, 0));
+        }
+        assert_eq!(strong.largest_component_tx_count(), 20);
+        // Drain: all bookkeeping returns to empty.
+        for s in 1..=20u64 {
+            tdg.remove(&pay(s, 500, 0));
+        }
+        assert_eq!(tdg.tx_count(), 0);
+        assert_eq!(tdg.address_count(), 0);
+        assert_eq!(tdg.weak_tx_count(), 0);
+    }
+
+    #[test]
+    fn strongly_touched_receivers_promote_weak_transfers() {
+        let mut tdg = IncrementalTdg::new().with_weak_edges();
+        tdg.insert(&call(1, 700, 0)); // contract state is read-modify-write: strong
+        tdg.insert(&pay(2, 700, 0)); // payload-weak, but 700 is strongly touched
+        assert_eq!(tdg.weak_tx_count(), 0);
+        assert_eq!(tdg.largest_component_tx_count(), 2);
+        assert_eq!(
+            tdg.component_of(Address::from_low(1)),
+            tdg.component_of(Address::from_low(2))
+        );
+        tdg.remove(&pay(2, 700, 0));
+        tdg.remove(&call(1, 700, 0));
+        assert_eq!(tdg.tx_count(), 0);
+        assert_eq!(tdg.address_count(), 0);
+    }
+
+    #[test]
+    fn weak_edges_preceding_a_strong_touch_stay_weak() {
+        // Arrival-order asymmetry is deliberate: retroactive promotion would
+        // cost a component scan per strong insert, and the graph is advisory —
+        // the engine's validation is the correctness gate.
+        let mut tdg = IncrementalTdg::new().with_weak_edges();
+        tdg.insert(&pay(2, 700, 0));
+        tdg.insert(&call(1, 700, 0));
+        assert_eq!(tdg.weak_tx_count(), 1);
+        assert_eq!(tdg.largest_component_tx_count(), 1);
+        tdg.remove(&pay(2, 700, 0));
+        tdg.remove(&call(1, 700, 0));
+        assert_eq!(tdg.tx_count(), 0);
+        assert_eq!(tdg.address_count(), 0);
+    }
+
+    #[test]
+    fn promoted_twins_conserve_strong_bookkeeping() {
+        // A weak transaction and its later, promoted twin share the directed
+        // pair. Prefer-weak removal releases the weak reference first; the
+        // pair's last removal releases the strong edge — conserved either way.
+        let mut tdg = IncrementalTdg::new().with_weak_edges();
+        tdg.insert(&pay(1, 700, 0)); // weak
+        tdg.insert(&call(2, 700, 0)); // strong touch on 700
+        tdg.insert(&pay(1, 700, 1)); // payload-weak twin, promoted to strong
+        assert_eq!(tdg.weak_tx_count(), 1);
+        assert_eq!(tdg.tx_count(), 3);
+        // The promoted twin's real edge fuses everything.
+        assert_eq!(tdg.largest_component_tx_count(), 3);
+        tdg.remove(&pay(1, 700, 0));
+        tdg.remove(&pay(1, 700, 1));
+        assert_eq!(tdg.weak_tx_count(), 0);
+        tdg.remove(&call(2, 700, 0));
+        assert_eq!(tdg.tx_count(), 0);
+        assert_eq!(tdg.address_count(), 0);
+    }
+
+    #[test]
+    fn compaction_re_anchors_weak_counts() {
+        // A sender whose every strong edge dies keeps its weak transactions
+        // counted through the component-local rebuild.
+        let mut tdg = IncrementalTdg::new().with_weak_edges();
+        tdg.insert(&call(1, 700, 0)); // strong: {1, 700}
+        for n in 0..4u64 {
+            tdg.insert(&pay(1, 900, n)); // weak, anchored at 1
+        }
+        assert_eq!(tdg.component_tx_count(Address::from_low(1)), 5);
+        tdg.remove(&call(1, 700, 0)); // kills the only strong edge
+        assert!(tdg.compactions() >= 1);
+        assert_eq!(tdg.tx_count(), 4);
+        assert_eq!(tdg.component_tx_count(Address::from_low(1)), 4);
+        assert_eq!(tdg.component_of(Address::from_low(700)), None);
+        for n in 0..4u64 {
+            tdg.remove(&pay(1, 900, n));
+        }
+        assert_eq!(tdg.address_count(), 0);
+        assert_eq!(tdg.tx_count(), 0);
+    }
+
+    /// The weak-mode tentpole invariant: on identical randomized churn, the
+    /// weak partition *refines* the strong one (delta-only sharing never fuses
+    /// what the strong graph splits — and never fuses anything the strong graph
+    /// doesn't), aggregates stay exact, and the bookkeeping drains to zero.
+    #[test]
+    fn weak_partition_refines_strong_under_churn() {
+        for seed in 0..4u64 {
+            let mut rng = DeterministicRng::seed(seed);
+            let mut weak = IncrementalTdg::new().with_weak_edges();
+            let mut strong = IncrementalTdg::new();
+            let mut live: Vec<AccountTransaction> = Vec::new();
+            for _batch in 0..12 {
+                for _ in 0..rng.range(1, 16) {
+                    let tx = if rng.range(0, 3) == 0 {
+                        call(rng.range(1, 20), rng.range(1, 20), rng.next_u64())
+                    } else {
+                        pay(rng.range(1, 20), rng.range(1, 20), rng.next_u64())
+                    };
+                    weak.insert(&tx);
+                    strong.insert(&tx);
+                    live.push(tx);
+                }
+                for _ in 0..rng.range(0, 8) {
+                    if live.is_empty() {
+                        break;
+                    }
+                    let index = (rng.next_u64() % live.len() as u64) as usize;
+                    let victim = live.swap_remove(index);
+                    weak.remove(&victim);
+                    strong.remove(&victim);
+                }
+                assert_eq!(weak.tx_count(), strong.tx_count(), "seed {seed}");
+                assert_eq!(weak.tx_count(), live.len(), "seed {seed}");
+                assert_eq!(
+                    weak.component_tx_counts().iter().sum::<usize>(),
+                    live.len(),
+                    "seed {seed}"
+                );
+                // Exact partitions for the refinement check.
+                weak.compact();
+                strong.compact();
+                let weak_groups = groups(&mut weak, 20);
+                for group in &weak_groups {
+                    let roots: HashSet<_> = group
+                        .iter()
+                        .map(|&addr| {
+                            strong
+                                .component_of(Address::from_low(addr))
+                                .expect("weak-live address is strong-live")
+                        })
+                        .collect();
+                    assert_eq!(roots.len(), 1, "seed {seed}: weak fused what strong split");
+                }
+                assert!(
+                    weak.largest_component_tx_count() <= strong.largest_component_tx_count(),
+                    "seed {seed}: weak mode must never make the hot spot worse"
+                );
+            }
+            weak.remove_batch(live.iter());
+            assert_eq!(weak.tx_count(), 0);
+            assert_eq!(weak.address_count(), 0);
+            assert_eq!(weak.weak_tx_count(), 0);
+        }
+    }
+
+    #[test]
+    fn block_group_sizes_weak_count_pure_credits_at_their_sender() {
+        let txs = [pay(1, 100, 0), pay(2, 100, 0), pay(3, 3, 0)];
+        let mut sizes = block_group_sizes_weak(txs.iter());
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1]);
+        // Same block, strong: the shared receiver fuses the two transfers.
+        let mut strong = block_group_sizes(txs.iter());
+        strong.sort_unstable();
+        assert_eq!(strong, vec![1, 2]);
+        // A strong touch on the shared receiver promotes both transfers,
+        // position in the block notwithstanding.
+        let with_call = [pay(1, 100, 0), pay(2, 100, 0), call(3, 100, 0)];
+        let mut promoted = block_group_sizes_weak(with_call.iter());
+        promoted.sort_unstable();
+        assert_eq!(promoted, vec![3]);
     }
 }

@@ -201,6 +201,7 @@ fn pack_by_fee(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_packed(
     included: Vec<PooledTx>,
     gas_used: Gas,
@@ -209,10 +210,18 @@ fn build_packed(
     deferred_by_cap: u64,
     aged_included: u64,
     considered: u64,
+    weak_edges: bool,
 ) -> PackedBlock {
     // Block-local grouping over exactly the included transactions — O(block),
-    // independent of the pool-level graph and its conservative coarsening.
-    let predicted_group_sizes = block_group_sizes(included.iter().map(|p| &p.tx));
+    // independent of the pool-level graph and its conservative coarsening. With
+    // a weak-edged pool graph (delta-commuting engine downstream), the
+    // prediction uses the matching weak grouping so predicted makespans track
+    // what the engine will actually serialize.
+    let predicted_group_sizes = if weak_edges {
+        crate::block_group_sizes_weak(included.iter().map(|p| &p.tx))
+    } else {
+        block_group_sizes(included.iter().map(|p| &p.tx))
+    };
     let block = BlockBuilder::new(template.height, template.timestamp, template.beneficiary)
         .gas_limit(template.gas_limit)
         .transactions(included.into_iter().map(|p| p.tx))
@@ -249,7 +258,7 @@ impl BlockPacker for FeeGreedyPacker {
     fn pack(
         &mut self,
         pool: &Mempool,
-        _tdg: &mut IncrementalTdg,
+        tdg: &mut IncrementalTdg,
         _state: &WorldState,
         template: &BlockTemplate,
     ) -> PackedBlock {
@@ -262,6 +271,7 @@ impl BlockPacker for FeeGreedyPacker {
             0,
             0,
             outcome.considered,
+            tdg.weak_edges(),
         )
     }
 }
@@ -568,6 +578,7 @@ pub fn pack_capped(
         deferred_by_cap,
         aged_included,
         outcome.considered,
+        tdg.weak_edges(),
     );
     (
         packed,

@@ -292,6 +292,8 @@ impl<E: ExecutionEngine> ShardedPipelineDriver<E> {
                 Count::EngineConflicts,
                 exec_report.conflicted_transactions as u64,
             );
+            telemetry.count(Count::DeltaMerges, exec_report.delta_merges);
+            telemetry.count(Count::DeltaDowngrades, exec_report.delta_downgrades);
             telemetry.count(Count::TdgOps, tdg_units);
             telemetry.dist(Dist::TdgBlockUnits, tdg_units);
             telemetry.dist(Dist::BlockTxs, tx_count as u64);

@@ -99,6 +99,12 @@ named_enum! {
         EngineAborts => "engine_aborts",
         /// Optimistic-engine transaction re-executions after aborts.
         EngineReExecutions => "engine_re_executions",
+        /// Commutative delta contributions committed without ordering
+        /// (delta-cell engine; each one is a conflict that did not happen).
+        DeltaMerges => "delta_merges",
+        /// Delta-cell reads that ordered the reader after the contributors
+        /// (a commutative cell downgraded to an ordered dependency).
+        DeltaDowngrades => "delta_downgrades",
     }
 }
 
